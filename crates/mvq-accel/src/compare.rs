@@ -1,0 +1,237 @@
+//! Table 9: comparison with prior sparse CNN accelerators, with
+//! Stillmaker-Baas process normalization to 40 nm.
+//!
+//! The comparator rows carry the numbers *reported by the paper* (which
+//! itself cites each accelerator's publication); the MVQ rows are computed
+//! live by this crate's simulator. Energy normalization follows the
+//! paper's method: scale energy/op across process nodes with the
+//! Stillmaker-Baas equations (energy ∝ (node ratio)^α with α ≈ 3 in the
+//! 45→40 nm range and voltage scaling ∝ V²).
+
+use crate::config::{HwConfig, HwSetting};
+use crate::error::AccelError;
+use crate::sim::simulate_network;
+use crate::workloads;
+
+/// One row of Table 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparatorRow {
+    /// Design name.
+    pub name: &'static str,
+    /// Publication venue.
+    pub venue: &'static str,
+    /// Process node in nm.
+    pub process_nm: f64,
+    /// Supply voltage in volts (where reported).
+    pub voltage: f64,
+    /// MAC count.
+    pub macs: usize,
+    /// Sparsity granularity.
+    pub granularity: &'static str,
+    /// Exploited sparsity (fraction; NaN when unreported).
+    pub sparsity: f64,
+    /// Compression ratio (NaN when unreported).
+    pub compression_ratio: f64,
+    /// Evaluation workload.
+    pub workload: &'static str,
+    /// Peak performance in TOPS.
+    pub peak_tops: f64,
+    /// Die area in mm².
+    pub area_mm2: f64,
+    /// Reported energy efficiency in TOPS/W at the native node.
+    pub tops_per_watt: f64,
+    /// 40 nm-normalized efficiency (the paper's N-Efficiency row).
+    pub normalized_tops_per_watt: f64,
+}
+
+/// Stillmaker-Baas energy scaling factor from `from_nm`/`from_v` to
+/// `to_nm`/`to_v`: energy per op scales roughly with the cube of the
+/// feature-size ratio in the planar regime (and quadratically with
+/// voltage), so efficiency (ops/J) scales by the inverse.
+pub fn stillmaker_energy_scale(from_nm: f64, from_v: f64, to_nm: f64, to_v: f64) -> f64 {
+    let alpha = if from_nm.min(to_nm) < 22.0 { 2.0 } else { 3.0 };
+    (from_nm / to_nm).powf(alpha) * (from_v / to_v).powi(2)
+}
+
+/// The prior-work rows of Table 9 with the paper's reported and normalized
+/// efficiencies.
+pub fn prior_work_rows() -> Vec<ComparatorRow> {
+    vec![
+        ComparatorRow {
+            name: "SparTen",
+            venue: "MICRO19",
+            process_nm: 45.0,
+            voltage: 1.0,
+            macs: 32,
+            granularity: "Random",
+            sparsity: f64::NAN,
+            compression_ratio: f64::NAN,
+            workload: "AlexNet",
+            peak_tops: 0.2,
+            area_mm2: 0.766,
+            tops_per_watt: 0.68,
+            normalized_tops_per_watt: 0.97,
+        },
+        ComparatorRow {
+            name: "CGNet",
+            venue: "MICRO19",
+            process_nm: 28.0,
+            voltage: 0.9,
+            macs: 576,
+            granularity: "Channel-wise",
+            sparsity: 0.60,
+            compression_ratio: 10.0,
+            workload: "ResNet18",
+            peak_tops: 2.4,
+            area_mm2: 5.574,
+            tops_per_watt: 4.5,
+            normalized_tops_per_watt: 2.43,
+        },
+        ComparatorRow {
+            name: "SPOTS",
+            venue: "TACO22",
+            process_nm: 45.0,
+            voltage: 1.0,
+            macs: 512,
+            granularity: "Group-wise",
+            sparsity: 0.27,
+            compression_ratio: 3.0,
+            workload: "VGG16",
+            peak_tops: 0.5,
+            area_mm2: 8.61,
+            tops_per_watt: 0.47,
+            normalized_tops_per_watt: 0.67,
+        },
+        ComparatorRow {
+            name: "S2TA-16",
+            venue: "HPCA22",
+            process_nm: 16.0,
+            voltage: 0.8,
+            macs: 2048,
+            granularity: "N:M",
+            sparsity: 0.50,
+            compression_ratio: 6.4,
+            workload: "AlexNet",
+            peak_tops: 8.0,
+            area_mm2: 3.8,
+            tops_per_watt: 14.0,
+            normalized_tops_per_watt: 1.64,
+        },
+        ComparatorRow {
+            name: "S2TA-65",
+            venue: "HPCA22",
+            process_nm: 65.0,
+            voltage: 1.0,
+            macs: 2048,
+            granularity: "N:M",
+            sparsity: 0.50,
+            compression_ratio: 6.4,
+            workload: "AlexNet",
+            peak_tops: 4.0,
+            area_mm2: 24.0,
+            tops_per_watt: 1.1,
+            normalized_tops_per_watt: 2.19,
+        },
+    ]
+}
+
+/// Builds the full Table 9: prior work plus the simulated MVQ-16/32/64
+/// rows (ResNet-18 workload, as the paper reports).
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn comparison_table() -> Result<Vec<ComparatorRow>, AccelError> {
+    let mut rows = prior_work_rows();
+    let net = workloads::resnet18();
+    for size in [16usize, 32, 64] {
+        let cfg = HwConfig::new(HwSetting::EwsCms, size)?;
+        let report = simulate_network(&cfg, &net);
+        let area = crate::area::area_report(&cfg)?;
+        let eff = report.tops_per_watt();
+        rows.push(ComparatorRow {
+            name: match size {
+                16 => "MVQ-16",
+                32 => "MVQ-32",
+                _ => "MVQ-64",
+            },
+            venue: "ours",
+            process_nm: 40.0,
+            voltage: 0.99,
+            macs: cfg.physical_macs(),
+            granularity: "N:M",
+            sparsity: cfg.weight_sparsity(),
+            compression_ratio: 22.0,
+            workload: "ResNet18",
+            peak_tops: cfg.peak_tops(),
+            area_mm2: area.total_mm2(),
+            tops_per_watt: eff,
+            // already at 40 nm
+            normalized_tops_per_watt: eff,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_matches_papers_sparten_normalization() {
+        // SparTen 45nm/1.0V -> 40nm: paper scales 0.68 -> 0.97 (×1.43);
+        // (45/40)^3 = 1.424
+        let f = stillmaker_energy_scale(45.0, 1.0, 40.0, 1.0);
+        assert!((f - 1.424).abs() < 0.01, "{f}");
+        let normalized = 0.68 * f;
+        assert!((normalized - 0.97).abs() < 0.03, "{normalized}");
+    }
+
+    #[test]
+    fn finfet_regime_uses_smaller_alpha() {
+        let f = stillmaker_energy_scale(16.0, 0.8, 40.0, 0.99);
+        // efficiency must *drop* when normalizing a 16nm design to 40nm
+        assert!(f < 0.2, "{f}");
+    }
+
+    #[test]
+    fn table_contains_prior_work_and_mvq() {
+        let rows = comparison_table().unwrap();
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().any(|r| r.name == "SparTen"));
+        assert!(rows.iter().any(|r| r.name == "MVQ-64"));
+    }
+
+    #[test]
+    fn mvq64_beats_all_normalized_comparators() {
+        // the paper's headline: 1.73x over the best prior normalized
+        // efficiency (S2TA-65's 2.19 -> MVQ-64 at 6.9 is 3.2x; over
+        // CGNet's 2.43 it is 2.8x). We require MVQ-64 to lead by >= 1.5x.
+        let rows = comparison_table().unwrap();
+        let best_prior = rows
+            .iter()
+            .filter(|r| r.venue != "ours")
+            .map(|r| r.normalized_tops_per_watt)
+            .fold(0.0f64, f64::max);
+        let mvq64 = rows.iter().find(|r| r.name == "MVQ-64").unwrap();
+        assert!(
+            mvq64.normalized_tops_per_watt > best_prior * 1.5,
+            "MVQ-64 {} vs best prior {best_prior}",
+            mvq64.normalized_tops_per_watt
+        );
+    }
+
+    #[test]
+    fn mvq_rows_scale_with_array_size() {
+        let rows = comparison_table().unwrap();
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap().clone();
+        let (m16, m32, m64) = (get("MVQ-16"), get("MVQ-32"), get("MVQ-64"));
+        assert!(m16.peak_tops < m32.peak_tops && m32.peak_tops < m64.peak_tops);
+        assert!(m16.area_mm2 < m64.area_mm2);
+        assert_eq!(m16.macs, 64);
+        assert_eq!(m64.macs, 1024);
+        // efficiency improves with size (paper: 2.3 -> 4.1 -> 6.9)
+        assert!(m16.tops_per_watt < m32.tops_per_watt);
+        assert!(m32.tops_per_watt < m64.tops_per_watt);
+    }
+}

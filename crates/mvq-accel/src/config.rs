@@ -1,0 +1,275 @@
+//! Hardware configurations: the six settings of the paper's §7.1.
+
+use crate::error::AccelError;
+
+/// Which base dataflow the systolic array runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataflow {
+    /// Conventional weight-stationary with C|K unfolding (TPU-style).
+    Ws,
+    /// Enhanced weight stationary (EWS): WS plus the (A, B, D) loop
+    /// extensions that keep activations in ARFs for `A` cycles, partial
+    /// sums in PRFs for `B` weight switches, and `D` kernel-plane
+    /// coordinates in the WRFs (paper Fig. 7).
+    Ews,
+}
+
+/// How weights are stored and fed to the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompressionMode {
+    /// Dense 8-bit weights (the `-base` settings).
+    Dense,
+    /// Conventional VQ (`-C`): codebook + assignments, dense decode,
+    /// dense array.
+    VqDense,
+    /// Masked VQ (`-CM`): codebook + assignments + masks, sparse decode,
+    /// dense array (zeros are still multiplied).
+    MaskedVq,
+    /// Masked VQ with the sparse tile (`-CMS`): sparse decode *and* the
+    /// sparsity-aware array that instantiates only `Q = N/M × d`
+    /// multipliers per `d` output channels.
+    MaskedVqSparse,
+}
+
+/// The six named hardware settings evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HwSetting {
+    /// (a) WS baseline, dense 8-bit weights.
+    Ws,
+    /// (b) WS with full MVQ (masks + sparse tile).
+    WsCms,
+    /// (c) EWS baseline, dense 8-bit weights.
+    Ews,
+    /// (d) EWS with conventional VQ (k=1024, d=8 for CR parity).
+    EwsC,
+    /// (e) EWS with masked VQ (k=512, d=16).
+    EwsCm,
+    /// (f) EWS with masked VQ and the sparse tile — the full design.
+    EwsCms,
+}
+
+impl HwSetting {
+    /// All six settings in the paper's order.
+    pub const ALL: [HwSetting; 6] = [
+        HwSetting::Ws,
+        HwSetting::WsCms,
+        HwSetting::Ews,
+        HwSetting::EwsC,
+        HwSetting::EwsCm,
+        HwSetting::EwsCms,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HwSetting::Ws => "WS",
+            HwSetting::WsCms => "WS-CMS",
+            HwSetting::Ews => "EWS",
+            HwSetting::EwsC => "EWS-C",
+            HwSetting::EwsCm => "EWS-CM",
+            HwSetting::EwsCms => "EWS-CMS",
+        }
+    }
+
+    /// The base dataflow.
+    pub fn dataflow(&self) -> Dataflow {
+        match self {
+            HwSetting::Ws | HwSetting::WsCms => Dataflow::Ws,
+            _ => Dataflow::Ews,
+        }
+    }
+
+    /// The weight path.
+    pub fn compression(&self) -> CompressionMode {
+        match self {
+            HwSetting::Ws | HwSetting::Ews => CompressionMode::Dense,
+            HwSetting::EwsC => CompressionMode::VqDense,
+            HwSetting::EwsCm => CompressionMode::MaskedVq,
+            HwSetting::WsCms | HwSetting::EwsCms => CompressionMode::MaskedVqSparse,
+        }
+    }
+}
+
+impl std::fmt::Display for HwSetting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully specified accelerator instance.
+///
+/// Defaults follow §7.1: for VQ settings the codebook/subvector sizes are
+/// chosen for equal compression ratio — `k=1024, d=8` for EWS-C and
+/// `k=512, d=16` with 4:16 pruning for EWS-CM/CMS; 64-bit DMA; 0.3 GHz;
+/// 2 MB L2; 128 KB L1 for 16×16 arrays and 256 KB for larger (§7.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwConfig {
+    /// Which named setting this instance implements.
+    pub setting: HwSetting,
+    /// Array height H (rows, input-channel parallelism).
+    pub array_h: usize,
+    /// Array width L (columns, output-channel parallelism).
+    pub array_l: usize,
+    /// EWS extension A (activation residency, cycles).
+    pub ext_a: usize,
+    /// EWS extension B (partial-sum residency, weight switches).
+    pub ext_b: usize,
+    /// EWS extension D (kernel-plane coordinates resident in WRF).
+    pub ext_d: usize,
+    /// Codewords in the codebook (VQ settings).
+    pub k: usize,
+    /// Subvector length d (VQ settings).
+    pub d: usize,
+    /// Kept weights per group (N of N:M).
+    pub keep_n: usize,
+    /// Pruning group size (M of N:M).
+    pub m: usize,
+    /// DMA datawidth between L2 and the loader, bits per cycle.
+    pub dma_bits: usize,
+    /// L1 size in KiB.
+    pub l1_kib: usize,
+    /// L2 size in KiB.
+    pub l2_kib: usize,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// L1 bandwidth in 8-bit words per cycle (multi-bank aggregate).
+    pub l1_words_per_cycle: f64,
+    /// Fraction of activations that are zero post-ReLU (drives the
+    /// zero-value-gated PE saving, §5.3/Fig. 9).
+    pub activation_zero_frac: f64,
+}
+
+impl HwConfig {
+    /// Builds the paper's configuration of `setting` at `size`×`size`
+    /// (16, 32 or 64 in the evaluation; any power of two ≥ 8 is allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] for non-power-of-two or
+    /// too-small sizes.
+    pub fn new(setting: HwSetting, size: usize) -> Result<HwConfig, AccelError> {
+        if size < 8 || !size.is_power_of_two() {
+            return Err(AccelError::InvalidConfig(format!(
+                "array size must be a power of two >= 8, got {size}"
+            )));
+        }
+        let (k, d) = match setting.compression() {
+            CompressionMode::VqDense => (1024, 8),
+            CompressionMode::MaskedVq | CompressionMode::MaskedVqSparse => (512, 16),
+            CompressionMode::Dense => (0, 16),
+        };
+        let ews = setting.dataflow() == Dataflow::Ews;
+        Ok(HwConfig {
+            setting,
+            array_h: size,
+            array_l: size,
+            ext_a: if ews { 4 } else { 1 },
+            ext_b: if ews { 4 } else { 1 },
+            ext_d: if ews { 4 } else { 1 },
+            k,
+            d,
+            keep_n: 4,
+            m: 16,
+            // the 64-bit DDR weight interface (§5.1) transfers on both
+            // edges relative to the 0.3 GHz array clock: 128 bits/cycle
+            dma_bits: 128,
+            l1_kib: if size <= 16 { 128 } else { 256 },
+            l2_kib: 2048,
+            freq_ghz: 0.3,
+            l1_words_per_cycle: 2.5 * size as f64,
+            activation_zero_frac: 0.35,
+        })
+    }
+
+    /// Dense-equivalent MAC parallelism per cycle (`2·H·L` ops). The
+    /// sparse tile keeps this parallelism with `N/M` of the multipliers
+    /// (paper Table 2: "Parallelism 2×H×d" for both tiles).
+    pub fn effective_macs_per_cycle(&self) -> f64 {
+        (self.array_h * self.array_l) as f64
+    }
+
+    /// Physical multiplier count.
+    pub fn physical_macs(&self) -> usize {
+        match self.setting.compression() {
+            CompressionMode::MaskedVqSparse => {
+                self.array_h * self.array_l * self.keep_n / self.m
+            }
+            _ => self.array_h * self.array_l,
+        }
+    }
+
+    /// Peak effective performance in TOPS (2 ops per dense-equivalent
+    /// MAC).
+    pub fn peak_tops(&self) -> f64 {
+        2.0 * self.effective_macs_per_cycle() * self.freq_ghz / 1000.0
+    }
+
+    /// Weight sparsity exploited by the array (0 for dense settings).
+    pub fn weight_sparsity(&self) -> f64 {
+        match self.setting.compression() {
+            CompressionMode::MaskedVq | CompressionMode::MaskedVqSparse => {
+                1.0 - self.keep_n as f64 / self.m as f64
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settings_map_to_dataflow_and_compression() {
+        assert_eq!(HwSetting::Ws.dataflow(), Dataflow::Ws);
+        assert_eq!(HwSetting::WsCms.dataflow(), Dataflow::Ws);
+        assert_eq!(HwSetting::EwsCms.dataflow(), Dataflow::Ews);
+        assert_eq!(HwSetting::Ews.compression(), CompressionMode::Dense);
+        assert_eq!(HwSetting::EwsC.compression(), CompressionMode::VqDense);
+        assert_eq!(HwSetting::EwsCm.compression(), CompressionMode::MaskedVq);
+        assert_eq!(HwSetting::EwsCms.compression(), CompressionMode::MaskedVqSparse);
+        assert_eq!(HwSetting::ALL.len(), 6);
+    }
+
+    #[test]
+    fn config_matches_paper_defaults() {
+        let c = HwConfig::new(HwSetting::EwsCms, 64).unwrap();
+        assert_eq!((c.k, c.d), (512, 16));
+        assert_eq!((c.keep_n, c.m), (4, 16));
+        assert_eq!(c.l1_kib, 256);
+        let c16 = HwConfig::new(HwSetting::EwsCms, 16).unwrap();
+        assert_eq!(c16.l1_kib, 128);
+        let cc = HwConfig::new(HwSetting::EwsC, 32).unwrap();
+        assert_eq!((cc.k, cc.d), (1024, 8));
+    }
+
+    #[test]
+    fn peak_performance_matches_table9() {
+        // MVQ-64: 1024 physical MACs, 2.4 effective TOPS at 0.3 GHz
+        let c = HwConfig::new(HwSetting::EwsCms, 64).unwrap();
+        assert_eq!(c.physical_macs(), 1024);
+        assert!((c.peak_tops() - 2.4576).abs() < 0.01, "{}", c.peak_tops());
+        // MVQ-16: 64 physical MACs, ~0.15 TOPS
+        let c = HwConfig::new(HwSetting::EwsCms, 16).unwrap();
+        assert_eq!(c.physical_macs(), 64);
+        assert!((c.peak_tops() - 0.1536).abs() < 0.01);
+        // dense EWS-64 has 4096 physical MACs at the same peak
+        let c = HwConfig::new(HwSetting::Ews, 64).unwrap();
+        assert_eq!(c.physical_macs(), 4096);
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(HwConfig::new(HwSetting::Ews, 0).is_err());
+        assert!(HwConfig::new(HwSetting::Ews, 48).is_err());
+        assert!(HwConfig::new(HwSetting::Ews, 4).is_err());
+    }
+
+    #[test]
+    fn sparsity_only_for_masked_modes() {
+        assert_eq!(HwConfig::new(HwSetting::Ews, 16).unwrap().weight_sparsity(), 0.0);
+        assert_eq!(HwConfig::new(HwSetting::EwsC, 16).unwrap().weight_sparsity(), 0.0);
+        assert_eq!(HwConfig::new(HwSetting::EwsCm, 16).unwrap().weight_sparsity(), 0.75);
+        assert_eq!(HwConfig::new(HwSetting::EwsCms, 16).unwrap().weight_sparsity(), 0.75);
+    }
+}

@@ -1,0 +1,179 @@
+//! The energy model: the paper's normalized per-access costs (Table 8),
+//! with one MAC operation as the unit.
+
+/// Normalized energy cost per access for each storage level (Table 8) and
+/// per MAC. Units: one 8-bit MAC operation = 1.0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Off-chip DRAM, per 8-bit element.
+    pub dram: f64,
+    /// On-chip L2 SRAM, per element.
+    pub l2: f64,
+    /// On-chip multi-bank L1, per element.
+    pub l1: f64,
+    /// Partial-sum register file, per access.
+    pub prf: f64,
+    /// Activation register file, per access.
+    pub arf: f64,
+    /// Weight register file, per access.
+    pub wrf: f64,
+    /// Codebook register file, per access.
+    pub crf: f64,
+    /// One multiply-accumulate.
+    pub mac: f64,
+    /// Absolute energy of one MAC in picojoules (8-bit, 40 nm) — converts
+    /// normalized units into watts for the power/efficiency figures.
+    /// Calibrated so the EWS baseline lands at the paper's ~2.9 TOPS/W at
+    /// 64×64 on ResNet-18.
+    pub mac_pj: f64,
+}
+
+impl EnergyModel {
+    /// The paper's Table 8 values.
+    pub fn paper() -> EnergyModel {
+        EnergyModel {
+            dram: 200.0,
+            l2: 15.0,
+            l1: 6.0,
+            prf: 0.22,
+            arf: 0.11,
+            wrf: 0.02,
+            crf: 0.02,
+            mac: 1.0,
+            mac_pj: 0.5,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::paper()
+    }
+}
+
+/// Event counts produced by the dataflow model for one layer or network.
+/// All memory counts are in 8-bit elements; RF counts are accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AccessCounts {
+    /// DRAM elements transferred (weights + spilled activations).
+    pub dram: f64,
+    /// L2 elements transferred.
+    pub l2: f64,
+    /// L1 elements transferred.
+    pub l1: f64,
+    /// PRF accesses.
+    pub prf: f64,
+    /// ARF accesses.
+    pub arf: f64,
+    /// WRF accesses.
+    pub wrf: f64,
+    /// CRF accesses (weight decode).
+    pub crf: f64,
+    /// Physical MAC operations executed.
+    pub macs: f64,
+}
+
+impl AccessCounts {
+    /// Adds another count set (layer accumulation).
+    pub fn add(&mut self, other: &AccessCounts) {
+        self.dram += other.dram;
+        self.l2 += other.l2;
+        self.l1 += other.l1;
+        self.prf += other.prf;
+        self.arf += other.arf;
+        self.wrf += other.wrf;
+        self.crf += other.crf;
+        self.macs += other.macs;
+    }
+
+    /// Scales every count (repeat handling).
+    pub fn scaled(&self, f: f64) -> AccessCounts {
+        AccessCounts {
+            dram: self.dram * f,
+            l2: self.l2 * f,
+            l1: self.l1 * f,
+            prf: self.prf * f,
+            arf: self.arf * f,
+            wrf: self.wrf * f,
+            crf: self.crf * f,
+            macs: self.macs * f,
+        }
+    }
+
+    /// Total data-access energy (memory + RF, no compute) in MAC units —
+    /// the quantity of Figs. 14/15.
+    pub fn data_access_energy(&self, em: &EnergyModel) -> f64 {
+        self.dram * em.dram
+            + self.l2 * em.l2
+            + self.l1 * em.l1
+            + self.prf * em.prf
+            + self.arf * em.arf
+            + self.wrf * em.wrf
+            + self.crf * em.crf
+    }
+
+    /// On-chip-only data-access energy (paper's Fig. 19 excludes main
+    /// memory).
+    pub fn on_chip_energy(&self, em: &EnergyModel, mac_gate_factor: f64) -> f64 {
+        self.l2 * em.l2
+            + self.l1 * em.l1
+            + self.prf * em.prf
+            + self.arf * em.arf
+            + self.wrf * em.wrf
+            + self.crf * em.crf
+            + self.macs * em.mac * mac_gate_factor
+    }
+
+    /// Per-level energy shares `[DRAM, L2, L1, RF]` in MAC units
+    /// (Fig. 14's stacked ratios).
+    pub fn level_energies(&self, em: &EnergyModel) -> [f64; 4] {
+        [
+            self.dram * em.dram,
+            self.l2 * em.l2,
+            self.l1 * em.l1,
+            self.prf * em.prf + self.arf * em.arf + self.wrf * em.wrf + self.crf * em.crf,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_match_table8() {
+        let em = EnergyModel::paper();
+        assert_eq!(em.dram, 200.0);
+        assert_eq!(em.l2, 15.0);
+        assert_eq!(em.l1, 6.0);
+        assert_eq!(em.prf, 0.22);
+        assert_eq!(em.arf, 0.11);
+        assert_eq!(em.wrf, 0.02);
+        assert_eq!(em.crf, 0.02);
+        assert_eq!(em.mac, 1.0);
+    }
+
+    #[test]
+    fn accumulation_and_scaling() {
+        let mut a = AccessCounts { dram: 1.0, l1: 2.0, macs: 4.0, ..Default::default() };
+        let b = AccessCounts { dram: 3.0, l2: 5.0, ..Default::default() };
+        a.add(&b);
+        assert_eq!(a.dram, 4.0);
+        assert_eq!(a.l2, 5.0);
+        let s = a.scaled(2.0);
+        assert_eq!(s.dram, 8.0);
+        assert_eq!(s.macs, 8.0);
+    }
+
+    #[test]
+    fn energy_composition() {
+        let em = EnergyModel::paper();
+        let c = AccessCounts { dram: 1.0, l2: 1.0, l1: 1.0, macs: 10.0, ..Default::default() };
+        assert_eq!(c.data_access_energy(&em), 200.0 + 15.0 + 6.0);
+        assert_eq!(c.on_chip_energy(&em, 1.0), 15.0 + 6.0 + 10.0);
+        // gating halves MAC energy only
+        assert_eq!(c.on_chip_energy(&em, 0.5), 15.0 + 6.0 + 5.0);
+        let lv = c.level_energies(&em);
+        assert_eq!(lv, [200.0, 15.0, 6.0, 0.0]);
+    }
+}

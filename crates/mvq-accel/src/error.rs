@@ -1,0 +1,30 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for accelerator configuration and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccelError {
+    /// A hardware configuration parameter was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::InvalidConfig(msg) => write!(f, "invalid hardware config: {msg}"),
+        }
+    }
+}
+
+impl Error for AccelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_message() {
+        let e = AccelError::InvalidConfig("array size".into());
+        assert!(e.to_string().contains("array size"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # mvq-accel — EWS systolic-array accelerator simulator
+//!
+//! An analytical + event-level model of the paper's hardware (§5, §7): an
+//! Enhanced-Weight-Stationary (EWS) CNN accelerator with an
+//! assignment-aware weight loader and a sparsity-aware systolic array.
+//!
+//! The model counts the events the paper's evaluation derives its numbers
+//! from — MACs, per-level memory accesses (DRAM/L2/L1/PRF/ARF/WRF/CRF),
+//! weight-load bits — and multiplies them by the paper's own normalized
+//! access costs (Table 8) and by unit areas calibrated to its synthesis
+//! results (Table 7). Six hardware settings are modeled: `WS`, `WS-CMS`,
+//! `EWS`, `EWS-C`, `EWS-CM` and `EWS-CMS` (§7.1).
+//!
+//! ```
+//! use mvq_accel::{HwConfig, HwSetting, simulate_network, workloads};
+//!
+//! let cfg = HwConfig::new(HwSetting::EwsCms, 64)?;
+//! let report = simulate_network(&cfg, &workloads::resnet18());
+//! assert!(report.tops_per_watt() > 0.0);
+//! # Ok::<(), mvq_accel::AccelError>(())
+//! ```
+
+// Indexed loops are the clearer idiom for the numeric kernels here.
+#![allow(clippy::needless_range_loop)]
+
+
+mod area;
+mod compare;
+mod config;
+mod energy;
+mod error;
+mod functional;
+mod loader;
+mod lzc;
+mod roofline;
+mod sim;
+pub mod workloads;
+
+pub use area::{area_report, tile_resources, AreaReport, TileResources};
+pub use compare::{comparison_table, stillmaker_energy_scale, ComparatorRow};
+pub use config::{CompressionMode, Dataflow, HwConfig, HwSetting};
+pub use energy::{AccessCounts, EnergyModel};
+pub use error::AccelError;
+pub use functional::{FunctionalEws, FunctionalRun};
+pub use loader::{weight_load_bits, WeightLoader};
+pub use lzc::{lzc_encode_mask, SparseTile};
+pub use roofline::{roofline_point, RooflinePoint};
+pub use sim::{simulate_layer, simulate_network, LayerReport, NetworkReport};

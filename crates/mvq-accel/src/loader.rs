@@ -1,0 +1,141 @@
+//! The assignment-aware weight loader (paper §5.2).
+//!
+//! Instead of streaming dense 8-bit weights from L2 into the array, the
+//! MVQ settings stream *assignments* — a `⌈log2 k⌉`-bit codebook index plus
+//! a `⌈log2 C(M,N)⌉·d/M`-bit LUT-encoded mask per `d`-element subvector —
+//! and reconstruct the weight vector with a CRF lookup, a mask-LUT decode
+//! and AND gates. This cuts the weight-loading datawidth by the
+//! compression ratio, which is exactly where the paper's speedup at large
+//! array sizes comes from (Fig. 18).
+
+use mvq_core::MaskLut;
+
+use crate::config::{CompressionMode, HwConfig};
+
+/// Bits that must cross the L2→array interface to load `weight_elems`
+/// weights under `mode`, plus the one-time codebook initialization.
+///
+/// Depthwise layers are always loaded dense (they are excluded from MVQ).
+pub fn weight_load_bits(cfg: &HwConfig, weight_elems: u64, depthwise: bool) -> f64 {
+    let mode = if depthwise { CompressionMode::Dense } else { cfg.setting.compression() };
+    match mode {
+        CompressionMode::Dense => weight_elems as f64 * 8.0,
+        CompressionMode::VqDense => {
+            let ng = weight_elems as f64 / cfg.d as f64;
+            let index_bits = ceil_log2(cfg.k) as f64;
+            ng * index_bits
+        }
+        CompressionMode::MaskedVq | CompressionMode::MaskedVqSparse => {
+            let ng = weight_elems as f64 / cfg.d as f64;
+            let index_bits = ceil_log2(cfg.k) as f64;
+            let lut = MaskLut::new(cfg.keep_n, cfg.m).expect("config validated");
+            let mask_bits = lut.index_bits() as f64 * (cfg.d / cfg.m) as f64;
+            ng * (index_bits + mask_bits)
+        }
+    }
+}
+
+/// The weight loader's per-layer event model: CRF reads and LUT decodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightLoader {
+    /// CRF read accesses (one per reconstructed subvector per read port).
+    pub crf_reads: f64,
+    /// One-time codebook initialization elements (DMA into the CRF).
+    pub codebook_init_elems: f64,
+    /// Mask-LUT decodes.
+    pub lut_decodes: f64,
+}
+
+impl WeightLoader {
+    /// Event counts for loading `weight_elems` weights.
+    pub fn events(cfg: &HwConfig, weight_elems: u64, depthwise: bool) -> WeightLoader {
+        let mode = if depthwise { CompressionMode::Dense } else { cfg.setting.compression() };
+        match mode {
+            CompressionMode::Dense => {
+                WeightLoader { crf_reads: 0.0, codebook_init_elems: 0.0, lut_decodes: 0.0 }
+            }
+            CompressionMode::VqDense => {
+                let ng = weight_elems as f64 / cfg.d as f64;
+                WeightLoader {
+                    crf_reads: ng,
+                    codebook_init_elems: (cfg.k * cfg.d) as f64,
+                    lut_decodes: 0.0,
+                }
+            }
+            CompressionMode::MaskedVq | CompressionMode::MaskedVqSparse => {
+                let ng = weight_elems as f64 / cfg.d as f64;
+                WeightLoader {
+                    crf_reads: ng,
+                    codebook_init_elems: (cfg.k * cfg.d) as f64,
+                    lut_decodes: ng * (cfg.d / cfg.m) as f64,
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn ceil_log2(k: usize) -> u32 {
+    if k <= 1 {
+        0
+    } else {
+        usize::BITS - (k - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HwSetting;
+
+    #[test]
+    fn dense_loads_eight_bits_per_weight() {
+        let cfg = HwConfig::new(HwSetting::Ews, 32).unwrap();
+        assert_eq!(weight_load_bits(&cfg, 1000, false), 8000.0);
+    }
+
+    #[test]
+    fn vq_dense_loads_index_only() {
+        // k=1024, d=8: 10 bits per 8 weights = 1.25 b/w
+        let cfg = HwConfig::new(HwSetting::EwsC, 32).unwrap();
+        let bits = weight_load_bits(&cfg, 8000, false);
+        assert!((bits - 8000.0 * 1.25 / 8.0 * 8.0).abs() < 1e-6);
+        assert_eq!(bits, 1000.0 * 10.0);
+    }
+
+    #[test]
+    fn masked_vq_loads_index_plus_mask() {
+        // k=512, d=16, 4:16: 9 + 11 bits per 16 weights = 1.25 b/w
+        let cfg = HwConfig::new(HwSetting::EwsCms, 32).unwrap();
+        let bits = weight_load_bits(&cfg, 16_000, false);
+        assert_eq!(bits, 1000.0 * (9.0 + 11.0));
+        // ≈ 6.4x narrower than dense 8-bit loading
+        let dense = weight_load_bits(&HwConfig::new(HwSetting::Ews, 32).unwrap(), 16_000, false);
+        assert!((dense / bits - 6.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn depthwise_always_dense() {
+        let cfg = HwConfig::new(HwSetting::EwsCms, 32).unwrap();
+        assert_eq!(weight_load_bits(&cfg, 1152, true), 1152.0 * 8.0);
+        let ev = WeightLoader::events(&cfg, 1152, true);
+        assert_eq!(ev.crf_reads, 0.0);
+    }
+
+    #[test]
+    fn loader_events_scale_with_subvectors() {
+        let cfg = HwConfig::new(HwSetting::EwsCms, 32).unwrap();
+        let ev = WeightLoader::events(&cfg, 16_000, false);
+        assert_eq!(ev.crf_reads, 1000.0);
+        assert_eq!(ev.lut_decodes, 1000.0);
+        assert_eq!(ev.codebook_init_elems, (512 * 16) as f64);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(512), 9);
+        assert_eq!(ceil_log2(513), 10);
+        assert_eq!(ceil_log2(1024), 10);
+    }
+}

@@ -1,0 +1,169 @@
+//! The sparse tile's cascaded leading-zero-counter (LZC) mask encoder and
+//! a behavioral model of the tile itself (paper §5.3, Fig. 8).
+//!
+//! An N:M sparsity mask has `Q` set bits per `d` lanes; the hardware
+//! converts it into `Q` position encodings (one per Mask Register File
+//! entry) with a cascade of LZCs: each stage finds the leading set bit,
+//! emits its position, and XORs it out of the mask before the next stage.
+//! This module implements that bit-exactly, plus the DEMUX routing of the
+//! `Q` products onto the `d`-deep adder tree.
+
+use crate::error::AccelError;
+
+/// Encodes a `d`-bit sparsity mask into the positions of its set bits, in
+/// exactly the order the cascaded LZC hardware produces them (most
+/// significant / leading position first).
+///
+/// Returns one position per set bit. An all-zero mask returns an empty
+/// vector (no PEs active).
+pub fn lzc_encode_mask(mask: &[bool]) -> Vec<usize> {
+    // Hardware: stage i computes the LZC of the remaining mask, one-hot
+    // decodes it and XORs it off. Software equivalent: positions of set
+    // bits in order.
+    let mut working: Vec<bool> = mask.to_vec();
+    let mut positions = Vec::new();
+    // leading zero count = index of first set bit from the front
+    while let Some(p) = working.iter().position(|&b| b) {
+        positions.push(p);
+        working[p] = false; // XOR with the one-hot decode
+    }
+    positions
+}
+
+/// Behavioral model of one sparse tile column group: `Q` multipliers whose
+/// products are routed by MRF position encodings onto a `d`-deep adder
+/// tree (the dense tile's `d` multipliers collapse to `Q`).
+#[derive(Debug, Clone)]
+pub struct SparseTile {
+    d: usize,
+    q: usize,
+    mrf: Vec<usize>,
+    weights: Vec<f64>,
+}
+
+impl SparseTile {
+    /// Programs the tile with a subvector's mask and its `Q` kept weights
+    /// (in mask order, as the weight loader delivers them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] when the mask length is not
+    /// `d` or the kept-weight count does not match the mask population.
+    pub fn program(d: usize, mask: &[bool], kept_weights: &[f64]) -> Result<SparseTile, AccelError> {
+        if mask.len() != d {
+            return Err(AccelError::InvalidConfig(format!(
+                "mask length {} != d = {d}",
+                mask.len()
+            )));
+        }
+        let mrf = lzc_encode_mask(mask);
+        if mrf.len() != kept_weights.len() {
+            return Err(AccelError::InvalidConfig(format!(
+                "{} kept weights for {} set mask bits",
+                kept_weights.len(),
+                mrf.len()
+            )));
+        }
+        Ok(SparseTile { d, q: mrf.len(), mrf, weights: kept_weights.to_vec() })
+    }
+
+    /// Number of physical multipliers in use.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// The MRF contents (position encodings).
+    pub fn mrf(&self) -> &[usize] {
+        &self.mrf
+    }
+
+    /// One cycle of the tile: multiplies the broadcast activation by every
+    /// kept weight and routes products through the DEMUXes onto the adder
+    /// tree inputs; returns the `d` partial sums (pruned lanes
+    /// contribute 0).
+    pub fn cycle(&self, activation: f64) -> Vec<f64> {
+        let mut psums = vec![0.0; self.d];
+        for (w, &pos) in self.weights.iter().zip(&self.mrf) {
+            psums[pos] += w * activation;
+        }
+        psums
+    }
+
+    /// Reference check: the dense tile result with the masked weight
+    /// vector (used by tests to prove tile equivalence).
+    pub fn dense_reference(d: usize, mask: &[bool], kept: &[f64], activation: f64) -> Vec<f64> {
+        let mut dense_w = vec![0.0; d];
+        let mut it = kept.iter();
+        for (t, &m) in mask.iter().enumerate() {
+            if m {
+                dense_w[t] = *it.next().expect("kept weights match mask");
+            }
+        }
+        dense_w.iter().map(|w| w * activation).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_positions_in_order() {
+        assert_eq!(
+            lzc_encode_mask(&[false, true, false, true]),
+            vec![1, 3]
+        );
+        assert_eq!(lzc_encode_mask(&[true, true, true]), vec![0, 1, 2]);
+        assert_eq!(lzc_encode_mask(&[false, false]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn encoder_handles_all_4choose2_masks() {
+        // every 2:4 mask round-trips: positions reconstruct the mask
+        for a in 0..4usize {
+            for b in (a + 1)..4usize {
+                let mut mask = [false; 4];
+                mask[a] = true;
+                mask[b] = true;
+                let pos = lzc_encode_mask(&mask);
+                assert_eq!(pos, vec![a, b]);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_tile_matches_dense_reference() {
+        let d = 16;
+        // a 4:16 mask
+        let mut mask = vec![false; d];
+        for &p in &[2usize, 7, 9, 15] {
+            mask[p] = true;
+        }
+        let kept = [0.5, -1.25, 2.0, 0.125];
+        let tile = SparseTile::program(d, &mask, &kept).unwrap();
+        assert_eq!(tile.q(), 4);
+        for act in [0.0, 1.0, -3.5, 0.75] {
+            let sparse = tile.cycle(act);
+            let dense = SparseTile::dense_reference(d, &mask, &kept, act);
+            assert_eq!(sparse, dense, "activation {act}");
+        }
+    }
+
+    #[test]
+    fn tile_validates_inputs() {
+        assert!(SparseTile::program(4, &[true; 3], &[1.0]).is_err());
+        assert!(SparseTile::program(4, &[true, false, false, false], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn mrf_width_is_log2_d_compatible() {
+        // every position fits in log2(d) bits, as Table 2's MRF sizing
+        // requires
+        let d = 16;
+        let mask: Vec<bool> = (0..d).map(|i| i % 4 == 3).collect();
+        let tile = SparseTile::program(d, &mask, &[1.0; 4]).unwrap();
+        for &p in tile.mrf() {
+            assert!(p < d);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Roofline model (paper Fig. 18): attainable performance against
+//! operational intensity, with the weight-loading datawidth as the slanted
+//! ceiling that MVQ compression lifts.
+
+use crate::config::HwConfig;
+use crate::sim::simulate_network;
+use crate::workloads::Network;
+
+/// One point of Fig. 18.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// Configuration label (e.g. "EWS-CMS-64").
+    pub label: String,
+    /// Operational intensity in effective ops per byte moved across the
+    /// weight-load interface.
+    pub ops_per_byte: f64,
+    /// Achieved performance in GOPS.
+    pub gops: f64,
+    /// Peak compute roof in GOPS.
+    pub peak_gops: f64,
+    /// Bandwidth roof at this intensity in GOPS.
+    pub bandwidth_roof_gops: f64,
+}
+
+impl RooflinePoint {
+    /// Whether this point is limited by the weight-load bandwidth rather
+    /// than compute.
+    pub fn is_bandwidth_bound(&self) -> bool {
+        self.bandwidth_roof_gops < self.peak_gops
+    }
+}
+
+/// Computes the roofline point for `net` on `cfg`.
+pub fn roofline_point(cfg: &HwConfig, net: &Network) -> RooflinePoint {
+    let report = simulate_network(cfg, net);
+    let ops = 2.0 * report.effective_macs;
+    // bytes across the weight-loading interface (the constrained resource
+    // in Fig. 18)
+    let wl_bytes: f64 = report
+        .layers
+        .iter()
+        .zip(&net.layers)
+        .map(|(rep, shape)| {
+            rep.weight_load_cycles * cfg.dma_bits as f64 / 8.0 * shape.repeats as f64
+        })
+        .sum();
+    let ops_per_byte = ops / wl_bytes;
+    let bw_bytes_per_s = cfg.dma_bits as f64 / 8.0 * cfg.freq_ghz * 1e9;
+    let bandwidth_roof_gops = (ops_per_byte * bw_bytes_per_s / 1e9).min(cfg.peak_tops() * 1000.0);
+    RooflinePoint {
+        label: format!("{}-{}", cfg.setting.name(), cfg.array_h),
+        ops_per_byte,
+        gops: report.tops() * 1000.0,
+        peak_gops: cfg.peak_tops() * 1000.0,
+        bandwidth_roof_gops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HwSetting;
+    use crate::workloads;
+
+    #[test]
+    fn compression_raises_operational_intensity() {
+        let net = workloads::resnet18();
+        let base = roofline_point(&HwConfig::new(HwSetting::Ews, 64).unwrap(), &net);
+        let cms = roofline_point(&HwConfig::new(HwSetting::EwsCms, 64).unwrap(), &net);
+        // loading indices instead of weights multiplies ops/byte by ~CR
+        assert!(
+            cms.ops_per_byte > base.ops_per_byte * 4.0,
+            "cms {} vs base {}",
+            cms.ops_per_byte,
+            base.ops_per_byte
+        );
+    }
+
+    #[test]
+    fn large_dense_arrays_are_bandwidth_bound() {
+        let net = workloads::resnet18();
+        let p64 = roofline_point(&HwConfig::new(HwSetting::Ews, 64).unwrap(), &net);
+        assert!(p64.is_bandwidth_bound(), "{p64:?}");
+        let p16 = roofline_point(&HwConfig::new(HwSetting::Ews, 16).unwrap(), &net);
+        // a 16x16 array has a 16x lower compute roof: not bandwidth bound
+        assert!(!p16.is_bandwidth_bound(), "{p16:?}");
+    }
+
+    #[test]
+    fn achieved_below_roofs() {
+        let net = workloads::resnet50();
+        for setting in [HwSetting::Ews, HwSetting::EwsCms] {
+            for size in [16usize, 32, 64] {
+                let p = roofline_point(&HwConfig::new(setting, size).unwrap(), &net);
+                assert!(p.gops <= p.peak_gops * 1.001, "{p:?}");
+                assert!(p.gops <= p.bandwidth_roof_gops * 1.6, "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let p = roofline_point(
+            &HwConfig::new(HwSetting::EwsCms, 32).unwrap(),
+            &workloads::resnet18(),
+        );
+        assert_eq!(p.label, "EWS-CMS-32");
+    }
+}

@@ -1,0 +1,298 @@
+//! Workload definitions: the convolution layer shapes of the five networks
+//! the paper evaluates (§7.1), at their real ImageNet input sizes.
+//!
+//! The simulator only needs layer *shapes* (no weights), so these are the
+//! actual architectures, not the scaled-down training models of `mvq-nn`.
+
+/// One convolution layer's shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Input channels.
+    pub cin: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Input feature-map side (square).
+    pub in_size: usize,
+    /// How many times this shape repeats in the network.
+    pub repeats: usize,
+    /// Depthwise convolution (maps to the array diagonal; excluded from
+    /// MVQ per §7.5).
+    pub depthwise: bool,
+}
+
+impl ConvShape {
+    /// A dense conv layer.
+    pub const fn new(
+        cin: usize,
+        cout: usize,
+        kernel: usize,
+        stride: usize,
+        in_size: usize,
+        repeats: usize,
+    ) -> ConvShape {
+        ConvShape { cin, cout, kernel, stride, in_size, repeats, depthwise: false }
+    }
+
+    /// A depthwise conv layer.
+    pub const fn dw(ch: usize, kernel: usize, stride: usize, in_size: usize) -> ConvShape {
+        ConvShape {
+            cin: ch,
+            cout: ch,
+            kernel,
+            stride,
+            in_size,
+            repeats: 1,
+            depthwise: true,
+        }
+    }
+
+    /// Output feature-map side, assuming "same" padding.
+    pub fn out_size(&self) -> usize {
+        self.in_size.div_ceil(self.stride)
+    }
+
+    /// Multiply-accumulates for one instance of this layer.
+    pub fn macs(&self) -> u64 {
+        let e2 = (self.out_size() * self.out_size()) as u64;
+        let cpg = if self.depthwise { 1 } else { self.cin } as u64;
+        self.cout as u64 * cpg * (self.kernel * self.kernel) as u64 * e2
+    }
+
+    /// Weight element count for one instance.
+    pub fn weight_elems(&self) -> u64 {
+        let cpg = if self.depthwise { 1 } else { self.cin } as u64;
+        self.cout as u64 * cpg * (self.kernel * self.kernel) as u64
+    }
+
+    /// Input feature-map elements.
+    pub fn ifmap_elems(&self) -> u64 {
+        (self.cin * self.in_size * self.in_size) as u64
+    }
+
+    /// Output feature-map elements.
+    pub fn ofmap_elems(&self) -> u64 {
+        (self.cout * self.out_size() * self.out_size()) as u64
+    }
+}
+
+/// A network workload: a name plus its conv layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    /// Display name.
+    pub name: &'static str,
+    /// Layers in execution order.
+    pub layers: Vec<ConvShape>,
+}
+
+impl Network {
+    /// Total MACs including repeats.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs() * l.repeats as u64).sum()
+    }
+
+    /// Total weight elements including repeats.
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(|l| l.weight_elems() * l.repeats as u64).sum()
+    }
+
+    /// Only the pointwise (1×1) layers — used for the MobileNet rows of
+    /// Fig. 20, which the paper restricts to pointwise convolutions.
+    pub fn pointwise_only(&self) -> Network {
+        Network {
+            name: self.name,
+            layers: self
+                .layers
+                .iter()
+                .filter(|l| l.kernel == 1 && !l.depthwise)
+                .copied()
+                .collect(),
+        }
+    }
+}
+
+/// ResNet-18 at 224×224 (ImageNet).
+pub fn resnet18() -> Network {
+    Network {
+        name: "ResNet18",
+        layers: vec![
+            ConvShape::new(3, 64, 7, 2, 224, 1),
+            ConvShape::new(64, 64, 3, 1, 56, 4),
+            ConvShape::new(64, 128, 3, 2, 56, 1),
+            ConvShape::new(128, 128, 3, 1, 28, 3),
+            ConvShape::new(64, 128, 1, 2, 56, 1), // projection
+            ConvShape::new(128, 256, 3, 2, 28, 1),
+            ConvShape::new(256, 256, 3, 1, 14, 3),
+            ConvShape::new(128, 256, 1, 2, 28, 1),
+            ConvShape::new(256, 512, 3, 2, 14, 1),
+            ConvShape::new(512, 512, 3, 1, 7, 3),
+            ConvShape::new(256, 512, 1, 2, 14, 1),
+        ],
+    }
+}
+
+/// ResNet-50 at 224×224.
+pub fn resnet50() -> Network {
+    let mut layers = vec![ConvShape::new(3, 64, 7, 2, 224, 1)];
+    // bottleneck stages: (in, mid, out, size, blocks, stride)
+    let stages = [
+        (64usize, 64usize, 256usize, 56usize, 3usize, 1usize),
+        (256, 128, 512, 56, 4, 2),
+        (512, 256, 1024, 28, 6, 2),
+        (1024, 512, 2048, 14, 3, 2),
+    ];
+    for &(inc, mid, out, size, blocks, stride) in &stages {
+        // first block (with projection)
+        layers.push(ConvShape::new(inc, mid, 1, 1, size, 1));
+        layers.push(ConvShape::new(mid, mid, 3, stride, size, 1));
+        layers.push(ConvShape::new(mid, out, 1, 1, size / stride, 1));
+        layers.push(ConvShape::new(inc, out, 1, stride, size, 1));
+        // remaining blocks
+        let s2 = size / stride;
+        layers.push(ConvShape::new(out, mid, 1, 1, s2, blocks - 1));
+        layers.push(ConvShape::new(mid, mid, 3, 1, s2, blocks - 1));
+        layers.push(ConvShape::new(mid, out, 1, 1, s2, blocks - 1));
+    }
+    Network { name: "ResNet50", layers }
+}
+
+/// VGG-16 at 224×224.
+pub fn vgg16() -> Network {
+    Network {
+        name: "VGG16",
+        layers: vec![
+            ConvShape::new(3, 64, 3, 1, 224, 1),
+            ConvShape::new(64, 64, 3, 1, 224, 1),
+            ConvShape::new(64, 128, 3, 1, 112, 1),
+            ConvShape::new(128, 128, 3, 1, 112, 1),
+            ConvShape::new(128, 256, 3, 1, 56, 1),
+            ConvShape::new(256, 256, 3, 1, 56, 2),
+            ConvShape::new(256, 512, 3, 1, 28, 1),
+            ConvShape::new(512, 512, 3, 1, 28, 2),
+            ConvShape::new(512, 512, 3, 1, 14, 3),
+        ],
+    }
+}
+
+/// AlexNet at 227×227.
+pub fn alexnet() -> Network {
+    Network {
+        name: "AlexNet",
+        layers: vec![
+            ConvShape::new(3, 64, 11, 4, 227, 1),
+            ConvShape::new(64, 192, 5, 1, 27, 1),
+            ConvShape::new(192, 384, 3, 1, 13, 1),
+            ConvShape::new(384, 256, 3, 1, 13, 1),
+            ConvShape::new(256, 256, 3, 1, 13, 1),
+        ],
+    }
+}
+
+/// MobileNet-v1 at 224×224 (depthwise-separable stacks).
+pub fn mobilenet_v1() -> Network {
+    let mut layers = vec![ConvShape::new(3, 32, 3, 2, 224, 1)];
+    // (channels-in, channels-out, stride, size) of the separable blocks
+    let blocks = [
+        (32usize, 64usize, 1usize, 112usize),
+        (64, 128, 2, 112),
+        (128, 128, 1, 56),
+        (128, 256, 2, 56),
+        (256, 256, 1, 28),
+        (256, 512, 2, 28),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 1024, 2, 14),
+        (1024, 1024, 1, 7),
+    ];
+    for &(cin, cout, stride, size) in &blocks {
+        layers.push(ConvShape::dw(cin, 3, stride, size));
+        layers.push(ConvShape::new(cin, cout, 1, 1, size / stride, 1));
+    }
+    Network { name: "MobileNet", layers }
+}
+
+/// The five evaluation networks of §7.1.
+pub fn all_networks() -> Vec<Network> {
+    vec![resnet18(), resnet50(), vgg16(), mobilenet_v1(), alexnet()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_macs_near_published() {
+        // published: ~1.8 GMACs for 224x224 ResNet-18 convs
+        let g = resnet18().total_macs() as f64 / 1e9;
+        assert!((1.5..2.1).contains(&g), "ResNet-18 GMACs {g}");
+    }
+
+    #[test]
+    fn resnet50_macs_near_published() {
+        // published: ~4.1 GMACs
+        let g = resnet50().total_macs() as f64 / 1e9;
+        assert!((3.4..4.6).contains(&g), "ResNet-50 GMACs {g}");
+    }
+
+    #[test]
+    fn vgg16_macs_near_published() {
+        // published: ~15.3 GMACs for the conv layers
+        let g = vgg16().total_macs() as f64 / 1e9;
+        assert!((13.0..17.0).contains(&g), "VGG-16 GMACs {g}");
+    }
+
+    #[test]
+    fn mobilenet_macs_near_published() {
+        // published: ~0.57 GMACs
+        let g = mobilenet_v1().total_macs() as f64 / 1e9;
+        assert!((0.4..0.75).contains(&g), "MobileNet GMACs {g}");
+    }
+
+    #[test]
+    fn alexnet_macs_near_published() {
+        // published: ~0.7 GMACs for conv layers
+        let g = alexnet().total_macs() as f64 / 1e9;
+        assert!((0.5..0.9).contains(&g), "AlexNet GMACs {g}");
+    }
+
+    #[test]
+    fn weight_counts_sane() {
+        // ResNet-18 convs hold ~11M params; VGG-16 convs ~14.7M
+        let w18 = resnet18().total_weights() as f64 / 1e6;
+        assert!((9.0..12.5).contains(&w18), "ResNet-18 Mparams {w18}");
+        let wv = vgg16().total_weights() as f64 / 1e6;
+        assert!((13.0..16.0).contains(&wv), "VGG-16 Mparams {wv}");
+    }
+
+    #[test]
+    fn out_size_math() {
+        let l = ConvShape::new(3, 64, 7, 2, 224, 1);
+        assert_eq!(l.out_size(), 112);
+        assert_eq!(ConvShape::new(64, 64, 3, 1, 56, 1).out_size(), 56);
+    }
+
+    #[test]
+    fn depthwise_macs_use_single_channel() {
+        let dw = ConvShape::dw(128, 3, 1, 28);
+        assert_eq!(dw.macs(), 128 * 9 * 28 * 28);
+        assert!(dw.depthwise);
+    }
+
+    #[test]
+    fn pointwise_filter_works() {
+        let pw = mobilenet_v1().pointwise_only();
+        assert!(pw.layers.iter().all(|l| l.kernel == 1 && !l.depthwise));
+        assert!(!pw.layers.is_empty());
+    }
+
+    #[test]
+    fn all_networks_has_five() {
+        assert_eq!(all_networks().len(), 5);
+    }
+}

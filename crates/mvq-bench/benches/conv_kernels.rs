@@ -1,0 +1,41 @@
+//! Criterion bench: the CNN substrate's hot kernels (GEMM, im2col conv
+//! forward/backward) that bound experiment wall-clock time.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mvq_nn::layers::Conv2d;
+use mvq_tensor::{gemm, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    let mut rng = StdRng::seed_from_u64(0);
+    for &n in &[64usize, 256] {
+        let a = mvq_tensor::kaiming_normal(vec![n, n], n, &mut rng);
+        let b = mvq_tensor::kaiming_normal(vec![n, n], n, &mut rng);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_function(format!("{n}x{n}x{n}"), |bch| bch.iter(|| gemm(&a, &b).unwrap()));
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut conv = Conv2d::new(32, 64, 3, 1, 1, 1, false, &mut rng);
+    let x = mvq_tensor::uniform(vec![8, 32, 16, 16], -1.0, 1.0, &mut rng);
+    group.bench_function("fwd_8x32x16x16_to_64", |b| {
+        b.iter(|| conv.forward(&x, false).unwrap())
+    });
+    group.bench_function("fwd_bwd_8x32x16x16_to_64", |b| {
+        b.iter(|| {
+            let y = conv.forward(&x, true).unwrap();
+            conv.backward(&Tensor::ones(y.dims().to_vec())).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_conv);
+criterion_main!(benches);

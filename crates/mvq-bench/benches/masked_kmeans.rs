@@ -1,0 +1,62 @@
+//! Criterion bench: masked k-means — factored vs naive assignment.
+//!
+//! The ablation behind the implementation note in
+//! `mvq_core::masked_kmeans`: grouping subvectors by mask pattern turns the
+//! per-row masked distance into one GEMM plus per-pattern codeword norms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvq_core::{masked_assign_naive, masked_kmeans, prune_matrix_nm, KmeansConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("masked_assignment");
+    for &(ng, k) in &[(1024usize, 64usize), (4096, 128)] {
+        let d = 16;
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = mvq_tensor::kaiming_normal(vec![ng, d], d, &mut rng);
+        let (pruned, mask) = prune_matrix_nm(&w, 4, 16).unwrap();
+        let centers = mvq_tensor::kaiming_normal(vec![k, d], d, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("ng{ng}_k{k}")),
+            &(),
+            |b, _| b.iter(|| masked_assign_naive(&pruned, &mask, &centers)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_clustering_factored", format!("ng{ng}_k{k}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    // one factored iteration (init + assign + update)
+                    let cfg = KmeansConfig { k, max_iters: 1, tol_frac: 1.0 };
+                    masked_kmeans(&pruned, &mask, &cfg, &mut StdRng::seed_from_u64(1)).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("masked_kmeans_converged");
+    group.sample_size(10);
+    let d = 16;
+    let mut rng = StdRng::seed_from_u64(2);
+    let w = mvq_tensor::kaiming_normal(vec![4096, d], d, &mut rng);
+    let (pruned, mask) = prune_matrix_nm(&w, 4, 16).unwrap();
+    group.bench_function("ng4096_k64_tol0.1pct", |b| {
+        b.iter(|| {
+            masked_kmeans(
+                &pruned,
+                &mask,
+                &KmeansConfig::new(64),
+                &mut StdRng::seed_from_u64(3),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment, bench_convergence);
+criterion_main!(benches);

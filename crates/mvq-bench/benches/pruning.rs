@@ -1,0 +1,44 @@
+//! Criterion bench: N:M magnitude pruning and mask-LUT encode/decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mvq_core::{prune_matrix_nm, MaskLut};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_prune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune_nm");
+    for &ng in &[1024usize, 16384] {
+        let d = 16;
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = mvq_tensor::kaiming_normal(vec![ng, d], d, &mut rng);
+        group.throughput(Throughput::Elements((ng * d) as u64));
+        group.bench_with_input(BenchmarkId::new("4:16", ng), &(), |b, _| {
+            b.iter(|| prune_matrix_nm(&w, 4, 16).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("2:4", ng), &(), |b, _| {
+            b.iter(|| prune_matrix_nm(&w, 2, 4).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mask_lut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mask_lut");
+    let lut = MaskLut::new(4, 16).unwrap();
+    let masks: Vec<Vec<bool>> =
+        (0..lut.len() as u32).map(|i| lut.decode(i).unwrap().to_vec()).collect();
+    group.bench_function("encode_all_1820", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for m in &masks {
+                acc += lut.encode(m).unwrap() as u64;
+            }
+            acc
+        })
+    });
+    group.bench_function("build_4of16", |b| b.iter(|| MaskLut::new(4, 16).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_prune, bench_mask_lut);
+criterion_main!(benches);

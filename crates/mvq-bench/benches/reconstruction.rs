@@ -1,0 +1,29 @@
+//! Criterion bench: weight decode (codebook lookup + mask bit-select) —
+//! the software model of the accelerator's assignment-aware weight loader.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mvq_core::{MvqCompressor, MvqConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconstruct");
+    for &ng in &[1024usize, 8192] {
+        let d = 16;
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = mvq_tensor::kaiming_normal(vec![ng, d], d, &mut rng);
+        let cfg = MvqConfig::new(128.min(ng / 4), d, 4, 16).unwrap();
+        let compressed = MvqCompressor::new(cfg).compress_matrix(&w, &mut rng).unwrap();
+        group.throughput(Throughput::Elements((ng * d) as u64));
+        group.bench_with_input(BenchmarkId::new("grouped", ng), &(), |b, _| {
+            b.iter(|| compressed.reconstruct_grouped().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("to_original_dims", ng), &(), |b, _| {
+            b.iter(|| compressed.reconstruct().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconstruct);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: accelerator-simulation throughput — a full six-setting,
+//! three-size sweep of all five networks (the workload behind every
+//! hardware table/figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvq_accel::{simulate_network, workloads, HwConfig, HwSetting};
+
+fn bench_single(c: &mut Criterion) {
+    let net = workloads::resnet50();
+    let cfg = HwConfig::new(HwSetting::EwsCms, 64).unwrap();
+    c.bench_function("simulate_resnet50_ews_cms_64", |b| {
+        b.iter(|| simulate_network(&cfg, &net))
+    });
+}
+
+fn bench_full_sweep(c: &mut Criterion) {
+    let nets = workloads::all_networks();
+    c.bench_function("simulate_full_paper_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for net in &nets {
+                for setting in HwSetting::ALL {
+                    for size in [16usize, 32, 64] {
+                        let cfg = HwConfig::new(setting, size).unwrap();
+                        acc += simulate_network(&cfg, net).tops_per_watt();
+                    }
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_single, bench_full_sweep);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! `paper` — regenerate any table or figure of the MVQ paper.
+//!
+//! ```text
+//! paper <experiment>... [--quick]
+//!
+//! experiments: table1 table2 table3 table4 table5 table6 table7 table8
+//!              table9 fig10 fig11 fig13 fig14 fig15 fig16 fig17 fig18
+//!              fig19 fig20 | hw | alg | all
+//! ```
+//!
+//! Hardware experiments (tables 2/7/8/9, figs 14-20) run in seconds.
+//! Algorithm experiments train the lite model zoo on synthetic data;
+//! run them with `--release` (and optionally `--quick` for a smoke pass).
+
+use std::process::ExitCode;
+
+use mvq_bench::{hw, tables, ExperimentConfig};
+
+const HW_EXPERIMENTS: [&str; 10] = [
+    "table2", "table7", "table8", "table9", "fig14", "fig15", "fig16", "fig17", "fig18", "fig20",
+];
+const ALG_EXPERIMENTS: [&str; 8] =
+    ["table1", "table3", "table4", "table5", "table6", "fig10", "fig11", "fig13"];
+const EXT_EXPERIMENTS: [&str; 2] = ["ext1", "ext2"];
+
+fn run_one(name: &str, cfg: &ExperimentConfig) -> Option<String> {
+    let out = match name {
+        "table1" => tables::table1(cfg),
+        "table2" => hw::table2(),
+        "table3" => tables::table3(cfg),
+        "table4" => tables::table4(cfg),
+        "table5" => tables::table5(cfg),
+        "table6" => tables::table6(cfg),
+        "table7" => hw::table7(),
+        "table8" => hw::table8(),
+        "table9" => hw::table9(),
+        "fig10" => tables::fig10(cfg),
+        "fig11" => tables::fig11(cfg),
+        "fig13" => tables::fig13(cfg),
+        "fig14" => hw::fig14(),
+        "fig15" => hw::fig15(),
+        "fig16" => hw::fig16(),
+        "fig17" => hw::fig17(),
+        "fig18" => hw::fig18(),
+        "fig19" => hw::fig19(),
+        "fig20" => hw::fig20(),
+        "ext1" => mvq_bench::ext::ext1(cfg),
+        "ext2" => mvq_bench::ext::ext2(cfg),
+        _ => return None,
+    };
+    Some(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
+    let mut requested: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
+    if requested.is_empty() {
+        eprintln!(
+            "usage: paper <experiment>... [--quick]\n\
+             experiments: {} {} fig19 ext1 ext2 | hw | alg | ext | all",
+            HW_EXPERIMENTS.join(" "),
+            ALG_EXPERIMENTS.join(" ")
+        );
+        return ExitCode::FAILURE;
+    }
+    // expand group names
+    let mut expanded = Vec::new();
+    for r in requested.drain(..) {
+        match r.as_str() {
+            "hw" => {
+                expanded.extend(HW_EXPERIMENTS.iter().map(|s| s.to_string()));
+                expanded.push("fig19".into());
+            }
+            "alg" => expanded.extend(ALG_EXPERIMENTS.iter().map(|s| s.to_string())),
+            "ext" => expanded.extend(EXT_EXPERIMENTS.iter().map(|s| s.to_string())),
+            "all" => {
+                expanded.extend(ALG_EXPERIMENTS.iter().map(|s| s.to_string()));
+                expanded.extend(HW_EXPERIMENTS.iter().map(|s| s.to_string()));
+                expanded.push("fig19".into());
+                expanded.extend(EXT_EXPERIMENTS.iter().map(|s| s.to_string()));
+            }
+            other => expanded.push(other.to_string()),
+        }
+    }
+    expanded.dedup();
+    for name in &expanded {
+        match run_one(name, &cfg) {
+            Some(out) => {
+                println!("{out}");
+            }
+            None => {
+                eprintln!("unknown experiment `{name}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

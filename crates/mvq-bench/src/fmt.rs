@@ -1,0 +1,104 @@
+//! Plain-text table rendering for the experiment reports.
+
+/// Renders a table with a header row, separator and aligned columns.
+///
+/// ```
+/// let t = mvq_bench::fmt::render_table(
+///     &["model", "acc"],
+///     &[vec!["ResNet-18".into(), "68.8".into()]],
+/// );
+/// assert!(t.contains("ResNet-18"));
+/// ```
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line += &format!(" {cell:<w$} |");
+        }
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out += &fmt_row(&header_cells, &widths);
+    out.push('\n');
+    out += "|";
+    for w in &widths {
+        out += &format!("{}-|", "-".repeat(w + 2 - 1));
+    }
+    out.push('\n');
+    for row in rows {
+        let mut cells = row.clone();
+        cells.resize(cols, String::new());
+        out += &fmt_row(&cells, &widths);
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with `digits` decimals.
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats giga-scale values ("1.81G"), falling back to mega units for
+/// small models ("45.2M").
+pub fn giga(v: f64) -> String {
+    if v < 1e8 {
+        format!("{:.1}M", v / 1e6)
+    } else {
+        format!("{:.2}G", v / 1e9)
+    }
+}
+
+/// Formats a ratio like "22.3x".
+pub fn ratio(v: f64) -> String {
+    format!("{v:.1}x")
+}
+
+/// Formats a percentage like "75%".
+pub fn pct(v: f64) -> String {
+    format!("{:.0}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all lines same width
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[0].contains("long-header"));
+    }
+
+    #[test]
+    fn numeric_formats() {
+        assert_eq!(f(1.2345, 2), "1.23");
+        assert_eq!(giga(1.81e9), "1.81G");
+        assert_eq!(giga(45.2e6), "45.2M");
+        assert_eq!(ratio(22.34), "22.3x");
+        assert_eq!(pct(0.75), "75%");
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let t = render_table(&["a", "b"], &[vec!["only".into()]]);
+        assert!(t.lines().count() == 3);
+    }
+}

@@ -1,0 +1,252 @@
+//! Conventional vector quantization — ablation cases A, B and C (paper
+//! Fig. 12, Table 3).
+
+use mvq_tensor::Tensor;
+use rand::Rng;
+
+use crate::codebook::{Assignments, Codebook};
+use crate::compress::CompressedMatrix;
+use crate::error::MvqError;
+use crate::grouping::GroupingStrategy;
+use crate::kmeans::{kmeans, KmeansConfig};
+use crate::mask::NmMask;
+use crate::metrics::{vq_compression_ratio, StorageBreakdown};
+use crate::pruning::prune_matrix_nm;
+
+/// A maskless VQ-compressed weight (cases A and B): codebook +
+/// assignments, reconstructed densely.
+#[derive(Debug, Clone)]
+pub struct DenseVq {
+    codebook: Codebook,
+    assignments: Assignments,
+    orig_dims: Vec<usize>,
+    grouping: GroupingStrategy,
+    d: usize,
+    /// Clustering SSE at convergence.
+    pub sse: f32,
+}
+
+impl DenseVq {
+    /// Assembles a [`DenseVq`] from a clustering result (shared with the
+    /// PQF/BGD baselines).
+    pub(crate) fn from_clustering(
+        res: crate::kmeans::KmeansResult,
+        orig_dims: Vec<usize>,
+        grouping: GroupingStrategy,
+        d: usize,
+    ) -> DenseVq {
+        DenseVq {
+            codebook: res.codebook,
+            assignments: res.assignments,
+            orig_dims,
+            grouping,
+            d,
+            sse: res.sse,
+        }
+    }
+
+    /// The codebook.
+    pub fn codebook(&self) -> &Codebook {
+        &self.codebook
+    }
+
+    /// The assignments.
+    pub fn assignments(&self) -> &Assignments {
+        &self.assignments
+    }
+
+    /// Reconstructs the dense weight in original dims (every lane comes
+    /// from the codeword; nothing is masked).
+    ///
+    /// # Errors
+    ///
+    /// Propagates grouping errors.
+    pub fn reconstruct(&self) -> Result<Tensor, MvqError> {
+        let ng = self.assignments.len();
+        let mut grouped = Tensor::zeros(vec![ng, self.d]);
+        for j in 0..ng {
+            grouped
+                .row_mut(j)
+                .copy_from_slice(self.codebook.codeword(self.assignments.of(j)));
+        }
+        self.grouping.ungroup(&grouped, &self.orig_dims, self.d)
+    }
+
+    /// Storage breakdown (no mask bits).
+    pub fn storage(&self) -> StorageBreakdown {
+        vq_compression_ratio(self.assignments.len(), &self.codebook)
+    }
+}
+
+/// Case A: dense weights, common k-means, dense reconstruction — the
+/// simplest VQ procedure.
+///
+/// # Errors
+///
+/// Propagates grouping/clustering errors.
+pub fn vq_case_a<R: Rng>(
+    weight: &Tensor,
+    k: usize,
+    d: usize,
+    grouping: GroupingStrategy,
+    codebook_bits: Option<u32>,
+    rng: &mut R,
+) -> Result<DenseVq, MvqError> {
+    let grouped = grouping.group(weight, d)?;
+    let mut res = kmeans(&grouped, &KmeansConfig::new(k), None, rng)?;
+    if let Some(b) = codebook_bits {
+        res.codebook.quantize(b)?;
+    }
+    Ok(DenseVq {
+        codebook: res.codebook,
+        assignments: res.assignments,
+        orig_dims: weight.dims().to_vec(),
+        grouping,
+        d,
+        sse: res.sse,
+    })
+}
+
+/// Case B: N:M-pruned weights, common k-means, dense reconstruction — the
+/// mask is *not* stored, so reconstruction does not re-zero pruned lanes
+/// and FLOPs are not reduced.
+///
+/// # Errors
+///
+/// Propagates grouping/pruning/clustering errors.
+#[allow(clippy::too_many_arguments)]
+pub fn vq_case_b<R: Rng>(
+    weight: &Tensor,
+    k: usize,
+    d: usize,
+    keep_n: usize,
+    m: usize,
+    grouping: GroupingStrategy,
+    codebook_bits: Option<u32>,
+    rng: &mut R,
+) -> Result<DenseVq, MvqError> {
+    let grouped = grouping.group(weight, d)?;
+    let (pruned, _mask) = prune_matrix_nm(&grouped, keep_n, m)?;
+    let mut res = kmeans(&pruned, &KmeansConfig::new(k), None, rng)?;
+    if let Some(b) = codebook_bits {
+        res.codebook.quantize(b)?;
+    }
+    Ok(DenseVq {
+        codebook: res.codebook,
+        assignments: res.assignments,
+        orig_dims: weight.dims().to_vec(),
+        grouping,
+        d,
+        sse: res.sse,
+    })
+}
+
+/// Case C: N:M-pruned weights, *common* k-means, sparse reconstruction —
+/// the mask is stored and applied at decode, but clustering ignored it, so
+/// codewords are dragged toward the structural zeros.
+///
+/// # Errors
+///
+/// Propagates grouping/pruning/clustering errors.
+#[allow(clippy::too_many_arguments)]
+pub fn vq_case_c<R: Rng>(
+    weight: &Tensor,
+    k: usize,
+    d: usize,
+    keep_n: usize,
+    m: usize,
+    grouping: GroupingStrategy,
+    codebook_bits: Option<u32>,
+    rng: &mut R,
+) -> Result<(CompressedMatrix, NmMask), MvqError> {
+    let grouped = grouping.group(weight, d)?;
+    let (pruned, mask) = prune_matrix_nm(&grouped, keep_n, m)?;
+    let mut res = kmeans(&pruned, &KmeansConfig::new(k), None, rng)?;
+    if let Some(b) = codebook_bits {
+        res.codebook.quantize(b)?;
+    }
+    let cm = CompressedMatrix::from_parts(
+        res.codebook,
+        res.assignments,
+        mask.clone(),
+        weight.dims().to_vec(),
+        grouping,
+    )?;
+    Ok((cm, mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::masked_kmeans::masked_sse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn weight(seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        mvq_tensor::kaiming_normal(vec![32, 8, 3, 3], 72, &mut rng)
+    }
+
+    #[test]
+    fn case_a_reconstruction_is_dense() {
+        let w = weight(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let vq =
+            vq_case_a(&w, 16, 8, GroupingStrategy::OutputChannelWise, Some(8), &mut rng).unwrap();
+        let r = vq.reconstruct().unwrap();
+        assert_eq!(r.dims(), w.dims());
+        assert!(r.sparsity() < 0.2, "dense reconstruction, sparsity {}", r.sparsity());
+        assert_eq!(vq.storage().mask_bits, 0);
+    }
+
+    #[test]
+    fn case_b_clusters_sparse_but_reconstructs_dense() {
+        let w = weight(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let vq = vq_case_b(&w, 16, 8, 2, 8, GroupingStrategy::OutputChannelWise, Some(8), &mut rng)
+            .unwrap();
+        let r = vq.reconstruct().unwrap();
+        // codewords carry many near-zero lanes but reconstruction is not
+        // exactly sparse
+        assert_eq!(r.dims(), w.dims());
+        assert_eq!(vq.storage().mask_bits, 0);
+    }
+
+    #[test]
+    fn case_c_reconstruction_is_sparse() {
+        let w = weight(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (cm, mask) =
+            vq_case_c(&w, 16, 8, 2, 8, GroupingStrategy::OutputChannelWise, Some(8), &mut rng)
+                .unwrap();
+        let r = cm.reconstruct().unwrap();
+        assert!((r.sparsity() - 0.75).abs() < 0.05, "sparsity {}", r.sparsity());
+        assert_eq!(mask.sparsity(), 0.75);
+        assert!(cm.storage().mask_bits > 0);
+    }
+
+    #[test]
+    fn masked_kmeans_beats_case_c_on_masked_sse() {
+        // The paper's Table 3 headline: (D) masked k-means reaches much
+        // lower masked SSE than (C) common k-means on sparse weights.
+        let w = weight(6);
+        let grouping = GroupingStrategy::OutputChannelWise;
+        let (cm_c, mask) =
+            vq_case_c(&w, 16, 16, 4, 16, grouping, None, &mut StdRng::seed_from_u64(7)).unwrap();
+        let grouped = grouping.group(&w, 16).unwrap();
+        let (pruned, _) = crate::pruning::prune_matrix_nm(&grouped, 4, 16).unwrap();
+        let sse_c = masked_sse(&pruned, &mask, cm_c.codebook(), cm_c.assignments()).unwrap();
+        let d_res = crate::masked_kmeans::masked_kmeans(
+            &pruned,
+            &mask,
+            &KmeansConfig::new(16),
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        assert!(
+            d_res.sse < sse_c * 0.9,
+            "masked {} should be well below case C {sse_c}",
+            d_res.sse
+        );
+    }
+}

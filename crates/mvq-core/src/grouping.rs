@@ -1,0 +1,286 @@
+//! Weight grouping strategies (paper Fig. 3).
+//!
+//! A 4-D conv weight `[K, C, R, S]` (output channels, input channels,
+//! kernel height, kernel width) is reshaped into a 2-D matrix of subvectors
+//! of length `d` along one of three axes:
+//!
+//! * **kernel-wise** — each subvector is one `R×S` kernel plane
+//!   (`d = R*S`, `R1 = K × C` subvectors);
+//! * **output-channel-wise** — each subvector spans `d` consecutive output
+//!   channels at a fixed `(c, r, s)` coordinate (`K` must be a multiple of
+//!   `d`); this is the strategy the paper chooses, because it matches the
+//!   accelerator's output-channel parallelism;
+//! * **input-channel-wise** — symmetric, spanning input channels.
+
+use mvq_tensor::Tensor;
+
+use crate::error::MvqError;
+
+/// How weights are split into subvectors of length `d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GroupingStrategy {
+    /// One subvector per `R×S` kernel plane; requires `d == R*S`.
+    KernelWise,
+    /// Subvectors span `d` consecutive output channels (paper's choice).
+    #[default]
+    OutputChannelWise,
+    /// Subvectors span `d` consecutive input channels.
+    InputChannelWise,
+}
+
+impl GroupingStrategy {
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GroupingStrategy::KernelWise => "kernel-wise",
+            GroupingStrategy::OutputChannelWise => "output-wise",
+            GroupingStrategy::InputChannelWise => "input-wise",
+        }
+    }
+
+    /// Reshapes a 4-D weight `[K, C, R, S]` into a `[NG, d]` subvector
+    /// matrix. 2-D inputs `[rows, cols]` are treated as `[K=rows,
+    /// C=cols, R=1, S=1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::IncompatibleShape`] when the weight cannot be
+    /// split evenly with this strategy and `d`.
+    pub fn group(&self, weight: &Tensor, d: usize) -> Result<Tensor, MvqError> {
+        let (k, c, r, s) = as4(weight)?;
+        if d == 0 {
+            return Err(MvqError::InvalidConfig("d must be positive".into()));
+        }
+        match self {
+            GroupingStrategy::KernelWise => {
+                if r * s != d {
+                    return Err(MvqError::IncompatibleShape {
+                        dims: weight.dims().to_vec(),
+                        detail: format!("kernel-wise grouping needs d == R*S ({})", r * s),
+                    });
+                }
+                // [K, C, R, S] rows are already contiguous kernel planes.
+                Ok(weight.reshape(vec![k * c, d])?)
+            }
+            GroupingStrategy::OutputChannelWise => {
+                if k % d != 0 {
+                    return Err(MvqError::IncompatibleShape {
+                        dims: weight.dims().to_vec(),
+                        detail: format!("output-wise grouping needs K % d == 0 (K={k}, d={d})"),
+                    });
+                }
+                // subvector (kb, c, r, s)[t] = W[kb*d + t, c, r, s]
+                let ng = (k / d) * c * r * s;
+                let mut out = Tensor::zeros(vec![ng, d]);
+                let crs = c * r * s;
+                let src = weight.data();
+                let dst = out.data_mut();
+                for kb in 0..k / d {
+                    for pos in 0..crs {
+                        let row = kb * crs + pos;
+                        for t in 0..d {
+                            dst[row * d + t] = src[(kb * d + t) * crs + pos];
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            GroupingStrategy::InputChannelWise => {
+                if c % d != 0 {
+                    return Err(MvqError::IncompatibleShape {
+                        dims: weight.dims().to_vec(),
+                        detail: format!("input-wise grouping needs C % d == 0 (C={c}, d={d})"),
+                    });
+                }
+                let ng = k * (c / d) * r * s;
+                let mut out = Tensor::zeros(vec![ng, d]);
+                let rs = r * s;
+                let src = weight.data();
+                let dst = out.data_mut();
+                for ko in 0..k {
+                    for cb in 0..c / d {
+                        for pos in 0..rs {
+                            let row = (ko * (c / d) + cb) * rs + pos;
+                            for t in 0..d {
+                                dst[row * d + t] = src[(ko * c + cb * d + t) * rs + pos];
+                            }
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Inverse of [`GroupingStrategy::group`]: folds a `[NG, d]` matrix
+    /// back into the original weight dims.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::IncompatibleShape`] when `matrix` does not match
+    /// `orig_dims` under this strategy.
+    pub fn ungroup(
+        &self,
+        matrix: &Tensor,
+        orig_dims: &[usize],
+        d: usize,
+    ) -> Result<Tensor, MvqError> {
+        let dims4 = normalize_dims(orig_dims)?;
+        let (k, c, r, s) = (dims4[0], dims4[1], dims4[2], dims4[3]);
+        let expected_ng = k * c * r * s / d;
+        if matrix.dims() != [expected_ng, d] {
+            return Err(MvqError::IncompatibleShape {
+                dims: matrix.dims().to_vec(),
+                detail: format!("expected [{expected_ng}, {d}] for original dims {orig_dims:?}"),
+            });
+        }
+        let mut out = Tensor::zeros(orig_dims.to_vec());
+        let src = matrix.data();
+        let dst = out.data_mut();
+        match self {
+            GroupingStrategy::KernelWise => {
+                dst.copy_from_slice(src);
+            }
+            GroupingStrategy::OutputChannelWise => {
+                let crs = c * r * s;
+                for kb in 0..k / d {
+                    for pos in 0..crs {
+                        let row = kb * crs + pos;
+                        for t in 0..d {
+                            dst[(kb * d + t) * crs + pos] = src[row * d + t];
+                        }
+                    }
+                }
+            }
+            GroupingStrategy::InputChannelWise => {
+                let rs = r * s;
+                for ko in 0..k {
+                    for cb in 0..c / d {
+                        for pos in 0..rs {
+                            let row = (ko * (c / d) + cb) * rs + pos;
+                            for t in 0..d {
+                                dst[(ko * c + cb * d + t) * rs + pos] = src[row * d + t];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Display for GroupingStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn as4(t: &Tensor) -> Result<(usize, usize, usize, usize), MvqError> {
+    let dims4 = normalize_dims(t.dims())?;
+    Ok((dims4[0], dims4[1], dims4[2], dims4[3]))
+}
+
+fn normalize_dims(dims: &[usize]) -> Result<[usize; 4], MvqError> {
+    match dims.len() {
+        4 => Ok([dims[0], dims[1], dims[2], dims[3]]),
+        2 => Ok([dims[0], dims[1], 1, 1]),
+        _ => Err(MvqError::IncompatibleShape {
+            dims: dims.to_vec(),
+            detail: "grouping expects rank 2 or 4 weights".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq4(k: usize, c: usize, r: usize, s: usize) -> Tensor {
+        let n = k * c * r * s;
+        Tensor::from_vec(vec![k, c, r, s], (0..n).map(|x| x as f32).collect()).unwrap()
+    }
+
+    #[test]
+    fn kernel_wise_rows_are_kernel_planes() {
+        let w = seq4(2, 3, 2, 2);
+        let g = GroupingStrategy::KernelWise.group(&w, 4).unwrap();
+        assert_eq!(g.dims(), &[6, 4]);
+        // first kernel plane of W[0,0] = elements 0..4
+        assert_eq!(g.row(0), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(g.row(1), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn output_wise_spans_output_channels() {
+        let w = seq4(4, 2, 1, 1);
+        let g = GroupingStrategy::OutputChannelWise.group(&w, 2).unwrap();
+        assert_eq!(g.dims(), &[4, 2]);
+        // subvector 0: W[0,0], W[1,0] = 0, 2 (crs = 2)
+        assert_eq!(g.row(0), &[0.0, 2.0]);
+        // subvector 1: W[0,1], W[1,1] = 1, 3
+        assert_eq!(g.row(1), &[1.0, 3.0]);
+        // second block of output channels
+        assert_eq!(g.row(2), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn input_wise_spans_input_channels() {
+        let w = seq4(2, 4, 1, 1);
+        let g = GroupingStrategy::InputChannelWise.group(&w, 2).unwrap();
+        assert_eq!(g.dims(), &[4, 2]);
+        // subvector 0: W[0,0], W[0,1] = 0, 1
+        assert_eq!(g.row(0), &[0.0, 1.0]);
+        assert_eq!(g.row(1), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn round_trip_all_strategies() {
+        let w = seq4(4, 4, 3, 3);
+        for (strat, d) in [
+            (GroupingStrategy::KernelWise, 9),
+            (GroupingStrategy::OutputChannelWise, 4),
+            (GroupingStrategy::OutputChannelWise, 2),
+            (GroupingStrategy::InputChannelWise, 4),
+        ] {
+            let g = strat.group(&w, d).unwrap();
+            let back = strat.ungroup(&g, w.dims(), d).unwrap();
+            assert_eq!(back.data(), w.data(), "{strat} d={d}");
+        }
+    }
+
+    #[test]
+    fn round_trip_2d_weight() {
+        let w = Tensor::from_vec(vec![8, 4], (0..32).map(|x| x as f32).collect()).unwrap();
+        let g = GroupingStrategy::OutputChannelWise.group(&w, 4).unwrap();
+        assert_eq!(g.dims(), &[8, 4]);
+        let back = GroupingStrategy::OutputChannelWise.ungroup(&g, w.dims(), 4).unwrap();
+        assert_eq!(back.data(), w.data());
+    }
+
+    #[test]
+    fn incompatible_shapes_rejected() {
+        let w = seq4(3, 3, 3, 3);
+        assert!(GroupingStrategy::KernelWise.group(&w, 8).is_err());
+        assert!(GroupingStrategy::OutputChannelWise.group(&w, 2).is_err());
+        assert!(GroupingStrategy::InputChannelWise.group(&w, 2).is_err());
+        let m = Tensor::zeros(vec![5, 2]);
+        assert!(GroupingStrategy::OutputChannelWise.ungroup(&m, &[4, 4, 1, 1], 2).is_err());
+        assert!(GroupingStrategy::OutputChannelWise.group(&Tensor::zeros(vec![4]), 2).is_err());
+    }
+
+    #[test]
+    fn ng_counts_match_figure3() {
+        // Fig. 3: kernel-wise R1 = Cout*Cin; channel-wise R2 = Cout/d*Cin*k*k
+        let w = seq4(8, 4, 3, 3);
+        let g = GroupingStrategy::KernelWise.group(&w, 9).unwrap();
+        assert_eq!(g.dims()[0], 8 * 4);
+        let g = GroupingStrategy::OutputChannelWise.group(&w, 4).unwrap();
+        assert_eq!(g.dims()[0], (8 / 4) * 4 * 9);
+    }
+
+    #[test]
+    fn default_is_output_wise() {
+        assert_eq!(GroupingStrategy::default(), GroupingStrategy::OutputChannelWise);
+    }
+}

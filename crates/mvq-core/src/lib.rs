@@ -1,0 +1,62 @@
+//! # mvq-core — Masked Vector Quantization
+//!
+//! The paper's primary contribution (§4): a DNN weight-compression pipeline
+//! that (1) groups weights into subvectors, (2) removes unimportant weights
+//! with N:M pruning, (3) clusters the survivors with a *masked k-means*
+//! whose assignment distances and centroid updates ignore pruned lanes,
+//! (4) quantizes the codebook to int8 with an LSQ-learned scale, and
+//! (5) fine-tunes codewords with masked gradients (Eq. 6).
+//!
+//! Also included: the VQ baselines the paper compares against (plain VQ
+//! cases A/B/C of the ablation, PQF, BGD, PvQ) and the storage/FLOPs
+//! metrics of Eq. 7.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mvq_core::{MvqCompressor, MvqConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let weights = mvq_tensor::kaiming_normal(vec![256, 16], 16, &mut rng);
+//! let cfg = MvqConfig::new(64, 16, 4, 16)?; // k=64, d=16, 4:16 pruning
+//! let compressed = MvqCompressor::new(cfg).compress_matrix(&weights, &mut rng)?;
+//! let w_hat = compressed.reconstruct()?;
+//! // pruned positions are exactly zero
+//! assert!(w_hat.sparsity() >= 0.74);
+//! # Ok::<(), mvq_core::MvqError>(())
+//! ```
+
+// Indexed loops are the clearer idiom for the numeric kernels here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod baselines;
+
+mod codebook;
+mod compress;
+mod error;
+pub mod experiments;
+mod finetune;
+mod grouping;
+mod kmeans;
+mod mask;
+mod mask_lut;
+mod masked_kmeans;
+mod metrics;
+mod mixed_nm;
+mod model_compress;
+mod pruning;
+
+pub use codebook::{Assignments, Codebook};
+pub use compress::{CompressedMatrix, MvqCompressor, MvqConfig};
+pub use error::MvqError;
+pub use finetune::{finetune_codebooks, CodebookFinetuneConfig};
+pub use grouping::GroupingStrategy;
+pub use kmeans::{kmeans, KmeansConfig, KmeansResult};
+pub use mask::NmMask;
+pub use mask_lut::MaskLut;
+pub use mixed_nm::{search_mixed_nm, LayerPattern, MixedNmPlan};
+pub use masked_kmeans::{masked_assign_naive, masked_kmeans, masked_sse};
+pub use metrics::{mvq_compression_ratio, vq_compression_ratio, StorageBreakdown};
+pub use model_compress::{ClusterScope, CompressedModel, LayerCodebook, ModelCompressor};
+pub use pruning::{prune_matrix_nm, prune_model, sparse_finetune, PruneMethod, SparseFinetuneConfig};

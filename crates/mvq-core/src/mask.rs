@@ -1,0 +1,214 @@
+//! The N:M sparsity mask over a subvector matrix.
+
+use mvq_tensor::Tensor;
+
+use crate::error::MvqError;
+
+/// A binary keep/prune mask aligned with a `[NG, d]` subvector matrix.
+///
+/// Invariant: within every consecutive group of `m` lanes of every
+/// subvector, exactly `keep_n` entries are `true` (kept) — the paper's N:M
+/// structure with N = `keep_n` kept out of every M = `m` weights
+/// ("4:16 pruning" keeps 4 of 16 → 75 % sparsity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NmMask {
+    ng: usize,
+    d: usize,
+    keep_n: usize,
+    m: usize,
+    bits: Vec<bool>,
+}
+
+impl NmMask {
+    /// Builds a mask from raw bits, validating the N:M invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::InvalidConfig`] when the dimensions are
+    /// inconsistent or any M-group does not keep exactly `keep_n` entries.
+    pub fn from_bits(
+        ng: usize,
+        d: usize,
+        keep_n: usize,
+        m: usize,
+        bits: Vec<bool>,
+    ) -> Result<NmMask, MvqError> {
+        validate_nm(d, keep_n, m)?;
+        if bits.len() != ng * d {
+            return Err(MvqError::InvalidConfig(format!(
+                "mask bits {} != ng*d = {}",
+                bits.len(),
+                ng * d
+            )));
+        }
+        for row in 0..ng {
+            for g in 0..d / m {
+                let start = row * d + g * m;
+                let kept = bits[start..start + m].iter().filter(|&&b| b).count();
+                if kept != keep_n {
+                    return Err(MvqError::InvalidConfig(format!(
+                        "subvector {row} group {g} keeps {kept}, expected {keep_n}"
+                    )));
+                }
+            }
+        }
+        Ok(NmMask { ng, d, keep_n, m, bits })
+    }
+
+    /// Number of subvectors.
+    pub fn ng(&self) -> usize {
+        self.ng
+    }
+
+    /// Subvector length.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Kept entries per M-group (the paper's N).
+    pub fn keep_n(&self) -> usize {
+        self.keep_n
+    }
+
+    /// Group size (the paper's M).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Raw bits, row-major `[NG, d]`.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// The mask row for subvector `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= ng`.
+    pub fn row(&self, j: usize) -> &[bool] {
+        &self.bits[j * self.d..(j + 1) * self.d]
+    }
+
+    /// Fraction of pruned weights: `1 - N/M`.
+    pub fn sparsity(&self) -> f32 {
+        1.0 - self.keep_n as f32 / self.m as f32
+    }
+
+    /// Number of kept lanes per subvector: `Q = N/M × d` — the PE count of
+    /// the paper's sparse tile (§5.3).
+    pub fn kept_per_subvector(&self) -> usize {
+        self.keep_n * self.d / self.m
+    }
+
+    /// The mask as a 0.0/1.0 tensor of dims `[NG, d]`.
+    pub fn to_tensor(&self) -> Tensor {
+        let data = self.bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        Tensor::from_vec(vec![self.ng, self.d], data).expect("bits sized ng*d")
+    }
+
+    /// Applies the mask to a same-shaped matrix (zeroes pruned lanes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::IncompatibleShape`] when dims differ.
+    pub fn apply(&self, matrix: &Tensor) -> Result<Tensor, MvqError> {
+        if matrix.dims() != [self.ng, self.d] {
+            return Err(MvqError::IncompatibleShape {
+                dims: matrix.dims().to_vec(),
+                detail: format!("mask is [{}, {}]", self.ng, self.d),
+            });
+        }
+        let data = matrix
+            .data()
+            .iter()
+            .zip(&self.bits)
+            .map(|(&v, &b)| if b { v } else { 0.0 })
+            .collect();
+        Ok(Tensor::from_vec(vec![self.ng, self.d], data)?)
+    }
+}
+
+pub(crate) fn validate_nm(d: usize, keep_n: usize, m: usize) -> Result<(), MvqError> {
+    if m == 0 || keep_n == 0 {
+        return Err(MvqError::InvalidConfig("N and M must be positive".into()));
+    }
+    if keep_n > m {
+        return Err(MvqError::InvalidConfig(format!("N ({keep_n}) must be <= M ({m})")));
+    }
+    if !d.is_multiple_of(m) {
+        return Err(MvqError::InvalidConfig(format!("d ({d}) must be a multiple of M ({m})")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_2of4() -> NmMask {
+        // two subvectors of d=4, 2:4 keep pattern
+        NmMask::from_bits(
+            2,
+            4,
+            2,
+            4,
+            vec![true, true, false, false, false, true, true, false],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors_and_sparsity() {
+        let m = mask_2of4();
+        assert_eq!(m.ng(), 2);
+        assert_eq!(m.d(), 4);
+        assert_eq!(m.keep_n(), 2);
+        assert_eq!(m.m(), 4);
+        assert_eq!(m.sparsity(), 0.5);
+        assert_eq!(m.kept_per_subvector(), 2);
+        assert_eq!(m.row(1), &[false, true, true, false]);
+    }
+
+    #[test]
+    fn invariant_enforced() {
+        // group keeps 3, not 2
+        let bad = NmMask::from_bits(1, 4, 2, 4, vec![true, true, true, false]);
+        assert!(bad.is_err());
+        // wrong length
+        let bad = NmMask::from_bits(2, 4, 2, 4, vec![true; 4]);
+        assert!(bad.is_err());
+        // d not multiple of m
+        let bad = NmMask::from_bits(1, 6, 2, 4, vec![true; 6]);
+        assert!(bad.is_err());
+        // n > m
+        let bad = NmMask::from_bits(1, 4, 5, 4, vec![true; 4]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn apply_zeroes_pruned() {
+        let m = mask_2of4();
+        let x = Tensor::from_vec(vec![2, 4], (1..=8).map(|v| v as f32).collect()).unwrap();
+        let y = m.apply(&x).unwrap();
+        assert_eq!(y.data(), &[1.0, 2.0, 0.0, 0.0, 0.0, 6.0, 7.0, 0.0]);
+        assert!(m.apply(&Tensor::zeros(vec![3, 4])).is_err());
+    }
+
+    #[test]
+    fn tensor_form_matches_bits() {
+        let m = mask_2of4();
+        let t = m.to_tensor();
+        assert_eq!(t.dims(), &[2, 4]);
+        assert_eq!(t.sum(), 4.0);
+    }
+
+    #[test]
+    fn multiple_groups_per_subvector() {
+        // d=8, M=4: two groups per subvector
+        let bits = vec![
+            true, false, false, true, /* group 2 */ false, true, true, false,
+        ];
+        let m = NmMask::from_bits(1, 8, 2, 4, bits).unwrap();
+        assert_eq!(m.kept_per_subvector(), 4);
+    }
+}

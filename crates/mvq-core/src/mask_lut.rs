@@ -1,0 +1,237 @@
+//! Compact mask storage via a C(M,N) look-up table (paper §5, Eq. 7).
+//!
+//! A N:M-pruned group of M weights admits only `C(M,N)` distinct masks, so
+//! instead of one bit per weight the accelerator stores a
+//! `⌈log2 C(M,N)⌉`-bit index per group and decodes it with a LUT in the
+//! weight loader. This module builds that LUT bit-exactly and provides the
+//! encode/decode used both by the storage model and by the simulated
+//! hardware weight loader.
+
+use crate::error::MvqError;
+use crate::mask::validate_nm;
+
+/// Binomial coefficient C(m, n) in u64 (saturating; fine for m ≤ 64).
+pub(crate) fn binomial(m: u64, n: u64) -> u64 {
+    if n > m {
+        return 0;
+    }
+    let n = n.min(m - n);
+    let mut acc = 1u64;
+    for i in 0..n {
+        acc = acc * (m - i) / (i + 1);
+    }
+    acc
+}
+
+/// The mask look-up table for one N:M configuration.
+///
+/// Masks are enumerated in lexicographic order of their bit patterns
+/// (lowest index = kept lanes packed leftmost), matching a combinatorial
+/// number system so encoding is O(M) without a hash map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskLut {
+    m: usize,
+    keep_n: usize,
+    /// All C(M,N) masks; entry `i` decodes index `i`.
+    table: Vec<Vec<bool>>,
+}
+
+impl MaskLut {
+    /// Builds the LUT for keeping `keep_n` of every `m` weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::InvalidConfig`] for degenerate N:M pairs or
+    /// when `C(M,N)` exceeds 2^20 entries (LUT would not fit hardware).
+    pub fn new(keep_n: usize, m: usize) -> Result<MaskLut, MvqError> {
+        validate_nm(m, keep_n, m)?;
+        let count = binomial(m as u64, keep_n as u64);
+        if count > 1 << 20 {
+            return Err(MvqError::InvalidConfig(format!(
+                "C({m},{keep_n}) = {count} masks is too large for a LUT"
+            )));
+        }
+        let mut table = Vec::with_capacity(count as usize);
+        let mut mask = vec![false; m];
+        enumerate(&mut table, &mut mask, 0, keep_n);
+        Ok(MaskLut { m, keep_n, table })
+    }
+
+    /// Group size M.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Kept count N.
+    pub fn keep_n(&self) -> usize {
+        self.keep_n
+    }
+
+    /// Number of distinct masks, `C(M,N)`.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when the LUT is empty (never, for valid configs).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Bits required to store one mask index: `⌈log2 C(M,N)⌉`.
+    pub fn index_bits(&self) -> u32 {
+        let len = self.table.len() as u64;
+        if len <= 1 {
+            0
+        } else {
+            64 - (len - 1).leading_zeros()
+        }
+    }
+
+    /// Mask storage cost in bits per weight:
+    /// `⌈log2 C(M,N)⌉ / M` (Eq. 7's `b_m` per-weight term).
+    pub fn bits_per_weight(&self) -> f64 {
+        self.index_bits() as f64 / self.m as f64
+    }
+
+    /// Encodes a group mask into its LUT index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::InvalidConfig`] when `mask` has the wrong length
+    /// or wrong population count.
+    pub fn encode(&self, mask: &[bool]) -> Result<u32, MvqError> {
+        if mask.len() != self.m {
+            return Err(MvqError::InvalidConfig(format!(
+                "mask length {} != M = {}",
+                mask.len(),
+                self.m
+            )));
+        }
+        if mask.iter().filter(|&&b| b).count() != self.keep_n {
+            return Err(MvqError::InvalidConfig(format!(
+                "mask must keep exactly {} of {}",
+                self.keep_n, self.m
+            )));
+        }
+        // Combinatorial ranking in the same order as `enumerate`.
+        let mut rank = 0u64;
+        let mut remaining_n = self.keep_n as u64;
+        for (pos, &bit) in mask.iter().enumerate() {
+            let slots_after = (self.m - pos - 1) as u64;
+            if bit {
+                remaining_n -= 1;
+            } else if remaining_n > 0 {
+                // skipping all masks that keep a lane here
+                rank += binomial(slots_after, remaining_n - 1);
+            }
+            if remaining_n == 0 {
+                break;
+            }
+        }
+        Ok(rank as u32)
+    }
+
+    /// Decodes a LUT index back into the group mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::InvalidConfig`] when `index` is out of range.
+    pub fn decode(&self, index: u32) -> Result<&[bool], MvqError> {
+        self.table.get(index as usize).map(|v| v.as_slice()).ok_or_else(|| {
+            MvqError::InvalidConfig(format!(
+                "mask index {index} out of range (C({},{}) = {})",
+                self.m,
+                self.keep_n,
+                self.table.len()
+            ))
+        })
+    }
+}
+
+fn enumerate(table: &mut Vec<Vec<bool>>, mask: &mut Vec<bool>, pos: usize, left: usize) {
+    if left == 0 {
+        table.push(mask.clone());
+        return;
+    }
+    if mask.len() - pos < left {
+        return;
+    }
+    // place a kept lane at `pos` first => lexicographically "kept first"
+    mask[pos] = true;
+    enumerate(table, mask, pos + 1, left - 1);
+    mask[pos] = false;
+    enumerate(table, mask, pos + 1, left);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(16, 4), 1820);
+        assert_eq!(binomial(2, 1), 2);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+    }
+
+    #[test]
+    fn lut_sizes_match_binomials() {
+        assert_eq!(MaskLut::new(2, 4).unwrap().len(), 6);
+        assert_eq!(MaskLut::new(4, 16).unwrap().len(), 1820);
+        assert_eq!(MaskLut::new(1, 2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn index_bits_match_paper_storage() {
+        // 4:16 -> ceil(log2 1820) = 11 bits per 16 weights = 0.6875 b/w
+        let lut = MaskLut::new(4, 16).unwrap();
+        assert_eq!(lut.index_bits(), 11);
+        assert!((lut.bits_per_weight() - 11.0 / 16.0).abs() < 1e-12);
+        // 1:2 -> 1 bit per 2 weights = 0.5 b/w
+        let lut = MaskLut::new(1, 2).unwrap();
+        assert_eq!(lut.index_bits(), 1);
+        assert_eq!(lut.bits_per_weight(), 0.5);
+        // 2:4 -> ceil(log2 6) = 3 bits per 4 weights = 0.75 b/w; the paper's
+        // "0.25 bit/w additional cost" of 2:4 over 1:2 (§6.2) follows.
+        let lut = MaskLut::new(2, 4).unwrap();
+        assert_eq!(lut.index_bits(), 3);
+        assert!((lut.bits_per_weight() - 0.5 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all() {
+        for (n, m) in [(1usize, 2usize), (2, 4), (4, 8), (4, 16)] {
+            let lut = MaskLut::new(n, m).unwrap();
+            for idx in 0..lut.len() as u32 {
+                let mask = lut.decode(idx).unwrap().to_vec();
+                assert_eq!(lut.encode(&mask).unwrap(), idx, "n={n} m={m} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_masks_distinct_and_valid() {
+        let lut = MaskLut::new(2, 4).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..lut.len() as u32 {
+            let mask = lut.decode(idx).unwrap();
+            assert_eq!(mask.iter().filter(|&&b| b).count(), 2);
+            assert!(seen.insert(mask.to_vec()), "duplicate mask");
+        }
+    }
+
+    #[test]
+    fn encode_validates() {
+        let lut = MaskLut::new(2, 4).unwrap();
+        assert!(lut.encode(&[true, true, true, false]).is_err());
+        assert!(lut.encode(&[true, true]).is_err());
+        assert!(lut.decode(6).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_lut() {
+        assert!(MaskLut::new(16, 32).is_err());
+    }
+}

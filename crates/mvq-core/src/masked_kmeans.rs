@@ -1,0 +1,374 @@
+//! Masked k-means (paper §4.4): the clustering step of MVQ.
+//!
+//! Two modifications to standard k-means:
+//!
+//! * **masked assignment** (Eq. 2) — the distance between subvector `w_j`
+//!   and codeword `c` only counts unpruned lanes:
+//!   `c_i = argmin_c ‖w_j − c ∘ bm_j‖²`;
+//! * **masked update** (Eq. 3/4) — each codeword lane is the mean of the
+//!   *unpruned* values assigned to it: `c*_i = Σ_p v_p / Σ_p n_p`
+//!   (elementwise), so the flood of structural zeros cannot drag important
+//!   lanes toward zero.
+//!
+//! ## Implementation note (the ablation benchmarked in `mvq-bench`)
+//!
+//! Because pruned lanes of `w_j` are exactly zero, the masked distance
+//! factors as `‖w_j‖² − 2·w_j·c + ‖c ∘ bm_j‖²`: only the *codeword norm*
+//! term depends on the mask. Subvectors sharing a mask pattern share that
+//! term, so we group rows by pattern (at most `C(M,N)^(d/M)` patterns, far
+//! fewer in practice) and compute one GEMM for the cross terms — the same
+//! trick the paper implements with broadcast `torch.cdist` batches, but
+//! cheaper. A naive per-row reference ([`masked_assign_naive`]) validates
+//! it in tests.
+
+use std::collections::HashMap;
+
+use mvq_tensor::{matmul_transpose_b, Tensor};
+use rand::Rng;
+
+use crate::codebook::{Assignments, Codebook};
+use crate::error::MvqError;
+use crate::kmeans::{check_data, kmeanspp_init, KmeansConfig, KmeansResult};
+use crate::mask::NmMask;
+
+/// Runs masked k-means over `data` (`[NG, d]`, pruned lanes zero) with its
+/// N:M `mask`.
+///
+/// # Errors
+///
+/// Returns [`MvqError::InvalidConfig`] when data/mask dims disagree or the
+/// config is degenerate.
+pub fn masked_kmeans<R: Rng>(
+    data: &Tensor,
+    mask: &NmMask,
+    cfg: &KmeansConfig,
+    rng: &mut R,
+) -> Result<KmeansResult, MvqError> {
+    let (ng, d) = check_data(data, cfg.k)?;
+    if mask.ng() != ng || mask.d() != d {
+        return Err(MvqError::InvalidConfig(format!(
+            "mask [{}, {}] does not match data [{ng}, {d}]",
+            mask.ng(),
+            mask.d()
+        )));
+    }
+    let k = cfg.k.min(ng);
+    let mut centers = kmeanspp_init(data, k, rng);
+    let mut assign = vec![0u32; ng];
+    let pattern_ids = pattern_index(mask);
+    let mut iterations = 0;
+    for iter in 0..cfg.max_iters {
+        iterations = iter + 1;
+        let changed = masked_assign(data, mask, &pattern_ids, &centers, &mut assign);
+        masked_update(data, mask, &mut centers, &assign, rng);
+        if (changed as f64) < cfg.tol_frac * ng as f64 {
+            break;
+        }
+    }
+    masked_assign(data, mask, &pattern_ids, &centers, &mut assign);
+    let sse = masked_sse_raw(data, mask, &centers, &assign);
+    Ok(KmeansResult {
+        codebook: Codebook::new(centers)?,
+        assignments: Assignments::new(assign, k)?,
+        sse,
+        iterations,
+    })
+}
+
+/// Masked SSE (Eq. 1): `Σ_j ‖w_j − q(w_j) ∘ bm_j‖²` for an existing
+/// codebook/assignment pair.
+///
+/// # Errors
+///
+/// Returns [`MvqError::InvalidConfig`] on dimension mismatches.
+pub fn masked_sse(
+    data: &Tensor,
+    mask: &NmMask,
+    codebook: &Codebook,
+    assignments: &Assignments,
+) -> Result<f32, MvqError> {
+    if data.rank() != 2
+        || data.dims() != [mask.ng(), mask.d()]
+        || assignments.len() != mask.ng()
+        || codebook.d() != mask.d()
+    {
+        return Err(MvqError::InvalidConfig(
+            "data, mask, codebook and assignments must agree in shape".into(),
+        ));
+    }
+    Ok(masked_sse_raw(data, mask, codebook.centers(), assignments.indices()))
+}
+
+fn masked_sse_raw(data: &Tensor, mask: &NmMask, centers: &Tensor, assign: &[u32]) -> f32 {
+    let ng = data.dims()[0];
+    let d = data.dims()[1];
+    let mut sse = 0.0f64;
+    for j in 0..ng {
+        let row = data.row(j);
+        let c = centers.row(assign[j] as usize);
+        let m = mask.row(j);
+        for t in 0..d {
+            let ct = if m[t] { c[t] } else { 0.0 };
+            let e = row[t] - ct;
+            sse += (e * e) as f64;
+        }
+    }
+    sse as f32
+}
+
+/// Maps each subvector to a dense pattern id; patterns are the distinct
+/// mask rows.
+fn pattern_index(mask: &NmMask) -> PatternIndex {
+    let mut ids = Vec::with_capacity(mask.ng());
+    let mut patterns: Vec<Vec<bool>> = Vec::new();
+    let mut lookup: HashMap<Vec<bool>, usize> = HashMap::new();
+    for j in 0..mask.ng() {
+        let row = mask.row(j).to_vec();
+        let id = *lookup.entry(row.clone()).or_insert_with(|| {
+            patterns.push(row);
+            patterns.len() - 1
+        });
+        ids.push(id);
+    }
+    PatternIndex { ids, patterns }
+}
+
+struct PatternIndex {
+    ids: Vec<usize>,
+    patterns: Vec<Vec<bool>>,
+}
+
+/// Factored masked assignment; returns the number of changed assignments.
+fn masked_assign(
+    data: &Tensor,
+    _mask: &NmMask,
+    patterns: &PatternIndex,
+    centers: &Tensor,
+    assign: &mut [u32],
+) -> usize {
+    let ng = data.dims()[0];
+    let d = data.dims()[1];
+    let k = centers.dims()[0];
+    // cross terms via one GEMM: [ng, k]
+    let xc = matmul_transpose_b(data, centers).expect("validated shapes");
+    // masked codeword norms per pattern: [n_patterns][k]
+    let mut mnorm = vec![vec![0.0f32; k]; patterns.patterns.len()];
+    for (p, pat) in patterns.patterns.iter().enumerate() {
+        for i in 0..k {
+            let c = centers.row(i);
+            let mut acc = 0.0f32;
+            for t in 0..d {
+                if pat[t] {
+                    acc += c[t] * c[t];
+                }
+            }
+            mnorm[p][i] = acc;
+        }
+    }
+    let mut changed = 0usize;
+    for j in 0..ng {
+        let norms = &mnorm[patterns.ids[j]];
+        let row = xc.row(j);
+        let mut best = 0usize;
+        let mut best_v = f32::INFINITY;
+        for i in 0..k {
+            let v = norms[i] - 2.0 * row[i];
+            if v < best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        if assign[j] != best as u32 {
+            assign[j] = best as u32;
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Naive reference for the masked assignment (Eq. 2), O(NG·k·d) with
+/// explicit masking. Used by tests and the `masked_kmeans` Criterion bench
+/// to quantify the factored implementation's speedup.
+pub fn masked_assign_naive(data: &Tensor, mask: &NmMask, centers: &Tensor) -> Vec<u32> {
+    let ng = data.dims()[0];
+    let d = data.dims()[1];
+    let k = centers.dims()[0];
+    let mut assign = vec![0u32; ng];
+    for j in 0..ng {
+        let row = data.row(j);
+        let m = mask.row(j);
+        let mut best = 0usize;
+        let mut best_v = f32::INFINITY;
+        for i in 0..k {
+            let c = centers.row(i);
+            let mut acc = 0.0f32;
+            for t in 0..d {
+                let ct = if m[t] { c[t] } else { 0.0 };
+                let e = row[t] - ct;
+                acc += e * e;
+            }
+            if acc < best_v {
+                best_v = acc;
+                best = i;
+            }
+        }
+        assign[j] = best as u32;
+    }
+    assign
+}
+
+/// Masked update (Eq. 4): per-lane weighted average over unpruned entries.
+fn masked_update<R: Rng>(
+    data: &Tensor,
+    mask: &NmMask,
+    centers: &mut Tensor,
+    assign: &[u32],
+    rng: &mut R,
+) {
+    let ng = data.dims()[0];
+    let d = data.dims()[1];
+    let k = centers.dims()[0];
+    let mut sums = vec![0.0f64; k * d];
+    let mut counts = vec![0.0f64; k * d];
+    let mut members = vec![0usize; k];
+    for j in 0..ng {
+        let i = assign[j] as usize;
+        members[i] += 1;
+        let row = data.row(j);
+        let m = mask.row(j);
+        for t in 0..d {
+            if m[t] {
+                sums[i * d + t] += row[t] as f64;
+                counts[i * d + t] += 1.0;
+            }
+        }
+    }
+    for i in 0..k {
+        if members[i] == 0 {
+            let j = rng.gen_range(0..ng);
+            centers.row_mut(i).copy_from_slice(data.row(j));
+            continue;
+        }
+        let c = centers.row_mut(i);
+        for t in 0..d {
+            if counts[i * d + t] > 0.0 {
+                c[t] = (sums[i * d + t] / counts[i * d + t]) as f32;
+            }
+            // lanes never unmasked keep their previous value: pruned
+            // weights do not rely on the codeword (paper §4.4)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pruning::prune_matrix_nm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pruned_random(ng: usize, d: usize, n: usize, m: usize, seed: u64) -> (Tensor, NmMask) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = mvq_tensor::uniform(vec![ng, d], -1.0, 1.0, &mut rng);
+        prune_matrix_nm(&w, n, m).unwrap()
+    }
+
+    #[test]
+    fn factored_assignment_matches_naive() {
+        let (data, mask) = pruned_random(64, 8, 2, 4, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let centers = kmeanspp_init(&data, 7, &mut rng);
+        let naive = masked_assign_naive(&data, &mask, &centers);
+        let patterns = pattern_index(&mask);
+        let mut fast = vec![0u32; 64];
+        masked_assign(&data, &mask, &patterns, &centers, &mut fast);
+        assert_eq!(naive, fast);
+    }
+
+    #[test]
+    fn masked_beats_unmasked_on_masked_sse() {
+        // The defining property (paper Tab. 3): on sparse weights, masked
+        // k-means reaches lower masked SSE than plain k-means.
+        let (data, mask) = pruned_random(512, 16, 4, 16, 2);
+        let cfg = KmeansConfig::new(16);
+        let masked = masked_kmeans(&data, &mask, &cfg, &mut StdRng::seed_from_u64(3)).unwrap();
+        let plain =
+            crate::kmeans::kmeans(&data, &cfg, None, &mut StdRng::seed_from_u64(3)).unwrap();
+        let plain_masked_sse =
+            masked_sse(&data, &mask, &plain.codebook, &plain.assignments).unwrap();
+        assert!(
+            masked.sse < plain_masked_sse,
+            "masked {} !< plain {plain_masked_sse}",
+            masked.sse
+        );
+    }
+
+    #[test]
+    fn masked_sse_is_result_sse() {
+        let (data, mask) = pruned_random(128, 8, 2, 4, 4);
+        let res = masked_kmeans(&data, &mask, &KmeansConfig::new(8), &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let recomputed = masked_sse(&data, &mask, &res.codebook, &res.assignments).unwrap();
+        assert!((res.sse - recomputed).abs() < 1e-3);
+    }
+
+    #[test]
+    fn identical_rows_cluster_perfectly() {
+        // all subvectors equal and fully masked the same way => SSE 0 with k=1
+        let row = [1.0f32, 2.0, 0.0, 0.0];
+        let data = Tensor::from_vec(vec![8, 4], row.repeat(8)).unwrap();
+        let mask =
+            NmMask::from_bits(8, 4, 2, 4, [true, true, false, false].repeat(8)).unwrap();
+        let res = masked_kmeans(&data, &mask, &KmeansConfig::new(1), &mut StdRng::seed_from_u64(6))
+            .unwrap();
+        assert!(res.sse < 1e-9);
+        // codeword's masked lanes match the data
+        assert!((res.codebook.codeword(0)[0] - 1.0).abs() < 1e-6);
+        assert!((res.codebook.codeword(0)[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn complementary_masks_share_codeword() {
+        // Two groups with disjoint masks can share one codeword perfectly:
+        // the masked update fills each lane from the group that keeps it.
+        let mut data = Vec::new();
+        let mut bits = Vec::new();
+        for j in 0..10 {
+            if j % 2 == 0 {
+                data.extend_from_slice(&[0.7, 0.7, 0.0, 0.0]);
+                bits.extend_from_slice(&[true, true, false, false]);
+            } else {
+                data.extend_from_slice(&[0.0, 0.0, 0.5, 0.5]);
+                bits.extend_from_slice(&[false, false, true, true]);
+            }
+        }
+        let data = Tensor::from_vec(vec![10, 4], data).unwrap();
+        let mask = NmMask::from_bits(10, 4, 2, 4, bits).unwrap();
+        let res = masked_kmeans(&data, &mask, &KmeansConfig::new(1), &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        assert!(res.sse < 1e-9, "sse {}", res.sse);
+        let c = res.codebook.codeword(0);
+        assert!((c[0] - 0.7).abs() < 1e-6 && (c[3] - 0.5).abs() < 1e-6, "{c:?}");
+    }
+
+    #[test]
+    fn validates_mismatched_mask() {
+        let (data, _) = pruned_random(16, 8, 2, 4, 8);
+        let (_, other_mask) = pruned_random(8, 8, 2, 4, 9);
+        let cfg = KmeansConfig::new(4);
+        assert!(masked_kmeans(&data, &other_mask, &cfg, &mut StdRng::seed_from_u64(0)).is_err());
+    }
+
+    #[test]
+    fn more_codewords_reduce_masked_sse() {
+        let (data, mask) = pruned_random(256, 16, 4, 16, 10);
+        let s4 = masked_kmeans(&data, &mask, &KmeansConfig::new(4), &mut StdRng::seed_from_u64(1))
+            .unwrap()
+            .sse;
+        let s64 =
+            masked_kmeans(&data, &mask, &KmeansConfig::new(64), &mut StdRng::seed_from_u64(1))
+                .unwrap()
+                .sse;
+        assert!(s64 < s4);
+    }
+}

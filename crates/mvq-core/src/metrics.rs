@@ -1,0 +1,156 @@
+//! Storage-cost and compression-ratio accounting (paper Eq. 7).
+//!
+//! `Comp.Ratio = NG·d·b_f / (b_a + b_m + b_c)` where
+//! `b_a = ⌈log2 k⌉·NG` (assignments),
+//! `b_m = NG·(d/M)·⌈log2 C(M,N)⌉` (LUT-encoded masks),
+//! `b_c = k·d·q_c` (the codebook itself).
+
+use crate::codebook::Codebook;
+use crate::error::MvqError;
+use crate::mask_lut::MaskLut;
+
+/// Bit width of the uncompressed weights (`b_f`); the paper compares
+/// against fp32 storage.
+pub const FULL_PRECISION_BITS: u64 = 32;
+
+/// Itemized storage of a compressed weight block, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageBreakdown {
+    /// Uncompressed cost: `NG · d · b_f`.
+    pub original_bits: u64,
+    /// Assignment indices: `⌈log2 k⌉ · NG`.
+    pub assignment_bits: u64,
+    /// LUT-encoded masks: `NG · (d/M) · ⌈log2 C(M,N)⌉` (0 when no mask is
+    /// stored, i.e. conventional VQ).
+    pub mask_bits: u64,
+    /// Codebook: `k · d · q_c`.
+    pub codebook_bits: u64,
+}
+
+impl StorageBreakdown {
+    /// Total compressed bits.
+    pub fn compressed_bits(&self) -> u64 {
+        self.assignment_bits + self.mask_bits + self.codebook_bits
+    }
+
+    /// The compression ratio of Eq. 7.
+    pub fn ratio(&self) -> f64 {
+        self.original_bits as f64 / self.compressed_bits().max(1) as f64
+    }
+
+    /// Average compressed bits per weight.
+    pub fn bits_per_weight(&self) -> f64 {
+        self.compressed_bits() as f64 * FULL_PRECISION_BITS as f64 / self.original_bits as f64
+    }
+
+    /// Merges two breakdowns (e.g. across layers of a model).
+    pub fn merge(&self, other: &StorageBreakdown) -> StorageBreakdown {
+        StorageBreakdown {
+            original_bits: self.original_bits + other.original_bits,
+            assignment_bits: self.assignment_bits + other.assignment_bits,
+            mask_bits: self.mask_bits + other.mask_bits,
+            codebook_bits: self.codebook_bits + other.codebook_bits,
+        }
+    }
+}
+
+/// Storage of an MVQ-compressed block of `ng` subvectors with codebook
+/// `codebook` and N:M mask configuration `keep_n : m`.
+///
+/// # Errors
+///
+/// Propagates LUT-construction errors for degenerate N:M pairs.
+pub fn mvq_compression_ratio(
+    ng: usize,
+    codebook: &Codebook,
+    keep_n: usize,
+    m: usize,
+) -> Result<StorageBreakdown, MvqError> {
+    let d = codebook.d();
+    let lut = MaskLut::new(keep_n, m)?;
+    let groups_per_subvector = (d / m) as u64;
+    Ok(StorageBreakdown {
+        original_bits: (ng * d) as u64 * FULL_PRECISION_BITS,
+        assignment_bits: codebook.index_bits() as u64 * ng as u64,
+        mask_bits: ng as u64 * groups_per_subvector * lut.index_bits() as u64,
+        codebook_bits: codebook.storage_bits(),
+    })
+}
+
+/// Storage of a conventional (maskless) VQ block — baselines A/B, PQF, BGD.
+pub fn vq_compression_ratio(ng: usize, codebook: &Codebook) -> StorageBreakdown {
+    StorageBreakdown {
+        original_bits: (ng * codebook.d()) as u64 * FULL_PRECISION_BITS,
+        assignment_bits: codebook.index_bits() as u64 * ng as u64,
+        mask_bits: 0,
+        codebook_bits: codebook.storage_bits(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_tensor::Tensor;
+
+    fn cb(k: usize, d: usize, bits: Option<u32>) -> Codebook {
+        let mut c = Codebook::new(Tensor::full(vec![k, d], 0.5)).unwrap();
+        if let Some(b) = bits {
+            c.quantize(b).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn paper_configuration_reaches_about_22x() {
+        // k=512, d=16, 4:16, int8 codebook, NG large enough that the
+        // codebook amortizes: the paper operates at ~22-25x.
+        let codebook = cb(512, 16, Some(8));
+        let bd = mvq_compression_ratio(700_000, &codebook, 4, 16).unwrap();
+        let r = bd.ratio();
+        assert!((20.0..27.0).contains(&r), "ratio {r}");
+    }
+
+    #[test]
+    fn assignment_and_mask_bits_formulas() {
+        let codebook = cb(512, 16, Some(8));
+        let bd = mvq_compression_ratio(1000, &codebook, 4, 16).unwrap();
+        assert_eq!(bd.assignment_bits, 9 * 1000);
+        // one 16-wide group per subvector, 11 bits each
+        assert_eq!(bd.mask_bits, 1000 * 11);
+        assert_eq!(bd.codebook_bits, 512 * 16 * 8);
+        assert_eq!(bd.original_bits, 1000 * 16 * 32);
+    }
+
+    #[test]
+    fn maskless_vq_has_no_mask_bits() {
+        let codebook = cb(1024, 8, Some(8));
+        let bd = vq_compression_ratio(2000, &codebook);
+        assert_eq!(bd.mask_bits, 0);
+        assert_eq!(bd.assignment_bits, 10 * 2000);
+        // d=8, k=1024: 10 bits/8 weights = 1.25 b/w + codebook
+        assert!(bd.ratio() < 32.0 / 1.25 + 1e-9);
+    }
+
+    #[test]
+    fn float_codebook_costs_more() {
+        let q = vq_compression_ratio(10_000, &cb(256, 8, Some(8)));
+        let f = vq_compression_ratio(10_000, &cb(256, 8, None));
+        assert!(q.ratio() > f.ratio());
+    }
+
+    #[test]
+    fn merge_adds_components() {
+        let a = mvq_compression_ratio(100, &cb(16, 8, Some(8)), 2, 4).unwrap();
+        let b = mvq_compression_ratio(200, &cb(16, 8, Some(8)), 2, 4).unwrap();
+        let m = a.merge(&b);
+        assert_eq!(m.original_bits, a.original_bits + b.original_bits);
+        assert_eq!(m.compressed_bits(), a.compressed_bits() + b.compressed_bits());
+    }
+
+    #[test]
+    fn bits_per_weight_consistent_with_ratio() {
+        let bd = mvq_compression_ratio(5000, &cb(256, 16, Some(8)), 4, 16).unwrap();
+        let bpw = bd.bits_per_weight();
+        assert!((FULL_PRECISION_BITS as f64 / bd.ratio() - bpw).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,411 @@
+//! Model-level MVQ compression: applies the pipeline to every compressible
+//! convolution of a network, with either one codebook per layer
+//! ("layerwise") or a single codebook shared by all layers ("crosslayer") —
+//! the two clustering scopes compared in the paper's Fig. 13.
+
+use mvq_nn::layers::Sequential;
+use mvq_tensor::Tensor;
+use rand::Rng;
+
+use crate::codebook::{Assignments, Codebook};
+use crate::compress::MvqConfig;
+use crate::error::MvqError;
+use crate::grouping::GroupingStrategy;
+use crate::mask::NmMask;
+use crate::masked_kmeans::{masked_kmeans, masked_sse};
+use crate::metrics::{mvq_compression_ratio, StorageBreakdown};
+use crate::pruning::prune_matrix_nm;
+
+/// Whether codebooks are per-layer or shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusterScope {
+    /// One codebook per compressed layer (paper finds this superior).
+    #[default]
+    LayerWise,
+    /// One codebook for all compressed layers.
+    CrossLayer,
+}
+
+/// One compressed convolution layer: assignments + mask referencing a
+/// codebook held by the [`CompressedModel`].
+#[derive(Debug, Clone)]
+pub struct LayerCodebook {
+    /// Depth-first index of the conv layer in the model.
+    pub conv_index: usize,
+    /// Which codebook in [`CompressedModel::codebooks`] this layer uses.
+    pub codebook_id: usize,
+    /// Per-subvector assignments.
+    pub assignments: Assignments,
+    /// N:M mask.
+    pub mask: NmMask,
+    /// Original weight dims.
+    pub orig_dims: Vec<usize>,
+}
+
+/// A whole-model compressed representation.
+#[derive(Debug, Clone)]
+pub struct CompressedModel {
+    /// The codebook pool (length 1 for crosslayer scope).
+    pub codebooks: Vec<Codebook>,
+    /// Compressed layers.
+    pub entries: Vec<LayerCodebook>,
+    /// Conv indices that were skipped (depthwise / incompatible shapes).
+    pub skipped: Vec<usize>,
+    grouping: GroupingStrategy,
+    keep_n: usize,
+    m: usize,
+}
+
+impl CompressedModel {
+    /// Grouping strategy used for every layer.
+    pub fn grouping(&self) -> GroupingStrategy {
+        self.grouping
+    }
+
+    /// N of the N:M pattern (kept weights).
+    pub fn keep_n(&self) -> usize {
+        self.keep_n
+    }
+
+    /// M of the N:M pattern.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Reconstructs one entry's weight in original dims.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grouping errors.
+    pub fn reconstruct_entry(&self, entry: &LayerCodebook) -> Result<Tensor, MvqError> {
+        let codebook = &self.codebooks[entry.codebook_id];
+        let d = entry.mask.d();
+        let ng = entry.mask.ng();
+        let mut grouped = Tensor::zeros(vec![ng, d]);
+        for j in 0..ng {
+            let c = codebook.codeword(entry.assignments.of(j));
+            let m = entry.mask.row(j);
+            let row = grouped.row_mut(j);
+            for t in 0..d {
+                row[t] = if m[t] { c[t] } else { 0.0 };
+            }
+        }
+        self.grouping.ungroup(&grouped, &entry.orig_dims, d)
+    }
+
+    /// Writes every reconstructed weight back into `model` (the paper's
+    /// forward-pass decode of Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reconstruction errors.
+    pub fn apply_to(&self, model: &mut Sequential) -> Result<(), MvqError> {
+        let mut by_index: Vec<Option<&LayerCodebook>> = Vec::new();
+        for e in &self.entries {
+            if by_index.len() <= e.conv_index {
+                by_index.resize(e.conv_index + 1, None);
+            }
+            by_index[e.conv_index] = Some(e);
+        }
+        let mut idx = 0usize;
+        let mut first_err = None;
+        model.visit_convs_mut(&mut |conv| {
+            if first_err.is_some() {
+                return;
+            }
+            if let Some(Some(entry)) = by_index.get(idx) {
+                match self.reconstruct_entry(entry) {
+                    Ok(w) => conv.weight.value = w,
+                    Err(e) => first_err = Some(e),
+                }
+            }
+            idx += 1;
+        });
+        first_err.map_or(Ok(()), Err)
+    }
+
+    /// Whole-model storage breakdown: assignments and masks summed over
+    /// entries, each codebook counted once.
+    pub fn storage(&self) -> StorageBreakdown {
+        let mut total = StorageBreakdown {
+            original_bits: 0,
+            assignment_bits: 0,
+            mask_bits: 0,
+            codebook_bits: 0,
+        };
+        for e in &self.entries {
+            let cb = &self.codebooks[e.codebook_id];
+            let part = mvq_compression_ratio(e.mask.ng(), cb, self.keep_n, self.m)
+                .expect("validated at construction");
+            total.original_bits += part.original_bits;
+            total.assignment_bits += part.assignment_bits;
+            total.mask_bits += part.mask_bits;
+        }
+        for cb in &self.codebooks {
+            total.codebook_bits += cb.storage_bits();
+        }
+        total
+    }
+
+    /// Compression ratio over all compressed layers (Eq. 7).
+    pub fn compression_ratio(&self) -> f64 {
+        self.storage().ratio()
+    }
+
+    /// Sum of masked SSE over all entries against the current weights of
+    /// `model` (used for Tables 3/5 before fine-tuning).
+    ///
+    /// # Errors
+    ///
+    /// Propagates grouping errors.
+    pub fn total_masked_sse(&self, model: &Sequential) -> Result<f32, MvqError> {
+        let mut weights: Vec<Tensor> = Vec::new();
+        model.visit_convs(&mut |conv| weights.push(conv.weight.value.clone()));
+        let mut sse = 0.0f32;
+        for e in &self.entries {
+            let grouped = self.grouping.group(&weights[e.conv_index], e.mask.d())?;
+            let pruned = e.mask.apply(&grouped)?;
+            sse += masked_sse(
+                &pruned,
+                &e.mask,
+                &self.codebooks[e.codebook_id],
+                &e.assignments,
+            )?;
+        }
+        Ok(sse)
+    }
+
+    /// Fraction of weights pruned in compressed layers.
+    pub fn sparsity(&self) -> f32 {
+        1.0 - self.keep_n as f32 / self.m as f32
+    }
+}
+
+/// Compresses whole models.
+#[derive(Debug, Clone)]
+pub struct ModelCompressor {
+    config: MvqConfig,
+    scope: ClusterScope,
+}
+
+impl ModelCompressor {
+    /// Creates a model compressor with layerwise scope.
+    pub fn new(config: MvqConfig) -> ModelCompressor {
+        ModelCompressor { config, scope: ClusterScope::LayerWise }
+    }
+
+    /// Overrides the clustering scope.
+    pub fn with_scope(mut self, scope: ClusterScope) -> ModelCompressor {
+        self.scope = scope;
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MvqConfig {
+        &self.config
+    }
+
+    /// Compresses every compressible conv of `model` (assumed already
+    /// pruned+fine-tuned, or dense — pruning is applied here regardless,
+    /// matching pipeline step 1) and writes reconstructed weights back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering errors.
+    pub fn compress<R: Rng>(
+        &self,
+        model: &mut Sequential,
+        rng: &mut R,
+    ) -> Result<CompressedModel, MvqError> {
+        let cfg = &self.config;
+        // collect grouped+pruned matrices per compressible conv
+        let mut weights: Vec<Tensor> = Vec::new();
+        let mut depthwise: Vec<bool> = Vec::new();
+        model.visit_convs(&mut |conv| {
+            weights.push(conv.weight.value.clone());
+            depthwise.push(conv.is_depthwise());
+        });
+        let mut eligible: Vec<(usize, Tensor, NmMask, Vec<usize>)> = Vec::new();
+        let mut skipped = Vec::new();
+        for (idx, w) in weights.iter().enumerate() {
+            if depthwise[idx] {
+                skipped.push(idx);
+                continue;
+            }
+            let grouped = match cfg.grouping.group(w, cfg.d) {
+                Ok(g) => g,
+                Err(MvqError::IncompatibleShape { .. }) => {
+                    skipped.push(idx);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let (pruned, mask) = prune_matrix_nm(&grouped, cfg.keep_n, cfg.m)?;
+            eligible.push((idx, pruned, mask, w.dims().to_vec()));
+        }
+        if eligible.is_empty() {
+            return Err(MvqError::InvalidConfig(
+                "model has no conv layer compatible with the grouping config".into(),
+            ));
+        }
+        let (codebooks, entries) = match self.scope {
+            ClusterScope::LayerWise => {
+                let mut codebooks = Vec::new();
+                let mut entries = Vec::new();
+                for (idx, pruned, mask, dims) in eligible {
+                    let mut res = masked_kmeans(&pruned, &mask, &cfg.kmeans(), rng)?;
+                    if let Some(bits) = cfg.codebook_bits {
+                        res.codebook.quantize(bits)?;
+                    }
+                    codebooks.push(res.codebook);
+                    entries.push(LayerCodebook {
+                        conv_index: idx,
+                        codebook_id: codebooks.len() - 1,
+                        assignments: res.assignments,
+                        mask,
+                        orig_dims: dims,
+                    });
+                }
+                (codebooks, entries)
+            }
+            ClusterScope::CrossLayer => {
+                // concatenate all pruned matrices and masks
+                let d = cfg.d;
+                let total_ng: usize = eligible.iter().map(|(_, p, ..)| p.dims()[0]).sum();
+                let mut data = Vec::with_capacity(total_ng * d);
+                let mut bits = Vec::with_capacity(total_ng * d);
+                for (_, pruned, mask, _) in &eligible {
+                    data.extend_from_slice(pruned.data());
+                    bits.extend_from_slice(mask.bits());
+                }
+                let all = Tensor::from_vec(vec![total_ng, d], data)?;
+                let all_mask = NmMask::from_bits(total_ng, d, cfg.keep_n, cfg.m, bits)?;
+                let mut res = masked_kmeans(&all, &all_mask, &cfg.kmeans(), rng)?;
+                if let Some(b) = cfg.codebook_bits {
+                    res.codebook.quantize(b)?;
+                }
+                let k = res.codebook.k();
+                let mut entries = Vec::new();
+                let mut offset = 0usize;
+                for (idx, pruned, mask, dims) in eligible {
+                    let ng = pruned.dims()[0];
+                    let slice = res.assignments.indices()[offset..offset + ng].to_vec();
+                    entries.push(LayerCodebook {
+                        conv_index: idx,
+                        codebook_id: 0,
+                        assignments: Assignments::new(slice, k)?,
+                        mask,
+                        orig_dims: dims,
+                    });
+                    offset += ng;
+                }
+                (vec![res.codebook], entries)
+            }
+        };
+        let compressed = CompressedModel {
+            codebooks,
+            entries,
+            skipped,
+            grouping: cfg.grouping,
+            keep_n: cfg.keep_n,
+            m: cfg.m,
+        };
+        compressed.apply_to(model)?;
+        Ok(compressed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_nn::models::tiny_cnn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(k: usize) -> MvqConfig {
+        MvqConfig::new(k, 16, 4, 16).unwrap()
+    }
+
+    #[test]
+    fn layerwise_compresses_all_eligible_convs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = tiny_cnn(4, 8, &mut rng);
+        let cm = ModelCompressor::new(cfg(8)).compress(&mut model, &mut rng).unwrap();
+        assert_eq!(cm.entries.len(), 2);
+        assert_eq!(cm.codebooks.len(), 2);
+        assert!(cm.skipped.is_empty());
+        // weights in the model are now sparse reconstructions
+        model.visit_convs_mut(&mut |conv| {
+            assert!(conv.weight.value.sparsity() >= 0.70);
+        });
+    }
+
+    #[test]
+    fn crosslayer_shares_one_codebook() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = tiny_cnn(4, 8, &mut rng);
+        let cm = ModelCompressor::new(cfg(8))
+            .with_scope(ClusterScope::CrossLayer)
+            .compress(&mut model, &mut rng)
+            .unwrap();
+        assert_eq!(cm.codebooks.len(), 1);
+        assert_eq!(cm.entries.len(), 2);
+        assert!(cm.entries.iter().all(|e| e.codebook_id == 0));
+    }
+
+    #[test]
+    fn crosslayer_codebook_counted_once_in_storage() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m1 = tiny_cnn(4, 8, &mut rng);
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let mut m2 = tiny_cnn(4, 8, &mut rng2);
+        let lw = ModelCompressor::new(cfg(8)).compress(&mut m1, &mut rng).unwrap();
+        let cl = ModelCompressor::new(cfg(8))
+            .with_scope(ClusterScope::CrossLayer)
+            .compress(&mut m2, &mut rng2)
+            .unwrap();
+        assert!(cl.storage().codebook_bits < lw.storage().codebook_bits);
+        assert_eq!(cl.storage().codebook_bits, cl.codebooks[0].storage_bits());
+    }
+
+    #[test]
+    fn masked_sse_is_finite_and_reasonable() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = tiny_cnn(4, 8, &mut rng);
+        // SSE must be measured against the *pre-compression* weights
+        let mut reference = tiny_cnn(4, 8, &mut StdRng::seed_from_u64(3));
+        let cm = ModelCompressor::new(cfg(16)).compress(&mut model, &mut rng).unwrap();
+        let sse = cm.total_masked_sse(&reference).unwrap();
+        assert!(sse.is_finite() && sse >= 0.0);
+        // against the reconstructed model the SSE is ~0
+        let sse_self = cm.total_masked_sse(&model).unwrap();
+        assert!(sse_self < 1e-6, "self-SSE {sse_self}");
+        let _ = &mut reference;
+    }
+
+    #[test]
+    fn more_codewords_lower_sse_lower_ratio() {
+        let mk = |k: usize, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut model = tiny_cnn(4, 8, &mut rng);
+            let reference = tiny_cnn(4, 8, &mut StdRng::seed_from_u64(seed));
+            let cm = ModelCompressor::new(cfg(k)).compress(&mut model, &mut rng).unwrap();
+            (cm.total_masked_sse(&reference).unwrap(), cm.compression_ratio())
+        };
+        let (sse_small, ratio_small) = mk(4, 7);
+        let (sse_big, ratio_big) = mk(64, 7);
+        assert!(sse_big < sse_small);
+        assert!(ratio_big < ratio_small);
+    }
+
+    #[test]
+    fn sparsity_reported() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = tiny_cnn(4, 8, &mut rng);
+        let cm = ModelCompressor::new(cfg(8)).compress(&mut model, &mut rng).unwrap();
+        assert_eq!(cm.sparsity(), 0.75);
+        assert_eq!(cm.keep_n(), 4);
+        assert_eq!(cm.m(), 16);
+        assert_eq!(cm.grouping(), GroupingStrategy::OutputChannelWise);
+    }
+}

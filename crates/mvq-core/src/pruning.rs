@@ -1,0 +1,488 @@
+//! N:M magnitude pruning (paper §4.3) and sparse fine-tuning (§6.2).
+//!
+//! Within every consecutive group of M weights of a subvector, the N
+//! largest-magnitude weights are kept and the rest zeroed. The sparse model
+//! is then fine-tuned, either with a frozen mask (ASP, used by the paper
+//! for detection/segmentation) or with the mask re-evaluated every step and
+//! a sparse-refining decay on pruned weights (SR-STE, used for
+//! classification).
+
+use mvq_nn::data::SyntheticClassification;
+use mvq_nn::layers::Sequential;
+use mvq_nn::loss::cross_entropy;
+use mvq_nn::optim::Optimizer;
+use mvq_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::MvqError;
+use crate::grouping::GroupingStrategy;
+use crate::mask::{validate_nm, NmMask};
+
+/// How the sparse model is fine-tuned after pruning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PruneMethod {
+    /// ASP: one-shot magnitude mask, frozen during fine-tuning.
+    Asp,
+    /// SR-STE: the mask is recomputed from the dense shadow weights every
+    /// step; pruned weights receive the straight-through gradient plus a
+    /// decay `lambda * w` pulling them toward zero.
+    SrSte {
+        /// Sparse-refinement decay coefficient (the paper of Zhou et al.
+        /// uses 2e-4..6e-4).
+        lambda: f32,
+    },
+}
+
+impl PruneMethod {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PruneMethod::Asp => "ASP",
+            PruneMethod::SrSte { .. } => "SR-STE",
+        }
+    }
+}
+
+/// Prunes a `[NG, d]` subvector matrix to N:M sparsity by magnitude.
+///
+/// Returns the pruned matrix (zeros in pruned lanes) and its mask. Ties are
+/// broken toward lower indices, making the result deterministic.
+///
+/// # Errors
+///
+/// Returns [`MvqError::InvalidConfig`] when `d % m != 0`, `keep_n > m`, or
+/// the input is not a matrix.
+pub fn prune_matrix_nm(
+    matrix: &Tensor,
+    keep_n: usize,
+    m: usize,
+) -> Result<(Tensor, NmMask), MvqError> {
+    if matrix.rank() != 2 {
+        return Err(MvqError::InvalidConfig(format!(
+            "pruning expects [NG, d], got {:?}",
+            matrix.dims()
+        )));
+    }
+    let (ng, d) = (matrix.dims()[0], matrix.dims()[1]);
+    validate_nm(d, keep_n, m)?;
+    let mut pruned = matrix.clone();
+    let mut bits = vec![false; ng * d];
+    for j in 0..ng {
+        for g in 0..d / m {
+            let start = j * d + g * m;
+            let group = &matrix.data()[start..start + m];
+            // indices of the top-N magnitudes (stable ordering)
+            let mut order: Vec<usize> = (0..m).collect();
+            order.sort_by(|&a, &b| {
+                group[b]
+                    .abs()
+                    .partial_cmp(&group[a].abs())
+                    .expect("finite weights")
+                    .then(a.cmp(&b))
+            });
+            for &t in order.iter().take(keep_n) {
+                bits[start + t] = true;
+            }
+            for (t, v) in pruned.data_mut()[start..start + m].iter_mut().enumerate() {
+                if !bits[start + t] {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+    let mask = NmMask::from_bits(ng, d, keep_n, m, bits)?;
+    Ok((pruned, mask))
+}
+
+/// Prunes every compressible conv layer of `model` in place (grouping each
+/// weight with `grouping`/`d`, pruning N:M, writing the sparse weight
+/// back). Depthwise convs and convs whose shape is incompatible with the
+/// grouping are skipped, mirroring the paper (§7.5).
+///
+/// Returns the per-layer masks, indexed by the conv's depth-first position
+/// (`None` for skipped layers).
+///
+/// # Errors
+///
+/// Propagates grouping errors other than shape incompatibility.
+pub fn prune_model(
+    model: &mut Sequential,
+    grouping: GroupingStrategy,
+    d: usize,
+    keep_n: usize,
+    m: usize,
+) -> Result<Vec<Option<NmMask>>, MvqError> {
+    let mut masks: Vec<Option<NmMask>> = Vec::new();
+    let mut first_err: Option<MvqError> = None;
+    model.visit_convs_mut(&mut |conv| {
+        if first_err.is_some() {
+            return;
+        }
+        if conv.is_depthwise() {
+            masks.push(None);
+            return;
+        }
+        let weight = conv.weight.value.clone();
+        let grouped = match grouping.group(&weight, d) {
+            Ok(g) => g,
+            Err(MvqError::IncompatibleShape { .. }) => {
+                masks.push(None);
+                return;
+            }
+            Err(e) => {
+                first_err = Some(e);
+                return;
+            }
+        };
+        match prune_matrix_nm(&grouped, keep_n, m) {
+            Ok((pruned, mask)) => match grouping.ungroup(&pruned, weight.dims(), d) {
+                Ok(w4) => {
+                    conv.weight.value = w4;
+                    masks.push(Some(mask));
+                }
+                Err(e) => first_err = Some(e),
+            },
+            Err(e) => first_err = Some(e),
+        }
+    });
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(masks),
+    }
+}
+
+/// Configuration for sparse fine-tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseFinetuneConfig {
+    /// Pruning schedule (ASP or SR-STE).
+    pub method: PruneMethod,
+    /// Epochs of sparse fine-tuning.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Grouping used when re-evaluating masks (SR-STE).
+    pub grouping: GroupingStrategy,
+    /// Subvector length.
+    pub d: usize,
+    /// Kept weights per group.
+    pub keep_n: usize,
+    /// Group size.
+    pub m: usize,
+}
+
+/// Fine-tunes a pruned model while preserving (ASP) or re-learning (SR-STE)
+/// its N:M masks. Returns the final per-layer masks.
+///
+/// SR-STE keeps a *dense shadow* of every compressible conv weight: the
+/// forward pass sees the masked weight, the straight-through gradient (plus
+/// the `λ·w` sparse-refinement decay on pruned lanes) updates the dense
+/// shadow, and the mask is re-evaluated from the shadow each step. On exit
+/// the model holds the masked weights.
+///
+/// # Errors
+///
+/// Propagates model and pruning errors.
+pub fn sparse_finetune<R: Rng>(
+    model: &mut Sequential,
+    masks: Vec<Option<NmMask>>,
+    data: &SyntheticClassification,
+    cfg: &SparseFinetuneConfig,
+    opt: &mut Optimizer,
+    rng: &mut R,
+) -> Result<Vec<Option<NmMask>>, MvqError> {
+    let mut masks = masks;
+    let n = data.n_train();
+    let mut order: Vec<usize> = (0..n).collect();
+    // dense shadow for SR-STE (starts from the masked weights; revived
+    // lanes re-grow from zero through the straight-through gradient)
+    let mut shadow: Option<Vec<Tensor>> = match cfg.method {
+        PruneMethod::SrSte { .. } => {
+            let mut ws = Vec::new();
+            model.visit_convs_mut(&mut |conv| ws.push(conv.weight.value.clone()));
+            Some(ws)
+        }
+        PruneMethod::Asp => None,
+    };
+    for _ in 0..cfg.epochs {
+        order.shuffle(rng);
+        let mut start = 0;
+        while start < n {
+            let end = (start + cfg.batch_size).min(n);
+            let (xb, yb) = gather(data, &order[start..end]);
+            model.zero_grad();
+            let logits = model.forward(&xb, true)?;
+            let (_, grad) = cross_entropy(&logits, &yb)?;
+            model.backward(&grad)?;
+            match cfg.method {
+                PruneMethod::Asp => {
+                    opt.step(model);
+                    reapply_masks(model, &masks, cfg)?;
+                }
+                PruneMethod::SrSte { lambda } => {
+                    let ws = shadow.as_mut().expect("shadow initialized for SR-STE");
+                    // restore dense shadow so the optimizer updates it
+                    let mut idx = 0usize;
+                    model.visit_convs_mut(&mut |conv| {
+                        conv.weight.value = ws[idx].clone();
+                        idx += 1;
+                    });
+                    apply_srste_decay(model, &masks, cfg, lambda)?;
+                    opt.step(model);
+                    // capture updated shadow, then re-prune for the next
+                    // forward pass
+                    let mut idx = 0usize;
+                    model.visit_convs_mut(&mut |conv| {
+                        ws[idx] = conv.weight.value.clone();
+                        idx += 1;
+                    });
+                    masks = reprune(model, cfg)?;
+                }
+            }
+            start = end;
+        }
+    }
+    Ok(masks)
+}
+
+fn gather(data: &SyntheticClassification, idx: &[usize]) -> (Tensor, Vec<usize>) {
+    let d = data.train_images.dims();
+    let per = d[1] * d[2] * d[3];
+    let mut buf = Vec::with_capacity(idx.len() * per);
+    let mut labels = Vec::with_capacity(idx.len());
+    for &i in idx {
+        buf.extend_from_slice(&data.train_images.data()[i * per..(i + 1) * per]);
+        labels.push(data.train_labels[i]);
+    }
+    (
+        Tensor::from_vec(vec![idx.len(), d[1], d[2], d[3]], buf).expect("sized buffer"),
+        labels,
+    )
+}
+
+/// Zeroes pruned weights according to fixed masks (ASP step).
+fn reapply_masks(
+    model: &mut Sequential,
+    masks: &[Option<NmMask>],
+    cfg: &SparseFinetuneConfig,
+) -> Result<(), MvqError> {
+    let mut idx = 0usize;
+    let mut first_err = None;
+    model.visit_convs_mut(&mut |conv| {
+        if first_err.is_some() {
+            return;
+        }
+        let mask = match masks.get(idx) {
+            Some(Some(m)) => m,
+            _ => {
+                idx += 1;
+                return;
+            }
+        };
+        let weight = conv.weight.value.clone();
+        let res = cfg
+            .grouping
+            .group(&weight, cfg.d)
+            .and_then(|g| mask.apply(&g))
+            .and_then(|m| cfg.grouping.ungroup(&m, weight.dims(), cfg.d));
+        match res {
+            Ok(w) => conv.weight.value = w,
+            Err(e) => first_err = Some(e),
+        }
+        idx += 1;
+    });
+    first_err.map_or(Ok(()), Err)
+}
+
+/// Recomputes magnitude masks from current weights (SR-STE step).
+fn reprune(
+    model: &mut Sequential,
+    cfg: &SparseFinetuneConfig,
+) -> Result<Vec<Option<NmMask>>, MvqError> {
+    prune_model(model, cfg.grouping, cfg.d, cfg.keep_n, cfg.m)
+}
+
+/// Adds `lambda * w` to the gradient of currently-pruned weights.
+fn apply_srste_decay(
+    model: &mut Sequential,
+    masks: &[Option<NmMask>],
+    cfg: &SparseFinetuneConfig,
+    lambda: f32,
+) -> Result<(), MvqError> {
+    let mut idx = 0usize;
+    let mut first_err = None;
+    model.visit_convs_mut(&mut |conv| {
+        if first_err.is_some() {
+            return;
+        }
+        let mask = match masks.get(idx) {
+            Some(Some(m)) => m,
+            _ => {
+                idx += 1;
+                return;
+            }
+        };
+        let weight = conv.weight.value.clone();
+        match cfg.grouping.group(&weight, cfg.d) {
+            Ok(gw) => {
+                let mut ggrad = match cfg.grouping.group(&conv.weight.grad, cfg.d) {
+                    Ok(g) => g,
+                    Err(e) => {
+                        first_err = Some(e);
+                        return;
+                    }
+                };
+                for ((g, &w), &kept) in
+                    ggrad.data_mut().iter_mut().zip(gw.data()).zip(mask.bits())
+                {
+                    if !kept {
+                        *g += lambda * w;
+                    }
+                }
+                match cfg.grouping.ungroup(&ggrad, weight.dims(), cfg.d) {
+                    Ok(g4) => conv.weight.grad = g4,
+                    Err(e) => first_err = Some(e),
+                }
+            }
+            Err(e) => first_err = Some(e),
+        }
+        idx += 1;
+    });
+    first_err.map_or(Ok(()), Err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_nn::models::tiny_cnn;
+    use mvq_nn::optim::OptimizerKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prune_keeps_largest_magnitudes() {
+        let m = Tensor::from_vec(vec![1, 4], vec![0.1, -0.9, 0.5, 0.2]).unwrap();
+        let (pruned, mask) = prune_matrix_nm(&m, 2, 4).unwrap();
+        assert_eq!(pruned.data(), &[0.0, -0.9, 0.5, 0.0]);
+        assert_eq!(mask.row(0), &[false, true, true, false]);
+    }
+
+    #[test]
+    fn prune_multiple_groups() {
+        let m =
+            Tensor::from_vec(vec![1, 8], vec![1.0, 0.1, 0.2, 0.3, -0.5, 4.0, 0.0, 0.1]).unwrap();
+        let (pruned, mask) = prune_matrix_nm(&m, 1, 4).unwrap();
+        assert_eq!(pruned.data(), &[1.0, 0.0, 0.0, 0.0, 0.0, 4.0, 0.0, 0.0]);
+        assert_eq!(mask.sparsity(), 0.75);
+    }
+
+    #[test]
+    fn prune_sparsity_matches_ratio() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = mvq_tensor::uniform(vec![32, 16], -1.0, 1.0, &mut rng);
+        let (pruned, mask) = prune_matrix_nm(&m, 4, 16).unwrap();
+        assert_eq!(pruned.sparsity(), 0.75);
+        assert_eq!(mask.sparsity(), 0.75);
+        // kept values survive untouched
+        for j in 0..32 {
+            for t in 0..16 {
+                if mask.row(j)[t] {
+                    assert_eq!(pruned.at(&[j, t]).unwrap(), m.at(&[j, t]).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prune_validates() {
+        let m = Tensor::zeros(vec![2, 6]);
+        assert!(prune_matrix_nm(&m, 2, 4).is_err(), "d not multiple of m");
+        assert!(prune_matrix_nm(&Tensor::zeros(vec![4]), 1, 2).is_err());
+        assert!(prune_matrix_nm(&Tensor::zeros(vec![2, 4]), 5, 4).is_err());
+    }
+
+    #[test]
+    fn prune_model_sparsifies_compressible_convs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = tiny_cnn(4, 8, &mut rng);
+        let masks =
+            prune_model(&mut model, GroupingStrategy::OutputChannelWise, 16, 4, 16).unwrap();
+        assert_eq!(masks.len(), model.num_convs());
+        let mut idx = 0;
+        model.visit_convs_mut(&mut |conv| {
+            if masks[idx].is_some() {
+                assert!(
+                    conv.weight.value.sparsity() >= 0.74,
+                    "conv {idx} sparsity {}",
+                    conv.weight.value.sparsity()
+                );
+            }
+            idx += 1;
+        });
+        // tiny_cnn convs have K=16 and K=32, both groupable at d=16
+        assert!(masks.iter().all(|m| m.is_some()));
+    }
+
+    #[test]
+    fn asp_finetune_preserves_masks() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = SyntheticClassification::generate(3, 32, 8, 8, &mut rng);
+        let mut model = tiny_cnn(3, 8, &mut rng);
+        let masks =
+            prune_model(&mut model, GroupingStrategy::OutputChannelWise, 16, 8, 16).unwrap();
+        let cfg = SparseFinetuneConfig {
+            method: PruneMethod::Asp,
+            epochs: 1,
+            batch_size: 16,
+            grouping: GroupingStrategy::OutputChannelWise,
+            d: 16,
+            keep_n: 8,
+            m: 16,
+        };
+        let mut opt = Optimizer::new(OptimizerKind::sgd(0.05, 0.9, 0.0));
+        let out_masks =
+            sparse_finetune(&mut model, masks.clone(), &data, &cfg, &mut opt, &mut rng).unwrap();
+        // ASP: masks unchanged, weights still sparse
+        for (a, b) in masks.iter().zip(&out_masks) {
+            assert_eq!(a.as_ref().map(|m| m.bits().to_vec()), b.as_ref().map(|m| m.bits().to_vec()));
+        }
+        model.visit_convs_mut(&mut |conv| {
+            assert!(conv.weight.value.sparsity() >= 0.49);
+        });
+    }
+
+    #[test]
+    fn srste_finetune_keeps_nm_structure() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = SyntheticClassification::generate(3, 32, 8, 8, &mut rng);
+        let mut model = tiny_cnn(3, 8, &mut rng);
+        let masks =
+            prune_model(&mut model, GroupingStrategy::OutputChannelWise, 16, 8, 16).unwrap();
+        let cfg = SparseFinetuneConfig {
+            method: PruneMethod::SrSte { lambda: 2e-4 },
+            epochs: 1,
+            batch_size: 16,
+            grouping: GroupingStrategy::OutputChannelWise,
+            d: 16,
+            keep_n: 8,
+            m: 16,
+        };
+        let mut opt = Optimizer::new(OptimizerKind::sgd(0.05, 0.9, 0.0));
+        let out_masks =
+            sparse_finetune(&mut model, masks, &data, &cfg, &mut opt, &mut rng).unwrap();
+        // N:M structure still holds (mask may have moved)
+        for m in out_masks.iter().flatten() {
+            assert_eq!(m.keep_n(), 8);
+            assert_eq!(m.m(), 16);
+        }
+        model.visit_convs_mut(&mut |conv| {
+            assert!(conv.weight.value.sparsity() >= 0.49);
+        });
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(PruneMethod::Asp.name(), "ASP");
+        assert_eq!(PruneMethod::SrSte { lambda: 1e-4 }.name(), "SR-STE");
+    }
+}

@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+use mvq_tensor::TensorError;
+
+/// Error type for the CNN substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// The input to a layer had the wrong shape.
+    BadInput {
+        /// Which layer rejected the input.
+        layer: String,
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// `backward` was called without a preceding `forward`.
+    NoForwardCache(&'static str),
+    /// A model or training configuration was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadInput { layer, detail } => {
+                write!(f, "bad input to layer `{layer}`: {detail}")
+            }
+            NnError::NoForwardCache(layer) => {
+                write!(f, "backward called on `{layer}` before forward")
+            }
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_tensor_error_preserves_source() {
+        let te = TensorError::InvalidArgument("x".into());
+        let ne: NnError = te.clone().into();
+        assert_eq!(ne, NnError::Tensor(te));
+        assert!(Error::source(&ne).is_some());
+    }
+
+    #[test]
+    fn display_mentions_layer() {
+        let e = NnError::BadInput { layer: "conv1".into(), detail: "rank".into() };
+        assert!(e.to_string().contains("conv1"));
+        assert!(NnError::NoForwardCache("relu").to_string().contains("relu"));
+    }
+}

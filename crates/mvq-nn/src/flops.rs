@@ -1,0 +1,225 @@
+//! FLOPs accounting for models, dense and sparsity-aware.
+//!
+//! The paper reports FLOPs reduction from N:M sparsity (e.g. "0.54G (-70%)"
+//! in Table 3): a weight-sparse conv layer skips the multiply-accumulates
+//! of pruned weights, so effective FLOPs scale by the kept fraction `N/M`.
+
+use mvq_tensor::{Conv2dGeometry, Tensor};
+
+use crate::error::NnError;
+use crate::layers::{Module, Sequential};
+
+/// FLOPs of one layer, with the metadata needed for sparsity adjustment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerFlops {
+    /// Depth-first conv index (`None` for non-conv layers).
+    pub conv_index: Option<usize>,
+    /// Human-readable layer description.
+    pub description: String,
+    /// Dense multiply-accumulate count × 2 (mul + add).
+    pub dense_flops: u64,
+    /// Weight sparsity applied to this layer (0 = dense).
+    pub sparsity: f32,
+}
+
+impl LayerFlops {
+    /// FLOPs after skipping pruned weights.
+    pub fn effective_flops(&self) -> u64 {
+        (self.dense_flops as f64 * (1.0 - self.sparsity as f64)).round() as u64
+    }
+}
+
+/// FLOPs report for a whole model at a given input size.
+#[derive(Debug, Clone, Default)]
+pub struct FlopsReport {
+    /// Per-layer entries in execution order.
+    pub layers: Vec<LayerFlops>,
+}
+
+impl FlopsReport {
+    /// Total dense FLOPs.
+    pub fn dense_total(&self) -> u64 {
+        self.layers.iter().map(|l| l.dense_flops).sum()
+    }
+
+    /// Total FLOPs after sparsity.
+    pub fn effective_total(&self) -> u64 {
+        self.layers.iter().map(|l| l.effective_flops()).sum()
+    }
+
+    /// Applies a uniform sparsity to every *compressible* conv layer
+    /// (dense 1x1-and-larger convs; depthwise layers are left dense, as the
+    /// paper excludes them).
+    pub fn with_conv_sparsity(mut self, sparsity: f32) -> FlopsReport {
+        for l in &mut self.layers {
+            if l.conv_index.is_some() && !l.description.contains("depthwise") {
+                l.sparsity = sparsity;
+            }
+        }
+        self
+    }
+}
+
+/// Walks `model` with a probe input of `[1, in_channels, size, size]` and
+/// tallies per-layer FLOPs.
+///
+/// The probe runs the real forward pass, so shapes are exact for any
+/// architecture expressible as [`Module`]s.
+///
+/// # Errors
+///
+/// Propagates forward-pass shape errors.
+pub fn count_flops(
+    model: &mut Sequential,
+    in_channels: usize,
+    size: usize,
+) -> Result<FlopsReport, NnError> {
+    let mut report = FlopsReport::default();
+    let mut conv_idx = 0usize;
+    let x = Tensor::zeros(vec![1, in_channels, size, size]);
+    walk(model, &x, &mut report, &mut conv_idx)?;
+    Ok(report)
+}
+
+fn walk(
+    seq: &mut Sequential,
+    input: &Tensor,
+    report: &mut FlopsReport,
+    conv_idx: &mut usize,
+) -> Result<Tensor, NnError> {
+    let mut x = input.clone();
+    for layer in seq.layers_mut() {
+        x = walk_module(layer, &x, report, conv_idx)?;
+    }
+    Ok(x)
+}
+
+fn walk_module(
+    layer: &mut Module,
+    x: &Tensor,
+    report: &mut FlopsReport,
+    conv_idx: &mut usize,
+) -> Result<Tensor, NnError> {
+    match layer {
+        Module::Conv2d(conv) => {
+            let (h, w) = (x.dims()[2], x.dims()[3]);
+            let geom =
+                Conv2dGeometry::new(h, w, conv.kernel(), conv.kernel(), conv.stride(), conv.pad());
+            let (oh, ow) = (geom.out_h(), geom.out_w());
+            let cpg = conv.in_channels() / conv.groups();
+            let macs =
+                conv.out_channels() as u64 * cpg as u64 * (conv.kernel() * conv.kernel()) as u64
+                    * (oh * ow) as u64;
+            let kind = if conv.is_depthwise() { "depthwise conv" } else { "conv" };
+            report.layers.push(LayerFlops {
+                conv_index: Some(*conv_idx),
+                description: format!(
+                    "{kind} {}x{}x{}x{} s{}",
+                    conv.out_channels(),
+                    cpg,
+                    conv.kernel(),
+                    conv.kernel(),
+                    conv.stride()
+                ),
+                dense_flops: 2 * macs,
+                sparsity: 0.0,
+            });
+            *conv_idx += 1;
+            conv.forward(x, false)
+        }
+        Module::Linear(lin) => {
+            let macs = lin.in_features() as u64 * lin.out_features() as u64;
+            report.layers.push(LayerFlops {
+                conv_index: None,
+                description: format!("linear {}x{}", lin.out_features(), lin.in_features()),
+                dense_flops: 2 * macs,
+                sparsity: 0.0,
+            });
+            lin.forward(x, false)
+        }
+        Module::Residual(res) => {
+            let main_out = walk(&mut res.main, x, report, conv_idx)?;
+            if let Some(short) = &mut res.shortcut {
+                let _ = walk(short, x, report, conv_idx)?;
+            }
+            // elementwise add + relu are negligible; reuse forward shape
+            Ok(main_out)
+        }
+        Module::Sequential(inner) => walk(inner, x, report, conv_idx),
+        other => other.forward(x, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BatchNorm2d, Conv2d, Flatten, Linear, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_flops_formula() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Sequential::new(vec![Module::Conv2d(Conv2d::new(
+            3, 8, 3, 1, 1, 1, false, &mut rng,
+        ))]);
+        let report = count_flops(&mut model, 3, 8).unwrap();
+        // 2 * K*C*R*S*OH*OW = 2 * 8*3*9*64
+        assert_eq!(report.dense_total(), 2 * 8 * 3 * 9 * 64);
+        assert_eq!(report.layers.len(), 1);
+        assert_eq!(report.layers[0].conv_index, Some(0));
+    }
+
+    #[test]
+    fn linear_flops_formula() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Sequential::new(vec![
+            Module::Flatten(Flatten::new()),
+            Module::Linear(Linear::new(48, 10, &mut rng)),
+        ]);
+        let report = count_flops(&mut model, 3, 4).unwrap();
+        assert_eq!(report.dense_total(), 2 * 48 * 10);
+    }
+
+    #[test]
+    fn sparsity_scales_conv_only() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Sequential::new(vec![
+            Module::Conv2d(Conv2d::new(3, 8, 3, 1, 1, 1, false, &mut rng)),
+            Module::BatchNorm2d(BatchNorm2d::new(8)),
+            Module::Relu(Relu::new()),
+            Module::Flatten(Flatten::new()),
+            Module::Linear(Linear::new(8 * 64, 10, &mut rng)),
+        ]);
+        let report = count_flops(&mut model, 3, 8).unwrap().with_conv_sparsity(0.75);
+        let conv_dense = 2u64 * 8 * 3 * 9 * 64;
+        let lin = 2u64 * 8 * 64 * 10;
+        assert_eq!(report.dense_total(), conv_dense + lin);
+        assert_eq!(report.effective_total(), conv_dense / 4 + lin);
+    }
+
+    #[test]
+    fn depthwise_convs_stay_dense() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Sequential::new(vec![Module::Conv2d(Conv2d::new(
+            8, 8, 3, 1, 1, 8, false, &mut rng,
+        ))]);
+        let report = count_flops(&mut model, 8, 4).unwrap().with_conv_sparsity(0.5);
+        assert_eq!(report.effective_total(), report.dense_total());
+        assert!(report.layers[0].description.contains("depthwise"));
+    }
+
+    #[test]
+    fn stride_reduces_flops() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s1 = Sequential::new(vec![Module::Conv2d(Conv2d::new(
+            3, 8, 3, 1, 1, 1, false, &mut rng,
+        ))]);
+        let mut s2 = Sequential::new(vec![Module::Conv2d(Conv2d::new(
+            3, 8, 3, 2, 1, 1, false, &mut rng,
+        ))]);
+        let f1 = count_flops(&mut s1, 3, 8).unwrap().dense_total();
+        let f2 = count_flops(&mut s2, 3, 8).unwrap().dense_total();
+        assert_eq!(f1, 4 * f2);
+    }
+}

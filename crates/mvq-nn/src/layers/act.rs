@@ -1,0 +1,115 @@
+//! Activation layers.
+
+use mvq_tensor::Tensor;
+
+use crate::error::NnError;
+
+/// Rectified linear activation, optionally capped (`ReLU6` when
+/// `cap == Some(6.0)`, as used by MobileNet-v2).
+#[derive(Debug, Clone)]
+pub struct Relu {
+    cap: Option<f32>,
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Standard unbounded ReLU.
+    pub fn new() -> Relu {
+        Relu { cap: None, mask: None }
+    }
+
+    /// ReLU clamped to `[0, cap]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap <= 0`.
+    pub fn capped(cap: f32) -> Relu {
+        assert!(cap > 0.0, "cap must be positive");
+        Relu { cap: Some(cap), mask: None }
+    }
+
+    /// The cap, if any.
+    pub fn cap(&self) -> Option<f32> {
+        self.cap
+    }
+
+    /// Forward pass over any shape.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let cap = self.cap.unwrap_or(f32::INFINITY);
+        let out = input.map(|x| x.clamp(0.0, cap));
+        if train {
+            self.mask = Some(input.data().iter().map(|&x| x > 0.0 && x < cap).collect());
+        }
+        out
+    }
+
+    /// Backward pass; gradient flows only where the input was in the active
+    /// (linear) region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] if no training forward preceded.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mask = self.mask.take().ok_or(NnError::NoForwardCache("Relu"))?;
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Ok(Tensor::from_vec(grad_out.dims().to_vec(), data)?)
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Relu::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![4], vec![-1.0, 0.0, 0.5, 3.0]).unwrap();
+        let y = relu.forward(&x, false);
+        assert_eq!(y.data(), &[0.0, 0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn relu6_caps() {
+        let mut relu = Relu::capped(6.0);
+        let x = Tensor::from_vec(vec![3], vec![-2.0, 4.0, 9.0]).unwrap();
+        let y = relu.forward(&x, false);
+        assert_eq!(y.data(), &[0.0, 4.0, 6.0]);
+        assert_eq!(relu.cap(), Some(6.0));
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = Relu::capped(6.0);
+        let x = Tensor::from_vec(vec![4], vec![-1.0, 2.0, 7.0, 0.0]).unwrap();
+        relu.forward(&x, true);
+        let g = relu.backward(&Tensor::ones(vec![4])).unwrap();
+        // gradient passes only for the in-range 2.0
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut relu = Relu::new();
+        assert!(matches!(
+            relu.backward(&Tensor::ones(vec![1])),
+            Err(NnError::NoForwardCache(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn non_positive_cap_panics() {
+        let _ = Relu::capped(0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Residual block: `y = relu(main(x) + shortcut(x))`.
+
+use mvq_tensor::Tensor;
+
+use crate::error::NnError;
+use crate::layers::Sequential;
+#[cfg(test)]
+use crate::layers::Module;
+
+/// A residual block with an optional projection shortcut, covering both
+/// ResNet basic/bottleneck blocks and MobileNet-v2 inverted residuals
+/// (set `final_relu = false` for the latter's linear bottleneck).
+#[derive(Debug, Clone)]
+pub struct Residual {
+    /// The main (residual) path.
+    pub main: Sequential,
+    /// Projection shortcut; `None` for the identity shortcut.
+    pub shortcut: Option<Sequential>,
+    final_relu: bool,
+    relu_mask: Option<Vec<bool>>,
+}
+
+impl Residual {
+    /// Builds a residual block.
+    pub fn new(main: Sequential, shortcut: Option<Sequential>, final_relu: bool) -> Residual {
+        Residual { main, shortcut, final_relu, relu_mask: None }
+    }
+
+    /// Whether a ReLU is applied after the addition.
+    pub fn has_final_relu(&self) -> bool {
+        self.final_relu
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-module errors; also rejects main/shortcut outputs of
+    /// different shapes.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        let main_out = self.main.forward(input, train)?;
+        let skip_out = match &mut self.shortcut {
+            Some(s) => s.forward(input, train)?,
+            None => input.clone(),
+        };
+        let mut sum = main_out.add(&skip_out).map_err(|_| NnError::BadInput {
+            layer: "Residual".into(),
+            detail: format!(
+                "main output {:?} does not match shortcut output {:?}",
+                main_out.dims(),
+                skip_out.dims()
+            ),
+        })?;
+        if self.final_relu {
+            if train {
+                self.relu_mask = Some(sum.data().iter().map(|&x| x > 0.0).collect());
+            }
+            sum.map_in_place(|x| x.max(0.0));
+        }
+        Ok(sum)
+    }
+
+    /// Backward pass; returns the gradient w.r.t. the block input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] if no training forward preceded.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let grad_sum = if self.final_relu {
+            let mask = self.relu_mask.take().ok_or(NnError::NoForwardCache("Residual"))?;
+            let data = grad_out
+                .data()
+                .iter()
+                .zip(&mask)
+                .map(|(&g, &m)| if m { g } else { 0.0 })
+                .collect();
+            Tensor::from_vec(grad_out.dims().to_vec(), data)?
+        } else {
+            grad_out.clone()
+        };
+        let grad_main = self.main.backward(&grad_sum)?;
+        let grad_skip = match &mut self.shortcut {
+            Some(s) => s.backward(&grad_sum)?,
+            None => grad_sum,
+        };
+        Ok(grad_main.add(&grad_skip)?)
+    }
+
+    /// Applies `f` to every trainable parameter in the block.
+    pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut crate::Param)) {
+        self.main.visit_params_mut(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_params_mut(f);
+        }
+    }
+
+    /// Applies `f` to every convolution layer (depth-first, main path then
+    /// shortcut).
+    pub fn visit_convs_mut(&mut self, f: &mut dyn FnMut(&mut super::conv::Conv2d)) {
+        self.main.visit_convs_mut(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_convs_mut(f);
+        }
+    }
+
+    /// Immutable variant of [`Residual::visit_convs_mut`].
+    pub fn visit_convs(&self, f: &mut dyn FnMut(&super::conv::Conv2d)) {
+        self.main.visit_convs(f);
+        if let Some(s) = &self.shortcut {
+            s.visit_convs(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::conv::Conv2d;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn identity_block(relu: bool) -> Residual {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(2, 2, 1, 1, 0, 1, false, &mut rng);
+        // zero conv => main path contributes nothing
+        for w in conv.weight.value.data_mut() {
+            *w = 0.0;
+        }
+        Residual::new(Sequential::new(vec![Module::Conv2d(conv)]), None, relu)
+    }
+
+    #[test]
+    fn identity_shortcut_passes_input() {
+        let mut block = identity_block(false);
+        let x = Tensor::from_vec(vec![1, 2, 2, 2], (0..8).map(|i| i as f32 - 3.0).collect())
+            .unwrap();
+        let y = block.forward(&x, false).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn final_relu_applies() {
+        let mut block = identity_block(true);
+        let x = Tensor::from_vec(vec![1, 2, 2, 2], (0..8).map(|i| i as f32 - 3.0).collect())
+            .unwrap();
+        let y = block.forward(&x, false).unwrap();
+        assert!(y.data().iter().all(|&v| v >= 0.0));
+        assert!(block.has_final_relu());
+    }
+
+    #[test]
+    fn backward_splits_gradient() {
+        let mut block = identity_block(false);
+        let x = Tensor::ones(vec![1, 2, 2, 2]);
+        block.forward(&x, true).unwrap();
+        let g = block.backward(&Tensor::ones(vec![1, 2, 2, 2])).unwrap();
+        // main path conv has zero weights so its input grad is zero;
+        // identity shortcut passes gradient through unchanged.
+        assert_eq!(g.data(), &[1.0; 8]);
+    }
+
+    #[test]
+    fn counts_convs() {
+        let block = identity_block(true);
+        let mut n = 0;
+        block.visit_convs(&mut |_| n += 1);
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,424 @@
+//! 2-D convolution with stride, padding and channel groups (depthwise
+//! convolution is `groups == in_channels`).
+
+use mvq_tensor::{
+    col2im, im2col, kaiming_normal, matmul_transpose_b, Conv2dGeometry, Tensor,
+};
+use rand::Rng;
+
+use crate::error::NnError;
+use crate::param::Param;
+
+/// A 2-D convolution layer.
+///
+/// Weight layout is `[K, C/groups, R, S]` (output channels, input channels
+/// per group, kernel height, kernel width) — the layout the paper's weight
+/// grouping strategies (Fig. 3) slice into subvectors.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Convolution weight, `[K, C/groups, R, S]`.
+    pub weight: Param,
+    /// Per-output-channel bias, `[K]`; `None` when followed by batch norm.
+    pub bias: Option<Param>,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` does not divide both channel counts, or any
+    /// dimension is zero — model-construction bugs, not runtime conditions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+        bias: bool,
+        rng: &mut R,
+    ) -> Conv2d {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0 && groups > 0);
+        assert_eq!(in_channels % groups, 0, "groups must divide in_channels");
+        assert_eq!(out_channels % groups, 0, "groups must divide out_channels");
+        let cpg = in_channels / groups;
+        let fan_in = cpg * kernel * kernel;
+        let weight = Param::new(kaiming_normal(
+            vec![out_channels, cpg, kernel, kernel],
+            fan_in,
+            rng,
+        ));
+        let bias = bias.then(|| Param::new(Tensor::zeros(vec![out_channels])));
+        Conv2d {
+            weight,
+            bias,
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            groups,
+            cached_input: None,
+        }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count `K`.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Square kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Padding.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// Channel groups (`in_channels` for depthwise convolution).
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// True when this is a depthwise convolution (one input channel per
+    /// group). The paper excludes depthwise layers from MVQ compression
+    /// (§7.5): their weight volume is negligible and EWS maps them onto the
+    /// array diagonal.
+    pub fn is_depthwise(&self) -> bool {
+        self.groups == self.in_channels && self.groups > 1
+    }
+
+    fn geometry(&self, h: usize, w: usize) -> Conv2dGeometry {
+        Conv2dGeometry::new(h, w, self.kernel, self.kernel, self.stride, self.pad)
+    }
+
+    /// Forward pass over a `[N, C, H, W]` batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] when the input rank or channel count is
+    /// wrong.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        if input.rank() != 4 || input.dims()[1] != self.in_channels {
+            return Err(NnError::BadInput {
+                layer: format!("Conv2d({}->{})", self.in_channels, self.out_channels),
+                detail: format!(
+                    "expected [N, {}, H, W], got {:?}",
+                    self.in_channels,
+                    input.dims()
+                ),
+            });
+        }
+        let (n, _, h, w) = dims4(input);
+        let geom = self.geometry(h, w);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let cpg = self.in_channels / self.groups;
+        let kpg = self.out_channels / self.groups;
+        let w2 = self.weight.value.reshape(vec![
+            self.out_channels,
+            cpg * self.kernel * self.kernel,
+        ])?;
+        let mut out = Tensor::zeros(vec![n, self.out_channels, oh, ow]);
+        for s in 0..n {
+            let img = sample(input, s);
+            for g in 0..self.groups {
+                let img_g = channel_slice(&img, g * cpg, (g + 1) * cpg);
+                let cols = im2col(&img_g, &geom)?;
+                // rows kpg x (cpg*k*k) of the weight matrix for this group
+                let mut wg = Tensor::zeros(vec![kpg, cpg * self.kernel * self.kernel]);
+                for r in 0..kpg {
+                    wg.row_mut(r).copy_from_slice(w2.row(g * kpg + r));
+                }
+                let res = wg.matmul(&cols)?;
+                let base = s * self.out_channels * oh * ow + g * kpg * oh * ow;
+                out.data_mut()[base..base + kpg * oh * ow].copy_from_slice(res.data());
+            }
+        }
+        if let Some(bias) = &self.bias {
+            let od = out.data_mut();
+            for s in 0..n {
+                for k in 0..self.out_channels {
+                    let b = bias.value.data()[k];
+                    let off = (s * self.out_channels + k) * oh * ow;
+                    for v in &mut od[off..off + oh * ow] {
+                        *v += b;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns the
+    /// input gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] when called before a training
+    /// forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or(NnError::NoForwardCache("Conv2d"))?;
+        let (n, _, h, w) = dims4(&input);
+        let geom = self.geometry(h, w);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let cpg = self.in_channels / self.groups;
+        let kpg = self.out_channels / self.groups;
+        let ksz = cpg * self.kernel * self.kernel;
+        let w2 = self.weight.value.reshape(vec![self.out_channels, ksz])?;
+        let mut grad_in = Tensor::zeros(input.dims().to_vec());
+        let mut grad_w = Tensor::zeros(vec![self.out_channels, ksz]);
+
+        for s in 0..n {
+            let img = sample(&input, s);
+            for g in 0..self.groups {
+                let img_g = channel_slice(&img, g * cpg, (g + 1) * cpg);
+                let cols = im2col(&img_g, &geom)?;
+                // grad_out slab for this sample/group: [kpg, oh*ow]
+                let base = s * self.out_channels * oh * ow + g * kpg * oh * ow;
+                let gout = Tensor::from_vec(
+                    vec![kpg, oh * ow],
+                    grad_out.data()[base..base + kpg * oh * ow].to_vec(),
+                )?;
+                // dW_g += gout · colsᵀ
+                let dwg = matmul_transpose_b(&gout, &cols)?;
+                for r in 0..kpg {
+                    let gw = grad_w.row_mut(g * kpg + r);
+                    for (a, b) in gw.iter_mut().zip(dwg.row(r)) {
+                        *a += b;
+                    }
+                }
+                // dX_g = W_gᵀ · gout folded back with col2im
+                let mut wg = Tensor::zeros(vec![kpg, ksz]);
+                for r in 0..kpg {
+                    wg.row_mut(r).copy_from_slice(w2.row(g * kpg + r));
+                }
+                let dcols = mvq_tensor::matmul_transpose_a(&wg, &gout)?;
+                let dimg = col2im(&dcols, &geom, cpg)?;
+                let dst_base = s * self.in_channels * h * w + g * cpg * h * w;
+                let gi = grad_in.data_mut();
+                for (i, &v) in dimg.data().iter().enumerate() {
+                    gi[dst_base + i] += v;
+                }
+            }
+        }
+        let gw4 = grad_w.reshape(self.weight.value.dims().to_vec())?;
+        self.weight.grad.add_assign(&gw4)?;
+        if let Some(bias) = &mut self.bias {
+            let gb = bias.grad.data_mut();
+            for s in 0..n {
+                for k in 0..self.out_channels {
+                    let off = (s * self.out_channels + k) * oh * ow;
+                    gb[k] += grad_out.data()[off..off + oh * ow].iter().sum::<f32>();
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+}
+
+/// Dims of a rank-4 tensor as a tuple.
+///
+/// # Panics
+///
+/// Panics when the tensor is not rank 4; callers validate first.
+pub(crate) fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
+    let d = t.dims();
+    assert_eq!(d.len(), 4, "expected rank-4 tensor");
+    (d[0], d[1], d[2], d[3])
+}
+
+/// Copies sample `s` of a `[N, C, H, W]` batch into a `[C, H, W]` tensor.
+pub(crate) fn sample(batch: &Tensor, s: usize) -> Tensor {
+    let (_, c, h, w) = dims4(batch);
+    let sz = c * h * w;
+    Tensor::from_vec(vec![c, h, w], batch.data()[s * sz..(s + 1) * sz].to_vec())
+        .expect("slice length matches dims")
+}
+
+/// Copies channels `[from, to)` of a `[C, H, W]` image.
+pub(crate) fn channel_slice(img: &Tensor, from: usize, to: usize) -> Tensor {
+    let d = img.dims();
+    let (h, w) = (d[1], d[2]);
+    let sz = h * w;
+    Tensor::from_vec(vec![to - from, h, w], img.data()[from * sz..to * sz].to_vec())
+        .expect("slice length matches dims")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, 1, true, &mut rng());
+        let x = Tensor::ones(vec![2, 3, 6, 6]);
+        let y = conv.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 6, 6]);
+    }
+
+    #[test]
+    fn forward_stride_downsamples() {
+        let mut conv = Conv2d::new(4, 8, 3, 2, 1, 1, false, &mut rng());
+        let x = Tensor::ones(vec![1, 4, 8, 8]);
+        let y = conv.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_wrong_channels() {
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, 1, true, &mut rng());
+        let x = Tensor::ones(vec![1, 4, 6, 6]);
+        assert!(conv.forward(&x, false).is_err());
+        assert!(conv.forward(&Tensor::ones(vec![3, 6, 6]), false).is_err());
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, 1, false, &mut rng());
+        conv.weight.value.data_mut()[0] = 1.0;
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = conv.forward(&x, false).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn depthwise_detects() {
+        let conv = Conv2d::new(8, 8, 3, 1, 1, 8, false, &mut rng());
+        assert!(conv.is_depthwise());
+        let conv = Conv2d::new(8, 8, 3, 1, 1, 1, false, &mut rng());
+        assert!(!conv.is_depthwise());
+    }
+
+    #[test]
+    fn grouped_forward_matches_per_group_dense() {
+        // A groups=2 conv must equal two dense convs on channel halves.
+        let mut seed = rng();
+        let mut grouped = Conv2d::new(4, 6, 3, 1, 1, 2, false, &mut seed);
+        let x = mvq_tensor::uniform(vec![1, 4, 5, 5], -1.0, 1.0, &mut seed);
+        let y = grouped.forward(&x, false).unwrap();
+
+        for g in 0..2 {
+            let mut dense = Conv2d::new(2, 3, 3, 1, 1, 1, false, &mut rng());
+            // copy group g weights
+            let src = grouped.weight.value.data();
+            let per = 3 * 2 * 9;
+            dense.weight.value.data_mut().copy_from_slice(&src[g * per..(g + 1) * per]);
+            let img = sample(&x, 0);
+            let xg = channel_slice(&img, g * 2, (g + 1) * 2)
+                .reshape(vec![1, 2, 5, 5])
+                .unwrap();
+            let yg = dense.forward(&xg, false).unwrap();
+            for k in 0..3 {
+                for p in 0..25 {
+                    let a = y.data()[(g * 3 + k) * 25 + p];
+                    let b = yg.data()[k * 25 + p];
+                    assert!((a - b).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, 1, true, &mut rng());
+        let g = Tensor::ones(vec![1, 8, 6, 6]);
+        assert!(matches!(conv.backward(&g), Err(NnError::NoForwardCache(_))));
+    }
+
+    /// Numerical gradient check on a small conv (weight + input grads).
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 1, true, &mut r);
+        let x = mvq_tensor::uniform(vec![1, 2, 4, 4], -1.0, 1.0, &mut r);
+        // loss = sum(forward(x))
+        let y = conv.forward(&x, true).unwrap();
+        let gout = Tensor::ones(y.dims().to_vec());
+        let gin = conv.backward(&gout).unwrap();
+
+        let eps = 1e-3;
+        // check a handful of weight coordinates
+        for &idx in &[0usize, 7, 20, 35, 53] {
+            let orig = conv.weight.value.data()[idx];
+            conv.weight.value.data_mut()[idx] = orig + eps;
+            let lp = conv.forward(&x, false).unwrap().sum();
+            conv.weight.value.data_mut()[idx] = orig - eps;
+            let lm = conv.forward(&x, false).unwrap().sum();
+            conv.weight.value.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = conv.weight.grad.data()[idx];
+            assert!((num - ana).abs() < 2e-2, "weight[{idx}]: {num} vs {ana}");
+        }
+        // check a handful of input coordinates
+        let mut x2 = x.clone();
+        for &idx in &[0usize, 5, 17, 31] {
+            let orig = x2.data()[idx];
+            x2.data_mut()[idx] = orig + eps;
+            let lp = conv.forward(&x2, false).unwrap().sum();
+            x2.data_mut()[idx] = orig - eps;
+            let lm = conv.forward(&x2, false).unwrap().sum();
+            x2.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = gin.data()[idx];
+            assert!((num - ana).abs() < 2e-2, "input[{idx}]: {num} vs {ana}");
+        }
+        // bias gradient: d(sum)/db_k = number of output pixels
+        for k in 0..3 {
+            assert!((conv.bias.as_ref().unwrap().grad.data()[k] - 16.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn depthwise_gradients_match_finite_differences() {
+        let mut r = rng();
+        let mut conv = Conv2d::new(3, 3, 3, 1, 1, 3, false, &mut r);
+        let x = mvq_tensor::uniform(vec![1, 3, 4, 4], -1.0, 1.0, &mut r);
+        let y = conv.forward(&x, true).unwrap();
+        conv.backward(&Tensor::ones(y.dims().to_vec())).unwrap();
+        let eps = 1e-3;
+        for &idx in &[0usize, 9, 22] {
+            let orig = conv.weight.value.data()[idx];
+            conv.weight.value.data_mut()[idx] = orig + eps;
+            let lp = conv.forward(&x, false).unwrap().sum();
+            conv.weight.value.data_mut()[idx] = orig - eps;
+            let lm = conv.forward(&x, false).unwrap().sum();
+            conv.weight.value.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = conv.weight.grad.data()[idx];
+            assert!((num - ana).abs() < 2e-2, "dw weight[{idx}]: {num} vs {ana}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Fully connected layer.
+
+use mvq_tensor::{gemm, kaiming_normal, matmul_transpose_a, matmul_transpose_b, Tensor};
+use rand::Rng;
+
+use crate::error::NnError;
+use crate::param::Param;
+
+/// A fully connected (dense) layer computing `y = x·Wᵀ + b` over a
+/// `[N, in_features]` batch. Weight layout is `[out_features, in_features]`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight matrix `[out_features, in_features]`.
+    pub weight: Param,
+    /// Bias vector `[out_features]`.
+    pub bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-normal weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a feature count is zero.
+    pub fn new<R: Rng>(in_features: usize, out_features: usize, rng: &mut R) -> Linear {
+        assert!(in_features > 0 && out_features > 0);
+        Linear {
+            weight: Param::new(kaiming_normal(
+                vec![out_features, in_features],
+                in_features,
+                rng,
+            )),
+            bias: Param::new(Tensor::zeros(vec![out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Forward pass over `[N, in_features]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] on a shape mismatch.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        if input.rank() != 2 || input.dims()[1] != self.in_features {
+            return Err(NnError::BadInput {
+                layer: format!("Linear({}->{})", self.in_features, self.out_features),
+                detail: format!("expected [N, {}], got {:?}", self.in_features, input.dims()),
+            });
+        }
+        // y = x · Wᵀ
+        let mut out = matmul_transpose_b(input, &self.weight.value)?;
+        let n = out.dims()[0];
+        let od = out.data_mut();
+        for s in 0..n {
+            for (o, &b) in od[s * self.out_features..(s + 1) * self.out_features]
+                .iter_mut()
+                .zip(self.bias.value.data())
+            {
+                *o += b;
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        Ok(out)
+    }
+
+    /// Backward pass; accumulates parameter gradients and returns `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] when called before a training
+    /// forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or(NnError::NoForwardCache("Linear"))?;
+        // dW = goutᵀ · x  -> [out, in]
+        let dw = matmul_transpose_a(grad_out, &input)?;
+        self.weight.grad.add_assign(&dw)?;
+        // db = column sums of gout
+        let n = grad_out.dims()[0];
+        let gb = self.bias.grad.data_mut();
+        for s in 0..n {
+            for (g, &v) in gb
+                .iter_mut()
+                .zip(&grad_out.data()[s * self.out_features..(s + 1) * self.out_features])
+            {
+                *g += v;
+            }
+        }
+        // dx = gout · W
+        Ok(gemm(grad_out, &self.weight.value)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lin = Linear::new(4, 3, &mut rng);
+        lin.bias.value.data_mut().copy_from_slice(&[1.0, 2.0, 3.0]);
+        for w in lin.weight.value.data_mut() {
+            *w = 0.0;
+        }
+        let x = Tensor::ones(vec![2, 4]);
+        let y = lin.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+        assert_eq!(y.data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn rejects_bad_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lin = Linear::new(4, 3, &mut rng);
+        assert!(lin.forward(&Tensor::ones(vec![2, 5]), false).is_err());
+        assert!(lin.forward(&Tensor::ones(vec![4]), false).is_err());
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        let x = mvq_tensor::uniform(vec![2, 3], -1.0, 1.0, &mut rng);
+        let y = lin.forward(&x, true).unwrap();
+        let gin = lin.backward(&Tensor::ones(y.dims().to_vec())).unwrap();
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let orig = lin.weight.value.data()[idx];
+            lin.weight.value.data_mut()[idx] = orig + eps;
+            let lp = lin.forward(&x, false).unwrap().sum();
+            lin.weight.value.data_mut()[idx] = orig - eps;
+            let lm = lin.forward(&x, false).unwrap().sum();
+            lin.weight.value.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - lin.weight.grad.data()[idx]).abs() < 1e-2);
+        }
+        let mut x2 = x.clone();
+        for idx in 0..6 {
+            let orig = x2.data()[idx];
+            x2.data_mut()[idx] = orig + eps;
+            let lp = lin.forward(&x2, false).unwrap().sum();
+            x2.data_mut()[idx] = orig - eps;
+            let lm = lin.forward(&x2, false).unwrap().sum();
+            x2.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gin.data()[idx]).abs() < 1e-2);
+        }
+        // bias grads equal batch size for unit upstream grads
+        assert!(lin.bias.grad.data().iter().all(|&g| (g - 2.0).abs() < 1e-5));
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lin = Linear::new(4, 3, &mut rng);
+        assert!(matches!(
+            lin.backward(&Tensor::ones(vec![1, 3])),
+            Err(NnError::NoForwardCache(_))
+        ));
+    }
+}

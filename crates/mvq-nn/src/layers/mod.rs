@@ -1,0 +1,331 @@
+//! Neural network layers composed through the [`Module`] enum.
+//!
+//! Layers are an *enum*, not trait objects, so that the compression pipeline
+//! in `mvq-core` can pattern-match on convolution layers (to extract, prune
+//! and rewrite their weights) without `Any`-downcasting. All layers follow
+//! the same protocol: `forward(x, train)` caches what backward needs when
+//! `train` is true, and `backward(grad_out)` consumes that cache,
+//! accumulates parameter gradients, and returns the input gradient.
+
+mod act;
+mod block;
+pub(crate) mod conv;
+mod linear;
+mod norm;
+mod pool;
+mod shape_ops;
+
+pub use act::Relu;
+pub use block::Residual;
+pub use conv::Conv2d;
+pub use linear::Linear;
+pub use norm::BatchNorm2d;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use shape_ops::{Flatten, UpsampleNearest};
+
+use mvq_tensor::Tensor;
+
+use crate::error::NnError;
+use crate::param::Param;
+
+/// A single network layer. See the module docs for why this is an enum.
+#[derive(Debug, Clone)]
+pub enum Module {
+    /// 2-D convolution.
+    Conv2d(Conv2d),
+    /// Fully connected layer.
+    Linear(Linear),
+    /// Batch normalization.
+    BatchNorm2d(BatchNorm2d),
+    /// ReLU / ReLU6.
+    Relu(Relu),
+    /// Max pooling.
+    MaxPool2d(MaxPool2d),
+    /// Global average pooling.
+    GlobalAvgPool(GlobalAvgPool),
+    /// Flatten to `[N, F]`.
+    Flatten(Flatten),
+    /// Nearest-neighbour upsampling.
+    UpsampleNearest(UpsampleNearest),
+    /// Residual block.
+    Residual(Residual),
+    /// Nested sequential container.
+    Sequential(Sequential),
+}
+
+impl Module {
+    /// Forward pass; caches intermediates for backward when `train`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer-specific shape errors.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        match self {
+            Module::Conv2d(l) => l.forward(input, train),
+            Module::Linear(l) => l.forward(input, train),
+            Module::BatchNorm2d(l) => l.forward(input, train),
+            Module::Relu(l) => Ok(l.forward(input, train)),
+            Module::MaxPool2d(l) => l.forward(input, train),
+            Module::GlobalAvgPool(l) => l.forward(input, train),
+            Module::Flatten(l) => l.forward(input, train),
+            Module::UpsampleNearest(l) => l.forward(input, train),
+            Module::Residual(l) => l.forward(input, train),
+            Module::Sequential(l) => l.forward(input, train),
+        }
+    }
+
+    /// Backward pass; returns the gradient w.r.t. this layer's input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] when no training-mode forward
+    /// preceded this call.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        match self {
+            Module::Conv2d(l) => l.backward(grad_out),
+            Module::Linear(l) => l.backward(grad_out),
+            Module::BatchNorm2d(l) => l.backward(grad_out),
+            Module::Relu(l) => l.backward(grad_out),
+            Module::MaxPool2d(l) => l.backward(grad_out),
+            Module::GlobalAvgPool(l) => l.backward(grad_out),
+            Module::Flatten(l) => l.backward(grad_out),
+            Module::UpsampleNearest(l) => l.backward(grad_out),
+            Module::Residual(l) => l.backward(grad_out),
+            Module::Sequential(l) => l.backward(grad_out),
+        }
+    }
+
+    /// Applies `f` to every trainable parameter, depth-first.
+    pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match self {
+            Module::Conv2d(l) => {
+                f(&mut l.weight);
+                if let Some(b) = &mut l.bias {
+                    f(b);
+                }
+            }
+            Module::Linear(l) => {
+                f(&mut l.weight);
+                f(&mut l.bias);
+            }
+            Module::BatchNorm2d(l) => {
+                f(&mut l.gamma);
+                f(&mut l.beta);
+            }
+            Module::Residual(l) => l.visit_params_mut(f),
+            Module::Sequential(l) => l.visit_params_mut(f),
+            _ => {}
+        }
+    }
+
+    /// Applies `f` to every convolution layer, depth-first. The visit order
+    /// is deterministic, giving each conv a stable index used by the
+    /// compression pipeline.
+    pub fn visit_convs_mut(&mut self, f: &mut dyn FnMut(&mut Conv2d)) {
+        match self {
+            Module::Conv2d(l) => f(l),
+            Module::Residual(l) => l.visit_convs_mut(f),
+            Module::Sequential(l) => l.visit_convs_mut(f),
+            _ => {}
+        }
+    }
+
+    /// Immutable variant of [`Module::visit_convs_mut`].
+    pub fn visit_convs(&self, f: &mut dyn FnMut(&Conv2d)) {
+        match self {
+            Module::Conv2d(l) => f(l),
+            Module::Residual(l) => l.visit_convs(f),
+            Module::Sequential(l) => l.visit_convs(f),
+            _ => {}
+        }
+    }
+}
+
+/// An ordered container of [`Module`]s executed front to back; the root
+/// type of every model in [`crate::models`].
+#[derive(Debug, Clone, Default)]
+pub struct Sequential {
+    layers: Vec<Module>,
+}
+
+impl Sequential {
+    /// Creates a sequential model from layers.
+    pub fn new(layers: Vec<Module>) -> Sequential {
+        Sequential { layers }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Module) {
+        self.layers.push(layer);
+    }
+
+    /// Number of direct child layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the container has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Direct child layers.
+    pub fn layers(&self) -> &[Module] {
+        &self.layers
+    }
+
+    /// Mutable access to direct child layers.
+    pub fn layers_mut(&mut self) -> &mut [Module] {
+        &mut self.layers
+    }
+
+    /// Forward pass through all layers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing layer's error.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train)?;
+        }
+        Ok(x)
+    }
+
+    /// Backward pass through all layers in reverse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing layer's error.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Applies `f` to every trainable parameter, depth-first.
+    pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params_mut(f);
+        }
+    }
+
+    /// Applies `f` to every convolution, depth-first.
+    pub fn visit_convs_mut(&mut self, f: &mut dyn FnMut(&mut Conv2d)) {
+        for layer in &mut self.layers {
+            layer.visit_convs_mut(f);
+        }
+    }
+
+    /// Immutable variant of [`Sequential::visit_convs_mut`].
+    pub fn visit_convs(&self, f: &mut dyn FnMut(&Conv2d)) {
+        for layer in &self.layers {
+            layer.visit_convs(f);
+        }
+    }
+
+    /// Zeroes the gradients of every parameter.
+    pub fn zero_grad(&mut self) {
+        self.visit_params_mut(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params_mut(&mut |p| n += p.numel());
+        n
+    }
+
+    /// Number of convolution layers (depth-first).
+    pub fn num_convs(&self) -> usize {
+        let mut n = 0;
+        self.visit_convs(&mut |_| n += 1);
+        n
+    }
+}
+
+impl FromIterator<Module> for Sequential {
+    fn from_iter<I: IntoIterator<Item = Module>>(iter: I) -> Self {
+        Sequential::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_net() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(2);
+        Sequential::new(vec![
+            Module::Conv2d(Conv2d::new(1, 4, 3, 1, 1, 1, false, &mut rng)),
+            Module::BatchNorm2d(BatchNorm2d::new(4)),
+            Module::Relu(Relu::new()),
+            Module::MaxPool2d(MaxPool2d::new(2, 2)),
+            Module::Flatten(Flatten::new()),
+            Module::Linear(Linear::new(4 * 2 * 2, 3, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut net = small_net();
+        let x = Tensor::ones(vec![2, 1, 4, 4]);
+        let y = net.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+        let gin = net.backward(&Tensor::ones(vec![2, 3])).unwrap();
+        assert_eq!(gin.dims(), &[2, 1, 4, 4]);
+    }
+
+    #[test]
+    fn param_and_conv_counts() {
+        let mut net = small_net();
+        // conv 1*4*9=36, bn 4+4, linear 16*3+3
+        assert_eq!(net.num_params(), 36 + 8 + 51);
+        assert_eq!(net.num_convs(), 1);
+    }
+
+    #[test]
+    fn zero_grad_clears_everything() {
+        let mut net = small_net();
+        let x = Tensor::ones(vec![1, 1, 4, 4]);
+        let y = net.forward(&x, true).unwrap();
+        net.backward(&Tensor::ones(y.dims().to_vec())).unwrap();
+        let mut any_nonzero = false;
+        net.visit_params_mut(&mut |p| {
+            any_nonzero |= p.grad.data().iter().any(|&g| g != 0.0)
+        });
+        assert!(any_nonzero, "backward should have produced gradients");
+        net.zero_grad();
+        net.visit_params_mut(&mut |p| {
+            assert!(p.grad.data().iter().all(|&g| g == 0.0));
+        });
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let net: Sequential =
+            vec![Module::Relu(Relu::new()), Module::Flatten(Flatten::new())].into_iter().collect();
+        assert_eq!(net.len(), 2);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn nested_sequential_visits() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inner = Sequential::new(vec![Module::Conv2d(Conv2d::new(
+            1, 1, 1, 1, 0, 1, false, &mut rng,
+        ))]);
+        let mut outer = Sequential::new(vec![
+            Module::Sequential(inner),
+            Module::Conv2d(Conv2d::new(1, 1, 1, 1, 0, 1, false, &mut rng)),
+        ]);
+        assert_eq!(outer.num_convs(), 2);
+        let mut count = 0;
+        outer.visit_convs_mut(&mut |_| count += 1);
+        assert_eq!(count, 2);
+    }
+}

@@ -1,0 +1,255 @@
+//! Batch normalization over `[N, C, H, W]` activations.
+
+use mvq_tensor::Tensor;
+
+use crate::error::NnError;
+use crate::layers::conv::dims4;
+use crate::param::Param;
+
+/// 2-D batch normalization with learned scale/shift and running statistics
+/// for inference.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    /// Learned per-channel scale γ.
+    pub gamma: Param,
+    /// Learned per-channel shift β.
+    pub beta: Param,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    // backward caches
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    count: usize,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> BatchNorm2d {
+        assert!(channels > 0);
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones(vec![channels])),
+            beta: Param::new(Tensor::zeros(vec![channels])),
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+        cache: None,
+        }
+    }
+
+    /// Channel count this layer normalizes.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Forward pass. In training mode uses batch statistics and updates the
+    /// running averages; in eval mode uses the running statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] when the input is not
+    /// `[N, channels, H, W]`.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        if input.rank() != 4 || input.dims()[1] != self.channels {
+            return Err(NnError::BadInput {
+                layer: format!("BatchNorm2d({})", self.channels),
+                detail: format!("expected [N, {}, H, W], got {:?}", self.channels, input.dims()),
+            });
+        }
+        let (n, c, h, w) = dims4(input);
+        let count = n * h * w;
+        let plane = h * w;
+        let mut out = Tensor::zeros(input.dims().to_vec());
+        let mut x_hat = Tensor::zeros(input.dims().to_vec());
+        let mut inv_stds = vec![0.0f32; c];
+        for ch in 0..c {
+            let (mean, var) = if train {
+                let mut sum = 0.0f64;
+                let mut sq = 0.0f64;
+                for s in 0..n {
+                    let off = (s * c + ch) * plane;
+                    for &v in &input.data()[off..off + plane] {
+                        sum += v as f64;
+                        sq += (v as f64) * (v as f64);
+                    }
+                }
+                let mean = (sum / count as f64) as f32;
+                let var = ((sq / count as f64) - (sum / count as f64).powi(2)).max(0.0) as f32;
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ch], self.running_var[ch])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ch] = inv_std;
+            let g = self.gamma.value.data()[ch];
+            let b = self.beta.value.data()[ch];
+            for s in 0..n {
+                let off = (s * c + ch) * plane;
+                for i in 0..plane {
+                    let xh = (input.data()[off + i] - mean) * inv_std;
+                    x_hat.data_mut()[off + i] = xh;
+                    out.data_mut()[off + i] = g * xh + b;
+                }
+            }
+        }
+        if train {
+            self.cache = Some(BnCache { x_hat, inv_std: inv_stds, count });
+        }
+        Ok(out)
+    }
+
+    /// Backward pass using the standard batch-norm gradient formula.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] when called before a training
+    /// forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let cache = self.cache.take().ok_or(NnError::NoForwardCache("BatchNorm2d"))?;
+        let (n, c, h, w) = dims4(grad_out);
+        let plane = h * w;
+        let m = cache.count as f32;
+        let mut grad_in = Tensor::zeros(grad_out.dims().to_vec());
+        for ch in 0..c {
+            // Reductions over the channel: Σdy and Σdy·x̂.
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for s in 0..n {
+                let off = (s * c + ch) * plane;
+                for i in 0..plane {
+                    let dy = grad_out.data()[off + i] as f64;
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.x_hat.data()[off + i] as f64;
+                }
+            }
+            self.gamma.grad.data_mut()[ch] += sum_dy_xhat as f32;
+            self.beta.grad.data_mut()[ch] += sum_dy as f32;
+            let g = self.gamma.value.data()[ch];
+            let inv_std = cache.inv_std[ch];
+            let k1 = sum_dy as f32 / m;
+            let k2 = sum_dy_xhat as f32 / m;
+            for s in 0..n {
+                let off = (s * c + ch) * plane;
+                for i in 0..plane {
+                    let dy = grad_out.data()[off + i];
+                    let xh = cache.x_hat.data()[off + i];
+                    grad_in.data_mut()[off + i] = g * inv_std * (dy - k1 - xh * k2);
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalizes_batch_statistics() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut bn = BatchNorm2d::new(2);
+        let x = mvq_tensor::uniform(vec![4, 2, 3, 3], -2.0, 5.0, &mut rng);
+        let y = bn.forward(&x, true).unwrap();
+        // each channel of y should have ~zero mean, ~unit variance
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for s in 0..4 {
+                let off = (s * 2 + ch) * 9;
+                vals.extend_from_slice(&y.data()[off..off + 9]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut bn = BatchNorm2d::new(1);
+        // Feed many batches so the running stats converge to the true ones.
+        for _ in 0..200 {
+            let x = mvq_tensor::uniform(vec![8, 1, 2, 2], 2.0, 4.0, &mut rng);
+            bn.forward(&x, true).unwrap();
+        }
+        // mean ≈ 3.0, var ≈ (4-2)²/12 ≈ 0.333
+        let x = Tensor::full(vec![1, 1, 2, 2], 3.0);
+        let y = bn.forward(&x, false).unwrap();
+        for &v in y.data() {
+            assert!(v.abs() < 0.15, "expected ~0, got {v}");
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut bn = BatchNorm2d::new(2);
+        // Randomize gamma/beta so the test isn't at a special point.
+        bn.gamma.value.data_mut().copy_from_slice(&[1.3, 0.7]);
+        bn.beta.value.data_mut().copy_from_slice(&[0.1, -0.2]);
+        let x = mvq_tensor::uniform(vec![2, 2, 2, 2], -1.0, 1.0, &mut rng);
+        // Loss = Σ w_i y_i with fixed random weights (sum alone has zero grad
+        // through normalization).
+        let wv = mvq_tensor::uniform(vec![2, 2, 2, 2], -1.0, 1.0, &mut rng);
+        let y = bn.forward(&x, true).unwrap();
+        let gin = bn.backward(&wv).unwrap();
+        let _ = y;
+        let eps = 1e-2;
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
+            let y = bn.forward(x, true).unwrap();
+            y.data().iter().zip(wv.data()).map(|(a, b)| a * b).sum()
+        };
+        let mut x2 = x.clone();
+        for idx in 0..16 {
+            let orig = x2.data()[idx];
+            x2.data_mut()[idx] = orig + eps;
+            let lp = loss(&mut bn, &x2);
+            x2.data_mut()[idx] = orig - eps;
+            let lm = loss(&mut bn, &x2);
+            x2.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gin.data()[idx]).abs() < 3e-2,
+                "input[{idx}]: num {num} vs ana {}",
+                gin.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_channels() {
+        let mut bn = BatchNorm2d::new(4);
+        assert!(bn.forward(&Tensor::ones(vec![1, 3, 2, 2]), true).is_err());
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut bn = BatchNorm2d::new(1);
+        assert!(matches!(
+            bn.backward(&Tensor::ones(vec![1, 1, 2, 2])),
+            Err(NnError::NoForwardCache(_))
+        ));
+    }
+}

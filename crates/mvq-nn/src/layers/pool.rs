@@ -1,0 +1,233 @@
+//! Pooling layers: max pooling and global average pooling.
+
+use mvq_tensor::{Pool2dGeometry, Tensor};
+
+use crate::error::NnError;
+use crate::layers::conv::dims4;
+
+/// 2-D max pooling with square window and stride.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    window: usize,
+    stride: usize,
+    // for each output element, flat index of the winning input element
+    argmax: Option<(Vec<usize>, Vec<usize>)>, // (indices, input dims as flat)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `stride == 0`.
+    pub fn new(window: usize, stride: usize) -> MaxPool2d {
+        assert!(window > 0 && stride > 0);
+        MaxPool2d { window, stride, argmax: None }
+    }
+
+    /// Pooling window side.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Forward pass over `[N, C, H, W]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] when the input is not rank 4 or is
+    /// smaller than the pooling window.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        if input.rank() != 4 {
+            return Err(NnError::BadInput {
+                layer: "MaxPool2d".into(),
+                detail: format!("expected rank 4, got {:?}", input.dims()),
+            });
+        }
+        let (n, c, h, w) = dims4(input);
+        if h < self.window || w < self.window {
+            return Err(NnError::BadInput {
+                layer: "MaxPool2d".into(),
+                detail: format!("input {h}x{w} smaller than window {}", self.window),
+            });
+        }
+        let geom = Pool2dGeometry::new(h, w, self.window, self.window, self.stride, 0);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let mut out = Tensor::zeros(vec![n, c, oh, ow]);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let src = input.data();
+        for s in 0..n {
+            for ch in 0..c {
+                let in_base = (s * c + ch) * h * w;
+                let out_base = (s * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.window {
+                            for kx in 0..self.window {
+                                let iy = oy * self.stride + ky;
+                                let ix = ox * self.stride + kx;
+                                let idx = in_base + iy * w + ix;
+                                if src[idx] > best {
+                                    best = src[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out.data_mut()[out_base + oy * ow + ox] = best;
+                        argmax[out_base + oy * ow + ox] = best_idx;
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = Some((argmax, input.dims().to_vec()));
+        }
+        Ok(out)
+    }
+
+    /// Backward pass scattering gradients to the argmax positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] if no training forward preceded.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let (argmax, in_dims) =
+            self.argmax.take().ok_or(NnError::NoForwardCache("MaxPool2d"))?;
+        let mut grad_in = Tensor::zeros(in_dims);
+        let gi = grad_in.data_mut();
+        for (g, &idx) in grad_out.data().iter().zip(&argmax) {
+            gi[idx] += g;
+        }
+        Ok(grad_in)
+    }
+}
+
+/// Global average pooling: `[N, C, H, W] -> [N, C, 1, 1]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> GlobalAvgPool {
+        GlobalAvgPool { cached_dims: None }
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] for non-rank-4 inputs.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        if input.rank() != 4 {
+            return Err(NnError::BadInput {
+                layer: "GlobalAvgPool".into(),
+                detail: format!("expected rank 4, got {:?}", input.dims()),
+            });
+        }
+        let (n, c, h, w) = dims4(input);
+        let plane = h * w;
+        let mut out = Tensor::zeros(vec![n, c, 1, 1]);
+        for i in 0..n * c {
+            let s: f32 = input.data()[i * plane..(i + 1) * plane].iter().sum();
+            out.data_mut()[i] = s / plane as f32;
+        }
+        if train {
+            self.cached_dims = Some(input.dims().to_vec());
+        }
+        Ok(out)
+    }
+
+    /// Backward pass distributing gradient evenly over the pooled region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] if no training forward preceded.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let dims = self.cached_dims.take().ok_or(NnError::NoForwardCache("GlobalAvgPool"))?;
+        let (h, w) = (dims[2], dims[3]);
+        let plane = (h * w) as f32;
+        let mut grad_in = Tensor::zeros(dims);
+        let gi = grad_in.data_mut();
+        for (i, &g) in grad_out.data().iter().enumerate() {
+            let v = g / plane;
+            for x in &mut gi[i * (h * w)..(i + 1) * (h * w)] {
+                *x = v;
+            }
+        }
+        Ok(grad_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_maximum() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+        )
+        .unwrap();
+        let y = pool.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            vec![1, 1, 2, 2],
+            vec![1.0, 5.0, 2.0, 3.0],
+        )
+        .unwrap();
+        pool.forward(&x, true).unwrap();
+        let g = pool.backward(&Tensor::full(vec![1, 1, 1, 1], 2.5)).unwrap();
+        assert_eq!(g.data(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_validates() {
+        let mut pool = MaxPool2d::new(3, 1);
+        assert!(pool.forward(&Tensor::ones(vec![1, 1, 2, 2]), false).is_err());
+        assert!(pool.forward(&Tensor::ones(vec![2, 2]), false).is_err());
+        assert!(matches!(
+            pool.backward(&Tensor::ones(vec![1, 1, 1, 1])),
+            Err(NnError::NoForwardCache(_))
+        ));
+    }
+
+    #[test]
+    fn gap_averages() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0])
+            .unwrap();
+        let y = gap.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 1, 1]);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn gap_backward_distributes() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::ones(vec![1, 1, 2, 2]);
+        gap.forward(&x, true).unwrap();
+        let g = gap.backward(&Tensor::full(vec![1, 1, 1, 1], 4.0)).unwrap();
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Shape-manipulation layers: flatten and nearest-neighbour upsampling.
+
+use mvq_tensor::Tensor;
+
+use crate::error::NnError;
+use crate::layers::conv::dims4;
+
+/// Flattens `[N, C, H, W]` to `[N, C*H*W]` for the classifier head.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Flatten {
+        Flatten { cached_dims: None }
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] for tensors of rank < 2.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        if input.rank() < 2 {
+            return Err(NnError::BadInput {
+                layer: "Flatten".into(),
+                detail: format!("expected rank >= 2, got {:?}", input.dims()),
+            });
+        }
+        let n = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        if train {
+            self.cached_dims = Some(input.dims().to_vec());
+        }
+        Ok(input.reshape(vec![n, rest])?)
+    }
+
+    /// Backward pass (inverse reshape).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] if no training forward preceded.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let dims = self.cached_dims.take().ok_or(NnError::NoForwardCache("Flatten"))?;
+        Ok(grad_out.reshape(dims)?)
+    }
+}
+
+/// Nearest-neighbour spatial upsampling by an integer factor — the decoder
+/// step of DeepLab-lite.
+#[derive(Debug, Clone)]
+pub struct UpsampleNearest {
+    factor: usize,
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl UpsampleNearest {
+    /// Creates an upsampler that scales H and W by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn new(factor: usize) -> UpsampleNearest {
+        assert!(factor > 0);
+        UpsampleNearest { factor, cached_dims: None }
+    }
+
+    /// The scale factor.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Forward pass `[N, C, H, W] -> [N, C, H*f, W*f]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] for non-rank-4 inputs.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        if input.rank() != 4 {
+            return Err(NnError::BadInput {
+                layer: "UpsampleNearest".into(),
+                detail: format!("expected rank 4, got {:?}", input.dims()),
+            });
+        }
+        let (n, c, h, w) = dims4(input);
+        let f = self.factor;
+        let mut out = Tensor::zeros(vec![n, c, h * f, w * f]);
+        let src = input.data();
+        let dst = out.data_mut();
+        for i in 0..n * c {
+            let in_base = i * h * w;
+            let out_base = i * h * f * w * f;
+            for y in 0..h * f {
+                for x in 0..w * f {
+                    dst[out_base + y * w * f + x] = src[in_base + (y / f) * w + (x / f)];
+                }
+            }
+        }
+        if train {
+            self.cached_dims = Some(input.dims().to_vec());
+        }
+        Ok(out)
+    }
+
+    /// Backward pass: sums gradients over each upsampled block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] if no training forward preceded.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let dims = self.cached_dims.take().ok_or(NnError::NoForwardCache("UpsampleNearest"))?;
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let f = self.factor;
+        let mut grad_in = Tensor::zeros(dims.clone());
+        let gi = grad_in.data_mut();
+        let go = grad_out.data();
+        for i in 0..n * c {
+            let in_base = i * h * w;
+            let out_base = i * h * f * w * f;
+            for y in 0..h * f {
+                for x in 0..w * f {
+                    gi[in_base + (y / f) * w + (x / f)] += go[out_base + y * w * f + x];
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::ones(vec![2, 3, 4, 4]);
+        let y = fl.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 48]);
+        let g = fl.backward(&y).unwrap();
+        assert_eq!(g.dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn flatten_validates() {
+        let mut fl = Flatten::new();
+        assert!(fl.forward(&Tensor::ones(vec![3]), false).is_err());
+        assert!(matches!(
+            fl.backward(&Tensor::ones(vec![1, 1])),
+            Err(NnError::NoForwardCache(_))
+        ));
+    }
+
+    #[test]
+    fn upsample_replicates() {
+        let mut up = UpsampleNearest::new(2);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = up.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 4, 4]);
+        assert_eq!(
+            y.data(),
+            &[1.0, 1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0, 3.0, 3.0, 4.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn upsample_backward_sums_blocks() {
+        let mut up = UpsampleNearest::new(2);
+        let x = Tensor::ones(vec![1, 1, 2, 2]);
+        up.forward(&x, true).unwrap();
+        let g = up.backward(&Tensor::ones(vec![1, 1, 4, 4])).unwrap();
+        assert_eq!(g.data(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Loss functions: softmax cross-entropy for classification and its
+//! per-pixel variant for segmentation.
+
+use mvq_tensor::Tensor;
+
+use crate::error::NnError;
+
+/// Softmax cross-entropy over `[N, num_classes]` logits.
+///
+/// Returns `(mean_loss, grad_logits)` where the gradient is already divided
+/// by the batch size, ready to feed into `Sequential::backward`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] when `logits` is not rank 2 or the label
+/// count does not match the batch size, or a label is out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor), NnError> {
+    if logits.rank() != 2 {
+        return Err(NnError::BadInput {
+            layer: "cross_entropy".into(),
+            detail: format!("expected [N, C] logits, got {:?}", logits.dims()),
+        });
+    }
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != n {
+        return Err(NnError::BadInput {
+            layer: "cross_entropy".into(),
+            detail: format!("{} labels for batch of {n}", labels.len()),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= c) {
+        return Err(NnError::BadInput {
+            layer: "cross_entropy".into(),
+            detail: format!("label {bad} out of range for {c} classes"),
+        });
+    }
+    let mut grad = Tensor::zeros(vec![n, c]);
+    let mut loss = 0.0f64;
+    for s in 0..n {
+        let row = &logits.data()[s * c..(s + 1) * c];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        let label = labels[s];
+        loss += -((exps[label] / z).max(1e-12).ln()) as f64;
+        let g = grad.row_mut(s);
+        for (j, gv) in g.iter_mut().enumerate() {
+            let p = exps[j] / z;
+            *gv = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    Ok(((loss / n as f64) as f32, grad))
+}
+
+/// Per-pixel softmax cross-entropy over `[N, C, H, W]` logits with
+/// `[N, H, W]`-shaped labels flattened into `labels` (row-major).
+///
+/// Returns `(mean_loss, grad_logits)`; the mean is over all pixels.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] on shape/label mismatches.
+pub fn pixel_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor), NnError> {
+    if logits.rank() != 4 {
+        return Err(NnError::BadInput {
+            layer: "pixel_cross_entropy".into(),
+            detail: format!("expected [N, C, H, W] logits, got {:?}", logits.dims()),
+        });
+    }
+    let d = logits.dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let pixels = n * h * w;
+    if labels.len() != pixels {
+        return Err(NnError::BadInput {
+            layer: "pixel_cross_entropy".into(),
+            detail: format!("{} labels for {pixels} pixels", labels.len()),
+        });
+    }
+    let mut grad = Tensor::zeros(d.to_vec());
+    let mut loss = 0.0f64;
+    let plane = h * w;
+    for s in 0..n {
+        for p in 0..plane {
+            let label = labels[s * plane + p];
+            if label >= c {
+                return Err(NnError::BadInput {
+                    layer: "pixel_cross_entropy".into(),
+                    detail: format!("label {label} out of range for {c} classes"),
+                });
+            }
+            // gather the C logits of this pixel (stride `plane` apart)
+            let base = s * c * plane + p;
+            let mut max = f32::NEG_INFINITY;
+            for ch in 0..c {
+                max = max.max(logits.data()[base + ch * plane]);
+            }
+            let mut z = 0.0f32;
+            let mut exps = vec![0.0f32; c];
+            for ch in 0..c {
+                let e = (logits.data()[base + ch * plane] - max).exp();
+                exps[ch] = e;
+                z += e;
+            }
+            loss += -((exps[label] / z).max(1e-12).ln()) as f64;
+            for ch in 0..c {
+                let prob = exps[ch] / z;
+                grad.data_mut()[base + ch * plane] =
+                    (prob - if ch == label { 1.0 } else { 0.0 }) / pixels as f32;
+            }
+        }
+    }
+    Ok(((loss / pixels as f64) as f32, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(vec![2, 4]);
+        let (loss, grad) = cross_entropy(&logits, &[0, 3]).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // gradient sums to zero per row
+        for s in 0..2 {
+            let sum: f32 = grad.row(s).iter().sum();
+            assert!(sum.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = Tensor::zeros(vec![1, 3]);
+        logits.data_mut()[1] = 10.0;
+        let (loss, _) = cross_entropy(&logits, &[1]).unwrap();
+        assert!(loss < 1e-3);
+        let (loss_wrong, _) = cross_entropy(&logits, &[0]).unwrap();
+        assert!(loss_wrong > 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut logits =
+            Tensor::from_vec(vec![2, 3], vec![0.3, -0.1, 0.5, 1.0, 0.0, -1.0]).unwrap();
+        let labels = [2usize, 0];
+        let (_, grad) = cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let orig = logits.data()[idx];
+            logits.data_mut()[idx] = orig + eps;
+            let (lp, _) = cross_entropy(&logits, &labels).unwrap();
+            logits.data_mut()[idx] = orig - eps;
+            let (lm, _) = cross_entropy(&logits, &labels).unwrap();
+            logits.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - grad.data()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let logits = Tensor::zeros(vec![2, 3]);
+        assert!(cross_entropy(&logits, &[0]).is_err());
+        assert!(cross_entropy(&logits, &[0, 5]).is_err());
+        assert!(cross_entropy(&Tensor::zeros(vec![6]), &[0]).is_err());
+    }
+
+    #[test]
+    fn pixel_ce_matches_flat_ce_for_1x1() {
+        // A 1x1 image per sample reduces to ordinary cross-entropy.
+        let logits4 =
+            Tensor::from_vec(vec![2, 3, 1, 1], vec![0.3, -0.1, 0.5, 1.0, 0.0, -1.0]).unwrap();
+        let logits2 = logits4.reshape(vec![2, 3]).unwrap();
+        let (l4, g4) = pixel_cross_entropy(&logits4, &[2, 0]).unwrap();
+        let (l2, g2) = cross_entropy(&logits2, &[2, 0]).unwrap();
+        assert!((l4 - l2).abs() < 1e-6);
+        for (a, b) in g4.data().iter().zip(g2.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pixel_ce_gradient_matches_finite_differences() {
+        let mut logits = Tensor::from_vec(
+            vec![1, 2, 2, 2],
+            vec![0.5, -0.5, 0.2, 0.8, -0.3, 0.9, 0.0, 0.1],
+        )
+        .unwrap();
+        let labels = [0usize, 1, 1, 0];
+        let (_, grad) = pixel_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for idx in 0..8 {
+            let orig = logits.data()[idx];
+            logits.data_mut()[idx] = orig + eps;
+            let (lp, _) = pixel_cross_entropy(&logits, &labels).unwrap();
+            logits.data_mut()[idx] = orig - eps;
+            let (lm, _) = pixel_cross_entropy(&logits, &labels).unwrap();
+            logits.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - grad.data()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn pixel_ce_validates() {
+        let logits = Tensor::zeros(vec![1, 2, 2, 2]);
+        assert!(pixel_cross_entropy(&logits, &[0; 3]).is_err());
+        assert!(pixel_cross_entropy(&logits, &[9; 4]).is_err());
+        assert!(pixel_cross_entropy(&Tensor::zeros(vec![2, 2]), &[0; 4]).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! AlexNet-lite: a shallow stack of wider convolutions.
+
+use rand::Rng;
+
+use crate::layers::{Flatten, Linear, MaxPool2d, Module, Relu, Sequential};
+use crate::models::conv_bn_relu;
+
+/// AlexNet-lite: five conv layers with aggressive early pooling and a
+/// two-layer classifier, echoing AlexNet's few-but-wide profile.
+pub fn alexnet_lite<R: Rng>(num_classes: usize, rng: &mut R) -> Sequential {
+    let mut layers = Vec::new();
+    layers.extend(conv_bn_relu(3, 32, 3, 1, 1, 1, rng));
+    layers.push(Module::MaxPool2d(MaxPool2d::new(2, 2))); // 8x8
+    layers.extend(conv_bn_relu(32, 64, 3, 1, 1, 1, rng));
+    layers.push(Module::MaxPool2d(MaxPool2d::new(2, 2))); // 4x4
+    layers.extend(conv_bn_relu(64, 96, 3, 1, 1, 1, rng));
+    layers.extend(conv_bn_relu(96, 96, 3, 1, 1, 1, rng));
+    layers.extend(conv_bn_relu(96, 64, 3, 1, 1, 1, rng));
+    layers.push(Module::MaxPool2d(MaxPool2d::new(2, 2))); // 2x2
+    layers.push(Module::Flatten(Flatten::new()));
+    layers.push(Module::Linear(Linear::new(64 * 2 * 2, 96, rng)));
+    layers.push(Module::Relu(Relu::new()));
+    layers.push(Module::Linear(Linear::new(96, num_classes, rng)));
+    Sequential::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builds_and_runs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = alexnet_lite(10, &mut rng);
+        assert_eq!(model.num_convs(), 5);
+        let y = model.forward(&Tensor::zeros(vec![2, 3, 16, 16]), false).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+}

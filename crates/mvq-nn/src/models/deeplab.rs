@@ -1,0 +1,76 @@
+//! DeepLab-lite: a dense-prediction model (encoder + parallel-branch
+//! context module + upsampled classifier) standing in for DeepLab-v3 with
+//! MobileNet-v2 backbone in Table 6. Atrous convolution is replaced by
+//! parallel 3x3/1x1 branches summed through the [`Residual`] container,
+//! which preserves the property Table 6 tests: a dense-prediction head fed
+//! by an MVQ-compressible backbone.
+
+use rand::Rng;
+
+use crate::layers::{Conv2d, Module, Residual, Sequential, UpsampleNearest};
+use crate::models::{conv_bn_relu, conv_bn_relu6};
+
+/// DeepLab-lite on 16×16 inputs: encoder downsamples to 4×4, an
+/// "ASPP-lite" two-branch context block, a 1x1 classifier, and 4×
+/// upsampling back to input resolution. Output is `[N, classes, 16, 16]`.
+pub fn deeplab_lite<R: Rng>(num_classes: usize, rng: &mut R) -> Sequential {
+    let mut layers = Vec::new();
+    // encoder (MobileNet-v2-ish)
+    layers.extend(conv_bn_relu6(3, 16, 3, 2, 1, 1, rng)); // 8x8
+    layers.extend(conv_bn_relu6(16, 16, 3, 1, 1, 16, rng)); // depthwise
+    layers.extend(conv_bn_relu6(16, 32, 1, 1, 0, 1, rng));
+    layers.extend(conv_bn_relu6(32, 32, 3, 2, 1, 32, rng)); // depthwise, 4x4
+    layers.extend(conv_bn_relu6(32, 64, 1, 1, 0, 1, rng));
+    // ASPP-lite: 3x3 context branch + 1x1 branch, summed
+    let ctx = Sequential::new(conv_bn_relu(64, 64, 3, 1, 1, 1, rng));
+    let point = Sequential::new(vec![Module::Conv2d(Conv2d::new(
+        64, 64, 1, 1, 0, 1, false, rng,
+    ))]);
+    layers.push(Module::Residual(Residual::new(ctx, Some(point), true)));
+    // classifier + decoder
+    layers.push(Module::Conv2d(Conv2d::new(64, num_classes, 1, 1, 0, 1, true, rng)));
+    layers.push(Module::UpsampleNearest(UpsampleNearest::new(4)));
+    Sequential::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_matches_input_resolution() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = deeplab_lite(5, &mut rng);
+        let y = model.forward(&Tensor::zeros(vec![2, 3, 16, 16]), false).unwrap();
+        assert_eq!(y.dims(), &[2, 5, 16, 16]);
+    }
+
+    #[test]
+    fn trains_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = deeplab_lite(3, &mut rng);
+        let x = Tensor::zeros(vec![1, 3, 16, 16]);
+        let y = model.forward(&x, true).unwrap();
+        let g = model.backward(&Tensor::ones(y.dims().to_vec()));
+        assert!(g.is_ok());
+    }
+
+    #[test]
+    fn contains_compressible_and_depthwise_convs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = deeplab_lite(5, &mut rng);
+        let (mut dense, mut dw) = (0, 0);
+        model.visit_convs(&mut |c| {
+            if c.is_depthwise() {
+                dw += 1;
+            } else {
+                dense += 1;
+            }
+        });
+        assert!(dense >= 4, "dense convs: {dense}");
+        assert_eq!(dw, 2);
+    }
+}

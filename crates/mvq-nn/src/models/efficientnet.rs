@@ -1,0 +1,76 @@
+//! EfficientNet-lite: MBConv (inverted-residual) stacks without
+//! squeeze-and-excite, the standard "lite" simplification (as in Google's
+//! EfficientNet-Lite release) that keeps every compressible layer a plain
+//! or depthwise convolution.
+
+use rand::Rng;
+
+use crate::layers::{
+    BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Linear, Module, Residual, Sequential,
+};
+use crate::models::conv_bn_relu6;
+
+fn mbconv<R: Rng>(
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    expand: usize,
+    rng: &mut R,
+) -> Module {
+    let mid = in_ch * expand;
+    let mut main = Vec::new();
+    if expand != 1 {
+        main.extend(conv_bn_relu6(in_ch, mid, 1, 1, 0, 1, rng));
+    }
+    main.extend(conv_bn_relu6(mid, mid, 3, stride, 1, mid, rng));
+    main.push(Module::Conv2d(Conv2d::new(mid, out_ch, 1, 1, 0, 1, false, rng)));
+    main.push(Module::BatchNorm2d(BatchNorm2d::new(out_ch)));
+    if stride == 1 && in_ch == out_ch {
+        Module::Residual(Residual::new(Sequential::new(main), None, false))
+    } else {
+        Module::Sequential(Sequential::new(main))
+    }
+}
+
+/// EfficientNet-lite: deeper MBConv stacks than MobileNet-v2-lite with a
+/// wider head.
+pub fn efficientnet_lite<R: Rng>(num_classes: usize, rng: &mut R) -> Sequential {
+    let mut layers = Vec::new();
+    layers.extend(conv_bn_relu6(3, 16, 3, 1, 1, 1, rng));
+    layers.push(mbconv(16, 16, 1, 1, rng));
+    layers.push(mbconv(16, 32, 2, 4, rng)); // 8x8
+    layers.push(mbconv(32, 32, 1, 4, rng));
+    layers.push(mbconv(32, 32, 1, 4, rng));
+    layers.push(mbconv(32, 64, 2, 4, rng)); // 4x4
+    layers.push(mbconv(64, 64, 1, 4, rng));
+    layers.push(mbconv(64, 64, 1, 4, rng));
+    layers.extend(conv_bn_relu6(64, 160, 1, 1, 0, 1, rng));
+    layers.push(Module::GlobalAvgPool(GlobalAvgPool::new()));
+    layers.push(Module::Flatten(Flatten::new()));
+    layers.push(Module::Linear(Linear::new(160, num_classes, rng)));
+    Sequential::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builds_and_runs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = efficientnet_lite(10, &mut rng);
+        let y = model.forward(&Tensor::zeros(vec![1, 3, 16, 16]), false).unwrap();
+        assert_eq!(y.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn deeper_than_mobilenet_v2() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let eff = efficientnet_lite(10, &mut rng);
+        let mb2 = crate::models::mobilenet_v2_lite(10, &mut rng);
+        assert!(eff.num_convs() > mb2.num_convs());
+    }
+}

@@ -1,0 +1,123 @@
+//! MobileNet-v1-lite (depthwise-separable convs) and MobileNet-v2-lite
+//! (inverted residuals with linear bottlenecks and ReLU6).
+
+use rand::Rng;
+
+use crate::layers::{
+    BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Linear, Module, Residual, Sequential,
+};
+use crate::models::{conv_bn_relu, conv_bn_relu6};
+
+/// One depthwise-separable unit: depthwise 3x3 then pointwise 1x1.
+fn dw_separable<R: Rng>(in_ch: usize, out_ch: usize, stride: usize, rng: &mut R) -> Vec<Module> {
+    let mut layers = Vec::new();
+    layers.extend(conv_bn_relu(in_ch, in_ch, 3, stride, 1, in_ch, rng)); // depthwise
+    layers.extend(conv_bn_relu(in_ch, out_ch, 1, 1, 0, 1, rng)); // pointwise
+    layers
+}
+
+/// MobileNet-v1-lite: stem + five depthwise-separable stages.
+pub fn mobilenet_v1_lite<R: Rng>(num_classes: usize, rng: &mut R) -> Sequential {
+    let mut layers = Vec::new();
+    layers.extend(conv_bn_relu(3, 16, 3, 1, 1, 1, rng));
+    layers.extend(dw_separable(16, 32, 1, rng));
+    layers.extend(dw_separable(32, 64, 2, rng)); // 8x8
+    layers.extend(dw_separable(64, 64, 1, rng));
+    layers.extend(dw_separable(64, 128, 2, rng)); // 4x4
+    layers.extend(dw_separable(128, 128, 1, rng));
+    layers.push(Module::GlobalAvgPool(GlobalAvgPool::new()));
+    layers.push(Module::Flatten(crate::layers::Flatten::new()));
+    layers.push(Module::Linear(Linear::new(128, num_classes, rng)));
+    Sequential::new(layers)
+}
+
+/// One MobileNet-v2 inverted residual: 1x1 expand (ReLU6) → depthwise 3x3
+/// (ReLU6) → 1x1 linear projection, with identity skip when shapes match.
+fn inverted_residual<R: Rng>(
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    expand: usize,
+    rng: &mut R,
+) -> Module {
+    let mid = in_ch * expand;
+    let mut main = Vec::new();
+    if expand != 1 {
+        main.extend(conv_bn_relu6(in_ch, mid, 1, 1, 0, 1, rng));
+    }
+    main.extend(conv_bn_relu6(mid, mid, 3, stride, 1, mid, rng)); // depthwise
+    main.push(Module::Conv2d(Conv2d::new(mid, out_ch, 1, 1, 0, 1, false, rng)));
+    main.push(Module::BatchNorm2d(BatchNorm2d::new(out_ch)));
+    if stride == 1 && in_ch == out_ch {
+        // linear bottleneck: no ReLU after the addition
+        Module::Residual(Residual::new(Sequential::new(main), None, false))
+    } else {
+        Module::Sequential(Sequential::new(main))
+    }
+}
+
+/// MobileNet-v2-lite: stem + five inverted-residual blocks (t = 2 or 4).
+pub fn mobilenet_v2_lite<R: Rng>(num_classes: usize, rng: &mut R) -> Sequential {
+    let mut layers = Vec::new();
+    layers.extend(conv_bn_relu6(3, 16, 3, 1, 1, 1, rng));
+    layers.push(inverted_residual(16, 16, 1, 2, rng));
+    layers.push(inverted_residual(16, 32, 2, 4, rng)); // 8x8
+    layers.push(inverted_residual(32, 32, 1, 4, rng));
+    layers.push(inverted_residual(32, 64, 2, 4, rng)); // 4x4
+    layers.push(inverted_residual(64, 64, 1, 4, rng));
+    layers.extend(conv_bn_relu6(64, 128, 1, 1, 0, 1, rng));
+    layers.push(Module::GlobalAvgPool(GlobalAvgPool::new()));
+    layers.push(Module::Flatten(Flatten::new()));
+    layers.push(Module::Linear(Linear::new(128, num_classes, rng)));
+    Sequential::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn v1_builds_and_runs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = mobilenet_v1_lite(10, &mut rng);
+        let y = model.forward(&Tensor::zeros(vec![1, 3, 16, 16]), false).unwrap();
+        assert_eq!(y.dims(), &[1, 10]);
+        // stem + 5 blocks * 2 = 11 convs
+        assert_eq!(model.num_convs(), 11);
+    }
+
+    #[test]
+    fn v2_builds_and_runs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = mobilenet_v2_lite(10, &mut rng);
+        let y = model.forward(&Tensor::zeros(vec![1, 3, 16, 16]), false).unwrap();
+        assert_eq!(y.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn v2_identity_blocks_are_residual() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = mobilenet_v2_lite(10, &mut rng);
+        let residuals = model
+            .layers()
+            .iter()
+            .filter(|m| matches!(m, Module::Residual(_)))
+            .count();
+        // blocks with stride 1 and in == out: 16->16, 32->32, 64->64
+        assert_eq!(residuals, 3);
+    }
+
+    #[test]
+    fn v2_linear_bottleneck_has_no_final_relu() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = mobilenet_v2_lite(10, &mut rng);
+        for m in model.layers() {
+            if let Module::Residual(r) = m {
+                assert!(!r.has_final_relu(), "v2 residuals must be linear bottlenecks");
+            }
+        }
+    }
+}

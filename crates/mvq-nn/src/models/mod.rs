@@ -1,0 +1,264 @@
+//! The model zoo: scaled-down ("-lite") versions of every architecture in
+//! the paper's evaluation (§6.4, §7): ResNet-18/50, VGG-16, AlexNet,
+//! MobileNet-v1/v2, EfficientNet and DeepLab-v3.
+//!
+//! All classification models take `[N, 3, 16, 16]` inputs. Channel counts
+//! are multiples of 16 so that the paper's output-channel-wise grouping
+//! with `d = 16` (and `d = 8`) applies without remainder, exactly as the
+//! paper requires ("C_out and C_in are multiples of d", Fig. 3).
+
+mod alexnet;
+mod deeplab;
+mod efficientnet;
+mod mobilenet;
+mod resnet;
+mod vgg;
+
+pub use alexnet::alexnet_lite;
+pub use deeplab::deeplab_lite;
+pub use efficientnet::efficientnet_lite;
+pub use mobilenet::{mobilenet_v1_lite, mobilenet_v2_lite};
+pub use resnet::{resnet18_lite, resnet50_lite};
+pub use vgg::vgg16_lite;
+
+use rand::Rng;
+
+use crate::layers::{
+    BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Module, Relu, Sequential,
+};
+
+/// Input image side length every classification model in the zoo expects.
+pub const INPUT_SIZE: usize = 16;
+
+/// Number of input channels (RGB).
+pub const INPUT_CHANNELS: usize = 3;
+
+/// The architecture families evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// ResNet-18 (basic residual blocks).
+    ResNet18,
+    /// ResNet-50 (bottleneck residual blocks).
+    ResNet50,
+    /// VGG-16 (plain conv stacks).
+    Vgg16,
+    /// AlexNet.
+    AlexNet,
+    /// MobileNet-v1 (depthwise-separable convolutions).
+    MobileNetV1,
+    /// MobileNet-v2 (inverted residuals, ReLU6).
+    MobileNetV2,
+    /// EfficientNet (lite: MBConv stacks without squeeze-excite).
+    EfficientNet,
+}
+
+impl Arch {
+    /// All classification architectures.
+    pub const ALL: [Arch; 7] = [
+        Arch::ResNet18,
+        Arch::ResNet50,
+        Arch::Vgg16,
+        Arch::AlexNet,
+        Arch::MobileNetV1,
+        Arch::MobileNetV2,
+        Arch::EfficientNet,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Arch::ResNet18 => "ResNet-18",
+            Arch::ResNet50 => "ResNet-50",
+            Arch::Vgg16 => "VGG-16",
+            Arch::AlexNet => "AlexNet",
+            Arch::MobileNetV1 => "MobileNet-v1",
+            Arch::MobileNetV2 => "MobileNet-v2",
+            Arch::EfficientNet => "EfficientNet",
+        }
+    }
+
+    /// True for architectures the paper calls "parameter-efficient"
+    /// (MobileNets, EfficientNets), which get 1:2 / 2:4 pruning instead of
+    /// 4:16 (§6.2).
+    pub fn is_parameter_efficient(&self) -> bool {
+        matches!(self, Arch::MobileNetV1 | Arch::MobileNetV2 | Arch::EfficientNet)
+    }
+
+    /// Builds the lite model for `num_classes`.
+    pub fn build<R: Rng>(&self, num_classes: usize, rng: &mut R) -> Sequential {
+        match self {
+            Arch::ResNet18 => resnet18_lite(num_classes, rng),
+            Arch::ResNet50 => resnet50_lite(num_classes, rng),
+            Arch::Vgg16 => vgg16_lite(num_classes, rng),
+            Arch::AlexNet => alexnet_lite(num_classes, rng),
+            Arch::MobileNetV1 => mobilenet_v1_lite(num_classes, rng),
+            Arch::MobileNetV2 => mobilenet_v2_lite(num_classes, rng),
+            Arch::EfficientNet => efficientnet_lite(num_classes, rng),
+        }
+    }
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// conv → batch-norm → ReLU, the ubiquitous building block.
+pub(crate) fn conv_bn_relu<R: Rng>(
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    rng: &mut R,
+) -> Vec<Module> {
+    vec![
+        Module::Conv2d(Conv2d::new(in_ch, out_ch, kernel, stride, pad, groups, false, rng)),
+        Module::BatchNorm2d(BatchNorm2d::new(out_ch)),
+        Module::Relu(Relu::new()),
+    ]
+}
+
+/// conv → batch-norm → ReLU6 (MobileNet-v2 / EfficientNet flavour).
+pub(crate) fn conv_bn_relu6<R: Rng>(
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    rng: &mut R,
+) -> Vec<Module> {
+    vec![
+        Module::Conv2d(Conv2d::new(in_ch, out_ch, kernel, stride, pad, groups, false, rng)),
+        Module::BatchNorm2d(BatchNorm2d::new(out_ch)),
+        Module::Relu(Relu::capped(6.0)),
+    ]
+}
+
+/// A minimal two-conv CNN used by unit tests and the quickstart example
+/// (`size` is the input side, e.g. 8).
+pub fn tiny_cnn<R: Rng>(num_classes: usize, size: usize, rng: &mut R) -> Sequential {
+    let mut layers = Vec::new();
+    layers.extend(conv_bn_relu(3, 16, 3, 1, 1, 1, rng));
+    layers.push(Module::MaxPool2d(MaxPool2d::new(2, 2)));
+    layers.extend(conv_bn_relu(16, 32, 3, 1, 1, 1, rng));
+    layers.push(Module::GlobalAvgPool(GlobalAvgPool::new()));
+    layers.push(Module::Flatten(Flatten::new()));
+    layers.push(Module::Linear(Linear::new(32, num_classes, rng)));
+    let _ = size;
+    Sequential::new(layers)
+}
+
+/// A minimal encoder-decoder segmenter used by unit tests.
+pub fn tiny_segmenter<R: Rng>(num_classes: usize, rng: &mut R) -> Sequential {
+    use crate::layers::UpsampleNearest;
+    let mut layers = Vec::new();
+    layers.extend(conv_bn_relu(3, 16, 3, 2, 1, 1, rng));
+    layers.extend(conv_bn_relu(16, 16, 3, 1, 1, 1, rng));
+    layers.push(Module::Conv2d(Conv2d::new(16, num_classes, 1, 1, 0, 1, true, rng)));
+    layers.push(Module::UpsampleNearest(UpsampleNearest::new(2)));
+    Sequential::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_arch_builds_and_runs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for arch in Arch::ALL {
+            let mut model = arch.build(10, &mut rng);
+            let x = Tensor::zeros(vec![1, INPUT_CHANNELS, INPUT_SIZE, INPUT_SIZE]);
+            let y = model
+                .forward(&x, false)
+                .unwrap_or_else(|e| panic!("{arch} forward failed: {e}"));
+            assert_eq!(y.dims(), &[1, 10], "{arch} output shape");
+            assert!(model.num_convs() > 0, "{arch} has convs");
+        }
+    }
+
+    #[test]
+    fn every_arch_backprops() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for arch in Arch::ALL {
+            let mut model = arch.build(4, &mut rng);
+            let x = Tensor::zeros(vec![2, 3, INPUT_SIZE, INPUT_SIZE]);
+            let y = model.forward(&x, true).unwrap();
+            let g = model.backward(&Tensor::ones(y.dims().to_vec()));
+            assert!(g.is_ok(), "{arch} backward failed: {:?}", g.err());
+        }
+    }
+
+    #[test]
+    fn channel_counts_are_multiples_of_16_for_grouping() {
+        // Output-wise grouping with d=16 requires C_out % 16 == 0 for every
+        // compressible (non-depthwise) conv.
+        let mut rng = StdRng::seed_from_u64(2);
+        for arch in Arch::ALL {
+            let model = arch.build(10, &mut rng);
+            model.visit_convs(&mut |c| {
+                if !c.is_depthwise() {
+                    assert_eq!(
+                        c.out_channels() % 16,
+                        0,
+                        "{arch}: conv with C_out {} not divisible by 16",
+                        c.out_channels()
+                    );
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn parameter_efficient_flags() {
+        assert!(Arch::MobileNetV1.is_parameter_efficient());
+        assert!(Arch::MobileNetV2.is_parameter_efficient());
+        assert!(Arch::EfficientNet.is_parameter_efficient());
+        assert!(!Arch::ResNet18.is_parameter_efficient());
+        assert!(!Arch::Vgg16.is_parameter_efficient());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Arch::ResNet18.name(), "ResNet-18");
+        assert_eq!(format!("{}", Arch::MobileNetV2), "MobileNet-v2");
+    }
+
+    #[test]
+    fn mobilenets_have_depthwise_layers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for arch in [Arch::MobileNetV1, Arch::MobileNetV2, Arch::EfficientNet] {
+            let model = arch.build(10, &mut rng);
+            let mut any_dw = false;
+            model.visit_convs(&mut |c| any_dw |= c.is_depthwise());
+            assert!(any_dw, "{arch} should contain depthwise convs");
+        }
+    }
+
+    #[test]
+    fn tiny_models_run() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cnn = tiny_cnn(5, 8, &mut rng);
+        let y = cnn.forward(&Tensor::zeros(vec![1, 3, 8, 8]), false).unwrap();
+        assert_eq!(y.dims(), &[1, 5]);
+        let mut seg = tiny_segmenter(3, &mut rng);
+        let y = seg.forward(&Tensor::zeros(vec![1, 3, 8, 8]), false).unwrap();
+        assert_eq!(y.dims(), &[1, 3, 8, 8]);
+    }
+
+    #[test]
+    fn deeplab_output_is_dense() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = deeplab_lite(4, &mut rng);
+        let x = Tensor::zeros(vec![1, 3, 16, 16]);
+        let y = model.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 4, 16, 16]);
+    }
+}

@@ -1,0 +1,143 @@
+//! ResNet-18-lite (basic blocks) and ResNet-50-lite (bottleneck blocks).
+
+use rand::Rng;
+
+use crate::layers::{
+    BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Linear, Module, Residual, Sequential,
+};
+use crate::models::conv_bn_relu;
+
+/// A basic residual block: 3x3 conv → bn → relu → 3x3 conv → bn, plus a
+/// projection shortcut when shape changes.
+fn basic_block<R: Rng>(in_ch: usize, out_ch: usize, stride: usize, rng: &mut R) -> Module {
+    let mut main = Vec::new();
+    main.extend(conv_bn_relu(in_ch, out_ch, 3, stride, 1, 1, rng));
+    main.push(Module::Conv2d(Conv2d::new(out_ch, out_ch, 3, 1, 1, 1, false, rng)));
+    main.push(Module::BatchNorm2d(BatchNorm2d::new(out_ch)));
+    let shortcut = if stride != 1 || in_ch != out_ch {
+        Some(Sequential::new(vec![
+            Module::Conv2d(Conv2d::new(in_ch, out_ch, 1, stride, 0, 1, false, rng)),
+            Module::BatchNorm2d(BatchNorm2d::new(out_ch)),
+        ]))
+    } else {
+        None
+    };
+    Module::Residual(Residual::new(Sequential::new(main), shortcut, true))
+}
+
+/// A bottleneck residual block: 1x1 reduce → 3x3 → 1x1 expand.
+fn bottleneck_block<R: Rng>(
+    in_ch: usize,
+    mid_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    rng: &mut R,
+) -> Module {
+    let mut main = Vec::new();
+    main.extend(conv_bn_relu(in_ch, mid_ch, 1, 1, 0, 1, rng));
+    main.extend(conv_bn_relu(mid_ch, mid_ch, 3, stride, 1, 1, rng));
+    main.push(Module::Conv2d(Conv2d::new(mid_ch, out_ch, 1, 1, 0, 1, false, rng)));
+    main.push(Module::BatchNorm2d(BatchNorm2d::new(out_ch)));
+    let shortcut = if stride != 1 || in_ch != out_ch {
+        Some(Sequential::new(vec![
+            Module::Conv2d(Conv2d::new(in_ch, out_ch, 1, stride, 0, 1, false, rng)),
+            Module::BatchNorm2d(BatchNorm2d::new(out_ch)),
+        ]))
+    } else {
+        None
+    };
+    Module::Residual(Residual::new(Sequential::new(main), shortcut, true))
+}
+
+/// ResNet-18-lite: stem + three stages of two basic blocks each
+/// (16 → 32 → 64 channels) on 16×16 inputs.
+pub fn resnet18_lite<R: Rng>(num_classes: usize, rng: &mut R) -> Sequential {
+    let mut layers = Vec::new();
+    layers.extend(conv_bn_relu(3, 16, 3, 1, 1, 1, rng));
+    // stage 1: 16ch, 16x16
+    layers.push(basic_block(16, 16, 1, rng));
+    layers.push(basic_block(16, 16, 1, rng));
+    // stage 2: 32ch, 8x8
+    layers.push(basic_block(16, 32, 2, rng));
+    layers.push(basic_block(32, 32, 1, rng));
+    // stage 3: 64ch, 4x4
+    layers.push(basic_block(32, 64, 2, rng));
+    layers.push(basic_block(64, 64, 1, rng));
+    layers.push(Module::GlobalAvgPool(GlobalAvgPool::new()));
+    layers.push(Module::Flatten(Flatten::new()));
+    layers.push(Module::Linear(Linear::new(64, num_classes, rng)));
+    Sequential::new(layers)
+}
+
+/// ResNet-50-lite: stem + three stages of two bottleneck blocks each
+/// (mid 16/32/64, out 32/64/128) on 16×16 inputs.
+pub fn resnet50_lite<R: Rng>(num_classes: usize, rng: &mut R) -> Sequential {
+    let mut layers = Vec::new();
+    layers.extend(conv_bn_relu(3, 32, 3, 1, 1, 1, rng));
+    // stage 1
+    layers.push(bottleneck_block(32, 16, 32, 1, rng));
+    layers.push(bottleneck_block(32, 16, 32, 1, rng));
+    // stage 2
+    layers.push(bottleneck_block(32, 32, 64, 2, rng));
+    layers.push(bottleneck_block(64, 32, 64, 1, rng));
+    // stage 3
+    layers.push(bottleneck_block(64, 64, 128, 2, rng));
+    layers.push(bottleneck_block(128, 64, 128, 1, rng));
+    layers.push(Module::GlobalAvgPool(GlobalAvgPool::new()));
+    layers.push(Module::Flatten(Flatten::new()));
+    layers.push(Module::Linear(Linear::new(128, num_classes, rng)));
+    let mut seq = Sequential::new(layers);
+    let _ = &mut seq;
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn resnet18_has_expected_depth() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = resnet18_lite(10, &mut rng);
+        // stem 1 + 6 blocks * 2 convs + 2 projection shortcuts = 15 convs
+        assert_eq!(model.num_convs(), 1 + 12 + 2);
+    }
+
+    #[test]
+    fn resnet50_has_expected_depth() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = resnet50_lite(10, &mut rng);
+        // stem 1 + 6 blocks * 3 convs + 2 projection shortcuts (stage 1's
+        // first block keeps 32 channels, so only stages 2-3 project)
+        assert_eq!(model.num_convs(), 1 + 18 + 2);
+    }
+
+    #[test]
+    fn spatial_reduction_is_4x() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = resnet18_lite(10, &mut rng);
+        // probe through everything but the classifier head
+        let x = Tensor::zeros(vec![1, 3, 16, 16]);
+        let y = model.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn residual_blocks_train_without_error() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = resnet18_lite(4, &mut rng);
+        let x = mvq_tensor::uniform(vec![2, 3, 16, 16], -1.0, 1.0, &mut rng);
+        let y = model.forward(&x, true).unwrap();
+        model.backward(&Tensor::ones(y.dims().to_vec())).unwrap();
+        let mut grads_nonzero = 0;
+        model.visit_params_mut(&mut |p| {
+            if p.grad.data().iter().any(|&g| g != 0.0) {
+                grads_nonzero += 1;
+            }
+        });
+        assert!(grads_nonzero > 10, "most params should receive gradient");
+    }
+}

@@ -1,0 +1,58 @@
+//! VGG-16-lite: plain 3x3 conv stacks with max pooling.
+
+use rand::Rng;
+
+use crate::layers::{Flatten, Linear, MaxPool2d, Module, Relu, Sequential};
+use crate::models::conv_bn_relu;
+
+/// VGG-16-lite: conv stacks `[16,16] [32,32] [64,64,64]` with 2x2 pooling
+/// after each stack, then a two-layer classifier. Mirrors VGG's
+/// heavy-conv/heavy-FC profile that makes it DRAM-bound in the paper's
+/// Fig. 15 discussion.
+pub fn vgg16_lite<R: Rng>(num_classes: usize, rng: &mut R) -> Sequential {
+    let mut layers = Vec::new();
+    layers.extend(conv_bn_relu(3, 16, 3, 1, 1, 1, rng));
+    layers.extend(conv_bn_relu(16, 16, 3, 1, 1, 1, rng));
+    layers.push(Module::MaxPool2d(MaxPool2d::new(2, 2))); // 8x8
+    layers.extend(conv_bn_relu(16, 32, 3, 1, 1, 1, rng));
+    layers.extend(conv_bn_relu(32, 32, 3, 1, 1, 1, rng));
+    layers.push(Module::MaxPool2d(MaxPool2d::new(2, 2))); // 4x4
+    layers.extend(conv_bn_relu(32, 64, 3, 1, 1, 1, rng));
+    layers.extend(conv_bn_relu(64, 64, 3, 1, 1, 1, rng));
+    layers.extend(conv_bn_relu(64, 64, 3, 1, 1, 1, rng));
+    layers.push(Module::MaxPool2d(MaxPool2d::new(2, 2))); // 2x2
+    layers.push(Module::Flatten(Flatten::new()));
+    layers.push(Module::Linear(Linear::new(64 * 2 * 2, 64, rng)));
+    layers.push(Module::Relu(Relu::new()));
+    layers.push(Module::Linear(Linear::new(64, num_classes, rng)));
+    Sequential::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_count_and_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = vgg16_lite(10, &mut rng);
+        assert_eq!(model.num_convs(), 7);
+        let y = model.forward(&Tensor::zeros(vec![1, 3, 16, 16]), false).unwrap();
+        assert_eq!(y.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn has_two_linear_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = vgg16_lite(10, &mut rng);
+        let linears = model
+            .layers()
+            .iter()
+            .filter(|m| matches!(m, Module::Linear(_)))
+            .count();
+        assert_eq!(linears, 2);
+    }
+}

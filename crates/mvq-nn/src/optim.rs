@@ -1,0 +1,328 @@
+//! Optimizers: SGD with momentum, Adam, and AdamW.
+//!
+//! The paper fine-tunes codebooks with "the optimizer (Adam, SGD, AdamW)
+//! with hyperparameter θ" (Eq. 6); the same three are provided here and are
+//! reused by `mvq-core` for masked-gradient codebook updates.
+
+use mvq_tensor::Tensor;
+
+use crate::layers::Sequential;
+use crate::param::Param;
+
+/// Which update rule to apply, with its hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// Stochastic gradient descent with momentum and (coupled) L2 weight
+    /// decay.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (0 disables momentum).
+        momentum: f32,
+        /// L2 weight-decay coefficient added to the gradient.
+        weight_decay: f32,
+    },
+    /// Adam (Kingma & Ba, 2014) with bias correction.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+    /// AdamW: Adam with decoupled weight decay.
+    AdamW {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Numerical-stability epsilon.
+        eps: f32,
+        /// Decoupled weight-decay coefficient.
+        weight_decay: f32,
+    },
+}
+
+impl OptimizerKind {
+    /// SGD shorthand.
+    pub fn sgd(lr: f32, momentum: f32, weight_decay: f32) -> OptimizerKind {
+        OptimizerKind::Sgd { lr, momentum, weight_decay }
+    }
+
+    /// Adam with the standard betas.
+    pub fn adam(lr: f32) -> OptimizerKind {
+        OptimizerKind::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+
+    /// AdamW with the standard betas.
+    pub fn adamw(lr: f32, weight_decay: f32) -> OptimizerKind {
+        OptimizerKind::AdamW { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay }
+    }
+
+    /// The current learning rate.
+    pub fn lr(&self) -> f32 {
+        match *self {
+            OptimizerKind::Sgd { lr, .. }
+            | OptimizerKind::Adam { lr, .. }
+            | OptimizerKind::AdamW { lr, .. } => lr,
+        }
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, new_lr: f32) {
+        match self {
+            OptimizerKind::Sgd { lr, .. }
+            | OptimizerKind::Adam { lr, .. }
+            | OptimizerKind::AdamW { lr, .. } => *lr = new_lr,
+        }
+    }
+}
+
+/// Per-parameter optimizer state (momentum / moment buffers), keyed by the
+/// visit order of the model's parameters.
+#[derive(Debug, Default, Clone)]
+struct SlotState {
+    m: Option<Tensor>,
+    v: Option<Tensor>,
+}
+
+/// An optimizer instance holding per-parameter state.
+///
+/// The optimizer identifies parameters by their depth-first visit order, so
+/// it must always be used with the same model.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    slots: Vec<SlotState>,
+    step_count: u64,
+}
+
+impl Optimizer {
+    /// Creates an optimizer with empty state.
+    pub fn new(kind: OptimizerKind) -> Optimizer {
+        Optimizer { kind, slots: Vec::new(), step_count: 0 }
+    }
+
+    /// The update rule and hyperparameters.
+    pub fn kind(&self) -> &OptimizerKind {
+        &self.kind
+    }
+
+    /// Mutable access to hyperparameters (e.g. for LR schedules).
+    pub fn kind_mut(&mut self) -> &mut OptimizerKind {
+        &mut self.kind
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step_count
+    }
+
+    /// Applies one update step to every parameter of `model` using the
+    /// gradients accumulated since the last `zero_grad`.
+    pub fn step(&mut self, model: &mut Sequential) {
+        self.step_count += 1;
+        let t = self.step_count;
+        let kind = self.kind;
+        let slots = &mut self.slots;
+        let mut idx = 0usize;
+        model.visit_params_mut(&mut |p| {
+            if slots.len() <= idx {
+                slots.resize(idx + 1, SlotState::default());
+            }
+            apply_update(&kind, p, &mut slots[idx], t);
+            idx += 1;
+        });
+    }
+
+    /// Applies one update to a free-standing parameter (used by the
+    /// codebook fine-tuner in `mvq-core`, where the "parameter" is a
+    /// codebook rather than a model weight). `slot` selects independent
+    /// state; allocate one slot per codebook.
+    pub fn step_param(&mut self, param: &mut Param, slot: usize) {
+        self.step_count += 1;
+        if self.slots.len() <= slot {
+            self.slots.resize(slot + 1, SlotState::default());
+        }
+        let kind = self.kind;
+        let t = self.step_count;
+        apply_update(&kind, param, &mut self.slots[slot], t);
+    }
+}
+
+fn apply_update(kind: &OptimizerKind, p: &mut Param, slot: &mut SlotState, t: u64) {
+    match *kind {
+        OptimizerKind::Sgd { lr, momentum, weight_decay } => {
+            if momentum != 0.0 {
+                let m = slot
+                    .m
+                    .get_or_insert_with(|| Tensor::zeros(p.value.dims().to_vec()));
+                for ((mv, &g), &w) in
+                    m.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data())
+                {
+                    *mv = momentum * *mv + g + weight_decay * w;
+                }
+                let m = slot.m.as_ref().expect("just inserted");
+                for (w, &mv) in p.value.data_mut().iter_mut().zip(m.data()) {
+                    *w -= lr * mv;
+                }
+            } else {
+                let wd = weight_decay;
+                let grads: Vec<f32> = p.grad.data().to_vec();
+                for (w, g) in p.value.data_mut().iter_mut().zip(grads) {
+                    *w -= lr * (g + wd * *w);
+                }
+            }
+        }
+        OptimizerKind::Adam { lr, beta1, beta2, eps } => {
+            adam_update(p, slot, t, lr, beta1, beta2, eps, 0.0);
+        }
+        OptimizerKind::AdamW { lr, beta1, beta2, eps, weight_decay } => {
+            adam_update(p, slot, t, lr, beta1, beta2, eps, weight_decay);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adam_update(
+    p: &mut Param,
+    slot: &mut SlotState,
+    t: u64,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    decoupled_wd: f32,
+) {
+    let dims = p.value.dims().to_vec();
+    let m = slot.m.get_or_insert_with(|| Tensor::zeros(dims.clone()));
+    for (mv, &g) in m.data_mut().iter_mut().zip(p.grad.data()) {
+        *mv = beta1 * *mv + (1.0 - beta1) * g;
+    }
+    let v = slot.v.get_or_insert_with(|| Tensor::zeros(dims));
+    for (vv, &g) in v.data_mut().iter_mut().zip(p.grad.data()) {
+        *vv = beta2 * *vv + (1.0 - beta2) * g * g;
+    }
+    let bc1 = 1.0 - beta1.powi(t as i32);
+    let bc2 = 1.0 - beta2.powi(t as i32);
+    let m = slot.m.as_ref().expect("inserted above");
+    let v = slot.v.as_ref().expect("inserted above");
+    for ((w, &mv), &vv) in p.value.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
+        let m_hat = mv / bc1;
+        let v_hat = vv / bc2;
+        *w -= lr * (m_hat / (v_hat.sqrt() + eps) + decoupled_wd * *w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Module};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quadratic_model() -> Sequential {
+        // Single 1x1 linear layer: loss = (w*x - target)^2 is what the test
+        // loop below simulates via manual gradients.
+        let mut rng = StdRng::seed_from_u64(1);
+        Sequential::new(vec![Module::Linear(Linear::new(1, 1, &mut rng))])
+    }
+
+    fn param_of(model: &mut Sequential) -> f32 {
+        let mut val = 0.0;
+        let mut first = true;
+        model.visit_params_mut(&mut |p| {
+            if first {
+                val = p.value.data()[0];
+                first = false;
+            }
+        });
+        val
+    }
+
+    fn converges(kind: OptimizerKind) -> bool {
+        // minimize (w - 3)^2 by supplying grad = 2(w - 3)
+        let mut model = quadratic_model();
+        let mut opt = Optimizer::new(kind);
+        for _ in 0..300 {
+            model.zero_grad();
+            let w = param_of(&mut model);
+            let mut first = true;
+            model.visit_params_mut(&mut |p| {
+                if first {
+                    p.grad.data_mut()[0] = 2.0 * (w - 3.0);
+                    first = false;
+                }
+            });
+            opt.step(&mut model);
+        }
+        (param_of(&mut model) - 3.0).abs() < 0.05
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(converges(OptimizerKind::sgd(0.05, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        assert!(converges(OptimizerKind::sgd(0.02, 0.9, 0.0)));
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(converges(OptimizerKind::adam(0.05)));
+    }
+
+    #[test]
+    fn adamw_converges_on_quadratic() {
+        assert!(converges(OptimizerKind::adamw(0.05, 0.0)));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut model = quadratic_model();
+        // set weight to a large value, run decay-only updates
+        model.visit_params_mut(&mut |p| {
+            for w in p.value.data_mut() {
+                *w = 10.0;
+            }
+        });
+        let mut opt = Optimizer::new(OptimizerKind::sgd(0.1, 0.0, 0.5));
+        for _ in 0..10 {
+            model.zero_grad();
+            opt.step(&mut model);
+        }
+        let w = param_of(&mut model);
+        assert!(w < 10.0 && w > 0.0, "decayed to {w}");
+    }
+
+    #[test]
+    fn lr_accessors() {
+        let mut k = OptimizerKind::adam(0.1);
+        assert_eq!(k.lr(), 0.1);
+        k.set_lr(0.01);
+        assert_eq!(k.lr(), 0.01);
+    }
+
+    #[test]
+    fn step_param_with_slots() {
+        let mut p1 = Param::new(Tensor::full(vec![1], 5.0));
+        let mut p2 = Param::new(Tensor::full(vec![1], -5.0));
+        let mut opt = Optimizer::new(OptimizerKind::adam(0.1));
+        for _ in 0..200 {
+            p1.grad.data_mut()[0] = 2.0 * p1.value.data()[0];
+            p2.grad.data_mut()[0] = 2.0 * (p2.value.data()[0] + 1.0);
+            opt.step_param(&mut p1, 0);
+            opt.step_param(&mut p2, 1);
+        }
+        assert!(p1.value.data()[0].abs() < 0.1);
+        assert!((p2.value.data()[0] + 1.0).abs() < 0.1);
+        assert!(opt.steps() == 400);
+    }
+}

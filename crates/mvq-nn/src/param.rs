@@ -1,0 +1,55 @@
+use mvq_tensor::Tensor;
+
+/// A trainable parameter: a value tensor plus its accumulated gradient.
+///
+/// Layers own their `Param`s; optimizers visit them through
+/// [`crate::Module::visit_params_mut`]. The gradient always has the same
+/// dims as the value and is zeroed by [`Param::zero_grad`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Accumulated gradient (same dims as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient of the same dims.
+    pub fn new(value: Tensor) -> Param {
+        let grad = Tensor::zeros(value.dims().to_vec());
+        Param { value, grad }
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.data_mut() {
+            *g = 0.0;
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones(vec![2, 3]));
+        assert_eq!(p.grad.dims(), &[2, 3]);
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+        assert_eq!(p.numel(), 6);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(vec![4]));
+        p.grad.data_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+    }
+}

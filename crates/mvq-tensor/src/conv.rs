@@ -1,0 +1,247 @@
+//! im2col / col2im kernels and 2-D geometry helpers for convolution and
+//! pooling layers.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Spatial geometry of a 2-D convolution: input size, kernel, stride and
+/// symmetric zero padding.
+///
+/// ```
+/// use mvq_tensor::Conv2dGeometry;
+/// let g = Conv2dGeometry::new(32, 32, 3, 3, 1, 1);
+/// assert_eq!(g.out_h(), 32);
+/// assert_eq!(g.out_w(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Input feature-map height.
+    pub in_h: usize,
+    /// Input feature-map width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Symmetric zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl Conv2dGeometry {
+    /// Creates a geometry descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0` or the kernel is empty; these are programmer
+    /// errors, not data-dependent conditions.
+    pub fn new(in_h: usize, in_w: usize, k_h: usize, k_w: usize, stride: usize, pad: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(k_h > 0 && k_w > 0, "kernel must be non-empty");
+        Conv2dGeometry { in_h, in_w, k_h, k_w, stride, pad }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad).saturating_sub(self.k_h) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad).saturating_sub(self.k_w) / self.stride + 1
+    }
+}
+
+/// Pooling geometry; alias of the convolution geometry since the index math
+/// is identical.
+pub type Pool2dGeometry = Conv2dGeometry;
+
+/// Unfolds a `[C, H, W]` image into a `[C*kh*kw, out_h*out_w]` column
+/// matrix, so that convolution becomes a GEMM with the `[K, C*kh*kw]`
+/// weight matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless `image` is rank 3, and
+/// [`TensorError::ShapeMismatch`] when the image does not match `geom`.
+pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorError> {
+    if image.rank() != 3 {
+        return Err(TensorError::RankMismatch { expected: 3, actual: image.rank(), op: "im2col" });
+    }
+    let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
+    if h != geom.in_h || w != geom.in_w {
+        return Err(TensorError::ShapeMismatch {
+            lhs: image.dims().to_vec(),
+            rhs: vec![c, geom.in_h, geom.in_w],
+            op: "im2col",
+        });
+    }
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let rows = c * geom.k_h * geom.k_w;
+    let cols = oh * ow;
+    let mut out = Tensor::zeros(vec![rows, cols]);
+    let src = image.data();
+    let dst = out.data_mut();
+    for ch in 0..c {
+        for kh in 0..geom.k_h {
+            for kw in 0..geom.k_w {
+                let row = (ch * geom.k_h + kh) * geom.k_w + kw;
+                let dst_row = &mut dst[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + kh) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src_base = (ch * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kw) as isize - geom.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst_row[oy * ow + ox] = src[src_base + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Folds a `[C*kh*kw, out_h*out_w]` column matrix back into a `[C, H, W]`
+/// image, *accumulating* overlapping contributions — the adjoint of
+/// [`im2col`], used for input gradients.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `cols` does not match `geom`
+/// and `channels`.
+pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry, channels: usize) -> Result<Tensor, TensorError> {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let rows = channels * geom.k_h * geom.k_w;
+    if cols.dims() != [rows, oh * ow] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: cols.dims().to_vec(),
+            rhs: vec![rows, oh * ow],
+            op: "col2im",
+        });
+    }
+    let mut out = Tensor::zeros(vec![channels, geom.in_h, geom.in_w]);
+    let src = cols.data();
+    let dst = out.data_mut();
+    let n_cols = oh * ow;
+    for ch in 0..channels {
+        for kh in 0..geom.k_h {
+            for kw in 0..geom.k_w {
+                let row = (ch * geom.k_h + kh) * geom.k_w + kw;
+                let src_row = &src[row * n_cols..(row + 1) * n_cols];
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + kh) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= geom.in_h as isize {
+                        continue;
+                    }
+                    let dst_base = (ch * geom.in_h + iy as usize) * geom.in_w;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kw) as isize - geom.pad as isize;
+                        if ix < 0 || ix >= geom.in_w as isize {
+                            continue;
+                        }
+                        dst[dst_base + ix as usize] += src_row[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_output_sizes() {
+        let g = Conv2dGeometry::new(5, 5, 3, 3, 1, 0);
+        assert_eq!((g.out_h(), g.out_w()), (3, 3));
+        let g = Conv2dGeometry::new(5, 5, 3, 3, 1, 1);
+        assert_eq!((g.out_h(), g.out_w()), (5, 5));
+        let g = Conv2dGeometry::new(8, 8, 2, 2, 2, 0);
+        assert_eq!((g.out_h(), g.out_w()), (4, 4));
+        let g = Conv2dGeometry::new(7, 7, 3, 3, 2, 1);
+        assert_eq!((g.out_h(), g.out_w()), (4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_panics() {
+        let _ = Conv2dGeometry::new(4, 4, 2, 2, 0, 0);
+    }
+
+    #[test]
+    fn im2col_known_values() {
+        // 1x3x3 image, 2x2 kernel, stride 1, no pad -> 4 columns.
+        let img =
+            Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|x| x as f32).collect()).unwrap();
+        let g = Conv2dGeometry::new(3, 3, 2, 2, 1, 0);
+        let cols = im2col(&img, &g).unwrap();
+        assert_eq!(cols.dims(), &[4, 4]);
+        // First column = top-left patch [1,2,4,5].
+        let col0: Vec<f32> = (0..4).map(|r| cols.at(&[r, 0]).unwrap()).collect();
+        assert_eq!(col0, vec![1.0, 2.0, 4.0, 5.0]);
+        // Last column = bottom-right patch [5,6,8,9].
+        let col3: Vec<f32> = (0..4).map(|r| cols.at(&[r, 3]).unwrap()).collect();
+        assert_eq!(col3, vec![5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn im2col_pads_with_zeros() {
+        let img = Tensor::ones(vec![1, 2, 2]);
+        let g = Conv2dGeometry::new(2, 2, 3, 3, 1, 1);
+        let cols = im2col(&img, &g).unwrap();
+        assert_eq!(cols.dims(), &[9, 4]);
+        // Kernel center over image corner sees the corner pixel.
+        assert_eq!(cols.at(&[4, 0]).unwrap(), 1.0);
+        // Top-left kernel tap over image corner is padding.
+        assert_eq!(cols.at(&[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn im2col_validates_shape() {
+        let img = Tensor::zeros(vec![1, 4, 4]);
+        let g = Conv2dGeometry::new(5, 5, 3, 3, 1, 0);
+        assert!(im2col(&img, &g).is_err());
+        assert!(im2col(&Tensor::zeros(vec![4, 4]), &g).is_err());
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of the adjoint, which conv backward relies on.
+        let g = Conv2dGeometry::new(4, 5, 3, 2, 1, 1);
+        let c = 2;
+        let x = Tensor::from_vec(
+            vec![c, 4, 5],
+            (0..40).map(|i| ((i * 37 % 11) as f32) - 5.0).collect(),
+        )
+        .unwrap();
+        let rows = c * g.k_h * g.k_w;
+        let cols_n = g.out_h() * g.out_w();
+        let y = Tensor::from_vec(
+            vec![rows, cols_n],
+            (0..rows * cols_n).map(|i| ((i * 13 % 7) as f32) - 3.0).collect(),
+        )
+        .unwrap();
+        let ax = im2col(&x, &g).unwrap();
+        let aty = col2im(&y, &g, c).unwrap();
+        let lhs: f32 = ax.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(aty.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_validates_shape() {
+        let g = Conv2dGeometry::new(4, 4, 2, 2, 1, 0);
+        let bad = Tensor::zeros(vec![3, 9]);
+        assert!(col2im(&bad, &g, 1).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type returned by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// length supplied.
+    LengthMismatch {
+        /// Elements implied by the requested dims.
+        expected: usize,
+        /// Elements actually supplied.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Dims of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Dims of the right-hand operand.
+        rhs: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An operation required a tensor of a particular rank.
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the tensor supplied.
+        actual: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An index was out of bounds for the tensor's dims.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor dims.
+        dims: Vec<usize>,
+    },
+    /// A parameter was invalid (zero dimension, empty axis, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "shape implies {expected} elements but {actual} were supplied")
+            }
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "incompatible shapes for `{op}`: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::RankMismatch { expected, actual, op } => {
+                write!(f, "`{op}` expects rank {expected}, got rank {actual}")
+            }
+            TensorError::IndexOutOfBounds { index, dims } => {
+                write!(f, "index {index:?} out of bounds for dims {dims:?}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::LengthMismatch { expected: 4, actual: 3 };
+        assert!(err.to_string().contains('4'));
+        assert!(err.to_string().contains('3'));
+        let err = TensorError::ShapeMismatch { lhs: vec![2], rhs: vec![3], op: "add" };
+        assert!(err.to_string().contains("add"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,108 @@
+//! Random weight initializers used by the CNN substrate.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Kaiming (He) normal initialization: `N(0, sqrt(2 / fan_in))`.
+///
+/// The standard initializer for ReLU networks; `fan_in` is the number of
+/// input connections per output unit (`C_in * k_h * k_w` for conv layers).
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming_normal<R: Rng>(dims: Vec<usize>, fan_in: usize, rng: &mut R) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    let normal = NormalApprox { std };
+    let n: usize = dims.iter().product();
+    let data = (0..n).map(|_| normal.sample(rng)).collect();
+    Tensor::from_vec(dims, data).expect("dims/product invariant")
+}
+
+/// Xavier/Glorot uniform initialization over `[-a, a]` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform<R: Rng>(
+    dims: Vec<usize>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fans must not both be zero");
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(dims, -a, a, rng)
+}
+
+/// Uniform initialization over `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn uniform<R: Rng>(dims: Vec<usize>, lo: f32, hi: f32, rng: &mut R) -> Tensor {
+    assert!(lo <= hi, "empty range");
+    let n: usize = dims.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(lo..=hi)).collect();
+    Tensor::from_vec(dims, data).expect("dims/product invariant")
+}
+
+/// Gaussian sampler via the Box–Muller transform, avoiding a dependency on
+/// `rand_distr`.
+struct NormalApprox {
+    std: f32,
+}
+
+impl Distribution<f32> for NormalApprox {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let mag = (-2.0 * u1.ln()).sqrt();
+        self.std * mag * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_statistics() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = kaiming_normal(vec![64, 64], 128, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x - mean).powi(2)).sum::<f32>() / t.numel() as f32;
+        let expected_var = 2.0 / 128.0;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - expected_var).abs() / expected_var < 0.15, "var {var} vs {expected_var}");
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = xavier_uniform(vec![100, 10], 10, 10, &mut rng);
+        let a = (6.0f32 / 20.0).sqrt();
+        assert!(t.data().iter().all(|&x| x >= -a && x <= a));
+        assert!(t.max_abs() > a * 0.5, "should use most of the range");
+    }
+
+    #[test]
+    fn uniform_respects_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = uniform(vec![1000], -0.5, 0.25, &mut rng);
+        assert!(t.data().iter().all(|&x| (-0.5..=0.25).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = kaiming_normal(vec![16], 4, &mut StdRng::seed_from_u64(9));
+        let b = kaiming_normal(vec![16], 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

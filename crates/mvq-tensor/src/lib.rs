@@ -1,0 +1,38 @@
+//! Minimal n-dimensional `f32` tensor library backing the MVQ reproduction.
+//!
+//! The paper's algorithm (masked vector quantization) and its substrates
+//! (a CNN training stack, an accelerator simulator) only need dense
+//! row-major `f32` tensors with a handful of kernels: elementwise ops,
+//! blocked GEMM, im2col-based convolution, pooling, and symmetric integer
+//! quantization. This crate provides exactly that surface, nothing more.
+//!
+//! # Example
+//!
+//! ```
+//! use mvq_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok::<(), mvq_tensor::TensorError>(())
+//! ```
+
+// Indexed loops are the clearer idiom for the numeric kernels here.
+#![allow(clippy::needless_range_loop)]
+
+mod conv;
+mod error;
+mod init;
+mod matmul;
+mod quant;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dGeometry, Pool2dGeometry};
+pub use error::TensorError;
+pub use init::{kaiming_normal, uniform, xavier_uniform};
+pub use matmul::{gemm, matmul_transpose_a, matmul_transpose_b};
+pub use quant::{dequantize_symmetric, quantize_symmetric, QuantizedTensor};
+pub use shape::{broadcast_dims, numel, strides_of};
+pub use tensor::Tensor;

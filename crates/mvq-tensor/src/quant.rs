@@ -1,0 +1,135 @@
+//! Symmetric uniform integer quantization (the paper's Eq. 5).
+//!
+//! `v̂ = s · clamp(round(v / s), -2^(qb-1), 2^(qb-1) - 1)` — used for the
+//! MVQ codebook (8-bit) and for the scalar-quantization baseline PvQ at
+//! arbitrary bit widths.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// A tensor stored as signed integers plus a shared scale factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    dims: Vec<usize>,
+    values: Vec<i32>,
+    scale: f32,
+    bits: u32,
+}
+
+impl QuantizedTensor {
+    /// The quantization scale `s`.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Bit width `qb`.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The integer codes.
+    pub fn values(&self) -> &[i32] {
+        &self.values
+    }
+
+    /// Original dims.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Reconstructs the floating-point tensor `s * q`.
+    pub fn dequantize(&self) -> Tensor {
+        let data = self.values.iter().map(|&q| q as f32 * self.scale).collect();
+        Tensor::from_vec(self.dims.clone(), data).expect("dims preserved")
+    }
+}
+
+/// Quantizes `t` symmetrically to `bits` bits with scale `scale`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] when `bits` is not in `2..=16`
+/// or `scale` is not a positive finite number.
+pub fn quantize_symmetric(t: &Tensor, scale: f32, bits: u32) -> Result<QuantizedTensor, TensorError> {
+    if !(2..=16).contains(&bits) {
+        return Err(TensorError::InvalidArgument(format!("bits must be in 2..=16, got {bits}")));
+    }
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err(TensorError::InvalidArgument(format!("scale must be positive, got {scale}")));
+    }
+    let qmax = (1i32 << (bits - 1)) - 1;
+    let qmin = -(1i32 << (bits - 1));
+    let values = t
+        .data()
+        .iter()
+        .map(|&v| ((v / scale).round() as i32).clamp(qmin, qmax))
+        .collect();
+    Ok(QuantizedTensor { dims: t.dims().to_vec(), values, scale, bits })
+}
+
+/// Quantize-then-dequantize in one call ("fake quantization"), returning the
+/// representable tensor closest to `t` under the given scale.
+///
+/// # Errors
+///
+/// Propagates the validation errors of [`quantize_symmetric`].
+pub fn dequantize_symmetric(t: &Tensor, scale: f32, bits: u32) -> Result<Tensor, TensorError> {
+    Ok(quantize_symmetric(t, scale, bits)?.dequantize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_exact_grid() {
+        // Values already on the quantization grid survive unchanged.
+        let t = Tensor::from_vec(vec![4], vec![-0.5, 0.0, 0.25, 0.5]).unwrap();
+        let q = quantize_symmetric(&t, 0.25, 8).unwrap();
+        assert_eq!(q.dequantize().data(), t.data());
+    }
+
+    #[test]
+    fn clamps_to_range() {
+        let t = Tensor::from_vec(vec![2], vec![1000.0, -1000.0]).unwrap();
+        let q = quantize_symmetric(&t, 1.0, 8).unwrap();
+        assert_eq!(q.values(), &[127, -128]);
+    }
+
+    #[test]
+    fn two_bit_has_four_levels() {
+        let t = Tensor::from_vec(vec![5], vec![-2.0, -1.0, 0.0, 1.0, 2.0]).unwrap();
+        let q = quantize_symmetric(&t, 1.0, 2).unwrap();
+        assert_eq!(q.values(), &[-2, -1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn error_bounded_by_half_scale() {
+        let scale = 0.1;
+        let t = Tensor::from_vec(vec![3], vec![0.234, -0.561, 1.049]).unwrap();
+        let d = dequantize_symmetric(&t, scale, 8).unwrap();
+        for (orig, deq) in t.data().iter().zip(d.data()) {
+            assert!((orig - deq).abs() <= scale / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let t = Tensor::ones(vec![1]);
+        assert!(quantize_symmetric(&t, 1.0, 1).is_err());
+        assert!(quantize_symmetric(&t, 1.0, 17).is_err());
+        assert!(quantize_symmetric(&t, 0.0, 8).is_err());
+        assert!(quantize_symmetric(&t, -1.0, 8).is_err());
+        assert!(quantize_symmetric(&t, f32::NAN, 8).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Tensor::ones(vec![2, 2]);
+        let q = quantize_symmetric(&t, 0.5, 8).unwrap();
+        assert_eq!(q.scale(), 0.5);
+        assert_eq!(q.bits(), 8);
+        assert_eq!(q.dims(), &[2, 2]);
+        assert_eq!(q.values(), &[2, 2, 2, 2]);
+    }
+}

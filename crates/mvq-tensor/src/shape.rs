@@ -1,0 +1,98 @@
+//! Shape arithmetic helpers shared by the tensor kernels.
+
+/// Number of elements implied by a dims slice.
+///
+/// An empty dims slice denotes a scalar and has one element.
+///
+/// ```
+/// assert_eq!(mvq_tensor::numel(&[2, 3, 4]), 24);
+/// assert_eq!(mvq_tensor::numel(&[]), 1);
+/// ```
+pub fn numel(dims: &[usize]) -> usize {
+    dims.iter().product()
+}
+
+/// Row-major strides for a dims slice.
+///
+/// ```
+/// assert_eq!(mvq_tensor::strides_of(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+pub fn strides_of(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    strides
+}
+
+/// Computes the broadcast result dims of two shapes following NumPy rules,
+/// or `None` if they are incompatible.
+///
+/// ```
+/// assert_eq!(mvq_tensor::broadcast_dims(&[4, 1], &[3]), Some(vec![4, 3]));
+/// assert_eq!(mvq_tensor::broadcast_dims(&[2], &[3]), None);
+/// ```
+pub fn broadcast_dims(lhs: &[usize], rhs: &[usize]) -> Option<Vec<usize>> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let l = if i < rank - lhs.len() { 1 } else { lhs[i - (rank - lhs.len())] };
+        let r = if i < rank - rhs.len() { 1 } else { rhs[i - (rank - rhs.len())] };
+        if l == r || l == 1 || r == 1 {
+            out[i] = l.max(r);
+        } else {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+/// Converts a multi-dimensional index to a flat row-major offset.
+pub(crate) fn flat_index(index: &[usize], strides: &[usize]) -> usize {
+    index.iter().zip(strides).map(|(i, s)| i * s).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_handles_scalars_and_zeros() {
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[0, 5]), 0);
+        assert_eq!(numel(&[7]), 7);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(strides_of(&[5]), vec![1]);
+        assert_eq!(strides_of(&[2, 3]), vec![3, 1]);
+        assert_eq!(strides_of(&[4, 1, 6]), vec![6, 6, 1]);
+        assert!(strides_of(&[]).is_empty());
+    }
+
+    #[test]
+    fn flat_index_round_trip() {
+        let dims = [2usize, 3, 4];
+        let strides = strides_of(&dims);
+        let mut seen = vec![false; numel(&dims)];
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let f = flat_index(&[i, j, k], &strides);
+                    assert!(!seen[f]);
+                    seen[f] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        assert_eq!(broadcast_dims(&[2, 3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_dims(&[1], &[5, 4]), Some(vec![5, 4]));
+        assert_eq!(broadcast_dims(&[5, 1, 3], &[4, 1]), Some(vec![5, 4, 3]));
+        assert_eq!(broadcast_dims(&[2, 2], &[3, 2]), None);
+    }
+}

@@ -1,0 +1,509 @@
+//! The dense row-major `f32` tensor type.
+
+use crate::error::TensorError;
+use crate::shape::{flat_index, numel, strides_of};
+
+/// A dense, row-major, heap-allocated `f32` tensor of arbitrary rank.
+///
+/// `Tensor` is the single numeric currency of the MVQ workspace: CNN
+/// weights/activations, clustering codebooks, and subvector matrices are all
+/// `Tensor`s. The representation is deliberately simple — `dims` plus a flat
+/// `Vec<f32>` — because every hot kernel (GEMM, im2col, k-means distance
+/// computation) works on contiguous slices.
+///
+/// # Example
+///
+/// ```
+/// use mvq_tensor::Tensor;
+///
+/// let t = Tensor::zeros(vec![2, 3]);
+/// assert_eq!(t.dims(), &[2, 3]);
+/// assert_eq!(t.numel(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    dims: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor { dims: vec![0], data: Vec::new() }
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given dims.
+    pub fn zeros(dims: Vec<usize>) -> Tensor {
+        let n = numel(&dims);
+        Tensor { dims, data: vec![0.0; n] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: Vec<usize>, value: f32) -> Tensor {
+        let n = numel(&dims);
+        Tensor { dims, data: vec![value; n] }
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(dims: Vec<usize>) -> Tensor {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a square identity matrix of side `n`.
+    pub fn eye(n: usize) -> Tensor {
+        let mut t = Tensor::zeros(vec![n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not equal
+    /// the product of `dims`.
+    pub fn from_vec(dims: Vec<usize>, data: Vec<f32>) -> Result<Tensor, TensorError> {
+        let expected = numel(&dims);
+        if expected != data.len() {
+            return Err(TensorError::LengthMismatch { expected, actual: data.len() });
+        }
+        Ok(Tensor { dims, data })
+    }
+
+    /// The tensor's dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The tensor's rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when the index does not
+    /// address an element.
+    pub fn at(&self, index: &[usize]) -> Result<f32, TensorError> {
+        self.check_index(index)?;
+        Ok(self.data[flat_index(index, &strides_of(&self.dims))])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when the index does not
+    /// address an element.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
+        self.check_index(index)?;
+        let f = flat_index(index, &strides_of(&self.dims));
+        self.data[f] = value;
+        Ok(())
+    }
+
+    fn check_index(&self, index: &[usize]) -> Result<(), TensorError> {
+        if index.len() != self.dims.len() || index.iter().zip(&self.dims).any(|(i, d)| i >= d) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                dims: self.dims.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns a tensor with the same data and new dims.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn reshape(&self, dims: Vec<usize>) -> Result<Tensor, TensorError> {
+        let expected = numel(&dims);
+        if expected != self.data.len() {
+            return Err(TensorError::LengthMismatch { expected, actual: self.data.len() });
+        }
+        Ok(Tensor { dims, data: self.data.clone() })
+    }
+
+    /// In-place reshape (no data movement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn reshape_in_place(&mut self, dims: Vec<usize>) -> Result<(), TensorError> {
+        let expected = numel(&dims);
+        if expected != self.data.len() {
+            return Err(TensorError::LengthMismatch { expected, actual: self.data.len() });
+        }
+        self.dims = dims;
+        Ok(())
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { dims: self.dims.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise binary operation against a same-shape tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if dims differ.
+    pub fn zip_with(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
+        if self.dims != other.dims {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims.clone(),
+                rhs: other.dims.clone(),
+                op,
+            });
+        }
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Tensor { dims: self.dims.clone(), data })
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if dims differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if dims differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if dims differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, "mul", |a, b| a * b)
+    }
+
+    /// In-place `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if dims differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<(), TensorError> {
+        if self.dims != other.dims {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims.clone(),
+                rhs: other.dims.clone(),
+                op: "add_assign",
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place `self += alpha * other` (AXPY).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if dims differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<(), TensorError> {
+        if self.dims != other.dims {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims.clone(),
+                rhs: other.dims.clone(),
+                op: "axpy",
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `alpha`.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|x| x * alpha)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum absolute value (0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Index of the largest element (first one on ties); `None` when empty.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Squared L2 norm of the whole tensor.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Sum of squared differences against `other` — the paper's SSE metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if dims differ.
+    pub fn sse(&self, other: &Tensor) -> Result<f32, TensorError> {
+        if self.dims != other.dims {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims.clone(),
+                rhs: other.dims.clone(),
+                op: "sse",
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum())
+    }
+
+    /// 2-D transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for tensors that are not rank 2.
+    pub fn transpose(&self) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "transpose",
+            });
+        }
+        let (r, c) = (self.dims[0], self.dims[1]);
+        let mut out = Tensor::zeros(vec![c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extracts row `i` of a 2-D tensor as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `i` is out of range. Use only
+    /// in hot loops after shapes have been validated.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(self.rank(), 2, "row() requires a matrix");
+        let c = self.dims[1];
+        &self.data[i * c..(i + 1) * c]
+    }
+
+    /// Mutable row of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `i` is out of range.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        assert_eq!(self.rank(), 2, "row_mut() requires a matrix");
+        let c = self.dims[1];
+        &mut self.data[i * c..(i + 1) * c]
+    }
+
+    /// Fraction of elements equal to zero.
+    pub fn sparsity(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.data.iter().filter(|&&x| x == 0.0).count();
+        zeros as f32 / self.data.len() as f32
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{:?}", self.dims)?;
+        if self.numel() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::zeros(vec![2, 3]);
+        assert_eq!(t.dims(), &[2, 3]);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.rank(), 2);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+
+        let t = Tensor::full(vec![4], 2.5);
+        assert!(t.data().iter().all(|&x| x == 2.5));
+
+        let e = Tensor::eye(3);
+        assert_eq!(e.at(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(e.at(&[0, 1]).unwrap(), 0.0);
+        assert_eq!(e.sum(), 3.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![2, 2], vec![0.0; 4]).is_ok());
+        let err = Tensor::from_vec(vec![2, 2], vec![0.0; 5]).unwrap_err();
+        assert_eq!(err, TensorError::LengthMismatch { expected: 4, actual: 5 });
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut t = Tensor::zeros(vec![2, 3, 4]);
+        t.set(&[1, 2, 3], 7.0).unwrap();
+        assert_eq!(t.at(&[1, 2, 3]).unwrap(), 7.0);
+        assert_eq!(t.at(&[0, 0, 0]).unwrap(), 0.0);
+        assert!(t.at(&[2, 0, 0]).is_err());
+        assert!(t.at(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|x| x as f32).collect()).unwrap();
+        let r = t.reshape(vec![3, 2]).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(vec![4, 2]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(vec![3], vec![10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[11.0, 22.0, 33.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[9.0, 18.0, 27.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[10.0, 40.0, 90.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+        let c = Tensor::zeros(vec![4]);
+        assert!(a.add(&c).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(vec![2]);
+        let g = Tensor::from_vec(vec![2], vec![0.5, -0.5]).unwrap();
+        a.axpy(-2.0, &g).unwrap();
+        assert_eq!(a.data(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![4], vec![-3.0, 1.0, 2.0, 0.0]).unwrap();
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.max_abs(), 3.0);
+        assert_eq!(t.argmax(), Some(2));
+        assert_eq!(t.sq_norm(), 14.0);
+        assert_eq!(t.sparsity(), 0.25);
+        assert_eq!(Tensor::zeros(vec![0]).argmax(), None);
+    }
+
+    #[test]
+    fn sse_matches_manual() {
+        let a = Tensor::from_vec(vec![2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(vec![2], vec![0.0, 4.0]).unwrap();
+        assert_eq!(a.sse(&b).unwrap(), 1.0 + 4.0);
+        assert_eq!(a.sse(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn transpose_square_and_rect() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|x| x as f32).collect()).unwrap();
+        let tt = t.transpose().unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.at(&[2, 1]).unwrap(), t.at(&[1, 2]).unwrap());
+        assert!(Tensor::zeros(vec![2]).transpose().is_err());
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|x| x as f32).collect()).unwrap();
+        assert_eq!(t.row(1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn display_shows_small_tensors() {
+        let t = Tensor::ones(vec![2]);
+        let s = format!("{t}");
+        assert!(s.contains("[2]"));
+        assert!(s.contains("1.0"));
+        let big = Tensor::zeros(vec![100]);
+        assert!(!format!("{big}").contains("0.0,"));
+    }
+}

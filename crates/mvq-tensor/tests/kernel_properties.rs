@@ -1,0 +1,121 @@
+//! Property-based tests over the tensor kernels: algebraic identities the
+//! GEMM variants and the im2col/col2im pair must satisfy for arbitrary
+//! shapes and data.
+
+use mvq_tensor::{
+    col2im, gemm, im2col, matmul_transpose_a, matmul_transpose_b, Conv2dGeometry, Tensor,
+};
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |d| Tensor::from_vec(vec![rows, cols], d).expect("sized"))
+}
+
+fn assert_close(a: &Tensor, b: &Tensor, tol: f32) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.dims(), b.dims());
+    for (x, y) in a.data().iter().zip(b.data()) {
+        prop_assert!((x - y).abs() <= tol, "{} vs {}", x, y);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A·I = A and I·A = A.
+    #[test]
+    fn gemm_identity_laws(a in matrix(5, 7)) {
+        let right = gemm(&a, &Tensor::eye(7)).expect("conformable");
+        assert_close(&right, &a, 1e-5)?;
+        let left = gemm(&Tensor::eye(5), &a).expect("conformable");
+        assert_close(&left, &a, 1e-5)?;
+    }
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ, exercised through the transpose-variant kernels.
+    #[test]
+    fn gemm_transpose_consistency(a in matrix(4, 6), b in matrix(6, 5)) {
+        let ab = gemm(&a, &b).expect("conformable");
+        // matmul_transpose_a(Aᵀ materialized) path
+        let via_ta = matmul_transpose_a(&a.transpose().expect("matrix"), &b)
+            .expect("conformable");
+        assert_close(&ab, &via_ta, 1e-4)?;
+        // matmul_transpose_b(B materialized transposed) path
+        let via_tb = matmul_transpose_b(&a, &b.transpose().expect("matrix"))
+            .expect("conformable");
+        assert_close(&ab, &via_tb, 1e-4)?;
+    }
+
+    /// Distributivity: A·(B + C) = A·B + A·C.
+    #[test]
+    fn gemm_distributes_over_addition(
+        a in matrix(3, 4),
+        b in matrix(4, 3),
+        c in matrix(4, 3),
+    ) {
+        let lhs = gemm(&a, &b.add(&c).expect("same dims")).expect("conformable");
+        let rhs = gemm(&a, &b)
+            .expect("conformable")
+            .add(&gemm(&a, &c).expect("conformable"))
+            .expect("same dims");
+        assert_close(&lhs, &rhs, 1e-4)?;
+    }
+
+    /// <im2col(x), y> = <x, col2im(y)> — the adjoint identity conv
+    /// backward depends on — over random geometries.
+    #[test]
+    fn im2col_col2im_adjoint(
+        seed in 0u64..10_000,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (c, h, w) = (2usize, 6usize, 5usize);
+        prop_assume!(h + 2 * pad >= kernel && w + 2 * pad >= kernel);
+        let geom = Conv2dGeometry::new(h, w, kernel, kernel, stride, pad);
+        let x = Tensor::from_vec(
+            vec![c, h, w],
+            (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .expect("sized");
+        let rows = c * kernel * kernel;
+        let cols = geom.out_h() * geom.out_w();
+        prop_assume!(cols > 0);
+        let y = Tensor::from_vec(
+            vec![rows, cols],
+            (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .expect("sized");
+        let ax = im2col(&x, &geom).expect("validated");
+        let aty = col2im(&y, &geom, c).expect("validated");
+        let lhs: f32 = ax.data().iter().zip(y.data()).map(|(p, q)| p * q).sum();
+        let rhs: f32 = x.data().iter().zip(aty.data()).map(|(p, q)| p * q).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3, "{} vs {}", lhs, rhs);
+    }
+
+    /// Transpose is an involution and preserves the Frobenius norm.
+    #[test]
+    fn transpose_involution(a in matrix(6, 4)) {
+        let tt = a
+            .transpose()
+            .expect("matrix")
+            .transpose()
+            .expect("matrix");
+        assert_close(&tt, &a, 0.0)?;
+        let na = a.sq_norm();
+        let nt = a.transpose().expect("matrix").sq_norm();
+        prop_assert!((na - nt).abs() < 1e-4);
+    }
+
+    /// SSE is symmetric, non-negative, and zero iff equal.
+    #[test]
+    fn sse_metric_properties(a in matrix(4, 4), b in matrix(4, 4)) {
+        let ab = a.sse(&b).expect("same dims");
+        let ba = b.sse(&a).expect("same dims");
+        prop_assert!((ab - ba).abs() < 1e-4);
+        prop_assert!(ab >= 0.0);
+        prop_assert!(a.sse(&a).expect("same dims") == 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Simulate the six hardware settings of the paper (§7.1) on ResNet-18 at
+//! ImageNet scale and print latency, energy-efficiency, and area.
+//!
+//! ```text
+//! cargo run --release --example accelerator_comparison
+//! ```
+
+use mvq::accel::{area_report, simulate_network, workloads, HwConfig, HwSetting};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = workloads::resnet18();
+    println!(
+        "ResNet-18 @ 224x224: {:.2} GMACs, {:.1}M conv weights\n",
+        net.total_macs() as f64 / 1e9,
+        net.total_weights() as f64 / 1e6
+    );
+    for size in [16usize, 32, 64] {
+        println!("--- array {size}x{size} ---");
+        println!(
+            "{:<8} {:>10} {:>9} {:>9} {:>11} {:>10}",
+            "setting", "cycles", "ms", "TOPS", "TOPS/W", "array mm2"
+        );
+        let base_cycles =
+            simulate_network(&HwConfig::new(HwSetting::Ws, size)?, &net).cycles;
+        for setting in HwSetting::ALL {
+            let cfg = HwConfig::new(setting, size)?;
+            let r = simulate_network(&cfg, &net);
+            let area = area_report(&cfg)?;
+            println!(
+                "{:<8} {:>10.0} {:>9.2} {:>9.2} {:>11.2} {:>10.3}  ({:.2}x vs WS)",
+                setting.name(),
+                r.cycles,
+                r.runtime_s() * 1e3,
+                r.tops(),
+                r.tops_per_watt(),
+                area.array_with_crf_mm2(),
+                base_cycles / r.cycles,
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Design-space exploration: sweep the MVQ hyperparameters (k, d, N:M)
+//! over one weight block and chart the compression-ratio / clustering-error
+//! frontier — the trade-off the paper's Fig. 13 navigates.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use mvq::core::{MvqCompressor, MvqConfig};
+use mvq::tensor::kaiming_normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(1);
+    // a mid-size conv layer: 128x64x3x3
+    let weight = kaiming_normal(vec![128, 64, 3, 3], 64 * 9, &mut rng);
+    let norm = weight.sq_norm();
+    println!("weight block: {:?} ({} params)\n", weight.dims(), weight.numel());
+    println!(
+        "{:>6} {:>4} {:>6} {:>8} {:>12} {:>14}",
+        "k", "d", "N:M", "CR", "masked SSE", "SSE/||W||^2"
+    );
+    for &(keep_n, m) in &[(4usize, 16usize), (8, 16), (2, 4)] {
+        for &d in &[8usize, 16] {
+            if d % m != 0 {
+                continue;
+            }
+            for &k in &[32usize, 128, 512] {
+                let cfg = MvqConfig::new(k, d, keep_n, m)?;
+                let c = MvqCompressor::new(cfg).compress_matrix(&weight, &mut rng)?;
+                let grouped =
+                    mvq::core::GroupingStrategy::OutputChannelWise.group(&weight, d)?;
+                let pruned = c.mask().apply(&grouped)?;
+                let sse = mvq::core::masked_sse(
+                    &pruned,
+                    c.mask(),
+                    c.codebook(),
+                    c.assignments(),
+                )?;
+                println!(
+                    "{:>6} {:>4} {:>4}:{:<2} {:>7.1}x {:>12.2} {:>13.4}",
+                    k,
+                    d,
+                    keep_n,
+                    m,
+                    c.compression_ratio(),
+                    sse,
+                    sse / norm
+                );
+            }
+        }
+    }
+    println!("\nreading the frontier: larger k or smaller d cut SSE but cost ratio;");
+    println!("higher sparsity (4:16) buys FLOPs and lets few codewords focus on survivors.");
+    Ok(())
+}

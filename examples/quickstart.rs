@@ -1,0 +1,45 @@
+//! Quickstart: compress one weight matrix with MVQ and inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mvq::core::{masked_sse, MvqCompressor, MvqConfig};
+use mvq::tensor::kaiming_normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // A conv-like weight: 64 output channels, 32 input channels, 3x3.
+    let weight = kaiming_normal(vec![64, 32, 3, 3], 32 * 9, &mut rng);
+    println!("dense weight: {:?} = {} params", weight.dims(), weight.numel());
+
+    // MVQ: 128 codewords of length 16, 4:16 pruning (75% sparsity),
+    // int8 codebook — the paper's EWS-CMS operating point.
+    let cfg = MvqConfig::new(128, 16, 4, 16)?;
+    let compressed = MvqCompressor::new(cfg).compress_matrix(&weight, &mut rng)?;
+
+    let storage = compressed.storage();
+    println!("\nstorage breakdown (Eq. 7):");
+    println!("  assignments: {:>9} bits", storage.assignment_bits);
+    println!("  masks (LUT): {:>9} bits", storage.mask_bits);
+    println!("  codebook:    {:>9} bits", storage.codebook_bits);
+    println!("  compression ratio: {:.1}x", compressed.compression_ratio());
+
+    // Decode and check the reconstruction.
+    let reconstructed = compressed.reconstruct()?;
+    assert_eq!(reconstructed.dims(), weight.dims());
+    println!("\nreconstruction sparsity: {:.1}%", reconstructed.sparsity() * 100.0);
+
+    // The clustering error that matters: masked SSE on the kept weights.
+    let grouped = compressed.mask();
+    let pruned = {
+        let g = mvq::core::GroupingStrategy::OutputChannelWise.group(&weight, 16)?;
+        grouped.apply(&g)?
+    };
+    let sse = masked_sse(&pruned, compressed.mask(), compressed.codebook(), compressed.assignments())?;
+    println!("masked clustering SSE: {sse:.2}");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # MVQ — Masked Vector Quantization
+//!
+//! An open-source Rust reproduction of *"MVQ: Towards Efficient DNN
+//! Compression and Acceleration with Masked Vector Quantization"*
+//! (Li, Wang, et al., ASPLOS 2025).
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`tensor`] — minimal n-d `f32` tensor library (GEMM, im2col, int8 quant)
+//! * [`nn`] — CNN substrate: layers with backprop, optimizers, a model zoo
+//!   (ResNet-18/50-lite, VGG-16-lite, AlexNet-lite, MobileNet-v1/v2-lite,
+//!   EfficientNet-lite, DeepLab-lite) and synthetic datasets
+//! * [`core`] — the paper's contribution: N:M pruning, masked k-means,
+//!   codebook quantization, masked-gradient fine-tuning, plus the VQ
+//!   baselines (plain VQ, PQF, BGD, PvQ)
+//! * [`accel`] — the EWS systolic-array accelerator simulator (six hardware
+//!   settings, energy/area/performance models, roofline)
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mvq::core::{MvqConfig, MvqCompressor};
+//! use mvq::tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A weight matrix of 128 subvectors of length 16.
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let w = mvq::tensor::kaiming_normal(vec![128, 16], 16, &mut rng);
+//!
+//! // Compress with 4:16 pruning and a 32-codeword masked-k-means codebook.
+//! let cfg = MvqConfig::new(32, 16, 4, 16)?;
+//! let compressed = MvqCompressor::new(cfg).compress_matrix(&w, &mut rng)?;
+//! let reconstructed = compressed.reconstruct()?;
+//! assert_eq!(reconstructed.dims(), w.dims());
+//! println!("compression ratio: {:.1}x", compressed.compression_ratio());
+//! # Ok::<(), mvq::core::MvqError>(())
+//! ```
+
+pub use mvq_accel as accel;
+pub use mvq_core as core;
+pub use mvq_nn as nn;
+pub use mvq_tensor as tensor;

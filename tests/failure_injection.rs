@@ -1,0 +1,136 @@
+//! Failure-injection tests: every cross-crate error path must fail
+//! loudly with a typed error, never panic or silently corrupt.
+
+use mvq::accel::{AccelError, FunctionalEws, HwConfig, HwSetting};
+use mvq::core::{
+    masked_kmeans, prune_matrix_nm, GroupingStrategy, KmeansConfig, MvqCompressor, MvqConfig,
+    MvqError,
+};
+use mvq::nn::layers::{Conv2d, Module, Sequential};
+use mvq::nn::NnError;
+use mvq::tensor::{Tensor, TensorError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn tensor_errors_are_typed_and_descriptive() {
+    let err = Tensor::from_vec(vec![2, 3], vec![0.0; 5]).unwrap_err();
+    assert!(matches!(err, TensorError::LengthMismatch { expected: 6, actual: 5 }));
+    let a = Tensor::zeros(vec![2, 3]);
+    let b = Tensor::zeros(vec![3, 3]);
+    let err = a.add(&b).unwrap_err();
+    assert!(err.to_string().contains("add"));
+}
+
+#[test]
+fn model_shape_errors_name_the_layer() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = Sequential::new(vec![Module::Conv2d(Conv2d::new(
+        3, 16, 3, 1, 1, 1, false, &mut rng,
+    ))]);
+    // wrong channel count
+    let err = model.forward(&Tensor::zeros(vec![1, 4, 8, 8]), false).unwrap_err();
+    match err {
+        NnError::BadInput { layer, .. } => assert!(layer.contains("Conv2d")),
+        other => panic!("unexpected error {other:?}"),
+    }
+    // backward without forward
+    let err = model.backward(&Tensor::zeros(vec![1, 16, 8, 8])).unwrap_err();
+    assert!(matches!(err, NnError::NoForwardCache(_)));
+}
+
+#[test]
+fn compression_rejects_incompatible_models() {
+    // a weight whose output channels cannot be grouped at d=16
+    let w = Tensor::zeros(vec![10, 4, 3, 3]);
+    let err = GroupingStrategy::OutputChannelWise.group(&w, 16).unwrap_err();
+    assert!(matches!(err, MvqError::IncompatibleShape { .. }));
+    assert!(err.to_string().contains("10"));
+}
+
+#[test]
+fn compression_config_errors_cascade_cleanly() {
+    assert!(matches!(MvqConfig::new(0, 16, 4, 16), Err(MvqError::InvalidConfig(_))));
+    assert!(matches!(MvqConfig::new(8, 10, 4, 16), Err(MvqError::InvalidConfig(_))));
+    // valid config, hostile data: all-zero weights cannot quantize a
+    // codebook (every codeword collapses to zero)
+    let mut rng = StdRng::seed_from_u64(1);
+    let zeros = Tensor::zeros(vec![32, 16]);
+    let cfg = MvqConfig::new(4, 16, 4, 16).unwrap();
+    let res = MvqCompressor::new(cfg).compress_matrix(&zeros, &mut rng);
+    assert!(matches!(res, Err(MvqError::InvalidConfig(_))), "{res:?}");
+}
+
+#[test]
+fn clustering_rejects_nan_free_contract_violations() {
+    // mismatched mask vs data dimensions
+    let mut rng = StdRng::seed_from_u64(2);
+    let w = mvq::tensor::uniform(vec![16, 8], -1.0, 1.0, &mut rng);
+    let (pruned, _) = prune_matrix_nm(&w, 2, 4).unwrap();
+    let other = mvq::tensor::uniform(vec![8, 8], -1.0, 1.0, &mut rng);
+    let (_, wrong_mask) = prune_matrix_nm(&other, 2, 4).unwrap();
+    let err = masked_kmeans(&pruned, &wrong_mask, &KmeansConfig::new(4), &mut rng).unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)));
+}
+
+#[test]
+fn hardware_config_errors_are_typed() {
+    let err = HwConfig::new(HwSetting::EwsCms, 40).unwrap_err();
+    assert!(matches!(err, AccelError::InvalidConfig(_)));
+    assert!(err.to_string().contains("40"));
+}
+
+#[test]
+fn functional_array_rejects_mismatched_operands() {
+    let arr = FunctionalEws::new(HwConfig::new(HwSetting::Ews, 16).unwrap());
+    let w = Tensor::zeros(vec![16, 8]);
+    let x = Tensor::zeros(vec![9, 4]); // reduction mismatch
+    assert!(arr.run_dense(&w, &x).is_err());
+}
+
+#[test]
+fn pruning_never_produces_nan_or_changes_kept_values() {
+    // adversarial input: denormals, zeros, equal magnitudes
+    let w = Tensor::from_vec(
+        vec![2, 8],
+        vec![
+            0.0, -0.0, 1.0e-38, -1.0e-38, 1.0, -1.0, 0.5, -0.5, //
+            2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0,
+        ],
+    )
+    .unwrap();
+    let (pruned, mask) = prune_matrix_nm(&w, 2, 4).unwrap();
+    assert!(pruned.data().iter().all(|v| v.is_finite()));
+    // ties: exactly 2 kept per group even when all values equal
+    for j in 0..2 {
+        for g in 0..2 {
+            let kept = (0..4).filter(|&t| mask.row(j)[g * 4 + t]).count();
+            assert_eq!(kept, 2);
+        }
+    }
+}
+
+#[test]
+fn optimizer_survives_zero_gradients() {
+    // a full optimizer step with all-zero grads must be a no-op for SGD
+    // without decay, and finite for Adam
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut model = Sequential::new(vec![Module::Conv2d(Conv2d::new(
+        1, 16, 3, 1, 1, 1, true, &mut rng,
+    ))]);
+    let mut before = Vec::new();
+    model.visit_params_mut(&mut |p| before.push(p.value.clone()));
+    let mut opt =
+        mvq::nn::optim::Optimizer::new(mvq::nn::optim::OptimizerKind::sgd(0.1, 0.0, 0.0));
+    opt.step(&mut model);
+    let mut i = 0;
+    model.visit_params_mut(&mut |p| {
+        assert_eq!(p.value.data(), before[i].data());
+        i += 1;
+    });
+    let mut adam = mvq::nn::optim::Optimizer::new(mvq::nn::optim::OptimizerKind::adam(0.1));
+    adam.step(&mut model);
+    model.visit_params_mut(&mut |p| {
+        assert!(p.value.data().iter().all(|v| v.is_finite()));
+    });
+}

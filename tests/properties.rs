@@ -1,0 +1,167 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the MVQ pipeline.
+
+use mvq::core::{
+    masked_assign_naive, masked_kmeans, masked_sse, prune_matrix_nm, GroupingStrategy,
+    KmeansConfig, MaskLut, MvqCompressor, MvqConfig,
+};
+use mvq::tensor::{dequantize_symmetric, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn finite_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(vec![rows, cols], data).expect("sized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Grouping and ungrouping are inverse bijections for every strategy.
+    #[test]
+    fn grouping_round_trips(
+        data in proptest::collection::vec(-5.0f32..5.0, 8 * 4 * 9),
+        strat in prop_oneof![
+            Just(GroupingStrategy::KernelWise),
+            Just(GroupingStrategy::OutputChannelWise),
+            Just(GroupingStrategy::InputChannelWise),
+        ],
+    ) {
+        let w = Tensor::from_vec(vec![8, 4, 3, 3], data).expect("sized");
+        let d = match strat {
+            GroupingStrategy::KernelWise => 9,
+            _ => 4,
+        };
+        let grouped = strat.group(&w, d).expect("groupable");
+        let back = strat.ungroup(&grouped, w.dims(), d).expect("ungroupable");
+        prop_assert_eq!(back.data(), w.data());
+    }
+
+    /// N:M pruning keeps exactly N of every M, keeps the largest
+    /// magnitudes, and never changes surviving values.
+    #[test]
+    fn pruning_invariants(w in finite_matrix(16, 16)) {
+        let (pruned, mask) = prune_matrix_nm(&w, 4, 16).expect("valid dims");
+        for j in 0..16 {
+            let kept: Vec<usize> =
+                (0..16).filter(|&t| mask.row(j)[t]).collect();
+            prop_assert_eq!(kept.len(), 4);
+            let min_kept = kept
+                .iter()
+                .map(|&t| w.at(&[j, t]).unwrap().abs())
+                .fold(f32::INFINITY, f32::min);
+            for t in 0..16 {
+                if mask.row(j)[t] {
+                    prop_assert_eq!(pruned.at(&[j, t]).unwrap(), w.at(&[j, t]).unwrap());
+                } else {
+                    prop_assert_eq!(pruned.at(&[j, t]).unwrap(), 0.0);
+                    prop_assert!(w.at(&[j, t]).unwrap().abs() <= min_kept + 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Mask-LUT encode/decode round-trips over random masks.
+    #[test]
+    fn mask_lut_round_trip(seed in 0u64..1000) {
+        let lut = MaskLut::new(2, 4).expect("valid");
+        let idx = (seed % lut.len() as u64) as u32;
+        let mask = lut.decode(idx).expect("in range").to_vec();
+        prop_assert_eq!(lut.encode(&mask).expect("valid mask"), idx);
+    }
+
+    /// Symmetric quantization error is bounded by half a step everywhere
+    /// inside the representable range.
+    #[test]
+    fn quantization_error_bound(
+        data in proptest::collection::vec(-1.0f32..1.0, 32),
+        scale in 0.01f32..0.5,
+    ) {
+        let t = Tensor::from_vec(vec![32], data).expect("sized");
+        let q = dequantize_symmetric(&t, scale, 8).expect("valid");
+        let qmax = 127.0 * scale;
+        for (&orig, &deq) in t.data().iter().zip(q.data()) {
+            if orig.abs() < qmax {
+                prop_assert!((orig - deq).abs() <= scale / 2.0 + 1e-6);
+            }
+        }
+    }
+
+    /// The factored masked assignment equals the naive reference.
+    #[test]
+    fn masked_assignment_equivalence(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = mvq::tensor::uniform(vec![48, 8], -1.0, 1.0, &mut rng);
+        let (pruned, mask) = prune_matrix_nm(&w, 2, 4).expect("valid");
+        let res = masked_kmeans(&pruned, &mask, &KmeansConfig::new(6), &mut rng)
+            .expect("clusterable");
+        let naive = masked_assign_naive(&pruned, &mask, res.codebook.centers());
+        // both must produce assignments with identical masked SSE (ties
+        // may be broken differently)
+        let naive_sse = {
+            let a = mvq::core::Assignments::new(naive, res.codebook.k()).expect("in range");
+            masked_sse(&pruned, &mask, &res.codebook, &a).expect("consistent")
+        };
+        prop_assert!((naive_sse - res.sse).abs() < 1e-3,
+            "naive {} vs factored {}", naive_sse, res.sse);
+    }
+
+    /// Reconstruction always has exactly the mask's sparsity pattern.
+    #[test]
+    fn reconstruction_respects_mask(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = mvq::tensor::uniform(vec![32, 16], -1.0, 1.0, &mut rng);
+        let cfg = MvqConfig::new(8, 16, 4, 16).expect("valid");
+        let c = MvqCompressor::new(cfg).compress_matrix(&w, &mut rng).expect("compressible");
+        let g = c.reconstruct_grouped().expect("reconstructible");
+        for j in 0..32 {
+            for t in 0..16 {
+                if !c.mask().row(j)[t] {
+                    prop_assert_eq!(g.at(&[j, t]).unwrap(), 0.0);
+                }
+            }
+        }
+    }
+
+    /// Compression ratio formula consistency: ratio == original/compressed.
+    #[test]
+    fn storage_breakdown_consistency(k in 2usize..64, ng_mult in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let ng = ng_mult * 32;
+        let w = mvq::tensor::uniform(vec![ng, 16], -1.0, 1.0, &mut rng);
+        let cfg = MvqConfig::new(k, 16, 4, 16).expect("valid");
+        let c = MvqCompressor::new(cfg).compress_matrix(&w, &mut rng).expect("compressible");
+        let s = c.storage();
+        let expected = s.original_bits as f64
+            / (s.assignment_bits + s.mask_bits + s.codebook_bits) as f64;
+        prop_assert!((c.compression_ratio() - expected).abs() < 1e-9);
+        prop_assert_eq!(s.original_bits, (ng * 16 * 32) as u64);
+    }
+}
+
+/// Non-proptest cross-check: masked k-means never yields higher masked SSE
+/// than plain k-means on the same pruned data (averaged over seeds — the
+/// defining advantage from the paper's Table 3).
+#[test]
+fn masked_kmeans_dominates_plain_on_average() {
+    let mut wins = 0;
+    let trials = 10;
+    for seed in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = mvq::tensor::kaiming_normal(vec![256, 16], 16, &mut rng);
+        let (pruned, mask) = prune_matrix_nm(&w, 4, 16).unwrap();
+        let cfg = KmeansConfig::new(16);
+        let masked = masked_kmeans(&pruned, &mask, &cfg, &mut StdRng::seed_from_u64(seed + 100))
+            .unwrap();
+        let plain =
+            mvq::core::kmeans(&pruned, &cfg, None, &mut StdRng::seed_from_u64(seed + 100))
+                .unwrap();
+        let plain_masked =
+            masked_sse(&pruned, &mask, &plain.codebook, &plain.assignments).unwrap();
+        if masked.sse < plain_masked {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 9, "masked k-means won only {wins}/{trials} trials");
+}
