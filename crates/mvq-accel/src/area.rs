@@ -7,9 +7,9 @@
 //! rows are *predictions* of the model, compared against the paper in the
 //! Table 7 bench.
 
-use crate::config::{CompressionMode, HwConfig};
 #[cfg(test)]
 use crate::config::HwSetting;
+use crate::config::{CompressionMode, HwConfig};
 use crate::error::AccelError;
 use crate::loader::ceil_log2;
 
@@ -145,11 +145,7 @@ pub fn area_report(cfg: &HwConfig) -> Result<AreaReport, AccelError> {
     // ARF + PRF (EWS only): one activation + one psum register per PE row
     // position, Table 2 folds them into the PE; approximate with RF bits
     let ews = cfg.setting.dataflow() == crate::config::Dataflow::Ews;
-    let arf_prf = if ews {
-        (h * l) as f64 * (8.0 + unit::PSUM_BITS) * unit::RF_BIT
-    } else {
-        0.0
-    };
+    let arf_prf = if ews { (h * l) as f64 * (8.0 + unit::PSUM_BITS) * unit::RF_BIT } else { 0.0 };
     let _ = unit::WRF_DEPTH;
     let accelerator_mm2 = groups as f64 * tile_mm2 + arf_prf + h as f64 * unit::ROW_CTRL;
     // CRF: k·d·8 bits with L/d read ports (port overhead fitted to the
@@ -175,9 +171,7 @@ mod tests {
     use super::*;
 
     fn accel_area(setting: HwSetting, size: usize) -> f64 {
-        area_report(&HwConfig::new(setting, size).unwrap())
-            .unwrap()
-            .array_with_crf_mm2()
+        area_report(&HwConfig::new(setting, size).unwrap()).unwrap().array_with_crf_mm2()
     }
 
     #[test]
@@ -247,10 +241,6 @@ mod tests {
         assert!(r.total_mm2() > r.accelerator_mm2);
         // paper Table 9: MVQ-16 total ≈ 8.66 mm²
         let cms16 = area_report(&HwConfig::new(HwSetting::EwsCms, 16).unwrap()).unwrap();
-        assert!(
-            (7.5..10.0).contains(&cms16.total_mm2()),
-            "MVQ-16 total {:.2}",
-            cms16.total_mm2()
-        );
+        assert!((7.5..10.0).contains(&cms16.total_mm2()), "MVQ-16 total {:.2}", cms16.total_mm2());
     }
 }

@@ -191,9 +191,7 @@ impl HwConfig {
     /// Physical multiplier count.
     pub fn physical_macs(&self) -> usize {
         match self.setting.compression() {
-            CompressionMode::MaskedVqSparse => {
-                self.array_h * self.array_l * self.keep_n / self.m
-            }
+            CompressionMode::MaskedVqSparse => self.array_h * self.array_l * self.keep_n / self.m,
             _ => self.array_h * self.array_l,
         }
     }

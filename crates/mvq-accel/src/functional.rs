@@ -133,9 +133,8 @@ impl FunctionalEws {
             )));
         }
         let mask = compressed.mask();
-        let lut = MaskLut::new(mask.keep_n(), mask.m()).map_err(|e| {
-            AccelError::InvalidConfig(format!("mask LUT construction failed: {e}"))
-        })?;
+        let lut = MaskLut::new(mask.keep_n(), mask.m())
+            .map_err(|e| AccelError::InvalidConfig(format!("mask LUT construction failed: {e}")))?;
         let codebook = compressed.codebook();
         let assignments = compressed.assignments();
         let groups_per_m = d / mask.m();
@@ -168,9 +167,8 @@ impl FunctionalEws {
                     let idx = lut.encode(chunk).map_err(|e| {
                         AccelError::InvalidConfig(format!("mask encode failed: {e}"))
                     })?;
-                    mask_bits.extend_from_slice(
-                        lut.decode(idx).expect("index from encode is valid"),
-                    );
+                    mask_bits
+                        .extend_from_slice(lut.decode(idx).expect("index from encode is valid"));
                 }
                 // AND gates: keep codeword lanes where the mask is set
                 let kept: Vec<f64> = codeword
@@ -239,8 +237,7 @@ mod tests {
     }
 
     fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
-        a.dims() == b.dims()
-            && a.data().iter().zip(b.data()).all(|(x, y)| (x - y).abs() <= tol)
+        a.dims() == b.dims() && a.data().iter().zip(b.data()).all(|(x, y)| (x - y).abs() <= tol)
     }
 
     #[test]

@@ -23,7 +23,6 @@
 // Indexed loops are the clearer idiom for the numeric kernels here.
 #![allow(clippy::needless_range_loop)]
 
-
 mod area;
 mod compare;
 mod config;

@@ -49,7 +49,11 @@ impl SparseTile {
     ///
     /// Returns [`AccelError::InvalidConfig`] when the mask length is not
     /// `d` or the kept-weight count does not match the mask population.
-    pub fn program(d: usize, mask: &[bool], kept_weights: &[f64]) -> Result<SparseTile, AccelError> {
+    pub fn program(
+        d: usize,
+        mask: &[bool],
+        kept_weights: &[f64],
+    ) -> Result<SparseTile, AccelError> {
         if mask.len() != d {
             return Err(AccelError::InvalidConfig(format!(
                 "mask length {} != d = {d}",
@@ -109,10 +113,7 @@ mod tests {
 
     #[test]
     fn encode_positions_in_order() {
-        assert_eq!(
-            lzc_encode_mask(&[false, true, false, true]),
-            vec![1, 3]
-        );
+        assert_eq!(lzc_encode_mask(&[false, true, false, true]), vec![1, 3]);
         assert_eq!(lzc_encode_mask(&[true, true, true]), vec![0, 1, 2]);
         assert_eq!(lzc_encode_mask(&[false, false]), Vec::<usize>::new());
     }

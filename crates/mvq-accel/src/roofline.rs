@@ -100,10 +100,8 @@ mod tests {
 
     #[test]
     fn labels_are_informative() {
-        let p = roofline_point(
-            &HwConfig::new(HwSetting::EwsCms, 32).unwrap(),
-            &workloads::resnet18(),
-        );
+        let p =
+            roofline_point(&HwConfig::new(HwSetting::EwsCms, 32).unwrap(), &workloads::resnet18());
         assert_eq!(p.label, "EWS-CMS-32");
     }
 }

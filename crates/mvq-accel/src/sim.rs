@@ -138,8 +138,7 @@ impl NetworkReport {
         let l1 = to_mw(self.counts.l1 * em.l1);
         let l2 = to_mw(self.counts.l2 * em.l2);
         let _ = array_size;
-        let others =
-            to_mw(self.cycles * self.fixed_units_per_cycle + self.counts.dram * 2.0);
+        let others = to_mw(self.cycles * self.fixed_units_per_cycle + self.counts.dram * 2.0);
         (accel, l1, l2, others)
     }
 }
@@ -166,11 +165,8 @@ fn mac_gate_factor(cfg: &HwConfig) -> f64 {
 pub fn simulate_layer(cfg: &HwConfig, shape: &ConvShape) -> LayerReport {
     let (h, l) = (cfg.array_h as f64, cfg.array_l as f64);
     let ews = cfg.setting.dataflow() == Dataflow::Ews;
-    let (a, b, dd) = if ews {
-        (cfg.ext_a as f64, cfg.ext_b as f64, cfg.ext_d as f64)
-    } else {
-        (1.0, 1.0, 1.0)
-    };
+    let (a, b, dd) =
+        if ews { (cfg.ext_a as f64, cfg.ext_b as f64, cfg.ext_d as f64) } else { (1.0, 1.0, 1.0) };
     let eff_macs = shape.macs() as f64;
     let sparsity = if shape.depthwise { 0.0 } else { cfg.weight_sparsity() };
     let phys_macs = match cfg.setting.compression() {
@@ -188,8 +184,7 @@ pub fn simulate_layer(cfg: &HwConfig, shape: &ConvShape) -> LayerReport {
     let psum_l1 = 2.0 * eff_macs / h / (b * dd);
     let ofmap_l1 = shape.ofmap_elems() as f64;
     let l1_elems = ifmap_l1 + psum_l1 + ofmap_l1;
-    let l1_cycles =
-        compute_cycles * ((h / (a * dd) + 2.0 * l / (b * dd)) / cfg.l1_words_per_cycle);
+    let l1_cycles = compute_cycles * ((h / (a * dd) + 2.0 * l / (b * dd)) / cfg.l1_words_per_cycle);
     // L2 traffic: weights in+out once, ifmap re-read per output-channel
     // tile group, ofmap written once
     let wl_elems = wl_bits / 8.0;
@@ -379,11 +374,7 @@ mod tests {
                 let base = report(HwSetting::Ews, size, &net).data_access_cost();
                 let cms = report(HwSetting::EwsCms, size, &net).data_access_cost();
                 let red = base / cms;
-                assert!(
-                    (1.2..8.0).contains(&red),
-                    "{} at {size}: reduction {red}",
-                    net.name
-                );
+                assert!((1.2..8.0).contains(&red), "{} at {size}: reduction {red}", net.name);
             }
         }
     }

@@ -39,15 +39,7 @@ impl ConvShape {
 
     /// A depthwise conv layer.
     pub const fn dw(ch: usize, kernel: usize, stride: usize, in_size: usize) -> ConvShape {
-        ConvShape {
-            cin: ch,
-            cout: ch,
-            kernel,
-            stride,
-            in_size,
-            repeats: 1,
-            depthwise: true,
-        }
+        ConvShape { cin: ch, cout: ch, kernel, stride, in_size, repeats: 1, depthwise: true }
     }
 
     /// Output feature-map side, assuming "same" padding.
@@ -104,12 +96,7 @@ impl Network {
     pub fn pointwise_only(&self) -> Network {
         Network {
             name: self.name,
-            layers: self
-                .layers
-                .iter()
-                .filter(|l| l.kernel == 1 && !l.depthwise)
-                .copied()
-                .collect(),
+            layers: self.layers.iter().filter(|l| l.kernel == 1 && !l.depthwise).copied().collect(),
         }
     }
 }

@@ -25,9 +25,7 @@ fn bench_conv(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let mut conv = Conv2d::new(32, 64, 3, 1, 1, 1, false, &mut rng);
     let x = mvq_tensor::uniform(vec![8, 32, 16, 16], -1.0, 1.0, &mut rng);
-    group.bench_function("fwd_8x32x16x16_to_64", |b| {
-        b.iter(|| conv.forward(&x, false).unwrap())
-    });
+    group.bench_function("fwd_8x32x16x16_to_64", |b| b.iter(|| conv.forward(&x, false).unwrap()));
     group.bench_function("fwd_bwd_8x32x16x16_to_64", |b| {
         b.iter(|| {
             let y = conv.forward(&x, true).unwrap();

@@ -17,11 +17,9 @@ fn bench_assignment(c: &mut Criterion) {
         let w = mvq_tensor::kaiming_normal(vec![ng, d], d, &mut rng);
         let (pruned, mask) = prune_matrix_nm(&w, 4, 16).unwrap();
         let centers = mvq_tensor::kaiming_normal(vec![k, d], d, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("naive", format!("ng{ng}_k{k}")),
-            &(),
-            |b, _| b.iter(|| masked_assign_naive(&pruned, &mask, &centers)),
-        );
+        group.bench_with_input(BenchmarkId::new("naive", format!("ng{ng}_k{k}")), &(), |b, _| {
+            b.iter(|| masked_assign_naive(&pruned, &mask, &centers))
+        });
         group.bench_with_input(
             BenchmarkId::new("full_clustering_factored", format!("ng{ng}_k{k}")),
             &(),
@@ -46,13 +44,8 @@ fn bench_convergence(c: &mut Criterion) {
     let (pruned, mask) = prune_matrix_nm(&w, 4, 16).unwrap();
     group.bench_function("ng4096_k64_tol0.1pct", |b| {
         b.iter(|| {
-            masked_kmeans(
-                &pruned,
-                &mask,
-                &KmeansConfig::new(64),
-                &mut StdRng::seed_from_u64(3),
-            )
-            .unwrap()
+            masked_kmeans(&pruned, &mask, &KmeansConfig::new(64), &mut StdRng::seed_from_u64(3))
+                .unwrap()
         })
     });
     group.finish();

@@ -1,0 +1,38 @@
+//! Criterion bench: serial vs rayon-parallel whole-model compression on
+//! ResNet-18-lite — the model-level pipeline path behind Tables 3-6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvq_core::{ModelCompressor, MvqConfig, Parallelism};
+use mvq_nn::models::Arch;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_model_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_model_resnet18_lite");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = Arch::ResNet18.build(8, &mut rng);
+    let cfg = MvqConfig::new(64, 16, 4, 16).unwrap();
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut m = model.clone();
+            ModelCompressor::new(cfg.clone())
+                .with_parallelism(Parallelism::Serial)
+                .compress(&mut m, &mut StdRng::seed_from_u64(1))
+                .unwrap()
+        })
+    });
+    group.bench_function("rayon", |b| {
+        b.iter(|| {
+            let mut m = model.clone();
+            ModelCompressor::new(cfg.clone())
+                .with_parallelism(Parallelism::Rayon)
+                .compress(&mut m, &mut StdRng::seed_from_u64(1))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_compress);
+criterion_main!(benches);

@@ -8,9 +8,7 @@ use mvq_accel::{simulate_network, workloads, HwConfig, HwSetting};
 fn bench_single(c: &mut Criterion) {
     let net = workloads::resnet50();
     let cfg = HwConfig::new(HwSetting::EwsCms, 64).unwrap();
-    c.bench_function("simulate_resnet50_ews_cms_64", |b| {
-        b.iter(|| simulate_network(&cfg, &net))
-    });
+    c.bench_function("simulate_resnet50_ews_cms_64", |b| b.iter(|| simulate_network(&cfg, &net)));
 }
 
 fn bench_full_sweep(c: &mut Criterion) {

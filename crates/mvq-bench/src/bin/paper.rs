@@ -16,9 +16,8 @@ use std::process::ExitCode;
 
 use mvq_bench::{hw, tables, ExperimentConfig};
 
-const HW_EXPERIMENTS: [&str; 10] = [
-    "table2", "table7", "table8", "table9", "fig14", "fig15", "fig16", "fig17", "fig18", "fig20",
-];
+const HW_EXPERIMENTS: [&str; 10] =
+    ["table2", "table7", "table8", "table9", "fig14", "fig15", "fig16", "fig17", "fig18", "fig20"];
 const ALG_EXPERIMENTS: [&str; 8] =
     ["table1", "table3", "table4", "table5", "table6", "fig10", "fig11", "fig13"];
 const EXT_EXPERIMENTS: [&str; 2] = ["ext1", "ext2"];

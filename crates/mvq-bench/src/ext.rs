@@ -33,8 +33,7 @@ pub fn ext1(cfg: &ExperimentConfig) -> String {
         let keep_uniform = (((1.0 - target) * 16.0).round() as usize).max(1);
         let uniform_acc = {
             let mut model = trained.model.clone();
-            mvq_core::prune_model(&mut model, grouping, 16, keep_uniform, 16)
-                .expect("groupable");
+            mvq_core::prune_model(&mut model, grouping, 16, keep_uniform, 16).expect("groupable");
             bn_recalibrate(&mut model, &trained.data, 8);
             evaluate_classifier(&mut model, &trained.data).expect("eval")
         };
@@ -55,11 +54,7 @@ pub fn ext1(cfg: &ExperimentConfig) -> String {
             format!("{:.0}%", target * 100.0),
             format!("{keep_uniform}:16 everywhere"),
             f(uniform_acc as f64 * 100.0, 1),
-            format!(
-                "mixed {{{}}} @ {:.0}%",
-                spread_s.join(", "),
-                plan.achieved_sparsity * 100.0
-            ),
+            format!("mixed {{{}}} @ {:.0}%", spread_s.join(", "), plan.achieved_sparsity * 100.0),
             f(mixed_acc as f64 * 100.0, 1),
         ]);
     }
@@ -69,10 +64,7 @@ pub fn ext1(cfg: &ExperimentConfig) -> String {
          pruning (no fine-tuning, BN recalibrated):\n",
         trained.dense_acc * 100.0
     );
-    out += &render_table(
-        &["Sparsity", "Uniform", "Acc %", "Mixed plan", "Acc %"],
-        &rows,
-    );
+    out += &render_table(&["Sparsity", "Uniform", "Acc %", "Mixed plan", "Acc %"], &rows);
     out
 }
 
@@ -93,14 +85,12 @@ pub fn ext2(cfg: &ExperimentConfig) -> String {
         layers += 1;
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 31);
         let plain = kmeans(&pruned, &KmeansConfig::new(k), None, &mut rng).expect("clusterable");
-        sse_plain +=
-            masked_sse(&pruned, &mask, &plain.codebook, &plain.assignments).expect("consistent")
-                as f64;
+        sse_plain += masked_sse(&pruned, &mask, &plain.codebook, &plain.assignments)
+            .expect("consistent") as f64;
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 31);
         let dkm = dkm_cluster(&pruned, &DkmConfig::new(k), &mut rng).expect("clusterable");
         sse_dkm +=
-            masked_sse(&pruned, &mask, &dkm.codebook, &dkm.assignments).expect("consistent")
-                as f64;
+            masked_sse(&pruned, &mask, &dkm.codebook, &dkm.assignments).expect("consistent") as f64;
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 31);
         let masked =
             masked_kmeans(&pruned, &mask, &KmeansConfig::new(k), &mut rng).expect("clusterable");

@@ -75,10 +75,7 @@ mod tests {
     fn table_alignment() {
         let t = render_table(
             &["a", "long-header"],
-            &[
-                vec!["x".into(), "1".into()],
-                vec!["yyyy".into(), "2".into()],
-            ],
+            &[vec!["x".into(), "1".into()], vec!["yyyy".into(), "2".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

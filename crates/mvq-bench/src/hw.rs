@@ -18,13 +18,21 @@ pub fn table2() -> String {
     let dense = tile_resources(h, d, None);
     let sparse = tile_resources(h, d, Some(q));
     let rows = vec![
-        vec!["Multiplier".into(), format!("{}", dense.multipliers), format!("{}", sparse.multipliers)],
+        vec![
+            "Multiplier".into(),
+            format!("{}", dense.multipliers),
+            format!("{}", sparse.multipliers),
+        ],
         vec!["Adder".into(), format!("{}", dense.adders), format!("{}", sparse.adders)],
         vec!["RF bits".into(), format!("{}", dense.rf_bits), format!("{}", sparse.rf_bits)],
         vec!["LZC".into(), "NA".into(), format!("{}", sparse.lzc)],
         vec!["DEMUX".into(), "NA".into(), format!("{}", sparse.demux)],
         vec!["MUX".into(), "NA".into(), format!("{}", sparse.mux)],
-        vec!["Parallelism".into(), format!("{}", dense.parallelism), format!("{}", sparse.parallelism)],
+        vec![
+            "Parallelism".into(),
+            format!("{}", dense.parallelism),
+            format!("{}", sparse.parallelism),
+        ],
     ];
     let mut out = format!("Table 2 — resources of a {h}x{d} tile (Q = {q}):\n");
     out += &render_table(&["Resource", "EWS", "EWS-Sparse"], &rows);
@@ -89,8 +97,7 @@ pub fn table8() -> String {
         f(em.wrf, 2),
         f(em.crf, 2),
     ]];
-    let mut out =
-        String::from("Table 8 — normalized data-access energy (unit = one 8-bit MAC):\n");
+    let mut out = String::from("Table 8 — normalized data-access energy (unit = one 8-bit MAC):\n");
     out += &render_table(&["DRAM", "L2", "L1", "PRF", "ARF", "WRF", "CRF"], &rows);
     out
 }
@@ -107,7 +114,11 @@ pub fn table9() -> String {
                 f(r.process_nm, 0),
                 format!("{}", r.macs),
                 r.granularity.into(),
-                if r.sparsity.is_nan() { "NA".into() } else { format!("{:.0}%", r.sparsity * 100.0) },
+                if r.sparsity.is_nan() {
+                    "NA".into()
+                } else {
+                    format!("{:.0}%", r.sparsity * 100.0)
+                },
                 if r.compression_ratio.is_nan() {
                     "NA".into()
                 } else {
@@ -127,8 +138,18 @@ pub fn table9() -> String {
     );
     out += &render_table(
         &[
-            "Design", "Venue", "nm", "MACs", "Granularity", "Sparsity", "CR", "Workload",
-            "Peak TOPS", "Area mm2", "TOPS/W", "N-Eff",
+            "Design",
+            "Venue",
+            "nm",
+            "MACs",
+            "Granularity",
+            "Sparsity",
+            "CR",
+            "Workload",
+            "Peak TOPS",
+            "Area mm2",
+            "TOPS/W",
+            "N-Eff",
         ],
         &rows,
     );
@@ -270,10 +291,8 @@ pub fn fig18() -> String {
         "Fig. 18 — roofline (OI = effective ops per weight-load byte; paper: arrays >= 32x32\n\
          are weight-load bound until MVQ lifts the intensity):\n",
     );
-    out += &render_table(
-        &["Model", "Config", "OI (ops/B)", "GOPS", "Peak GOPS", "Bound by"],
-        &rows,
-    );
+    out +=
+        &render_table(&["Model", "Config", "OI (ops/B)", "GOPS", "Peak GOPS", "Bound by"], &rows);
     out
 }
 
@@ -296,13 +315,10 @@ pub fn fig19() -> String {
         ("EWS-CMS", [2.4, 4.1, 5.7]),
     ];
     let mut out = String::from("Fig. 19 — energy efficiency in TOPS/W (modeled vs paper):\n");
-    for (net, paper) in
-        [(workloads::resnet18(), paper_rn18), (workloads::resnet50(), paper_rn50)]
-    {
+    for (net, paper) in [(workloads::resnet18(), paper_rn18), (workloads::resnet50(), paper_rn50)] {
         let mut rows = Vec::new();
         for setting in HwSetting::ALL {
-            let paper_vals =
-                paper.iter().find(|(n, _)| *n == setting.name()).map(|(_, v)| v);
+            let paper_vals = paper.iter().find(|(n, _)| *n == setting.name()).map(|(_, v)| v);
             let mut row = vec![setting.name().to_string()];
             for (i, &size) in SIZES.iter().enumerate() {
                 let r = simulate_network(&HwConfig::new(setting, size).expect("valid"), &net);
@@ -333,8 +349,9 @@ pub fn fig20() -> String {
         for setting in [HwSetting::WsCms, HwSetting::Ews, HwSetting::EwsCms] {
             let mut row = vec![setting.name().to_string()];
             for &size in &SIZES {
-                let ws = simulate_network(&HwConfig::new(HwSetting::Ws, size).expect("valid"), &net)
-                    .tops_per_watt();
+                let ws =
+                    simulate_network(&HwConfig::new(HwSetting::Ws, size).expect("valid"), &net)
+                        .tops_per_watt();
                 let r = simulate_network(&HwConfig::new(setting, size).expect("valid"), &net)
                     .tops_per_watt();
                 row.push(format!("{:.2}x", r / ws));

@@ -6,10 +6,10 @@
 //! reproduces is the *comparisons* — who wins, how orderings move with the
 //! knobs — per DESIGN.md.
 
-use mvq_core::baselines::{bgd_compress, pqf_compress, pvq::pvq_quantize_model};
+use mvq_core::pipeline::{by_name, PipelineSpec};
 use mvq_core::{
-    finetune_codebooks, prune_model, sparse_finetune, ClusterScope,
-    CodebookFinetuneConfig, GroupingStrategy, ModelCompressor, MvqConfig, PruneMethod,
+    finetune_codebooks, prune_model, sparse_finetune, ClusterScope, CodebookFinetuneConfig,
+    GroupingStrategy, ModelArtifacts, ModelCompressor, MvqConfig, PruneMethod,
     SparseFinetuneConfig,
 };
 use mvq_nn::data::{SyntheticClassification, SyntheticSegmentation};
@@ -47,16 +47,28 @@ pub fn train_arch(arch: Arch, cfg: &ExperimentConfig) -> Trained {
         &mut rng,
     );
     let mut model = arch.build(cfg.classes, &mut rng);
-    let tc = TrainConfig {
-        epochs: cfg.train_epochs,
-        batch_size: 32,
-        lr_decay: 0.85,
-        verbose: false,
-    };
+    let tc =
+        TrainConfig { epochs: cfg.train_epochs, batch_size: 32, lr_decay: 0.85, verbose: false };
     let mut opt = Optimizer::new(OptimizerKind::sgd(0.04, 0.9, 1e-4));
     train_classifier(&mut model, &data, &tc, &mut opt, &mut rng).expect("training succeeds");
     let dense_acc = evaluate_classifier(&mut model, &data).expect("evaluation succeeds");
     Trained { model, data, dense_acc }
+}
+
+/// Compresses a clone of `model` with the named registry algorithm and
+/// returns the reconstructed model plus its artifacts. This is the one
+/// compression dispatch the tables share — no per-algorithm arms.
+pub fn compress_clone(
+    model: &Sequential,
+    algorithm: &str,
+    spec: &PipelineSpec,
+    seed: u64,
+) -> (Sequential, ModelArtifacts) {
+    let comp = by_name(algorithm, spec).expect("registered algorithm");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut compressed = model.clone();
+    let artifacts = comp.compress_model(&mut compressed, &mut rng).expect("compressible model");
+    (compressed, artifacts)
 }
 
 /// Refreshes batch-norm running statistics after weight surgery (a few
@@ -66,7 +78,8 @@ pub fn bn_recalibrate(model: &mut Sequential, data: &SyntheticClassification, ba
     let bs = 32usize.min(data.n_train());
     for b in 0..batches {
         let from = (b * bs) % (data.n_train() - bs + 1);
-        let (xb, _) = mvq_nn::data::batch_of(&data.train_images, &data.train_labels, from, from + bs);
+        let (xb, _) =
+            mvq_nn::data::batch_of(&data.train_images, &data.train_labels, from, from + bs);
         let _ = model.forward(&xb, true);
     }
 }
@@ -196,7 +209,6 @@ pub fn table3(cfg: &ExperimentConfig) -> String {
     let (keep_n, m) = (4usize, 16usize);
     let (k_ab, d_ab) = (128usize, 8usize); // cases A/B (paper: 1024, 8)
     let (k_cd, d_cd) = (64usize, 16usize); // cases C/D (paper: 512, 16)
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 3);
     let mut rows = Vec::new();
 
     // collect per-conv weights of the reference model
@@ -226,77 +238,36 @@ pub fn table3(cfg: &ExperimentConfig) -> String {
         }
         (total, masked)
     };
-    let eval_with = |recons: &[Option<mvq_tensor::Tensor>]| -> f32 {
-        let mut model = trained.model.clone();
-        let mut idx = 0;
-        model.visit_convs_mut(&mut |c| {
-            if let Some(r) = &recons[idx] {
-                c.weight.value = r.clone();
-            }
-            idx += 1;
-        });
+    // Cases A/B/C all dispatch through the registry: A and B cluster at
+    // d=8 (B with its 4:16 pruning living on the d=16 grid — the paper's
+    // two-grid setup), C clusters and stores the mask at d=16.
+    let ab_spec = PipelineSpec::default().with_k(k_ab).with_d(d_ab).with_nm(keep_n, m);
+    let arms: [(&str, &str, PipelineSpec); 3] = [
+        ("A: DW+CK+DR", "vq-a", ab_spec.clone()),
+        ("B: SW+CK+DR", "vq-b", ab_spec.with_prune_d(d_cd)),
+        (
+            "C: SW+CK+SR",
+            "vq-c",
+            PipelineSpec::default().with_k(k_cd).with_d(d_cd).with_nm(keep_n, m),
+        ),
+    ];
+    for (label, algorithm, spec) in arms {
+        let (mut model, artifacts) = compress_clone(&trained.model, algorithm, &spec, cfg.seed ^ 3);
+        let recons = artifacts.reconstructions(trained.model.num_convs()).expect("reconstructible");
+        let (total, masked) = sse_of(&recons);
+        // FLOPs follow from the representation: a stored mask means the
+        // hardware skips pruned lanes
+        let masked_repr = artifacts.layers.iter().all(|l| l.artifact.mask().is_some());
+        let flops = if masked_repr { sparse_flops } else { dense_flops };
         bn_recalibrate(&mut model, &trained.data, 8);
-        evaluate_classifier(&mut model, &trained.data).expect("eval")
-    };
-
-    // Case A: dense weights, common k-means, dense reconstruct
-    let recon_a: Vec<Option<mvq_tensor::Tensor>> = dense_w
-        .iter()
-        .map(|w| {
-            mvq_core::baselines::vq_case_a(w, k_ab, d_ab, grouping, Some(8), &mut rng)
-                .ok()
-                .map(|vq| vq.reconstruct().expect("reconstruct"))
-        })
-        .collect();
-    let (ta, ma) = sse_of(&recon_a);
-    rows.push(vec![
-        "A: DW+CK+DR".into(),
-        format!("{:.0}/{:.0}", ta, ma),
-        giga(dense_flops as f64),
-        f(eval_with(&recon_a) as f64 * 100.0, 1),
-    ]);
-
-    // Case B: sparse weights, common k-means, dense reconstruct. The
-    // 4:16 pruning lives on the d=16 grouping (d must be a multiple of
-    // M); the pruned weight is then re-grouped at d=8 for clustering,
-    // exactly the paper's two-grid setup.
-    let recon_b: Vec<Option<mvq_tensor::Tensor>> = dense_w
-        .iter()
-        .map(|w| {
-            let sparse = grouping
-                .group(w, d_cd)
-                .and_then(|g| mvq_core::prune_matrix_nm(&g, keep_n, m))
-                .and_then(|(p, _)| grouping.ungroup(&p, w.dims(), d_cd))
-                .ok()?;
-            mvq_core::baselines::vq_case_a(&sparse, k_ab, d_ab, grouping, Some(8), &mut rng)
-                .ok()
-                .map(|vq| vq.reconstruct().expect("reconstruct"))
-        })
-        .collect();
-    let (tb, mb) = sse_of(&recon_b);
-    rows.push(vec![
-        "B: SW+CK+DR".into(),
-        format!("{:.0}/{:.0}", tb, mb),
-        giga(dense_flops as f64),
-        f(eval_with(&recon_b) as f64 * 100.0, 1),
-    ]);
-
-    // Case C: sparse weights, common k-means, sparse reconstruct
-    let recon_c: Vec<Option<mvq_tensor::Tensor>> = dense_w
-        .iter()
-        .map(|w| {
-            mvq_core::baselines::vq_case_c(w, k_cd, d_cd, keep_n, m, grouping, Some(8), &mut rng)
-                .ok()
-                .map(|(cm, _)| cm.reconstruct().expect("reconstruct"))
-        })
-        .collect();
-    let (tc_sse, mc) = sse_of(&recon_c);
-    rows.push(vec![
-        "C: SW+CK+SR".into(),
-        format!("{:.0}/{:.0}", tc_sse, mc),
-        giga(sparse_flops as f64),
-        f(eval_with(&recon_c) as f64 * 100.0, 1),
-    ]);
+        let acc = evaluate_classifier(&mut model, &trained.data).expect("eval");
+        rows.push(vec![
+            label.into(),
+            format!("{:.0}/{:.0}", total, masked),
+            giga(flops as f64),
+            f(acc as f64 * 100.0, 1),
+        ]);
+    }
 
     // Case D (ours): masked k-means, sparse reconstruct, with the
     // pipeline's sparse fine-tuning step (the paper fine-tunes the sparse
@@ -305,7 +276,11 @@ pub fn table3(cfg: &ExperimentConfig) -> String {
     rows.push(vec![
         "D: SW+MK+SR (ours)".into(),
         format!("{:.0}/{:.0}", run.sse, run.sse),
-        format!("{} (-{:.0}%)", giga(run.flops as f64), 100.0 * (1.0 - run.flops as f64 / dense_flops as f64)),
+        format!(
+            "{} (-{:.0}%)",
+            giga(run.flops as f64),
+            100.0 * (1.0 - run.flops as f64 / dense_flops as f64)
+        ),
         format!("{:.1} (ft {:.1})", run.acc_noft as f64 * 100.0, run.acc_ft as f64 * 100.0),
     ]);
 
@@ -342,15 +317,15 @@ pub fn table4(cfg: &ExperimentConfig) -> String {
             giga(run.flops as f64),
         ]);
         if arch.is_parameter_efficient() {
-            // PvQ 2-bit baseline
-            let mut model = trained.model.clone();
-            pvq_quantize_model(&mut model, 2).expect("quantizable");
+            // PvQ 2-bit baseline, through the same registry dispatch
+            let spec = PipelineSpec::default().with_scalar_bits(2);
+            let (mut model, artifacts) = compress_clone(&trained.model, "pvq", &spec, cfg.seed ^ 4);
             bn_recalibrate(&mut model, &trained.data, 8);
             let acc = evaluate_classifier(&mut model, &trained.data).expect("eval");
             rows.push(vec![
                 String::new(),
                 "PvQ 2-bit".into(),
-                ratio(16.0),
+                ratio(artifacts.compression_ratio()),
                 f(acc as f64 * 100.0, 1),
                 "0%".into(),
                 giga(run.flops_dense as f64),
@@ -361,10 +336,7 @@ pub fn table4(cfg: &ExperimentConfig) -> String {
         "Table 4 — MVQ across the model zoo vs uniform 2-bit quantization\n\
          (paper: MVQ beats PvQ decisively on parameter-efficient nets and cuts FLOPs):\n",
     );
-    out += &render_table(
-        &["Model", "Method", "CR", "Acc %", "Sparsity", "FLOPs"],
-        &rows,
-    );
+    out += &render_table(&["Model", "Method", "CR", "Acc %", "Sparsity", "FLOPs"], &rows);
     out
 }
 
@@ -374,22 +346,14 @@ pub fn table5(cfg: &ExperimentConfig) -> String {
     for arch in [Arch::ResNet18, Arch::ResNet50] {
         let trained = train_arch(arch, cfg);
         let run = run_mvq(&trained, 64, 16, 4, 16, ClusterScope::LayerWise, cfg, 0);
-        // PQF at comparable CR: d=8, k doubled (maskless)
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 5);
-        let mut pqf_sse = 0.0f64;
-        trained.model.visit_convs(&mut |c| {
-            if let Ok(p) = pqf_compress(
-                &c.weight.value,
-                128,
-                8,
-                GroupingStrategy::OutputChannelWise,
-                Some(8),
-                5_000,
-                &mut rng,
-            ) {
-                pqf_sse += p.sse as f64;
-            }
-        });
+        // PQF at comparable CR: d=8, k doubled (maskless). Only the SSE is
+        // needed, so compress without writing reconstructions back.
+        let spec = PipelineSpec::default().with_k(128).with_d(8).with_swap_trials(5_000);
+        let comp = by_name("pqf", &spec).expect("registered algorithm");
+        let artifacts = comp
+            .compress_model_artifacts(&trained.model, &mut StdRng::seed_from_u64(cfg.seed ^ 5))
+            .expect("compressible model");
+        let pqf_sse = artifacts.total_sse().expect("pqf records clustering SSE");
         rows.push(vec![
             arch.name().into(),
             f(pqf_sse, 1),
@@ -409,20 +373,10 @@ pub fn table5(cfg: &ExperimentConfig) -> String {
 pub fn table6(cfg: &ExperimentConfig) -> String {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 6);
     let classes = 4usize;
-    let data = SyntheticSegmentation::generate(
-        classes,
-        cfg.n_train / 4,
-        cfg.n_test / 4,
-        16,
-        &mut rng,
-    );
+    let data =
+        SyntheticSegmentation::generate(classes, cfg.n_train / 4, cfg.n_test / 4, 16, &mut rng);
     let mut model = deeplab_lite(classes, &mut rng);
-    let tc = TrainConfig {
-        epochs: cfg.train_epochs,
-        batch_size: 8,
-        lr_decay: 0.9,
-        verbose: false,
-    };
+    let tc = TrainConfig { epochs: cfg.train_epochs, batch_size: 8, lr_decay: 0.9, verbose: false };
     let mut opt = Optimizer::new(OptimizerKind::adam(2e-3));
     train_segmenter(&mut model, &data, &tc, &mut opt, &mut rng).expect("training succeeds");
     let base_miou = evaluate_miou(&mut model, &data).expect("eval");
@@ -434,16 +388,15 @@ pub fn table6(cfg: &ExperimentConfig) -> String {
     // MVQ at 1:2 pruning (CR ~ paper's 19x table row)
     let mut mvq_model = model.clone();
     let mvq_cfg = MvqConfig::new(64, 16, 8, 16).expect("valid");
-    let mut compressed = ModelCompressor::new(mvq_cfg)
-        .compress(&mut mvq_model, &mut rng)
-        .expect("compressible");
+    let mut compressed =
+        ModelCompressor::new(mvq_cfg).compress(&mut mvq_model, &mut rng).expect("compressible");
     let cr = compressed.compression_ratio();
     let _ = &mut compressed;
     let mvq_miou = evaluate_miou(&mut mvq_model, &data).expect("eval");
 
     // PvQ 2-bit
-    let mut pvq_model = model.clone();
-    pvq_quantize_model(&mut pvq_model, 2).expect("quantizable");
+    let (mut pvq_model, pvq_artifacts) =
+        compress_clone(&model, "pvq", &PipelineSpec::default().with_scalar_bits(2), cfg.seed ^ 6);
     let pvq_miou = evaluate_miou(&mut pvq_model, &data).expect("eval");
 
     let dense_flops = probe_flops.dense_total();
@@ -458,7 +411,7 @@ pub fn table6(cfg: &ExperimentConfig) -> String {
         ],
         vec![
             "PvQ 2-bit".into(),
-            ratio(16.0),
+            ratio(pvq_artifacts.compression_ratio()),
             "0%".into(),
             giga(dense_flops as f64),
             f(pvq_miou as f64 * 100.0, 1),
@@ -544,11 +497,7 @@ pub fn fig11(cfg: &ExperimentConfig) -> String {
         } else {
             run.cr
         };
-        rows.push(vec![
-            label.into(),
-            ratio(cr),
-            f(run.acc_ft as f64 * 100.0, 1),
-        ]);
+        rows.push(vec![label.into(), ratio(cr), f(run.acc_ft as f64 * 100.0, 1)]);
     }
     let mut out = format!(
         "Fig. 11 — pruning/clustering strategy on MobileNet-v2-lite (dense {:.1}%)\n\
@@ -572,54 +521,30 @@ pub fn fig13(cfg: &ExperimentConfig) -> String {
             // the full pipeline includes sparse fine-tuning (step 1)
             let lw = run_mvq(&trained, k, 16, 4, 16, ClusterScope::LayerWise, cfg, 1);
             let cl = run_mvq(&trained, k, 16, 4, 16, ClusterScope::CrossLayer, cfg, 1);
-            // PQF and BGD at matched assignment rate: d=8, 2k codewords
-            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 13);
-            let mut pqf_model = trained.model.clone();
-            pqf_model.visit_convs_mut(&mut |c| {
-                if let Ok(p) = pqf_compress(
-                    &c.weight.value,
-                    2 * k,
-                    8,
-                    GroupingStrategy::OutputChannelWise,
-                    Some(8),
-                    3_000,
-                    &mut rng,
-                ) {
-                    c.weight.value = p.reconstruct().expect("reconstruct");
-                }
-            });
-            bn_recalibrate(&mut pqf_model, &trained.data, 8);
-            let pqf_acc = evaluate_classifier(&mut pqf_model, &trained.data).expect("eval");
-            let mut bgd_model = trained.model.clone();
-            bgd_model.visit_convs_mut(&mut |c| {
-                if let Ok(b) = bgd_compress(
-                    &c.weight.value,
-                    2 * k,
-                    8,
-                    GroupingStrategy::OutputChannelWise,
-                    Some(8),
-                    None,
-                    &mut rng,
-                ) {
-                    c.weight.value = b.reconstruct().expect("reconstruct");
-                }
-            });
-            bn_recalibrate(&mut bgd_model, &trained.data, 8);
-            let bgd_acc = evaluate_classifier(&mut bgd_model, &trained.data).expect("eval");
+            // PQF and BGD at matched assignment rate: d=8, 2k codewords —
+            // one loop over registry names, no per-algorithm arms
+            let baseline_spec =
+                PipelineSpec::default().with_k(2 * k).with_d(8).with_swap_trials(3_000);
+            let baseline_accs: Vec<f32> = ["pqf", "bgd"]
+                .iter()
+                .map(|name| {
+                    let (mut model, _) =
+                        compress_clone(&trained.model, name, &baseline_spec, cfg.seed ^ 13);
+                    bn_recalibrate(&mut model, &trained.data, 8);
+                    evaluate_classifier(&mut model, &trained.data).expect("eval")
+                })
+                .collect();
             rows.push(vec![
                 format!("{k}"),
                 ratio(lw.cr),
                 format!("{:.1} (ft {:.1})", lw.acc_noft as f64 * 100.0, lw.acc_ft as f64 * 100.0),
                 f(cl.acc_noft as f64 * 100.0, 1),
-                f(pqf_acc as f64 * 100.0, 1),
-                f(bgd_acc as f64 * 100.0, 1),
+                f(baseline_accs[0] as f64 * 100.0, 1),
+                f(baseline_accs[1] as f64 * 100.0, 1),
             ]);
         }
         out += &format!("\n{} (dense {:.1}%):\n", arch.name(), trained.dense_acc * 100.0);
-        out += &render_table(
-            &["k", "CR", "layerwise-MVQ", "crosslayer-MVQ", "PQF", "BGD"],
-            &rows,
-        );
+        out += &render_table(&["k", "CR", "layerwise-MVQ", "crosslayer-MVQ", "PQF", "BGD"], &rows);
     }
     out
 }
@@ -640,7 +565,12 @@ mod tests {
 
     #[test]
     fn train_arch_produces_learner() {
-        let cfg = ExperimentConfig { train_epochs: 1, n_train: 64, n_test: 32, ..ExperimentConfig::quick() };
+        let cfg = ExperimentConfig {
+            train_epochs: 1,
+            n_train: 64,
+            n_test: 32,
+            ..ExperimentConfig::quick()
+        };
         let trained = train_arch(Arch::ResNet18, &cfg);
         assert!(trained.dense_acc >= 0.0 && trained.dense_acc <= 1.0);
         assert!(trained.model.num_convs() > 10);
@@ -648,7 +578,12 @@ mod tests {
 
     #[test]
     fn bn_recalibration_runs() {
-        let cfg = ExperimentConfig { train_epochs: 1, n_train: 64, n_test: 32, ..ExperimentConfig::quick() };
+        let cfg = ExperimentConfig {
+            train_epochs: 1,
+            n_train: 64,
+            n_test: 32,
+            ..ExperimentConfig::quick()
+        };
         let mut trained = train_arch(Arch::ResNet18, &cfg);
         bn_recalibrate(&mut trained.model, &trained.data, 2);
     }

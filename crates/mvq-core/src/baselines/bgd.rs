@@ -49,9 +49,9 @@ pub fn bgd_compress<R: Rng>(
             }
             m.to_vec()
         }
-        None => (0..ng)
-            .map(|j| grouped.row(j).iter().map(|&v| v * v).sum::<f32>().max(1e-8))
-            .collect(),
+        None => {
+            (0..ng).map(|j| grouped.row(j).iter().map(|&v| v * v).sum::<f32>().max(1e-8)).collect()
+        }
     };
     let mut res = kmeans(&grouped, &KmeansConfig::new(k), Some(&importance), rng)?;
     if let Some(b) = codebook_bits {
@@ -70,16 +70,9 @@ mod tests {
     fn default_importance_compresses() {
         let mut rng = StdRng::seed_from_u64(0);
         let w = mvq_tensor::kaiming_normal(vec![32, 16], 16, &mut rng);
-        let vq = bgd_compress(
-            &w,
-            8,
-            16,
-            GroupingStrategy::OutputChannelWise,
-            Some(8),
-            None,
-            &mut rng,
-        )
-        .unwrap();
+        let vq =
+            bgd_compress(&w, 8, 16, GroupingStrategy::OutputChannelWise, Some(8), None, &mut rng)
+                .unwrap();
         let r = vq.reconstruct().unwrap();
         assert_eq!(r.dims(), w.dims());
         assert!(vq.sse.is_finite());
@@ -102,16 +95,9 @@ mod tests {
             *x = 1000.0;
         }
         let mut rng = StdRng::seed_from_u64(1);
-        let vq = bgd_compress(
-            &w,
-            1,
-            2,
-            GroupingStrategy::OutputChannelWise,
-            None,
-            Some(&imp),
-            &mut rng,
-        )
-        .unwrap();
+        let vq =
+            bgd_compress(&w, 1, 2, GroupingStrategy::OutputChannelWise, None, Some(&imp), &mut rng)
+                .unwrap();
         let c = vq.codebook().codeword(0);
         assert!(c[0] > 0.9, "weighted centroid {c:?}");
     }

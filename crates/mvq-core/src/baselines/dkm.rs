@@ -66,12 +66,10 @@ pub fn dkm_cluster<R: Rng>(
     for _ in 0..cfg.iters {
         // distances via the factored form; soft assignments per row
         let xc = matmul_transpose_b(data, &centers)?;
-        let cnorm: Vec<f32> =
-            (0..k).map(|i| centers.row(i).iter().map(|&v| v * v).sum()).collect();
+        let cnorm: Vec<f32> = (0..k).map(|i| centers.row(i).iter().map(|&v| v * v).sum()).collect();
         for j in 0..ng {
             let row = xc.row(j);
-            let mut logits: Vec<f32> =
-                (0..k).map(|i| -(cnorm[i] - 2.0 * row[i]) / tau).collect();
+            let mut logits: Vec<f32> = (0..k).map(|i| -(cnorm[i] - 2.0 * row[i]) / tau).collect();
             let max = logits.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
             let mut z = 0.0f32;
             for l in &mut logits {
@@ -177,12 +175,7 @@ mod tests {
         )
         .unwrap();
         // soft clustering should land within 25% of Lloyd's SSE
-        assert!(
-            dkm.sse < lloyd.sse * 1.25,
-            "dkm {} vs lloyd {}",
-            dkm.sse,
-            lloyd.sse
-        );
+        assert!(dkm.sse < lloyd.sse * 1.25, "dkm {} vs lloyd {}", dkm.sse, lloyd.sse);
     }
 
     #[test]

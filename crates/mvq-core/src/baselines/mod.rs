@@ -22,6 +22,8 @@ pub mod vq_plain;
 
 pub use bgd::bgd_compress;
 pub use dkm::{dkm_cluster, dkm_compress, DkmConfig};
-pub use pqf::pqf_compress;
-pub use pvq::{pvq_quantize, PvqResult};
+pub use pqf::{pqf_compress, PqfCompressed};
+#[allow(deprecated)]
+pub use pvq::pvq_quantize_model;
+pub use pvq::{pvq_compress_model, pvq_quantize, PvqResult};
 pub use vq_plain::{vq_case_a, vq_case_b, vq_case_c, DenseVq};

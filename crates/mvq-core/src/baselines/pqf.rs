@@ -53,6 +53,11 @@ impl PqfCompressed {
         &self.assignments
     }
 
+    /// Original weight dims.
+    pub fn orig_dims(&self) -> &[usize] {
+        &self.orig_dims
+    }
+
     /// Reconstructs the dense weight (decode, then inverse-permute).
     ///
     /// # Errors
@@ -107,12 +112,9 @@ pub fn pqf_compress<R: Rng>(
     // search for a permutation lowering within-subvector scatter
     let mut perm: Vec<usize> = (0..total).collect();
     let mut values: Vec<f32> = flat.to_vec();
-    let mut row_sum: Vec<f32> = (0..ng)
-        .map(|j| values[j * d..(j + 1) * d].iter().sum())
-        .collect();
-    let mut row_sq: Vec<f32> = (0..ng)
-        .map(|j| values[j * d..(j + 1) * d].iter().map(|&v| v * v).sum())
-        .collect();
+    let mut row_sum: Vec<f32> = (0..ng).map(|j| values[j * d..(j + 1) * d].iter().sum()).collect();
+    let mut row_sq: Vec<f32> =
+        (0..ng).map(|j| values[j * d..(j + 1) * d].iter().map(|&v| v * v).sum()).collect();
     let scatter = |sum: f32, sq: f32| sq - sum * sum / d as f32;
     for _ in 0..swap_trials {
         let a = rng.gen_range(0..total);
@@ -180,16 +182,9 @@ mod tests {
     fn permutation_is_a_bijection() {
         let w = weight(0);
         let mut rng = StdRng::seed_from_u64(1);
-        let pqf = pqf_compress(
-            &w,
-            8,
-            16,
-            GroupingStrategy::OutputChannelWise,
-            None,
-            2_000,
-            &mut rng,
-        )
-        .unwrap();
+        let pqf =
+            pqf_compress(&w, 8, 16, GroupingStrategy::OutputChannelWise, None, 2_000, &mut rng)
+                .unwrap();
         let mut seen = vec![false; pqf.permutation().len()];
         for &p in pqf.permutation() {
             assert!(!seen[p]);
@@ -202,16 +197,9 @@ mod tests {
     fn reconstruct_round_trips_shape() {
         let w = weight(2);
         let mut rng = StdRng::seed_from_u64(3);
-        let pqf = pqf_compress(
-            &w,
-            8,
-            16,
-            GroupingStrategy::OutputChannelWise,
-            Some(8),
-            1_000,
-            &mut rng,
-        )
-        .unwrap();
+        let pqf =
+            pqf_compress(&w, 8, 16, GroupingStrategy::OutputChannelWise, Some(8), 1_000, &mut rng)
+                .unwrap();
         let r = pqf.reconstruct().unwrap();
         assert_eq!(r.dims(), w.dims());
     }
@@ -249,12 +237,7 @@ mod tests {
             &mut StdRng::seed_from_u64(5),
         )
         .unwrap();
-        assert!(
-            searched.sse < base.sse,
-            "searched {} !< unpermuted {}",
-            searched.sse,
-            base.sse
-        );
+        assert!(searched.sse < base.sse, "searched {} !< unpermuted {}", searched.sse, base.sse);
     }
 
     #[test]
@@ -263,16 +246,9 @@ mod tests {
         // must reproduce the weights exactly
         let w = weight(6);
         let mut rng = StdRng::seed_from_u64(7);
-        let pqf = pqf_compress(
-            &w,
-            32,
-            16,
-            GroupingStrategy::OutputChannelWise,
-            None,
-            5_000,
-            &mut rng,
-        )
-        .unwrap();
+        let pqf =
+            pqf_compress(&w, 32, 16, GroupingStrategy::OutputChannelWise, None, 5_000, &mut rng)
+                .unwrap();
         let r = pqf.reconstruct().unwrap();
         let err = w.sse(&r).unwrap();
         assert!(err < 1e-6, "reconstruction error {err}");
@@ -282,16 +258,9 @@ mod tests {
     fn storage_has_no_mask_or_permutation_cost() {
         let w = weight(8);
         let mut rng = StdRng::seed_from_u64(9);
-        let pqf = pqf_compress(
-            &w,
-            8,
-            16,
-            GroupingStrategy::OutputChannelWise,
-            Some(8),
-            100,
-            &mut rng,
-        )
-        .unwrap();
+        let pqf =
+            pqf_compress(&w, 8, 16, GroupingStrategy::OutputChannelWise, Some(8), 100, &mut rng)
+                .unwrap();
         assert_eq!(pqf.storage().mask_bits, 0);
     }
 }

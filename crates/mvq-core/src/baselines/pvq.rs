@@ -5,6 +5,7 @@
 
 use mvq_nn::layers::Sequential;
 use mvq_tensor::{quantize_symmetric, Tensor};
+use rand::SeedableRng;
 
 use crate::error::MvqError;
 
@@ -49,12 +50,8 @@ pub fn pvq_quantize(weight: &Tensor, bits: u32) -> Result<PvqResult, MvqError> {
     let mut s = 2.0 * mean_abs / qmax.sqrt();
     for _ in 0..30 {
         let q = quantize_symmetric(weight, s, bits)?;
-        let num: f64 = weight
-            .data()
-            .iter()
-            .zip(q.values())
-            .map(|(&c, &qi)| c as f64 * qi as f64)
-            .sum();
+        let num: f64 =
+            weight.data().iter().zip(q.values()).map(|(&c, &qi)| c as f64 * qi as f64).sum();
         let den: f64 = q.values().iter().map(|&qi| (qi as f64) * (qi as f64)).sum();
         if den == 0.0 {
             break;
@@ -70,28 +67,35 @@ pub fn pvq_quantize(weight: &Tensor, bits: u32) -> Result<PvqResult, MvqError> {
     Ok(PvqResult { quantized, scale: s, bits, sse })
 }
 
-/// Applies PvQ to every conv layer of a model in place; returns the summed
-/// SSE.
+/// Applies PvQ to every conv layer of a model (depthwise included —
+/// scalar quantization has no shape constraints), writes the quantized
+/// weights back, and returns the per-layer artifacts with the same
+/// `storage()` / `compression_ratio()` / `reconstructions()` surface as
+/// every other model-level compression path.
 ///
 /// # Errors
 ///
 /// Propagates per-layer quantization errors.
+pub fn pvq_compress_model(
+    model: &mut Sequential,
+    bits: u32,
+) -> Result<crate::pipeline::ModelArtifacts, MvqError> {
+    use crate::pipeline::Compressor;
+    // scalar quantization is deterministic; the RNG is unused
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    crate::pipeline::Pvq { bits }.compress_model(model, &mut rng)
+}
+
+/// Historical in-place mutation API; returns only the summed SSE.
+///
+/// # Errors
+///
+/// Propagates per-layer quantization errors.
+#[deprecated(note = "use `pvq_compress_model`, which returns artifacts like \
+                     the other model-level paths")]
 pub fn pvq_quantize_model(model: &mut Sequential, bits: u32) -> Result<f32, MvqError> {
-    let mut total = 0.0f32;
-    let mut first_err = None;
-    model.visit_convs_mut(&mut |conv| {
-        if first_err.is_some() {
-            return;
-        }
-        match pvq_quantize(&conv.weight.value, bits) {
-            Ok(res) => {
-                total += res.sse;
-                conv.weight.value = res.quantized;
-            }
-            Err(e) => first_err = Some(e),
-        }
-    });
-    first_err.map_or(Ok(total), Err)
+    let artifacts = pvq_compress_model(model, bits)?;
+    Ok(artifacts.total_sse().expect("scalar artifacts always record SSE") as f32)
 }
 
 #[cfg(test)]
@@ -129,21 +133,30 @@ mod tests {
     fn model_quantization_applies_to_all_convs() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut model = mvq_nn::models::tiny_cnn(3, 8, &mut rng);
-        let sse = pvq_quantize_model(&mut model, 2).unwrap();
-        assert!(sse > 0.0);
+        let artifacts = pvq_compress_model(&mut model, 2).unwrap();
+        assert!(artifacts.total_sse().unwrap() > 0.0);
+        assert_eq!(artifacts.layers.len(), model.num_convs());
+        assert!(artifacts.skipped.is_empty());
+        assert!((artifacts.compression_ratio() - 16.0).abs() < 1e-9);
         // all weights now on a 4-level grid per layer
         model.visit_convs_mut(&mut |conv| {
-            let mut vals: Vec<u32> = conv
-                .weight
-                .value
-                .data()
-                .iter()
-                .map(|&v| v.to_bits())
-                .collect();
+            let mut vals: Vec<u32> =
+                conv.weight.value.data().iter().map(|&v| v.to_bits()).collect();
             vals.sort_unstable();
             vals.dedup();
             assert!(vals.len() <= 4, "{} distinct values", vals.len());
         });
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_reports_summed_sse() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = mvq_nn::models::tiny_cnn(3, 8, &mut rng);
+        let mut reference = mvq_nn::models::tiny_cnn(3, 8, &mut StdRng::seed_from_u64(3));
+        let sse = pvq_quantize_model(&mut model, 2).unwrap();
+        let artifacts = pvq_compress_model(&mut reference, 2).unwrap();
+        assert!((sse as f64 - artifacts.total_sse().unwrap()).abs() < 1e-3);
     }
 
     #[test]

@@ -55,6 +55,16 @@ impl DenseVq {
         &self.assignments
     }
 
+    /// Original weight dims.
+    pub fn orig_dims(&self) -> &[usize] {
+        &self.orig_dims
+    }
+
+    /// Subvector length used for grouping.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
     /// Reconstructs the dense weight in original dims (every lane comes
     /// from the codeword; nothing is masked).
     ///
@@ -65,9 +75,7 @@ impl DenseVq {
         let ng = self.assignments.len();
         let mut grouped = Tensor::zeros(vec![ng, self.d]);
         for j in 0..ng {
-            grouped
-                .row_mut(j)
-                .copy_from_slice(self.codebook.codeword(self.assignments.of(j)));
+            grouped.row_mut(j).copy_from_slice(self.codebook.codeword(self.assignments.of(j)));
         }
         self.grouping.ungroup(&grouped, &self.orig_dims, self.d)
     }
@@ -171,7 +179,8 @@ pub fn vq_case_c<R: Rng>(
         mask.clone(),
         weight.dims().to_vec(),
         grouping,
-    )?;
+    )?
+    .with_sse(res.sse);
     Ok((cm, mask))
 }
 

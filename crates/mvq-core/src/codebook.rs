@@ -106,8 +106,8 @@ impl Codebook {
             return Err(MvqError::InvalidConfig(format!("bits must be in 2..=16, got {bits}")));
         }
         let qmax = ((1i64 << (bits - 1)) - 1) as f32;
-        let mean_abs = self.centers.data().iter().map(|x| x.abs()).sum::<f32>()
-            / self.centers.numel() as f32;
+        let mean_abs =
+            self.centers.data().iter().map(|x| x.abs()).sum::<f32>() / self.centers.numel() as f32;
         if mean_abs == 0.0 {
             return Err(MvqError::InvalidConfig("cannot quantize an all-zero codebook".into()));
         }

@@ -127,6 +127,7 @@ impl MvqCompressor {
             grouping: cfg.grouping,
             keep_n: cfg.keep_n,
             m: cfg.m,
+            sse: Some(result.sse),
         })
     }
 }
@@ -143,6 +144,7 @@ pub struct CompressedMatrix {
     grouping: GroupingStrategy,
     keep_n: usize,
     m: usize,
+    sse: Option<f32>,
 }
 
 impl CompressedMatrix {
@@ -167,7 +169,28 @@ impl CompressedMatrix {
         }
         let keep_n = mask.keep_n();
         let m = mask.m();
-        Ok(CompressedMatrix { codebook, assignments, mask, orig_dims, grouping, keep_n, m })
+        Ok(CompressedMatrix {
+            codebook,
+            assignments,
+            mask,
+            orig_dims,
+            grouping,
+            keep_n,
+            m,
+            sse: None,
+        })
+    }
+
+    /// Records the clustering SSE observed at compression time.
+    pub fn with_sse(mut self, sse: f32) -> CompressedMatrix {
+        self.sse = Some(sse);
+        self
+    }
+
+    /// Clustering SSE recorded at compression time (masked SSE for MVQ,
+    /// plain SSE on pruned data for VQ case C), if known.
+    pub fn sse(&self) -> Option<f32> {
+        self.sse
     }
 
     /// The codebook.
@@ -230,6 +253,12 @@ impl CompressedMatrix {
     pub fn reconstruct(&self) -> Result<Tensor, MvqError> {
         let grouped = self.reconstruct_grouped()?;
         self.grouping.ungroup(&grouped, &self.orig_dims, self.mask.d())
+    }
+
+    /// Decomposes into `(codebook, assignments, mask, orig_dims)` — used
+    /// by the model-level pipeline to pool per-layer codebooks.
+    pub fn into_parts(self) -> (Codebook, Assignments, NmMask, Vec<usize>) {
+        (self.codebook, self.assignments, self.mask, self.orig_dims)
     }
 
     /// Storage breakdown under Eq. 7.
@@ -295,11 +324,9 @@ mod tests {
         let w = mvq_tensor::kaiming_normal(vec![64, 16], 16, &mut rng);
         let c = compressor(8, 16, 4, 16).compress_matrix(&w, &mut rng).unwrap();
         assert_eq!(c.codebook().bits(), Some(8));
-        let c2 = MvqCompressor::new(
-            MvqConfig::new(8, 16, 4, 16).unwrap().with_codebook_bits(None),
-        )
-        .compress_matrix(&w, &mut rng)
-        .unwrap();
+        let c2 = MvqCompressor::new(MvqConfig::new(8, 16, 4, 16).unwrap().with_codebook_bits(None))
+            .compress_matrix(&w, &mut rng)
+            .unwrap();
         assert_eq!(c2.codebook().bits(), None);
     }
 
@@ -334,8 +361,7 @@ mod tests {
     fn from_parts_validates() {
         let cb = Codebook::new(Tensor::zeros(vec![4, 8])).unwrap();
         let asg = Assignments::new(vec![0; 10], 4).unwrap();
-        let mask = NmMask::from_bits(10, 4, 2, 4, vec![true, true, false, false].repeat(10))
-            .unwrap();
+        let mask = NmMask::from_bits(10, 4, 2, 4, [true, true, false, false].repeat(10)).unwrap();
         // d mismatch: codebook d=8, mask d=4
         assert!(CompressedMatrix::from_parts(
             cb,

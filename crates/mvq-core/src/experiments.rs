@@ -158,13 +158,9 @@ mod tests {
 
     #[test]
     fn importance_masks_mark_top_magnitudes() {
-        let w = Tensor::from_vec(vec![1, 8], vec![0.1, 0.9, 0.2, 0.8, 0.3, 0.7, 0.4, 0.6])
-            .unwrap();
+        let w = Tensor::from_vec(vec![1, 8], vec![0.1, 0.9, 0.2, 0.8, 0.3, 0.7, 0.4, 0.6]).unwrap();
         let masks = importance_masks(&[w], 2, 8);
-        assert_eq!(
-            masks[0],
-            vec![false, true, false, true, false, false, false, false]
-        );
+        assert_eq!(masks[0], vec![false, true, false, true, false, false, false, false]);
     }
 
     #[test]

@@ -34,11 +34,7 @@ pub struct CodebookFinetuneConfig {
 
 impl Default for CodebookFinetuneConfig {
     fn default() -> Self {
-        CodebookFinetuneConfig {
-            epochs: 2,
-            batch_size: 32,
-            optimizer: OptimizerKind::adam(1e-3),
-        }
+        CodebookFinetuneConfig { epochs: 2, batch_size: 32, optimizer: OptimizerKind::adam(1e-3) }
     }
 }
 
@@ -63,11 +59,8 @@ pub fn finetune_codebooks<R: Rng>(
     let mut order: Vec<usize> = (0..n).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     // wrap each codebook in a Param so the shared optimizer machinery applies
-    let mut cb_params: Vec<Param> = compressed
-        .codebooks
-        .iter()
-        .map(|cb| Param::new(cb.centers().clone()))
-        .collect();
+    let mut cb_params: Vec<Param> =
+        compressed.codebooks.iter().map(|cb| Param::new(cb.centers().clone())).collect();
     for _ in 0..cfg.epochs {
         order.shuffle(rng);
         let mut total = 0.0f64;
@@ -112,16 +105,9 @@ fn accumulate_masked_codebook_grads(
     let mut grads: Vec<Tensor> = Vec::new();
     model.visit_convs_mut(&mut |conv| grads.push(conv.weight.grad.clone()));
     // per-codebook lane-wise numerator and denominator
-    let mut sums: Vec<Vec<f64>> = cb_params
-        .iter()
-        .map(|p| vec![0.0f64; p.value.numel()])
-        .collect();
+    let mut sums: Vec<Vec<f64>> = cb_params.iter().map(|p| vec![0.0f64; p.value.numel()]).collect();
     let mut counts: Vec<Vec<f64>> = sums.clone();
-    let d = compressed
-        .entries
-        .first()
-        .map(|e| e.mask.d())
-        .unwrap_or(0);
+    let d = compressed.entries.first().map(|e| e.mask.d()).unwrap_or(0);
     for entry in &compressed.entries {
         let g4 = &grads[entry.conv_index];
         let grouped = compressed.grouping().group(g4, d)?;
@@ -197,8 +183,7 @@ mod tests {
             batch_size: 32,
             optimizer: OptimizerKind::adam(5e-3),
         };
-        let losses =
-            finetune_codebooks(&mut model, &mut compressed, &data, &ft, &mut rng).unwrap();
+        let losses = finetune_codebooks(&mut model, &mut compressed, &data, &ft, &mut rng).unwrap();
         assert!(
             losses.first().unwrap() > losses.last().unwrap(),
             "fine-tuning should reduce loss: {losses:?}"
@@ -236,13 +221,11 @@ mod tests {
         let ft = CodebookFinetuneConfig { epochs: 1, batch_size: 16, ..Default::default() };
         finetune_codebooks(&mut model, &mut compressed, &data, &ft, &mut rng).unwrap();
         // model weights equal the decoded representation
-        let mut idx = 0usize;
         let mut weights = Vec::new();
         model.visit_convs_mut(&mut |c| weights.push(c.weight.value.clone()));
-        for e in &compressed.entries {
+        for (idx, e) in compressed.entries.iter().enumerate() {
             let w = compressed.reconstruct_entry(e).unwrap();
             assert_eq!(w.data(), weights[e.conv_index].data(), "entry {idx}");
-            idx += 1;
         }
     }
 

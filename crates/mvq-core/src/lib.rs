@@ -8,22 +8,27 @@
 //! (5) fine-tunes codewords with masked gradients (Eq. 6).
 //!
 //! Also included: the VQ baselines the paper compares against (plain VQ
-//! cases A/B/C of the ablation, PQF, BGD, PvQ) and the storage/FLOPs
-//! metrics of Eq. 7.
+//! cases A/B/C of the ablation, PQF, BGD, DKM, PvQ) and the storage/FLOPs
+//! metrics of Eq. 7. All algorithms — MVQ and every baseline — implement
+//! the [`Compressor`] trait and are reachable by name through
+//! [`pipeline::registry`], so benchmarks and tools dispatch them from one
+//! loop.
 //!
 //! ## Quick example
 //!
 //! ```
-//! use mvq_core::{MvqCompressor, MvqConfig};
+//! use mvq_core::pipeline::{by_name, PipelineSpec};
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let weights = mvq_tensor::kaiming_normal(vec![256, 16], 16, &mut rng);
-//! let cfg = MvqConfig::new(64, 16, 4, 16)?; // k=64, d=16, 4:16 pruning
-//! let compressed = MvqCompressor::new(cfg).compress_matrix(&weights, &mut rng)?;
+//! // k=64, d=16, 4:16 pruning — the paper's ResNet operating point
+//! let mvq = by_name("mvq", &PipelineSpec::default())?;
+//! let compressed = mvq.compress_matrix(&weights, &mut rng)?;
 //! let w_hat = compressed.reconstruct()?;
 //! // pruned positions are exactly zero
 //! assert!(w_hat.sparsity() >= 0.74);
+//! assert!(compressed.compression_ratio() > 10.0);
 //! # Ok::<(), mvq_core::MvqError>(())
 //! ```
 
@@ -45,6 +50,7 @@ mod masked_kmeans;
 mod metrics;
 mod mixed_nm;
 mod model_compress;
+pub mod pipeline;
 mod pruning;
 
 pub use codebook::{Assignments, Codebook};
@@ -55,8 +61,13 @@ pub use grouping::GroupingStrategy;
 pub use kmeans::{kmeans, KmeansConfig, KmeansResult};
 pub use mask::NmMask;
 pub use mask_lut::MaskLut;
-pub use mixed_nm::{search_mixed_nm, LayerPattern, MixedNmPlan};
 pub use masked_kmeans::{masked_assign_naive, masked_kmeans, masked_sse};
 pub use metrics::{mvq_compression_ratio, vq_compression_ratio, StorageBreakdown};
-pub use model_compress::{ClusterScope, CompressedModel, LayerCodebook, ModelCompressor};
-pub use pruning::{prune_matrix_nm, prune_model, sparse_finetune, PruneMethod, SparseFinetuneConfig};
+pub use mixed_nm::{search_mixed_nm, LayerPattern, MixedNmPlan};
+pub use model_compress::{
+    ClusterScope, CompressedModel, LayerCodebook, ModelCompressor, Parallelism,
+};
+pub use pipeline::{CompressedArtifact, Compressor, LayerArtifact, ModelArtifacts, PipelineSpec};
+pub use pruning::{
+    prune_matrix_nm, prune_model, sparse_finetune, PruneMethod, SparseFinetuneConfig,
+};

@@ -118,12 +118,8 @@ impl NmMask {
                 detail: format!("mask is [{}, {}]", self.ng, self.d),
             });
         }
-        let data = matrix
-            .data()
-            .iter()
-            .zip(&self.bits)
-            .map(|(&v, &b)| if b { v } else { 0.0 })
-            .collect();
+        let data =
+            matrix.data().iter().zip(&self.bits).map(|(&v, &b)| if b { v } else { 0.0 }).collect();
         Ok(Tensor::from_vec(vec![self.ng, self.d], data)?)
     }
 }
@@ -147,14 +143,8 @@ mod tests {
 
     fn mask_2of4() -> NmMask {
         // two subvectors of d=4, 2:4 keep pattern
-        NmMask::from_bits(
-            2,
-            4,
-            2,
-            4,
-            vec![true, true, false, false, false, true, true, false],
-        )
-        .unwrap()
+        NmMask::from_bits(2, 4, 2, 4, vec![true, true, false, false, false, true, true, false])
+            .unwrap()
     }
 
     #[test]
@@ -205,9 +195,7 @@ mod tests {
     #[test]
     fn multiple_groups_per_subvector() {
         // d=8, M=4: two groups per subvector
-        let bits = vec![
-            true, false, false, true, /* group 2 */ false, true, true, false,
-        ];
+        let bits = vec![true, false, false, true, /* group 2 */ false, true, true, false];
         let m = NmMask::from_bits(1, 8, 2, 4, bits).unwrap();
         assert_eq!(m.kept_per_subvector(), 4);
     }

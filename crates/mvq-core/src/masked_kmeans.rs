@@ -296,11 +296,7 @@ mod tests {
             crate::kmeans::kmeans(&data, &cfg, None, &mut StdRng::seed_from_u64(3)).unwrap();
         let plain_masked_sse =
             masked_sse(&data, &mask, &plain.codebook, &plain.assignments).unwrap();
-        assert!(
-            masked.sse < plain_masked_sse,
-            "masked {} !< plain {plain_masked_sse}",
-            masked.sse
-        );
+        assert!(masked.sse < plain_masked_sse, "masked {} !< plain {plain_masked_sse}", masked.sse);
     }
 
     #[test]
@@ -317,8 +313,7 @@ mod tests {
         // all subvectors equal and fully masked the same way => SSE 0 with k=1
         let row = [1.0f32, 2.0, 0.0, 0.0];
         let data = Tensor::from_vec(vec![8, 4], row.repeat(8)).unwrap();
-        let mask =
-            NmMask::from_bits(8, 4, 2, 4, [true, true, false, false].repeat(8)).unwrap();
+        let mask = NmMask::from_bits(8, 4, 2, 4, [true, true, false, false].repeat(8)).unwrap();
         let res = masked_kmeans(&data, &mask, &KmeansConfig::new(1), &mut StdRng::seed_from_u64(6))
             .unwrap();
         assert!(res.sse < 1e-9);

@@ -152,9 +152,8 @@ pub fn search_mixed_nm(
     let total_weights: usize = weights.iter().map(|(_, w)| w.numel()).sum();
     let target_pruned = (target_sparsity * total_weights as f64).ceil() as usize;
     let mut choice = vec![0usize; weights.len()];
-    let pruned_at = |layer: usize, c: usize| -> usize {
-        weights[layer].1.numel() * (m - cands[c]) / m
-    };
+    let pruned_at =
+        |layer: usize, c: usize| -> usize { weights[layer].1.numel() * (m - cands[c]) / m };
     let mut pruned_now: usize = (0..weights.len()).map(|l| pruned_at(l, 0)).sum();
     while pruned_now < target_pruned {
         // pick the layer whose next step loses the least energy per
@@ -212,15 +211,9 @@ mod tests {
     #[test]
     fn meets_budget() {
         let m = model();
-        let plan = search_mixed_nm(
-            &m,
-            GroupingStrategy::OutputChannelWise,
-            16,
-            16,
-            &[8, 6, 4, 3],
-            0.7,
-        )
-        .unwrap();
+        let plan =
+            search_mixed_nm(&m, GroupingStrategy::OutputChannelWise, 16, 16, &[8, 6, 4, 3], 0.7)
+                .unwrap();
         assert!(plan.achieved_sparsity >= 0.7, "{}", plan.achieved_sparsity);
         assert_eq!(plan.layers.len(), 2);
         for l in &plan.layers {
@@ -244,15 +237,8 @@ mod tests {
             }
             idx += 1;
         });
-        let plan = search_mixed_nm(
-            &m,
-            GroupingStrategy::OutputChannelWise,
-            16,
-            16,
-            &[8, 4],
-            0.6,
-        )
-        .unwrap();
+        let plan =
+            search_mixed_nm(&m, GroupingStrategy::OutputChannelWise, 16, 16, &[8, 4], 0.6).unwrap();
         // conv 0 retains essentially all its energy even at 4:16, so the
         // greedy will push it to 4:16 first and it still keeps ~100%
         let l0 = plan.layers.iter().find(|l| l.conv_index == 0).unwrap();
@@ -262,15 +248,8 @@ mod tests {
     #[test]
     fn apply_prunes_to_chosen_patterns() {
         let mut m = model();
-        let plan = search_mixed_nm(
-            &m,
-            GroupingStrategy::OutputChannelWise,
-            16,
-            16,
-            &[8, 4],
-            0.6,
-        )
-        .unwrap();
+        let plan =
+            search_mixed_nm(&m, GroupingStrategy::OutputChannelWise, 16, 16, &[8, 4], 0.6).unwrap();
         let masks = plan.apply(&mut m, GroupingStrategy::OutputChannelWise, 16).unwrap();
         let mut idx = 0;
         m.visit_convs_mut(&mut |c| {
@@ -297,15 +276,8 @@ mod tests {
     #[test]
     fn uniform_candidates_degenerate_to_uniform_plan() {
         let m = model();
-        let plan = search_mixed_nm(
-            &m,
-            GroupingStrategy::OutputChannelWise,
-            16,
-            16,
-            &[4],
-            0.74,
-        )
-        .unwrap();
+        let plan =
+            search_mixed_nm(&m, GroupingStrategy::OutputChannelWise, 16, 16, &[4], 0.74).unwrap();
         assert!(plan.layers.iter().all(|l| l.keep_n == 4));
         assert!((plan.achieved_sparsity - 0.75).abs() < 1e-9);
     }

@@ -8,7 +8,7 @@ use mvq_tensor::Tensor;
 use rand::Rng;
 
 use crate::codebook::{Assignments, Codebook};
-use crate::compress::MvqConfig;
+use crate::compress::{MvqCompressor, MvqConfig};
 use crate::error::MvqError;
 use crate::grouping::GroupingStrategy;
 use crate::mask::NmMask;
@@ -24,6 +24,17 @@ pub enum ClusterScope {
     LayerWise,
     /// One codebook for all compressed layers.
     CrossLayer,
+}
+
+/// How layerwise model compression is executed. Both modes draw one seed
+/// per layer up front, so they produce bit-identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Compress layers one after another on the calling thread.
+    Serial,
+    /// Fan layers out across the rayon pool.
+    #[default]
+    Rayon,
 }
 
 /// One compressed convolution layer: assignments + mask referencing a
@@ -165,12 +176,7 @@ impl CompressedModel {
         for e in &self.entries {
             let grouped = self.grouping.group(&weights[e.conv_index], e.mask.d())?;
             let pruned = e.mask.apply(&grouped)?;
-            sse += masked_sse(
-                &pruned,
-                &e.mask,
-                &self.codebooks[e.codebook_id],
-                &e.assignments,
-            )?;
+            sse += masked_sse(&pruned, &e.mask, &self.codebooks[e.codebook_id], &e.assignments)?;
         }
         Ok(sse)
     }
@@ -181,22 +187,38 @@ impl CompressedModel {
     }
 }
 
+/// Output of one clustering scope: codebook pool, per-layer entries, and
+/// skipped conv indices.
+type ScopeOutput = (Vec<Codebook>, Vec<LayerCodebook>, Vec<usize>);
+
 /// Compresses whole models.
 #[derive(Debug, Clone)]
 pub struct ModelCompressor {
     config: MvqConfig,
     scope: ClusterScope,
+    parallelism: Parallelism,
 }
 
 impl ModelCompressor {
-    /// Creates a model compressor with layerwise scope.
+    /// Creates a model compressor with layerwise scope and rayon-parallel
+    /// layer compression.
     pub fn new(config: MvqConfig) -> ModelCompressor {
-        ModelCompressor { config, scope: ClusterScope::LayerWise }
+        ModelCompressor {
+            config,
+            scope: ClusterScope::LayerWise,
+            parallelism: Parallelism::default(),
+        }
     }
 
     /// Overrides the clustering scope.
     pub fn with_scope(mut self, scope: ClusterScope) -> ModelCompressor {
         self.scope = scope;
+        self
+    }
+
+    /// Overrides the execution mode (results are identical either way).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> ModelCompressor {
+        self.parallelism = parallelism;
         self
     }
 
@@ -209,6 +231,12 @@ impl ModelCompressor {
     /// pruned+fine-tuned, or dense — pruning is applied here regardless,
     /// matching pipeline step 1) and writes reconstructed weights back.
     ///
+    /// Layerwise scope delegates each layer to
+    /// [`MvqCompressor::compress_matrix`] with an independent RNG seeded
+    /// from `rng`, fanning layers out across the rayon pool (see
+    /// [`Parallelism`]); crosslayer scope clusters the concatenation of
+    /// all pruned layers into one codebook.
+    ///
     /// # Errors
     ///
     /// Propagates clustering errors.
@@ -218,17 +246,80 @@ impl ModelCompressor {
         rng: &mut R,
     ) -> Result<CompressedModel, MvqError> {
         let cfg = &self.config;
-        // collect grouped+pruned matrices per compressible conv
-        let mut weights: Vec<Tensor> = Vec::new();
-        let mut depthwise: Vec<bool> = Vec::new();
-        model.visit_convs(&mut |conv| {
-            weights.push(conv.weight.value.clone());
-            depthwise.push(conv.is_depthwise());
-        });
+        let (codebooks, entries, skipped) = match self.scope {
+            ClusterScope::LayerWise => self.compress_layerwise(model, rng)?,
+            ClusterScope::CrossLayer => {
+                let mut weights: Vec<Tensor> = Vec::new();
+                let mut depthwise: Vec<bool> = Vec::new();
+                model.visit_convs(&mut |conv| {
+                    weights.push(conv.weight.value.clone());
+                    depthwise.push(conv.is_depthwise());
+                });
+                self.compress_crosslayer(&weights, &depthwise, rng)?
+            }
+        };
+        if entries.is_empty() {
+            return Err(MvqError::InvalidConfig(
+                "model has no conv layer compatible with the grouping config".into(),
+            ));
+        }
+        let compressed = CompressedModel {
+            codebooks,
+            entries,
+            skipped,
+            grouping: cfg.grouping,
+            keep_n: cfg.keep_n,
+            m: cfg.m,
+        };
+        compressed.apply_to(model)?;
+        Ok(compressed)
+    }
+
+    /// Layerwise scope: one [`MvqCompressor::compress_matrix`] call per
+    /// layer through the shared [`crate::pipeline`] fan-out, each layer
+    /// with its own seeded RNG so serial and rayon execution are
+    /// bit-identical.
+    fn compress_layerwise<R: Rng>(
+        &self,
+        model: &Sequential,
+        rng: &mut R,
+    ) -> Result<ScopeOutput, MvqError> {
+        let compressor = MvqCompressor::new(self.config.clone());
+        let (items, skipped) =
+            crate::pipeline::compress_layers(model, rng, self.parallelism, true, |w, r| {
+                compressor.compress_matrix(w, r)
+            })?;
+        let mut codebooks = Vec::new();
+        let mut entries = Vec::new();
+        for (idx, cm) in items {
+            let (codebook, assignments, mask, orig_dims) = cm.into_parts();
+            codebooks.push(codebook);
+            entries.push(LayerCodebook {
+                conv_index: idx,
+                codebook_id: codebooks.len() - 1,
+                assignments,
+                mask,
+                orig_dims,
+            });
+        }
+        Ok((codebooks, entries, skipped))
+    }
+
+    /// Crosslayer scope: group+prune every layer, concatenate, cluster
+    /// once.
+    fn compress_crosslayer<R: Rng>(
+        &self,
+        weights: &[Tensor],
+        depthwise: &[bool],
+        rng: &mut R,
+    ) -> Result<ScopeOutput, MvqError> {
+        let cfg = &self.config;
         let mut eligible: Vec<(usize, Tensor, NmMask, Vec<usize>)> = Vec::new();
         let mut skipped = Vec::new();
         for (idx, w) in weights.iter().enumerate() {
-            if depthwise[idx] {
+            // same skip policy as the layerwise fan-out: depthwise convs
+            // and dead (all-zero) layers stay untouched
+            if depthwise[idx] || w.data().iter().all(|&x| x == 0.0) {
                 skipped.push(idx);
                 continue;
             }
@@ -244,74 +335,39 @@ impl ModelCompressor {
             eligible.push((idx, pruned, mask, w.dims().to_vec()));
         }
         if eligible.is_empty() {
-            return Err(MvqError::InvalidConfig(
-                "model has no conv layer compatible with the grouping config".into(),
-            ));
+            return Ok((Vec::new(), Vec::new(), skipped));
         }
-        let (codebooks, entries) = match self.scope {
-            ClusterScope::LayerWise => {
-                let mut codebooks = Vec::new();
-                let mut entries = Vec::new();
-                for (idx, pruned, mask, dims) in eligible {
-                    let mut res = masked_kmeans(&pruned, &mask, &cfg.kmeans(), rng)?;
-                    if let Some(bits) = cfg.codebook_bits {
-                        res.codebook.quantize(bits)?;
-                    }
-                    codebooks.push(res.codebook);
-                    entries.push(LayerCodebook {
-                        conv_index: idx,
-                        codebook_id: codebooks.len() - 1,
-                        assignments: res.assignments,
-                        mask,
-                        orig_dims: dims,
-                    });
-                }
-                (codebooks, entries)
-            }
-            ClusterScope::CrossLayer => {
-                // concatenate all pruned matrices and masks
-                let d = cfg.d;
-                let total_ng: usize = eligible.iter().map(|(_, p, ..)| p.dims()[0]).sum();
-                let mut data = Vec::with_capacity(total_ng * d);
-                let mut bits = Vec::with_capacity(total_ng * d);
-                for (_, pruned, mask, _) in &eligible {
-                    data.extend_from_slice(pruned.data());
-                    bits.extend_from_slice(mask.bits());
-                }
-                let all = Tensor::from_vec(vec![total_ng, d], data)?;
-                let all_mask = NmMask::from_bits(total_ng, d, cfg.keep_n, cfg.m, bits)?;
-                let mut res = masked_kmeans(&all, &all_mask, &cfg.kmeans(), rng)?;
-                if let Some(b) = cfg.codebook_bits {
-                    res.codebook.quantize(b)?;
-                }
-                let k = res.codebook.k();
-                let mut entries = Vec::new();
-                let mut offset = 0usize;
-                for (idx, pruned, mask, dims) in eligible {
-                    let ng = pruned.dims()[0];
-                    let slice = res.assignments.indices()[offset..offset + ng].to_vec();
-                    entries.push(LayerCodebook {
-                        conv_index: idx,
-                        codebook_id: 0,
-                        assignments: Assignments::new(slice, k)?,
-                        mask,
-                        orig_dims: dims,
-                    });
-                    offset += ng;
-                }
-                (vec![res.codebook], entries)
-            }
-        };
-        let compressed = CompressedModel {
-            codebooks,
-            entries,
-            skipped,
-            grouping: cfg.grouping,
-            keep_n: cfg.keep_n,
-            m: cfg.m,
-        };
-        compressed.apply_to(model)?;
-        Ok(compressed)
+        // concatenate all pruned matrices and masks
+        let d = cfg.d;
+        let total_ng: usize = eligible.iter().map(|(_, p, ..)| p.dims()[0]).sum();
+        let mut data = Vec::with_capacity(total_ng * d);
+        let mut bits = Vec::with_capacity(total_ng * d);
+        for (_, pruned, mask, _) in &eligible {
+            data.extend_from_slice(pruned.data());
+            bits.extend_from_slice(mask.bits());
+        }
+        let all = Tensor::from_vec(vec![total_ng, d], data)?;
+        let all_mask = NmMask::from_bits(total_ng, d, cfg.keep_n, cfg.m, bits)?;
+        let mut res = masked_kmeans(&all, &all_mask, &cfg.kmeans(), rng)?;
+        if let Some(b) = cfg.codebook_bits {
+            res.codebook.quantize(b)?;
+        }
+        let k = res.codebook.k();
+        let mut entries = Vec::new();
+        let mut offset = 0usize;
+        for (idx, pruned, mask, dims) in eligible {
+            let ng = pruned.dims()[0];
+            let slice = res.assignments.indices()[offset..offset + ng].to_vec();
+            entries.push(LayerCodebook {
+                conv_index: idx,
+                codebook_id: 0,
+                assignments: Assignments::new(slice, k)?,
+                mask,
+                orig_dims: dims,
+            });
+            offset += ng;
+        }
+        Ok((vec![res.codebook], entries, skipped))
     }
 }
 
@@ -396,6 +452,35 @@ mod tests {
         let (sse_big, ratio_big) = mk(64, 7);
         assert!(sse_big < sse_small);
         assert!(ratio_big < ratio_small);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let run = |parallelism: Parallelism| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut model = tiny_cnn(4, 8, &mut rng);
+            let cm = ModelCompressor::new(cfg(8))
+                .with_parallelism(parallelism)
+                .compress(&mut model, &mut rng)
+                .unwrap();
+            let mut weights = Vec::new();
+            model.visit_convs(&mut |c| weights.push(c.weight.value.clone()));
+            (cm, weights)
+        };
+        let (serial, w_serial) = run(Parallelism::Serial);
+        let (rayon, w_rayon) = run(Parallelism::Rayon);
+        assert_eq!(serial.entries.len(), rayon.entries.len());
+        for (a, b) in serial.entries.iter().zip(&rayon.entries) {
+            assert_eq!(a.conv_index, b.conv_index);
+            assert_eq!(a.assignments.indices(), b.assignments.indices());
+            assert_eq!(a.mask.bits(), b.mask.bits());
+        }
+        for (a, b) in serial.codebooks.iter().zip(&rayon.codebooks) {
+            assert_eq!(a.centers().data(), b.centers().data());
+        }
+        for (a, b) in w_serial.iter().zip(&w_rayon) {
+            assert_eq!(a.data(), b.data());
+        }
     }
 
     #[test]

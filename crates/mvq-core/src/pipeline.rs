@@ -1,0 +1,1004 @@
+//! The unified compression pipeline: one algorithm-agnostic API over MVQ
+//! and every VQ baseline the paper compares against.
+//!
+//! Historically each algorithm had a bespoke entry point (`bgd_compress`,
+//! `pqf_compress`, `dkm_compress`, `pvq_quantize`, `vq_case_a/b/c`,
+//! [`MvqCompressor::compress_matrix`]) and its own result struct, so every
+//! consumer — the `paper` benchmark tables, the examples, the accelerator
+//! simulator — hand-wired all six methods. This module unifies them behind
+//! two abstractions:
+//!
+//! * [`Compressor`] — `compress_matrix` + `compress_model`, implemented by
+//!   every algorithm (the existing entry points remain as the internals);
+//! * [`CompressedArtifact`] — the common compressed representation:
+//!   codebook + assignments, optional N:M mask, original dims, and a
+//!   uniform `reconstruct()` / `storage()` / `compression_ratio()` surface.
+//!
+//! Algorithms are discovered through the string-keyed [`registry`] /
+//! [`by_name`], parameterized by a [`PipelineSpec`]:
+//!
+//! | name    | algorithm                                   | paper section     |
+//! |---------|---------------------------------------------|-------------------|
+//! | `mvq`   | masked vector quantization (ours)           | §4, Tables 3–6    |
+//! | `vq-a`  | plain VQ, dense weights, dense decode       | Fig. 12 case A    |
+//! | `vq-b`  | plain VQ on pruned weights, dense decode    | Fig. 12 case B    |
+//! | `vq-c`  | plain VQ on pruned weights, sparse decode   | Fig. 12 case C    |
+//! | `pqf`   | permute–quantize (Martinez et al.)          | Table 5, Fig. 13  |
+//! | `bgd`   | "bit goes down" importance k-means (Stock)  | Fig. 13           |
+//! | `dkm`   | differentiable (attention) k-means (Cho)    | §2 related work   |
+//! | `pvq`   | uniform scalar quantization (Kuzmin et al.) | Tables 4, 6       |
+//!
+//! (`vq` is accepted as an alias for `vq-a`.)
+//!
+//! ```
+//! use mvq_core::pipeline::{by_name, PipelineSpec};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let w = mvq_tensor::kaiming_normal(vec![64, 16], 16, &mut rng);
+//! for comp in mvq_core::pipeline::registry() {
+//!     let artifact = comp.compress_matrix(&w, &mut rng)?;
+//!     assert_eq!(artifact.reconstruct()?.dims(), w.dims());
+//!     assert!(artifact.compression_ratio() > 1.0);
+//! }
+//! let mvq = by_name("mvq", &PipelineSpec::default())?;
+//! assert_eq!(mvq.name(), "mvq");
+//! # Ok::<(), mvq_core::MvqError>(())
+//! ```
+
+use mvq_nn::layers::Sequential;
+use mvq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use crate::baselines::bgd::bgd_compress;
+use crate::baselines::dkm::{dkm_compress, DkmConfig};
+use crate::baselines::pqf::{pqf_compress, PqfCompressed};
+use crate::baselines::pvq::{pvq_quantize, PvqResult};
+use crate::baselines::vq_plain::{vq_case_a, vq_case_b, vq_case_c, DenseVq};
+use crate::codebook::{Assignments, Codebook};
+use crate::compress::{CompressedMatrix, MvqCompressor, MvqConfig};
+use crate::error::MvqError;
+use crate::grouping::GroupingStrategy;
+use crate::mask::NmMask;
+use crate::metrics::{StorageBreakdown, FULL_PRECISION_BITS};
+use crate::pruning::prune_matrix_nm;
+
+/// A weight tensor in any of the pipeline's compressed representations.
+///
+/// Every variant carries its original dims and exposes the same decode and
+/// storage-accounting surface, so consumers can treat all algorithms
+/// uniformly.
+#[derive(Debug, Clone)]
+pub enum CompressedArtifact {
+    /// Codebook + assignments + N:M mask, sparse decode (MVQ, VQ case C).
+    Masked(CompressedMatrix),
+    /// Codebook + assignments, dense decode (VQ cases A/B, BGD, DKM).
+    Dense(DenseVq),
+    /// Permutation + codebook + assignments (PQF).
+    Permuted(PqfCompressed),
+    /// Per-tensor uniform scalar quantization (PvQ).
+    Scalar(ScalarQuantized),
+}
+
+impl CompressedArtifact {
+    /// Reconstructs the weight in its original dims.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grouping errors.
+    pub fn reconstruct(&self) -> Result<Tensor, MvqError> {
+        match self {
+            CompressedArtifact::Masked(m) => m.reconstruct(),
+            CompressedArtifact::Dense(v) => v.reconstruct(),
+            CompressedArtifact::Permuted(p) => p.reconstruct(),
+            CompressedArtifact::Scalar(s) => Ok(s.result.quantized.clone()),
+        }
+    }
+
+    /// Storage breakdown under the paper's Eq. 7 accounting.
+    pub fn storage(&self) -> StorageBreakdown {
+        match self {
+            CompressedArtifact::Masked(m) => m.storage(),
+            CompressedArtifact::Dense(v) => v.storage(),
+            CompressedArtifact::Permuted(p) => p.storage(),
+            CompressedArtifact::Scalar(s) => s.storage(),
+        }
+    }
+
+    /// Compression ratio (Eq. 7).
+    pub fn compression_ratio(&self) -> f64 {
+        self.storage().ratio()
+    }
+
+    /// Original weight dims.
+    pub fn orig_dims(&self) -> &[usize] {
+        match self {
+            CompressedArtifact::Masked(m) => m.orig_dims(),
+            CompressedArtifact::Dense(v) => v.orig_dims(),
+            CompressedArtifact::Permuted(p) => p.orig_dims(),
+            CompressedArtifact::Scalar(s) => s.result.quantized.dims(),
+        }
+    }
+
+    /// The codebook, when the representation has one.
+    pub fn codebook(&self) -> Option<&Codebook> {
+        match self {
+            CompressedArtifact::Masked(m) => Some(m.codebook()),
+            CompressedArtifact::Dense(v) => Some(v.codebook()),
+            CompressedArtifact::Permuted(p) => Some(p.codebook()),
+            CompressedArtifact::Scalar(_) => None,
+        }
+    }
+
+    /// The assignments, when the representation has them.
+    pub fn assignments(&self) -> Option<&Assignments> {
+        match self {
+            CompressedArtifact::Masked(m) => Some(m.assignments()),
+            CompressedArtifact::Dense(v) => Some(v.assignments()),
+            CompressedArtifact::Permuted(p) => Some(p.assignments()),
+            CompressedArtifact::Scalar(_) => None,
+        }
+    }
+
+    /// The N:M mask, for sparse representations.
+    pub fn mask(&self) -> Option<&NmMask> {
+        match self {
+            CompressedArtifact::Masked(m) => Some(m.mask()),
+            _ => None,
+        }
+    }
+
+    /// Clustering / quantization SSE recorded at compression time, when
+    /// the algorithm reports one (masked SSE for MVQ, plain clustering
+    /// SSE for the dense/permuted baselines and VQ case C).
+    pub fn sse(&self) -> Option<f32> {
+        match self {
+            CompressedArtifact::Masked(m) => m.sse(),
+            CompressedArtifact::Dense(v) => Some(v.sse),
+            CompressedArtifact::Permuted(p) => Some(p.sse),
+            CompressedArtifact::Scalar(s) => Some(s.result.sse),
+        }
+    }
+}
+
+/// A scalar-quantized tensor wrapped into the artifact surface.
+#[derive(Debug, Clone)]
+pub struct ScalarQuantized {
+    /// The underlying PvQ result.
+    pub result: PvqResult,
+}
+
+impl ScalarQuantized {
+    /// Storage: the payload is `bits` per weight (the per-tensor scale is
+    /// amortized away, matching uniform-quantization reporting).
+    pub fn storage(&self) -> StorageBreakdown {
+        let n = self.result.quantized.numel() as u64;
+        StorageBreakdown {
+            original_bits: n * FULL_PRECISION_BITS,
+            assignment_bits: n * self.result.bits as u64,
+            mask_bits: 0,
+            codebook_bits: 0,
+        }
+    }
+}
+
+/// One compressed conv layer inside a [`ModelArtifacts`].
+#[derive(Debug, Clone)]
+pub struct LayerArtifact {
+    /// Depth-first index of the conv layer in the model.
+    pub conv_index: usize,
+    /// The layer's compressed representation.
+    pub artifact: CompressedArtifact,
+}
+
+/// Whole-model output of [`Compressor::compress_model`]: one artifact per
+/// compressed conv, plus the indices of skipped (incompatible) convs.
+#[derive(Debug, Clone)]
+pub struct ModelArtifacts {
+    /// Algorithm name (from [`Compressor::name`]).
+    pub algorithm: &'static str,
+    /// Compressed layers in conv order.
+    pub layers: Vec<LayerArtifact>,
+    /// Conv indices skipped (depthwise / incompatible shapes).
+    pub skipped: Vec<usize>,
+}
+
+impl ModelArtifacts {
+    /// Whole-model storage breakdown (sum over layers).
+    pub fn storage(&self) -> StorageBreakdown {
+        let mut total = StorageBreakdown {
+            original_bits: 0,
+            assignment_bits: 0,
+            mask_bits: 0,
+            codebook_bits: 0,
+        };
+        for layer in &self.layers {
+            total = total.merge(&layer.artifact.storage());
+        }
+        total
+    }
+
+    /// Compression ratio over all compressed layers.
+    pub fn compression_ratio(&self) -> f64 {
+        self.storage().ratio()
+    }
+
+    /// Sum of per-layer SSEs for algorithms that record one.
+    pub fn total_sse(&self) -> Option<f64> {
+        let mut total = 0.0f64;
+        for layer in &self.layers {
+            total += layer.artifact.sse()? as f64;
+        }
+        Some(total)
+    }
+
+    /// Per-conv reconstructions indexed by conv position (`None` for
+    /// skipped convs). `num_convs` must be the model's conv count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reconstruction errors, and rejects a `num_convs` smaller
+    /// than the highest compressed conv index (artifacts from a different
+    /// model).
+    pub fn reconstructions(&self, num_convs: usize) -> Result<Vec<Option<Tensor>>, MvqError> {
+        let mut out: Vec<Option<Tensor>> = vec![None; num_convs];
+        for layer in &self.layers {
+            if layer.conv_index >= num_convs {
+                return Err(MvqError::InvalidConfig(format!(
+                    "artifact for conv {} does not fit a model with {num_convs} convs",
+                    layer.conv_index
+                )));
+            }
+            out[layer.conv_index] = Some(layer.artifact.reconstruct()?);
+        }
+        Ok(out)
+    }
+
+    /// Writes every reconstructed weight back into `model`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reconstruction errors; see [`ModelArtifacts::reconstructions`].
+    pub fn apply_to(&self, model: &mut Sequential) -> Result<(), MvqError> {
+        let mut recons = self.reconstructions(model.num_convs())?;
+        let mut idx = 0usize;
+        model.visit_convs_mut(&mut |conv| {
+            if let Some(slot) = recons.get_mut(idx) {
+                if let Some(w) = slot.take() {
+                    conv.weight.value = w;
+                }
+            }
+            idx += 1;
+        });
+        Ok(())
+    }
+}
+
+/// A compression algorithm usable through the unified pipeline.
+///
+/// `Send + Sync` so registry entries can fan out across layers with rayon.
+pub trait Compressor: Send + Sync {
+    /// Short registry name (e.g. `"mvq"`, `"pqf"`).
+    fn name(&self) -> &'static str;
+
+    /// One-line human-readable hyperparameter summary.
+    fn config_summary(&self) -> String;
+
+    /// Compresses a single weight tensor (rank 2 or 4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates grouping errors for incompatible shapes and clustering
+    /// errors for degenerate configurations.
+    fn compress_matrix(
+        &self,
+        weight: &Tensor,
+        rng: &mut StdRng,
+    ) -> Result<CompressedArtifact, MvqError>;
+
+    /// Compresses every compatible conv of `model` without touching its
+    /// weights: skips depthwise convs, incompatible shapes, and dead
+    /// (all-zero) layers. Layers are compressed rayon-parallel; each
+    /// layer gets an independent RNG seeded from `rng`, so results are
+    /// deterministic and identical to a serial walk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::InvalidConfig`] when no layer is compressible,
+    /// and propagates non-shape compression errors.
+    fn compress_model_artifacts(
+        &self,
+        model: &Sequential,
+        rng: &mut StdRng,
+    ) -> Result<ModelArtifacts, MvqError> {
+        compress_model_with(self, model, rng, true)
+    }
+
+    /// [`Compressor::compress_model_artifacts`] plus writing the
+    /// reconstructed weights back into `model`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Compressor::compress_model_artifacts`].
+    fn compress_model(
+        &self,
+        model: &mut Sequential,
+        rng: &mut StdRng,
+    ) -> Result<ModelArtifacts, MvqError> {
+        let artifacts = self.compress_model_artifacts(model, rng)?;
+        artifacts.apply_to(model)?;
+        Ok(artifacts)
+    }
+}
+
+/// Successful per-layer outcomes (`(conv_index, value)` in conv order)
+/// plus the skipped conv indices.
+pub(crate) type LayerFanOut<T> = (Vec<(usize, T)>, Vec<usize>);
+
+/// Per-layer fan-out shared by the [`Compressor`] model path and
+/// [`crate::ModelCompressor`]: draws one seed per conv serially from
+/// `rng`, compresses eligible layers (serial or rayon — bit-identical),
+/// and partitions the outcomes into compressed layers and skipped conv
+/// indices. Skips depthwise convs (when asked), shapes the grouping
+/// rejects, and dead all-zero layers.
+///
+/// # Errors
+///
+/// Propagates the first non-shape compression error.
+pub(crate) fn compress_layers<T, R, F>(
+    model: &Sequential,
+    rng: &mut R,
+    parallelism: crate::Parallelism,
+    skip_depthwise: bool,
+    compress_one: F,
+) -> Result<LayerFanOut<T>, MvqError>
+where
+    T: Send,
+    R: Rng,
+    F: Fn(&Tensor, &mut StdRng) -> Result<T, MvqError> + Sync,
+{
+    let mut weights: Vec<Tensor> = Vec::new();
+    let mut depthwise: Vec<bool> = Vec::new();
+    model.visit_convs(&mut |conv| {
+        weights.push(conv.weight.value.clone());
+        depthwise.push(conv.is_depthwise());
+    });
+    // Seeds are drawn serially up front so the parallel fan-out below is
+    // bit-identical to a serial walk.
+    let jobs: Vec<(usize, Tensor, u64)> = weights
+        .into_iter()
+        .enumerate()
+        .map(|(idx, w)| {
+            let seed = rng.next_u64();
+            (idx, w, seed)
+        })
+        .collect();
+    type Outcome<T> = (usize, Option<Result<T, MvqError>>);
+    let run = |(idx, w, seed): (usize, Tensor, u64)| -> Outcome<T> {
+        if skip_depthwise && depthwise[idx] {
+            return (idx, None);
+        }
+        // dead layer: nothing to cluster or quantize
+        if w.data().iter().all(|&x| x == 0.0) {
+            return (idx, None);
+        }
+        let mut layer_rng = StdRng::seed_from_u64(seed);
+        match compress_one(&w, &mut layer_rng) {
+            Ok(value) => (idx, Some(Ok(value))),
+            Err(MvqError::IncompatibleShape { .. }) => (idx, None),
+            Err(e) => (idx, Some(Err(e))),
+        }
+    };
+    let outcomes: Vec<Outcome<T>> = match parallelism {
+        crate::Parallelism::Serial => jobs.into_iter().map(run).collect(),
+        crate::Parallelism::Rayon => jobs.into_par_iter().map(run).collect(),
+    };
+    let mut items = Vec::new();
+    let mut skipped = Vec::new();
+    for (idx, outcome) in outcomes {
+        match outcome {
+            Some(Ok(value)) => items.push((idx, value)),
+            Some(Err(e)) => return Err(e),
+            None => skipped.push(idx),
+        }
+    }
+    Ok((items, skipped))
+}
+
+/// Shared implementation behind [`Compressor::compress_model_artifacts`]:
+/// the [`compress_layers`] fan-out packaged as [`ModelArtifacts`].
+///
+/// # Errors
+///
+/// See [`Compressor::compress_model_artifacts`].
+pub fn compress_model_with<C: Compressor + ?Sized>(
+    comp: &C,
+    model: &Sequential,
+    rng: &mut StdRng,
+    skip_depthwise: bool,
+) -> Result<ModelArtifacts, MvqError> {
+    let (items, skipped) =
+        compress_layers(model, rng, crate::Parallelism::Rayon, skip_depthwise, |w, r| {
+            comp.compress_matrix(w, r)
+        })?;
+    let layers: Vec<LayerArtifact> = items
+        .into_iter()
+        .map(|(conv_index, artifact)| LayerArtifact { conv_index, artifact })
+        .collect();
+    if layers.is_empty() {
+        return Err(MvqError::InvalidConfig(format!(
+            "model has no conv layer compressible by `{}`",
+            comp.name()
+        )));
+    }
+    Ok(ModelArtifacts { algorithm: comp.name(), layers, skipped })
+}
+
+impl Compressor for MvqCompressor {
+    fn name(&self) -> &'static str {
+        "mvq"
+    }
+
+    fn config_summary(&self) -> String {
+        let cfg = self.config();
+        format!(
+            "k={} d={} {}:{} grouping={} codebook={}",
+            cfg.k,
+            cfg.d,
+            cfg.keep_n,
+            cfg.m,
+            cfg.grouping.name(),
+            bits_label(cfg.codebook_bits)
+        )
+    }
+
+    fn compress_matrix(
+        &self,
+        weight: &Tensor,
+        rng: &mut StdRng,
+    ) -> Result<CompressedArtifact, MvqError> {
+        // resolves to the inherent (generic-RNG) method
+        MvqCompressor::compress_matrix(self, weight, rng).map(CompressedArtifact::Masked)
+    }
+}
+
+/// Which plain-VQ ablation arm a [`PlainVq`] runs (paper Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VqVariant {
+    /// Dense weights, common k-means, dense reconstruction.
+    CaseA,
+    /// N:M-pruned weights, common k-means, dense reconstruction (mask not
+    /// stored).
+    CaseB,
+    /// N:M-pruned weights, common k-means, sparse reconstruction (mask
+    /// stored).
+    CaseC,
+}
+
+/// Conventional vector quantization (ablation cases A/B/C).
+#[derive(Debug, Clone)]
+pub struct PlainVq {
+    /// Which ablation arm.
+    pub variant: VqVariant,
+    /// Codewords.
+    pub k: usize,
+    /// Subvector length used for clustering.
+    pub d: usize,
+    /// Kept weights per pruning group (cases B/C).
+    pub keep_n: usize,
+    /// Pruning group size (cases B/C).
+    pub m: usize,
+    /// Subvector length the pruning grid lives on (case B's two-grid
+    /// setup: prune at `prune_d`, recluster at `d`). Must equal `d` for
+    /// case C.
+    pub prune_d: usize,
+    /// Grouping strategy.
+    pub grouping: GroupingStrategy,
+    /// Codebook quantization.
+    pub codebook_bits: Option<u32>,
+}
+
+impl Compressor for PlainVq {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            VqVariant::CaseA => "vq-a",
+            VqVariant::CaseB => "vq-b",
+            VqVariant::CaseC => "vq-c",
+        }
+    }
+
+    fn config_summary(&self) -> String {
+        match self.variant {
+            VqVariant::CaseA => format!(
+                "k={} d={} grouping={} codebook={}",
+                self.k,
+                self.d,
+                self.grouping.name(),
+                bits_label(self.codebook_bits)
+            ),
+            _ => format!(
+                "k={} d={} {}:{} (pruned at d={}) grouping={} codebook={}",
+                self.k,
+                self.d,
+                self.keep_n,
+                self.m,
+                self.prune_d,
+                self.grouping.name(),
+                bits_label(self.codebook_bits)
+            ),
+        }
+    }
+
+    fn compress_matrix(
+        &self,
+        weight: &Tensor,
+        rng: &mut StdRng,
+    ) -> Result<CompressedArtifact, MvqError> {
+        match self.variant {
+            VqVariant::CaseA => {
+                vq_case_a(weight, self.k, self.d, self.grouping, self.codebook_bits, rng)
+                    .map(CompressedArtifact::Dense)
+            }
+            VqVariant::CaseB if self.prune_d == self.d => vq_case_b(
+                weight,
+                self.k,
+                self.d,
+                self.keep_n,
+                self.m,
+                self.grouping,
+                self.codebook_bits,
+                rng,
+            )
+            .map(CompressedArtifact::Dense),
+            VqVariant::CaseB => {
+                // two-grid setup: the N:M pattern lives on the prune_d
+                // grouping, clustering happens on the d grouping
+                let grouped = self.grouping.group(weight, self.prune_d)?;
+                let (pruned, _mask) = prune_matrix_nm(&grouped, self.keep_n, self.m)?;
+                let sparse = self.grouping.ungroup(&pruned, weight.dims(), self.prune_d)?;
+                vq_case_a(&sparse, self.k, self.d, self.grouping, self.codebook_bits, rng)
+                    .map(CompressedArtifact::Dense)
+            }
+            VqVariant::CaseC => {
+                if self.prune_d != self.d {
+                    return Err(MvqError::InvalidConfig(
+                        "case C stores the mask on the clustering grid; prune_d must equal d"
+                            .into(),
+                    ));
+                }
+                vq_case_c(
+                    weight,
+                    self.k,
+                    self.d,
+                    self.keep_n,
+                    self.m,
+                    self.grouping,
+                    self.codebook_bits,
+                    rng,
+                )
+                .map(|(cm, _mask)| CompressedArtifact::Masked(cm))
+            }
+        }
+    }
+}
+
+/// PQF: permutation search + k-means (Martinez et al., CVPR '21).
+#[derive(Debug, Clone)]
+pub struct Pqf {
+    /// Codewords.
+    pub k: usize,
+    /// Subvector length.
+    pub d: usize,
+    /// Hill-climb swap trials.
+    pub swap_trials: usize,
+    /// Grouping strategy.
+    pub grouping: GroupingStrategy,
+    /// Codebook quantization.
+    pub codebook_bits: Option<u32>,
+}
+
+impl Compressor for Pqf {
+    fn name(&self) -> &'static str {
+        "pqf"
+    }
+
+    fn config_summary(&self) -> String {
+        format!(
+            "k={} d={} swaps={} grouping={} codebook={}",
+            self.k,
+            self.d,
+            self.swap_trials,
+            self.grouping.name(),
+            bits_label(self.codebook_bits)
+        )
+    }
+
+    fn compress_matrix(
+        &self,
+        weight: &Tensor,
+        rng: &mut StdRng,
+    ) -> Result<CompressedArtifact, MvqError> {
+        pqf_compress(
+            weight,
+            self.k,
+            self.d,
+            self.grouping,
+            self.codebook_bits,
+            self.swap_trials,
+            rng,
+        )
+        .map(CompressedArtifact::Permuted)
+    }
+}
+
+/// BGD: importance-weighted k-means (Stock et al., ICLR '20). Importance
+/// defaults to squared subvector norms (no activation statistics).
+#[derive(Debug, Clone)]
+pub struct Bgd {
+    /// Codewords.
+    pub k: usize,
+    /// Subvector length.
+    pub d: usize,
+    /// Grouping strategy.
+    pub grouping: GroupingStrategy,
+    /// Codebook quantization.
+    pub codebook_bits: Option<u32>,
+}
+
+impl Compressor for Bgd {
+    fn name(&self) -> &'static str {
+        "bgd"
+    }
+
+    fn config_summary(&self) -> String {
+        format!(
+            "k={} d={} grouping={} codebook={} importance=norm2",
+            self.k,
+            self.d,
+            self.grouping.name(),
+            bits_label(self.codebook_bits)
+        )
+    }
+
+    fn compress_matrix(
+        &self,
+        weight: &Tensor,
+        rng: &mut StdRng,
+    ) -> Result<CompressedArtifact, MvqError> {
+        bgd_compress(weight, self.k, self.d, self.grouping, self.codebook_bits, None, rng)
+            .map(CompressedArtifact::Dense)
+    }
+}
+
+/// DKM: differentiable (attention) k-means (Cho et al., ICLR '22).
+#[derive(Debug, Clone)]
+pub struct Dkm {
+    /// Soft-clustering hyperparameters.
+    pub config: DkmConfig,
+    /// Subvector length.
+    pub d: usize,
+    /// Grouping strategy.
+    pub grouping: GroupingStrategy,
+    /// Codebook quantization.
+    pub codebook_bits: Option<u32>,
+}
+
+impl Compressor for Dkm {
+    fn name(&self) -> &'static str {
+        "dkm"
+    }
+
+    fn config_summary(&self) -> String {
+        format!(
+            "k={} d={} tau={} anneal={} iters={} grouping={} codebook={}",
+            self.config.k,
+            self.d,
+            self.config.temperature,
+            self.config.anneal,
+            self.config.iters,
+            self.grouping.name(),
+            bits_label(self.codebook_bits)
+        )
+    }
+
+    fn compress_matrix(
+        &self,
+        weight: &Tensor,
+        rng: &mut StdRng,
+    ) -> Result<CompressedArtifact, MvqError> {
+        dkm_compress(weight, &self.config, self.d, self.grouping, self.codebook_bits, rng)
+            .map(CompressedArtifact::Dense)
+    }
+}
+
+/// PvQ: uniform scalar quantization at a fixed bit width (Kuzmin et al.).
+#[derive(Debug, Clone)]
+pub struct Pvq {
+    /// Bit width (2..=16).
+    pub bits: u32,
+}
+
+impl Compressor for Pvq {
+    fn name(&self) -> &'static str {
+        "pvq"
+    }
+
+    fn config_summary(&self) -> String {
+        format!("bits={}", self.bits)
+    }
+
+    fn compress_matrix(
+        &self,
+        weight: &Tensor,
+        _rng: &mut StdRng,
+    ) -> Result<CompressedArtifact, MvqError> {
+        pvq_quantize(weight, self.bits)
+            .map(|result| CompressedArtifact::Scalar(ScalarQuantized { result }))
+    }
+
+    // Scalar quantization has no shape constraints, so depthwise convs are
+    // quantized too (matching the historical `pvq_quantize_model`).
+    fn compress_model_artifacts(
+        &self,
+        model: &Sequential,
+        rng: &mut StdRng,
+    ) -> Result<ModelArtifacts, MvqError> {
+        compress_model_with(self, model, rng, false)
+    }
+}
+
+/// Shared hyperparameters the registry builds compressors from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSpec {
+    /// Codewords `k`.
+    pub k: usize,
+    /// Subvector length `d`.
+    pub d: usize,
+    /// Kept weights per pruning group.
+    pub keep_n: usize,
+    /// Pruning group size `M`.
+    pub m: usize,
+    /// Pruning grid for VQ case B's two-grid setup (`None` = same as `d`).
+    pub prune_d: Option<usize>,
+    /// Grouping strategy.
+    pub grouping: GroupingStrategy,
+    /// Codebook quantization width.
+    pub codebook_bits: Option<u32>,
+    /// Bit width for scalar (PvQ) quantization.
+    pub scalar_bits: u32,
+    /// PQF hill-climb swap trials.
+    pub swap_trials: usize,
+}
+
+impl Default for PipelineSpec {
+    /// The paper's ResNet operating point: k=64, d=16, 4:16, int8
+    /// codebooks, 2-bit PvQ.
+    fn default() -> PipelineSpec {
+        PipelineSpec {
+            k: 64,
+            d: 16,
+            keep_n: 4,
+            m: 16,
+            prune_d: None,
+            grouping: GroupingStrategy::OutputChannelWise,
+            codebook_bits: Some(8),
+            scalar_bits: 2,
+            swap_trials: 1_000,
+        }
+    }
+}
+
+impl PipelineSpec {
+    /// Overrides `k`.
+    pub fn with_k(mut self, k: usize) -> PipelineSpec {
+        self.k = k;
+        self
+    }
+
+    /// Overrides `d`.
+    pub fn with_d(mut self, d: usize) -> PipelineSpec {
+        self.d = d;
+        self
+    }
+
+    /// Overrides the N:M pattern.
+    pub fn with_nm(mut self, keep_n: usize, m: usize) -> PipelineSpec {
+        self.keep_n = keep_n;
+        self.m = m;
+        self
+    }
+
+    /// Puts the pruning grid on a different subvector length than the
+    /// clustering grid (VQ case B's two-grid setup).
+    pub fn with_prune_d(mut self, prune_d: usize) -> PipelineSpec {
+        self.prune_d = Some(prune_d);
+        self
+    }
+
+    /// Overrides the scalar bit width.
+    pub fn with_scalar_bits(mut self, bits: u32) -> PipelineSpec {
+        self.scalar_bits = bits;
+        self
+    }
+
+    /// Overrides the PQF swap budget.
+    pub fn with_swap_trials(mut self, trials: usize) -> PipelineSpec {
+        self.swap_trials = trials;
+        self
+    }
+}
+
+/// Registry names, in canonical order.
+pub const ALGORITHM_NAMES: [&str; 8] = ["mvq", "vq-a", "vq-b", "vq-c", "pqf", "bgd", "dkm", "pvq"];
+
+/// Builds the named compressor from `spec`.
+///
+/// # Errors
+///
+/// Returns [`MvqError::InvalidConfig`] for unknown names or spec values
+/// the algorithm rejects (e.g. inconsistent N:M for MVQ).
+pub fn by_name(name: &str, spec: &PipelineSpec) -> Result<Box<dyn Compressor>, MvqError> {
+    let plain = |variant: VqVariant| PlainVq {
+        variant,
+        k: spec.k,
+        d: spec.d,
+        keep_n: spec.keep_n,
+        m: spec.m,
+        prune_d: spec.prune_d.unwrap_or(spec.d),
+        grouping: spec.grouping,
+        codebook_bits: spec.codebook_bits,
+    };
+    Ok(match name {
+        "mvq" => {
+            let cfg = MvqConfig::new(spec.k, spec.d, spec.keep_n, spec.m)?
+                .with_grouping(spec.grouping)
+                .with_codebook_bits(spec.codebook_bits);
+            Box::new(MvqCompressor::new(cfg))
+        }
+        "vq" | "vq-a" => Box::new(plain(VqVariant::CaseA)),
+        "vq-b" => Box::new(plain(VqVariant::CaseB)),
+        "vq-c" => Box::new(plain(VqVariant::CaseC)),
+        "pqf" => Box::new(Pqf {
+            k: spec.k,
+            d: spec.d,
+            swap_trials: spec.swap_trials,
+            grouping: spec.grouping,
+            codebook_bits: spec.codebook_bits,
+        }),
+        "bgd" => Box::new(Bgd {
+            k: spec.k,
+            d: spec.d,
+            grouping: spec.grouping,
+            codebook_bits: spec.codebook_bits,
+        }),
+        "dkm" => Box::new(Dkm {
+            config: DkmConfig::new(spec.k),
+            d: spec.d,
+            grouping: spec.grouping,
+            codebook_bits: spec.codebook_bits,
+        }),
+        "pvq" => Box::new(Pvq { bits: spec.scalar_bits }),
+        other => {
+            return Err(MvqError::InvalidConfig(format!(
+                "unknown compressor `{other}` (known: {})",
+                ALGORITHM_NAMES.join(", ")
+            )))
+        }
+    })
+}
+
+/// Every registered algorithm built from `spec`, in canonical order.
+///
+/// # Errors
+///
+/// Propagates [`by_name`] errors for spec values an algorithm rejects.
+pub fn registry_with(spec: &PipelineSpec) -> Result<Vec<Box<dyn Compressor>>, MvqError> {
+    ALGORITHM_NAMES.iter().map(|name| by_name(name, spec)).collect()
+}
+
+/// Every registered algorithm with the default [`PipelineSpec`].
+pub fn registry() -> Vec<Box<dyn Compressor>> {
+    registry_with(&PipelineSpec::default()).expect("default spec is valid for every algorithm")
+}
+
+fn bits_label(bits: Option<u32>) -> String {
+    bits.map_or_else(|| "fp32".to_string(), |b| format!("int{b}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvq_nn::models::tiny_cnn;
+
+    #[test]
+    fn registry_has_all_algorithms() {
+        let names: Vec<&str> = registry().iter().map(|c| c.name()).collect();
+        assert_eq!(names, ALGORITHM_NAMES.to_vec());
+    }
+
+    #[test]
+    fn by_name_rejects_unknown() {
+        assert!(by_name("vqgan", &PipelineSpec::default()).is_err());
+    }
+
+    #[test]
+    fn vq_alias_resolves_to_case_a() {
+        let c = by_name("vq", &PipelineSpec::default()).unwrap();
+        assert_eq!(c.name(), "vq-a");
+    }
+
+    #[test]
+    fn config_summaries_are_nonempty() {
+        for comp in registry() {
+            assert!(!comp.config_summary().is_empty(), "{}", comp.name());
+        }
+    }
+
+    #[test]
+    fn case_b_two_grid_prunes_before_clustering() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = mvq_tensor::kaiming_normal(vec![32, 16], 16, &mut rng);
+        let two_grid = PlainVq {
+            variant: VqVariant::CaseB,
+            k: 8,
+            d: 8,
+            keep_n: 4,
+            m: 16,
+            prune_d: 16,
+            grouping: GroupingStrategy::OutputChannelWise,
+            codebook_bits: None,
+        };
+        let artifact = two_grid.compress_matrix(&w, &mut rng).unwrap();
+        assert_eq!(artifact.reconstruct().unwrap().dims(), w.dims());
+        // dense decode: mask not stored
+        assert_eq!(artifact.storage().mask_bits, 0);
+    }
+
+    #[test]
+    fn case_c_rejects_two_grid() {
+        let c = PlainVq {
+            variant: VqVariant::CaseC,
+            k: 8,
+            d: 8,
+            keep_n: 4,
+            m: 16,
+            prune_d: 16,
+            grouping: GroupingStrategy::OutputChannelWise,
+            codebook_bits: None,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = mvq_tensor::kaiming_normal(vec![32, 16], 16, &mut rng);
+        assert!(c.compress_matrix(&w, &mut rng).is_err());
+    }
+
+    #[test]
+    fn compress_model_skips_depthwise_except_pvq() {
+        // mobilenet-style separable convs: depthwise layers are skipped by
+        // codebook methods but quantized by pvq
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = mvq_nn::models::mobilenet_v1_lite(4, &mut rng);
+        let spec = PipelineSpec { k: 8, keep_n: 8, ..PipelineSpec::default() };
+        let mvq = by_name("mvq", &spec).unwrap();
+        let arts = mvq.compress_model(&mut model, &mut rng).unwrap();
+        assert!(!arts.skipped.is_empty(), "depthwise convs should be skipped");
+        let mut model2 = mvq_nn::models::mobilenet_v1_lite(4, &mut StdRng::seed_from_u64(2));
+        let pvq = by_name("pvq", &spec).unwrap();
+        let arts2 = pvq.compress_model(&mut model2, &mut rng).unwrap();
+        assert!(arts2.skipped.is_empty(), "pvq quantizes every conv");
+        assert!(arts2.layers.len() > arts.layers.len());
+    }
+
+    #[test]
+    fn model_artifacts_storage_merges_layers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = tiny_cnn(4, 8, &mut rng);
+        let comp = by_name("mvq", &PipelineSpec { k: 8, ..PipelineSpec::default() }).unwrap();
+        let arts = comp.compress_model(&mut model, &mut rng).unwrap();
+        let merged = arts.storage();
+        let sum: u64 = arts.layers.iter().map(|l| l.artifact.storage().compressed_bits()).sum();
+        assert_eq!(merged.compressed_bits(), sum);
+        assert!(arts.compression_ratio() > 1.0);
+    }
+}

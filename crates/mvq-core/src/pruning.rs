@@ -75,11 +75,7 @@ pub fn prune_matrix_nm(
             // indices of the top-N magnitudes (stable ordering)
             let mut order: Vec<usize> = (0..m).collect();
             order.sort_by(|&a, &b| {
-                group[b]
-                    .abs()
-                    .partial_cmp(&group[a].abs())
-                    .expect("finite weights")
-                    .then(a.cmp(&b))
+                group[b].abs().partial_cmp(&group[a].abs()).expect("finite weights").then(a.cmp(&b))
             });
             for &t in order.iter().take(keep_n) {
                 bits[start + t] = true;
@@ -254,10 +250,7 @@ fn gather(data: &SyntheticClassification, idx: &[usize]) -> (Tensor, Vec<usize>)
         buf.extend_from_slice(&data.train_images.data()[i * per..(i + 1) * per]);
         labels.push(data.train_labels[i]);
     }
-    (
-        Tensor::from_vec(vec![idx.len(), d[1], d[2], d[3]], buf).expect("sized buffer"),
-        labels,
-    )
+    (Tensor::from_vec(vec![idx.len(), d[1], d[2], d[3]], buf).expect("sized buffer"), labels)
 }
 
 /// Zeroes pruned weights according to fixed masks (ASP step).
@@ -332,8 +325,7 @@ fn apply_srste_decay(
                         return;
                     }
                 };
-                for ((g, &w), &kept) in
-                    ggrad.data_mut().iter_mut().zip(gw.data()).zip(mask.bits())
+                for ((g, &w), &kept) in ggrad.data_mut().iter_mut().zip(gw.data()).zip(mask.bits())
                 {
                     if !kept {
                         *g += lambda * w;
@@ -444,7 +436,10 @@ mod tests {
             sparse_finetune(&mut model, masks.clone(), &data, &cfg, &mut opt, &mut rng).unwrap();
         // ASP: masks unchanged, weights still sparse
         for (a, b) in masks.iter().zip(&out_masks) {
-            assert_eq!(a.as_ref().map(|m| m.bits().to_vec()), b.as_ref().map(|m| m.bits().to_vec()));
+            assert_eq!(
+                a.as_ref().map(|m| m.bits().to_vec()),
+                b.as_ref().map(|m| m.bits().to_vec())
+            );
         }
         model.visit_convs_mut(&mut |conv| {
             assert!(conv.weight.value.sparsity() >= 0.49);

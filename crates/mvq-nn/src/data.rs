@@ -63,9 +63,8 @@ impl Prototype {
                 for x in 0..size {
                     let u = (x as f32 + shift.0) / size as f32;
                     let v = (y as f32 + shift.1) / size as f32;
-                    img[y * size + x] += amp
-                        * ca
-                        * (std::f32::consts::TAU * (fx * u + fy * v) + phase).sin();
+                    img[y * size + x] +=
+                        amp * ca * (std::f32::consts::TAU * (fx * u + fy * v) + phase).sin();
                 }
             }
         }
@@ -88,8 +87,7 @@ impl SyntheticClassification {
         rng: &mut R,
     ) -> SyntheticClassification {
         assert!(num_classes > 0 && n_train > 0 && n_test > 0 && image_size > 0);
-        let prototypes: Vec<Prototype> =
-            (0..num_classes).map(|_| Prototype::sample(rng)).collect();
+        let prototypes: Vec<Prototype> = (0..num_classes).map(|_| Prototype::sample(rng)).collect();
         let (train_images, train_labels) =
             Self::render_split(&prototypes, n_train, image_size, rng);
         let (test_images, test_labels) = Self::render_split(&prototypes, n_test, image_size, rng);
@@ -205,8 +203,7 @@ impl SyntheticSegmentation {
             for ch in 0..3 {
                 let base = (s * 3 + ch) * size * size;
                 for p in 0..size * size {
-                    images.data_mut()[base + p] =
-                        colors[0][ch] * 0.3 + rng.gen_range(-0.2..0.2);
+                    images.data_mut()[base + p] = colors[0][ch] * 0.3 + rng.gen_range(-0.2..0.2);
                 }
             }
             // 1-3 shapes of non-background classes
@@ -323,7 +320,7 @@ mod tests {
         // shapes exist: some non-background pixels
         assert!(d.train_labels.iter().any(|&l| l > 0));
         // background exists too
-        assert!(d.train_labels.iter().any(|&l| l == 0));
+        assert!(d.train_labels.contains(&0));
     }
 
     #[test]

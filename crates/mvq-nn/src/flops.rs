@@ -107,9 +107,10 @@ fn walk_module(
                 Conv2dGeometry::new(h, w, conv.kernel(), conv.kernel(), conv.stride(), conv.pad());
             let (oh, ow) = (geom.out_h(), geom.out_w());
             let cpg = conv.in_channels() / conv.groups();
-            let macs =
-                conv.out_channels() as u64 * cpg as u64 * (conv.kernel() * conv.kernel()) as u64
-                    * (oh * ow) as u64;
+            let macs = conv.out_channels() as u64
+                * cpg as u64
+                * (conv.kernel() * conv.kernel()) as u64
+                * (oh * ow) as u64;
             let kind = if conv.is_depthwise() { "depthwise conv" } else { "conv" };
             report.layers.push(LayerFlops {
                 conv_index: Some(*conv_idx),
@@ -160,9 +161,8 @@ mod tests {
     #[test]
     fn conv_flops_formula() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut model = Sequential::new(vec![Module::Conv2d(Conv2d::new(
-            3, 8, 3, 1, 1, 1, false, &mut rng,
-        ))]);
+        let mut model =
+            Sequential::new(vec![Module::Conv2d(Conv2d::new(3, 8, 3, 1, 1, 1, false, &mut rng))]);
         let report = count_flops(&mut model, 3, 8).unwrap();
         // 2 * K*C*R*S*OH*OW = 2 * 8*3*9*64
         assert_eq!(report.dense_total(), 2 * 8 * 3 * 9 * 64);
@@ -201,9 +201,8 @@ mod tests {
     #[test]
     fn depthwise_convs_stay_dense() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut model = Sequential::new(vec![Module::Conv2d(Conv2d::new(
-            8, 8, 3, 1, 1, 8, false, &mut rng,
-        ))]);
+        let mut model =
+            Sequential::new(vec![Module::Conv2d(Conv2d::new(8, 8, 3, 1, 1, 8, false, &mut rng))]);
         let report = count_flops(&mut model, 8, 4).unwrap().with_conv_sparsity(0.5);
         assert_eq!(report.effective_total(), report.dense_total());
         assert!(report.layers[0].description.contains("depthwise"));
@@ -212,12 +211,10 @@ mod tests {
     #[test]
     fn stride_reduces_flops() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut s1 = Sequential::new(vec![Module::Conv2d(Conv2d::new(
-            3, 8, 3, 1, 1, 1, false, &mut rng,
-        ))]);
-        let mut s2 = Sequential::new(vec![Module::Conv2d(Conv2d::new(
-            3, 8, 3, 2, 1, 1, false, &mut rng,
-        ))]);
+        let mut s1 =
+            Sequential::new(vec![Module::Conv2d(Conv2d::new(3, 8, 3, 1, 1, 1, false, &mut rng))]);
+        let mut s2 =
+            Sequential::new(vec![Module::Conv2d(Conv2d::new(3, 8, 3, 2, 1, 1, false, &mut rng))]);
         let f1 = count_flops(&mut s1, 3, 8).unwrap().dense_total();
         let f2 = count_flops(&mut s2, 3, 8).unwrap().dense_total();
         assert_eq!(f1, 4 * f2);

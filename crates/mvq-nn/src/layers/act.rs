@@ -51,12 +51,8 @@ impl Relu {
     /// Returns [`NnError::NoForwardCache`] if no training forward preceded.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
         let mask = self.mask.take().ok_or(NnError::NoForwardCache("Relu"))?;
-        let data = grad_out
-            .data()
-            .iter()
-            .zip(&mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let data =
+            grad_out.data().iter().zip(&mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
         Ok(Tensor::from_vec(grad_out.dims().to_vec(), data)?)
     }
 }
@@ -101,10 +97,7 @@ mod tests {
     #[test]
     fn backward_requires_forward() {
         let mut relu = Relu::new();
-        assert!(matches!(
-            relu.backward(&Tensor::ones(vec![1])),
-            Err(NnError::NoForwardCache(_))
-        ));
+        assert!(matches!(relu.backward(&Tensor::ones(vec![1])), Err(NnError::NoForwardCache(_))));
     }
 
     #[test]

@@ -3,9 +3,9 @@
 use mvq_tensor::Tensor;
 
 use crate::error::NnError;
-use crate::layers::Sequential;
 #[cfg(test)]
 use crate::layers::Module;
+use crate::layers::Sequential;
 
 /// A residual block with an optional projection shortcut, covering both
 /// ResNet basic/bottleneck blocks and MobileNet-v2 inverted residuals
@@ -68,12 +68,8 @@ impl Residual {
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
         let grad_sum = if self.final_relu {
             let mask = self.relu_mask.take().ok_or(NnError::NoForwardCache("Residual"))?;
-            let data = grad_out
-                .data()
-                .iter()
-                .zip(&mask)
-                .map(|(&g, &m)| if m { g } else { 0.0 })
-                .collect();
+            let data =
+                grad_out.data().iter().zip(&mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
             Tensor::from_vec(grad_out.dims().to_vec(), data)?
         } else {
             grad_out.clone()
@@ -132,8 +128,8 @@ mod tests {
     #[test]
     fn identity_shortcut_passes_input() {
         let mut block = identity_block(false);
-        let x = Tensor::from_vec(vec![1, 2, 2, 2], (0..8).map(|i| i as f32 - 3.0).collect())
-            .unwrap();
+        let x =
+            Tensor::from_vec(vec![1, 2, 2, 2], (0..8).map(|i| i as f32 - 3.0).collect()).unwrap();
         let y = block.forward(&x, false).unwrap();
         assert_eq!(y.data(), x.data());
     }
@@ -141,8 +137,8 @@ mod tests {
     #[test]
     fn final_relu_applies() {
         let mut block = identity_block(true);
-        let x = Tensor::from_vec(vec![1, 2, 2, 2], (0..8).map(|i| i as f32 - 3.0).collect())
-            .unwrap();
+        let x =
+            Tensor::from_vec(vec![1, 2, 2, 2], (0..8).map(|i| i as f32 - 3.0).collect()).unwrap();
         let y = block.forward(&x, false).unwrap();
         assert!(y.data().iter().all(|&v| v >= 0.0));
         assert!(block.has_final_relu());

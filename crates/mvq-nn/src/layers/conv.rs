@@ -1,9 +1,7 @@
 //! 2-D convolution with stride, padding and channel groups (depthwise
 //! convolution is `groups == in_channels`).
 
-use mvq_tensor::{
-    col2im, im2col, kaiming_normal, matmul_transpose_b, Conv2dGeometry, Tensor,
-};
+use mvq_tensor::{col2im, im2col, kaiming_normal, matmul_transpose_b, Conv2dGeometry, Tensor};
 use rand::Rng;
 
 use crate::error::NnError;
@@ -52,11 +50,8 @@ impl Conv2d {
         assert_eq!(out_channels % groups, 0, "groups must divide out_channels");
         let cpg = in_channels / groups;
         let fan_in = cpg * kernel * kernel;
-        let weight = Param::new(kaiming_normal(
-            vec![out_channels, cpg, kernel, kernel],
-            fan_in,
-            rng,
-        ));
+        let weight =
+            Param::new(kaiming_normal(vec![out_channels, cpg, kernel, kernel], fan_in, rng));
         let bias = bias.then(|| Param::new(Tensor::zeros(vec![out_channels])));
         Conv2d {
             weight,
@@ -123,11 +118,7 @@ impl Conv2d {
         if input.rank() != 4 || input.dims()[1] != self.in_channels {
             return Err(NnError::BadInput {
                 layer: format!("Conv2d({}->{})", self.in_channels, self.out_channels),
-                detail: format!(
-                    "expected [N, {}, H, W], got {:?}",
-                    self.in_channels,
-                    input.dims()
-                ),
+                detail: format!("expected [N, {}, H, W], got {:?}", self.in_channels, input.dims()),
             });
         }
         let (n, _, h, w) = dims4(input);
@@ -135,10 +126,8 @@ impl Conv2d {
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let cpg = self.in_channels / self.groups;
         let kpg = self.out_channels / self.groups;
-        let w2 = self.weight.value.reshape(vec![
-            self.out_channels,
-            cpg * self.kernel * self.kernel,
-        ])?;
+        let w2 =
+            self.weight.value.reshape(vec![self.out_channels, cpg * self.kernel * self.kernel])?;
         let mut out = Tensor::zeros(vec![n, self.out_channels, oh, ow]);
         for s in 0..n {
             let img = sample(input, s);
@@ -181,10 +170,7 @@ impl Conv2d {
     /// Returns [`NnError::NoForwardCache`] when called before a training
     /// forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let input = self
-            .cached_input
-            .take()
-            .ok_or(NnError::NoForwardCache("Conv2d"))?;
+        let input = self.cached_input.take().ok_or(NnError::NoForwardCache("Conv2d"))?;
         let (n, _, h, w) = dims4(&input);
         let geom = self.geometry(h, w);
         let (oh, ow) = (geom.out_h(), geom.out_w());
@@ -337,9 +323,7 @@ mod tests {
             let per = 3 * 2 * 9;
             dense.weight.value.data_mut().copy_from_slice(&src[g * per..(g + 1) * per]);
             let img = sample(&x, 0);
-            let xg = channel_slice(&img, g * 2, (g + 1) * 2)
-                .reshape(vec![1, 2, 5, 5])
-                .unwrap();
+            let xg = channel_slice(&img, g * 2, (g + 1) * 2).reshape(vec![1, 2, 5, 5]).unwrap();
             let yg = dense.forward(&xg, false).unwrap();
             for k in 0..3 {
                 for p in 0..25 {

@@ -28,11 +28,7 @@ impl Linear {
     pub fn new<R: Rng>(in_features: usize, out_features: usize, rng: &mut R) -> Linear {
         assert!(in_features > 0 && out_features > 0);
         Linear {
-            weight: Param::new(kaiming_normal(
-                vec![out_features, in_features],
-                in_features,
-                rng,
-            )),
+            weight: Param::new(kaiming_normal(vec![out_features, in_features], in_features, rng)),
             bias: Param::new(Tensor::zeros(vec![out_features])),
             in_features,
             out_features,
@@ -87,10 +83,7 @@ impl Linear {
     /// Returns [`NnError::NoForwardCache`] when called before a training
     /// forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let input = self
-            .cached_input
-            .take()
-            .ok_or(NnError::NoForwardCache("Linear"))?;
+        let input = self.cached_input.take().ok_or(NnError::NoForwardCache("Linear"))?;
         // dW = goutᵀ · x  -> [out, in]
         let dw = matmul_transpose_a(grad_out, &input)?;
         self.weight.grad.add_assign(&dw)?;
@@ -175,9 +168,6 @@ mod tests {
     fn backward_requires_forward() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut lin = Linear::new(4, 3, &mut rng);
-        assert!(matches!(
-            lin.backward(&Tensor::ones(vec![1, 3])),
-            Err(NnError::NoForwardCache(_))
-        ));
+        assert!(matches!(lin.backward(&Tensor::ones(vec![1, 3])), Err(NnError::NoForwardCache(_))));
     }
 }

@@ -295,9 +295,7 @@ mod tests {
         let y = net.forward(&x, true).unwrap();
         net.backward(&Tensor::ones(y.dims().to_vec())).unwrap();
         let mut any_nonzero = false;
-        net.visit_params_mut(&mut |p| {
-            any_nonzero |= p.grad.data().iter().any(|&g| g != 0.0)
-        });
+        net.visit_params_mut(&mut |p| any_nonzero |= p.grad.data().iter().any(|&g| g != 0.0));
         assert!(any_nonzero, "backward should have produced gradients");
         net.zero_grad();
         net.visit_params_mut(&mut |p| {
@@ -316,9 +314,8 @@ mod tests {
     #[test]
     fn nested_sequential_visits() {
         let mut rng = StdRng::seed_from_u64(3);
-        let inner = Sequential::new(vec![Module::Conv2d(Conv2d::new(
-            1, 1, 1, 1, 0, 1, false, &mut rng,
-        ))]);
+        let inner =
+            Sequential::new(vec![Module::Conv2d(Conv2d::new(1, 1, 1, 1, 0, 1, false, &mut rng))]);
         let mut outer = Sequential::new(vec![
             Module::Sequential(inner),
             Module::Conv2d(Conv2d::new(1, 1, 1, 1, 0, 1, false, &mut rng)),

@@ -46,7 +46,7 @@ impl BatchNorm2d {
             momentum: 0.1,
             running_mean: vec![0.0; channels],
             running_var: vec![1.0; channels],
-        cache: None,
+            cache: None,
         }
     }
 

@@ -97,8 +97,7 @@ impl MaxPool2d {
     ///
     /// Returns [`NnError::NoForwardCache`] if no training forward preceded.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let (argmax, in_dims) =
-            self.argmax.take().ok_or(NnError::NoForwardCache("MaxPool2d"))?;
+        let (argmax, in_dims) = self.argmax.take().ok_or(NnError::NoForwardCache("MaxPool2d"))?;
         let mut grad_in = Tensor::zeros(in_dims);
         let gi = grad_in.data_mut();
         for (g, &idx) in grad_out.data().iter().zip(&argmax) {
@@ -191,11 +190,7 @@ mod tests {
     #[test]
     fn maxpool_backward_routes_to_argmax() {
         let mut pool = MaxPool2d::new(2, 2);
-        let x = Tensor::from_vec(
-            vec![1, 1, 2, 2],
-            vec![1.0, 5.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 2.0, 3.0]).unwrap();
         pool.forward(&x, true).unwrap();
         let g = pool.backward(&Tensor::full(vec![1, 1, 1, 1], 2.5)).unwrap();
         assert_eq!(g.data(), &[0.0, 2.5, 0.0, 0.0]);
@@ -215,8 +210,9 @@ mod tests {
     #[test]
     fn gap_averages() {
         let mut gap = GlobalAvgPool::new();
-        let x = Tensor::from_vec(vec![1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0])
-            .unwrap();
+        let x =
+            Tensor::from_vec(vec![1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0])
+                .unwrap();
         let y = gap.forward(&x, false).unwrap();
         assert_eq!(y.dims(), &[1, 2, 1, 1]);
         assert_eq!(y.data(), &[2.5, 10.0]);

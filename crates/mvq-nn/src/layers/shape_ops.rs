@@ -147,10 +147,7 @@ mod tests {
     fn flatten_validates() {
         let mut fl = Flatten::new();
         assert!(fl.forward(&Tensor::ones(vec![3]), false).is_err());
-        assert!(matches!(
-            fl.backward(&Tensor::ones(vec![1, 1])),
-            Err(NnError::NoForwardCache(_))
-        ));
+        assert!(matches!(fl.backward(&Tensor::ones(vec![1, 1])), Err(NnError::NoForwardCache(_))));
     }
 
     #[test]

@@ -181,11 +181,9 @@ mod tests {
 
     #[test]
     fn pixel_ce_gradient_matches_finite_differences() {
-        let mut logits = Tensor::from_vec(
-            vec![1, 2, 2, 2],
-            vec![0.5, -0.5, 0.2, 0.8, -0.3, 0.9, 0.0, 0.1],
-        )
-        .unwrap();
+        let mut logits =
+            Tensor::from_vec(vec![1, 2, 2, 2], vec![0.5, -0.5, 0.2, 0.8, -0.3, 0.9, 0.0, 0.1])
+                .unwrap();
         let labels = [0usize, 1, 1, 0];
         let (_, grad) = pixel_cross_entropy(&logits, &labels).unwrap();
         let eps = 1e-3;

@@ -23,9 +23,7 @@ pub fn deeplab_lite<R: Rng>(num_classes: usize, rng: &mut R) -> Sequential {
     layers.extend(conv_bn_relu6(32, 64, 1, 1, 0, 1, rng));
     // ASPP-lite: 3x3 context branch + 1x1 branch, summed
     let ctx = Sequential::new(conv_bn_relu(64, 64, 3, 1, 1, 1, rng));
-    let point = Sequential::new(vec![Module::Conv2d(Conv2d::new(
-        64, 64, 1, 1, 0, 1, false, rng,
-    ))]);
+    let point = Sequential::new(vec![Module::Conv2d(Conv2d::new(64, 64, 1, 1, 0, 1, false, rng))]);
     layers.push(Module::Residual(Residual::new(ctx, Some(point), true)));
     // classifier + decoder
     layers.push(Module::Conv2d(Conv2d::new(64, num_classes, 1, 1, 0, 1, true, rng)));

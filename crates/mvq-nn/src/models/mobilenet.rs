@@ -101,11 +101,7 @@ mod tests {
     fn v2_identity_blocks_are_residual() {
         let mut rng = StdRng::seed_from_u64(0);
         let model = mobilenet_v2_lite(10, &mut rng);
-        let residuals = model
-            .layers()
-            .iter()
-            .filter(|m| matches!(m, Module::Residual(_)))
-            .count();
+        let residuals = model.layers().iter().filter(|m| matches!(m, Module::Residual(_))).count();
         // blocks with stride 1 and in == out: 16->16, 32->32, 64->64
         assert_eq!(residuals, 3);
     }

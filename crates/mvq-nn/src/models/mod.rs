@@ -176,9 +176,8 @@ mod tests {
         for arch in Arch::ALL {
             let mut model = arch.build(10, &mut rng);
             let x = Tensor::zeros(vec![1, INPUT_CHANNELS, INPUT_SIZE, INPUT_SIZE]);
-            let y = model
-                .forward(&x, false)
-                .unwrap_or_else(|e| panic!("{arch} forward failed: {e}"));
+            let y =
+                model.forward(&x, false).unwrap_or_else(|e| panic!("{arch} forward failed: {e}"));
             assert_eq!(y.dims(), &[1, 10], "{arch} output shape");
             assert!(model.num_convs() > 0, "{arch} has convs");
         }

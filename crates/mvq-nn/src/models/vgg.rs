@@ -48,11 +48,7 @@ mod tests {
     fn has_two_linear_layers() {
         let mut rng = StdRng::seed_from_u64(0);
         let model = vgg16_lite(10, &mut rng);
-        let linears = model
-            .layers()
-            .iter()
-            .filter(|m| matches!(m, Module::Linear(_)))
-            .count();
+        let linears = model.layers().iter().filter(|m| matches!(m, Module::Linear(_))).count();
         assert_eq!(linears, 2);
     }
 }

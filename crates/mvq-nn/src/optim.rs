@@ -159,11 +159,8 @@ fn apply_update(kind: &OptimizerKind, p: &mut Param, slot: &mut SlotState, t: u6
     match *kind {
         OptimizerKind::Sgd { lr, momentum, weight_decay } => {
             if momentum != 0.0 {
-                let m = slot
-                    .m
-                    .get_or_insert_with(|| Tensor::zeros(p.value.dims().to_vec()));
-                for ((mv, &g), &w) in
-                    m.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data())
+                let m = slot.m.get_or_insert_with(|| Tensor::zeros(p.value.dims().to_vec()));
+                for ((mv, &g), &w) in m.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data())
                 {
                     *mv = momentum * *mv + g + weight_decay * w;
                 }

@@ -180,10 +180,7 @@ pub fn evaluate_classifier(
 /// # Errors
 ///
 /// Propagates forward shape errors.
-pub fn evaluate_miou(
-    model: &mut Sequential,
-    data: &SyntheticSegmentation,
-) -> Result<f32, NnError> {
+pub fn evaluate_miou(model: &mut Sequential, data: &SyntheticSegmentation) -> Result<f32, NnError> {
     let n = data.test_images.dims()[0];
     let c = data.num_classes;
     let plane = data.image_size * data.image_size;
@@ -234,7 +231,6 @@ pub fn evaluate_miou(
     Ok(if present == 0 { 0.0 } else { (sum / present as f64) as f32 })
 }
 
-
 /// Measures the fraction of zero activations flowing through the model on
 /// `max_batches` training batches — the statistic the accelerator's
 /// zero-value-gated PEs exploit (paper Fig. 9). Zeros are counted in the
@@ -279,8 +275,7 @@ fn gather_batch(images: &Tensor, labels: &[usize], indices: &[usize]) -> (Tensor
         lab.push(labels[i]);
     }
     (
-        Tensor::from_vec(vec![indices.len(), d[1], d[2], d[3]], data)
-            .expect("slice sized to dims"),
+        Tensor::from_vec(vec![indices.len(), d[1], d[2], d[3]], data).expect("slice sized to dims"),
         lab,
     )
 }
@@ -328,7 +323,6 @@ mod tests {
         let mut opt = Optimizer::new(OptimizerKind::adam(0.01));
         assert!(train_classifier(&mut model, &data, &cfg, &mut opt, &mut rng).is_err());
     }
-
 
     #[test]
     fn activation_sparsity_is_meaningful() {

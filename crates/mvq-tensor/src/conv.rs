@@ -36,7 +36,14 @@ impl Conv2dGeometry {
     ///
     /// Panics if `stride == 0` or the kernel is empty; these are programmer
     /// errors, not data-dependent conditions.
-    pub fn new(in_h: usize, in_w: usize, k_h: usize, k_w: usize, stride: usize, pad: usize) -> Self {
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        k_h: usize,
+        k_w: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
         assert!(stride > 0, "stride must be positive");
         assert!(k_h > 0 && k_w > 0, "kernel must be non-empty");
         Conv2dGeometry { in_h, in_w, k_h, k_w, stride, pad }
@@ -116,7 +123,11 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorErr
 ///
 /// Returns [`TensorError::ShapeMismatch`] when `cols` does not match `geom`
 /// and `channels`.
-pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry, channels: usize) -> Result<Tensor, TensorError> {
+pub fn col2im(
+    cols: &Tensor,
+    geom: &Conv2dGeometry,
+    channels: usize,
+) -> Result<Tensor, TensorError> {
     let (oh, ow) = (geom.out_h(), geom.out_w());
     let rows = channels * geom.k_h * geom.k_w;
     if cols.dims() != [rows, oh * ow] {
@@ -180,8 +191,7 @@ mod tests {
     #[test]
     fn im2col_known_values() {
         // 1x3x3 image, 2x2 kernel, stride 1, no pad -> 4 columns.
-        let img =
-            Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|x| x as f32).collect()).unwrap();
+        let img = Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|x| x as f32).collect()).unwrap();
         let g = Conv2dGeometry::new(3, 3, 2, 2, 1, 0);
         let cols = im2col(&img, &g).unwrap();
         assert_eq!(cols.dims(), &[4, 4]);

@@ -50,7 +50,11 @@ impl QuantizedTensor {
 ///
 /// Returns [`TensorError::InvalidArgument`] when `bits` is not in `2..=16`
 /// or `scale` is not a positive finite number.
-pub fn quantize_symmetric(t: &Tensor, scale: f32, bits: u32) -> Result<QuantizedTensor, TensorError> {
+pub fn quantize_symmetric(
+    t: &Tensor,
+    scale: f32,
+    bits: u32,
+) -> Result<QuantizedTensor, TensorError> {
     if !(2..=16).contains(&bits) {
         return Err(TensorError::InvalidArgument(format!("bits must be in 2..=16, got {bits}")));
     }
@@ -59,11 +63,7 @@ pub fn quantize_symmetric(t: &Tensor, scale: f32, bits: u32) -> Result<Quantized
     }
     let qmax = (1i32 << (bits - 1)) - 1;
     let qmin = -(1i32 << (bits - 1));
-    let values = t
-        .data()
-        .iter()
-        .map(|&v| ((v / scale).round() as i32).clamp(qmin, qmax))
-        .collect();
+    let values = t.data().iter().map(|&v| ((v / scale).round() as i32).clamp(qmin, qmax)).collect();
     Ok(QuantizedTensor { dims: t.dims().to_vec(), values, scale, bits })
 }
 

@@ -20,8 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<8} {:>10} {:>9} {:>9} {:>11} {:>10}",
             "setting", "cycles", "ms", "TOPS", "TOPS/W", "array mm2"
         );
-        let base_cycles =
-            simulate_network(&HwConfig::new(HwSetting::Ws, size)?, &net).cycles;
+        let base_cycles = simulate_network(&HwConfig::new(HwSetting::Ws, size)?, &net).cycles;
         for setting in HwSetting::ALL {
             let cfg = HwConfig::new(setting, size)?;
             let r = simulate_network(&cfg, &net);

@@ -6,7 +6,7 @@
 //! cargo run --release --example design_space
 //! ```
 
-use mvq::core::{MvqCompressor, MvqConfig};
+use mvq::core::pipeline::{by_name, PipelineSpec};
 use mvq::tensor::kaiming_normal;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,16 +27,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 continue;
             }
             for &k in &[32usize, 128, 512] {
-                let cfg = MvqConfig::new(k, d, keep_n, m)?;
-                let c = MvqCompressor::new(cfg).compress_matrix(&weight, &mut rng)?;
-                let grouped =
-                    mvq::core::GroupingStrategy::OutputChannelWise.group(&weight, d)?;
-                let pruned = c.mask().apply(&grouped)?;
+                let spec = PipelineSpec::default().with_k(k).with_d(d).with_nm(keep_n, m);
+                let c = by_name("mvq", &spec)?.compress_matrix(&weight, &mut rng)?;
+                let mask = c.mask().expect("mvq stores a mask");
+                let grouped = mvq::core::GroupingStrategy::OutputChannelWise.group(&weight, d)?;
+                let pruned = mask.apply(&grouped)?;
                 let sse = mvq::core::masked_sse(
                     &pruned,
-                    c.mask(),
-                    c.codebook(),
-                    c.assignments(),
+                    mask,
+                    c.codebook().expect("codebook"),
+                    c.assignments().expect("assignments"),
                 )?;
                 println!(
                     "{:>6} {:>4} {:>4}:{:<2} {:>7.1}x {:>12.2} {:>13.4}",

@@ -46,10 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
     println!("\nsparse-tile output vs reference GEMM: max |err| = {max_err:.2e}");
-    println!(
-        "\n{:<22} {:>12} {:>12}",
-        "", "dense array", "sparse array"
-    );
+    println!("\n{:<22} {:>12} {:>12}", "", "dense array", "sparse array");
     println!(
         "{:<22} {:>12} {:>12}",
         "multiplies executed", dense.macs_executed, sparse.macs_executed

@@ -1,10 +1,13 @@
-//! Quickstart: compress one weight matrix with MVQ and inspect the result.
+//! Quickstart: run every registered compression algorithm on one weight
+//! matrix through the unified `Compressor` pipeline, then inspect the MVQ
+//! artifact in detail.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use mvq::core::{masked_sse, MvqCompressor, MvqConfig};
+use mvq::core::masked_sse;
+use mvq::core::pipeline::{by_name, registry, PipelineSpec};
 use mvq::tensor::kaiming_normal;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,32 +17,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A conv-like weight: 64 output channels, 32 input channels, 3x3.
     let weight = kaiming_normal(vec![64, 32, 3, 3], 32 * 9, &mut rng);
-    println!("dense weight: {:?} = {} params", weight.dims(), weight.numel());
+    println!("dense weight: {:?} = {} params\n", weight.dims(), weight.numel());
 
-    // MVQ: 128 codewords of length 16, 4:16 pruning (75% sparsity),
-    // int8 codebook — the paper's EWS-CMS operating point.
-    let cfg = MvqConfig::new(128, 16, 4, 16)?;
-    let compressed = MvqCompressor::new(cfg).compress_matrix(&weight, &mut rng)?;
+    // Every algorithm, one loop, one API.
+    println!("{:<6} {:>8} {:>8} {:>10}  config", "name", "CR", "sparse%", "SSE");
+    for comp in registry() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let artifact = comp.compress_matrix(&weight, &mut rng)?;
+        let recon = artifact.reconstruct()?;
+        println!(
+            "{:<6} {:>7.1}x {:>7.1}% {:>10}  {}",
+            comp.name(),
+            artifact.compression_ratio(),
+            recon.sparsity() * 100.0,
+            artifact.sse().map_or_else(|| "-".into(), |s| format!("{s:.2}")),
+            comp.config_summary(),
+        );
+    }
+
+    // MVQ in detail: 128 codewords of length 16, 4:16 pruning (75%
+    // sparsity), int8 codebook — the paper's EWS-CMS operating point.
+    let spec = PipelineSpec::default().with_k(128);
+    let mvq = by_name("mvq", &spec)?;
+    let compressed = mvq.compress_matrix(&weight, &mut rng)?;
 
     let storage = compressed.storage();
-    println!("\nstorage breakdown (Eq. 7):");
+    println!("\nMVQ storage breakdown (Eq. 7):");
     println!("  assignments: {:>9} bits", storage.assignment_bits);
     println!("  masks (LUT): {:>9} bits", storage.mask_bits);
     println!("  codebook:    {:>9} bits", storage.codebook_bits);
     println!("  compression ratio: {:.1}x", compressed.compression_ratio());
 
-    // Decode and check the reconstruction.
-    let reconstructed = compressed.reconstruct()?;
-    assert_eq!(reconstructed.dims(), weight.dims());
-    println!("\nreconstruction sparsity: {:.1}%", reconstructed.sparsity() * 100.0);
-
     // The clustering error that matters: masked SSE on the kept weights.
-    let grouped = compressed.mask();
-    let pruned = {
-        let g = mvq::core::GroupingStrategy::OutputChannelWise.group(&weight, 16)?;
-        grouped.apply(&g)?
-    };
-    let sse = masked_sse(&pruned, compressed.mask(), compressed.codebook(), compressed.assignments())?;
+    let mask = compressed.mask().expect("mvq stores a mask");
+    let grouped = mvq::core::GroupingStrategy::OutputChannelWise.group(&weight, 16)?;
+    let pruned = mask.apply(&grouped)?;
+    let sse = masked_sse(
+        &pruned,
+        mask,
+        compressed.codebook().expect("mvq has a codebook"),
+        compressed.assignments().expect("mvq has assignments"),
+    )?;
     println!("masked clustering SSE: {sse:.2}");
     Ok(())
 }

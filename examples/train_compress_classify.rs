@@ -59,11 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. masked-gradient codebook fine-tuning (Eq. 6)
-    let ft = CodebookFinetuneConfig {
-        epochs: 3,
-        batch_size: 32,
-        optimizer: OptimizerKind::adam(2e-3),
-    };
+    let ft =
+        CodebookFinetuneConfig { epochs: 3, batch_size: 32, optimizer: OptimizerKind::adam(2e-3) };
     finetune_codebooks(&mut model, &mut compressed, &data, &ft, &mut rng)?;
     let final_acc = evaluate_classifier(&mut model, &data)?;
     println!("after codebook fine-tune: {:.1}%", final_acc * 100.0);

@@ -12,15 +12,20 @@
 //!   EfficientNet-lite, DeepLab-lite) and synthetic datasets
 //! * [`core`] — the paper's contribution: N:M pruning, masked k-means,
 //!   codebook quantization, masked-gradient fine-tuning, plus the VQ
-//!   baselines (plain VQ, PQF, BGD, PvQ)
+//!   baselines (plain VQ, PQF, BGD, DKM, PvQ), all unified behind the
+//!   [`core::Compressor`] trait and the string-keyed
+//!   [`core::pipeline::registry`]
 //! * [`accel`] — the EWS systolic-array accelerator simulator (six hardware
 //!   settings, energy/area/performance models, roofline)
 //!
 //! ## Quickstart
 //!
+//! Every algorithm — MVQ and all five baselines — implements
+//! [`core::Compressor`] and produces a [`core::CompressedArtifact`] with
+//! the same `reconstruct` / `storage` / `compression_ratio` surface:
+//!
 //! ```
-//! use mvq::core::{MvqConfig, MvqCompressor};
-//! use mvq::tensor::Tensor;
+//! use mvq::core::pipeline::{by_name, PipelineSpec};
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! // A weight matrix of 128 subvectors of length 16.
@@ -28,13 +33,25 @@
 //! let w = mvq::tensor::kaiming_normal(vec![128, 16], 16, &mut rng);
 //!
 //! // Compress with 4:16 pruning and a 32-codeword masked-k-means codebook.
-//! let cfg = MvqConfig::new(32, 16, 4, 16)?;
-//! let compressed = MvqCompressor::new(cfg).compress_matrix(&w, &mut rng)?;
+//! let spec = PipelineSpec::default().with_k(32);
+//! let mvq = by_name("mvq", &spec)?;
+//! let compressed = mvq.compress_matrix(&w, &mut rng)?;
 //! let reconstructed = compressed.reconstruct()?;
 //! assert_eq!(reconstructed.dims(), w.dims());
 //! println!("compression ratio: {:.1}x", compressed.compression_ratio());
+//!
+//! // Or sweep every registered algorithm from one loop:
+//! for comp in mvq::core::pipeline::registry() {
+//!     let artifact = comp.compress_matrix(&w, &mut rng)?;
+//!     println!("{:6} {:.1}x", comp.name(), artifact.compression_ratio());
+//! }
 //! # Ok::<(), mvq::core::MvqError>(())
 //! ```
+//!
+//! Whole models compress the same way ([`core::Compressor::compress_model`]
+//! walks a network's convs rayon-parallel with per-layer seeded RNGs), and
+//! [`core::ModelCompressor`] adds MVQ's layerwise/crosslayer codebook
+//! scopes on top.
 
 pub use mvq_accel as accel;
 pub use mvq_core as core;

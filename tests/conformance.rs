@@ -1,0 +1,134 @@
+//! Trait-conformance tests: every compressor in the pipeline registry must
+//! honor the shared `Compressor` / `CompressedArtifact` contract on the
+//! same seeded weight matrix.
+
+use mvq::core::pipeline::{by_name, registry, PipelineSpec, ALGORITHM_NAMES};
+use mvq::core::Parallelism;
+use mvq::core::{ModelCompressor, MvqConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_weight() -> mvq::tensor::Tensor {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    mvq::tensor::kaiming_normal(vec![64, 32], 32, &mut rng)
+}
+
+#[test]
+fn every_registered_compressor_satisfies_the_contract() {
+    let w = test_weight();
+    for comp in registry() {
+        let name = comp.name();
+        let mut rng = StdRng::seed_from_u64(7);
+        let artifact = comp
+            .compress_matrix(&w, &mut rng)
+            .unwrap_or_else(|e| panic!("{name}: compression failed: {e}"));
+
+        // reconstruction round-trips the shape
+        let recon = artifact.reconstruct().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(recon.dims(), w.dims(), "{name}: reconstruct dims");
+        assert_eq!(artifact.orig_dims(), w.dims(), "{name}: orig_dims");
+
+        // it actually compresses
+        let ratio = artifact.compression_ratio();
+        assert!(ratio > 1.0, "{name}: ratio {ratio} not > 1");
+
+        // storage breakdown is self-consistent
+        let s = artifact.storage();
+        assert_eq!(s.original_bits, w.numel() as u64 * 32, "{name}: original bits");
+        assert!(s.compressed_bits() > 0, "{name}: zero compressed bits");
+        assert_eq!(
+            s.compressed_bits(),
+            s.assignment_bits + s.mask_bits + s.codebook_bits,
+            "{name}: breakdown does not sum"
+        );
+        let expected = s.original_bits as f64 / s.compressed_bits() as f64;
+        assert!((ratio - expected).abs() < 1e-9, "{name}: ratio formula");
+
+        // masked representations decode sparsely, dense ones keep a mask
+        // bit count of zero
+        if let Some(mask) = artifact.mask() {
+            assert!(s.mask_bits > 0, "{name}: mask stored but unbilled");
+            assert!(
+                (recon.sparsity() - mask.sparsity()).abs() < 0.05,
+                "{name}: sparsity {} vs mask {}",
+                recon.sparsity(),
+                mask.sparsity()
+            );
+        } else {
+            assert_eq!(s.mask_bits, 0, "{name}: mask bits without a mask");
+        }
+
+        // every current algorithm records a compression-time SSE
+        assert!(artifact.sse().is_some(), "{name}: missing SSE");
+
+        // deterministic under a fixed seed
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let again = comp.compress_matrix(&w, &mut rng2).expect("second run");
+        assert_eq!(
+            again.reconstruct().expect("reconstruct").data(),
+            recon.data(),
+            "{name}: nondeterministic under fixed seed"
+        );
+    }
+}
+
+#[test]
+fn registry_names_are_unique_and_match() {
+    let names: Vec<&str> = registry().iter().map(|c| c.name()).collect();
+    let mut dedup = names.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), names.len(), "duplicate registry names");
+    for name in ALGORITHM_NAMES {
+        assert!(by_name(name, &PipelineSpec::default()).is_ok(), "{name} missing from by_name");
+    }
+}
+
+#[test]
+fn model_level_dispatch_works_for_every_algorithm() {
+    // A cheap spec so DKM/PQF stay fast on the tiny model.
+    let spec = PipelineSpec { k: 8, swap_trials: 200, ..PipelineSpec::default() };
+    for comp in mvq::core::pipeline::registry_with(&spec).expect("valid spec") {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = mvq::nn::models::tiny_cnn(4, 8, &mut rng);
+        let artifacts = comp
+            .compress_model(&mut model, &mut rng)
+            .unwrap_or_else(|e| panic!("{}: {e}", comp.name()));
+        assert_eq!(artifacts.algorithm, comp.name());
+        assert!(!artifacts.layers.is_empty(), "{}: no layers", comp.name());
+        assert!(artifacts.compression_ratio() > 1.0, "{}", comp.name());
+    }
+}
+
+#[test]
+fn trait_object_and_concrete_mvq_agree() {
+    // dispatching "mvq" through the registry must equal calling the
+    // concrete compressor with the same seed
+    let w = test_weight();
+    let spec = PipelineSpec::default();
+    let via_registry =
+        by_name("mvq", &spec).unwrap().compress_matrix(&w, &mut StdRng::seed_from_u64(9)).unwrap();
+    let cfg = MvqConfig::new(spec.k, spec.d, spec.keep_n, spec.m)
+        .unwrap()
+        .with_grouping(spec.grouping)
+        .with_codebook_bits(spec.codebook_bits);
+    let concrete = mvq::core::MvqCompressor::new(cfg)
+        .compress_matrix(&w, &mut StdRng::seed_from_u64(9))
+        .unwrap();
+    assert_eq!(via_registry.reconstruct().unwrap().data(), concrete.reconstruct().unwrap().data());
+}
+
+#[test]
+fn parallel_model_compression_matches_serial_integration() {
+    let run = |parallelism| {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut model = mvq::nn::models::tiny_cnn(4, 8, &mut rng);
+        let cfg = MvqConfig::new(16, 16, 4, 16).unwrap();
+        ModelCompressor::new(cfg)
+            .with_parallelism(parallelism)
+            .compress(&mut model, &mut rng)
+            .unwrap()
+            .storage()
+    };
+    assert_eq!(run(Parallelism::Serial), run(Parallelism::Rayon));
+}

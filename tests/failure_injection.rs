@@ -25,9 +25,8 @@ fn tensor_errors_are_typed_and_descriptive() {
 #[test]
 fn model_shape_errors_name_the_layer() {
     let mut rng = StdRng::seed_from_u64(0);
-    let mut model = Sequential::new(vec![Module::Conv2d(Conv2d::new(
-        3, 16, 3, 1, 1, 1, false, &mut rng,
-    ))]);
+    let mut model =
+        Sequential::new(vec![Module::Conv2d(Conv2d::new(3, 16, 3, 1, 1, 1, false, &mut rng))]);
     // wrong channel count
     let err = model.forward(&Tensor::zeros(vec![1, 4, 8, 8]), false).unwrap_err();
     match err {
@@ -115,13 +114,11 @@ fn optimizer_survives_zero_gradients() {
     // a full optimizer step with all-zero grads must be a no-op for SGD
     // without decay, and finite for Adam
     let mut rng = StdRng::seed_from_u64(3);
-    let mut model = Sequential::new(vec![Module::Conv2d(Conv2d::new(
-        1, 16, 3, 1, 1, 1, true, &mut rng,
-    ))]);
+    let mut model =
+        Sequential::new(vec![Module::Conv2d(Conv2d::new(1, 16, 3, 1, 1, 1, true, &mut rng))]);
     let mut before = Vec::new();
     model.visit_params_mut(&mut |p| before.push(p.value.clone()));
-    let mut opt =
-        mvq::nn::optim::Optimizer::new(mvq::nn::optim::OptimizerKind::sgd(0.1, 0.0, 0.0));
+    let mut opt = mvq::nn::optim::Optimizer::new(mvq::nn::optim::OptimizerKind::sgd(0.1, 0.0, 0.0));
     opt.step(&mut model);
     let mut i = 0;
     model.visit_params_mut(&mut |p| {

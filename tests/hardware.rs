@@ -2,8 +2,7 @@
 //! (mvq-core) and the accelerator model (mvq-accel).
 
 use mvq::accel::{
-    lzc_encode_mask, simulate_network, weight_load_bits, workloads, HwConfig, HwSetting,
-    SparseTile,
+    lzc_encode_mask, simulate_network, weight_load_bits, workloads, HwConfig, HwSetting, SparseTile,
 };
 use mvq::core::{prune_matrix_nm, MaskLut, MvqCompressor, MvqConfig};
 use rand::rngs::StdRng;
@@ -39,13 +38,8 @@ fn sparse_tile_computes_real_compressed_weights() {
     let decoded = compressed.reconstruct_grouped().unwrap();
     for j in 0..8 {
         let mask: Vec<bool> = compressed.mask().row(j).to_vec();
-        let kept: Vec<f64> = decoded
-            .row(j)
-            .iter()
-            .zip(&mask)
-            .filter(|(_, &m)| m)
-            .map(|(&v, _)| v as f64)
-            .collect();
+        let kept: Vec<f64> =
+            decoded.row(j).iter().zip(&mask).filter(|(_, &m)| m).map(|(&v, _)| v as f64).collect();
         let tile = SparseTile::program(16, &mask, &kept).unwrap();
         assert_eq!(tile.q(), 4);
         for act in [1.0f64, -0.5, 2.25] {

@@ -34,11 +34,8 @@ fn full_pipeline_recovers_accuracy() {
     let mut compressed =
         ModelCompressor::new(cfg).compress(&mut compressed_model, &mut rng).unwrap();
     let after_cluster = evaluate_classifier(&mut compressed_model, &data).unwrap();
-    let ft = CodebookFinetuneConfig {
-        epochs: 3,
-        batch_size: 32,
-        optimizer: OptimizerKind::adam(2e-3),
-    };
+    let ft =
+        CodebookFinetuneConfig { epochs: 3, batch_size: 32, optimizer: OptimizerKind::adam(2e-3) };
     finetune_codebooks(&mut compressed_model, &mut compressed, &data, &ft, &mut rng).unwrap();
     let final_acc = evaluate_classifier(&mut compressed_model, &data).unwrap();
     // fine-tuning should not make things worse, and the compressed model
@@ -62,9 +59,8 @@ fn pruned_positions_stay_zero_through_finetuning() {
     let mut weights = Vec::new();
     m.visit_convs(&mut |c| weights.push(c.weight.value.clone()));
     for entry in &compressed.entries {
-        let grouped = GroupingStrategy::OutputChannelWise
-            .group(&weights[entry.conv_index], 16)
-            .unwrap();
+        let grouped =
+            GroupingStrategy::OutputChannelWise.group(&weights[entry.conv_index], 16).unwrap();
         for j in 0..entry.mask.ng() {
             for t in 0..16 {
                 if !entry.mask.row(j)[t] {
@@ -108,8 +104,7 @@ fn prune_then_compress_is_consistent_with_compress() {
     let mut compressed_model = model.clone();
     let mut rng = StdRng::seed_from_u64(7);
     let cfg = MvqConfig::new(8, 16, 4, 16).unwrap();
-    let compressed =
-        ModelCompressor::new(cfg).compress(&mut compressed_model, &mut rng).unwrap();
+    let compressed = ModelCompressor::new(cfg).compress(&mut compressed_model, &mut rng).unwrap();
     for (entry, mask) in compressed.entries.iter().zip(masks.iter()) {
         let mask = mask.as_ref().expect("tiny_cnn convs all compressible");
         assert_eq!(entry.mask.bits(), mask.bits());

@@ -152,13 +152,11 @@ fn masked_kmeans_dominates_plain_on_average() {
         let w = mvq::tensor::kaiming_normal(vec![256, 16], 16, &mut rng);
         let (pruned, mask) = prune_matrix_nm(&w, 4, 16).unwrap();
         let cfg = KmeansConfig::new(16);
-        let masked = masked_kmeans(&pruned, &mask, &cfg, &mut StdRng::seed_from_u64(seed + 100))
-            .unwrap();
+        let masked =
+            masked_kmeans(&pruned, &mask, &cfg, &mut StdRng::seed_from_u64(seed + 100)).unwrap();
         let plain =
-            mvq::core::kmeans(&pruned, &cfg, None, &mut StdRng::seed_from_u64(seed + 100))
-                .unwrap();
-        let plain_masked =
-            masked_sse(&pruned, &mask, &plain.codebook, &plain.assignments).unwrap();
+            mvq::core::kmeans(&pruned, &cfg, None, &mut StdRng::seed_from_u64(seed + 100)).unwrap();
+        let plain_masked = masked_sse(&pruned, &mask, &plain.codebook, &plain.assignments).unwrap();
         if masked.sse < plain_masked {
             wins += 1;
         }

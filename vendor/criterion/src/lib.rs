@@ -1,0 +1,266 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses: `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size` / `throughput` / `bench_function` / `bench_with_input`,
+//! and `Bencher::iter`.
+//!
+//! Timing is wall-clock: each benchmark runs one warm-up iteration, then
+//! `sample_size` timed iterations, and reports min / mean per-iteration
+//! time (plus throughput when declared). Passing `--test` (as `cargo test`
+//! does for harness-less bench targets) runs every benchmark exactly once
+//! for a smoke check.
+
+use std::time::{Duration, Instant};
+
+/// Re-export target for benchmark code that wants to defeat constant
+/// folding.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+/// Conversion into the rendered benchmark name.
+pub trait IntoBenchmarkName {
+    /// The rendered name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+/// Runs closures under timing.
+pub struct Bencher {
+    samples: usize,
+    smoke: bool,
+    /// Recorded per-iteration durations of the last `iter` call.
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording one duration per sample iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.durations.clear();
+        if self.smoke {
+            black_box(f());
+            self.durations.push(Duration::ZERO);
+            return;
+        }
+        black_box(f()); // warm-up
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.durations.push(t0.elapsed());
+        }
+    }
+}
+
+/// Top-level benchmark driver (one per `criterion_group!` run).
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None, smoke: self.smoke }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        f: F,
+    ) -> &mut Criterion {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample-count and throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    smoke: bool,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, smoke: self.smoke, durations: Vec::new() };
+        f(&mut b);
+        self.report(&id.into_name(), &b.durations);
+        self
+    }
+
+    /// Runs one benchmark with an auxiliary input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, smoke: self.smoke, durations: Vec::new() };
+        f(&mut b, input);
+        self.report(&id.into_name(), &b.durations);
+        self
+    }
+
+    /// Ends the group (reporting happens per-benchmark).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, durations: &[Duration]) {
+        let label =
+            if self.name.is_empty() { id.to_string() } else { format!("{}/{id}", self.name) };
+        if self.smoke {
+            println!("bench {label:<50} ok (smoke)");
+            return;
+        }
+        if durations.is_empty() {
+            println!("bench {label:<50} (no samples)");
+            return;
+        }
+        let total: Duration = durations.iter().sum();
+        let mean = total / durations.len() as u32;
+        let min = durations.iter().min().copied().unwrap_or_default();
+        let mut line = format!(
+            "bench {label:<50} mean {:>12} min {:>12} ({} samples)",
+            fmt_duration(mean),
+            fmt_duration(min),
+            durations.len()
+        );
+        if let Some(tp) = self.throughput {
+            let per_sec = |units: u64| units as f64 / mean.as_secs_f64().max(1e-12);
+            match tp {
+                Throughput::Elements(n) => {
+                    line += &format!("  {:.3} Melem/s", per_sec(n) / 1e6);
+                }
+                Throughput::Bytes(n) => {
+                    line += &format!("  {:.3} MiB/s", per_sec(n) / (1024.0 * 1024.0));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function that runs each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { smoke: true };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).throughput(Throughput::Elements(10));
+            g.bench_function("a", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("b", 7), &(), |b, _| b.iter(|| ()));
+            g.finish();
+        }
+        assert_eq!(ran, 1, "smoke mode runs exactly once");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(500)).ends_with("us"));
+        assert!(fmt_duration(Duration::from_millis(500)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(50)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace uses.
+//!
+//! Provides `par_chunks_mut` on slices and `into_par_iter` on vectors,
+//! with `enumerate` / `map` / `for_each` / `collect` adapters. Work is
+//! executed on scoped `std::thread`s, one contiguous batch per thread
+//! (order-preserving), falling back to the calling thread when the host
+//! has a single core or the item count is 1.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads the pool fans out to (the host parallelism).
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Runs `f` over `items`, preserving order, on up to
+/// [`current_num_threads`] scoped threads.
+fn parallel_map<I, O, F>(items: Vec<I>, f: &F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    let nt = current_num_threads().min(n);
+    if nt <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // split into nt contiguous batches so outputs concatenate in order
+    let mut batches: Vec<Vec<I>> = Vec::with_capacity(nt);
+    let mut items = items;
+    let base = n / nt;
+    let rem = n % nt;
+    for t in (0..nt).rev() {
+        let take = base + usize::from(t < rem);
+        batches.push(items.split_off(items.len() - take));
+    }
+    batches.reverse();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| s.spawn(move || batch.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("parallel worker panicked")).collect()
+    })
+}
+
+/// An eagerly-materialized parallel iterator: adapters either restructure
+/// the item list cheaply (`enumerate`) or execute the parallel fan-out
+/// (`map`, `for_each`).
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<O: Send, F: Fn(I) -> O + Sync>(self, f: F) -> ParIter<O> {
+        ParIter { items: parallel_map(self.items, &f) }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        parallel_map(self.items, &|item| f(item));
+    }
+
+    /// Collects the (already computed) items.
+    pub fn collect<C: FromParIter<I>>(self) -> C {
+        C::from_par_items(self.items)
+    }
+}
+
+/// Collection targets for [`ParIter::collect`].
+pub trait FromParIter<I> {
+    /// Builds the collection from ordered items.
+    fn from_par_items(items: Vec<I>) -> Self;
+}
+
+impl<I> FromParIter<I> for Vec<I> {
+    fn from_par_items(items: Vec<I>) -> Vec<I> {
+        items
+    }
+}
+
+impl<T, E, C: FromParIter<T>> FromParIter<Result<T, E>> for Result<C, E> {
+    fn from_par_items(items: Vec<Result<T, E>>) -> Result<C, E> {
+        let mut ok = Vec::with_capacity(items.len());
+        for item in items {
+            ok.push(item?);
+        }
+        Ok(C::from_par_items(ok))
+    }
+}
+
+/// `into_par_iter()` for owned collections.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_chunks_mut` for mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter { items: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{FromParIter, IntoParallelIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_covers_all_chunks_in_order() {
+        let mut v = vec![0u64; 103];
+        v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i as u64 + 1;
+            }
+        });
+        for (t, &x) in v.iter().enumerate() {
+            assert_eq!(x, (t / 10) as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..97).collect::<Vec<_>>().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..97).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn result_collect_short_circuits() {
+        let ok: Result<Vec<usize>, String> = vec![1usize, 2, 3].into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap(), vec![1, 2, 3]);
+        let err: Result<Vec<usize>, String> = vec![1usize, 2, 3]
+            .into_par_iter()
+            .map(|x| if x == 2 { Err("boom".to_string()) } else { Ok(x) })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+}
