@@ -1,11 +1,17 @@
-//! Criterion bench: masked k-means — factored vs naive assignment.
+//! Criterion bench: masked-distance kernels — the naive per-row oracle vs
+//! the cache-blocked LUT-masked kernel vs minibatch clustering.
 //!
-//! The ablation behind the implementation note in
-//! `mvq_core::masked_kmeans`: grouping subvectors by mask pattern turns the
-//! per-row masked distance into one GEMM plus per-pattern codeword norms.
+//! The blocked kernel must win on time while staying bit-identical to the
+//! oracle (`tests/properties.rs` enforces the equality); minibatch trades
+//! bit-identity for per-iteration cost independent of NG. The same
+//! comparison on the ResNet-18-lite workload is recorded by the
+//! `bench_kernels` binary into `BENCH_kernels.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mvq_core::{masked_assign_naive, masked_kmeans, prune_matrix_nm, KmeansConfig};
+use mvq_core::{
+    default_minibatch_size, masked_assign_naive, masked_assign_with, masked_kmeans,
+    masked_kmeans_minibatch, prune_matrix_nm, KernelStrategy, KmeansConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,17 +26,13 @@ fn bench_assignment(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("naive", format!("ng{ng}_k{k}")), &(), |b, _| {
             b.iter(|| masked_assign_naive(&pruned, &mask, &centers))
         });
-        group.bench_with_input(
-            BenchmarkId::new("full_clustering_factored", format!("ng{ng}_k{k}")),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    // one factored iteration (init + assign + update)
-                    let cfg = KmeansConfig { k, max_iters: 1, tol_frac: 1.0 };
-                    masked_kmeans(&pruned, &mask, &cfg, &mut StdRng::seed_from_u64(1)).unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("blocked", format!("ng{ng}_k{k}")), &(), |b, _| {
+            b.iter(|| {
+                // includes the LUT plan build, so the comparison is
+                // end-to-end fair
+                masked_assign_with(KernelStrategy::Blocked, &pruned, &mask, &centers).unwrap()
+            })
+        });
     }
     group.finish();
 }
@@ -42,9 +44,19 @@ fn bench_convergence(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let w = mvq_tensor::kaiming_normal(vec![4096, d], d, &mut rng);
     let (pruned, mask) = prune_matrix_nm(&w, 4, 16).unwrap();
-    group.bench_function("ng4096_k64_tol0.1pct", |b| {
+    for kernel in [KernelStrategy::Naive, KernelStrategy::Blocked] {
+        group.bench_function(format!("ng4096_k64/{}", kernel.name()), |b| {
+            b.iter(|| {
+                let cfg = KmeansConfig::new(64).with_kernel(kernel);
+                masked_kmeans(&pruned, &mask, &cfg, &mut StdRng::seed_from_u64(3)).unwrap()
+            })
+        });
+    }
+    group.bench_function("ng4096_k64/minibatch", |b| {
         b.iter(|| {
-            masked_kmeans(&pruned, &mask, &KmeansConfig::new(64), &mut StdRng::seed_from_u64(3))
+            let cfg = KmeansConfig::new(64);
+            let batch = default_minibatch_size(4096, 64);
+            masked_kmeans_minibatch(&pruned, &mask, &cfg, batch, &mut StdRng::seed_from_u64(3))
                 .unwrap()
         })
     });

@@ -1,8 +1,10 @@
-//! Criterion bench: serial vs rayon-parallel whole-model compression on
-//! ResNet-18-lite — the model-level pipeline path behind Tables 3-6.
+//! Criterion bench: whole-model compression on ResNet-18-lite — the
+//! model-level pipeline path behind Tables 3-6. Compares serial vs
+//! rayon-parallel execution, and the naive / blocked / minibatch kernel
+//! strategies behind `PipelineSpec::kernel`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mvq_core::{ModelCompressor, MvqConfig, Parallelism};
+use mvq_core::{KernelStrategy, ModelCompressor, MvqConfig, Parallelism};
 use mvq_nn::models::Arch;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,5 +36,25 @@ fn bench_model_compress(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_model_compress);
+fn bench_kernel_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_model_kernel_strategy");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = Arch::ResNet18.build(8, &mut rng);
+    let cfg = MvqConfig::new(64, 16, 4, 16).unwrap();
+    for kernel in [KernelStrategy::Naive, KernelStrategy::Blocked, KernelStrategy::Minibatch] {
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                let mut m = model.clone();
+                ModelCompressor::new(cfg.clone())
+                    .with_kernel(kernel)
+                    .compress(&mut m, &mut StdRng::seed_from_u64(5))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_compress, bench_kernel_strategies);
 criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Measures the masked-distance kernel strategies (naive oracle vs
+//! blocked vs minibatch) on the ResNet-18-lite workload and records the
+//! result in `BENCH_kernels.json`.
+//!
+//! Two measurements per strategy, summed over every compressible conv of
+//! the model at the paper's ResNet operating point (d = 16, 4:16, k = 64):
+//!
+//! * one masked assignment pass (the kernel in isolation);
+//! * a full `masked_kmeans` run to convergence (the kernel inside the
+//!   loop; minibatch swaps the loop itself).
+//!
+//! The binary also asserts that the blocked kernel's assignments equal
+//! the naive oracle's on every layer — a bench that drifted from the
+//! oracle would be measuring the wrong thing.
+//!
+//! Usage: `cargo run --release -p mvq-bench --bin bench_kernels`
+
+use std::time::Instant;
+
+use mvq_core::{
+    masked_assign_naive, masked_assign_with, masked_kmeans, prune_matrix_nm, GroupingStrategy,
+    KernelStrategy, KmeansConfig, NmMask,
+};
+use mvq_nn::models::Arch;
+use mvq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const D: usize = 16;
+const K: usize = 64;
+const KEEP_N: usize = 4;
+const M: usize = 16;
+const REPS: usize = 5;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = Arch::ResNet18.build(8, &mut rng);
+    let mut weights = Vec::new();
+    model.visit_convs(&mut |conv| weights.push(conv.weight.value.clone()));
+    let grouping = GroupingStrategy::OutputChannelWise;
+    let mut layers: Vec<(Tensor, NmMask)> = Vec::new();
+    for w in &weights {
+        let Ok(grouped) = grouping.group(w, D) else { continue };
+        let (pruned, mask) = prune_matrix_nm(&grouped, KEEP_N, M).expect("valid N:M");
+        layers.push((pruned, mask));
+    }
+    let total_ng: usize = layers.iter().map(|(p, _)| p.dims()[0]).sum();
+    let centers: Vec<Tensor> =
+        layers.iter().map(|_| mvq_tensor::kaiming_normal(vec![K, D], D, &mut rng)).collect();
+
+    // sanity: the blocked kernel must agree with the oracle on this exact
+    // workload before its timing means anything
+    for ((pruned, mask), c) in layers.iter().zip(&centers) {
+        let naive = masked_assign_naive(pruned, mask, c);
+        let blocked =
+            masked_assign_with(KernelStrategy::Blocked, pruned, mask, c).expect("valid workload");
+        assert_eq!(naive, blocked, "blocked kernel diverged from the naive oracle");
+    }
+
+    let assign_naive = time_min(|| {
+        for ((pruned, mask), c) in layers.iter().zip(&centers) {
+            std::hint::black_box(masked_assign_naive(pruned, mask, c));
+        }
+    });
+    let assign_blocked = time_min(|| {
+        for ((pruned, mask), c) in layers.iter().zip(&centers) {
+            std::hint::black_box(
+                masked_assign_with(KernelStrategy::Blocked, pruned, mask, c).unwrap(),
+            );
+        }
+    });
+
+    let kmeans_with = |kernel: KernelStrategy| {
+        let mut sse = 0.0f64;
+        let secs = time_min(|| {
+            sse = 0.0;
+            for (i, (pruned, mask)) in layers.iter().enumerate() {
+                let cfg = KmeansConfig::new(K).with_kernel(kernel);
+                let res = masked_kmeans(pruned, mask, &cfg, &mut StdRng::seed_from_u64(i as u64))
+                    .expect("clusterable");
+                sse += res.sse as f64;
+            }
+        });
+        (secs, sse)
+    };
+    let (km_naive, sse_naive) = kmeans_with(KernelStrategy::Naive);
+    let (km_blocked, sse_blocked) = kmeans_with(KernelStrategy::Blocked);
+    assert_eq!(
+        sse_naive.to_bits(),
+        sse_blocked.to_bits(),
+        "full naive and blocked clustering runs must be bit-identical"
+    );
+
+    // minibatch goes through the dispatch path (it clamps k on layers
+    // smaller than K, exactly like the pipeline does)
+    let (km_minibatch, sse_minibatch) = kmeans_with(KernelStrategy::Minibatch);
+
+    let ms = |s: f64| s * 1e3;
+    let json = format!(
+        "{{\n  \"workload\": \"resnet18-lite\",\n  \"layers\": {},\n  \"subvectors_total\": {},\n  \"d\": {D},\n  \"k\": {K},\n  \"nm\": \"{KEEP_N}:{M}\",\n  \"reps\": {REPS},\n  \"assign_naive_ms\": {:.3},\n  \"assign_blocked_ms\": {:.3},\n  \"assign_blocked_speedup\": {:.2},\n  \"kmeans_naive_ms\": {:.3},\n  \"kmeans_blocked_ms\": {:.3},\n  \"kmeans_blocked_speedup\": {:.2},\n  \"kmeans_minibatch_ms\": {:.3},\n  \"kmeans_minibatch_speedup_vs_naive\": {:.2},\n  \"sse_naive\": {:.4},\n  \"sse_blocked\": {:.4},\n  \"sse_minibatch\": {:.4}\n}}\n",
+        layers.len(),
+        total_ng,
+        ms(assign_naive),
+        ms(assign_blocked),
+        assign_naive / assign_blocked,
+        ms(km_naive),
+        ms(km_blocked),
+        km_naive / km_blocked,
+        ms(km_minibatch),
+        km_naive / km_minibatch,
+        sse_naive,
+        sse_blocked,
+        sse_minibatch,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    eprintln!("wrote BENCH_kernels.json");
+}
+
+/// Minimum wall time over `REPS` runs, after one warm-up run.
+fn time_min(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}

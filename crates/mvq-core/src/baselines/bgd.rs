@@ -14,6 +14,7 @@ use rand::Rng;
 use crate::baselines::vq_plain::DenseVq;
 use crate::error::MvqError;
 use crate::grouping::GroupingStrategy;
+use crate::kernels::KernelStrategy;
 use crate::kmeans::{kmeans, KmeansConfig};
 
 /// Compresses `weight` with activation-weighted k-means.
@@ -25,6 +26,7 @@ use crate::kmeans::{kmeans, KmeansConfig};
 /// # Errors
 ///
 /// Propagates grouping/clustering errors and rejects negative importance.
+#[allow(clippy::too_many_arguments)]
 pub fn bgd_compress<R: Rng>(
     weight: &Tensor,
     k: usize,
@@ -32,6 +34,7 @@ pub fn bgd_compress<R: Rng>(
     grouping: GroupingStrategy,
     codebook_bits: Option<u32>,
     activation_moments: Option<&[f32]>,
+    kernel: KernelStrategy,
     rng: &mut R,
 ) -> Result<DenseVq, MvqError> {
     let grouped = grouping.group(weight, d)?;
@@ -53,7 +56,8 @@ pub fn bgd_compress<R: Rng>(
             (0..ng).map(|j| grouped.row(j).iter().map(|&v| v * v).sum::<f32>().max(1e-8)).collect()
         }
     };
-    let mut res = kmeans(&grouped, &KmeansConfig::new(k), Some(&importance), rng)?;
+    let mut res =
+        kmeans(&grouped, &KmeansConfig::new(k).with_kernel(kernel), Some(&importance), rng)?;
     if let Some(b) = codebook_bits {
         res.codebook.quantize(b)?;
     }
@@ -70,9 +74,17 @@ mod tests {
     fn default_importance_compresses() {
         let mut rng = StdRng::seed_from_u64(0);
         let w = mvq_tensor::kaiming_normal(vec![32, 16], 16, &mut rng);
-        let vq =
-            bgd_compress(&w, 8, 16, GroupingStrategy::OutputChannelWise, Some(8), None, &mut rng)
-                .unwrap();
+        let vq = bgd_compress(
+            &w,
+            8,
+            16,
+            GroupingStrategy::OutputChannelWise,
+            Some(8),
+            None,
+            KernelStrategy::default(),
+            &mut rng,
+        )
+        .unwrap();
         let r = vq.reconstruct().unwrap();
         assert_eq!(r.dims(), w.dims());
         assert!(vq.sse.is_finite());
@@ -95,9 +107,17 @@ mod tests {
             *x = 1000.0;
         }
         let mut rng = StdRng::seed_from_u64(1);
-        let vq =
-            bgd_compress(&w, 1, 2, GroupingStrategy::OutputChannelWise, None, Some(&imp), &mut rng)
-                .unwrap();
+        let vq = bgd_compress(
+            &w,
+            1,
+            2,
+            GroupingStrategy::OutputChannelWise,
+            None,
+            Some(&imp),
+            KernelStrategy::default(),
+            &mut rng,
+        )
+        .unwrap();
         let c = vq.codebook().codeword(0);
         assert!(c[0] > 0.9, "weighted centroid {c:?}");
     }
@@ -107,7 +127,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let w = mvq_tensor::kaiming_normal(vec![8, 4], 4, &mut rng);
         let g = GroupingStrategy::OutputChannelWise;
-        assert!(bgd_compress(&w, 2, 4, g, None, Some(&[1.0]), &mut rng).is_err());
-        assert!(bgd_compress(&w, 2, 4, g, None, Some(&[-1.0; 8]), &mut rng).is_err());
+        assert!(bgd_compress(&w, 2, 4, g, None, Some(&[1.0]), KernelStrategy::default(), &mut rng)
+            .is_err());
+        assert!(bgd_compress(
+            &w,
+            2,
+            4,
+            g,
+            None,
+            Some(&[-1.0; 8]),
+            KernelStrategy::default(),
+            &mut rng
+        )
+        .is_err());
     }
 }

@@ -16,7 +16,8 @@ use crate::baselines::vq_plain::DenseVq;
 use crate::codebook::{Assignments, Codebook};
 use crate::error::MvqError;
 use crate::grouping::GroupingStrategy;
-use crate::kmeans::{assign_step, check_data, kmeanspp_init, sse_of, KmeansResult};
+use crate::kernels::{dense_assign_step, KernelStrategy};
+use crate::kmeans::{check_data, kmeanspp_init, sse_of, KmeansResult};
 
 /// DKM hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,13 +30,21 @@ pub struct DkmConfig {
     pub anneal: f32,
     /// Soft iterations before hardening.
     pub iters: usize,
+    /// Kernel the final hardening assignment dispatches to.
+    pub kernel: KernelStrategy,
 }
 
 impl DkmConfig {
     /// Defaults: τ = mean pairwise distance scale, annealed 0.9/iter,
     /// 30 iterations.
     pub fn new(k: usize) -> DkmConfig {
-        DkmConfig { k, temperature: 1.0, anneal: 0.9, iters: 30 }
+        DkmConfig { k, temperature: 1.0, anneal: 0.9, iters: 30, kernel: KernelStrategy::default() }
+    }
+
+    /// Overrides the hardening kernel strategy.
+    pub fn with_kernel(mut self, kernel: KernelStrategy) -> DkmConfig {
+        self.kernel = kernel;
+        self
     }
 }
 
@@ -109,9 +118,10 @@ pub fn dkm_cluster<R: Rng>(
         }
         tau *= cfg.anneal;
     }
-    // harden
+    // harden through the selected kernel (naive oracle or blocked —
+    // bit-identical; minibatch hardens with the blocked kernel)
     let mut assign = vec![0u32; ng];
-    assign_step(data, &centers, &mut assign);
+    dense_assign_step(cfg.kernel, data, &centers, &mut assign);
     let sse = sse_of(data, &centers, &assign);
     Ok(KmeansResult {
         codebook: Codebook::new(centers)?,

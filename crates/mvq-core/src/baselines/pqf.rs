@@ -21,6 +21,7 @@ use crate::baselines::vq_plain::DenseVq;
 use crate::codebook::{Assignments, Codebook};
 use crate::error::MvqError;
 use crate::grouping::GroupingStrategy;
+use crate::kernels::KernelStrategy;
 use crate::kmeans::{kmeans, KmeansConfig};
 use crate::metrics::{vq_compression_ratio, StorageBreakdown};
 
@@ -103,6 +104,7 @@ pub fn pqf_compress<R: Rng>(
     grouping: GroupingStrategy,
     codebook_bits: Option<u32>,
     swap_trials: usize,
+    kernel: KernelStrategy,
     rng: &mut R,
 ) -> Result<PqfCompressed, MvqError> {
     let grouped = grouping.group(weight, d)?;
@@ -140,7 +142,7 @@ pub fn pqf_compress<R: Rng>(
         }
     }
     let permuted = Tensor::from_vec(vec![ng, d], values)?;
-    let mut res = kmeans(&permuted, &KmeansConfig::new(k), None, rng)?;
+    let mut res = kmeans(&permuted, &KmeansConfig::new(k).with_kernel(kernel), None, rng)?;
     if let Some(b) = codebook_bits {
         res.codebook.quantize(b)?;
     }
@@ -164,7 +166,15 @@ pub fn pqf_no_permutation<R: Rng>(
     grouping: GroupingStrategy,
     rng: &mut R,
 ) -> Result<DenseVq, MvqError> {
-    crate::baselines::vq_plain::vq_case_a(weight, k, d, grouping, None, rng)
+    crate::baselines::vq_plain::vq_case_a(
+        weight,
+        k,
+        d,
+        grouping,
+        None,
+        KernelStrategy::default(),
+        rng,
+    )
 }
 
 #[cfg(test)]
@@ -182,9 +192,17 @@ mod tests {
     fn permutation_is_a_bijection() {
         let w = weight(0);
         let mut rng = StdRng::seed_from_u64(1);
-        let pqf =
-            pqf_compress(&w, 8, 16, GroupingStrategy::OutputChannelWise, None, 2_000, &mut rng)
-                .unwrap();
+        let pqf = pqf_compress(
+            &w,
+            8,
+            16,
+            GroupingStrategy::OutputChannelWise,
+            None,
+            2_000,
+            KernelStrategy::default(),
+            &mut rng,
+        )
+        .unwrap();
         let mut seen = vec![false; pqf.permutation().len()];
         for &p in pqf.permutation() {
             assert!(!seen[p]);
@@ -197,9 +215,17 @@ mod tests {
     fn reconstruct_round_trips_shape() {
         let w = weight(2);
         let mut rng = StdRng::seed_from_u64(3);
-        let pqf =
-            pqf_compress(&w, 8, 16, GroupingStrategy::OutputChannelWise, Some(8), 1_000, &mut rng)
-                .unwrap();
+        let pqf = pqf_compress(
+            &w,
+            8,
+            16,
+            GroupingStrategy::OutputChannelWise,
+            Some(8),
+            1_000,
+            KernelStrategy::default(),
+            &mut rng,
+        )
+        .unwrap();
         let r = pqf.reconstruct().unwrap();
         assert_eq!(r.dims(), w.dims());
     }
@@ -224,6 +250,7 @@ mod tests {
             GroupingStrategy::OutputChannelWise,
             None,
             0,
+            KernelStrategy::default(),
             &mut StdRng::seed_from_u64(5),
         )
         .unwrap();
@@ -234,6 +261,7 @@ mod tests {
             GroupingStrategy::OutputChannelWise,
             None,
             20_000,
+            KernelStrategy::default(),
             &mut StdRng::seed_from_u64(5),
         )
         .unwrap();
@@ -246,9 +274,17 @@ mod tests {
         // must reproduce the weights exactly
         let w = weight(6);
         let mut rng = StdRng::seed_from_u64(7);
-        let pqf =
-            pqf_compress(&w, 32, 16, GroupingStrategy::OutputChannelWise, None, 5_000, &mut rng)
-                .unwrap();
+        let pqf = pqf_compress(
+            &w,
+            32,
+            16,
+            GroupingStrategy::OutputChannelWise,
+            None,
+            5_000,
+            KernelStrategy::default(),
+            &mut rng,
+        )
+        .unwrap();
         let r = pqf.reconstruct().unwrap();
         let err = w.sse(&r).unwrap();
         assert!(err < 1e-6, "reconstruction error {err}");
@@ -258,9 +294,17 @@ mod tests {
     fn storage_has_no_mask_or_permutation_cost() {
         let w = weight(8);
         let mut rng = StdRng::seed_from_u64(9);
-        let pqf =
-            pqf_compress(&w, 8, 16, GroupingStrategy::OutputChannelWise, Some(8), 100, &mut rng)
-                .unwrap();
+        let pqf = pqf_compress(
+            &w,
+            8,
+            16,
+            GroupingStrategy::OutputChannelWise,
+            Some(8),
+            100,
+            KernelStrategy::default(),
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(pqf.storage().mask_bits, 0);
     }
 }

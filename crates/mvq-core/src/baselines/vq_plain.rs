@@ -8,6 +8,7 @@ use crate::codebook::{Assignments, Codebook};
 use crate::compress::CompressedMatrix;
 use crate::error::MvqError;
 use crate::grouping::GroupingStrategy;
+use crate::kernels::KernelStrategy;
 use crate::kmeans::{kmeans, KmeansConfig};
 use crate::mask::NmMask;
 use crate::metrics::{vq_compression_ratio, StorageBreakdown};
@@ -98,10 +99,11 @@ pub fn vq_case_a<R: Rng>(
     d: usize,
     grouping: GroupingStrategy,
     codebook_bits: Option<u32>,
+    kernel: KernelStrategy,
     rng: &mut R,
 ) -> Result<DenseVq, MvqError> {
     let grouped = grouping.group(weight, d)?;
-    let mut res = kmeans(&grouped, &KmeansConfig::new(k), None, rng)?;
+    let mut res = kmeans(&grouped, &KmeansConfig::new(k).with_kernel(kernel), None, rng)?;
     if let Some(b) = codebook_bits {
         res.codebook.quantize(b)?;
     }
@@ -131,11 +133,12 @@ pub fn vq_case_b<R: Rng>(
     m: usize,
     grouping: GroupingStrategy,
     codebook_bits: Option<u32>,
+    kernel: KernelStrategy,
     rng: &mut R,
 ) -> Result<DenseVq, MvqError> {
     let grouped = grouping.group(weight, d)?;
     let (pruned, _mask) = prune_matrix_nm(&grouped, keep_n, m)?;
-    let mut res = kmeans(&pruned, &KmeansConfig::new(k), None, rng)?;
+    let mut res = kmeans(&pruned, &KmeansConfig::new(k).with_kernel(kernel), None, rng)?;
     if let Some(b) = codebook_bits {
         res.codebook.quantize(b)?;
     }
@@ -165,11 +168,12 @@ pub fn vq_case_c<R: Rng>(
     m: usize,
     grouping: GroupingStrategy,
     codebook_bits: Option<u32>,
+    kernel: KernelStrategy,
     rng: &mut R,
 ) -> Result<(CompressedMatrix, NmMask), MvqError> {
     let grouped = grouping.group(weight, d)?;
     let (pruned, mask) = prune_matrix_nm(&grouped, keep_n, m)?;
-    let mut res = kmeans(&pruned, &KmeansConfig::new(k), None, rng)?;
+    let mut res = kmeans(&pruned, &KmeansConfig::new(k).with_kernel(kernel), None, rng)?;
     if let Some(b) = codebook_bits {
         res.codebook.quantize(b)?;
     }
@@ -200,8 +204,16 @@ mod tests {
     fn case_a_reconstruction_is_dense() {
         let w = weight(0);
         let mut rng = StdRng::seed_from_u64(1);
-        let vq =
-            vq_case_a(&w, 16, 8, GroupingStrategy::OutputChannelWise, Some(8), &mut rng).unwrap();
+        let vq = vq_case_a(
+            &w,
+            16,
+            8,
+            GroupingStrategy::OutputChannelWise,
+            Some(8),
+            KernelStrategy::default(),
+            &mut rng,
+        )
+        .unwrap();
         let r = vq.reconstruct().unwrap();
         assert_eq!(r.dims(), w.dims());
         assert!(r.sparsity() < 0.2, "dense reconstruction, sparsity {}", r.sparsity());
@@ -212,8 +224,18 @@ mod tests {
     fn case_b_clusters_sparse_but_reconstructs_dense() {
         let w = weight(2);
         let mut rng = StdRng::seed_from_u64(3);
-        let vq = vq_case_b(&w, 16, 8, 2, 8, GroupingStrategy::OutputChannelWise, Some(8), &mut rng)
-            .unwrap();
+        let vq = vq_case_b(
+            &w,
+            16,
+            8,
+            2,
+            8,
+            GroupingStrategy::OutputChannelWise,
+            Some(8),
+            KernelStrategy::default(),
+            &mut rng,
+        )
+        .unwrap();
         let r = vq.reconstruct().unwrap();
         // codewords carry many near-zero lanes but reconstruction is not
         // exactly sparse
@@ -225,9 +247,18 @@ mod tests {
     fn case_c_reconstruction_is_sparse() {
         let w = weight(4);
         let mut rng = StdRng::seed_from_u64(5);
-        let (cm, mask) =
-            vq_case_c(&w, 16, 8, 2, 8, GroupingStrategy::OutputChannelWise, Some(8), &mut rng)
-                .unwrap();
+        let (cm, mask) = vq_case_c(
+            &w,
+            16,
+            8,
+            2,
+            8,
+            GroupingStrategy::OutputChannelWise,
+            Some(8),
+            KernelStrategy::default(),
+            &mut rng,
+        )
+        .unwrap();
         let r = cm.reconstruct().unwrap();
         assert!((r.sparsity() - 0.75).abs() < 0.05, "sparsity {}", r.sparsity());
         assert_eq!(mask.sparsity(), 0.75);
@@ -240,8 +271,18 @@ mod tests {
         // lower masked SSE than (C) common k-means on sparse weights.
         let w = weight(6);
         let grouping = GroupingStrategy::OutputChannelWise;
-        let (cm_c, mask) =
-            vq_case_c(&w, 16, 16, 4, 16, grouping, None, &mut StdRng::seed_from_u64(7)).unwrap();
+        let (cm_c, mask) = vq_case_c(
+            &w,
+            16,
+            16,
+            4,
+            16,
+            grouping,
+            None,
+            KernelStrategy::default(),
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
         let grouped = grouping.group(&w, 16).unwrap();
         let (pruned, _) = crate::pruning::prune_matrix_nm(&grouped, 4, 16).unwrap();
         let sse_c = masked_sse(&pruned, &mask, cm_c.codebook(), cm_c.assignments()).unwrap();

@@ -7,6 +7,7 @@ use rand::Rng;
 use crate::codebook::{Assignments, Codebook};
 use crate::error::MvqError;
 use crate::grouping::GroupingStrategy;
+use crate::kernels::KernelStrategy;
 use crate::kmeans::KmeansConfig;
 use crate::mask::{validate_nm, NmMask};
 use crate::masked_kmeans::masked_kmeans;
@@ -32,6 +33,8 @@ pub struct MvqConfig {
     pub max_iters: usize,
     /// k-means convergence threshold as a fraction of `NG`.
     pub tol_frac: f64,
+    /// Distance/assignment kernel the clustering dispatches to.
+    pub kernel: KernelStrategy,
 }
 
 impl MvqConfig {
@@ -56,6 +59,7 @@ impl MvqConfig {
             codebook_bits: Some(8),
             max_iters: 50,
             tol_frac: 0.001,
+            kernel: KernelStrategy::default(),
         })
     }
 
@@ -71,14 +75,25 @@ impl MvqConfig {
         self
     }
 
+    /// Overrides the distance/assignment kernel strategy.
+    pub fn with_kernel(mut self, kernel: KernelStrategy) -> MvqConfig {
+        self.kernel = kernel;
+        self
+    }
+
     /// Weight sparsity this config produces.
     pub fn sparsity(&self) -> f32 {
         1.0 - self.keep_n as f32 / self.m as f32
     }
 
-    /// The k-means sub-config.
+    /// The k-means sub-config (carries the kernel strategy).
     pub fn kmeans(&self) -> KmeansConfig {
-        KmeansConfig { k: self.k, max_iters: self.max_iters, tol_frac: self.tol_frac }
+        KmeansConfig {
+            k: self.k,
+            max_iters: self.max_iters,
+            tol_frac: self.tol_frac,
+            kernel: self.kernel,
+        }
     }
 }
 

@@ -67,7 +67,8 @@ pub fn importance_case_study<R: Rng>(
     model.visit_convs(&mut |c| dense.push(c.weight.value.clone()));
     let mut vq: Vec<Option<Tensor>> = Vec::new();
     for w in &dense {
-        match vq_case_a(w, k, d, grouping, Some(8), rng) {
+        match vq_case_a(w, k, d, grouping, Some(8), crate::kernels::KernelStrategy::default(), rng)
+        {
             Ok(res) => vq.push(Some(res.reconstruct()?)),
             Err(MvqError::IncompatibleShape { .. }) => vq.push(None),
             Err(e) => return Err(e),

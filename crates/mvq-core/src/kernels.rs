@@ -1,0 +1,578 @@
+//! Blocked, mask-aware distance/assignment kernels — the hot loop of every
+//! clustering-based compressor in the registry.
+//!
+//! Masked k-means (and the dense k-means the baselines run) spend almost
+//! all of their time computing `argmin_i ‖w_j − c_i ∘ bm_j‖²` over all
+//! subvectors × codewords. This module provides three interchangeable
+//! implementations selected by [`KernelStrategy`]:
+//!
+//! * **`Naive`** — the per-row reference ([`crate::masked_assign_naive`]
+//!   for the masked case, [`dense_assign_naive`] for the dense case). This
+//!   is the *oracle*: every other kernel is validated against it, and its
+//!   fixed left-to-right f32 accumulation order defines the bit pattern all
+//!   strategies must reproduce.
+//! * **`Blocked`** — cache-blocked tiles over subvectors × codewords with a
+//!   branch-free masked inner loop. The mask is applied through the
+//!   existing [`MaskLut`] path: each subvector's M-groups are encoded to
+//!   LUT indices once, deduplicated into distinct patterns, and decoded
+//!   back into 0.0/1.0 lane multipliers (a [`MaskedDistancePlan`]).
+//!   Independent accumulator chains across the codeword tile restore
+//!   instruction-level parallelism that the naive kernel's single
+//!   accumulator chain forfeits — while each `(subvector, codeword)` pair
+//!   still accumulates its lanes in exactly the naive order, so
+//!   assignments and SSE are **bit-identical** to the oracle.
+//! * **`Minibatch`** — the assignment kernel is the blocked one; the
+//!   strategy additionally switches the k-means *loop* to per-iteration
+//!   sampled minibatches (see [`crate::masked_kmeans_minibatch`]).
+//!
+//! ## Why `c[t] * multiplier[t]` is bit-identical to the branchy oracle
+//!
+//! For a kept lane the multiplier is `1.0` and `c * 1.0 == c` bitwise. For
+//! a pruned lane the multiplier is `0.0` and `c * 0.0` is `±0.0`; the
+//! subtraction `w − ±0.0` can then differ from the oracle's `w − 0.0` only
+//! in the sign of a zero, and squaring erases that sign. Every term added
+//! to the accumulator is therefore bit-equal to the oracle's term, and the
+//! terms are added in the same order.
+//!
+//! ## Validation convention
+//!
+//! New kernels must not reach the registry until they pass the
+//! `tests/properties.rs` harness: exact assignment equality and 0-ULP SSE
+//! equality against the naive oracle over randomized shapes, masks and
+//! seeds, in both debug and `--release` builds (the release run is what
+//! catches fast-math/reassociation regressions).
+
+use mvq_tensor::Tensor;
+
+use crate::error::MvqError;
+use crate::mask::NmMask;
+use crate::mask_lut::MaskLut;
+use crate::masked_kmeans::masked_assign_naive;
+
+/// Which distance/assignment kernel the clustering loops dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelStrategy {
+    /// Per-row reference kernels — the oracle all others are tested
+    /// against.
+    Naive,
+    /// Cache-blocked, LUT-masked kernels; bit-identical to `Naive`.
+    #[default]
+    Blocked,
+    /// Blocked kernels plus minibatch-sampled k-means iterations
+    /// (deterministic for a fixed seed, not bit-identical to full-batch
+    /// runs).
+    Minibatch,
+}
+
+impl KernelStrategy {
+    /// Registry-style name (`naive` / `blocked` / `minibatch`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelStrategy::Naive => "naive",
+            KernelStrategy::Blocked => "blocked",
+            KernelStrategy::Minibatch => "minibatch",
+        }
+    }
+}
+
+/// Rows per tile of the blocked kernels: the row tile's data plus its lane
+/// multipliers stay resident in L1 while a codeword tile streams past.
+const ROW_TILE: usize = 64;
+/// Codewords per tile; `CENTER_TILE × d` f32 lanes is well under L1 even
+/// at d = 64.
+const CENTER_TILE: usize = 16;
+/// Accumulator chains kept in flight per row of a tile (ILP width).
+const LANES: usize = 4;
+
+/// Precomputed mask state for the blocked kernels: every subvector's
+/// M-groups encoded through the [`MaskLut`], deduplicated into distinct
+/// row patterns, and decoded back into f32 lane multipliers.
+#[derive(Debug, Clone)]
+pub struct MaskedDistancePlan {
+    d: usize,
+    /// Pattern id per subvector.
+    pattern_of: Vec<u32>,
+    /// `[n_patterns × d]` row-major 0.0/1.0 multipliers.
+    multipliers: Vec<f32>,
+}
+
+impl MaskedDistancePlan {
+    /// Builds the plan for `mask` by round-tripping every M-group through
+    /// the [`MaskLut`] encoder — the same compact-index path the simulated
+    /// hardware weight loader uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::InvalidConfig`] when the mask's N:M pair cannot
+    /// form a LUT (propagated from [`MaskLut::new`]).
+    pub fn new(mask: &NmMask) -> Result<MaskedDistancePlan, MvqError> {
+        let (ng, d, m) = (mask.ng(), mask.d(), mask.m());
+        let lut = MaskLut::new(mask.keep_n(), m)?;
+        let groups = d / m;
+        // Encode each row's groups to LUT indices; the index vector is the
+        // dedup key, so identical mask rows share one multiplier pattern.
+        let mut pattern_of = Vec::with_capacity(ng);
+        let mut multipliers: Vec<f32> = Vec::new();
+        let mut lookup: std::collections::HashMap<Vec<u32>, u32> = std::collections::HashMap::new();
+        for j in 0..ng {
+            let row = mask.row(j);
+            let mut key = Vec::with_capacity(groups);
+            for g in 0..groups {
+                key.push(lut.encode(&row[g * m..(g + 1) * m])?);
+            }
+            let next = (multipliers.len() / d.max(1)) as u32;
+            let id = *lookup.entry(key.clone()).or_insert_with(|| {
+                // decode back through the LUT so the multipliers come from
+                // the same table the hardware loader reads
+                for &idx in &key {
+                    let bits = lut.decode(idx).expect("encoded above");
+                    multipliers.extend(bits.iter().map(|&b| if b { 1.0 } else { 0.0 }));
+                }
+                next
+            });
+            pattern_of.push(id);
+        }
+        Ok(MaskedDistancePlan { d, pattern_of, multipliers })
+    }
+
+    /// Number of distinct mask patterns across the subvectors.
+    pub fn pattern_count(&self) -> usize {
+        self.multipliers.len().checked_div(self.d).unwrap_or(0)
+    }
+
+    /// The dense "plan": one all-ones pattern shared by every subvector.
+    /// `c * 1.0` is bitwise `c`, so the masked kernels run unmasked data
+    /// with zero divergence from [`dense_assign_naive`] — the dense and
+    /// masked blocked kernels are one implementation.
+    pub(crate) fn dense(d: usize) -> MaskedDistancePlan {
+        MaskedDistancePlan { d, pattern_of: Vec::new(), multipliers: vec![1.0; d] }
+    }
+
+    /// The 0.0/1.0 lane multipliers for subvector `j`.
+    #[inline]
+    pub(crate) fn multiplier_row(&self, j: usize) -> &[f32] {
+        let p = self.pattern_of.get(j).map_or(0, |&p| p as usize);
+        &self.multipliers[p * self.d..(p + 1) * self.d]
+    }
+}
+
+fn validate_assign_inputs(
+    data: &Tensor,
+    centers: &Tensor,
+    mask: Option<&NmMask>,
+) -> Result<(usize, usize, usize), MvqError> {
+    if data.rank() != 2 || data.numel() == 0 {
+        return Err(MvqError::InvalidConfig(format!(
+            "assignment kernels expect a non-empty [NG, d] matrix, got {:?}",
+            data.dims()
+        )));
+    }
+    let (ng, d) = (data.dims()[0], data.dims()[1]);
+    if centers.rank() != 2 || centers.dims()[0] == 0 || centers.dims()[1] != d {
+        return Err(MvqError::InvalidConfig(format!(
+            "centers {:?} do not match data [{ng}, {d}]",
+            centers.dims()
+        )));
+    }
+    if let Some(mask) = mask {
+        if mask.ng() != ng || mask.d() != d {
+            return Err(MvqError::InvalidConfig(format!(
+                "mask [{}, {}] does not match data [{ng}, {d}]",
+                mask.ng(),
+                mask.d()
+            )));
+        }
+    }
+    Ok((ng, d, centers.dims()[0]))
+}
+
+/// Masked nearest-codeword assignment via the kernel selected by
+/// `strategy` (`Minibatch` uses the blocked kernel — minibatching applies
+/// to the k-means loop, not to a single assignment pass).
+///
+/// The bit-identical guarantee assumes finite codeword values: a ±inf/NaN
+/// codeword lane that the mask prunes contributes `NaN` under the blocked
+/// kernel's `c * 0.0` multiplier but `0.0` under the oracle's branch, so
+/// the strategies may then disagree on that codeword. Every codebook this
+/// crate produces is finite; shapes are validated here, finiteness is not.
+///
+/// # Errors
+///
+/// Returns [`MvqError::InvalidConfig`] for empty data, empty codebooks, or
+/// mask/data/center shape mismatches.
+pub fn masked_assign_with(
+    strategy: KernelStrategy,
+    data: &Tensor,
+    mask: &NmMask,
+    centers: &Tensor,
+) -> Result<Vec<u32>, MvqError> {
+    validate_assign_inputs(data, centers, Some(mask))?;
+    match strategy {
+        KernelStrategy::Naive => Ok(masked_assign_naive(data, mask, centers)),
+        KernelStrategy::Blocked | KernelStrategy::Minibatch => {
+            let plan = MaskedDistancePlan::new(mask)?;
+            let mut assign = vec![0u32; data.dims()[0]];
+            masked_assign_blocked_into(data, &plan, centers, &mut assign);
+            Ok(assign)
+        }
+    }
+}
+
+/// Masked SSE `Σ_j ‖w_j − c_{a_j} ∘ bm_j‖²` via the kernel selected by
+/// `strategy`; all strategies are 0-ULP identical (f64 accumulation in row
+/// order).
+///
+/// # Errors
+///
+/// Returns [`MvqError::InvalidConfig`] on shape mismatches or assignments
+/// out of range.
+pub fn masked_sse_with(
+    strategy: KernelStrategy,
+    data: &Tensor,
+    mask: &NmMask,
+    centers: &Tensor,
+    assign: &[u32],
+) -> Result<f32, MvqError> {
+    let (ng, _, k) = validate_assign_inputs(data, centers, Some(mask))?;
+    if assign.len() != ng {
+        return Err(MvqError::InvalidConfig(format!(
+            "{} assignments for {ng} subvectors",
+            assign.len()
+        )));
+    }
+    if assign.iter().any(|&a| a as usize >= k) {
+        return Err(MvqError::InvalidConfig(format!("assignment out of range for k = {k}")));
+    }
+    match strategy {
+        KernelStrategy::Naive => {
+            Ok(crate::masked_kmeans::masked_sse_naive(data, mask, centers, assign))
+        }
+        KernelStrategy::Blocked | KernelStrategy::Minibatch => {
+            let plan = MaskedDistancePlan::new(mask)?;
+            Ok(masked_sse_blocked(data, &plan, centers, assign))
+        }
+    }
+}
+
+/// One masked assignment pass writing into `assign`; returns the number of
+/// changed assignments. Shapes must be pre-validated (the k-means loops
+/// own validation); `plan` is only required — and only read — for the
+/// blocked strategies.
+pub(crate) fn masked_assign_step(
+    strategy: KernelStrategy,
+    data: &Tensor,
+    mask: &NmMask,
+    plan: Option<&MaskedDistancePlan>,
+    centers: &Tensor,
+    assign: &mut [u32],
+) -> usize {
+    match strategy {
+        KernelStrategy::Naive => {
+            let fresh = masked_assign_naive(data, mask, centers);
+            let mut changed = 0;
+            for (slot, new) in assign.iter_mut().zip(fresh) {
+                if *slot != new {
+                    *slot = new;
+                    changed += 1;
+                }
+            }
+            changed
+        }
+        KernelStrategy::Blocked | KernelStrategy::Minibatch => {
+            let plan = plan.expect("blocked strategies require a mask plan");
+            masked_assign_blocked_into(data, plan, centers, assign)
+        }
+    }
+}
+
+/// The blocked masked-assignment kernel.
+///
+/// Tiles `ROW_TILE` subvectors × `CENTER_TILE` codewords so a codeword
+/// tile stays L1-resident across the row tile, runs `LANES` independent
+/// accumulator chains per row for ILP, and applies the mask branch-free
+/// through the plan's LUT-decoded multipliers. Codewords are visited in
+/// ascending index within and across tiles, and each `(j, i)` distance
+/// accumulates lanes left-to-right, so the result is bit-identical to
+/// [`masked_assign_naive`] (ties break to the lowest index in both).
+pub(crate) fn masked_assign_blocked_into(
+    data: &Tensor,
+    plan: &MaskedDistancePlan,
+    centers: &Tensor,
+    assign: &mut [u32],
+) -> usize {
+    let ng = data.dims()[0];
+    let d = data.dims()[1];
+    let k = centers.dims()[0];
+    let mut changed = 0usize;
+    let mut dist = [0.0f32; CENTER_TILE];
+    for row0 in (0..ng).step_by(ROW_TILE) {
+        let row1 = (row0 + ROW_TILE).min(ng);
+        let mut best = [0u32; ROW_TILE];
+        let mut best_v = [f32::INFINITY; ROW_TILE];
+        for c0 in (0..k).step_by(CENTER_TILE) {
+            let c1 = (c0 + CENTER_TILE).min(k);
+            for j in row0..row1 {
+                let row = data.row(j);
+                let mm = plan.multiplier_row(j);
+                // LANES independent accumulator chains: each codeword owns
+                // one accumulator, and each accumulator adds its lane terms
+                // in ascending t — the oracle's exact order per codeword.
+                let mut i = c0;
+                while i + LANES <= c1 {
+                    let c_a = centers.row(i);
+                    let c_b = centers.row(i + 1);
+                    let c_c = centers.row(i + 2);
+                    let c_d = centers.row(i + 3);
+                    let (mut acc_a, mut acc_b, mut acc_c, mut acc_d) =
+                        (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                    for t in 0..d {
+                        let (w, m) = (row[t], mm[t]);
+                        let e_a = w - c_a[t] * m;
+                        let e_b = w - c_b[t] * m;
+                        let e_c = w - c_c[t] * m;
+                        let e_d = w - c_d[t] * m;
+                        acc_a += e_a * e_a;
+                        acc_b += e_b * e_b;
+                        acc_c += e_c * e_c;
+                        acc_d += e_d * e_d;
+                    }
+                    dist[i - c0] = acc_a;
+                    dist[i + 1 - c0] = acc_b;
+                    dist[i + 2 - c0] = acc_c;
+                    dist[i + 3 - c0] = acc_d;
+                    i += LANES;
+                }
+                while i < c1 {
+                    let c = centers.row(i);
+                    let mut acc = 0.0f32;
+                    for t in 0..d {
+                        let e = row[t] - c[t] * mm[t];
+                        acc += e * e;
+                    }
+                    dist[i - c0] = acc;
+                    i += 1;
+                }
+                // compare in ascending codeword order: strict `<` keeps the
+                // lowest index on ties, matching the oracle
+                let jj = j - row0;
+                for i in c0..c1 {
+                    let v = dist[i - c0];
+                    if v < best_v[jj] {
+                        best_v[jj] = v;
+                        best[jj] = i as u32;
+                    }
+                }
+            }
+        }
+        for j in row0..row1 {
+            let b = best[j - row0];
+            if assign[j] != b {
+                assign[j] = b;
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+/// Blocked masked SSE: a single f64 accumulator visited in exactly the
+/// naive order (row-major, lanes ascending), with the branch-free
+/// multiplier inner loop — 0 ULP from the naive reference.
+pub(crate) fn masked_sse_blocked(
+    data: &Tensor,
+    plan: &MaskedDistancePlan,
+    centers: &Tensor,
+    assign: &[u32],
+) -> f32 {
+    let ng = data.dims()[0];
+    let d = data.dims()[1];
+    let mut sse = 0.0f64;
+    for j in 0..ng {
+        let row = data.row(j);
+        let mm = plan.multiplier_row(j);
+        let c = centers.row(assign[j] as usize);
+        for t in 0..d {
+            let e = row[t] - c[t] * mm[t];
+            sse += (e * e) as f64;
+        }
+    }
+    sse as f32
+}
+
+/// Dense (unmasked) per-row reference assignment — the oracle for the
+/// dense kernels, O(NG·k·d) with fixed left-to-right accumulation.
+pub fn dense_assign_naive(data: &Tensor, centers: &Tensor) -> Vec<u32> {
+    let ng = data.dims()[0];
+    let d = data.dims()[1];
+    let k = centers.dims()[0];
+    let mut assign = vec![0u32; ng];
+    for j in 0..ng {
+        let row = data.row(j);
+        let mut best = 0usize;
+        let mut best_v = f32::INFINITY;
+        for i in 0..k {
+            let c = centers.row(i);
+            let mut acc = 0.0f32;
+            for t in 0..d {
+                let e = row[t] - c[t];
+                acc += e * e;
+            }
+            if acc < best_v {
+                best_v = acc;
+                best = i;
+            }
+        }
+        assign[j] = best as u32;
+    }
+    assign
+}
+
+/// Dense nearest-codeword assignment via the kernel selected by
+/// `strategy`.
+///
+/// # Errors
+///
+/// Returns [`MvqError::InvalidConfig`] for empty data, empty codebooks, or
+/// shape mismatches.
+pub fn dense_assign_with(
+    strategy: KernelStrategy,
+    data: &Tensor,
+    centers: &Tensor,
+) -> Result<Vec<u32>, MvqError> {
+    validate_assign_inputs(data, centers, None)?;
+    let mut assign = vec![0u32; data.dims()[0]];
+    dense_assign_step(strategy, data, centers, &mut assign);
+    Ok(assign)
+}
+
+/// One dense assignment pass writing into `assign`; returns the number of
+/// changed assignments.
+pub(crate) fn dense_assign_step(
+    strategy: KernelStrategy,
+    data: &Tensor,
+    centers: &Tensor,
+    assign: &mut [u32],
+) -> usize {
+    match strategy {
+        KernelStrategy::Naive => {
+            let fresh = dense_assign_naive(data, centers);
+            let mut changed = 0;
+            for (slot, new) in assign.iter_mut().zip(fresh) {
+                if *slot != new {
+                    *slot = new;
+                    changed += 1;
+                }
+            }
+            changed
+        }
+        KernelStrategy::Blocked | KernelStrategy::Minibatch => {
+            dense_assign_blocked_into(data, centers, assign)
+        }
+    }
+}
+
+/// Dense blocked assignment: the masked blocked kernel driven by the
+/// all-ones [`MaskedDistancePlan::dense`] plan. `c * 1.0` is bitwise `c`
+/// (for every value, including ±0, infinities and NaN), so this is
+/// bit-identical to [`dense_assign_naive`] while keeping a single copy of
+/// the tiling/ILP logic under the oracle harness.
+pub(crate) fn dense_assign_blocked_into(
+    data: &Tensor,
+    centers: &Tensor,
+    assign: &mut [u32],
+) -> usize {
+    let plan = MaskedDistancePlan::dense(data.dims()[1]);
+    masked_assign_blocked_into(data, &plan, centers, assign)
+}
+
+/// Default minibatch size for [`KernelStrategy::Minibatch`] dispatch:
+/// `max(4k, 64)` rows, capped at the dataset — enough samples per batch to
+/// touch every codeword a few times while keeping per-iteration cost far
+/// below a full pass.
+pub fn default_minibatch_size(ng: usize, k: usize) -> usize {
+    (4 * k).max(64).min(ng.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pruning::prune_matrix_nm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pruned_random(ng: usize, d: usize, n: usize, m: usize, seed: u64) -> (Tensor, NmMask) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = mvq_tensor::uniform(vec![ng, d], -1.0, 1.0, &mut rng);
+        prune_matrix_nm(&w, n, m).unwrap()
+    }
+
+    #[test]
+    fn blocked_matches_naive_across_tile_boundaries() {
+        // sizes straddling ROW_TILE / CENTER_TILE / LANES edges
+        for &(ng, k) in &[(1usize, 1usize), (63, 15), (64, 16), (65, 17), (130, 37)] {
+            let (data, mask) = pruned_random(ng, 8, 2, 4, ng as u64 + k as u64);
+            let mut rng = StdRng::seed_from_u64(9);
+            let centers = mvq_tensor::uniform(vec![k, 8], -1.0, 1.0, &mut rng);
+            let naive = masked_assign_naive(&data, &mask, &centers);
+            let blocked =
+                masked_assign_with(KernelStrategy::Blocked, &data, &mask, &centers).unwrap();
+            assert_eq!(naive, blocked, "ng={ng} k={k}");
+        }
+    }
+
+    #[test]
+    fn dense_blocked_matches_dense_naive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = mvq_tensor::uniform(vec![100, 12], -1.0, 1.0, &mut rng);
+        let centers = mvq_tensor::uniform(vec![21, 12], -1.0, 1.0, &mut rng);
+        let naive = dense_assign_naive(&data, &centers);
+        let blocked = dense_assign_with(KernelStrategy::Blocked, &data, &centers).unwrap();
+        assert_eq!(naive, blocked);
+    }
+
+    #[test]
+    fn plan_dedups_patterns_and_uses_lut() {
+        let bits = [true, true, false, false].repeat(10);
+        let mask = NmMask::from_bits(10, 4, 2, 4, bits).unwrap();
+        let plan = MaskedDistancePlan::new(&mask).unwrap();
+        assert_eq!(plan.pattern_count(), 1);
+        assert_eq!(plan.multiplier_row(7), &[1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn checked_entry_points_validate() {
+        let (data, mask) = pruned_random(8, 4, 2, 4, 0);
+        let centers = Tensor::zeros(vec![3, 4]);
+        // empty codebook
+        let empty = Tensor::zeros(vec![0, 4]);
+        assert!(masked_assign_with(KernelStrategy::Blocked, &data, &mask, &empty).is_err());
+        // center d mismatch
+        let wrong_d = Tensor::zeros(vec![3, 8]);
+        assert!(masked_assign_with(KernelStrategy::Blocked, &data, &mask, &wrong_d).is_err());
+        // mask mismatch
+        let (_, other) = pruned_random(4, 4, 2, 4, 1);
+        assert!(masked_assign_with(KernelStrategy::Blocked, &data, &other, &centers).is_err());
+        // sse: assignment out of range
+        let err = masked_sse_with(KernelStrategy::Blocked, &data, &mask, &centers, &[9; 8]);
+        assert!(err.is_err());
+        // sse: wrong assignment length
+        let err = masked_sse_with(KernelStrategy::Naive, &data, &mask, &centers, &[0; 3]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(KernelStrategy::default(), KernelStrategy::Blocked);
+        assert_eq!(KernelStrategy::Naive.name(), "naive");
+        assert_eq!(KernelStrategy::Blocked.name(), "blocked");
+        assert_eq!(KernelStrategy::Minibatch.name(), "minibatch");
+    }
+
+    #[test]
+    fn default_minibatch_size_is_bounded() {
+        assert_eq!(default_minibatch_size(10_000, 64), 256);
+        assert_eq!(default_minibatch_size(10_000, 4), 64);
+        assert_eq!(default_minibatch_size(32, 64), 32);
+        assert_eq!(default_minibatch_size(0, 4), 1);
+    }
+}

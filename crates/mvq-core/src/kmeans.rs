@@ -1,13 +1,15 @@
 //! Standard k-means clustering (paper §3) with k-means++ initialization,
 //! optional per-subvector importance weights (used by the BGD baseline),
-//! and the factored-distance assignment step
-//! `‖x−c‖² = ‖x‖² − 2·x·c + ‖c‖²` computed via one GEMM per iteration.
+//! and assignment dispatched through the [`crate::kernels`] strategies
+//! (naive oracle / cache-blocked / minibatch) selected by
+//! [`KmeansConfig::kernel`].
 
-use mvq_tensor::{matmul_transpose_b, Tensor};
+use mvq_tensor::Tensor;
 use rand::Rng;
 
 use crate::codebook::{Assignments, Codebook};
 use crate::error::MvqError;
+use crate::kernels::{default_minibatch_size, dense_assign_step, KernelStrategy};
 
 /// k-means hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,12 +22,21 @@ pub struct KmeansConfig {
     /// Stop when fewer than `tol_frac × NG` assignments change — the paper
     /// uses 0.1 %.
     pub tol_frac: f64,
+    /// Which distance/assignment kernel the clustering loop dispatches to.
+    pub kernel: KernelStrategy,
 }
 
 impl KmeansConfig {
-    /// Config with the paper's defaults (`max_iters` 50, tol 0.1 %).
+    /// Config with the paper's defaults (`max_iters` 50, tol 0.1 %) and
+    /// the blocked kernel.
     pub fn new(k: usize) -> KmeansConfig {
-        KmeansConfig { k, max_iters: 50, tol_frac: 0.001 }
+        KmeansConfig { k, max_iters: 50, tol_frac: 0.001, kernel: KernelStrategy::default() }
+    }
+
+    /// Overrides the kernel strategy.
+    pub fn with_kernel(mut self, kernel: KernelStrategy) -> KmeansConfig {
+        self.kernel = kernel;
+        self
     }
 }
 
@@ -46,7 +57,9 @@ pub struct KmeansResult {
 ///
 /// When `row_weights` is given, the centroid update is the weighted mean —
 /// the mechanism the BGD baseline uses to emphasise activation-important
-/// subvectors.
+/// subvectors. Under [`KernelStrategy::Minibatch`] the loop samples
+/// [`default_minibatch_size`] rows per iteration instead of a full pass
+/// (deterministic for a fixed seed).
 ///
 /// # Errors
 ///
@@ -68,23 +81,93 @@ pub fn kmeans<R: Rng>(
         }
     }
     let k = cfg.k.min(ng);
+    if cfg.kernel == KernelStrategy::Minibatch {
+        return kmeans_minibatch_dense(
+            data,
+            k,
+            cfg.max_iters,
+            default_minibatch_size(ng, k),
+            row_weights,
+            rng,
+        );
+    }
     let mut centers = kmeanspp_init(data, k, rng);
     let mut assign = vec![0u32; ng];
     let mut iterations = 0;
     for iter in 0..cfg.max_iters {
         iterations = iter + 1;
-        let changed = assign_step(data, &centers, &mut assign);
+        let changed = dense_assign_step(cfg.kernel, data, &centers, &mut assign);
         update_step(data, &mut centers, &assign, row_weights, rng);
         if (changed as f64) < cfg.tol_frac * ng as f64 {
             break;
         }
     }
     // final assignment against the final centers
-    assign_step(data, &centers, &mut assign);
+    dense_assign_step(cfg.kernel, data, &centers, &mut assign);
     let sse = sse_of(data, &centers, &assign);
     let codebook = Codebook::new(centers)?;
     let assignments = Assignments::new(assign, k)?;
     Ok(KmeansResult { codebook, assignments, sse, iterations })
+}
+
+/// Dense minibatch k-means: per-iteration sampled batches with the
+/// streaming update `c ← c + w·(x − c)/n` (Sculley 2010), weighted when
+/// `row_weights` is given. Final assignment/SSE run over the full data.
+fn kmeans_minibatch_dense<R: Rng>(
+    data: &Tensor,
+    k: usize,
+    max_iters: usize,
+    batch_size: usize,
+    row_weights: Option<&[f32]>,
+    rng: &mut R,
+) -> Result<KmeansResult, MvqError> {
+    let (ng, d) = (data.dims()[0], data.dims()[1]);
+    if batch_size == 0 {
+        return Err(MvqError::InvalidConfig("minibatch size must be positive".into()));
+    }
+    let mut centers = kmeanspp_init(data, k, rng);
+    let mut mass = vec![0.0f32; k];
+    for _ in 0..max_iters {
+        for _ in 0..batch_size {
+            let j = rng.gen_range(0..ng);
+            let row = data.row(j);
+            // nearest center for the sampled row (blocked kernel on a
+            // 1-row view is just the scalar loop)
+            let mut best = 0usize;
+            let mut best_v = f32::INFINITY;
+            for i in 0..k {
+                let c = centers.row(i);
+                let mut acc = 0.0f32;
+                for t in 0..d {
+                    let e = row[t] - c[t];
+                    acc += e * e;
+                }
+                if acc < best_v {
+                    best_v = acc;
+                    best = i;
+                }
+            }
+            let w = row_weights.map_or(1.0, |ws| ws[j]);
+            if w <= 0.0 {
+                continue;
+            }
+            mass[best] += w;
+            let lr = w / mass[best];
+            let c = centers.row_mut(best);
+            for t in 0..d {
+                c[t] += lr * (row[t] - c[t]);
+            }
+        }
+    }
+    let mut assign = vec![0u32; ng];
+    dense_assign_step(KernelStrategy::Blocked, data, &centers, &mut assign);
+    let sse = sse_of(data, &centers, &assign);
+    Ok(KmeansResult {
+        codebook: Codebook::new(centers)?,
+        assignments: Assignments::new(assign, k)?,
+        sse,
+        iterations: max_iters,
+    })
 }
 
 pub(crate) fn check_data(data: &Tensor, k: usize) -> Result<(usize, usize), MvqError> {
@@ -134,33 +217,6 @@ pub(crate) fn kmeanspp_init<R: Rng>(data: &Tensor, k: usize, rng: &mut R) -> Ten
         centers.row_mut(c).copy_from_slice(data.row(pick));
     }
     centers
-}
-
-/// One assignment pass; returns the number of changed assignments.
-pub(crate) fn assign_step(data: &Tensor, centers: &Tensor, assign: &mut [u32]) -> usize {
-    let (ng, _) = (data.dims()[0], data.dims()[1]);
-    let k = centers.dims()[0];
-    // cross term: [ng, k]
-    let xc = matmul_transpose_b(data, centers).expect("shapes validated by caller");
-    let cnorm: Vec<f32> = (0..k).map(|i| centers.row(i).iter().map(|&v| v * v).sum()).collect();
-    let mut changed = 0usize;
-    for j in 0..ng {
-        let row = xc.row(j);
-        let mut best = 0usize;
-        let mut best_v = f32::INFINITY;
-        for i in 0..k {
-            let v = cnorm[i] - 2.0 * row[i];
-            if v < best_v {
-                best_v = v;
-                best = i;
-            }
-        }
-        if assign[j] != best as u32 {
-            assign[j] = best as u32;
-            changed += 1;
-        }
-    }
-    changed
 }
 
 /// One (weighted) centroid-update pass, with empty-cluster reseeding.
@@ -251,6 +307,37 @@ mod tests {
     }
 
     #[test]
+    fn naive_and_blocked_runs_are_identical() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let data = mvq_tensor::uniform(vec![200, 8], -1.0, 1.0, &mut rng);
+        let run = |kernel| {
+            kmeans(
+                &data,
+                &KmeansConfig::new(17).with_kernel(kernel),
+                None,
+                &mut StdRng::seed_from_u64(9),
+            )
+            .unwrap()
+        };
+        let naive = run(KernelStrategy::Naive);
+        let blocked = run(KernelStrategy::Blocked);
+        assert_eq!(naive.assignments.indices(), blocked.assignments.indices());
+        assert_eq!(naive.codebook.centers().data(), blocked.codebook.centers().data());
+        assert_eq!(naive.sse.to_bits(), blocked.sse.to_bits());
+    }
+
+    #[test]
+    fn minibatch_separates_blobs_deterministically() {
+        let cfg = KmeansConfig::new(2).with_kernel(KernelStrategy::Minibatch);
+        let run = || kmeans(&two_blob_data(), &cfg, None, &mut StdRng::seed_from_u64(10)).unwrap();
+        let a = run();
+        let b = run();
+        assert_eq!(a.assignments.indices(), b.assignments.indices());
+        assert_eq!(a.codebook.centers().data(), b.codebook.centers().data());
+        assert!(a.sse < 1.0, "minibatch sse {}", a.sse);
+    }
+
+    #[test]
     fn k_equals_ng_gives_zero_sse() {
         let mut rng = StdRng::seed_from_u64(1);
         let data = Tensor::from_vec(vec![4, 2], vec![0., 0., 1., 1., 2., 2., 3., 3.]).unwrap();
@@ -280,7 +367,7 @@ mod tests {
         // two points; weight one of them 100x: centroid lands near it
         let data = Tensor::from_vec(vec![2, 1], vec![0.0, 1.0]).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = KmeansConfig { k: 1, max_iters: 5, tol_frac: 0.0 };
+        let cfg = KmeansConfig { k: 1, max_iters: 5, tol_frac: 0.0, ..KmeansConfig::new(1) };
         let res = kmeans(&data, &cfg, Some(&[1.0, 100.0]), &mut rng).unwrap();
         let c = res.codebook.codeword(0)[0];
         assert!(c > 0.9, "weighted centroid {c}");
@@ -302,14 +389,14 @@ mod tests {
         let data = mvq_tensor::uniform(vec![100, 4], -1.0, 1.0, &mut rng);
         let one = kmeans(
             &data,
-            &KmeansConfig { k: 8, max_iters: 1, tol_frac: 0.0 },
+            &KmeansConfig { max_iters: 1, tol_frac: 0.0, ..KmeansConfig::new(8) },
             None,
             &mut StdRng::seed_from_u64(7),
         )
         .unwrap();
         let many = kmeans(
             &data,
-            &KmeansConfig { k: 8, max_iters: 30, tol_frac: 0.0 },
+            &KmeansConfig { max_iters: 30, tol_frac: 0.0, ..KmeansConfig::new(8) },
             None,
             &mut StdRng::seed_from_u64(7),
         )

@@ -14,6 +14,29 @@
 //! [`pipeline::registry`], so benchmarks and tools dispatch them from one
 //! loop.
 //!
+//! ## Kernel strategies and the naive-as-oracle convention
+//!
+//! The distance/assignment hot loops inside every clustering algorithm
+//! dispatch through [`kernels`], selected by a [`KernelStrategy`] knob on
+//! [`PipelineSpec`] (and on [`MvqConfig`] / [`KmeansConfig`]):
+//!
+//! * `Naive` — the per-row reference kernels. These are the **oracle**:
+//!   deliberately simple, fixed left-to-right accumulation, no tricks.
+//! * `Blocked` (default) — cache-blocked, LUT-masked kernels that are
+//!   **bit-identical** to the oracle: same assignments, 0-ULP-identical
+//!   SSE, hence identical artifacts for every registry algorithm.
+//! * `Minibatch` — per-iteration sampled k-means batches
+//!   ([`masked_kmeans_minibatch`]); deterministic for a fixed seed but not
+//!   bit-identical to full-batch runs.
+//!
+//! The testing convention: **a new kernel must not be dispatched from the
+//! registry until `tests/properties.rs` proves it against the naive
+//! oracle** (exact assignment equality, 0-ULP SSE) over randomized
+//! shapes/masks/seeds, and `tests/conformance.rs` shows identical
+//! registry artifacts — in debug *and* `--release` builds, since
+//! optimization-dependent reassociation is exactly the class of bug this
+//! harness exists to catch.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -43,6 +66,7 @@ mod error;
 pub mod experiments;
 mod finetune;
 mod grouping;
+pub mod kernels;
 mod kmeans;
 mod mask;
 mod mask_lut;
@@ -58,10 +82,14 @@ pub use compress::{CompressedMatrix, MvqCompressor, MvqConfig};
 pub use error::MvqError;
 pub use finetune::{finetune_codebooks, CodebookFinetuneConfig};
 pub use grouping::GroupingStrategy;
+pub use kernels::{
+    default_minibatch_size, dense_assign_naive, dense_assign_with, masked_assign_with,
+    masked_sse_with, KernelStrategy, MaskedDistancePlan,
+};
 pub use kmeans::{kmeans, KmeansConfig, KmeansResult};
 pub use mask::NmMask;
 pub use mask_lut::MaskLut;
-pub use masked_kmeans::{masked_assign_naive, masked_kmeans, masked_sse};
+pub use masked_kmeans::{masked_assign_naive, masked_kmeans, masked_kmeans_minibatch, masked_sse};
 pub use metrics::{mvq_compression_ratio, vq_compression_ratio, StorageBreakdown};
 pub use mixed_nm::{search_mixed_nm, LayerPattern, MixedNmPlan};
 pub use model_compress::{

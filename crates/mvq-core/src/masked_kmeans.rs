@@ -10,29 +10,36 @@
 //!   (elementwise), so the flood of structural zeros cannot drag important
 //!   lanes toward zero.
 //!
-//! ## Implementation note (the ablation benchmarked in `mvq-bench`)
+//! ## Kernel dispatch
 //!
-//! Because pruned lanes of `w_j` are exactly zero, the masked distance
-//! factors as `‖w_j‖² − 2·w_j·c + ‖c ∘ bm_j‖²`: only the *codeword norm*
-//! term depends on the mask. Subvectors sharing a mask pattern share that
-//! term, so we group rows by pattern (at most `C(M,N)^(d/M)` patterns, far
-//! fewer in practice) and compute one GEMM for the cross terms — the same
-//! trick the paper implements with broadcast `torch.cdist` batches, but
-//! cheaper. A naive per-row reference ([`masked_assign_naive`]) validates
-//! it in tests.
+//! The assignment/SSE hot loops run through [`crate::kernels`], selected
+//! by [`KmeansConfig::kernel`]: the per-row naive oracle, the cache-blocked
+//! LUT-masked kernel (bit-identical to the oracle, the default), or
+//! minibatch iterations ([`masked_kmeans_minibatch`]) that sample a batch
+//! of live subvectors per step — deterministic for a fixed seed, and the
+//! crosslayer scope's answer to clustering millions of subvectors at
+//! once. [`masked_assign_naive`] remains the reference every kernel is
+//! property-tested against.
 
-use std::collections::HashMap;
-
-use mvq_tensor::{matmul_transpose_b, Tensor};
+use mvq_tensor::Tensor;
 use rand::Rng;
 
 use crate::codebook::{Assignments, Codebook};
 use crate::error::MvqError;
+use crate::kernels::{
+    default_minibatch_size, masked_assign_blocked_into, masked_assign_step, masked_sse_blocked,
+    KernelStrategy, MaskedDistancePlan,
+};
 use crate::kmeans::{check_data, kmeanspp_init, KmeansConfig, KmeansResult};
 use crate::mask::NmMask;
 
 /// Runs masked k-means over `data` (`[NG, d]`, pruned lanes zero) with its
-/// N:M `mask`.
+/// N:M `mask`, dispatching the hot loops through the kernel named by
+/// `cfg.kernel`.
+///
+/// Under [`KernelStrategy::Minibatch`] this delegates to
+/// [`masked_kmeans_minibatch`] with [`default_minibatch_size`], clamping
+/// `k` to the number of live (not all-zero) subvectors.
 ///
 /// # Errors
 ///
@@ -52,27 +59,175 @@ pub fn masked_kmeans<R: Rng>(
             mask.d()
         )));
     }
+    if cfg.kernel == KernelStrategy::Minibatch {
+        let live = live_rows(data);
+        if live.is_empty() {
+            return Err(MvqError::InvalidConfig(
+                "all subvectors are zero; nothing to cluster".into(),
+            ));
+        }
+        let k = cfg.k.min(live.len());
+        let batch = default_minibatch_size(live.len(), k);
+        return minibatch_impl(data, mask, k, cfg.max_iters, batch, &live, rng);
+    }
     let k = cfg.k.min(ng);
     let mut centers = kmeanspp_init(data, k, rng);
     let mut assign = vec![0u32; ng];
-    let pattern_ids = pattern_index(mask);
+    // the naive oracle path never reads the plan; only build it for the
+    // blocked kernel
+    let plan = match cfg.kernel {
+        KernelStrategy::Naive => None,
+        _ => Some(MaskedDistancePlan::new(mask)?),
+    };
     let mut iterations = 0;
     for iter in 0..cfg.max_iters {
         iterations = iter + 1;
-        let changed = masked_assign(data, mask, &pattern_ids, &centers, &mut assign);
+        let changed =
+            masked_assign_step(cfg.kernel, data, mask, plan.as_ref(), &centers, &mut assign);
         masked_update(data, mask, &mut centers, &assign, rng);
         if (changed as f64) < cfg.tol_frac * ng as f64 {
             break;
         }
     }
-    masked_assign(data, mask, &pattern_ids, &centers, &mut assign);
-    let sse = masked_sse_raw(data, mask, &centers, &assign);
+    masked_assign_step(cfg.kernel, data, mask, plan.as_ref(), &centers, &mut assign);
+    let sse = match &plan {
+        None => masked_sse_naive(data, mask, &centers, &assign),
+        Some(plan) => masked_sse_blocked(data, plan, &centers, &assign),
+    };
     Ok(KmeansResult {
         codebook: Codebook::new(centers)?,
         assignments: Assignments::new(assign, k)?,
         sse,
         iterations,
     })
+}
+
+/// Minibatch masked k-means: each iteration samples `batch_size` live
+/// subvectors (uniformly, with replacement, from `rng`) and applies the
+/// per-lane streaming update `c_t ← c_t + (w_t − c_t) / n_t` of Sculley's
+/// minibatch k-means, restricted to unpruned lanes. The final assignment
+/// and SSE are computed over the *full* dataset with the blocked kernel.
+///
+/// Dead (all-zero) subvectors are skipped consistently: they are excluded
+/// from k-means++ seeding and from batch sampling — mirroring the
+/// dead-layer skip in the model fan-out — so their structural zeros never
+/// drag codewords down. They still receive a (nearest-codeword) assignment
+/// in the returned result.
+///
+/// Deterministic for a fixed seed: the result depends only on `data`,
+/// `mask`, `cfg`, `batch_size`, and the rng state.
+///
+/// # Errors
+///
+/// Returns [`MvqError::InvalidConfig`] when data/mask dims disagree,
+/// `batch_size == 0`, every subvector is zero, or `cfg.k` exceeds the
+/// number of live subvectors (the strategy-dispatch path in
+/// [`masked_kmeans`] clamps `k` instead).
+pub fn masked_kmeans_minibatch<R: Rng>(
+    data: &Tensor,
+    mask: &NmMask,
+    cfg: &KmeansConfig,
+    batch_size: usize,
+    rng: &mut R,
+) -> Result<KmeansResult, MvqError> {
+    let (ng, d) = check_data(data, cfg.k)?;
+    if mask.ng() != ng || mask.d() != d {
+        return Err(MvqError::InvalidConfig(format!(
+            "mask [{}, {}] does not match data [{ng}, {d}]",
+            mask.ng(),
+            mask.d()
+        )));
+    }
+    if batch_size == 0 {
+        return Err(MvqError::InvalidConfig("minibatch size must be positive".into()));
+    }
+    let live = live_rows(data);
+    if live.is_empty() {
+        return Err(MvqError::InvalidConfig("all subvectors are zero; nothing to cluster".into()));
+    }
+    if cfg.k > live.len() {
+        return Err(MvqError::InvalidConfig(format!(
+            "k = {} exceeds the {} live subvectors available to minibatch sampling",
+            cfg.k,
+            live.len()
+        )));
+    }
+    minibatch_impl(data, mask, cfg.k, cfg.max_iters, batch_size, &live, rng)
+}
+
+/// The minibatch loop proper; `live` is the precomputed non-dead row set
+/// (both entry points validate before calling, so the full-data scan runs
+/// exactly once even on the dispatch path).
+fn minibatch_impl<R: Rng>(
+    data: &Tensor,
+    mask: &NmMask,
+    k: usize,
+    max_iters: usize,
+    batch_size: usize,
+    live: &[usize],
+    rng: &mut R,
+) -> Result<KmeansResult, MvqError> {
+    let ng = data.dims()[0];
+    let d = data.dims()[1];
+    // Seeding and sampling run over the live subset only, so the result is
+    // identical whether or not dead rows are present in `data`.
+    let mut live_data = Tensor::zeros(vec![live.len(), d]);
+    for (r, &j) in live.iter().enumerate() {
+        live_data.row_mut(r).copy_from_slice(data.row(j));
+    }
+    let mut centers = kmeanspp_init(&live_data, k, rng);
+    let plan = MaskedDistancePlan::new(mask)?;
+    let mut counts = vec![0u64; k * d];
+    for _ in 0..max_iters {
+        for _ in 0..batch_size {
+            let j = live[rng.gen_range(0..live.len())];
+            let i = nearest_masked(data.row(j), &plan, j, &centers) as usize;
+            let row = data.row(j);
+            let mrow = mask.row(j);
+            let c = centers.row_mut(i);
+            for t in 0..d {
+                if mrow[t] {
+                    counts[i * d + t] += 1;
+                    c[t] += (row[t] - c[t]) / counts[i * d + t] as f32;
+                }
+            }
+        }
+    }
+    let mut assign = vec![0u32; ng];
+    masked_assign_blocked_into(data, &plan, &centers, &mut assign);
+    let sse = masked_sse_blocked(data, &plan, &centers, &assign);
+    Ok(KmeansResult {
+        codebook: Codebook::new(centers)?,
+        assignments: Assignments::new(assign, k)?,
+        sse,
+        iterations: max_iters,
+    })
+}
+
+/// Indices of subvectors with at least one nonzero lane.
+fn live_rows(data: &Tensor) -> Vec<usize> {
+    (0..data.dims()[0]).filter(|&j| data.row(j).iter().any(|&x| x != 0.0)).collect()
+}
+
+/// Nearest codeword for a single subvector under its mask multipliers.
+fn nearest_masked(row: &[f32], plan: &MaskedDistancePlan, j: usize, centers: &Tensor) -> u32 {
+    let k = centers.dims()[0];
+    let mm = plan.multiplier_row(j);
+    let mut best = 0u32;
+    let mut best_v = f32::INFINITY;
+    for i in 0..k {
+        let c = centers.row(i);
+        let mut acc = 0.0f32;
+        for (t, (&w, &m)) in row.iter().zip(mm).enumerate() {
+            let e = w - c[t] * m;
+            acc += e * e;
+        }
+        if acc < best_v {
+            best_v = acc;
+            best = i as u32;
+        }
+    }
+    best
 }
 
 /// Masked SSE (Eq. 1): `Σ_j ‖w_j − q(w_j) ∘ bm_j‖²` for an existing
@@ -96,10 +251,18 @@ pub fn masked_sse(
             "data, mask, codebook and assignments must agree in shape".into(),
         ));
     }
-    Ok(masked_sse_raw(data, mask, codebook.centers(), assignments.indices()))
+    Ok(masked_sse_naive(data, mask, codebook.centers(), assignments.indices()))
 }
 
-fn masked_sse_raw(data: &Tensor, mask: &NmMask, centers: &Tensor, assign: &[u32]) -> f32 {
+/// The naive masked-SSE reference: one f64 accumulator, rows then lanes in
+/// ascending order. [`crate::kernels::masked_sse_with`] must match this to
+/// 0 ULP for every strategy.
+pub(crate) fn masked_sse_naive(
+    data: &Tensor,
+    mask: &NmMask,
+    centers: &Tensor,
+    assign: &[u32],
+) -> f32 {
     let ng = data.dims()[0];
     let d = data.dims()[1];
     let mut sse = 0.0f64;
@@ -116,79 +279,10 @@ fn masked_sse_raw(data: &Tensor, mask: &NmMask, centers: &Tensor, assign: &[u32]
     sse as f32
 }
 
-/// Maps each subvector to a dense pattern id; patterns are the distinct
-/// mask rows.
-fn pattern_index(mask: &NmMask) -> PatternIndex {
-    let mut ids = Vec::with_capacity(mask.ng());
-    let mut patterns: Vec<Vec<bool>> = Vec::new();
-    let mut lookup: HashMap<Vec<bool>, usize> = HashMap::new();
-    for j in 0..mask.ng() {
-        let row = mask.row(j).to_vec();
-        let id = *lookup.entry(row.clone()).or_insert_with(|| {
-            patterns.push(row);
-            patterns.len() - 1
-        });
-        ids.push(id);
-    }
-    PatternIndex { ids, patterns }
-}
-
-struct PatternIndex {
-    ids: Vec<usize>,
-    patterns: Vec<Vec<bool>>,
-}
-
-/// Factored masked assignment; returns the number of changed assignments.
-fn masked_assign(
-    data: &Tensor,
-    _mask: &NmMask,
-    patterns: &PatternIndex,
-    centers: &Tensor,
-    assign: &mut [u32],
-) -> usize {
-    let ng = data.dims()[0];
-    let d = data.dims()[1];
-    let k = centers.dims()[0];
-    // cross terms via one GEMM: [ng, k]
-    let xc = matmul_transpose_b(data, centers).expect("validated shapes");
-    // masked codeword norms per pattern: [n_patterns][k]
-    let mut mnorm = vec![vec![0.0f32; k]; patterns.patterns.len()];
-    for (p, pat) in patterns.patterns.iter().enumerate() {
-        for i in 0..k {
-            let c = centers.row(i);
-            let mut acc = 0.0f32;
-            for t in 0..d {
-                if pat[t] {
-                    acc += c[t] * c[t];
-                }
-            }
-            mnorm[p][i] = acc;
-        }
-    }
-    let mut changed = 0usize;
-    for j in 0..ng {
-        let norms = &mnorm[patterns.ids[j]];
-        let row = xc.row(j);
-        let mut best = 0usize;
-        let mut best_v = f32::INFINITY;
-        for i in 0..k {
-            let v = norms[i] - 2.0 * row[i];
-            if v < best_v {
-                best_v = v;
-                best = i;
-            }
-        }
-        if assign[j] != best as u32 {
-            assign[j] = best as u32;
-            changed += 1;
-        }
-    }
-    changed
-}
-
 /// Naive reference for the masked assignment (Eq. 2), O(NG·k·d) with
-/// explicit masking. Used by tests and the `masked_kmeans` Criterion bench
-/// to quantify the factored implementation's speedup.
+/// explicit masking and fixed left-to-right f32 accumulation — the oracle
+/// the blocked kernel is property-tested against, and the `naive` arm of
+/// the `masked_kmeans` Criterion bench.
 pub fn masked_assign_naive(data: &Tensor, mask: &NmMask, centers: &Tensor) -> Vec<u32> {
     let ng = data.dims()[0];
     let d = data.dims()[1];
@@ -273,16 +367,35 @@ mod tests {
         prune_matrix_nm(&w, n, m).unwrap()
     }
 
+    fn with_kernel(k: usize, kernel: KernelStrategy) -> KmeansConfig {
+        KmeansConfig::new(k).with_kernel(kernel)
+    }
+
     #[test]
-    fn factored_assignment_matches_naive() {
+    fn blocked_assignment_matches_naive() {
         let (data, mask) = pruned_random(64, 8, 2, 4, 0);
         let mut rng = StdRng::seed_from_u64(1);
         let centers = kmeanspp_init(&data, 7, &mut rng);
         let naive = masked_assign_naive(&data, &mask, &centers);
-        let patterns = pattern_index(&mask);
-        let mut fast = vec![0u32; 64];
-        masked_assign(&data, &mask, &patterns, &centers, &mut fast);
-        assert_eq!(naive, fast);
+        let blocked =
+            crate::kernels::masked_assign_with(KernelStrategy::Blocked, &data, &mask, &centers)
+                .unwrap();
+        assert_eq!(naive, blocked);
+    }
+
+    #[test]
+    fn naive_and_blocked_full_runs_are_identical() {
+        let (data, mask) = pruned_random(256, 16, 4, 16, 1);
+        let run = |kernel| {
+            masked_kmeans(&data, &mask, &with_kernel(16, kernel), &mut StdRng::seed_from_u64(2))
+                .unwrap()
+        };
+        let naive = run(KernelStrategy::Naive);
+        let blocked = run(KernelStrategy::Blocked);
+        assert_eq!(naive.assignments.indices(), blocked.assignments.indices());
+        assert_eq!(naive.codebook.centers().data(), blocked.codebook.centers().data());
+        assert_eq!(naive.sse.to_bits(), blocked.sse.to_bits());
+        assert_eq!(naive.iterations, blocked.iterations);
     }
 
     #[test]
@@ -352,6 +465,14 @@ mod tests {
         let (_, other_mask) = pruned_random(8, 8, 2, 4, 9);
         let cfg = KmeansConfig::new(4);
         assert!(masked_kmeans(&data, &other_mask, &cfg, &mut StdRng::seed_from_u64(0)).is_err());
+        assert!(masked_kmeans_minibatch(
+            &data,
+            &other_mask,
+            &cfg,
+            8,
+            &mut StdRng::seed_from_u64(0)
+        )
+        .is_err());
     }
 
     #[test]
@@ -365,5 +486,93 @@ mod tests {
                 .unwrap()
                 .sse;
         assert!(s64 < s4);
+    }
+
+    #[test]
+    fn minibatch_is_deterministic_and_reasonable() {
+        let (data, mask) = pruned_random(512, 16, 4, 16, 11);
+        let cfg = KmeansConfig::new(16);
+        let run = |seed| {
+            masked_kmeans_minibatch(&data, &mask, &cfg, 128, &mut StdRng::seed_from_u64(seed))
+                .unwrap()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.assignments.indices(), b.assignments.indices());
+        assert_eq!(a.codebook.centers().data(), b.codebook.centers().data());
+        assert_eq!(a.sse.to_bits(), b.sse.to_bits());
+        // and it actually clusters: better than a single mean codeword
+        let k1 = masked_kmeans(&data, &mask, &KmeansConfig::new(1), &mut StdRng::seed_from_u64(6))
+            .unwrap();
+        assert!(a.sse < k1.sse, "minibatch {} !< k=1 {}", a.sse, k1.sse);
+    }
+
+    #[test]
+    fn minibatch_dispatch_through_strategy() {
+        let (data, mask) = pruned_random(256, 16, 4, 16, 12);
+        let cfg = with_kernel(8, KernelStrategy::Minibatch);
+        let direct = masked_kmeans_minibatch(
+            &data,
+            &mask,
+            &KmeansConfig::new(8),
+            default_minibatch_size(256, 8),
+            &mut StdRng::seed_from_u64(13),
+        )
+        .unwrap();
+        let dispatched = masked_kmeans(&data, &mask, &cfg, &mut StdRng::seed_from_u64(13)).unwrap();
+        assert_eq!(direct.assignments.indices(), dispatched.assignments.indices());
+        assert_eq!(direct.codebook.centers().data(), dispatched.codebook.centers().data());
+    }
+
+    #[test]
+    fn minibatch_skips_dead_vectors() {
+        // Regression pin: interleaving all-zero subvectors must not change
+        // the learned codebook — dead rows are invisible to seeding and
+        // sampling, exactly like dead layers in the model fan-out.
+        let (live, live_mask) = pruned_random(64, 8, 2, 4, 14);
+        let mut data = Vec::new();
+        let mut bits = Vec::new();
+        for j in 0..64 {
+            data.extend_from_slice(live.row(j));
+            bits.extend_from_slice(live_mask.row(j));
+            // every 4th row, insert a dead (all-zero) subvector
+            if j % 4 == 0 {
+                data.extend_from_slice(&[0.0; 8]);
+                bits.extend_from_slice(&[true, true, false, false, true, true, false, false]);
+            }
+        }
+        let ng = 64 + 16;
+        let padded = Tensor::from_vec(vec![ng, 8], data).unwrap();
+        let padded_mask = NmMask::from_bits(ng, 8, 2, 4, bits).unwrap();
+        let cfg = KmeansConfig::new(6);
+        let with_dead = masked_kmeans_minibatch(
+            &padded,
+            &padded_mask,
+            &cfg,
+            32,
+            &mut StdRng::seed_from_u64(15),
+        )
+        .unwrap();
+        let live_only =
+            masked_kmeans_minibatch(&live, &live_mask, &cfg, 32, &mut StdRng::seed_from_u64(15))
+                .unwrap();
+        assert_eq!(
+            with_dead.codebook.centers().data(),
+            live_only.codebook.centers().data(),
+            "dead subvectors leaked into the minibatch codebook"
+        );
+    }
+
+    #[test]
+    fn minibatch_rejects_degenerate_inputs() {
+        let (data, mask) = pruned_random(8, 8, 2, 4, 16);
+        let mut rng = StdRng::seed_from_u64(0);
+        // zero batch
+        assert!(masked_kmeans_minibatch(&data, &mask, &KmeansConfig::new(2), 0, &mut rng).is_err());
+        // k exceeding live rows
+        assert!(masked_kmeans_minibatch(&data, &mask, &KmeansConfig::new(9), 4, &mut rng).is_err());
+        // all-dead data
+        let zeros = Tensor::zeros(vec![8, 8]);
+        assert!(masked_kmeans_minibatch(&zeros, &mask, &KmeansConfig::new(2), 4, &mut rng).is_err());
     }
 }

@@ -2,6 +2,14 @@
 //! convolution of a network, with either one codebook per layer
 //! ("layerwise") or a single codebook shared by all layers ("crosslayer") —
 //! the two clustering scopes compared in the paper's Fig. 13.
+//!
+//! Both scopes dispatch their clustering hot loops through
+//! [`crate::kernels`], selected by [`MvqConfig::kernel`] (see
+//! [`ModelCompressor::with_kernel`]). The crosslayer scope concatenates
+//! every pruned layer into one clustering problem, which is where
+//! [`crate::masked_kmeans_minibatch`]
+//! ([`crate::KernelStrategy::Minibatch`]) pays off: per-iteration sampled
+//! batches keep the cost independent of the concatenated size.
 
 use mvq_nn::layers::Sequential;
 use mvq_tensor::Tensor;
@@ -219,6 +227,13 @@ impl ModelCompressor {
     /// Overrides the execution mode (results are identical either way).
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> ModelCompressor {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Overrides the distance/assignment kernel both clustering scopes
+    /// dispatch to (shorthand for setting [`MvqConfig::kernel`]).
+    pub fn with_kernel(mut self, kernel: crate::kernels::KernelStrategy) -> ModelCompressor {
+        self.config.kernel = kernel;
         self
     }
 
@@ -480,6 +495,56 @@ mod tests {
         }
         for (a, b) in w_serial.iter().zip(&w_rayon) {
             assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_matches_naive_in_both_scopes() {
+        use crate::kernels::KernelStrategy;
+        for scope in [ClusterScope::LayerWise, ClusterScope::CrossLayer] {
+            let run = |kernel: KernelStrategy| {
+                let mut rng = StdRng::seed_from_u64(31);
+                let mut model = tiny_cnn(4, 8, &mut rng);
+                ModelCompressor::new(cfg(8))
+                    .with_scope(scope)
+                    .with_kernel(kernel)
+                    .compress(&mut model, &mut rng)
+                    .unwrap()
+            };
+            let naive = run(KernelStrategy::Naive);
+            let blocked = run(KernelStrategy::Blocked);
+            assert_eq!(naive.entries.len(), blocked.entries.len());
+            for (a, b) in naive.entries.iter().zip(&blocked.entries) {
+                assert_eq!(a.assignments.indices(), b.assignments.indices(), "{scope:?}");
+            }
+            for (a, b) in naive.codebooks.iter().zip(&blocked.codebooks) {
+                assert_eq!(a.centers().data(), b.centers().data(), "{scope:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn minibatch_kernel_is_deterministic_in_both_scopes() {
+        use crate::kernels::KernelStrategy;
+        for scope in [ClusterScope::LayerWise, ClusterScope::CrossLayer] {
+            let run = || {
+                let mut rng = StdRng::seed_from_u64(33);
+                let mut model = tiny_cnn(4, 8, &mut rng);
+                ModelCompressor::new(cfg(8))
+                    .with_scope(scope)
+                    .with_kernel(KernelStrategy::Minibatch)
+                    .compress(&mut model, &mut rng)
+                    .unwrap()
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a.entries.len(), b.entries.len());
+            for (x, y) in a.entries.iter().zip(&b.entries) {
+                assert_eq!(x.assignments.indices(), y.assignments.indices(), "{scope:?}");
+            }
+            for (x, y) in a.codebooks.iter().zip(&b.codebooks) {
+                assert_eq!(x.centers().data(), y.centers().data(), "{scope:?}");
+            }
         }
     }
 

@@ -61,6 +61,7 @@ use crate::codebook::{Assignments, Codebook};
 use crate::compress::{CompressedMatrix, MvqCompressor, MvqConfig};
 use crate::error::MvqError;
 use crate::grouping::GroupingStrategy;
+use crate::kernels::KernelStrategy;
 use crate::mask::NmMask;
 use crate::metrics::{StorageBreakdown, FULL_PRECISION_BITS};
 use crate::pruning::prune_matrix_nm;
@@ -498,6 +499,8 @@ pub struct PlainVq {
     pub grouping: GroupingStrategy,
     /// Codebook quantization.
     pub codebook_bits: Option<u32>,
+    /// Distance/assignment kernel for the clustering loop.
+    pub kernel: KernelStrategy,
 }
 
 impl Compressor for PlainVq {
@@ -537,10 +540,16 @@ impl Compressor for PlainVq {
         rng: &mut StdRng,
     ) -> Result<CompressedArtifact, MvqError> {
         match self.variant {
-            VqVariant::CaseA => {
-                vq_case_a(weight, self.k, self.d, self.grouping, self.codebook_bits, rng)
-                    .map(CompressedArtifact::Dense)
-            }
+            VqVariant::CaseA => vq_case_a(
+                weight,
+                self.k,
+                self.d,
+                self.grouping,
+                self.codebook_bits,
+                self.kernel,
+                rng,
+            )
+            .map(CompressedArtifact::Dense),
             VqVariant::CaseB if self.prune_d == self.d => vq_case_b(
                 weight,
                 self.k,
@@ -549,6 +558,7 @@ impl Compressor for PlainVq {
                 self.m,
                 self.grouping,
                 self.codebook_bits,
+                self.kernel,
                 rng,
             )
             .map(CompressedArtifact::Dense),
@@ -558,8 +568,16 @@ impl Compressor for PlainVq {
                 let grouped = self.grouping.group(weight, self.prune_d)?;
                 let (pruned, _mask) = prune_matrix_nm(&grouped, self.keep_n, self.m)?;
                 let sparse = self.grouping.ungroup(&pruned, weight.dims(), self.prune_d)?;
-                vq_case_a(&sparse, self.k, self.d, self.grouping, self.codebook_bits, rng)
-                    .map(CompressedArtifact::Dense)
+                vq_case_a(
+                    &sparse,
+                    self.k,
+                    self.d,
+                    self.grouping,
+                    self.codebook_bits,
+                    self.kernel,
+                    rng,
+                )
+                .map(CompressedArtifact::Dense)
             }
             VqVariant::CaseC => {
                 if self.prune_d != self.d {
@@ -576,6 +594,7 @@ impl Compressor for PlainVq {
                     self.m,
                     self.grouping,
                     self.codebook_bits,
+                    self.kernel,
                     rng,
                 )
                 .map(|(cm, _mask)| CompressedArtifact::Masked(cm))
@@ -597,6 +616,8 @@ pub struct Pqf {
     pub grouping: GroupingStrategy,
     /// Codebook quantization.
     pub codebook_bits: Option<u32>,
+    /// Distance/assignment kernel for the clustering loop.
+    pub kernel: KernelStrategy,
 }
 
 impl Compressor for Pqf {
@@ -627,6 +648,7 @@ impl Compressor for Pqf {
             self.grouping,
             self.codebook_bits,
             self.swap_trials,
+            self.kernel,
             rng,
         )
         .map(CompressedArtifact::Permuted)
@@ -645,6 +667,8 @@ pub struct Bgd {
     pub grouping: GroupingStrategy,
     /// Codebook quantization.
     pub codebook_bits: Option<u32>,
+    /// Distance/assignment kernel for the clustering loop.
+    pub kernel: KernelStrategy,
 }
 
 impl Compressor for Bgd {
@@ -667,8 +691,17 @@ impl Compressor for Bgd {
         weight: &Tensor,
         rng: &mut StdRng,
     ) -> Result<CompressedArtifact, MvqError> {
-        bgd_compress(weight, self.k, self.d, self.grouping, self.codebook_bits, None, rng)
-            .map(CompressedArtifact::Dense)
+        bgd_compress(
+            weight,
+            self.k,
+            self.d,
+            self.grouping,
+            self.codebook_bits,
+            None,
+            self.kernel,
+            rng,
+        )
+        .map(CompressedArtifact::Dense)
     }
 }
 
@@ -770,6 +803,9 @@ pub struct PipelineSpec {
     pub scalar_bits: u32,
     /// PQF hill-climb swap trials.
     pub swap_trials: usize,
+    /// Distance/assignment kernel every clustering algorithm dispatches
+    /// to (`naive` oracle / `blocked` / `minibatch`).
+    pub kernel: KernelStrategy,
 }
 
 impl Default for PipelineSpec {
@@ -786,6 +822,7 @@ impl Default for PipelineSpec {
             codebook_bits: Some(8),
             scalar_bits: 2,
             swap_trials: 1_000,
+            kernel: KernelStrategy::default(),
         }
     }
 }
@@ -828,6 +865,12 @@ impl PipelineSpec {
         self.swap_trials = trials;
         self
     }
+
+    /// Overrides the kernel strategy every algorithm dispatches to.
+    pub fn with_kernel(mut self, kernel: KernelStrategy) -> PipelineSpec {
+        self.kernel = kernel;
+        self
+    }
 }
 
 /// Registry names, in canonical order.
@@ -849,12 +892,14 @@ pub fn by_name(name: &str, spec: &PipelineSpec) -> Result<Box<dyn Compressor>, M
         prune_d: spec.prune_d.unwrap_or(spec.d),
         grouping: spec.grouping,
         codebook_bits: spec.codebook_bits,
+        kernel: spec.kernel,
     };
     Ok(match name {
         "mvq" => {
             let cfg = MvqConfig::new(spec.k, spec.d, spec.keep_n, spec.m)?
                 .with_grouping(spec.grouping)
-                .with_codebook_bits(spec.codebook_bits);
+                .with_codebook_bits(spec.codebook_bits)
+                .with_kernel(spec.kernel);
             Box::new(MvqCompressor::new(cfg))
         }
         "vq" | "vq-a" => Box::new(plain(VqVariant::CaseA)),
@@ -866,15 +911,17 @@ pub fn by_name(name: &str, spec: &PipelineSpec) -> Result<Box<dyn Compressor>, M
             swap_trials: spec.swap_trials,
             grouping: spec.grouping,
             codebook_bits: spec.codebook_bits,
+            kernel: spec.kernel,
         }),
         "bgd" => Box::new(Bgd {
             k: spec.k,
             d: spec.d,
             grouping: spec.grouping,
             codebook_bits: spec.codebook_bits,
+            kernel: spec.kernel,
         }),
         "dkm" => Box::new(Dkm {
-            config: DkmConfig::new(spec.k),
+            config: DkmConfig::new(spec.k).with_kernel(spec.kernel),
             d: spec.d,
             grouping: spec.grouping,
             codebook_bits: spec.codebook_bits,
@@ -949,6 +996,7 @@ mod tests {
             prune_d: 16,
             grouping: GroupingStrategy::OutputChannelWise,
             codebook_bits: None,
+            kernel: KernelStrategy::default(),
         };
         let artifact = two_grid.compress_matrix(&w, &mut rng).unwrap();
         assert_eq!(artifact.reconstruct().unwrap().dims(), w.dims());
@@ -967,6 +1015,7 @@ mod tests {
             prune_d: 16,
             grouping: GroupingStrategy::OutputChannelWise,
             codebook_bits: None,
+            kernel: KernelStrategy::default(),
         };
         let mut rng = StdRng::seed_from_u64(1);
         let w = mvq_tensor::kaiming_normal(vec![32, 16], 16, &mut rng);

@@ -3,8 +3,7 @@
 //! same seeded weight matrix.
 
 use mvq::core::pipeline::{by_name, registry, PipelineSpec, ALGORITHM_NAMES};
-use mvq::core::Parallelism;
-use mvq::core::{ModelCompressor, MvqConfig};
+use mvq::core::{KernelStrategy, ModelCompressor, MvqConfig, Parallelism};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -69,6 +68,64 @@ fn every_registered_compressor_satisfies_the_contract() {
             recon.data(),
             "{name}: nondeterministic under fixed seed"
         );
+    }
+}
+
+#[test]
+fn blocked_kernel_produces_identical_artifacts_to_naive() {
+    // The registry-level guarantee behind KernelStrategy::Blocked being
+    // the default: for every algorithm, switching the kernel from the
+    // naive oracle to the blocked one changes nothing observable —
+    // reconstruction bits, storage accounting, recorded SSE.
+    let w = test_weight();
+    let base = PipelineSpec { k: 8, swap_trials: 200, ..PipelineSpec::default() };
+    for name in ALGORITHM_NAMES {
+        let run = |kernel: KernelStrategy| {
+            let spec = base.clone().with_kernel(kernel);
+            by_name(name, &spec)
+                .expect("valid spec")
+                .compress_matrix(&w, &mut StdRng::seed_from_u64(17))
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+        };
+        let naive = run(KernelStrategy::Naive);
+        let blocked = run(KernelStrategy::Blocked);
+        assert_eq!(
+            naive.reconstruct().unwrap().data(),
+            blocked.reconstruct().unwrap().data(),
+            "{name}: blocked reconstruction diverges from naive"
+        );
+        assert_eq!(naive.storage(), blocked.storage(), "{name}: storage diverges");
+        match (naive.sse(), blocked.sse()) {
+            (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits(), "{name}: SSE diverges"),
+            (a, b) => assert_eq!(a, b, "{name}: SSE presence diverges"),
+        }
+        assert!(
+            (naive.compression_ratio() - blocked.compression_ratio()).abs() < f64::EPSILON,
+            "{name}: ratio diverges"
+        );
+    }
+}
+
+#[test]
+fn minibatch_kernel_is_deterministic_for_every_algorithm() {
+    let w = test_weight();
+    let spec = PipelineSpec { k: 8, swap_trials: 200, ..PipelineSpec::default() }
+        .with_kernel(KernelStrategy::Minibatch);
+    for name in ALGORITHM_NAMES {
+        let run = || {
+            by_name(name, &spec)
+                .expect("valid spec")
+                .compress_matrix(&w, &mut StdRng::seed_from_u64(23))
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(
+            a.reconstruct().unwrap().data(),
+            b.reconstruct().unwrap().data(),
+            "{name}: minibatch nondeterministic under a fixed seed"
+        );
+        assert!(a.compression_ratio() > 1.0, "{name}: minibatch artifact does not compress");
     }
 }
 

@@ -3,8 +3,8 @@
 
 use mvq::accel::{AccelError, FunctionalEws, HwConfig, HwSetting};
 use mvq::core::{
-    masked_kmeans, prune_matrix_nm, GroupingStrategy, KmeansConfig, MvqCompressor, MvqConfig,
-    MvqError,
+    masked_assign_with, masked_kmeans, masked_kmeans_minibatch, masked_sse_with, prune_matrix_nm,
+    GroupingStrategy, KernelStrategy, KmeansConfig, MvqCompressor, MvqConfig, MvqError, NmMask,
 };
 use mvq::nn::layers::{Conv2d, Module, Sequential};
 use mvq::nn::NnError;
@@ -70,6 +70,88 @@ fn clustering_rejects_nan_free_contract_violations() {
     let (_, wrong_mask) = prune_matrix_nm(&other, 2, 4).unwrap();
     let err = masked_kmeans(&pruned, &wrong_mask, &KmeansConfig::new(4), &mut rng).unwrap_err();
     assert!(matches!(err, MvqError::InvalidConfig(_)));
+}
+
+#[test]
+fn kernel_rejects_empty_layers() {
+    // an empty [0, d] layer must be a typed error for every kernel entry
+    let empty = Tensor::from_vec(vec![0, 8], vec![]).unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    let w = mvq::tensor::uniform(vec![8, 8], -1.0, 1.0, &mut rng);
+    let (_, mask) = prune_matrix_nm(&w, 2, 4).unwrap();
+    let centers = Tensor::ones(vec![2, 8]);
+    for kernel in [KernelStrategy::Naive, KernelStrategy::Blocked, KernelStrategy::Minibatch] {
+        let err = masked_assign_with(kernel, &empty, &mask, &centers).unwrap_err();
+        assert!(matches!(err, MvqError::InvalidConfig(_)), "{kernel:?}: {err:?}");
+        let cfg = KmeansConfig::new(2).with_kernel(kernel);
+        let err = masked_kmeans(&empty, &mask, &cfg, &mut rng).unwrap_err();
+        assert!(matches!(err, MvqError::InvalidConfig(_)), "{kernel:?}: {err:?}");
+    }
+}
+
+#[test]
+fn kernel_rejects_empty_and_mismatched_codebooks() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let w = mvq::tensor::uniform(vec![16, 8], -1.0, 1.0, &mut rng);
+    let (pruned, mask) = prune_matrix_nm(&w, 2, 4).unwrap();
+    // k = 0 centers
+    let none = Tensor::zeros(vec![0, 8]);
+    let err = masked_assign_with(KernelStrategy::Blocked, &pruned, &mask, &none).unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)));
+    // codeword length disagrees with the data
+    let wrong = Tensor::zeros(vec![4, 16]);
+    let err = masked_assign_with(KernelStrategy::Blocked, &pruned, &mask, &wrong).unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)));
+    // SSE with out-of-range assignments
+    let centers = Tensor::ones(vec![2, 8]);
+    let err =
+        masked_sse_with(KernelStrategy::Blocked, &pruned, &mask, &centers, &[7; 16]).unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)));
+}
+
+#[test]
+fn minibatch_rejects_k_beyond_live_vectors() {
+    // 8 subvectors, 3 of them dead: k = 6 exceeds the 5 live rows the
+    // minibatch sampler is allowed to draw from
+    let mut rng = StdRng::seed_from_u64(2);
+    let w = mvq::tensor::uniform(vec![8, 8], -1.0, 1.0, &mut rng);
+    let (mut pruned, mask) = prune_matrix_nm(&w, 2, 4).unwrap();
+    for j in [1usize, 4, 6] {
+        pruned.row_mut(j).fill(0.0);
+    }
+    let err =
+        masked_kmeans_minibatch(&pruned, &mask, &KmeansConfig::new(6), 8, &mut rng).unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)), "{err:?}");
+    // and a zero batch size is rejected before any work happens
+    let err =
+        masked_kmeans_minibatch(&pruned, &mask, &KmeansConfig::new(2), 0, &mut rng).unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)));
+}
+
+#[test]
+fn all_zero_masks_cannot_be_constructed() {
+    // the N:M invariant (keep exactly N per group) makes an all-zero mask
+    // unrepresentable; the constructor must say so, not panic downstream
+    let err = NmMask::from_bits(2, 4, 2, 4, vec![false; 8]).unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)));
+    // all-zero *data* under a valid mask: minibatch has nothing live to
+    // sample and fails loudly
+    let zeros = Tensor::zeros(vec![8, 8]);
+    let mut rng = StdRng::seed_from_u64(3);
+    let w = mvq::tensor::uniform(vec![8, 8], -1.0, 1.0, &mut rng);
+    let (_, mask) = prune_matrix_nm(&w, 2, 4).unwrap();
+    let err =
+        masked_kmeans_minibatch(&zeros, &mask, &KmeansConfig::new(2), 4, &mut rng).unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)));
+}
+
+#[test]
+fn mask_rejects_d_not_dividing_group_size() {
+    // d = 6 is not a multiple of M = 4: typed error from the mask, and the
+    // same config is uncompilable into an MvqConfig
+    let err = NmMask::from_bits(1, 6, 2, 4, vec![true; 6]).unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)));
+    assert!(matches!(MvqConfig::new(8, 6, 2, 4), Err(MvqError::InvalidConfig(_))));
 }
 
 #[test]

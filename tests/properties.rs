@@ -1,9 +1,13 @@
 //! Property-based tests (proptest) over the core data structures and
-//! invariants of the MVQ pipeline.
+//! invariants of the MVQ pipeline — including the naive-as-oracle harness
+//! for the blocked distance kernels: the blocked assignment must equal
+//! [`masked_assign_naive`] *exactly*, and the blocked masked SSE must
+//! match the naive one to 0 ULP, for random shapes, masks and seeds.
 
 use mvq::core::{
-    masked_assign_naive, masked_kmeans, masked_sse, prune_matrix_nm, GroupingStrategy,
-    KmeansConfig, MaskLut, MvqCompressor, MvqConfig,
+    dense_assign_naive, dense_assign_with, masked_assign_naive, masked_assign_with, masked_kmeans,
+    masked_kmeans_minibatch, masked_sse, masked_sse_with, prune_matrix_nm, GroupingStrategy,
+    KernelStrategy, KmeansConfig, MaskLut, MvqCompressor, MvqConfig,
 };
 use mvq::tensor::{dequantize_symmetric, Tensor};
 use proptest::prelude::*;
@@ -88,7 +92,8 @@ proptest! {
         }
     }
 
-    /// The factored masked assignment equals the naive reference.
+    /// The kernel a clustering run dispatches to agrees with the naive
+    /// reference on the SSE it reports.
     #[test]
     fn masked_assignment_equivalence(seed in 0u64..500) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -137,6 +142,94 @@ proptest! {
             / (s.assignment_bits + s.mask_bits + s.codebook_bits) as f64;
         prop_assert!((c.compression_ratio() - expected).abs() < 1e-9);
         prop_assert_eq!(s.original_bits, (ng * 16 * 32) as u64);
+    }
+}
+
+proptest! {
+    // The acceptance bar for new kernels: ≥256 randomized cases of exact
+    // equivalence against the naive oracle. Run in both debug and
+    // --release (see CI): release builds are where illegal reassociation
+    // or fast-math shortcuts would surface.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Blocked masked assignment is bit-identical to `masked_assign_naive`
+    /// and the blocked masked SSE matches the naive SSE to 0 ULP, for
+    /// random shapes, N:M patterns, masks and seeds. Data is arbitrary
+    /// (masked lanes need not hold zeros) — the kernels must agree
+    /// regardless.
+    #[test]
+    fn blocked_masked_kernels_are_bit_identical_to_naive(
+        seed in 0u64..1_000_000,
+        ng in 1usize..96,
+        k in 1usize..40,
+        shape in prop_oneof![
+            Just((1usize, 2usize, 4usize)),
+            Just((2, 4, 4)),
+            Just((2, 4, 8)),
+            Just((4, 8, 8)),
+            Just((4, 16, 16)),
+        ],
+    ) {
+        let (n, m, d) = shape;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = mvq::tensor::uniform(vec![ng, d], -2.0, 2.0, &mut rng);
+        let mask_src = mvq::tensor::uniform(vec![ng, d], -1.0, 1.0, &mut rng);
+        let (_, mask) = prune_matrix_nm(&mask_src, n, m).expect("valid N:M");
+        let centers = mvq::tensor::uniform(vec![k, d], -2.0, 2.0, &mut rng);
+
+        let naive = masked_assign_naive(&data, &mask, &centers);
+        let blocked = masked_assign_with(KernelStrategy::Blocked, &data, &mask, &centers)
+            .expect("validated inputs");
+        prop_assert_eq!(&naive, &blocked, "assignment divergence (ng={} k={} d={})", ng, k, d);
+
+        let sse_naive = masked_sse_with(KernelStrategy::Naive, &data, &mask, &centers, &naive)
+            .expect("validated inputs");
+        let sse_blocked = masked_sse_with(KernelStrategy::Blocked, &data, &mask, &centers, &blocked)
+            .expect("validated inputs");
+        prop_assert_eq!(
+            sse_naive.to_bits(), sse_blocked.to_bits(),
+            "SSE differs by >0 ULP: naive {} vs blocked {}", sse_naive, sse_blocked
+        );
+    }
+
+    /// The dense blocked kernel is bit-identical to its naive oracle.
+    #[test]
+    fn blocked_dense_kernel_is_bit_identical_to_naive(
+        seed in 0u64..1_000_000,
+        ng in 1usize..96,
+        k in 1usize..40,
+        d in prop_oneof![Just(2usize), Just(5), Just(8), Just(16)],
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = mvq::tensor::uniform(vec![ng, d], -2.0, 2.0, &mut rng);
+        let centers = mvq::tensor::uniform(vec![k, d], -2.0, 2.0, &mut rng);
+        let naive = dense_assign_naive(&data, &centers);
+        let blocked = dense_assign_with(KernelStrategy::Blocked, &data, &centers)
+            .expect("validated inputs");
+        prop_assert_eq!(naive, blocked);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Minibatch masked k-means is deterministic: the same seed replays
+    /// the same batches and yields bit-identical results.
+    #[test]
+    fn minibatch_masked_kmeans_is_deterministic(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = mvq::tensor::uniform(vec![160, 8], -1.0, 1.0, &mut rng);
+        let (pruned, mask) = prune_matrix_nm(&w, 2, 4).expect("valid");
+        let cfg = KmeansConfig::new(8);
+        let run = || {
+            masked_kmeans_minibatch(&pruned, &mask, &cfg, 48, &mut StdRng::seed_from_u64(seed ^ 0xA5))
+                .expect("clusterable")
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.assignments.indices(), b.assignments.indices());
+        prop_assert_eq!(a.codebook.centers().data(), b.codebook.centers().data());
+        prop_assert_eq!(a.sse.to_bits(), b.sse.to_bits());
     }
 }
 
