@@ -1,0 +1,120 @@
+//! Measures the batch compression service on the ResNet-18-lite workload
+//! and records the result in `BENCH_service.json`.
+//!
+//! Three passes over the same job set (every compressible conv × the
+//! `mvq` / `vq-a` / `bgd` registry algorithms, with duplicate jobs mixed
+//! in to exercise in-flight dedup):
+//!
+//! * **cold** — empty cache, every unique job compresses fresh;
+//! * **warm** — same batch again, every unique job answers from cache;
+//! * **disk** — a brand-new service over the blob directory the cold run
+//!   persisted, measuring decode-from-disk serving.
+//!
+//! The binary asserts warm and disk artifacts are bit-identical to the
+//! cold ones before reporting any number — a service that served wrong
+//! bytes fast would be measuring the wrong thing.
+//!
+//! Usage: `cargo run --release -p mvq-bench --bin bench_service`
+
+use std::time::Instant;
+
+use mvq_core::pipeline::PipelineSpec;
+use mvq_core::CompressedArtifact;
+use mvq_nn::models::Arch;
+use mvq_serve::{BatchCompressionService, BatchReport, CompressionJob};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ALGOS: [&str; 3] = ["mvq", "vq-a", "bgd"];
+const DUPLICATES: usize = 2;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = Arch::ResNet18.build(8, &mut rng);
+    let mut weights = Vec::new();
+    model.visit_convs(&mut |conv| weights.push(conv.weight.value.clone()));
+    let spec = PipelineSpec::default();
+
+    // every compressible conv × algorithm, plus DUPLICATES copies of each
+    // job so the in-flight dedup path is on the measured path
+    let jobs = || -> Vec<CompressionJob> {
+        let mut jobs = Vec::new();
+        for algo in ALGOS {
+            for (i, w) in weights.iter().enumerate() {
+                if w.dims()[0] % spec.d != 0 {
+                    continue; // not groupable at the paper's operating point
+                }
+                for copy in 0..=DUPLICATES {
+                    jobs.push(CompressionJob::new(
+                        format!("conv{i}-{algo}-{copy}"),
+                        w.clone(),
+                        algo,
+                        spec.clone(),
+                    ));
+                }
+            }
+        }
+        jobs
+    };
+
+    let cache_dir = std::env::temp_dir().join("mvq-bench-service-cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let cold_service = BatchCompressionService::with_cache_dir(&cache_dir).expect("cache dir");
+    let (cold_secs, cold) = timed(|| cold_service.submit(jobs()).expect("cold batch"));
+    let (warm_secs, warm) = timed(|| cold_service.submit(jobs()).expect("warm batch"));
+
+    // a fresh process over the same blob directory: serving = disk decode
+    let disk_service = BatchCompressionService::with_cache_dir(&cache_dir).expect("cache dir");
+    let (disk_secs, disk) = timed(|| disk_service.submit(jobs()).expect("disk batch"));
+
+    assert_eq!(cold.cache_hits, 0, "cold run must start empty");
+    assert_eq!(warm.compressed, 0, "warm run must be all hits");
+    assert_eq!(disk.compressed, 0, "disk run must be all hits");
+    for (label, rerun) in [("warm", &warm), ("disk", &disk)] {
+        for (a, b) in cold.outcomes.iter().zip(&rerun.outcomes) {
+            assert_eq!(
+                bits(&a.artifact),
+                bits(&b.artifact),
+                "{label} serve of {} diverges from cold compression",
+                a.name
+            );
+        }
+    }
+
+    let n_jobs = cold.outcomes.len();
+    let jps = |secs: f64| n_jobs as f64 / secs;
+    let algo_list = ALGOS.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(", ");
+    let json = format!(
+        "{{\n  \"workload\": \"resnet18-lite\",\n  \"algorithms\": [{algo_list}],\n  \"jobs\": {n_jobs},\n  \"unique_jobs\": {},\n  \"deduped_jobs\": {},\n  \"cold_s\": {:.3},\n  \"cold_jobs_per_s\": {:.2},\n  \"warm_s\": {:.3},\n  \"warm_jobs_per_s\": {:.2},\n  \"warm_speedup\": {:.1},\n  \"warm_hit_rate\": {:.4},\n  \"disk_s\": {:.3},\n  \"disk_jobs_per_s\": {:.2},\n  \"disk_hit_rate\": {:.4}\n}}\n",
+        cold.unique_jobs,
+        cold.deduped_jobs,
+        cold_secs,
+        jps(cold_secs),
+        warm_secs,
+        jps(warm_secs),
+        cold_secs / warm_secs,
+        hit_rate(&warm),
+        disk_secs,
+        jps(disk_secs),
+        hit_rate(&disk),
+    );
+    print!("{json}");
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    eprintln!("wrote BENCH_service.json");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed().as_secs_f64(), out)
+}
+
+fn bits(a: &CompressedArtifact) -> Vec<u32> {
+    a.reconstruct().expect("reconstruct").data().iter().map(|v| v.to_bits()).collect()
+}
+
+fn hit_rate(report: &BatchReport) -> f64 {
+    report.cache_hits as f64 / report.unique_jobs.max(1) as f64
+}

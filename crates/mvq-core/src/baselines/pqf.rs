@@ -39,9 +39,68 @@ pub struct PqfCompressed {
 }
 
 impl PqfCompressed {
+    /// Reassembles a [`PqfCompressed`] from stored parts (the decode path
+    /// of the artifact codec).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::InvalidConfig`] when the parts disagree in
+    /// shape or `permutation` is not a bijection over the grouped
+    /// positions.
+    pub fn from_parts(
+        permutation: Vec<usize>,
+        codebook: Codebook,
+        assignments: Assignments,
+        orig_dims: Vec<usize>,
+        grouping: GroupingStrategy,
+        d: usize,
+        sse: f32,
+    ) -> Result<PqfCompressed, MvqError> {
+        if codebook.d() != d {
+            return Err(MvqError::InvalidConfig(format!(
+                "codebook d = {} disagrees with grouping d = {d}",
+                codebook.d()
+            )));
+        }
+        let total = assignments.len() * d;
+        let numel: usize = orig_dims.iter().product();
+        if total != numel {
+            return Err(MvqError::InvalidConfig(format!(
+                "{} assignments of d = {d} do not cover a tensor of dims {orig_dims:?}",
+                assignments.len()
+            )));
+        }
+        if permutation.len() != total {
+            return Err(MvqError::InvalidConfig(format!(
+                "permutation length {} != grouped positions {total}",
+                permutation.len()
+            )));
+        }
+        let mut seen = vec![false; total];
+        for &p in &permutation {
+            if p >= total || seen[p] {
+                return Err(MvqError::InvalidConfig(format!(
+                    "permutation is not a bijection over 0..{total}"
+                )));
+            }
+            seen[p] = true;
+        }
+        Ok(PqfCompressed { permutation, codebook, assignments, orig_dims, grouping, d, sse })
+    }
+
     /// The learned permutation over flattened grouped positions.
     pub fn permutation(&self) -> &[usize] {
         &self.permutation
+    }
+
+    /// Subvector length used for grouping.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Grouping strategy used.
+    pub fn grouping(&self) -> GroupingStrategy {
+        self.grouping
     }
 
     /// The codebook.

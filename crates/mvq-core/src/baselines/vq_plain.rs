@@ -46,6 +46,38 @@ impl DenseVq {
         }
     }
 
+    /// Reassembles a [`DenseVq`] from stored parts (the decode path of the
+    /// artifact codec).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::InvalidConfig`] when the parts disagree in
+    /// shape: the codebook's `d` must match `d`, and the assignment count
+    /// times `d` must cover the original tensor exactly.
+    pub fn from_parts(
+        codebook: Codebook,
+        assignments: Assignments,
+        orig_dims: Vec<usize>,
+        grouping: GroupingStrategy,
+        d: usize,
+        sse: f32,
+    ) -> Result<DenseVq, MvqError> {
+        if codebook.d() != d {
+            return Err(MvqError::InvalidConfig(format!(
+                "codebook d = {} disagrees with grouping d = {d}",
+                codebook.d()
+            )));
+        }
+        let numel: usize = orig_dims.iter().product();
+        if assignments.len() * d != numel {
+            return Err(MvqError::InvalidConfig(format!(
+                "{} assignments of d = {d} do not cover a tensor of dims {orig_dims:?}",
+                assignments.len()
+            )));
+        }
+        Ok(DenseVq { codebook, assignments, orig_dims, grouping, d, sse })
+    }
+
     /// The codebook.
     pub fn codebook(&self) -> &Codebook {
         &self.codebook
@@ -64,6 +96,11 @@ impl DenseVq {
     /// Subvector length used for grouping.
     pub fn d(&self) -> usize {
         self.d
+    }
+
+    /// Grouping strategy used.
+    pub fn grouping(&self) -> GroupingStrategy {
+        self.grouping
     }
 
     /// Reconstructs the dense weight in original dims (every lane comes

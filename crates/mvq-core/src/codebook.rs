@@ -32,6 +32,47 @@ impl Codebook {
         Ok(Codebook { centers, scale: None, bits: None })
     }
 
+    /// Reassembles a codebook from stored parts, including the
+    /// quantization metadata [`Codebook::quantize`] recorded — the decode
+    /// path of the artifact codec, which must reproduce the original bit
+    /// pattern without re-running the scale solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::InvalidConfig`] for a malformed centers matrix,
+    /// a scale/bits pair where only one side is present, a non-positive or
+    /// non-finite scale, or bits outside `2..=16`.
+    pub fn from_raw_parts(
+        centers: Tensor,
+        scale: Option<f32>,
+        bits: Option<u32>,
+    ) -> Result<Codebook, MvqError> {
+        let mut cb = Codebook::new(centers)?;
+        match (scale, bits) {
+            (None, None) => {}
+            (Some(s), Some(b)) => {
+                if !(2..=16).contains(&b) {
+                    return Err(MvqError::InvalidConfig(format!(
+                        "codebook bits must be in 2..=16, got {b}"
+                    )));
+                }
+                if !(s.is_finite() && s > 0.0) {
+                    return Err(MvqError::InvalidConfig(format!(
+                        "codebook scale must be finite and positive, got {s}"
+                    )));
+                }
+                cb.scale = Some(s);
+                cb.bits = Some(b);
+            }
+            _ => {
+                return Err(MvqError::InvalidConfig(
+                    "codebook quantization scale and bits must be stored together".into(),
+                ))
+            }
+        }
+        Ok(cb)
+    }
+
     /// Number of codewords `k`.
     pub fn k(&self) -> usize {
         self.centers.dims()[0]

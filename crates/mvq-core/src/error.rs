@@ -20,6 +20,10 @@ pub enum MvqError {
         /// Why grouping failed.
         detail: String,
     },
+    /// A serialized artifact blob could not be decoded (truncation, bad
+    /// magic, unsupported version, checksum mismatch, or inconsistent
+    /// payload fields).
+    Codec(String),
 }
 
 impl fmt::Display for MvqError {
@@ -31,6 +35,7 @@ impl fmt::Display for MvqError {
             MvqError::IncompatibleShape { dims, detail } => {
                 write!(f, "cannot group weight of dims {dims:?}: {detail}")
             }
+            MvqError::Codec(msg) => write!(f, "codec error: {msg}"),
         }
     }
 }

@@ -50,7 +50,7 @@ use crate::mask_lut::MaskLut;
 use crate::masked_kmeans::masked_assign_naive;
 
 /// Which distance/assignment kernel the clustering loops dispatch to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum KernelStrategy {
     /// Per-row reference kernels — the oracle all others are tested
     /// against.

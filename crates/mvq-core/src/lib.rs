@@ -37,6 +37,16 @@
 //! optimization-dependent reassociation is exactly the class of bug this
 //! harness exists to catch.
 //!
+//! ## Durable artifacts and the serve layer
+//!
+//! [`store`] gives every artifact kind a versioned, checksummed binary
+//! form ([`store::Persist`]: `to_bytes`/`from_bytes`, 0-ULP-identical on
+//! decode) and a content-addressed [`store::ArtifactCache`] keyed by
+//! weight hash + [`PipelineSpec::fingerprint`] + algorithm + kernel +
+//! seed. The `mvq-serve` crate builds the batch compression service on
+//! top. Bump [`store::FORMAT_VERSION`] on any layout change and keep a
+//! decode test for the old version.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -76,6 +86,7 @@ mod mixed_nm;
 mod model_compress;
 pub mod pipeline;
 mod pruning;
+pub mod store;
 
 pub use codebook::{Assignments, Codebook};
 pub use compress::{CompressedMatrix, MvqCompressor, MvqConfig};
@@ -99,3 +110,4 @@ pub use pipeline::{CompressedArtifact, Compressor, LayerArtifact, ModelArtifacts
 pub use pruning::{
     prune_matrix_nm, prune_model, sparse_finetune, PruneMethod, SparseFinetuneConfig,
 };
+pub use store::{weight_hash, ArtifactCache, CacheKey, CacheStats, Persist};

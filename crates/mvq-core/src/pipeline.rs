@@ -871,10 +871,91 @@ impl PipelineSpec {
         self.kernel = kernel;
         self
     }
+
+    /// The spec's canonical 64-bit identity, used as a component of
+    /// content-addressed cache keys ([`crate::store::CacheKey`]).
+    ///
+    /// Every field that can change a compression result is folded in —
+    /// `k`, `d`, `keep_n:m`, `prune_d`, grouping, codebook/scalar bits,
+    /// `swap_trials`, and the kernel strategy — through a fixed-layout
+    /// FNV-1a encoding that is independent of struct layout, so the value
+    /// cannot drift silently across refactors. The pinned-value test
+    /// `fingerprint_is_pinned` guards the encoding itself: changing it
+    /// requires updating the pin *and* invalidates existing caches, which
+    /// is exactly the visibility we want.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::store::Fnv1a::new();
+        // domain separator doubles as the encoding's version stamp
+        h.update(b"mvq.pipelinespec.v1");
+        h.update_u64(self.k as u64);
+        h.update_u64(self.d as u64);
+        h.update_u64(self.keep_n as u64);
+        h.update_u64(self.m as u64);
+        match self.prune_d {
+            None => h.update(&[0]),
+            Some(p) => {
+                h.update(&[1]);
+                h.update_u64(p as u64);
+            }
+        }
+        h.update(&[grouping_tag(self.grouping)]);
+        match self.codebook_bits {
+            None => h.update(&[0]),
+            Some(b) => {
+                h.update(&[1]);
+                h.update_u64(b as u64);
+            }
+        }
+        h.update_u64(self.scalar_bits as u64);
+        h.update_u64(self.swap_trials as u64);
+        h.update(&[kernel_tag(self.kernel)]);
+        h.finish()
+    }
+}
+
+/// Stable one-byte encoding of [`GroupingStrategy`] shared by the
+/// fingerprint and the artifact codec. Append-only: existing values must
+/// never be renumbered, or fingerprints and serialized blobs drift.
+pub(crate) fn grouping_tag(g: GroupingStrategy) -> u8 {
+    match g {
+        GroupingStrategy::KernelWise => 0,
+        GroupingStrategy::OutputChannelWise => 1,
+        GroupingStrategy::InputChannelWise => 2,
+    }
+}
+
+/// Inverse of [`grouping_tag`].
+pub(crate) fn grouping_from_tag(tag: u8) -> Result<GroupingStrategy, MvqError> {
+    match tag {
+        0 => Ok(GroupingStrategy::KernelWise),
+        1 => Ok(GroupingStrategy::OutputChannelWise),
+        2 => Ok(GroupingStrategy::InputChannelWise),
+        other => Err(MvqError::Codec(format!("unknown grouping tag {other}"))),
+    }
+}
+
+/// Stable one-byte encoding of [`KernelStrategy`]; same append-only rule
+/// as [`grouping_tag`].
+pub(crate) fn kernel_tag(k: KernelStrategy) -> u8 {
+    match k {
+        KernelStrategy::Naive => 0,
+        KernelStrategy::Blocked => 1,
+        KernelStrategy::Minibatch => 2,
+    }
 }
 
 /// Registry names, in canonical order.
 pub const ALGORITHM_NAMES: [&str; 8] = ["mvq", "vq-a", "vq-b", "vq-c", "pqf", "bgd", "dkm", "pvq"];
+
+/// Resolves `name` (including the `vq` alias) to its canonical `'static`
+/// registry name, or `None` for unknown algorithms. Used by the artifact
+/// codec and cache so string keys always live in registry-canonical form.
+pub fn canonical_name(name: &str) -> Option<&'static str> {
+    if name == "vq" {
+        return Some("vq-a");
+    }
+    ALGORITHM_NAMES.iter().find(|&&n| n == name).copied()
+}
 
 /// Builds the named compressor from `spec`.
 ///
@@ -1037,6 +1118,54 @@ mod tests {
         let arts2 = pvq.compress_model(&mut model2, &mut rng).unwrap();
         assert!(arts2.skipped.is_empty(), "pvq quantizes every conv");
         assert!(arts2.layers.len() > arts.layers.len());
+    }
+
+    #[test]
+    fn fingerprint_is_pinned() {
+        // The canonical encoding behind cache keys. If this test fails you
+        // changed the fingerprint layout: update the pin *and* treat every
+        // existing artifact cache as invalidated (the domain separator in
+        // `fingerprint()` should be bumped alongside).
+        assert_eq!(PipelineSpec::default().fingerprint(), 6959797930409263823);
+    }
+
+    #[test]
+    fn fingerprint_covers_every_compression_relevant_field() {
+        let base = PipelineSpec::default();
+        let variants = [
+            base.clone().with_k(65),
+            base.clone().with_d(8),
+            base.clone().with_nm(2, 16),
+            base.clone().with_nm(4, 8),
+            base.clone().with_prune_d(8),
+            PipelineSpec { grouping: GroupingStrategy::KernelWise, ..base.clone() },
+            PipelineSpec { codebook_bits: None, ..base.clone() },
+            PipelineSpec { codebook_bits: Some(4), ..base.clone() },
+            base.clone().with_scalar_bits(4),
+            base.clone().with_swap_trials(999),
+            base.clone().with_kernel(KernelStrategy::Naive),
+            base.clone().with_kernel(KernelStrategy::Minibatch),
+        ];
+        let mut seen = vec![base.fingerprint()];
+        for (i, v) in variants.iter().enumerate() {
+            let fp = v.fingerprint();
+            assert!(!seen.contains(&fp), "variant {i} collides with an earlier fingerprint");
+            seen.push(fp);
+        }
+        // equal specs agree
+        assert_eq!(base.fingerprint(), PipelineSpec::default().fingerprint());
+        // prune_d: None and Some(d) are distinct identities even though
+        // they behave the same for case B — the fingerprint is structural
+        assert_ne!(base.fingerprint(), base.clone().with_prune_d(base.d).fingerprint());
+    }
+
+    #[test]
+    fn canonical_name_resolves_aliases_and_rejects_unknowns() {
+        assert_eq!(canonical_name("vq"), Some("vq-a"));
+        for name in ALGORITHM_NAMES {
+            assert_eq!(canonical_name(name), Some(name));
+        }
+        assert_eq!(canonical_name("vqgan"), None);
     }
 
     #[test]

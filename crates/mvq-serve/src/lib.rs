@@ -1,0 +1,340 @@
+//! # mvq-serve — the batch compression service
+//!
+//! Serving layer over the `mvq_core` pipeline registry: accepts many
+//! `(weight, spec, algorithm)` jobs at once, deduplicates identical jobs
+//! in flight, fans unique work out rayon-parallel, and answers from a
+//! content-addressed [`ArtifactCache`] whenever the same compression has
+//! been done before — in this process or (with a disk-backed cache) by a
+//! previous one.
+//!
+//! Identity is *content*, not position: a job's [`CacheKey`] combines the
+//! weight tensor's bit-pattern hash, the [`PipelineSpec`] fingerprint,
+//! the canonical algorithm name, the kernel strategy, and the RNG seed.
+//! Two jobs agreeing on all five are the same compression, wherever they
+//! appear in a batch — the service compresses once and every duplicate
+//! shares the result. Because every algorithm in
+//! `mvq_core::pipeline::by_name` is deterministic for a fixed seed, a
+//! cache hit is **bit-identical** to recompressing from scratch (the
+//! round-trip/equivalence suites in `tests/` prove this for every
+//! registry method, in debug and `--release`).
+//!
+//! Seeds may be pinned per job or left to the service, which derives a
+//! deterministic *content seed* from the rest of the key — so unseeded
+//! workloads still dedupe and cache across batches and processes.
+//!
+//! ```
+//! use mvq_core::pipeline::PipelineSpec;
+//! use mvq_serve::{BatchCompressionService, CompressionJob};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let w = mvq_tensor::kaiming_normal(vec![64, 16], 16, &mut rng);
+//! let spec = PipelineSpec { k: 8, ..PipelineSpec::default() };
+//! let service = BatchCompressionService::in_memory();
+//! let jobs = vec![
+//!     CompressionJob::new("conv1", w.clone(), "mvq", spec.clone()),
+//!     CompressionJob::new("conv1-again", w, "mvq", spec), // deduped
+//! ];
+//! let report = service.submit(jobs)?;
+//! assert_eq!(report.outcomes.len(), 2);
+//! assert_eq!(report.unique_jobs, 1);
+//! assert_eq!(report.deduped_jobs, 1);
+//! # Ok::<(), mvq_core::MvqError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use mvq_core::pipeline::{by_name, canonical_name, PipelineSpec};
+use mvq_core::store::{ArtifactCache, CacheKey, CacheStats, Fnv1a};
+use mvq_core::{CompressedArtifact, MvqError};
+use mvq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// One unit of work for the service: compress `weight` with `algo` under
+/// `spec`.
+#[derive(Debug, Clone)]
+pub struct CompressionJob {
+    /// Caller-chosen label (e.g. a layer name); not part of the identity.
+    pub name: String,
+    /// The weight tensor to compress.
+    pub weight: Tensor,
+    /// Registry algorithm name (aliases like `vq` are canonicalized).
+    pub algo: String,
+    /// Pipeline hyperparameters.
+    pub spec: PipelineSpec,
+    /// RNG seed. `None` lets the service derive a deterministic seed from
+    /// the job's content, so identical jobs dedupe across batches.
+    pub seed: Option<u64>,
+}
+
+impl CompressionJob {
+    /// A job with a content-derived seed.
+    pub fn new(
+        name: impl Into<String>,
+        weight: Tensor,
+        algo: impl Into<String>,
+        spec: PipelineSpec,
+    ) -> CompressionJob {
+        CompressionJob { name: name.into(), weight, algo: algo.into(), spec, seed: None }
+    }
+
+    /// Pins the RNG seed (the seed becomes part of the cache identity).
+    pub fn with_seed(mut self, seed: u64) -> CompressionJob {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+/// The served result of one job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job's label, as submitted.
+    pub name: String,
+    /// The content address the job resolved to.
+    pub key: CacheKey,
+    /// The compressed artifact.
+    pub artifact: CompressedArtifact,
+    /// True when the artifact came from the cache rather than a fresh
+    /// compression in this batch.
+    pub from_cache: bool,
+    /// True when this job shared another in-batch job's compression
+    /// (identical key) instead of running its own.
+    pub deduped: bool,
+}
+
+/// What one [`BatchCompressionService::submit`] call did.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-job outcomes, in submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Distinct cache keys in the batch.
+    pub unique_jobs: usize,
+    /// Jobs answered by sharing an identical in-batch job.
+    pub deduped_jobs: usize,
+    /// Unique jobs answered from the cache.
+    pub cache_hits: usize,
+    /// Unique jobs compressed fresh in this batch.
+    pub compressed: usize,
+}
+
+/// The batch compression service: a content-addressed cache plus a
+/// deduplicating, rayon-parallel fan-out over the pipeline registry.
+pub struct BatchCompressionService {
+    cache: ArtifactCache,
+}
+
+impl BatchCompressionService {
+    /// A service over a purely in-memory cache.
+    pub fn in_memory() -> BatchCompressionService {
+        BatchCompressionService { cache: ArtifactCache::in_memory() }
+    }
+
+    /// A service whose cache persists blobs under `dir`, surviving
+    /// restarts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-directory creation errors.
+    pub fn with_cache_dir<P: AsRef<Path>>(dir: P) -> Result<BatchCompressionService, MvqError> {
+        Ok(BatchCompressionService { cache: ArtifactCache::with_dir(dir)? })
+    }
+
+    /// A service over an existing cache.
+    pub fn with_cache(cache: ArtifactCache) -> BatchCompressionService {
+        BatchCompressionService { cache }
+    }
+
+    /// The underlying cache (for stats and direct lookups).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Cache traffic counters accumulated over the service's lifetime.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Serves a batch: resolves every job to its content address, answers
+    /// what it can from the cache, compresses the remaining *unique* jobs
+    /// rayon-parallel (duplicates ride along for free), stores the fresh
+    /// artifacts, and reports per-job outcomes in submission order.
+    ///
+    /// Deterministic end to end: the same batch — in any order, serial or
+    /// parallel — produces bit-identical artifacts and the same
+    /// unique/dedupe/hit counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first job validation, compression, or cache error.
+    pub fn submit(&self, jobs: Vec<CompressionJob>) -> Result<BatchReport, MvqError> {
+        // resolve identities in submission order
+        let mut keys: Vec<CacheKey> = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            let seed = job.seed.unwrap_or_else(|| content_seed(job));
+            keys.push(CacheKey::new(&job.algo, &job.weight, &job.spec, seed)?);
+        }
+
+        // dedupe: first job with a given key is its representative
+        let mut representative: HashMap<&CacheKey, usize> = HashMap::new();
+        for (idx, key) in keys.iter().enumerate() {
+            representative.entry(key).or_insert(idx);
+        }
+
+        // answer representatives from the cache; the rest compress fresh
+        let mut pending: Vec<usize> = Vec::new();
+        let mut served: HashMap<usize, (CompressedArtifact, bool)> = HashMap::new();
+        for (&key, &idx) in &representative {
+            match self.cache.get(key)? {
+                Some(artifact) => {
+                    served.insert(idx, (artifact, true));
+                }
+                None => pending.push(idx),
+            }
+        }
+        pending.sort_unstable(); // deterministic fan-out order
+        let cache_hits = served.len();
+        let compressed = pending.len();
+
+        let fresh: Vec<(usize, CompressedArtifact)> = pending
+            .into_par_iter()
+            .map(|idx: usize| -> Result<(usize, CompressedArtifact), MvqError> {
+                let job = &jobs[idx];
+                let comp = by_name(&job.algo, &job.spec)?;
+                let mut rng = StdRng::seed_from_u64(keys[idx].seed);
+                Ok((idx, comp.compress_matrix(&job.weight, &mut rng)?))
+            })
+            .collect::<Result<Vec<_>, MvqError>>()?;
+        for (idx, artifact) in fresh {
+            self.cache.put(&keys[idx], &artifact)?;
+            served.insert(idx, (artifact, false));
+        }
+
+        // assemble per-job outcomes in submission order
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        let mut deduped_jobs = 0usize;
+        for (idx, (job, key)) in jobs.iter().zip(&keys).enumerate() {
+            let rep = representative[key];
+            let deduped = rep != idx;
+            if deduped {
+                deduped_jobs += 1;
+            }
+            let (artifact, from_cache) = served[&rep].clone();
+            outcomes.push(JobOutcome {
+                name: job.name.clone(),
+                key: key.clone(),
+                artifact,
+                from_cache,
+                deduped,
+            });
+        }
+        Ok(BatchReport {
+            outcomes,
+            unique_jobs: representative.len(),
+            deduped_jobs,
+            cache_hits,
+            compressed,
+        })
+    }
+}
+
+/// Deterministic seed for an unseeded job, derived from its content
+/// identity — the same weight/spec/algorithm always compresses with the
+/// same RNG stream, so unseeded jobs dedupe and cache across batches and
+/// processes. The algorithm is folded in *canonicalized* (aliases like
+/// `vq` must derive the same seed as `vq-a`); unknown names fall back to
+/// the raw string and are rejected by `CacheKey::new` right after.
+fn content_seed(job: &CompressionJob) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(b"mvq.serve.contentseed.v1");
+    h.update_u64(mvq_core::weight_hash(&job.weight));
+    h.update_u64(job.spec.fingerprint());
+    h.update(canonical_name(&job.algo).unwrap_or(&job.algo).as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weight(seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        mvq_tensor::kaiming_normal(vec![32, 16], 16, &mut rng)
+    }
+
+    fn spec() -> PipelineSpec {
+        PipelineSpec { k: 8, swap_trials: 100, ..PipelineSpec::default() }
+    }
+
+    #[test]
+    fn batch_dedupes_identical_jobs() {
+        let service = BatchCompressionService::in_memory();
+        let w = weight(0);
+        let jobs = vec![
+            CompressionJob::new("a", w.clone(), "mvq", spec()),
+            CompressionJob::new("b", w.clone(), "mvq", spec()),
+            CompressionJob::new("c", w, "vq-a", spec()),
+        ];
+        let report = service.submit(jobs).unwrap();
+        assert_eq!(report.unique_jobs, 2);
+        assert_eq!(report.deduped_jobs, 1);
+        assert_eq!(report.cache_hits, 0);
+        assert_eq!(report.compressed, 2);
+        assert!(report.outcomes[1].deduped);
+        let bits = |a: &CompressedArtifact| {
+            a.reconstruct().unwrap().data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&report.outcomes[0].artifact), bits(&report.outcomes[1].artifact));
+    }
+
+    #[test]
+    fn second_batch_is_all_hits() {
+        let service = BatchCompressionService::in_memory();
+        let jobs = || vec![CompressionJob::new("a", weight(1), "mvq", spec())];
+        let first = service.submit(jobs()).unwrap();
+        assert_eq!(first.cache_hits, 0);
+        let second = service.submit(jobs()).unwrap();
+        assert_eq!(second.cache_hits, 1);
+        assert_eq!(second.compressed, 0);
+        assert!(second.outcomes[0].from_cache);
+    }
+
+    #[test]
+    fn pinned_seeds_split_identity() {
+        let service = BatchCompressionService::in_memory();
+        let w = weight(2);
+        let jobs = vec![
+            CompressionJob::new("a", w.clone(), "mvq", spec()).with_seed(1),
+            CompressionJob::new("b", w, "mvq", spec()).with_seed(2),
+        ];
+        let report = service.submit(jobs).unwrap();
+        assert_eq!(report.unique_jobs, 2);
+        assert_eq!(report.deduped_jobs, 0);
+    }
+
+    #[test]
+    fn alias_and_canonical_name_are_one_identity() {
+        // `vq` is the documented alias of `vq-a`: unseeded jobs under
+        // either spelling must derive the same content seed, hence the
+        // same cache key, and dedupe into one compression
+        let service = BatchCompressionService::in_memory();
+        let w = weight(4);
+        let jobs = vec![
+            CompressionJob::new("alias", w.clone(), "vq", spec()),
+            CompressionJob::new("canonical", w, "vq-a", spec()),
+        ];
+        let report = service.submit(jobs).unwrap();
+        assert_eq!(report.unique_jobs, 1);
+        assert_eq!(report.deduped_jobs, 1);
+        assert_eq!(report.outcomes[0].key, report.outcomes[1].key);
+    }
+
+    #[test]
+    fn unknown_algo_is_a_typed_error() {
+        let service = BatchCompressionService::in_memory();
+        let jobs = vec![CompressionJob::new("a", weight(3), "vqgan", spec())];
+        assert!(matches!(service.submit(jobs), Err(MvqError::InvalidConfig(_))));
+    }
+}

@@ -17,6 +17,9 @@
 //!   [`core::pipeline::registry`]
 //! * [`accel`] — the EWS systolic-array accelerator simulator (six hardware
 //!   settings, energy/area/performance models, roofline)
+//! * [`serve`] — the batch compression service: versioned artifact
+//!   serialization ([`core::store`]) behind a content-addressed cache and
+//!   a deduplicating, parallel job fan-out
 //!
 //! ## Quickstart
 //!
@@ -56,4 +59,5 @@
 pub use mvq_accel as accel;
 pub use mvq_core as core;
 pub use mvq_nn as nn;
+pub use mvq_serve as serve;
 pub use mvq_tensor as tensor;

@@ -1,9 +1,12 @@
 //! Trait-conformance tests: every compressor in the pipeline registry must
 //! honor the shared `Compressor` / `CompressedArtifact` contract on the
-//! same seeded weight matrix.
+//! same seeded weight matrix — and the batch compression service must
+//! serve cache hits bit-identical to fresh compressions, deterministically
+//! across submission order and batching.
 
 use mvq::core::pipeline::{by_name, registry, PipelineSpec, ALGORITHM_NAMES};
-use mvq::core::{KernelStrategy, ModelCompressor, MvqConfig, Parallelism};
+use mvq::core::{CompressedArtifact, KernelStrategy, ModelCompressor, MvqConfig, Parallelism};
+use mvq::serve::{BatchCompressionService, CompressionJob};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -173,6 +176,141 @@ fn trait_object_and_concrete_mvq_agree() {
         .compress_matrix(&w, &mut StdRng::seed_from_u64(9))
         .unwrap();
     assert_eq!(via_registry.reconstruct().unwrap().data(), concrete.reconstruct().unwrap().data());
+}
+
+fn artifact_bits(a: &CompressedArtifact) -> Vec<u32> {
+    a.reconstruct().expect("reconstruct").data().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn cache_hit_is_bit_identical_to_fresh_compression_for_every_algorithm() {
+    // The service contract: serving a repeated job from the cache must be
+    // observably indistinguishable from compressing it again — the decode
+    // of the stored blob reconstructs the exact bit pattern a fresh run
+    // (same seed, direct through the registry) produces.
+    let w = test_weight();
+    let spec = PipelineSpec { k: 8, swap_trials: 200, ..PipelineSpec::default() };
+    let service = BatchCompressionService::in_memory();
+    for name in ALGORITHM_NAMES {
+        let job = || vec![CompressionJob::new(name, w.clone(), name, spec.clone()).with_seed(41)];
+        let cold = service.submit(job()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!cold.outcomes[0].from_cache, "{name}: first submission must compress");
+        let warm = service.submit(job()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(warm.outcomes[0].from_cache, "{name}: second submission must hit");
+        let fresh = by_name(name, &spec)
+            .expect("valid spec")
+            .compress_matrix(&w, &mut StdRng::seed_from_u64(41))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        for (label, served) in
+            [("cold", &cold.outcomes[0].artifact), ("warm", &warm.outcomes[0].artifact)]
+        {
+            assert_eq!(
+                artifact_bits(served),
+                artifact_bits(&fresh),
+                "{name}: {label} serve diverges from a fresh compression"
+            );
+            assert_eq!(served.storage(), fresh.storage(), "{name}: {label} storage");
+        }
+    }
+}
+
+#[test]
+fn service_is_deterministic_across_order_and_batching() {
+    // The same job set — shuffled, and split one-job-per-batch (serial)
+    // vs one big batch (parallel fan-out) — must produce bit-identical
+    // artifacts per job name and the same dedupe/hit accounting.
+    let spec = PipelineSpec { k: 8, swap_trials: 200, ..PipelineSpec::default() };
+    let mut wrng = StdRng::seed_from_u64(0xBEEF);
+    let weights: Vec<mvq::tensor::Tensor> =
+        (0..4).map(|_| mvq::tensor::kaiming_normal(vec![32, 16], 16, &mut wrng)).collect();
+    let jobs = || -> Vec<CompressionJob> {
+        let mut jobs = Vec::new();
+        for (i, w) in weights.iter().enumerate() {
+            for algo in ["mvq", "vq-a", "pvq"] {
+                jobs.push(CompressionJob::new(
+                    format!("w{i}-{algo}"),
+                    w.clone(),
+                    algo,
+                    spec.clone(),
+                ));
+                // a duplicate of every job, exercising in-flight dedup
+                jobs.push(CompressionJob::new(
+                    format!("w{i}-{algo}-dup"),
+                    w.clone(),
+                    algo,
+                    spec.clone(),
+                ));
+            }
+        }
+        jobs
+    };
+    let collect = |outcomes: &[mvq::serve::JobOutcome]| {
+        let mut named: Vec<(String, Vec<u32>)> =
+            outcomes.iter().map(|o| (o.name.clone(), artifact_bits(&o.artifact))).collect();
+        named.sort();
+        named
+    };
+
+    let batched = BatchCompressionService::in_memory();
+    let big = batched.submit(jobs()).expect("batch");
+    assert_eq!(big.unique_jobs, 12);
+    assert_eq!(big.deduped_jobs, 12);
+    assert_eq!(big.cache_hits, 0);
+
+    // shuffled order: reverse is a deterministic shuffle
+    let shuffled_service = BatchCompressionService::in_memory();
+    let mut reversed = jobs();
+    reversed.reverse();
+    let shuffled = shuffled_service.submit(reversed).expect("shuffled batch");
+    assert_eq!(collect(&big.outcomes), collect(&shuffled.outcomes), "order changed results");
+    assert_eq!(shuffled.unique_jobs, 12);
+    assert_eq!(shuffled.deduped_jobs, 12);
+
+    // serial: one batch per job — same artifacts, hit counts fully
+    // determined by duplicate structure (every dup hits the cache)
+    let serial_service = BatchCompressionService::in_memory();
+    let mut serial_outcomes = Vec::new();
+    let mut serial_hits = 0usize;
+    for job in jobs() {
+        let report = serial_service.submit(vec![job]).expect("serial submit");
+        serial_hits += report.cache_hits;
+        serial_outcomes.extend(report.outcomes);
+    }
+    assert_eq!(collect(&big.outcomes), collect(&serial_outcomes), "batching changed results");
+    assert_eq!(serial_hits, 12, "every duplicate must be a cache hit when submitted serially");
+
+    // resubmitting the whole set is all hits, counted once per unique key
+    let resubmit = batched.submit(jobs()).expect("resubmit");
+    assert_eq!(resubmit.cache_hits, 12);
+    assert_eq!(resubmit.compressed, 0);
+    assert_eq!(collect(&big.outcomes), collect(&resubmit.outcomes));
+}
+
+#[test]
+fn disk_backed_service_survives_restart_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("mvq-conformance-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = PipelineSpec { k: 8, ..PipelineSpec::default() };
+    let w = test_weight();
+    let job = || vec![CompressionJob::new("conv0", w.clone(), "mvq", spec.clone())];
+
+    let first = BatchCompressionService::with_cache_dir(&dir).expect("cache dir");
+    let cold = first.submit(job()).expect("cold");
+    assert_eq!(cold.compressed, 1);
+    drop(first);
+
+    // a new service over the same directory: the artifact must come back
+    // from disk, bit-identical
+    let second = BatchCompressionService::with_cache_dir(&dir).expect("cache dir");
+    let warm = second.submit(job()).expect("warm");
+    assert_eq!(warm.cache_hits, 1);
+    assert_eq!(warm.compressed, 0);
+    assert_eq!(
+        artifact_bits(&cold.outcomes[0].artifact),
+        artifact_bits(&warm.outcomes[0].artifact),
+        "disk round-trip changed the artifact"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -2,9 +2,12 @@
 //! loudly with a typed error, never panic or silently corrupt.
 
 use mvq::accel::{AccelError, FunctionalEws, HwConfig, HwSetting};
+use mvq::core::pipeline::{by_name, PipelineSpec};
+use mvq::core::store::{ArtifactCache, CacheKey, Persist, FORMAT_VERSION};
 use mvq::core::{
     masked_assign_with, masked_kmeans, masked_kmeans_minibatch, masked_sse_with, prune_matrix_nm,
-    GroupingStrategy, KernelStrategy, KmeansConfig, MvqCompressor, MvqConfig, MvqError, NmMask,
+    CompressedArtifact, GroupingStrategy, KernelStrategy, KmeansConfig, MvqCompressor, MvqConfig,
+    MvqError, NmMask,
 };
 use mvq::nn::layers::{Conv2d, Module, Sequential};
 use mvq::nn::NnError;
@@ -152,6 +155,127 @@ fn mask_rejects_d_not_dividing_group_size() {
     let err = NmMask::from_bits(1, 6, 2, 4, vec![true; 6]).unwrap_err();
     assert!(matches!(err, MvqError::InvalidConfig(_)));
     assert!(matches!(MvqConfig::new(8, 6, 2, 4), Err(MvqError::InvalidConfig(_))));
+}
+
+fn sample_artifact(algo: &str) -> CompressedArtifact {
+    let mut rng = StdRng::seed_from_u64(77);
+    let w = mvq::tensor::kaiming_normal(vec![32, 16], 16, &mut rng);
+    let spec = PipelineSpec { k: 8, swap_trials: 100, ..PipelineSpec::default() };
+    by_name(algo, &spec).unwrap().compress_matrix(&w, &mut rng).unwrap()
+}
+
+#[test]
+fn truncated_blobs_are_typed_errors_at_every_length() {
+    // chopping the blob anywhere — inside the header, at a field
+    // boundary, mid-payload — must yield MvqError::Codec, never a panic
+    // or a silently short artifact
+    let bytes = sample_artifact("mvq").to_bytes();
+    for len in [0, 3, 4, 6, 7, 14, 22, 23, bytes.len() / 2, bytes.len() - 1] {
+        let err = CompressedArtifact::from_bytes(&bytes[..len]).unwrap_err();
+        assert!(matches!(err, MvqError::Codec(_)), "len {len}: {err:?}");
+    }
+    // and appending trailing garbage is equally loud
+    let mut extended = bytes.clone();
+    extended.push(0);
+    let err = CompressedArtifact::from_bytes(&extended).unwrap_err();
+    assert!(matches!(err, MvqError::Codec(_)), "{err:?}");
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let mut bytes = sample_artifact("vq-a").to_bytes();
+    bytes[0] = b'X';
+    let err = CompressedArtifact::from_bytes(&bytes).unwrap_err();
+    assert!(matches!(err, MvqError::Codec(_)));
+    assert!(err.to_string().contains("magic"), "{err}");
+}
+
+#[test]
+fn future_format_version_is_rejected_not_misread() {
+    let mut bytes = sample_artifact("pqf").to_bytes();
+    let future = (FORMAT_VERSION + 1).to_le_bytes();
+    bytes[4] = future[0];
+    bytes[5] = future[1];
+    let err = CompressedArtifact::from_bytes(&bytes).unwrap_err();
+    assert!(matches!(err, MvqError::Codec(_)));
+    assert!(err.to_string().contains("version"), "{err}");
+}
+
+#[test]
+fn wrong_blob_kind_is_rejected() {
+    // a valid artifact blob is not a ModelArtifacts blob: the kind tag in
+    // the header must prevent cross-type decoding
+    let bytes = sample_artifact("pvq").to_bytes();
+    let err = mvq::core::ModelArtifacts::from_bytes(&bytes).unwrap_err();
+    assert!(matches!(err, MvqError::Codec(_)), "{err:?}");
+}
+
+#[test]
+fn every_flipped_payload_byte_is_caught() {
+    // the checksum must catch any single-byte payload corruption — this
+    // is what keeps a bit-flipped cache blob from decoding into subtly
+    // wrong weights
+    let bytes = sample_artifact("mvq").to_bytes();
+    const HEADER_LEN: usize = 23;
+    for pos in HEADER_LEN..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0x01;
+        let err = CompressedArtifact::from_bytes(&corrupt).unwrap_err();
+        assert!(matches!(err, MvqError::Codec(_)), "flipped byte {pos}: {err:?}");
+    }
+}
+
+#[test]
+fn corrupt_cache_blob_is_rejected_loudly() {
+    let dir = std::env::temp_dir().join(format!("mvq-corrupt-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ArtifactCache::with_dir(&dir).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let w = mvq::tensor::kaiming_normal(vec![32, 16], 16, &mut rng);
+    let spec = PipelineSpec { k: 8, ..PipelineSpec::default() };
+    let key = CacheKey::new("mvq", &w, &spec, 7).unwrap();
+    cache.put(&key, &sample_artifact("mvq")).unwrap();
+
+    // flip one payload byte on disk, then look it up through a cold cache
+    let path = dir.join(key.blob_name());
+    let mut blob = std::fs::read(&path).unwrap();
+    let last = blob.len() - 1;
+    blob[last] ^= 0x10;
+    std::fs::write(&path, &blob).unwrap();
+    let cold = ArtifactCache::with_dir(&dir).unwrap();
+    let err = cold.get(&key).unwrap_err();
+    assert!(matches!(err, MvqError::Codec(_)), "{err:?}");
+    assert_eq!(cold.stats().corrupt_rejections, 1);
+    assert_eq!(cold.stats().hits, 0, "a corrupt blob must never count as a hit");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn differing_specs_never_collide_in_cache_keys() {
+    // kernel strategy and N:M pattern changes alter what a compression
+    // produces; their fingerprints (and therefore cache keys) must differ
+    // so the cache cannot serve an artifact produced under another config
+    let mut rng = StdRng::seed_from_u64(2);
+    let w = mvq::tensor::kaiming_normal(vec![32, 16], 16, &mut rng);
+    let base = PipelineSpec::default();
+    let kernels = [KernelStrategy::Naive, KernelStrategy::Blocked, KernelStrategy::Minibatch];
+    let mut keys = Vec::new();
+    for kernel in kernels {
+        keys.push(CacheKey::new("mvq", &w, &base.clone().with_kernel(kernel), 0).unwrap());
+    }
+    for nm in [(2usize, 16usize), (8, 16), (4, 8), (2, 8)] {
+        keys.push(CacheKey::new("mvq", &w, &base.clone().with_nm(nm.0, nm.1), 0).unwrap());
+    }
+    for (i, a) in keys.iter().enumerate() {
+        for b in &keys[i + 1..] {
+            assert_ne!(a, b, "distinct specs produced colliding cache keys");
+        }
+    }
+    // the same holds for the blob file names the disk cache uses
+    let mut names: Vec<String> = keys.iter().map(CacheKey::blob_name).collect();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), keys.len(), "blob names collide");
 }
 
 #[test]
