@@ -1,6 +1,6 @@
 //! Measures the masked-distance kernel strategies (naive oracle vs
-//! blocked vs minibatch) on the ResNet-18-lite workload and records the
-//! result in `BENCH_kernels.json`.
+//! blocked vs simd vs minibatch) on the ResNet-18-lite workload and
+//! records the result in `BENCH_kernels.json`.
 //!
 //! Two measurements per strategy, summed over every compressible conv of
 //! the model at the paper's ResNet operating point (d = 16, 4:16, k = 64):
@@ -9,17 +9,21 @@
 //! * a full `masked_kmeans` run to convergence (the kernel inside the
 //!   loop; minibatch swaps the loop itself).
 //!
-//! The binary also asserts that the blocked kernel's assignments equal
-//! the naive oracle's on every layer — a bench that drifted from the
-//! oracle would be measuring the wrong thing.
+//! The binary also asserts the kernel contracts on every layer before
+//! timing anything — blocked bit-identical to the naive oracle, simd
+//! assignment-identical with SSE inside the pinned ULP bound — a bench
+//! that drifted from the oracle would be measuring the wrong thing.
 //!
-//! Usage: `cargo run --release -p mvq-bench --bin bench_kernels`
+//! Usage: `cargo run --release -p mvq-bench --bin bench_kernels
+//! [strategy ...]` — optional strategy names (case-insensitive, parsed by
+//! `KernelStrategy::from_str`) restrict the run; default is all of them.
 
 use std::time::Instant;
 
+use mvq_core::differential::ulp_distance;
 use mvq_core::{
-    masked_assign_naive, masked_assign_with, masked_kmeans, prune_matrix_nm, GroupingStrategy,
-    KernelStrategy, KmeansConfig, NmMask,
+    masked_assign_naive, masked_assign_with, masked_kmeans, masked_sse_with, prune_matrix_nm,
+    GroupingStrategy, KernelStrategy, KmeansConfig, NmMask, REASSOC_SSE_ULP_BOUND,
 };
 use mvq_nn::models::Arch;
 use mvq_tensor::Tensor;
@@ -33,6 +37,17 @@ const M: usize = 16;
 const REPS: usize = 5;
 
 fn main() {
+    // optional CLI filter: strategy names through the one shared parser
+    let mut strategies: Vec<KernelStrategy> =
+        std::env::args().skip(1).map(|arg| arg.parse().unwrap_or_else(|e| panic!("{e}"))).collect();
+    if strategies.is_empty() {
+        strategies = KernelStrategy::ALL.to_vec();
+    }
+    if !strategies.contains(&KernelStrategy::Naive) {
+        // the oracle anchors every speedup and contract check
+        strategies.insert(0, KernelStrategy::Naive);
+    }
+
     let mut rng = StdRng::seed_from_u64(0);
     let model = Arch::ResNet18.build(8, &mut rng);
     let mut weights = Vec::new();
@@ -48,28 +63,52 @@ fn main() {
     let centers: Vec<Tensor> =
         layers.iter().map(|_| mvq_tensor::kaiming_normal(vec![K, D], D, &mut rng)).collect();
 
-    // sanity: the blocked kernel must agree with the oracle on this exact
-    // workload before its timing means anything
+    // contract sanity on this exact workload before any timing: blocked
+    // must be bit-identical to the oracle, simd assignment-identical with
+    // ULP-bounded SSE
+    let mut simd_sse_ulp_max = 0u32;
     for ((pruned, mask), c) in layers.iter().zip(&centers) {
         let naive = masked_assign_naive(pruned, mask, c);
-        let blocked =
-            masked_assign_with(KernelStrategy::Blocked, pruned, mask, c).expect("valid workload");
-        assert_eq!(naive, blocked, "blocked kernel diverged from the naive oracle");
+        for &strategy in &strategies {
+            if strategy == KernelStrategy::Naive {
+                continue;
+            }
+            let got = masked_assign_with(strategy, pruned, mask, c).expect("valid workload");
+            assert_eq!(naive, got, "{} kernel diverged from the naive oracle", strategy.name());
+        }
+        if strategies.contains(&KernelStrategy::Simd) {
+            let sse_naive =
+                masked_sse_with(KernelStrategy::Naive, pruned, mask, c, &naive).unwrap();
+            let sse_simd = masked_sse_with(KernelStrategy::Simd, pruned, mask, c, &naive).unwrap();
+            let ulp = ulp_distance(sse_naive, sse_simd);
+            assert!(
+                ulp <= REASSOC_SSE_ULP_BOUND,
+                "simd SSE diverged by {ulp} ULPs (bound {REASSOC_SSE_ULP_BOUND})"
+            );
+            simd_sse_ulp_max = simd_sse_ulp_max.max(ulp);
+        }
     }
 
-    let assign_naive = time_min(|| {
-        for ((pruned, mask), c) in layers.iter().zip(&centers) {
-            std::hint::black_box(masked_assign_naive(pruned, mask, c));
+    // one assignment pass per strategy (minibatch's assignment kernel is
+    // the blocked one, so it is skipped here — its loop is what differs)
+    let assign_secs = |strategy: KernelStrategy| {
+        time_min(|| {
+            for ((pruned, mask), c) in layers.iter().zip(&centers) {
+                std::hint::black_box(
+                    masked_assign_with(strategy, pruned, mask, c).expect("valid workload"),
+                );
+            }
+        })
+    };
+    let mut assign: Vec<(KernelStrategy, f64)> = Vec::new();
+    for &strategy in &strategies {
+        if strategy == KernelStrategy::Minibatch {
+            continue;
         }
-    });
-    let assign_blocked = time_min(|| {
-        for ((pruned, mask), c) in layers.iter().zip(&centers) {
-            std::hint::black_box(
-                masked_assign_with(KernelStrategy::Blocked, pruned, mask, c).unwrap(),
-            );
-        }
-    });
+        assign.push((strategy, assign_secs(strategy)));
+    }
 
+    // full clustering runs
     let kmeans_with = |kernel: KernelStrategy| {
         let mut sse = 0.0f64;
         let secs = time_min(|| {
@@ -83,38 +122,84 @@ fn main() {
         });
         (secs, sse)
     };
-    let (km_naive, sse_naive) = kmeans_with(KernelStrategy::Naive);
-    let (km_blocked, sse_blocked) = kmeans_with(KernelStrategy::Blocked);
-    assert_eq!(
-        sse_naive.to_bits(),
-        sse_blocked.to_bits(),
-        "full naive and blocked clustering runs must be bit-identical"
-    );
+    let mut kmeans: Vec<(KernelStrategy, f64, f64)> = Vec::new();
+    for &strategy in &strategies {
+        let (secs, sse) = kmeans_with(strategy);
+        kmeans.push((strategy, secs, sse));
+    }
+    let km_of = |s: KernelStrategy| kmeans.iter().find(|(k, _, _)| *k == s);
+    if let (Some((_, _, sse_naive)), Some((_, _, sse_blocked))) =
+        (km_of(KernelStrategy::Naive), km_of(KernelStrategy::Blocked))
+    {
+        assert_eq!(
+            sse_naive.to_bits(),
+            sse_blocked.to_bits(),
+            "full naive and blocked clustering runs must be bit-identical"
+        );
+    }
 
-    // minibatch goes through the dispatch path (it clamps k on layers
-    // smaller than K, exactly like the pipeline does)
-    let (km_minibatch, sse_minibatch) = kmeans_with(KernelStrategy::Minibatch);
+    let assign_naive = assign
+        .iter()
+        .find(|(s, _)| *s == KernelStrategy::Naive)
+        .map(|&(_, secs)| secs)
+        .expect("naive always runs");
+    let km_naive =
+        km_of(KernelStrategy::Naive).map(|&(_, secs, _)| secs).expect("naive always runs");
 
     let ms = |s: f64| s * 1e3;
-    let json = format!(
-        "{{\n  \"workload\": \"resnet18-lite\",\n  \"layers\": {},\n  \"subvectors_total\": {},\n  \"d\": {D},\n  \"k\": {K},\n  \"nm\": \"{KEEP_N}:{M}\",\n  \"reps\": {REPS},\n  \"assign_naive_ms\": {:.3},\n  \"assign_blocked_ms\": {:.3},\n  \"assign_blocked_speedup\": {:.2},\n  \"kmeans_naive_ms\": {:.3},\n  \"kmeans_blocked_ms\": {:.3},\n  \"kmeans_blocked_speedup\": {:.2},\n  \"kmeans_minibatch_ms\": {:.3},\n  \"kmeans_minibatch_speedup_vs_naive\": {:.2},\n  \"sse_naive\": {:.4},\n  \"sse_blocked\": {:.4},\n  \"sse_minibatch\": {:.4}\n}}\n",
-        layers.len(),
-        total_ng,
-        ms(assign_naive),
-        ms(assign_blocked),
-        assign_naive / assign_blocked,
-        ms(km_naive),
-        ms(km_blocked),
-        km_naive / km_blocked,
-        ms(km_minibatch),
-        km_naive / km_minibatch,
-        sse_naive,
-        sse_blocked,
-        sse_minibatch,
-    );
+    let mut fields = vec![
+        "  \"workload\": \"resnet18-lite\"".to_string(),
+        format!("  \"layers\": {}", layers.len()),
+        format!("  \"subvectors_total\": {total_ng}"),
+        format!("  \"d\": {D}"),
+        format!("  \"k\": {K}"),
+        format!("  \"nm\": \"{KEEP_N}:{M}\""),
+        format!("  \"reps\": {REPS}"),
+        format!("  \"simd_backend\": \"{}\"", simd_backend()),
+    ];
+    for &(strategy, secs) in &assign {
+        fields.push(format!("  \"assign_{}_ms\": {:.3}", strategy.name(), ms(secs)));
+        fields.push(format!(
+            "  \"assign_{}_speedup\": {:.2}",
+            strategy.name(),
+            assign_naive / secs
+        ));
+    }
+    if let (Some(&(_, simd_secs)), Some(&(_, blocked_secs))) = (
+        assign.iter().find(|(s, _)| *s == KernelStrategy::Simd),
+        assign.iter().find(|(s, _)| *s == KernelStrategy::Blocked),
+    ) {
+        fields
+            .push(format!("  \"assign_simd_vs_blocked_speedup\": {:.2}", blocked_secs / simd_secs));
+    }
+    for &(strategy, secs, sse) in &kmeans {
+        fields.push(format!("  \"kmeans_{}_ms\": {:.3}", strategy.name(), ms(secs)));
+        fields.push(format!(
+            "  \"kmeans_{}_speedup_vs_naive\": {:.2}",
+            strategy.name(),
+            km_naive / secs
+        ));
+        fields.push(format!("  \"sse_{}\": {:.4}", strategy.name(), sse));
+    }
+    if strategies.contains(&KernelStrategy::Simd) {
+        fields.push(format!("  \"simd_sse_ulp_max\": {simd_sse_ulp_max}"));
+        fields.push(format!("  \"simd_sse_ulp_bound\": {REASSOC_SSE_ULP_BOUND}"));
+    }
+    let json = format!("{{\n{}\n}}\n", fields.join(",\n"));
     print!("{json}");
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     eprintln!("wrote BENCH_kernels.json");
+}
+
+/// Which backend `KernelStrategy::Simd` dispatched to in this build.
+fn simd_backend() -> &'static str {
+    #[cfg(all(feature = "simd-intrinsics", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx") {
+            return "avx";
+        }
+    }
+    "portable-chunked"
 }
 
 /// Minimum wall time over `REPS` runs, after one warm-up run.

@@ -14,12 +14,13 @@
 //!
 //! The assignment/SSE hot loops run through [`crate::kernels`], selected
 //! by [`KmeansConfig::kernel`]: the per-row naive oracle, the cache-blocked
-//! LUT-masked kernel (bit-identical to the oracle, the default), or
-//! minibatch iterations ([`masked_kmeans_minibatch`]) that sample a batch
-//! of live subvectors per step — deterministic for a fixed seed, and the
-//! crosslayer scope's answer to clustering millions of subvectors at
-//! once. [`masked_assign_naive`] remains the reference every kernel is
-//! property-tested against.
+//! LUT-masked kernel (bit-identical to the oracle, the default), the
+//! lane-parallel SIMD kernel (assignment-identical, SSE within the pinned
+//! ULP bound), or minibatch iterations ([`masked_kmeans_minibatch`]) that
+//! sample a batch of live subvectors per step — deterministic for a fixed
+//! seed, and the crosslayer scope's answer to clustering millions of
+//! subvectors at once. [`masked_assign_naive`] remains the reference every
+//! kernel is differentially tested against (see [`crate::differential`]).
 
 use mvq_tensor::Tensor;
 use rand::Rng;
@@ -28,7 +29,7 @@ use crate::codebook::{Assignments, Codebook};
 use crate::error::MvqError;
 use crate::kernels::{
     default_minibatch_size, masked_assign_blocked_into, masked_assign_step, masked_sse_blocked,
-    KernelStrategy, MaskedDistancePlan,
+    masked_sse_simd, KernelStrategy, MaskedDistancePlan,
 };
 use crate::kmeans::{check_data, kmeanspp_init, KmeansConfig, KmeansResult};
 use crate::mask::NmMask;
@@ -90,9 +91,12 @@ pub fn masked_kmeans<R: Rng>(
         }
     }
     masked_assign_step(cfg.kernel, data, mask, plan.as_ref(), &centers, &mut assign);
-    let sse = match &plan {
-        None => masked_sse_naive(data, mask, &centers, &assign),
-        Some(plan) => masked_sse_blocked(data, plan, &centers, &assign),
+    // each strategy reports SSE through its own kernel: 0-ULP identical
+    // for the order-preserving ones, ULP-bounded for `Simd`
+    let sse = match (&plan, cfg.kernel) {
+        (None, _) => masked_sse_naive(data, mask, &centers, &assign),
+        (Some(plan), KernelStrategy::Simd) => masked_sse_simd(data, plan, &centers, &assign),
+        (Some(plan), _) => masked_sse_blocked(data, plan, &centers, &assign),
     };
     Ok(KmeansResult {
         codebook: Codebook::new(centers)?,

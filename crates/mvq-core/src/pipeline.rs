@@ -804,7 +804,7 @@ pub struct PipelineSpec {
     /// PQF hill-climb swap trials.
     pub swap_trials: usize,
     /// Distance/assignment kernel every clustering algorithm dispatches
-    /// to (`naive` oracle / `blocked` / `minibatch`).
+    /// to (`naive` oracle / `blocked` / `minibatch` / `simd`).
     pub kernel: KernelStrategy,
 }
 
@@ -935,12 +935,15 @@ pub(crate) fn grouping_from_tag(tag: u8) -> Result<GroupingStrategy, MvqError> {
 }
 
 /// Stable one-byte encoding of [`KernelStrategy`]; same append-only rule
-/// as [`grouping_tag`].
+/// as [`grouping_tag`]. `Simd` was appended as tag 3 in PR 4 — existing
+/// tags (and therefore existing fingerprints and cache blobs) are
+/// untouched.
 pub(crate) fn kernel_tag(k: KernelStrategy) -> u8 {
     match k {
         KernelStrategy::Naive => 0,
         KernelStrategy::Blocked => 1,
         KernelStrategy::Minibatch => 2,
+        KernelStrategy::Simd => 3,
     }
 }
 
@@ -1125,8 +1128,14 @@ mod tests {
         // The canonical encoding behind cache keys. If this test fails you
         // changed the fingerprint layout: update the pin *and* treat every
         // existing artifact cache as invalidated (the domain separator in
-        // `fingerprint()` should be bumped alongside).
+        // `fingerprint()` should be bumped alongside). Appending a new
+        // kernel tag must NOT move this pin — that is the append-only
+        // guarantee (the `simd` pin below covers the appended tag).
         assert_eq!(PipelineSpec::default().fingerprint(), 6959797930409263823);
+        assert_eq!(
+            PipelineSpec::default().with_kernel(KernelStrategy::Simd).fingerprint(),
+            6959800129432520245
+        );
     }
 
     #[test]
@@ -1145,6 +1154,7 @@ mod tests {
             base.clone().with_swap_trials(999),
             base.clone().with_kernel(KernelStrategy::Naive),
             base.clone().with_kernel(KernelStrategy::Minibatch),
+            base.clone().with_kernel(KernelStrategy::Simd),
         ];
         let mut seen = vec![base.fingerprint()];
         for (i, v) in variants.iter().enumerate() {

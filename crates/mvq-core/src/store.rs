@@ -243,7 +243,10 @@ impl<'a> Reader<'a> {
     fn tensor(&mut self) -> Result<Tensor, MvqError> {
         let dims = self.dims()?;
         let numel: usize = dims.iter().product();
-        let mut data = Vec::with_capacity(numel);
+        // cap the pre-allocation (same guard as the assignment/permutation
+        // readers): a malformed header must fail at the first short read,
+        // not abort on a multi-GB reservation
+        let mut data = Vec::with_capacity(numel.min(1 << 24));
         for _ in 0..numel {
             data.push(self.f32()?);
         }

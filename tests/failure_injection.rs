@@ -83,7 +83,7 @@ fn kernel_rejects_empty_layers() {
     let w = mvq::tensor::uniform(vec![8, 8], -1.0, 1.0, &mut rng);
     let (_, mask) = prune_matrix_nm(&w, 2, 4).unwrap();
     let centers = Tensor::ones(vec![2, 8]);
-    for kernel in [KernelStrategy::Naive, KernelStrategy::Blocked, KernelStrategy::Minibatch] {
+    for kernel in KernelStrategy::ALL {
         let err = masked_assign_with(kernel, &empty, &mask, &centers).unwrap_err();
         assert!(matches!(err, MvqError::InvalidConfig(_)), "{kernel:?}: {err:?}");
         let cfg = KmeansConfig::new(2).with_kernel(kernel);
@@ -109,6 +109,84 @@ fn kernel_rejects_empty_and_mismatched_codebooks() {
     let centers = Tensor::ones(vec![2, 8]);
     let err =
         masked_sse_with(KernelStrategy::Blocked, &pruned, &mask, &centers, &[7; 16]).unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)));
+}
+
+#[test]
+fn simd_kernel_edge_cases_match_the_oracle() {
+    // The shapes the chunked kernel can get wrong: d smaller than the
+    // 8-lane chunk (tail-only), d not a multiple of the chunk, k smaller
+    // than the 4-codeword block, single rows, and subvector counts that
+    // are not multiples of anything. Every one must reproduce the naive
+    // assignment exactly.
+    let cases: &[(usize, usize, usize, usize, usize)] = &[
+        // (ng, d, k, keep_n, m)
+        (1, 4, 1, 2, 4),   // d < chunk, k < block, one row
+        (7, 4, 3, 2, 4),   // tail-only lanes, k below the block width
+        (5, 12, 2, 3, 4),  // one full chunk + 4-lane tail
+        (9, 8, 5, 2, 4),   // exactly one chunk, k = block + 1
+        (13, 24, 6, 4, 8), // three chunks, odd row count
+    ];
+    for &(ng, d, k, keep_n, m) in cases {
+        let mut rng = StdRng::seed_from_u64((ng * 31 + d) as u64);
+        let w = mvq::tensor::uniform(vec![ng, d], -1.0, 1.0, &mut rng);
+        let (pruned, mask) = prune_matrix_nm(&w, keep_n, m).unwrap();
+        let centers = mvq::tensor::uniform(vec![k, d], -1.0, 1.0, &mut rng);
+        let naive = masked_assign_with(KernelStrategy::Naive, &pruned, &mask, &centers).unwrap();
+        let simd = masked_assign_with(KernelStrategy::Simd, &pruned, &mask, &centers).unwrap();
+        assert_eq!(naive, simd, "ng={ng} d={d} k={k}");
+    }
+}
+
+#[test]
+fn simd_kernel_rejects_the_same_degenerate_inputs_as_the_oracle() {
+    // Mirrors of the blocked-kernel failure cases, under `simd`: every
+    // degenerate input must be the same typed error, never a panic or a
+    // silently wrong answer.
+    let mut rng = StdRng::seed_from_u64(4);
+    let w = mvq::tensor::uniform(vec![16, 8], -1.0, 1.0, &mut rng);
+    let (pruned, mask) = prune_matrix_nm(&w, 2, 4).unwrap();
+    // empty [0, d] layer
+    let empty = Tensor::from_vec(vec![0, 8], vec![]).unwrap();
+    let centers = Tensor::ones(vec![2, 8]);
+    let err = masked_assign_with(KernelStrategy::Simd, &empty, &mask, &centers).unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)), "{err:?}");
+    // empty codebook
+    let none = Tensor::zeros(vec![0, 8]);
+    let err = masked_assign_with(KernelStrategy::Simd, &pruned, &mask, &none).unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)));
+    // codeword length mismatch
+    let wrong = Tensor::zeros(vec![4, 16]);
+    let err = masked_assign_with(KernelStrategy::Simd, &pruned, &mask, &wrong).unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)));
+    // SSE with out-of-range assignments
+    let err =
+        masked_sse_with(KernelStrategy::Simd, &pruned, &mask, &centers, &[7; 16]).unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)));
+    // all-zero masks stay unrepresentable regardless of strategy: the
+    // error fires in the mask constructor, before any kernel dispatch
+    let err = NmMask::from_bits(2, 4, 2, 4, vec![false; 8]).unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)));
+    // d not dividing M is rejected before the simd kernel ever runs
+    assert!(matches!(MvqConfig::new(8, 6, 2, 4), Err(MvqError::InvalidConfig(_))));
+    // and a full clustering run over an empty layer errors under simd too
+    let cfg = KmeansConfig::new(2).with_kernel(KernelStrategy::Simd);
+    let err = masked_kmeans(&empty, &mask, &cfg, &mut rng).unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)), "{err:?}");
+}
+
+#[test]
+fn kernel_strategy_parsing_fails_loudly_on_unknown_names() {
+    // FromStr is the single parser for strategy names: round-trips every
+    // canonical name case-insensitively, typed error otherwise.
+    for kernel in KernelStrategy::ALL {
+        assert_eq!(kernel.name().parse::<KernelStrategy>().unwrap(), kernel);
+        assert_eq!(kernel.name().to_uppercase().parse::<KernelStrategy>().unwrap(), kernel);
+    }
+    let err = "avx512-dreams".parse::<KernelStrategy>().unwrap_err();
+    assert!(matches!(err, MvqError::InvalidConfig(_)));
+    assert!(err.to_string().contains("avx512-dreams"), "{err}");
+    let err = "".parse::<KernelStrategy>().unwrap_err();
     assert!(matches!(err, MvqError::InvalidConfig(_)));
 }
 
@@ -258,9 +336,8 @@ fn differing_specs_never_collide_in_cache_keys() {
     let mut rng = StdRng::seed_from_u64(2);
     let w = mvq::tensor::kaiming_normal(vec![32, 16], 16, &mut rng);
     let base = PipelineSpec::default();
-    let kernels = [KernelStrategy::Naive, KernelStrategy::Blocked, KernelStrategy::Minibatch];
     let mut keys = Vec::new();
-    for kernel in kernels {
+    for kernel in KernelStrategy::ALL {
         keys.push(CacheKey::new("mvq", &w, &base.clone().with_kernel(kernel), 0).unwrap());
     }
     for nm in [(2usize, 16usize), (8, 16), (4, 8), (2, 8)] {
