@@ -1,27 +1,36 @@
-//! Measures the batch compression service on the ResNet-18-lite workload
-//! and records the result in `BENCH_service.json`.
+//! Measures the ticket-based compression service on the ResNet-18-lite
+//! workload and records the result in `BENCH_service.json`.
 //!
-//! Three passes over the same job set (every compressible conv × the
+//! Four passes over the same job set (every compressible conv × the
 //! `mvq` / `vq-a` / `bgd` registry algorithms, with duplicate jobs mixed
-//! in to exercise in-flight dedup):
+//! in to exercise in-flight dedup), all through
+//! `CompressionService::submit_one` + `Ticket::wait` over the worker
+//! pool:
 //!
-//! * **cold** — empty cache, every unique job compresses fresh;
-//! * **warm** — same batch again, every unique job answers from cache;
+//! * **cold** — empty cache, every distinct key compresses fresh;
+//! * **warm** — same jobs again, every ticket answers from cache; this
+//!   pass doubles as the queue-throughput measurement (`queue_jobs_per_s`
+//!   is pure submit→pool→ticket overhead, no compression on the path);
 //! * **disk** — a brand-new service over the blob directory the cold run
-//!   persisted, measuring decode-from-disk serving.
+//!   persisted, measuring decode-from-disk serving;
+//! * **evicted** — a brand-new service over the same directory under a
+//!   disk byte budget of ~half the blob bytes: the restart scan prunes
+//!   LRU-first, then the pass measures the warm-vs-evicted hit-rate
+//!   split (evicted keys recompress, surviving keys hit).
 //!
-//! The binary asserts warm and disk artifacts are bit-identical to the
-//! cold ones before reporting any number — a service that served wrong
-//! bytes fast would be measuring the wrong thing.
+//! The binary asserts every pass is bit-identical to the cold artifacts
+//! before reporting any number — a service that served wrong bytes fast
+//! would be measuring the wrong thing.
 //!
 //! Usage: `cargo run --release -p mvq-bench --bin bench_service`
 
+use std::collections::HashSet;
 use std::time::Instant;
 
 use mvq_core::pipeline::PipelineSpec;
 use mvq_core::CompressedArtifact;
 use mvq_nn::models::Arch;
-use mvq_serve::{BatchCompressionService, BatchReport, CompressionJob};
+use mvq_serve::{CachePolicy, CompressionRequest, CompressionService, JobOutcome, Ticket};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,67 +46,113 @@ fn main() {
 
     // every compressible conv × algorithm, plus DUPLICATES copies of each
     // job so the in-flight dedup path is on the measured path
-    let jobs = || -> Vec<CompressionJob> {
-        let mut jobs = Vec::new();
+    let requests = || -> Vec<CompressionRequest> {
+        let mut requests = Vec::new();
         for algo in ALGOS {
             for (i, w) in weights.iter().enumerate() {
                 if w.dims()[0] % spec.d != 0 {
                     continue; // not groupable at the paper's operating point
                 }
                 for copy in 0..=DUPLICATES {
-                    jobs.push(CompressionJob::new(
-                        format!("conv{i}-{algo}-{copy}"),
-                        w.clone(),
-                        algo,
-                        spec.clone(),
-                    ));
+                    requests.push(
+                        CompressionRequest::builder(
+                            format!("conv{i}-{algo}-{copy}"),
+                            w.clone(),
+                            algo,
+                        )
+                        .spec(spec.clone())
+                        .build()
+                        .expect("bench request is valid"),
+                    );
                 }
             }
         }
-        jobs
+        requests
     };
-
     let cache_dir = std::env::temp_dir().join("mvq-bench-service-cache");
     let _ = std::fs::remove_dir_all(&cache_dir);
 
-    let cold_service = BatchCompressionService::with_cache_dir(&cache_dir).expect("cache dir");
-    let (cold_secs, cold) = timed(|| cold_service.submit(jobs()).expect("cold batch"));
-    let (warm_secs, warm) = timed(|| cold_service.submit(jobs()).expect("warm batch"));
+    let cold_service = CompressionService::with_cache_dir(&cache_dir).expect("cache dir");
+    let workers = cold_service.workers();
+    let (cold_secs, cold) = run_pass(&cold_service, requests());
+    let distinct = {
+        let mut keys = HashSet::new();
+        for outcome in &cold.outcomes {
+            keys.insert(outcome.key.clone());
+        }
+        keys.len()
+    };
+    assert_eq!(cold.fresh, distinct, "cold run must compress every distinct key exactly once");
+    let (warm_secs, warm) = run_pass(&cold_service, requests());
+    assert_eq!(warm.fresh, 0, "warm run must be all hits");
+    let disk_bytes_unbounded = cold_service.cache().disk_bytes();
+    let disk_len_unbounded = cold_service.cache().disk_len();
+    let memory_bytes = cold_service.cache().memory_bytes();
+    drop(cold_service);
 
     // a fresh process over the same blob directory: serving = disk decode
-    let disk_service = BatchCompressionService::with_cache_dir(&cache_dir).expect("cache dir");
-    let (disk_secs, disk) = timed(|| disk_service.submit(jobs()).expect("disk batch"));
+    let disk_service = CompressionService::with_cache_dir(&cache_dir).expect("cache dir");
+    let (disk_secs, disk) = run_pass(&disk_service, requests());
+    assert_eq!(disk.fresh, 0, "disk run must be all hits");
+    drop(disk_service);
 
-    assert_eq!(cold.cache_hits, 0, "cold run must start empty");
-    assert_eq!(warm.compressed, 0, "warm run must be all hits");
-    assert_eq!(disk.compressed, 0, "disk run must be all hits");
-    for (label, rerun) in [("warm", &warm), ("disk", &disk)] {
-        for (a, b) in cold.outcomes.iter().zip(&rerun.outcomes) {
+    // the eviction pass: a disk budget of ~half the blob bytes prunes the
+    // stalest blobs at startup; evicted keys recompress, survivors hit
+    let disk_budget = disk_bytes_unbounded / 2;
+    let evicted_service = CompressionService::builder()
+        .cache_dir(&cache_dir)
+        .cache_policy(CachePolicy::UNBOUNDED.with_disk_budget(disk_budget))
+        .build()
+        .expect("cache dir");
+    let evicted_at_start = evicted_service.cache_stats().disk_evictions;
+    assert!(evicted_at_start > 0, "the budget must have evicted something");
+    // serve the surviving (most recently written) blobs first: replaying
+    // the original write order into an LRU cache at half capacity is the
+    // classic thrashing worst case (every recompression evicts the next
+    // survivor just before its job arrives, hit rate 0), which would
+    // measure the pathology instead of the warm-vs-evicted split
+    let mut evicted_requests = requests();
+    evicted_requests.reverse();
+    let (evicted_secs, evicted) = run_pass(&evicted_service, evicted_requests);
+    assert!(evicted.fresh > 0, "some keys must have recompressed after eviction");
+    assert!(
+        evicted_service.cache().disk_bytes() <= disk_budget,
+        "disk budget exceeded: {} > {disk_budget}",
+        evicted_service.cache().disk_bytes()
+    );
+    let evicted_stats = evicted_service.cache_stats();
+    drop(evicted_service);
+
+    let cold_bits: std::collections::HashMap<&str, Vec<u32>> =
+        cold.outcomes.iter().map(|o| (o.name.as_str(), bits(&o.artifact))).collect();
+    for (label, rerun) in [("warm", &warm), ("disk", &disk), ("evicted", &evicted)] {
+        for outcome in &rerun.outcomes {
             assert_eq!(
-                bits(&a.artifact),
-                bits(&b.artifact),
+                cold_bits[outcome.name.as_str()],
+                bits(&outcome.artifact),
                 "{label} serve of {} diverges from cold compression",
-                a.name
+                outcome.name
             );
         }
     }
 
     let n_jobs = cold.outcomes.len();
     let jps = |secs: f64| n_jobs as f64 / secs;
+    let hit_rate = |pass: &Pass| 1.0 - pass.fresh as f64 / distinct.max(1) as f64;
     let algo_list = ALGOS.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(", ");
     let json = format!(
-        "{{\n  \"workload\": \"resnet18-lite\",\n  \"algorithms\": [{algo_list}],\n  \"jobs\": {n_jobs},\n  \"unique_jobs\": {},\n  \"deduped_jobs\": {},\n  \"cold_s\": {:.3},\n  \"cold_jobs_per_s\": {:.2},\n  \"warm_s\": {:.3},\n  \"warm_jobs_per_s\": {:.2},\n  \"warm_speedup\": {:.1},\n  \"warm_hit_rate\": {:.4},\n  \"disk_s\": {:.3},\n  \"disk_jobs_per_s\": {:.2},\n  \"disk_hit_rate\": {:.4}\n}}\n",
-        cold.unique_jobs,
-        cold.deduped_jobs,
-        cold_secs,
+        "{{\n  \"workload\": \"resnet18-lite\",\n  \"algorithms\": [{algo_list}],\n  \"jobs\": {n_jobs},\n  \"unique_jobs\": {distinct},\n  \"deduped_jobs\": {},\n  \"workers\": {workers},\n  \"cold_s\": {cold_secs:.3},\n  \"cold_jobs_per_s\": {:.2},\n  \"warm_s\": {warm_secs:.3},\n  \"warm_jobs_per_s\": {:.2},\n  \"warm_speedup\": {:.1},\n  \"warm_hit_rate\": {:.4},\n  \"queue_jobs_per_s\": {:.2},\n  \"disk_s\": {disk_secs:.3},\n  \"disk_jobs_per_s\": {:.2},\n  \"disk_hit_rate\": {:.4},\n  \"evicted_s\": {evicted_secs:.3},\n  \"evicted_jobs_per_s\": {:.2},\n  \"evicted_hit_rate\": {:.4},\n  \"disk_budget_bytes\": {disk_budget},\n  \"disk_evictions\": {},\n  \"cache_memory_bytes\": {memory_bytes},\n  \"cache_disk_bytes\": {disk_bytes_unbounded},\n  \"cache_disk_len\": {disk_len_unbounded}\n}}\n",
+        cold.deduped,
         jps(cold_secs),
-        warm_secs,
         jps(warm_secs),
         cold_secs / warm_secs,
         hit_rate(&warm),
-        disk_secs,
+        jps(warm_secs),
         jps(disk_secs),
         hit_rate(&disk),
+        jps(evicted_secs),
+        hit_rate(&evicted),
+        evicted_stats.disk_evictions,
     );
     print!("{json}");
     std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
@@ -105,16 +160,29 @@ fn main() {
     let _ = std::fs::remove_dir_all(&cache_dir);
 }
 
-fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+/// What one submit-all/wait-all pass observed.
+struct Pass {
+    outcomes: Vec<JobOutcome>,
+    /// Outcomes that ran a fresh compression (neither cache hit nor
+    /// dedup rider) — exactly the recompression count.
+    fresh: usize,
+    /// Outcomes that shared an in-flight job's compression.
+    deduped: usize,
+}
+
+fn run_pass(service: &CompressionService, requests: Vec<CompressionRequest>) -> (f64, Pass) {
     let t0 = Instant::now();
-    let out = f();
-    (t0.elapsed().as_secs_f64(), out)
+    let tickets: Vec<Ticket> = requests.into_iter().map(|r| service.submit_one(r)).collect();
+    let outcomes: Vec<JobOutcome> = tickets
+        .into_iter()
+        .map(|t| t.wait().unwrap_or_else(|e| panic!("bench job failed: {e}")))
+        .collect();
+    let secs = t0.elapsed().as_secs_f64();
+    let fresh = outcomes.iter().filter(|o| !o.from_cache && !o.deduped).count();
+    let deduped = outcomes.iter().filter(|o| o.deduped).count();
+    (secs, Pass { outcomes, fresh, deduped })
 }
 
 fn bits(a: &CompressedArtifact) -> Vec<u32> {
     a.reconstruct().expect("reconstruct").data().iter().map(|v| v.to_bits()).collect()
-}
-
-fn hit_rate(report: &BatchReport) -> f64 {
-    report.cache_hits as f64 / report.unique_jobs.max(1) as f64
 }

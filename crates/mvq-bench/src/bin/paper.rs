@@ -1,7 +1,9 @@
-//! `paper` — regenerate any table or figure of the MVQ paper.
+//! `paper` — regenerate any table or figure of the MVQ paper, or drive
+//! the compression service from the command line.
 //!
 //! ```text
 //! paper <experiment>... [--quick]
+//! paper compress [--algo <name>,...] [--kernel <strategy>] [--cache-dir <dir>] ...
 //!
 //! experiments: table1 table2 table3 table4 table5 table6 table7 table8
 //!              table9 fig10 fig11 fig13 fig14 fig15 fig16 fig17 fig18
@@ -11,6 +13,8 @@
 //! Hardware experiments (tables 2/7/8/9, figs 14-20) run in seconds.
 //! Algorithm experiments train the lite model zoo on synthetic data;
 //! run them with `--release` (and optionally `--quick` for a smoke pass).
+//! `paper compress` rides the ticket-based `CompressionService` — see
+//! `mvq_bench::cli` for the flag reference.
 
 use std::process::ExitCode;
 
@@ -52,12 +56,17 @@ fn run_one(name: &str, cfg: &ExperimentConfig) -> Option<String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compress") {
+        return mvq_bench::cli::run_compress(&args[1..]);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
     let mut requested: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
     if requested.is_empty() {
         eprintln!(
             "usage: paper <experiment>... [--quick]\n\
+             \x20      paper compress [--algo <name>,...] [--kernel <strategy>] \
+             [--cache-dir <dir>] ...\n\
              experiments: {} {} fig19 ext1 ext2 | hw | alg | ext | all",
             HW_EXPERIMENTS.join(" "),
             ALG_EXPERIMENTS.join(" ")

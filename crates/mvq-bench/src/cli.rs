@@ -1,0 +1,315 @@
+//! `paper compress` — a registry-driven CLI front for the compression
+//! service.
+//!
+//! ```text
+//! paper compress [--algo <name>[,<name>...]] [--kernel <strategy>]
+//!                [--arch tiny|resnet18] [--k <K>] [--seed <SEED>]
+//!                [--workers <N>] [--cache-dir <DIR>]
+//!                [--memory-budget <BYTES>] [--disk-budget <BYTES>]
+//! ```
+//!
+//! Builds the requested lite model, submits one [`CompressionRequest`]
+//! per compressible conv × algorithm through a [`CompressionService`]
+//! (with `--cache-dir` the cache is durable, so a re-run serves hits;
+//! the budget flags exercise the byte-budgeted LRU eviction), waits on
+//! the tickets, and prints a per-layer outcome table plus cache stats.
+//! Job failures are printed per job and do not stop the run — the exit
+//! code reports whether every job succeeded.
+
+use std::process::ExitCode;
+
+use mvq_core::pipeline::{canonical_name, PipelineSpec};
+use mvq_core::KernelStrategy;
+use mvq_nn::models::Arch;
+use mvq_serve::{CachePolicy, CompressionRequest, CompressionService, Ticket};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const USAGE: &str = "usage: paper compress [--algo <name>[,<name>...]] [--kernel <strategy>] \
+                     [--arch tiny|resnet18] [--k <K>] [--seed <SEED>] [--workers <N>] \
+                     [--cache-dir <DIR>] [--memory-budget <BYTES>] [--disk-budget <BYTES>]";
+
+#[derive(Debug)]
+struct CompressArgs {
+    algos: Vec<String>,
+    kernel: Option<KernelStrategy>,
+    arch: String,
+    k: Option<usize>,
+    seed: Option<u64>,
+    workers: Option<usize>,
+    cache_dir: Option<String>,
+    memory_budget: Option<u64>,
+    disk_budget: Option<u64>,
+}
+
+fn parse_args(args: &[String]) -> Result<CompressArgs, String> {
+    let mut parsed = CompressArgs {
+        algos: vec!["mvq".to_string()],
+        kernel: None,
+        arch: "tiny".to_string(),
+        k: None,
+        seed: None,
+        workers: None,
+        cache_dir: None,
+        memory_budget: None,
+        disk_budget: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--algo" => {
+                parsed.algos = value("--algo")?.split(',').map(str::to_string).collect();
+            }
+            "--kernel" => {
+                // the one strategy parser everything shares: KernelStrategy::from_str
+                parsed.kernel =
+                    Some(value("--kernel")?.parse::<KernelStrategy>().map_err(|e| e.to_string())?);
+            }
+            "--arch" => parsed.arch = value("--arch")?.to_string(),
+            "--k" => {
+                parsed.k = Some(value("--k")?.parse().map_err(|e| format!("--k: {e}\n{USAGE}"))?);
+            }
+            "--seed" => {
+                parsed.seed =
+                    Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}\n{USAGE}"))?);
+            }
+            "--workers" => {
+                parsed.workers = Some(
+                    value("--workers")?.parse().map_err(|e| format!("--workers: {e}\n{USAGE}"))?,
+                );
+            }
+            "--cache-dir" => parsed.cache_dir = Some(value("--cache-dir")?.to_string()),
+            "--memory-budget" => {
+                parsed.memory_budget = Some(
+                    value("--memory-budget")?
+                        .parse()
+                        .map_err(|e| format!("--memory-budget: {e}\n{USAGE}"))?,
+                );
+            }
+            "--disk-budget" => {
+                parsed.disk_budget = Some(
+                    value("--disk-budget")?
+                        .parse()
+                        .map_err(|e| format!("--disk-budget: {e}\n{USAGE}"))?,
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    for algo in &parsed.algos {
+        if canonical_name(algo).is_none() {
+            return Err(format!(
+                "unknown algorithm `{algo}` (known: {})",
+                mvq_core::pipeline::ALGORITHM_NAMES.join(", ")
+            ));
+        }
+    }
+    if parsed.disk_budget.is_some() && parsed.cache_dir.is_none() {
+        return Err(format!(
+            "--disk-budget needs --cache-dir (an in-memory cache has no disk to budget)\n{USAGE}"
+        ));
+    }
+    Ok(parsed)
+}
+
+/// Entry point for the `compress` subcommand; `args` excludes the
+/// subcommand name itself.
+pub fn run_compress(args: &[String]) -> ExitCode {
+    let parsed = match parse_args(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // the lite workload: conv weights of the requested architecture
+    let mut rng = StdRng::seed_from_u64(parsed.seed.unwrap_or(0));
+    let model = match parsed.arch.as_str() {
+        "tiny" => mvq_nn::models::tiny_cnn(8, 16, &mut rng),
+        "resnet18" => Arch::ResNet18.build(8, &mut rng),
+        other => {
+            eprintln!("unknown arch `{other}` (known: tiny, resnet18)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut weights = Vec::new();
+    model.visit_convs(&mut |conv| weights.push(conv.weight.value.clone()));
+
+    let mut spec = PipelineSpec::default();
+    if let Some(k) = parsed.k {
+        spec.k = k;
+    } else if parsed.arch == "tiny" {
+        spec.k = 8; // the tiny convs have few subvectors; default k=64 cannot fit
+    }
+    if let Some(kernel) = parsed.kernel {
+        spec = spec.with_kernel(kernel);
+    }
+
+    let mut policy = CachePolicy::UNBOUNDED;
+    if let Some(bytes) = parsed.memory_budget {
+        policy = policy.with_memory_budget(bytes);
+    }
+    if let Some(bytes) = parsed.disk_budget {
+        policy = policy.with_disk_budget(bytes);
+    }
+    let mut builder = CompressionService::builder().cache_policy(policy);
+    if let Some(dir) = &parsed.cache_dir {
+        builder = builder.cache_dir(dir);
+    }
+    if let Some(workers) = parsed.workers {
+        builder = builder.workers(workers.max(1));
+    }
+    let service = match builder.build() {
+        Ok(service) => service,
+        Err(e) => {
+            eprintln!("cannot start service: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // one request per compressible conv × algorithm, all in flight at
+    // once; per-job errors are reported without aborting the rest
+    let mut tickets: Vec<Ticket> = Vec::new();
+    let mut skipped = 0usize;
+    for algo in &parsed.algos {
+        for (i, w) in weights.iter().enumerate() {
+            if w.dims()[0] % spec.d != 0 {
+                skipped += 1;
+                continue; // not groupable at this operating point
+            }
+            let mut request =
+                CompressionRequest::builder(format!("conv{i}/{algo}"), w.clone(), algo)
+                    .spec(spec.clone());
+            if let Some(seed) = parsed.seed {
+                request = request.seed(seed);
+            }
+            match request.build() {
+                Ok(request) => tickets.push(service.submit_one(request)),
+                Err(e) => {
+                    eprintln!("invalid request conv{i}/{algo}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    println!("{:<18} {:>8} {:>9} {:>7}", "job", "ratio", "source", "status");
+    let mut failures = 0usize;
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(outcome) => {
+                let source = if outcome.deduped {
+                    "dedup"
+                } else if outcome.from_cache {
+                    "cache"
+                } else {
+                    "fresh"
+                };
+                println!(
+                    "{:<18} {:>7.1}x {:>9} {:>7}",
+                    outcome.name,
+                    outcome.artifact.compression_ratio(),
+                    source,
+                    "ok"
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{:<18} {:>8} {:>9} {:>7}", e.name(), "-", "-", "failed");
+                eprintln!("  {e}");
+            }
+        }
+    }
+    let stats = service.cache_stats();
+    println!(
+        "\ncache: {} hits, {} misses, {} insertions, {} mem blobs ({} B), {} disk blobs ({} B), \
+         {} mem evictions, {} disk evictions",
+        stats.hits,
+        stats.misses,
+        stats.insertions,
+        stats.memory_len,
+        stats.memory_bytes,
+        stats.disk_len,
+        stats.disk_bytes,
+        stats.memory_evictions,
+        stats.disk_evictions,
+    );
+    if skipped > 0 {
+        println!("skipped {skipped} conv(s) not groupable at d={}", spec.d);
+    }
+    if failures > 0 {
+        eprintln!("{failures} job(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_the_full_flag_set() {
+        let parsed = parse_args(&strs(&[
+            "--algo",
+            "mvq,pqf,vq",
+            "--kernel",
+            "SIMD",
+            "--arch",
+            "resnet18",
+            "--k",
+            "16",
+            "--seed",
+            "9",
+            "--workers",
+            "3",
+            "--cache-dir",
+            "/tmp/x",
+            "--memory-budget",
+            "1048576",
+            "--disk-budget",
+            "2097152",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.algos, vec!["mvq", "pqf", "vq"]);
+        assert_eq!(parsed.kernel, Some(KernelStrategy::Simd));
+        assert_eq!(parsed.arch, "resnet18");
+        assert_eq!(parsed.k, Some(16));
+        assert_eq!(parsed.seed, Some(9));
+        assert_eq!(parsed.workers, Some(3));
+        assert_eq!(parsed.cache_dir.as_deref(), Some("/tmp/x"));
+        assert_eq!(parsed.memory_budget, Some(1_048_576));
+        assert_eq!(parsed.disk_budget, Some(2_097_152));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_kernels_and_algorithms() {
+        assert!(parse_args(&strs(&["--frobnicate"])).is_err());
+        let err = parse_args(&strs(&["--kernel", "avx512-dreams"])).unwrap_err();
+        assert!(err.contains("avx512-dreams"), "{err}");
+        let err = parse_args(&strs(&["--algo", "vqgan"])).unwrap_err();
+        assert!(err.contains("vqgan"), "{err}");
+        assert!(parse_args(&strs(&["--k"])).is_err(), "missing value must error");
+        // a disk budget without a disk would silently be a no-op; refuse it
+        let err = parse_args(&strs(&["--disk-budget", "1000"])).unwrap_err();
+        assert!(err.contains("--cache-dir"), "{err}");
+        assert!(parse_args(&strs(&["--disk-budget", "1000", "--cache-dir", "/tmp/x"])).is_ok());
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let parsed = parse_args(&[]).unwrap();
+        assert_eq!(parsed.algos, vec!["mvq"]);
+        assert_eq!(parsed.arch, "tiny");
+        assert!(parsed.kernel.is_none());
+        assert!(parsed.cache_dir.is_none());
+    }
+}

@@ -7,6 +7,7 @@
 //! model zoo of `mvq-nn` on synthetic data (see DESIGN.md for the
 //! substitution argument) and run the real compression pipeline.
 
+pub mod cli;
 pub mod ext;
 pub mod fmt;
 pub mod hw;

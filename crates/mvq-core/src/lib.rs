@@ -53,9 +53,11 @@
 //! form ([`store::Persist`]: `to_bytes`/`from_bytes`, 0-ULP-identical on
 //! decode) and a content-addressed [`store::ArtifactCache`] keyed by
 //! weight hash + [`PipelineSpec::fingerprint`] + algorithm + kernel +
-//! seed. The `mvq-serve` crate builds the batch compression service on
-//! top. Bump [`store::FORMAT_VERSION`] on any layout change and keep a
-//! decode test for the old version.
+//! seed, with optional byte-budgeted LRU eviction ([`store::CacheBudget`])
+//! for long-running services. The `mvq-serve` crate builds the
+//! ticket-based compression service on top. Bump
+//! [`store::FORMAT_VERSION`] on any layout change and keep a decode test
+//! for the old version.
 //!
 //! ## Quick example
 //!
@@ -121,4 +123,4 @@ pub use pipeline::{CompressedArtifact, Compressor, LayerArtifact, ModelArtifacts
 pub use pruning::{
     prune_matrix_nm, prune_model, sparse_finetune, PruneMethod, SparseFinetuneConfig,
 };
-pub use store::{weight_hash, ArtifactCache, CacheKey, CacheStats, Persist};
+pub use store::{weight_hash, ArtifactCache, CacheBudget, CacheKey, CacheStats, Persist};

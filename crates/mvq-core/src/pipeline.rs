@@ -409,7 +409,7 @@ where
 }
 
 /// Shared implementation behind [`Compressor::compress_model_artifacts`]:
-/// the [`compress_layers`] fan-out packaged as [`ModelArtifacts`].
+/// the internal layer fan-out packaged as [`ModelArtifacts`].
 ///
 /// # Errors
 ///

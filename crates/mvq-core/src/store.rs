@@ -29,7 +29,7 @@
 //! (artifact variants, grouping, kernels) are append-only: existing
 //! values are never renumbered.
 
-use std::collections::HashMap;
+use std::collections::{hash_map, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
@@ -743,7 +743,8 @@ impl CacheKey {
     }
 }
 
-/// Cache traffic counters.
+/// Cache traffic counters plus occupancy gauges sampled at
+/// [`ArtifactCache::stats`] time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from memory or disk.
@@ -754,46 +755,224 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Blobs rejected because decoding failed (corruption).
     pub corrupt_rejections: u64,
+    /// Memory-resident blobs dropped to honor the memory byte budget.
+    pub memory_evictions: u64,
+    /// On-disk blobs deleted to honor the disk byte budget.
+    pub disk_evictions: u64,
+    /// Blobs resident in memory when the snapshot was taken.
+    pub memory_len: usize,
+    /// Blobs on disk when the snapshot was taken (disk-backed caches only).
+    pub disk_len: usize,
+    /// Encoded bytes resident in memory when the snapshot was taken.
+    pub memory_bytes: u64,
+    /// Encoded bytes on disk when the snapshot was taken.
+    pub disk_bytes: u64,
+}
+
+/// Byte budgets bounding an [`ArtifactCache`]'s memory and disk
+/// footprints. `None` means unbounded (the pre-budget behavior).
+///
+/// A budget is a **hard cap on encoded blob bytes**: every insert or
+/// disk-promotion evicts least-recently-used entries until the footprint
+/// is back under the cap before the operation returns. The settled
+/// footprint therefore never exceeds the budget — during an insert it may
+/// transiently overshoot by at most the incoming blob — and this holds
+/// even when a single blob is larger than the whole budget (such a blob
+/// is evicted immediately after insertion and the caller simply keeps
+/// the returned artifact).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheBudget {
+    /// Cap on encoded bytes held in memory (`None` = unbounded).
+    pub memory_bytes: Option<u64>,
+    /// Cap on encoded bytes persisted on disk (`None` = unbounded).
+    pub disk_bytes: Option<u64>,
+}
+
+impl CacheBudget {
+    /// No caps — the cache grows without bound, as before budgets existed.
+    pub const UNBOUNDED: CacheBudget = CacheBudget { memory_bytes: None, disk_bytes: None };
+
+    /// Caps the in-memory footprint at `bytes`.
+    pub fn with_memory_bytes(mut self, bytes: u64) -> CacheBudget {
+        self.memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Caps the on-disk footprint at `bytes`.
+    pub fn with_disk_bytes(mut self, bytes: u64) -> CacheBudget {
+        self.disk_bytes = Some(bytes);
+        self
+    }
+}
+
+/// A memory-resident blob and its LRU stamp.
+struct MemEntry {
+    bytes: Arc<Vec<u8>>,
+    last_used: u64,
+}
+
+/// Accounting for one on-disk blob (keyed by file name in the ledger).
+struct DiskEntry {
+    bytes: u64,
+    last_used: u64,
 }
 
 #[derive(Default)]
 struct CacheInner {
-    blobs: HashMap<CacheKey, Arc<Vec<u8>>>,
+    blobs: HashMap<CacheKey, MemEntry>,
+    memory_bytes: u64,
+    /// Ledger of on-disk blobs by file name, rebuilt by a directory scan
+    /// at construction so a restarted cache knows its inherited usage.
+    disk: HashMap<String, DiskEntry>,
+    disk_bytes: u64,
+    /// Monotonic logical clock stamping every touch; unique per entry,
+    /// so LRU victim selection is deterministic.
+    tick: u64,
     stats: CacheStats,
+}
+
+impl CacheInner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn touch_disk(&mut self, name: &str, bytes: u64, tick: u64) {
+        match self.disk.entry(name.to_string()) {
+            hash_map::Entry::Occupied(mut e) => {
+                let old = e.get().bytes;
+                self.disk_bytes = self.disk_bytes - old + bytes;
+                *e.get_mut() = DiskEntry { bytes, last_used: tick };
+            }
+            hash_map::Entry::Vacant(v) => {
+                self.disk_bytes += bytes;
+                v.insert(DiskEntry { bytes, last_used: tick });
+            }
+        }
+    }
+
+    /// Refreshes the LRU stamp of an on-disk blob without changing its
+    /// accounted size (used by memory hits, so a hot key's disk copy is
+    /// not the next disk-eviction victim).
+    fn bump_disk(&mut self, name: &str, tick: u64) {
+        if let Some(e) = self.disk.get_mut(name) {
+            e.last_used = tick;
+        }
+    }
+
+    fn forget_disk(&mut self, name: &str) {
+        if let Some(e) = self.disk.remove(name) {
+            self.disk_bytes -= e.bytes;
+        }
+    }
+
+    fn insert_memory(&mut self, key: &CacheKey, bytes: Arc<Vec<u8>>, tick: u64) {
+        match self.blobs.entry(key.clone()) {
+            hash_map::Entry::Occupied(mut e) => e.get_mut().last_used = tick,
+            hash_map::Entry::Vacant(v) => {
+                self.memory_bytes += bytes.len() as u64;
+                v.insert(MemEntry { bytes, last_used: tick });
+            }
+        }
+    }
+
+    fn remove_memory(&mut self, key: &CacheKey) {
+        if let Some(e) = self.blobs.remove(key) {
+            self.memory_bytes -= e.bytes.len() as u64;
+        }
+    }
+
+    /// Drops least-recently-used memory entries until under `cap`.
+    ///
+    /// Victim selection is a linear scan per eviction — deliberate: the
+    /// cache holds at most a few thousand modest entries (one per
+    /// compressed layer × config), where a scan beats maintaining a
+    /// second ordered index. Revisit if caches grow by orders of
+    /// magnitude.
+    fn evict_memory_to(&mut self, cap: u64) {
+        while self.memory_bytes > cap {
+            let Some(victim) =
+                self.blobs.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.remove_memory(&victim);
+            self.stats.memory_evictions += 1;
+        }
+    }
 }
 
 /// A content-addressed artifact store: an in-memory blob map, optionally
 /// backed by an on-disk directory, shared across threads (`&self` methods
-/// are thread-safe — the batch service fans out over one cache).
+/// are thread-safe — the compression service's worker pool fans out over
+/// one cache).
 ///
 /// Artifacts are stored *encoded*; every `get` decodes through the same
 /// [`Persist`] path a cold load from disk would take, so a cache hit is
 /// guaranteed to be bit-identical to a decode of the durable form — the
 /// cache cannot return state that would not survive a restart.
+///
+/// ## Byte budgets and LRU eviction
+///
+/// A [`CacheBudget`] caps the encoded bytes held in memory and on disk.
+/// Both footprints are tracked exactly (disk usage is rebuilt by a
+/// directory scan at construction, so budgets survive restarts), and the
+/// least-recently-used entry is evicted first — memory eviction drops the
+/// resident blob (a disk-backed copy still answers later lookups), disk
+/// eviction deletes the blob file. Eviction is a cache phenomenon, never
+/// an error: an evicted key simply misses and recompresses.
 pub struct ArtifactCache {
     dir: Option<PathBuf>,
+    budget: CacheBudget,
     inner: Mutex<CacheInner>,
 }
 
 impl ArtifactCache {
-    /// A purely in-memory cache.
+    /// A purely in-memory cache with no byte budget.
     pub fn in_memory() -> ArtifactCache {
-        ArtifactCache { dir: None, inner: Mutex::new(CacheInner::default()) }
+        ArtifactCache::in_memory_with_budget(CacheBudget::UNBOUNDED)
     }
 
-    /// A cache persisting blobs under `dir` (created if absent). Lookups
-    /// fall back to disk on memory misses, so a new process reuses a
-    /// previous run's artifacts.
+    /// A purely in-memory cache whose resident bytes honor `budget`
+    /// (the disk half of the budget is ignored — there is no disk).
+    pub fn in_memory_with_budget(budget: CacheBudget) -> ArtifactCache {
+        ArtifactCache { dir: None, budget, inner: Mutex::new(CacheInner::default()) }
+    }
+
+    /// A cache persisting blobs under `dir` (created if absent), with no
+    /// byte budget. Lookups fall back to disk on memory misses, so a new
+    /// process reuses a previous run's artifacts.
     ///
     /// # Errors
     ///
-    /// Returns [`MvqError::Codec`] when the directory cannot be created.
+    /// Returns [`MvqError::Codec`] when the directory cannot be created
+    /// or scanned.
     pub fn with_dir<P: AsRef<Path>>(dir: P) -> Result<ArtifactCache, MvqError> {
+        ArtifactCache::with_dir_and_budget(dir, CacheBudget::UNBOUNDED)
+    }
+
+    /// A disk-backed cache honoring `budget`. The directory is scanned at
+    /// construction to rebuild the disk ledger (sizes plus a modification
+    /// -time LRU order), and immediately pruned to the disk budget — a
+    /// restart over an over-budget directory deletes the stalest blobs
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::Codec`] when the directory cannot be created,
+    /// scanned, or pruned.
+    pub fn with_dir_and_budget<P: AsRef<Path>>(
+        dir: P,
+        budget: CacheBudget,
+    ) -> Result<ArtifactCache, MvqError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(|e| {
             MvqError::Codec(format!("cannot create cache dir {}: {e}", dir.display()))
         })?;
-        Ok(ArtifactCache { dir: Some(dir), inner: Mutex::new(CacheInner::default()) })
+        let cache =
+            ArtifactCache { dir: Some(dir), budget, inner: Mutex::new(CacheInner::default()) };
+        cache.scan_disk()?;
+        Ok(cache)
     }
 
     /// The backing directory, if this cache persists to disk.
@@ -801,7 +980,13 @@ impl ArtifactCache {
         self.dir.as_deref()
     }
 
-    /// Number of artifacts resident in memory.
+    /// The byte budget this cache enforces.
+    pub fn budget(&self) -> CacheBudget {
+        self.budget
+    }
+
+    /// Number of artifacts resident in **memory**. Disk-backed caches may
+    /// hold more blobs on disk — see [`ArtifactCache::disk_len`].
     pub fn len(&self) -> usize {
         self.inner.lock().expect("cache lock").blobs.len()
     }
@@ -811,12 +996,37 @@ impl ArtifactCache {
         self.len() == 0
     }
 
-    /// A snapshot of the traffic counters.
+    /// Number of blobs on disk (0 for in-memory caches).
+    pub fn disk_len(&self) -> usize {
+        self.inner.lock().expect("cache lock").disk.len()
+    }
+
+    /// Encoded bytes currently resident in memory.
+    pub fn memory_bytes(&self) -> u64 {
+        self.inner.lock().expect("cache lock").memory_bytes
+    }
+
+    /// Encoded bytes currently on disk (0 for in-memory caches).
+    pub fn disk_bytes(&self) -> u64 {
+        self.inner.lock().expect("cache lock").disk_bytes
+    }
+
+    /// A snapshot of the traffic counters and occupancy gauges.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().expect("cache lock").stats
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            memory_len: inner.blobs.len(),
+            disk_len: inner.disk.len(),
+            memory_bytes: inner.memory_bytes,
+            disk_bytes: inner.disk_bytes,
+            ..inner.stats
+        }
     }
 
     /// Looks up `key`, decoding the stored blob on a hit.
+    ///
+    /// A disk hit promotes the blob into memory (subject to the memory
+    /// budget) and refreshes its LRU stamp on both levels.
     ///
     /// # Errors
     ///
@@ -825,45 +1035,75 @@ impl ArtifactCache {
     /// [`CacheStats::corrupt_rejections`]), never silently treated as a
     /// miss or returned as wrong data.
     pub fn get(&self, key: &CacheKey) -> Result<Option<CompressedArtifact>, MvqError> {
-        let from_memory = self.inner.lock().expect("cache lock").blobs.get(key).cloned();
-        let bytes: Option<Arc<Vec<u8>>> = match from_memory {
-            Some(b) => Some(b),
-            None => self.read_disk_blob(key)?.map(Arc::new),
+        let name = key.blob_name();
+        let from_memory = {
+            let mut inner = self.inner.lock().expect("cache lock");
+            let cached = inner.blobs.get(key).map(|e| e.bytes.clone());
+            if cached.is_some() {
+                let tick = inner.next_tick();
+                inner.blobs.get_mut(key).expect("entry present").last_used = tick;
+                // the blob's disk copy is just as recently used: without
+                // this, a hot key served from memory would keep a stale
+                // disk stamp and be the first blob deleted under a disk
+                // budget — an LRU inversion
+                inner.bump_disk(&name, tick);
+            }
+            cached
+        };
+        let (bytes, from_disk) = match from_memory {
+            Some(b) => (Some(b), false),
+            None => (self.read_disk_blob(key)?.map(Arc::new), true),
         };
         let mut inner = self.inner.lock().expect("cache lock");
         match bytes {
             None => {
                 inner.stats.misses += 1;
+                // drop a stale ledger entry only if the file is truly
+                // absent *now*: a concurrent put may have persisted this
+                // key between our (lock-free) disk read and re-acquiring
+                // the lock, and its ledger entry must survive
+                if let Some(dir) = &self.dir {
+                    if !dir.join(&name).exists() {
+                        inner.forget_disk(&name);
+                    }
+                }
                 Ok(None)
             }
             Some(bytes) => match CompressedArtifact::from_bytes(&bytes) {
                 Ok(artifact) => {
                     inner.stats.hits += 1;
-                    inner.blobs.entry(key.clone()).or_insert(bytes);
+                    if from_disk {
+                        let tick = inner.next_tick();
+                        inner.touch_disk(&name, bytes.len() as u64, tick);
+                        inner.insert_memory(key, bytes, tick);
+                        if let Some(cap) = self.budget.memory_bytes {
+                            inner.evict_memory_to(cap);
+                        }
+                    }
                     Ok(Some(artifact))
                 }
                 Err(e) => {
                     inner.stats.corrupt_rejections += 1;
-                    inner.blobs.remove(key);
-                    Err(MvqError::Codec(format!(
-                        "cache blob for {} is corrupt: {e}",
-                        key.blob_name()
-                    )))
+                    inner.remove_memory(key);
+                    Err(MvqError::Codec(format!("cache blob for {name} is corrupt: {e}")))
                 }
             },
         }
     }
 
-    /// Stores `artifact` under `key` (memory, and disk when backed).
+    /// Stores `artifact` under `key` (memory, and disk when backed), then
+    /// evicts least-recently-used entries until both byte budgets hold.
     ///
     /// # Errors
     ///
-    /// Returns [`MvqError::Codec`] when the disk write fails.
+    /// Returns [`MvqError::Codec`] when the disk write (or an eviction's
+    /// file deletion) fails.
     pub fn put(&self, key: &CacheKey, artifact: &CompressedArtifact) -> Result<(), MvqError> {
         let bytes = Arc::new(artifact.to_bytes());
+        let name = key.blob_name();
         if let Some(dir) = &self.dir {
-            let path = dir.join(key.blob_name());
-            let tmp = dir.join(format!("{}.tmp", key.blob_name()));
+            let path = dir.join(&name);
+            let tmp = dir.join(format!("{name}.tmp"));
             std::fs::write(&tmp, bytes.as_slice())
                 .and_then(|()| std::fs::rename(&tmp, &path))
                 .map_err(|e| {
@@ -871,8 +1111,91 @@ impl ArtifactCache {
                 })?;
         }
         let mut inner = self.inner.lock().expect("cache lock");
-        inner.blobs.insert(key.clone(), bytes);
         inner.stats.insertions += 1;
+        let tick = inner.next_tick();
+        if self.dir.is_some() {
+            inner.touch_disk(&name, bytes.len() as u64, tick);
+            self.enforce_disk(&mut inner)?;
+        }
+        inner.insert_memory(key, bytes, tick);
+        if let Some(cap) = self.budget.memory_bytes {
+            inner.evict_memory_to(cap);
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the disk ledger from the blob directory (sizes, LRU order
+    /// from modification times, file-name tie-break) and prunes it to the
+    /// disk budget.
+    fn scan_disk(&self) -> Result<(), MvqError> {
+        let Some(dir) = &self.dir else { return Ok(()) };
+        let entries = std::fs::read_dir(dir).map_err(|e| {
+            MvqError::Codec(format!("cannot scan cache dir {}: {e}", dir.display()))
+        })?;
+        let mut found: Vec<(String, u64, std::time::SystemTime)> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| {
+                MvqError::Codec(format!("cannot scan cache dir {}: {e}", dir.display()))
+            })?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".mvqa.tmp") {
+                // an interrupted put stranded this partial blob; it is
+                // unaddressable and would leak bytes outside the budget
+                match std::fs::remove_file(entry.path()) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => {
+                        return Err(MvqError::Codec(format!(
+                            "cannot remove stale tmp blob {name}: {e}"
+                        )));
+                    }
+                }
+                continue;
+            }
+            if !name.ends_with(".mvqa") {
+                continue; // foreign content is left alone
+            }
+            let meta = entry
+                .metadata()
+                .map_err(|e| MvqError::Codec(format!("cannot stat cache blob {name}: {e}")))?;
+            if !meta.is_file() {
+                continue;
+            }
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            found.push((name, meta.len(), mtime));
+        }
+        // least-recently-written first; the name breaks mtime ties so the
+        // inherited LRU order is deterministic
+        found.sort_by(|a, b| (a.2, &a.0).cmp(&(b.2, &b.0)));
+        let mut inner = self.inner.lock().expect("cache lock");
+        for (name, bytes, _) in found {
+            let tick = inner.next_tick();
+            inner.touch_disk(&name, bytes, tick);
+        }
+        self.enforce_disk(&mut inner)
+    }
+
+    /// Deletes least-recently-used blob files until the disk budget holds.
+    fn enforce_disk(&self, inner: &mut CacheInner) -> Result<(), MvqError> {
+        let (Some(cap), Some(dir)) = (self.budget.disk_bytes, self.dir.as_ref()) else {
+            return Ok(());
+        };
+        while inner.disk_bytes > cap {
+            let Some(victim) =
+                inner.disk.iter().min_by_key(|(_, e)| e.last_used).map(|(n, _)| n.clone())
+            else {
+                break;
+            };
+            inner.forget_disk(&victim);
+            match std::fs::remove_file(dir.join(&victim)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(MvqError::Codec(format!("cannot evict blob {victim}: {e}")));
+                }
+            }
+            inner.stats.disk_evictions += 1;
+        }
         Ok(())
     }
 
@@ -984,6 +1307,100 @@ mod tests {
         assert_eq!(stats.insertions, 1);
         assert_eq!(stats.corrupt_rejections, 0);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn memory_budget_evicts_lru_and_never_exceeds_cap() {
+        let a = artifact("mvq");
+        let blob_len = a.to_bytes().len() as u64;
+        // room for exactly two blobs of this size
+        let cap = 2 * blob_len;
+        let cache =
+            ArtifactCache::in_memory_with_budget(CacheBudget::default().with_memory_bytes(cap));
+        let spec = PipelineSpec { k: 8, ..PipelineSpec::default() };
+        let keys: Vec<CacheKey> =
+            (0..3).map(|s| CacheKey::new("mvq", &weight(), &spec, s).unwrap()).collect();
+        cache.put(&keys[0], &a).unwrap();
+        cache.put(&keys[1], &a).unwrap();
+        assert_eq!(cache.len(), 2);
+        // touch key 0 so key 1 becomes the LRU victim
+        assert!(cache.get(&keys[0]).unwrap().is_some());
+        cache.put(&keys[2], &a).unwrap();
+        assert!(cache.memory_bytes() <= cap, "budget exceeded");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().memory_evictions, 1);
+        assert!(cache.get(&keys[0]).unwrap().is_some(), "recently used entry was evicted");
+        assert!(cache.get(&keys[1]).unwrap().is_none(), "LRU entry survived");
+        assert!(cache.get(&keys[2]).unwrap().is_some());
+    }
+
+    #[test]
+    fn oversized_blob_is_evicted_immediately() {
+        let a = artifact("mvq");
+        let cap = a.to_bytes().len() as u64 - 1;
+        let cache =
+            ArtifactCache::in_memory_with_budget(CacheBudget::default().with_memory_bytes(cap));
+        let spec = PipelineSpec { k: 8, ..PipelineSpec::default() };
+        let key = CacheKey::new("mvq", &weight(), &spec, 0).unwrap();
+        cache.put(&key, &a).unwrap();
+        assert_eq!(cache.memory_bytes(), 0, "a blob larger than the budget must not stay");
+        assert!(cache.get(&key).unwrap().is_none());
+    }
+
+    #[test]
+    fn memory_hits_refresh_the_disk_lru_stamp() {
+        // a key served from memory must not keep a stale disk stamp, or
+        // the hottest blob would be the first one deleted under a disk
+        // budget (LRU inversion)
+        let dir = std::env::temp_dir().join(format!("mvq-store-bump-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = artifact("mvq");
+        let blob_len = a.to_bytes().len() as u64;
+        let budget = CacheBudget::default().with_disk_bytes(2 * blob_len + blob_len / 2);
+        let cache = ArtifactCache::with_dir_and_budget(&dir, budget).unwrap();
+        let spec = PipelineSpec { k: 8, ..PipelineSpec::default() };
+        let keys: Vec<CacheKey> =
+            (0..3).map(|s| CacheKey::new("mvq", &weight(), &spec, s).unwrap()).collect();
+        cache.put(&keys[0], &a).unwrap();
+        cache.put(&keys[1], &a).unwrap();
+        // memory hit on key 0: its disk copy becomes the most recent
+        assert!(cache.get(&keys[0]).unwrap().is_some());
+        cache.put(&keys[2], &a).unwrap();
+        assert!(dir.join(keys[0].blob_name()).exists(), "hot blob was the eviction victim");
+        assert!(!dir.join(keys[1].blob_name()).exists(), "stale blob survived");
+        assert_eq!(cache.stats().disk_evictions, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_scan_removes_orphaned_tmp_files() {
+        // an interrupted put strands `<blob>.mvqa.tmp`; the scan must
+        // delete it (unaddressable, outside the budget) and leave foreign
+        // files alone
+        let dir = std::env::temp_dir().join(format!("mvq-store-tmp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("stranded.mvqa.tmp"), b"partial").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"keep me").unwrap();
+        let cache = ArtifactCache::with_dir(&dir).unwrap();
+        assert!(!dir.join("stranded.mvqa.tmp").exists(), "tmp orphan survived the scan");
+        assert!(dir.join("notes.txt").exists(), "foreign file was deleted");
+        assert_eq!(cache.disk_len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_report_occupancy_gauges() {
+        let cache = ArtifactCache::in_memory();
+        let spec = PipelineSpec { k: 8, ..PipelineSpec::default() };
+        let key = CacheKey::new("mvq", &weight(), &spec, 0).unwrap();
+        let a = artifact("mvq");
+        cache.put(&key, &a).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.memory_len, 1);
+        assert_eq!(stats.memory_bytes, a.to_bytes().len() as u64);
+        assert_eq!(stats.disk_len, 0);
+        assert_eq!(stats.disk_bytes, 0);
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! The deprecated v1 batch surface, kept as a thin shim over
+//! [`CompressionService`].
+//!
+//! v1's `submit(Vec<CompressionJob>)` blocked on a whole batch and failed
+//! it wholesale on the first error. The shim preserves the observable
+//! semantics — same dedupe/hit accounting, same first-error abort, and
+//! bit-identical artifacts (the conformance suite proves the ticket path
+//! and this path agree for every registry algorithm) — while routing all
+//! work through the v2 ticket API. One deliberate side-effect deviation:
+//! when a batch fails, the healthy jobs that already compressed stay in
+//! the cache (v1 discarded them), so resubmitting after fixing the bad
+//! job serves the siblings as hits instead of recompressing — the cached
+//! artifacts are valid and bit-identical either way. New code should
+//! build [`CompressionRequest`]s and call
+//! [`CompressionService::submit_one`] directly; see the crate docs for
+//! the migration table.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use mvq_core::pipeline::PipelineSpec;
+use mvq_core::store::{ArtifactCache, CacheKey, CacheStats};
+use mvq_core::MvqError;
+use mvq_tensor::Tensor;
+
+use crate::request::CompressionRequest;
+use crate::service::CompressionService;
+use crate::ticket::JobOutcome;
+
+/// One unit of work for the deprecated batch API: compress `weight` with
+/// `algo` under `spec`. New code should use [`CompressionRequest`].
+#[derive(Debug, Clone)]
+pub struct CompressionJob {
+    /// Caller-chosen label (e.g. a layer name); not part of the identity.
+    pub name: String,
+    /// The weight tensor to compress.
+    pub weight: Tensor,
+    /// Registry algorithm name (aliases like `vq` are canonicalized).
+    pub algo: String,
+    /// Pipeline hyperparameters.
+    pub spec: PipelineSpec,
+    /// RNG seed. `None` lets the service derive a deterministic seed from
+    /// the job's content, so identical jobs dedupe across batches.
+    pub seed: Option<u64>,
+}
+
+impl CompressionJob {
+    /// A job with a content-derived seed.
+    pub fn new(
+        name: impl Into<String>,
+        weight: Tensor,
+        algo: impl Into<String>,
+        spec: PipelineSpec,
+    ) -> CompressionJob {
+        CompressionJob { name: name.into(), weight, algo: algo.into(), spec, seed: None }
+    }
+
+    /// Pins the RNG seed (the seed becomes part of the cache identity).
+    pub fn with_seed(mut self, seed: u64) -> CompressionJob {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+/// What one [`BatchCompressionService::submit`] call did.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-job outcomes, in submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Distinct cache keys in the batch.
+    pub unique_jobs: usize,
+    /// Jobs answered by sharing an identical in-batch job.
+    pub deduped_jobs: usize,
+    /// Unique jobs answered from the cache.
+    pub cache_hits: usize,
+    /// Unique jobs compressed fresh in this batch.
+    pub compressed: usize,
+}
+
+/// The v1 batch facade over [`CompressionService`]: submit a whole batch,
+/// block for all of it, abort it all on the first error.
+pub struct BatchCompressionService {
+    service: CompressionService,
+}
+
+impl BatchCompressionService {
+    /// A service over a purely in-memory cache.
+    pub fn in_memory() -> BatchCompressionService {
+        BatchCompressionService { service: CompressionService::in_memory() }
+    }
+
+    /// A service whose cache persists blobs under `dir`, surviving
+    /// restarts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-directory creation errors.
+    pub fn with_cache_dir<P: AsRef<Path>>(dir: P) -> Result<BatchCompressionService, MvqError> {
+        Ok(BatchCompressionService { service: CompressionService::with_cache_dir(dir)? })
+    }
+
+    /// A service over an existing cache.
+    pub fn with_cache(cache: ArtifactCache) -> BatchCompressionService {
+        let service = CompressionService::builder()
+            .cache(cache)
+            .build()
+            .expect("builder with a pre-built cache is valid");
+        BatchCompressionService { service }
+    }
+
+    /// The v2 service this facade drives — the migration escape hatch.
+    pub fn service(&self) -> &CompressionService {
+        &self.service
+    }
+
+    /// The underlying cache (for stats and direct lookups).
+    pub fn cache(&self) -> &ArtifactCache {
+        self.service.cache()
+    }
+
+    /// Cache traffic counters accumulated over the service's lifetime.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.service.cache_stats()
+    }
+
+    /// Serves a batch with v1 semantics: resolves every job to its
+    /// content address, runs the *unique* jobs through the worker pool
+    /// (duplicates ride along for free), and reports per-job outcomes in
+    /// submission order — or the **first** error, failing the whole
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first job validation, compression, or cache error —
+    /// the v1 contract. The v2 ticket API
+    /// ([`CompressionService::submit_one`]) isolates errors per job
+    /// instead; prefer it.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build `CompressionRequest`s and use `CompressionService::submit_one`, which \
+                isolates errors per job instead of failing the whole batch"
+    )]
+    pub fn submit(&self, jobs: Vec<CompressionJob>) -> Result<BatchReport, MvqError> {
+        // resolve identities in submission order; v1 reported the first
+        // validation error before any work ran
+        let mut keys: Vec<CacheKey> = Vec::with_capacity(jobs.len());
+        let mut requests: Vec<Option<CompressionRequest>> = Vec::with_capacity(jobs.len());
+        let mut representative: HashMap<CacheKey, usize> = HashMap::new();
+        for (idx, job) in jobs.iter().enumerate() {
+            let mut builder = CompressionRequest::builder(&job.name, job.weight.clone(), &job.algo)
+                .spec(job.spec.clone());
+            if let Some(seed) = job.seed {
+                builder = builder.seed(seed);
+            }
+            let request = builder.build()?;
+            let key = CacheKey::new(
+                request.algo(),
+                request.weight(),
+                request.spec(),
+                request.resolved_seed(),
+            )?;
+            let is_rep = !representative.contains_key(&key);
+            representative.entry(key.clone()).or_insert(idx);
+            keys.push(key);
+            requests.push(is_rep.then_some(request));
+        }
+
+        // fan the unique jobs out over the pool and wait for all of them,
+        // reporting the first failure in submission order
+        let tickets: Vec<Option<crate::Ticket>> = requests
+            .into_iter()
+            .map(|request| request.map(|r| self.service.submit_one(r)))
+            .collect();
+        let mut served: HashMap<usize, JobOutcome> = HashMap::new();
+        let mut first_error: Option<MvqError> = None;
+        for (idx, ticket) in tickets.into_iter().enumerate() {
+            let Some(ticket) = ticket else { continue };
+            // keep waiting on later tickets even after an error, so the
+            // pool is quiescent for this batch before we report
+            match ticket.wait() {
+                Ok(outcome) => {
+                    served.insert(idx, outcome);
+                }
+                Err(e) => {
+                    first_error.get_or_insert(e.into());
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+
+        // assemble per-job outcomes in submission order
+        let cache_hits = served.values().filter(|o| o.from_cache).count();
+        let unique_jobs = representative.len();
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        let mut deduped_jobs = 0usize;
+        for (idx, (job, key)) in jobs.iter().zip(&keys).enumerate() {
+            let rep = representative[key];
+            let deduped = rep != idx;
+            if deduped {
+                deduped_jobs += 1;
+            }
+            let mut outcome = served[&rep].clone();
+            outcome.name = job.name.clone();
+            outcome.deduped = deduped;
+            outcomes.push(outcome);
+        }
+        Ok(BatchReport {
+            outcomes,
+            unique_jobs,
+            deduped_jobs,
+            cache_hits,
+            compressed: unique_jobs - cache_hits,
+        })
+    }
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod tests {
+    use super::*;
+    use mvq_core::CompressedArtifact;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn weight(seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        mvq_tensor::kaiming_normal(vec![32, 16], 16, &mut rng)
+    }
+
+    fn spec() -> PipelineSpec {
+        PipelineSpec { k: 8, swap_trials: 100, ..PipelineSpec::default() }
+    }
+
+    #[test]
+    fn batch_dedupes_identical_jobs() {
+        let service = BatchCompressionService::in_memory();
+        let w = weight(0);
+        let jobs = vec![
+            CompressionJob::new("a", w.clone(), "mvq", spec()),
+            CompressionJob::new("b", w.clone(), "mvq", spec()),
+            CompressionJob::new("c", w, "vq-a", spec()),
+        ];
+        let report = service.submit(jobs).unwrap();
+        assert_eq!(report.unique_jobs, 2);
+        assert_eq!(report.deduped_jobs, 1);
+        assert_eq!(report.cache_hits, 0);
+        assert_eq!(report.compressed, 2);
+        assert!(report.outcomes[1].deduped);
+        let bits = |a: &CompressedArtifact| {
+            a.reconstruct().unwrap().data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&report.outcomes[0].artifact), bits(&report.outcomes[1].artifact));
+    }
+
+    #[test]
+    fn second_batch_is_all_hits() {
+        let service = BatchCompressionService::in_memory();
+        let jobs = || vec![CompressionJob::new("a", weight(1), "mvq", spec())];
+        let first = service.submit(jobs()).unwrap();
+        assert_eq!(first.cache_hits, 0);
+        let second = service.submit(jobs()).unwrap();
+        assert_eq!(second.cache_hits, 1);
+        assert_eq!(second.compressed, 0);
+        assert!(second.outcomes[0].from_cache);
+    }
+
+    #[test]
+    fn pinned_seeds_split_identity() {
+        let service = BatchCompressionService::in_memory();
+        let w = weight(2);
+        let jobs = vec![
+            CompressionJob::new("a", w.clone(), "mvq", spec()).with_seed(1),
+            CompressionJob::new("b", w, "mvq", spec()).with_seed(2),
+        ];
+        let report = service.submit(jobs).unwrap();
+        assert_eq!(report.unique_jobs, 2);
+        assert_eq!(report.deduped_jobs, 0);
+    }
+
+    #[test]
+    fn alias_and_canonical_name_are_one_identity() {
+        // `vq` is the documented alias of `vq-a`: unseeded jobs under
+        // either spelling must derive the same content seed, hence the
+        // same cache key, and dedupe into one compression
+        let service = BatchCompressionService::in_memory();
+        let w = weight(4);
+        let jobs = vec![
+            CompressionJob::new("alias", w.clone(), "vq", spec()),
+            CompressionJob::new("canonical", w, "vq-a", spec()),
+        ];
+        let report = service.submit(jobs).unwrap();
+        assert_eq!(report.unique_jobs, 1);
+        assert_eq!(report.deduped_jobs, 1);
+        assert_eq!(report.outcomes[0].key, report.outcomes[1].key);
+    }
+
+    #[test]
+    fn unknown_algo_is_a_typed_error() {
+        let service = BatchCompressionService::in_memory();
+        let jobs = vec![CompressionJob::new("a", weight(3), "vqgan", spec())];
+        assert!(matches!(service.submit(jobs), Err(MvqError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn batch_abort_reports_the_first_error_in_submission_order() {
+        // v1 semantics preserved by the shim: one poisoned job fails the
+        // whole batch (the ticket API is where per-job isolation lives)
+        let service = BatchCompressionService::in_memory();
+        let jobs = vec![
+            CompressionJob::new("healthy", weight(5), "mvq", spec()),
+            CompressionJob::new("poisoned", Tensor::zeros(vec![32, 16]), "mvq", spec()),
+        ];
+        let err = service.submit(jobs).unwrap_err();
+        assert!(matches!(err, MvqError::InvalidConfig(_)), "{err:?}");
+    }
+}

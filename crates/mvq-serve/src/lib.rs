@@ -1,263 +1,114 @@
-//! # mvq-serve — the batch compression service
+//! # mvq-serve — the compression service
 //!
-//! Serving layer over the `mvq_core` pipeline registry: accepts many
-//! `(weight, spec, algorithm)` jobs at once, deduplicates identical jobs
-//! in flight, fans unique work out rayon-parallel, and answers from a
-//! content-addressed [`ArtifactCache`] whenever the same compression has
-//! been done before — in this process or (with a disk-backed cache) by a
-//! previous one.
+//! Serving layer over the `mvq_core` pipeline registry, built for
+//! long-lived processes: a typed request surface, a hand-rolled
+//! worker-thread pool over std channels (no async runtime), per-job error
+//! isolation, and a content-addressed, byte-budgeted artifact cache.
 //!
-//! Identity is *content*, not position: a job's [`CacheKey`] combines the
-//! weight tensor's bit-pattern hash, the [`PipelineSpec`] fingerprint,
-//! the canonical algorithm name, the kernel strategy, and the RNG seed.
-//! Two jobs agreeing on all five are the same compression, wherever they
-//! appear in a batch — the service compresses once and every duplicate
-//! shares the result. Because every algorithm in
-//! `mvq_core::pipeline::by_name` is deterministic for a fixed seed, a
-//! cache hit is **bit-identical** to recompressing from scratch (the
-//! round-trip/equivalence suites in `tests/` prove this for every
-//! registry method, in debug and `--release`).
+//! * [`CompressionRequest`] — validated at construction
+//!   ([`CompressionRequest::builder`]): algorithm name, [`PipelineSpec`]
+//!   (+ kernel strategy), optional pinned seed, [`Priority`], and
+//!   [`CacheMode`], each invalid combination a typed
+//!   [`MvqError`](mvq_core::MvqError) *before* any work queues.
+//! * [`CompressionService::submit_one`] — admits one request through a
+//!   bounded priority queue (backpressure: `submit_one` blocks while
+//!   full, [`CompressionService::try_submit_one`] refuses and hands the
+//!   request back) and returns a [`Ticket`]; redeem with
+//!   [`Ticket::wait`] or poll with [`Ticket::try_poll`].
+//! * Per-job outcomes — every ticket resolves to
+//!   `Ok(`[`JobOutcome`]`)` or a typed [`JobError`]; one poisoned job
+//!   never aborts the queue or any other job.
+//! * [`CachePolicy`] — byte budgets (memory and disk) for the service's
+//!   [`ArtifactCache`](mvq_core::store::ArtifactCache), enforced by LRU
+//!   eviction that survives restarts.
 //!
-//! Seeds may be pinned per job or left to the service, which derives a
-//! deterministic *content seed* from the rest of the key — so unseeded
+//! Identity is *content*, not position: a job's
+//! [`CacheKey`](mvq_core::store::CacheKey) combines the weight tensor's
+//! bit-pattern hash, the [`PipelineSpec`] fingerprint, the canonical
+//! algorithm name, the kernel strategy, and the RNG seed. Two in-flight
+//! jobs agreeing on all five share one compression (riders report
+//! `deduped: true`), and because every registry algorithm is
+//! deterministic for a fixed seed, a cache hit — or a dedup share — is
+//! **bit-identical** to recompressing from scratch, regardless of worker
+//! count or interleaving (proven per registry method by the conformance
+//! suite, in debug and `--release`).
+//!
+//! Seeds may be pinned per request or left to the service, which derives
+//! a deterministic *content seed* from the rest of the key — so unseeded
 //! workloads still dedupe and cache across batches and processes.
 //!
 //! ```
 //! use mvq_core::pipeline::PipelineSpec;
-//! use mvq_serve::{BatchCompressionService, CompressionJob};
+//! use mvq_serve::{CachePolicy, CompressionRequest, CompressionService, Priority};
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let w = mvq_tensor::kaiming_normal(vec![64, 16], 16, &mut rng);
 //! let spec = PipelineSpec { k: 8, ..PipelineSpec::default() };
-//! let service = BatchCompressionService::in_memory();
-//! let jobs = vec![
-//!     CompressionJob::new("conv1", w.clone(), "mvq", spec.clone()),
-//!     CompressionJob::new("conv1-again", w, "mvq", spec), // deduped
-//! ];
-//! let report = service.submit(jobs)?;
-//! assert_eq!(report.outcomes.len(), 2);
-//! assert_eq!(report.unique_jobs, 1);
-//! assert_eq!(report.deduped_jobs, 1);
+//!
+//! let service = CompressionService::builder()
+//!     .workers(2)
+//!     .queue_capacity(64)
+//!     .cache_policy(CachePolicy::UNBOUNDED.with_memory_budget(16 << 20))
+//!     .build()?;
+//!
+//! let request = CompressionRequest::builder("conv1", w, "mvq")
+//!     .spec(spec)
+//!     .seed(7)
+//!     .priority(Priority::High)
+//!     .build()?;
+//! let ticket = service.submit_one(request);
+//! let outcome = ticket.wait()?;
+//! assert_eq!(outcome.name, "conv1");
+//! assert!(!outcome.from_cache);
 //! # Ok::<(), mvq_core::MvqError>(())
 //! ```
+//!
+//! ## Migrating from v1 (`submit`) to v2 (tickets)
+//!
+//! The v1 surface — [`BatchCompressionService::submit`] over
+//! [`CompressionJob`]s — is deprecated but fully functional as a shim
+//! over the v2 service, with its exact semantics: one blocking call per
+//! batch, whole-batch abort on the first error, in-batch dedup
+//! accounting, and bit-identical artifacts (the conformance suite pins
+//! v1 ≡ v2 ≡ fresh compression for every registry algorithm).
+//!
+//! | v1 | v2 |
+//! |----|----|
+//! | `CompressionJob::new(name, w, algo, spec)` | `CompressionRequest::builder(name, w, algo).spec(spec).build()?` |
+//! | `.with_seed(s)` | `.seed(s)` |
+//! | invalid algo/spec errors the whole `submit` | `build()` returns the typed error before anything queues |
+//! | `service.submit(jobs)? → BatchReport` | `jobs.map(\|r\| service.submit_one(r))`, then `Ticket::wait` each |
+//! | first error aborts the batch | each ticket resolves independently (`Ok(JobOutcome)` / `Err(JobError)`) |
+//! | implicit rayon fan-out per batch | persistent worker pool; `builder().workers(n).queue_capacity(c)` |
+//! | no admission control | bounded queue: `submit_one` blocks, `try_submit_one` refuses |
+//! | unbounded cache growth | `builder().cache_policy(CachePolicy::UNBOUNDED.with_disk_budget(..))` |
+//!
+//! Cache blobs, [`CacheKey`](mvq_core::store::CacheKey)s, content seeds,
+//! and `FORMAT_VERSION` are unchanged: a v1-era disk cache serves v2
+//! traffic (and vice versa) without invalidation.
 
-use std::collections::HashMap;
-use std::path::Path;
+mod batch;
+mod request;
+mod service;
+mod ticket;
 
-use mvq_core::pipeline::{by_name, canonical_name, PipelineSpec};
-use mvq_core::store::{ArtifactCache, CacheKey, CacheStats, Fnv1a};
-use mvq_core::{CompressedArtifact, MvqError};
-use mvq_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rayon::prelude::*;
+pub use batch::{BatchCompressionService, BatchReport, CompressionJob};
+pub use request::{CacheMode, CompressionRequest, CompressionRequestBuilder, Priority};
+pub use service::{CachePolicy, CompressionService, ServiceBuilder, SubmitError};
+pub use ticket::{JobError, JobOutcome, JobResult, Ticket};
 
-/// One unit of work for the service: compress `weight` with `algo` under
-/// `spec`.
-#[derive(Debug, Clone)]
-pub struct CompressionJob {
-    /// Caller-chosen label (e.g. a layer name); not part of the identity.
-    pub name: String,
-    /// The weight tensor to compress.
-    pub weight: Tensor,
-    /// Registry algorithm name (aliases like `vq` are canonicalized).
-    pub algo: String,
-    /// Pipeline hyperparameters.
-    pub spec: PipelineSpec,
-    /// RNG seed. `None` lets the service derive a deterministic seed from
-    /// the job's content, so identical jobs dedupe across batches.
-    pub seed: Option<u64>,
-}
-
-impl CompressionJob {
-    /// A job with a content-derived seed.
-    pub fn new(
-        name: impl Into<String>,
-        weight: Tensor,
-        algo: impl Into<String>,
-        spec: PipelineSpec,
-    ) -> CompressionJob {
-        CompressionJob { name: name.into(), weight, algo: algo.into(), spec, seed: None }
-    }
-
-    /// Pins the RNG seed (the seed becomes part of the cache identity).
-    pub fn with_seed(mut self, seed: u64) -> CompressionJob {
-        self.seed = Some(seed);
-        self
-    }
-}
-
-/// The served result of one job.
-#[derive(Debug, Clone)]
-pub struct JobOutcome {
-    /// The job's label, as submitted.
-    pub name: String,
-    /// The content address the job resolved to.
-    pub key: CacheKey,
-    /// The compressed artifact.
-    pub artifact: CompressedArtifact,
-    /// True when the artifact came from the cache rather than a fresh
-    /// compression in this batch.
-    pub from_cache: bool,
-    /// True when this job shared another in-batch job's compression
-    /// (identical key) instead of running its own.
-    pub deduped: bool,
-}
-
-/// What one [`BatchCompressionService::submit`] call did.
-#[derive(Debug, Clone)]
-pub struct BatchReport {
-    /// Per-job outcomes, in submission order.
-    pub outcomes: Vec<JobOutcome>,
-    /// Distinct cache keys in the batch.
-    pub unique_jobs: usize,
-    /// Jobs answered by sharing an identical in-batch job.
-    pub deduped_jobs: usize,
-    /// Unique jobs answered from the cache.
-    pub cache_hits: usize,
-    /// Unique jobs compressed fresh in this batch.
-    pub compressed: usize,
-}
-
-/// The batch compression service: a content-addressed cache plus a
-/// deduplicating, rayon-parallel fan-out over the pipeline registry.
-pub struct BatchCompressionService {
-    cache: ArtifactCache,
-}
-
-impl BatchCompressionService {
-    /// A service over a purely in-memory cache.
-    pub fn in_memory() -> BatchCompressionService {
-        BatchCompressionService { cache: ArtifactCache::in_memory() }
-    }
-
-    /// A service whose cache persists blobs under `dir`, surviving
-    /// restarts.
-    ///
-    /// # Errors
-    ///
-    /// Propagates cache-directory creation errors.
-    pub fn with_cache_dir<P: AsRef<Path>>(dir: P) -> Result<BatchCompressionService, MvqError> {
-        Ok(BatchCompressionService { cache: ArtifactCache::with_dir(dir)? })
-    }
-
-    /// A service over an existing cache.
-    pub fn with_cache(cache: ArtifactCache) -> BatchCompressionService {
-        BatchCompressionService { cache }
-    }
-
-    /// The underlying cache (for stats and direct lookups).
-    pub fn cache(&self) -> &ArtifactCache {
-        &self.cache
-    }
-
-    /// Cache traffic counters accumulated over the service's lifetime.
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
-    }
-
-    /// Serves a batch: resolves every job to its content address, answers
-    /// what it can from the cache, compresses the remaining *unique* jobs
-    /// rayon-parallel (duplicates ride along for free), stores the fresh
-    /// artifacts, and reports per-job outcomes in submission order.
-    ///
-    /// Deterministic end to end: the same batch — in any order, serial or
-    /// parallel — produces bit-identical artifacts and the same
-    /// unique/dedupe/hit counts.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first job validation, compression, or cache error.
-    pub fn submit(&self, jobs: Vec<CompressionJob>) -> Result<BatchReport, MvqError> {
-        // resolve identities in submission order
-        let mut keys: Vec<CacheKey> = Vec::with_capacity(jobs.len());
-        for job in &jobs {
-            let seed = job.seed.unwrap_or_else(|| content_seed(job));
-            keys.push(CacheKey::new(&job.algo, &job.weight, &job.spec, seed)?);
-        }
-
-        // dedupe: first job with a given key is its representative
-        let mut representative: HashMap<&CacheKey, usize> = HashMap::new();
-        for (idx, key) in keys.iter().enumerate() {
-            representative.entry(key).or_insert(idx);
-        }
-
-        // answer representatives from the cache; the rest compress fresh
-        let mut pending: Vec<usize> = Vec::new();
-        let mut served: HashMap<usize, (CompressedArtifact, bool)> = HashMap::new();
-        for (&key, &idx) in &representative {
-            match self.cache.get(key)? {
-                Some(artifact) => {
-                    served.insert(idx, (artifact, true));
-                }
-                None => pending.push(idx),
-            }
-        }
-        pending.sort_unstable(); // deterministic fan-out order
-        let cache_hits = served.len();
-        let compressed = pending.len();
-
-        let fresh: Vec<(usize, CompressedArtifact)> = pending
-            .into_par_iter()
-            .map(|idx: usize| -> Result<(usize, CompressedArtifact), MvqError> {
-                let job = &jobs[idx];
-                let comp = by_name(&job.algo, &job.spec)?;
-                let mut rng = StdRng::seed_from_u64(keys[idx].seed);
-                Ok((idx, comp.compress_matrix(&job.weight, &mut rng)?))
-            })
-            .collect::<Result<Vec<_>, MvqError>>()?;
-        for (idx, artifact) in fresh {
-            self.cache.put(&keys[idx], &artifact)?;
-            served.insert(idx, (artifact, false));
-        }
-
-        // assemble per-job outcomes in submission order
-        let mut outcomes = Vec::with_capacity(jobs.len());
-        let mut deduped_jobs = 0usize;
-        for (idx, (job, key)) in jobs.iter().zip(&keys).enumerate() {
-            let rep = representative[key];
-            let deduped = rep != idx;
-            if deduped {
-                deduped_jobs += 1;
-            }
-            let (artifact, from_cache) = served[&rep].clone();
-            outcomes.push(JobOutcome {
-                name: job.name.clone(),
-                key: key.clone(),
-                artifact,
-                from_cache,
-                deduped,
-            });
-        }
-        Ok(BatchReport {
-            outcomes,
-            unique_jobs: representative.len(),
-            deduped_jobs,
-            cache_hits,
-            compressed,
-        })
-    }
-}
-
-/// Deterministic seed for an unseeded job, derived from its content
-/// identity — the same weight/spec/algorithm always compresses with the
-/// same RNG stream, so unseeded jobs dedupe and cache across batches and
-/// processes. The algorithm is folded in *canonicalized* (aliases like
-/// `vq` must derive the same seed as `vq-a`); unknown names fall back to
-/// the raw string and are rejected by `CacheKey::new` right after.
-fn content_seed(job: &CompressionJob) -> u64 {
-    let mut h = Fnv1a::new();
-    h.update(b"mvq.serve.contentseed.v1");
-    h.update_u64(mvq_core::weight_hash(&job.weight));
-    h.update_u64(job.spec.fingerprint());
-    h.update(canonical_name(&job.algo).unwrap_or(&job.algo).as_bytes());
-    h.finish()
-}
+/// Re-exported for convenience: requests are built around a spec, so
+/// service callers need the type constantly.
+pub use mvq_core::pipeline::PipelineSpec;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mvq_core::{CompressedArtifact, MvqError};
+    use mvq_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn weight(seed: u64) -> Tensor {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -268,73 +119,148 @@ mod tests {
         PipelineSpec { k: 8, swap_trials: 100, ..PipelineSpec::default() }
     }
 
+    fn bits(a: &CompressedArtifact) -> Vec<u32> {
+        a.reconstruct().unwrap().data().iter().map(|v| v.to_bits()).collect()
+    }
+
     #[test]
-    fn batch_dedupes_identical_jobs() {
-        let service = BatchCompressionService::in_memory();
-        let w = weight(0);
-        let jobs = vec![
-            CompressionJob::new("a", w.clone(), "mvq", spec()),
-            CompressionJob::new("b", w.clone(), "mvq", spec()),
-            CompressionJob::new("c", w, "vq-a", spec()),
-        ];
-        let report = service.submit(jobs).unwrap();
-        assert_eq!(report.unique_jobs, 2);
-        assert_eq!(report.deduped_jobs, 1);
-        assert_eq!(report.cache_hits, 0);
-        assert_eq!(report.compressed, 2);
-        assert!(report.outcomes[1].deduped);
-        let bits = |a: &CompressedArtifact| {
-            a.reconstruct().unwrap().data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    fn ticket_resolves_to_the_submitted_job() {
+        let service = CompressionService::builder().workers(2).build().unwrap();
+        let request = CompressionRequest::builder("conv0", weight(0), "mvq")
+            .spec(spec())
+            .seed(3)
+            .build()
+            .unwrap();
+        let key = {
+            let ticket = service.submit_one(request.clone());
+            assert_eq!(ticket.name(), "conv0");
+            let outcome = ticket.wait().unwrap();
+            assert!(!outcome.from_cache);
+            assert!(!outcome.deduped);
+            outcome.key
         };
-        assert_eq!(bits(&report.outcomes[0].artifact), bits(&report.outcomes[1].artifact));
+        // resubmission hits the cache under the same key
+        let warm = service.submit_one(request).wait().unwrap();
+        assert!(warm.from_cache);
+        assert_eq!(warm.key, key);
     }
 
     #[test]
-    fn second_batch_is_all_hits() {
-        let service = BatchCompressionService::in_memory();
-        let jobs = || vec![CompressionJob::new("a", weight(1), "mvq", spec())];
-        let first = service.submit(jobs()).unwrap();
-        assert_eq!(first.cache_hits, 0);
-        let second = service.submit(jobs()).unwrap();
-        assert_eq!(second.cache_hits, 1);
-        assert_eq!(second.compressed, 0);
-        assert!(second.outcomes[0].from_cache);
+    fn try_poll_reports_pending_then_done_and_stays_redeemable() {
+        let service = CompressionService::builder().workers(1).build().unwrap();
+        let request =
+            CompressionRequest::builder("a", weight(1), "mvq").spec(spec()).build().unwrap();
+        let mut ticket = service.submit_one(request);
+        // spin until done; each Some borrow leaves the result in place
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        loop {
+            if let Some(result) = ticket.try_poll() {
+                assert!(result.is_ok());
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "job never finished");
+            std::thread::yield_now();
+        }
+        assert!(ticket.try_poll().is_some(), "polling again still sees the result");
+        assert!(ticket.wait().is_ok(), "wait after poll redeems the same result");
     }
 
     #[test]
-    fn pinned_seeds_split_identity() {
-        let service = BatchCompressionService::in_memory();
-        let w = weight(2);
-        let jobs = vec![
-            CompressionJob::new("a", w.clone(), "mvq", spec()).with_seed(1),
-            CompressionJob::new("b", w, "mvq", spec()).with_seed(2),
-        ];
-        let report = service.submit(jobs).unwrap();
-        assert_eq!(report.unique_jobs, 2);
-        assert_eq!(report.deduped_jobs, 0);
+    fn in_flight_duplicates_share_one_compression() {
+        // a zero-worker service queues without executing, so attaching a
+        // duplicate before any work runs is deterministic
+        let service = CompressionService::builder().workers(0).queue_capacity(8).build().unwrap();
+        let request = |name: &str| {
+            CompressionRequest::builder(name, weight(2), "mvq")
+                .spec(spec())
+                .seed(9)
+                .build()
+                .unwrap()
+        };
+        let first = service.submit_one(request("a"));
+        let rider = service.submit_one(request("b"));
+        assert_eq!(service.queued(), 1, "the duplicate must not occupy a queue slot");
+        assert_eq!(first.key(), rider.key());
+        drop(service); // zero workers: queued job is abandoned
+        assert!(matches!(first.wait(), Err(JobError::Disconnected { .. })));
+        assert!(matches!(rider.wait(), Err(JobError::Disconnected { .. })));
     }
 
     #[test]
-    fn alias_and_canonical_name_are_one_identity() {
-        // `vq` is the documented alias of `vq-a`: unseeded jobs under
-        // either spelling must derive the same content seed, hence the
-        // same cache key, and dedupe into one compression
-        let service = BatchCompressionService::in_memory();
-        let w = weight(4);
-        let jobs = vec![
-            CompressionJob::new("alias", w.clone(), "vq", spec()),
-            CompressionJob::new("canonical", w, "vq-a", spec()),
-        ];
-        let report = service.submit(jobs).unwrap();
-        assert_eq!(report.unique_jobs, 1);
-        assert_eq!(report.deduped_jobs, 1);
-        assert_eq!(report.outcomes[0].key, report.outcomes[1].key);
+    fn bypass_requests_skip_cache_and_dedup() {
+        let service = CompressionService::builder().workers(2).build().unwrap();
+        let request = |name: &str, mode: CacheMode| {
+            CompressionRequest::builder(name, weight(3), "mvq")
+                .spec(spec())
+                .seed(5)
+                .cache_mode(mode)
+                .build()
+                .unwrap()
+        };
+        let primed = service.submit_one(request("prime", CacheMode::ReadWrite)).wait().unwrap();
+        let bypass = service.submit_one(request("bypass", CacheMode::Bypass)).wait().unwrap();
+        assert!(!bypass.from_cache, "bypass must not read the cache");
+        assert!(!bypass.deduped);
+        assert_eq!(bits(&primed.artifact), bits(&bypass.artifact), "still deterministic");
+        let readonly = service.submit_one(request("ro", CacheMode::ReadOnly)).wait().unwrap();
+        assert!(readonly.from_cache, "read-only still reads");
     }
 
     #[test]
-    fn unknown_algo_is_a_typed_error() {
-        let service = BatchCompressionService::in_memory();
-        let jobs = vec![CompressionJob::new("a", weight(3), "vqgan", spec())];
-        assert!(matches!(service.submit(jobs), Err(MvqError::InvalidConfig(_))));
+    fn read_only_requests_do_not_grow_the_cache() {
+        let service = CompressionService::builder().workers(1).build().unwrap();
+        let request = CompressionRequest::builder("ro", weight(4), "mvq")
+            .spec(spec())
+            .cache_mode(CacheMode::ReadOnly)
+            .build()
+            .unwrap();
+        let outcome = service.submit_one(request).wait().unwrap();
+        assert!(!outcome.from_cache);
+        assert_eq!(service.cache().len(), 0, "read-only job stored an artifact");
+    }
+
+    #[test]
+    fn zero_capacity_queue_is_rejected() {
+        let err = CompressionService::builder().queue_capacity(0).build().unwrap_err();
+        assert!(matches!(err, MvqError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn conflicting_cache_configuration_is_rejected() {
+        use mvq_core::store::ArtifactCache;
+        let err = CompressionService::builder()
+            .cache(ArtifactCache::in_memory())
+            .cache_dir(std::env::temp_dir())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MvqError::InvalidConfig(_)));
+        let err = CompressionService::builder()
+            .cache(ArtifactCache::in_memory())
+            .cache_policy(CachePolicy::UNBOUNDED.with_memory_budget(1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MvqError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn queue_full_hands_the_request_back() {
+        let service = CompressionService::builder().workers(0).queue_capacity(2).build().unwrap();
+        let request = |name: &str, seed: u64| {
+            CompressionRequest::builder(name, weight(5), "mvq")
+                .spec(spec())
+                .seed(seed)
+                .build()
+                .unwrap()
+        };
+        let _t0 = service.try_submit_one(request("a", 0)).unwrap();
+        let _t1 = service.try_submit_one(request("b", 1)).unwrap();
+        match service.try_submit_one(request("c", 2)) {
+            Err(SubmitError::QueueFull { capacity, request }) => {
+                assert_eq!(capacity, 2);
+                assert_eq!(request.name(), "c");
+                assert_eq!(request.seed(), Some(2));
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,301 @@
+//! Typed, construction-validated compression requests.
+//!
+//! [`CompressionRequest`] is the unit of work [`crate::CompressionService`]
+//! accepts. Unlike the v1 [`crate::CompressionJob`] — a bag of strings
+//! checked only when a batch ran — a request is validated by
+//! [`CompressionRequestBuilder::build`]: the algorithm name is resolved
+//! against the pipeline registry, the spec is compiled for that algorithm,
+//! and the weight is shape-checked, each failure a typed
+//! [`MvqError::InvalidConfig`]. A request that builds cannot fail
+//! admission; only the compression itself can still error (per job, as a
+//! [`crate::JobError`]).
+
+use mvq_core::pipeline::{by_name, canonical_name, PipelineSpec};
+use mvq_core::store::Fnv1a;
+use mvq_core::{KernelStrategy, MvqError};
+use mvq_tensor::Tensor;
+
+/// Scheduling priority of a request. Workers always pop the
+/// highest-priority queued job; within one priority, submission order
+/// (FIFO) breaks ties.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Run after everything else.
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Run before Normal and Low work.
+    High,
+}
+
+/// How a request interacts with the service's artifact cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CacheMode {
+    /// Answer from the cache when possible and store fresh results — the
+    /// default.
+    #[default]
+    ReadWrite,
+    /// Answer from the cache when possible but never store — useful for
+    /// probing without growing a budgeted cache.
+    ReadOnly,
+    /// Ignore the cache entirely: always compress fresh, store nothing,
+    /// and never share another in-flight job's result.
+    Bypass,
+}
+
+impl CacheMode {
+    pub(crate) fn reads_cache(self) -> bool {
+        !matches!(self, CacheMode::Bypass)
+    }
+
+    pub(crate) fn writes_cache(self) -> bool {
+        matches!(self, CacheMode::ReadWrite)
+    }
+
+    /// Whether the request may share an identical in-flight job's result.
+    /// The executing (first-submitted) job's mode governs cache writes.
+    pub(crate) fn dedupes(self) -> bool {
+        !matches!(self, CacheMode::Bypass)
+    }
+}
+
+/// One validated unit of work for [`crate::CompressionService`]: compress
+/// `weight` with `algo` under `spec`, at `priority`, interacting with the
+/// cache per `cache_mode`.
+///
+/// Construct through [`CompressionRequest::builder`]; the fields are
+/// read-only afterwards so a request in the queue can never be in a state
+/// the service did not validate.
+#[derive(Debug, Clone)]
+pub struct CompressionRequest {
+    name: String,
+    weight: Tensor,
+    algo: &'static str,
+    spec: PipelineSpec,
+    seed: Option<u64>,
+    priority: Priority,
+    cache_mode: CacheMode,
+}
+
+impl CompressionRequest {
+    /// Starts building a request to compress `weight` with the registry
+    /// algorithm `algo` (aliases like `vq` are canonicalized at build).
+    pub fn builder(
+        name: impl Into<String>,
+        weight: Tensor,
+        algo: impl Into<String>,
+    ) -> CompressionRequestBuilder {
+        CompressionRequestBuilder {
+            name: name.into(),
+            weight,
+            algo: algo.into(),
+            spec: PipelineSpec::default(),
+            seed: None,
+            priority: Priority::default(),
+            cache_mode: CacheMode::default(),
+        }
+    }
+
+    /// Caller-chosen label (e.g. a layer name); not part of the identity.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The weight tensor to compress.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Canonical registry algorithm name.
+    pub fn algo(&self) -> &'static str {
+        self.algo
+    }
+
+    /// Pipeline hyperparameters.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// The pinned RNG seed, if any. `None` means the service derives a
+    /// deterministic content seed so identical unseeded requests dedupe
+    /// and cache across batches and processes.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// Scheduling priority.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Cache interaction policy.
+    pub fn cache_mode(&self) -> CacheMode {
+        self.cache_mode
+    }
+
+    /// The seed this request will actually compress with: the pinned seed
+    /// or the content-derived one.
+    pub(crate) fn resolved_seed(&self) -> u64 {
+        self.seed.unwrap_or_else(|| content_seed(&self.weight, &self.spec, self.algo))
+    }
+
+    pub(crate) fn into_parts(self) -> (String, Tensor, &'static str, PipelineSpec) {
+        (self.name, self.weight, self.algo, self.spec)
+    }
+}
+
+/// Builder for [`CompressionRequest`]; see [`CompressionRequest::builder`].
+#[derive(Debug, Clone)]
+pub struct CompressionRequestBuilder {
+    name: String,
+    weight: Tensor,
+    algo: String,
+    spec: PipelineSpec,
+    seed: Option<u64>,
+    priority: Priority,
+    cache_mode: CacheMode,
+}
+
+impl CompressionRequestBuilder {
+    /// Sets the pipeline hyperparameters (default: [`PipelineSpec::default`]).
+    pub fn spec(mut self, spec: PipelineSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Overrides the kernel strategy on the spec — a shorthand for
+    /// `spec.with_kernel(..)`, so CLI callers can layer `--kernel` on top
+    /// of a preset spec.
+    pub fn kernel(mut self, kernel: KernelStrategy) -> Self {
+        self.spec = self.spec.with_kernel(kernel);
+        self
+    }
+
+    /// Pins the RNG seed (the seed becomes part of the cache identity).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the scheduling priority (default: [`Priority::Normal`]).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the cache interaction policy (default: [`CacheMode::ReadWrite`]).
+    pub fn cache_mode(mut self, mode: CacheMode) -> Self {
+        self.cache_mode = mode;
+        self
+    }
+
+    /// Validates and finishes the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::InvalidConfig`] when the name is empty, the
+    /// weight has no elements, the algorithm is unknown, or the spec does
+    /// not compile for the algorithm (e.g. `d` not a multiple of `m` for
+    /// `mvq`).
+    pub fn build(self) -> Result<CompressionRequest, MvqError> {
+        if self.name.is_empty() {
+            return Err(MvqError::InvalidConfig("request name must not be empty".into()));
+        }
+        if self.weight.numel() == 0 {
+            return Err(MvqError::InvalidConfig(format!(
+                "request `{}`: weight of dims {:?} has no elements",
+                self.name,
+                self.weight.dims()
+            )));
+        }
+        let algo = canonical_name(&self.algo).ok_or_else(|| {
+            MvqError::InvalidConfig(format!(
+                "request `{}`: unknown compressor `{}`",
+                self.name, self.algo
+            ))
+        })?;
+        // compiling the compressor front-loads algorithm/spec mismatches
+        // (the registry's own validation) to submission time
+        by_name(algo, &self.spec)?;
+        Ok(CompressionRequest {
+            name: self.name,
+            weight: self.weight,
+            algo,
+            spec: self.spec,
+            seed: self.seed,
+            priority: self.priority,
+            cache_mode: self.cache_mode,
+        })
+    }
+}
+
+/// Deterministic seed for an unseeded request, derived from its content
+/// identity — the same weight/spec/algorithm always compresses with the
+/// same RNG stream, so unseeded work dedupes and caches across batches
+/// and processes. The domain string is pinned: it has encoded the same
+/// identity since the v1 batch service, so existing unseeded cache blobs
+/// stay addressable.
+pub(crate) fn content_seed(weight: &Tensor, spec: &PipelineSpec, canonical_algo: &str) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(b"mvq.serve.contentseed.v1");
+    h.update_u64(mvq_core::weight_hash(weight));
+    h.update_u64(spec.fingerprint());
+    h.update(canonical_algo.as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn weight() -> Tensor {
+        let mut rng = StdRng::seed_from_u64(0);
+        mvq_tensor::kaiming_normal(vec![32, 16], 16, &mut rng)
+    }
+
+    #[test]
+    fn builder_validates_at_construction() {
+        let ok = CompressionRequest::builder("a", weight(), "mvq")
+            .spec(PipelineSpec { k: 8, ..PipelineSpec::default() })
+            .seed(3)
+            .priority(Priority::High)
+            .cache_mode(CacheMode::ReadOnly)
+            .build()
+            .unwrap();
+        assert_eq!(ok.algo(), "mvq");
+        assert_eq!(ok.seed(), Some(3));
+        assert_eq!(ok.priority(), Priority::High);
+        assert_eq!(ok.cache_mode(), CacheMode::ReadOnly);
+
+        let unknown = CompressionRequest::builder("a", weight(), "vqgan").build();
+        assert!(matches!(unknown, Err(MvqError::InvalidConfig(_))));
+        let empty_name = CompressionRequest::builder("", weight(), "mvq").build();
+        assert!(matches!(empty_name, Err(MvqError::InvalidConfig(_))));
+        let empty_weight =
+            CompressionRequest::builder("a", Tensor::from_vec(vec![0, 8], vec![]).unwrap(), "mvq")
+                .build();
+        assert!(matches!(empty_weight, Err(MvqError::InvalidConfig(_))));
+        // spec that cannot compile for mvq: d not a multiple of m
+        let bad_spec = CompressionRequest::builder("a", weight(), "mvq")
+            .spec(PipelineSpec { d: 6, m: 4, ..PipelineSpec::default() })
+            .build();
+        assert!(matches!(bad_spec, Err(MvqError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn aliases_canonicalize_and_share_content_seeds() {
+        let a = CompressionRequest::builder("a", weight(), "vq").build().unwrap();
+        let b = CompressionRequest::builder("b", weight(), "vq-a").build().unwrap();
+        assert_eq!(a.algo(), "vq-a");
+        assert_eq!(a.resolved_seed(), b.resolved_seed());
+    }
+
+    #[test]
+    fn priority_orders_low_to_high() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+    }
+}

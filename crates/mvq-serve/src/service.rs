@@ -1,0 +1,613 @@
+//! The long-lived compression service: a hand-rolled worker-thread pool
+//! over std channels, a bounded priority queue for admission control, and
+//! per-job error isolation.
+//!
+//! No async runtime is involved (the workspace vendors no tokio): workers
+//! are plain `std::thread`s parked on a condvar, results travel over
+//! per-job `std::sync::mpsc` channels, and backpressure is a bounded
+//! queue whose `submit_one` blocks (or `try_submit_one` refuses) while
+//! full.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use mvq_core::pipeline::{by_name, PipelineSpec};
+use mvq_core::store::{ArtifactCache, CacheBudget, CacheKey, CacheStats};
+use mvq_core::{CompressedArtifact, MvqError};
+use mvq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::request::{CacheMode, CompressionRequest, Priority};
+use crate::ticket::{JobError, JobOutcome, JobResult, Ticket};
+
+/// Byte-budget policy the service applies to the cache it builds:
+/// a thin, service-facing wrapper over [`CacheBudget`] (ignored when the
+/// builder is handed a pre-built cache, which carries its own budget).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CachePolicy {
+    /// The byte budget; `CacheBudget::UNBOUNDED` (the default) preserves
+    /// the grow-forever behavior.
+    pub budget: CacheBudget,
+}
+
+impl CachePolicy {
+    /// No budgets — the cache grows without bound.
+    pub const UNBOUNDED: CachePolicy = CachePolicy { budget: CacheBudget::UNBOUNDED };
+
+    /// Caps the cache's in-memory footprint at `bytes`.
+    pub fn with_memory_budget(mut self, bytes: u64) -> CachePolicy {
+        self.budget.memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Caps the cache's on-disk footprint at `bytes`.
+    pub fn with_disk_budget(mut self, bytes: u64) -> CachePolicy {
+        self.budget.disk_bytes = Some(bytes);
+        self
+    }
+}
+
+/// Why a non-blocking submission was refused.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The queue is at capacity. The request rides back in the error so
+    /// the caller can retry it without rebuilding (boxed to keep the
+    /// `Err` variant small on the happy path).
+    QueueFull {
+        /// The queue capacity that was hit.
+        capacity: usize,
+        /// The refused request, returned intact.
+        request: Box<CompressionRequest>,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity, request } => write!(
+                f,
+                "queue full ({capacity} jobs queued): request `{}` refused",
+                request.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One queued unit of work. Normal jobs keep their waiters in the shared
+/// in-flight map (so identical submissions can attach); bypass jobs carry
+/// their single waiter inline and are invisible to dedup.
+struct QueuedJob {
+    key: CacheKey,
+    algo: &'static str,
+    spec: PipelineSpec,
+    weight: Tensor,
+    mode: CacheMode,
+    direct: Option<Waiter>,
+}
+
+struct Waiter {
+    name: String,
+    tx: mpsc::Sender<JobResult>,
+}
+
+/// A heap entry pointing at a queued job. Jobs live in `State::jobs`;
+/// the heap only orders (priority, seq) references, so a deduped rider
+/// with a higher priority can *boost* an already-queued job by pushing a
+/// second, higher-ranked reference — the job runs at the highest
+/// priority any of its waiters asked for, and the outranked reference is
+/// skipped as stale when popped.
+#[derive(PartialEq, Eq)]
+struct QueueRef {
+    priority: Priority,
+    seq: u64,
+}
+
+impl PartialOrd for QueueRef {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueRef {
+    /// Max-heap order: higher priority first, then FIFO within a
+    /// priority (lower sequence number = greater).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority.cmp(&other.priority).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Book-keeping for one in-flight (queued or running) non-bypass job.
+struct InflightEntry {
+    /// Index 0 is the submitter whose request is executing; later
+    /// entries are deduped riders.
+    waiters: Vec<Waiter>,
+    /// `Some((seq, effective priority))` while the job is still queued —
+    /// the handle riders use to boost it; `None` once a worker took it.
+    queued: Option<(u64, Priority)>,
+}
+
+#[derive(Default)]
+struct State {
+    heap: BinaryHeap<QueueRef>,
+    /// Queued jobs by sequence number; `jobs.len()` (not the heap size,
+    /// which may carry stale boost references) is the admission-control
+    /// queue length.
+    jobs: HashMap<u64, QueuedJob>,
+    inflight: HashMap<CacheKey, InflightEntry>,
+    shutdown: bool,
+}
+
+impl State {
+    /// Pops the highest-priority queued job, skipping references whose
+    /// job was already taken via a boosted duplicate.
+    fn pop_job(&mut self) -> Option<QueuedJob> {
+        while let Some(r) = self.heap.pop() {
+            if let Some(job) = self.jobs.remove(&r.seq) {
+                if job.direct.is_none() {
+                    if let Some(entry) = self.inflight.get_mut(&job.key) {
+                        entry.queued = None; // running now; boosts are moot
+                    }
+                }
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers that the queue gained a job (or shutdown began).
+    work: Condvar,
+    /// Signals blocked submitters that the queue lost a job.
+    space: Condvar,
+    capacity: usize,
+    cache: Arc<ArtifactCache>,
+    seq: AtomicU64,
+}
+
+/// The long-lived compression service: a content-addressed (optionally
+/// byte-budgeted) artifact cache behind a worker pool that executes
+/// [`CompressionRequest`]s with per-job outcomes.
+///
+/// * [`CompressionService::submit_one`] returns a [`Ticket`] immediately
+///   (blocking only while the bounded queue is full);
+///   [`CompressionService::try_submit_one`] refuses instead of blocking.
+/// * One bad job reports a typed [`JobError`] on its own ticket; every
+///   other job is untouched — there is no batch to abort.
+/// * Identical non-bypass jobs in flight (same [`CacheKey`]) share one
+///   compression; riders see `deduped: true`.
+/// * Work is deterministic end to end: a job's artifact depends only on
+///   its key (weight, spec, algorithm, kernel, seed), never on worker
+///   interleaving, queue order, or cache state — a cache hit is
+///   bit-identical to recompressing.
+///
+/// Dropping the service drains the queue gracefully: queued jobs still
+/// run (on a zero-worker service they resolve to
+/// [`JobError::Disconnected`] instead), then workers exit.
+pub struct CompressionService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for CompressionService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompressionService")
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.shared.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Configures and builds a [`CompressionService`].
+pub struct ServiceBuilder {
+    workers: Option<usize>,
+    queue_capacity: usize,
+    cache_dir: Option<PathBuf>,
+    cache: Option<ArtifactCache>,
+    policy: CachePolicy,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> ServiceBuilder {
+        ServiceBuilder {
+            workers: None,
+            queue_capacity: 1024,
+            cache_dir: None,
+            cache: None,
+            policy: CachePolicy::UNBOUNDED,
+        }
+    }
+}
+
+impl ServiceBuilder {
+    /// Worker thread count. Defaults to the machine's available
+    /// parallelism. `0` is allowed and means *no execution*: jobs queue
+    /// (useful for deterministic admission-control tests) and resolve to
+    /// [`JobError::Disconnected`] when the service drops.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Bound on *queued* (not yet running) jobs; `submit_one` blocks and
+    /// `try_submit_one` refuses while the queue is full. Must be ≥ 1.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Persist cache blobs under `dir` (created if absent), surviving
+    /// restarts.
+    pub fn cache_dir(mut self, dir: impl AsRef<Path>) -> Self {
+        self.cache_dir = Some(dir.as_ref().to_path_buf());
+        self
+    }
+
+    /// Use a pre-built cache (it carries its own budget; setting a
+    /// [`CachePolicy`] too is rejected at build).
+    pub fn cache(mut self, cache: ArtifactCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Byte budgets for the cache the builder creates.
+    pub fn cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builds the service and spawns its workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::InvalidConfig`] for a zero queue capacity or
+    /// conflicting cache configuration, and [`MvqError::Codec`] when the
+    /// cache directory cannot be created or scanned.
+    pub fn build(self) -> Result<CompressionService, MvqError> {
+        if self.queue_capacity == 0 {
+            return Err(MvqError::InvalidConfig(
+                "service queue capacity must be at least 1".into(),
+            ));
+        }
+        let cache = match (self.cache, &self.cache_dir) {
+            (Some(_), Some(_)) => {
+                return Err(MvqError::InvalidConfig(
+                    "give the service either a pre-built cache or a cache dir, not both".into(),
+                ));
+            }
+            (Some(cache), None) => {
+                if self.policy != CachePolicy::UNBOUNDED {
+                    return Err(MvqError::InvalidConfig(
+                        "a pre-built cache carries its own budget; set the policy on the cache"
+                            .into(),
+                    ));
+                }
+                cache
+            }
+            (None, Some(dir)) => ArtifactCache::with_dir_and_budget(dir, self.policy.budget)?,
+            (None, None) => ArtifactCache::in_memory_with_budget(self.policy.budget),
+        };
+        let workers = self
+            .workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            capacity: self.queue_capacity,
+            cache: Arc::new(cache),
+            seq: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mvq-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| {
+                        MvqError::InvalidConfig(format!("cannot spawn service worker: {e}"))
+                    })
+            })
+            .collect::<Result<Vec<_>, MvqError>>()?;
+        Ok(CompressionService { shared, workers: handles })
+    }
+}
+
+impl CompressionService {
+    /// Starts configuring a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::default()
+    }
+
+    /// A default-configured service over a purely in-memory cache.
+    pub fn in_memory() -> CompressionService {
+        ServiceBuilder::default().build().expect("default service config is valid")
+    }
+
+    /// A default-configured service whose cache persists blobs under
+    /// `dir`, surviving restarts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-directory creation/scan errors.
+    pub fn with_cache_dir<P: AsRef<Path>>(dir: P) -> Result<CompressionService, MvqError> {
+        ServiceBuilder::default().cache_dir(dir).build()
+    }
+
+    /// The underlying cache (for stats and direct lookups).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.shared.cache
+    }
+
+    /// Cache traffic counters and occupancy gauges.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Worker threads executing jobs.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The bound on queued jobs.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Jobs currently queued (excludes running jobs).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("service lock").jobs.len()
+    }
+
+    /// Submits one request, blocking while the queue is full, and returns
+    /// its [`Ticket`]. An identical non-bypass job already in flight is
+    /// joined instead of queued (the rider's outcome reports
+    /// `deduped: true`), so duplicates are immune to backpressure; a
+    /// rider with a higher priority boosts the queued job to it, so a
+    /// `High` request never waits behind `Normal` work just because a
+    /// `Low` duplicate arrived first.
+    pub fn submit_one(&self, request: CompressionRequest) -> Ticket {
+        match self.enqueue(request, true) {
+            Ok(ticket) => ticket,
+            Err(SubmitError::QueueFull { .. }) => {
+                unreachable!("blocking submission never reports a full queue")
+            }
+        }
+    }
+
+    /// Non-blocking [`CompressionService::submit_one`]: refuses with
+    /// [`SubmitError::QueueFull`] — handing the request back — instead of
+    /// waiting for queue space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::QueueFull`] when the queue is at capacity.
+    pub fn try_submit_one(&self, request: CompressionRequest) -> Result<Ticket, SubmitError> {
+        self.enqueue(request, false)
+    }
+
+    fn enqueue(&self, request: CompressionRequest, block: bool) -> Result<Ticket, SubmitError> {
+        let seed = request.resolved_seed();
+        let key = CacheKey::new(request.algo(), request.weight(), request.spec(), seed)
+            .expect("request algo was canonicalized at build");
+        let (tx, rx) = mpsc::channel();
+        let mut state = self.shared.state.lock().expect("service lock");
+        loop {
+            if request.cache_mode().dedupes() {
+                if let Some(entry) = state.inflight.get_mut(&key) {
+                    let name = request.name().to_string();
+                    entry.waiters.push(Waiter { name: name.clone(), tx });
+                    // boost a still-queued job to the rider's priority
+                    if let Some((seq, current)) = entry.queued {
+                        if request.priority() > current {
+                            entry.queued = Some((seq, request.priority()));
+                            state.heap.push(QueueRef { priority: request.priority(), seq });
+                        }
+                    }
+                    return Ok(Ticket::new(name, key, rx));
+                }
+            }
+            if state.jobs.len() < self.shared.capacity {
+                break;
+            }
+            if !block {
+                return Err(SubmitError::QueueFull {
+                    capacity: self.shared.capacity,
+                    request: Box::new(request),
+                });
+            }
+            state = self.shared.space.wait(state).expect("service lock");
+        }
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+        let priority = request.priority();
+        let mode = request.cache_mode();
+        let (name, weight, algo, spec) = request.into_parts();
+        let waiter = Waiter { name: name.clone(), tx };
+        let direct = if mode.dedupes() {
+            state.inflight.insert(
+                key.clone(),
+                InflightEntry { waiters: vec![waiter], queued: Some((seq, priority)) },
+            );
+            None
+        } else {
+            Some(waiter)
+        };
+        state.jobs.insert(seq, QueuedJob { key: key.clone(), algo, spec, weight, mode, direct });
+        state.heap.push(QueueRef { priority, seq });
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(Ticket::new(name, key, rx))
+    }
+}
+
+impl Drop for CompressionService {
+    /// Graceful drain: workers finish every queued job, then exit. With
+    /// zero workers the queue is abandoned and outstanding tickets
+    /// resolve to [`JobError::Disconnected`].
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("service lock").shutdown = true;
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("service lock");
+            loop {
+                if let Some(job) = state.pop_job() {
+                    shared.space.notify_one();
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work.wait(state).expect("service lock");
+            }
+        };
+        execute(shared, job);
+    }
+}
+
+/// What went wrong, before it is fanned out to (possibly several) waiters
+/// with their own names.
+enum FailureKind {
+    Compression(MvqError),
+    Cache(MvqError),
+    Panicked(String),
+}
+
+impl FailureKind {
+    fn into_job_error(self, name: String) -> JobError {
+        match self {
+            FailureKind::Compression(source) => JobError::Compression { name, source },
+            FailureKind::Cache(source) => JobError::Cache { name, source },
+            FailureKind::Panicked(detail) => JobError::Panicked { name, detail },
+        }
+    }
+}
+
+impl Clone for FailureKind {
+    fn clone(&self) -> FailureKind {
+        match self {
+            FailureKind::Compression(e) => FailureKind::Compression(e.clone()),
+            FailureKind::Cache(e) => FailureKind::Cache(e.clone()),
+            FailureKind::Panicked(d) => FailureKind::Panicked(d.clone()),
+        }
+    }
+}
+
+fn execute(shared: &Shared, job: QueuedJob) {
+    let result: Result<(CompressedArtifact, bool), FailureKind> = run_job(shared, &job);
+    // deliver to every waiter; the first is the submitter whose request
+    // executed, later ones are deduped riders
+    let waiters = match job.direct {
+        Some(waiter) => vec![waiter],
+        None => shared
+            .state
+            .lock()
+            .expect("service lock")
+            .inflight
+            .remove(&job.key)
+            .map(|entry| entry.waiters)
+            .unwrap_or_default(),
+    };
+    for (i, waiter) in waiters.into_iter().enumerate() {
+        let message = match &result {
+            Ok((artifact, from_cache)) => Ok(JobOutcome {
+                name: waiter.name,
+                key: job.key.clone(),
+                artifact: artifact.clone(),
+                from_cache: *from_cache,
+                deduped: i > 0,
+            }),
+            Err(kind) => Err(kind.clone().into_job_error(waiter.name)),
+        };
+        // a dropped ticket abandons its result; that is not an error
+        let _ = waiter.tx.send(message);
+    }
+}
+
+/// Runs one job: cache lookup (per the job's mode), fresh compression on
+/// a miss, cache store. The artifact is paired with a `from_cache` flag.
+fn run_job(shared: &Shared, job: &QueuedJob) -> Result<(CompressedArtifact, bool), FailureKind> {
+    if job.mode.reads_cache() {
+        match shared.cache.get(&job.key) {
+            Ok(Some(artifact)) => return Ok((artifact, true)),
+            Ok(None) => {}
+            Err(e) => return Err(FailureKind::Cache(e)),
+        }
+    }
+    let compressor = by_name(job.algo, &job.spec).map_err(FailureKind::Compression)?;
+    let compressed = catch_unwind(AssertUnwindSafe(|| {
+        let mut rng = StdRng::seed_from_u64(job.key.seed);
+        compressor.compress_matrix(&job.weight, &mut rng)
+    }))
+    .map_err(|payload| FailureKind::Panicked(panic_detail(payload)))?
+    .map_err(FailureKind::Compression)?;
+    if job.mode.writes_cache() {
+        shared.cache.put(&job.key, &compressed).map_err(FailureKind::Cache)?;
+    }
+    Ok((compressed, false))
+}
+
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push_job(state: &mut State, seq: u64, priority: Priority) {
+        let weight = Tensor::ones(vec![16, 16]);
+        let spec = PipelineSpec::default();
+        let key = CacheKey::new("mvq", &weight, &spec, seq).unwrap();
+        state.jobs.insert(
+            seq,
+            QueuedJob { key, algo: "mvq", spec, weight, mode: CacheMode::ReadWrite, direct: None },
+        );
+        state.heap.push(QueueRef { priority, seq });
+    }
+
+    #[test]
+    fn queue_pops_by_priority_then_fifo() {
+        let mut state = State::default();
+        push_job(&mut state, 0, Priority::Low);
+        push_job(&mut state, 1, Priority::Normal);
+        push_job(&mut state, 2, Priority::High);
+        push_job(&mut state, 3, Priority::Normal);
+        let order: Vec<u64> = std::iter::from_fn(|| state.pop_job().map(|j| j.key.seed)).collect();
+        assert_eq!(order, vec![2, 1, 3, 0], "high first, FIFO within priority, low last");
+    }
+
+    #[test]
+    fn boost_reference_outruns_the_original_priority() {
+        // a Low job boosted to High (as a high-priority dedup rider would)
+        // must pop before Normal work, and its stale Low reference must be
+        // skipped rather than re-running the job
+        let mut state = State::default();
+        push_job(&mut state, 0, Priority::Low);
+        push_job(&mut state, 1, Priority::Normal);
+        state.heap.push(QueueRef { priority: Priority::High, seq: 0 });
+        let order: Vec<u64> = std::iter::from_fn(|| state.pop_job().map(|j| j.key.seed)).collect();
+        assert_eq!(order, vec![0, 1], "boosted job first, stale ref skipped");
+        assert!(state.heap.is_empty() || state.jobs.is_empty());
+    }
+}

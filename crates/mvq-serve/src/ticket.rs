@@ -1,0 +1,178 @@
+//! Tickets: per-job result handles, outcomes, and typed job errors.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::mpsc;
+
+use mvq_core::store::CacheKey;
+use mvq_core::{CompressedArtifact, MvqError};
+
+/// The served result of one job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job's label, as submitted.
+    pub name: String,
+    /// The content address the job resolved to.
+    pub key: CacheKey,
+    /// The compressed artifact.
+    pub artifact: CompressedArtifact,
+    /// True when the artifact came from the cache rather than a fresh
+    /// compression.
+    pub from_cache: bool,
+    /// True when this job shared an identical in-flight job's compression
+    /// (same [`CacheKey`]) instead of running its own.
+    pub deduped: bool,
+}
+
+/// Why one job failed. Errors are per job: a failing job never aborts
+/// the queue, the worker pool, or any other job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// The compression itself failed (bad data for the spec, degenerate
+    /// weights, …).
+    Compression {
+        /// The failing job's label.
+        name: String,
+        /// The underlying pipeline error.
+        source: MvqError,
+    },
+    /// The artifact cache failed the job — a corrupt stored blob or a
+    /// failed disk write. Loud by design: a poisoned cache entry must
+    /// never be silently recompressed over.
+    Cache {
+        /// The failing job's label.
+        name: String,
+        /// The underlying codec/IO error.
+        source: MvqError,
+    },
+    /// The compression panicked. The panic is contained to this job; the
+    /// worker thread survives.
+    Panicked {
+        /// The failing job's label.
+        name: String,
+        /// The panic payload, best-effort stringified.
+        detail: String,
+    },
+    /// The service shut down before the job produced a result (possible
+    /// only for jobs still queued when a zero-worker service drops).
+    Disconnected {
+        /// The abandoned job's label.
+        name: String,
+    },
+}
+
+impl JobError {
+    /// The label of the job that failed.
+    pub fn name(&self) -> &str {
+        match self {
+            JobError::Compression { name, .. }
+            | JobError::Cache { name, .. }
+            | JobError::Panicked { name, .. }
+            | JobError::Disconnected { name } => name,
+        }
+    }
+
+    /// The underlying [`MvqError`], when the failure wraps one.
+    pub fn mvq_error(&self) -> Option<&MvqError> {
+        match self {
+            JobError::Compression { source, .. } | JobError::Cache { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Compression { name, source } => {
+                write!(f, "job `{name}`: compression failed: {source}")
+            }
+            JobError::Cache { name, source } => write!(f, "job `{name}`: cache failed: {source}"),
+            JobError::Panicked { name, detail } => write!(f, "job `{name}` panicked: {detail}"),
+            JobError::Disconnected { name } => {
+                write!(f, "job `{name}`: service shut down before the job completed")
+            }
+        }
+    }
+}
+
+impl Error for JobError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.mvq_error().map(|e| e as &(dyn Error + 'static))
+    }
+}
+
+impl From<JobError> for MvqError {
+    /// Flattens a job error back into the pipeline error space — used by
+    /// the deprecated v1 batch shim, whose `submit` reported a bare
+    /// [`MvqError`].
+    fn from(e: JobError) -> MvqError {
+        match e {
+            JobError::Compression { source, .. } | JobError::Cache { source, .. } => source,
+            JobError::Panicked { .. } | JobError::Disconnected { .. } => {
+                MvqError::InvalidConfig(e.to_string())
+            }
+        }
+    }
+}
+
+/// What a [`Ticket`] resolves to.
+pub type JobResult = Result<JobOutcome, JobError>;
+
+/// A handle to one submitted job. Obtain from
+/// [`crate::CompressionService::submit_one`]; redeem with [`Ticket::wait`]
+/// (blocking) or poll with [`Ticket::try_poll`].
+///
+/// Dropping a ticket abandons the result but never the work: the job
+/// still runs (and, cache permitting, its artifact is stored).
+#[derive(Debug)]
+pub struct Ticket {
+    name: String,
+    key: CacheKey,
+    rx: mpsc::Receiver<JobResult>,
+    done: Option<JobResult>,
+}
+
+impl Ticket {
+    pub(crate) fn new(name: String, key: CacheKey, rx: mpsc::Receiver<JobResult>) -> Ticket {
+        Ticket { name, key, rx, done: None }
+    }
+
+    /// The submitted job's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The content address the job resolved to — stable before the job
+    /// runs, so callers can correlate tickets with cache entries.
+    pub fn key(&self) -> &CacheKey {
+        &self.key
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    pub fn wait(mut self) -> JobResult {
+        if let Some(done) = self.done.take() {
+            return done;
+        }
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(JobError::Disconnected { name: std::mem::take(&mut self.name) })
+        })
+    }
+
+    /// Non-blocking check: `None` while the job is still running, a
+    /// borrow of the result once it finished. The result stays in the
+    /// ticket, so polling then [`Ticket::wait`]-ing (or polling again) is
+    /// fine.
+    pub fn try_poll(&mut self) -> Option<&JobResult> {
+        if self.done.is_none() {
+            match self.rx.try_recv() {
+                Ok(result) => self.done = Some(result),
+                Err(mpsc::TryRecvError::Empty) => return None,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    self.done = Some(Err(JobError::Disconnected { name: self.name.clone() }));
+                }
+            }
+        }
+        self.done.as_ref()
+    }
+}

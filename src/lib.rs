@@ -17,9 +17,12 @@
 //!   [`core::pipeline::registry`]
 //! * [`accel`] — the EWS systolic-array accelerator simulator (six hardware
 //!   settings, energy/area/performance models, roofline)
-//! * [`serve`] — the batch compression service: versioned artifact
-//!   serialization ([`core::store`]) behind a content-addressed cache and
-//!   a deduplicating, parallel job fan-out
+//! * [`serve`] — the compression service: a ticket-based request API
+//!   ([`serve::CompressionRequest`] → [`serve::Ticket`]) over a
+//!   worker-thread pool with bounded-queue admission control and per-job
+//!   error isolation, backed by versioned artifact serialization
+//!   ([`core::store`]) in a content-addressed, byte-budgeted LRU cache
+//!   (the deprecated v1 batch `submit` remains as a shim)
 //!
 //! ## Quickstart
 //!

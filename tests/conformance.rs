@@ -1,12 +1,16 @@
 //! Trait-conformance tests: every compressor in the pipeline registry must
 //! honor the shared `Compressor` / `CompressedArtifact` contract on the
-//! same seeded weight matrix — and the batch compression service must
-//! serve cache hits bit-identical to fresh compressions, deterministically
-//! across submission order and batching.
+//! same seeded weight matrix — and the compression service must serve
+//! cache hits, dedup shares, and the deprecated v1 batch path
+//! bit-identical to fresh compressions, deterministically across
+//! submission order, batching, worker interleaving, and cache eviction.
 
 use mvq::core::pipeline::{by_name, registry, PipelineSpec, ALGORITHM_NAMES};
+use mvq::core::store::CacheBudget;
 use mvq::core::{CompressedArtifact, KernelStrategy, ModelCompressor, MvqConfig, Parallelism};
-use mvq::serve::{BatchCompressionService, CompressionJob};
+use mvq::serve::{
+    BatchCompressionService, CachePolicy, CompressionJob, CompressionRequest, CompressionService,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -261,27 +265,40 @@ fn artifact_bits(a: &CompressedArtifact) -> Vec<u32> {
 }
 
 #[test]
-fn cache_hit_is_bit_identical_to_fresh_compression_for_every_algorithm() {
-    // The service contract: serving a repeated job from the cache must be
-    // observably indistinguishable from compressing it again — the decode
-    // of the stored blob reconstructs the exact bit pattern a fresh run
-    // (same seed, direct through the registry) produces.
+#[allow(deprecated)]
+fn ticket_and_v1_paths_match_fresh_compression_for_every_algorithm() {
+    // The service contract across both API generations: a ticket served
+    // by `CompressionService` (cold and from cache), an outcome from the
+    // deprecated v1 `submit` shim, and a fresh registry compression with
+    // the same seed must all reconstruct the exact same bit pattern.
     let w = test_weight();
     let spec = PipelineSpec { k: 8, swap_trials: 200, ..PipelineSpec::default() };
-    let service = BatchCompressionService::in_memory();
+    let service = CompressionService::builder().workers(2).build().unwrap();
+    let v1 = BatchCompressionService::in_memory();
     for name in ALGORITHM_NAMES {
-        let job = || vec![CompressionJob::new(name, w.clone(), name, spec.clone()).with_seed(41)];
-        let cold = service.submit(job()).unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert!(!cold.outcomes[0].from_cache, "{name}: first submission must compress");
-        let warm = service.submit(job()).unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert!(warm.outcomes[0].from_cache, "{name}: second submission must hit");
+        let request = || {
+            CompressionRequest::builder(name, w.clone(), name)
+                .spec(spec.clone())
+                .seed(41)
+                .build()
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+        };
+        let cold = service.submit_one(request()).wait().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!cold.from_cache, "{name}: first submission must compress");
+        let warm = service.submit_one(request()).wait().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(warm.from_cache, "{name}: second submission must hit");
+        let batch = v1
+            .submit(vec![CompressionJob::new(name, w.clone(), name, spec.clone()).with_seed(41)])
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         let fresh = by_name(name, &spec)
             .expect("valid spec")
             .compress_matrix(&w, &mut StdRng::seed_from_u64(41))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        for (label, served) in
-            [("cold", &cold.outcomes[0].artifact), ("warm", &warm.outcomes[0].artifact)]
-        {
+        for (label, served) in [
+            ("cold ticket", &cold.artifact),
+            ("warm ticket", &warm.artifact),
+            ("v1 submit", &batch.outcomes[0].artifact),
+        ] {
             assert_eq!(
                 artifact_bits(served),
                 artifact_bits(&fresh),
@@ -293,10 +310,181 @@ fn cache_hit_is_bit_identical_to_fresh_compression_for_every_algorithm() {
 }
 
 #[test]
+fn concurrent_submitters_get_bit_identical_artifacts() {
+    // Worker interleaving must be unobservable: four submitter threads
+    // race the same pinned-seed job set (mixed priorities, duplicates in
+    // flight) into one pooled service, twice over — every outcome must
+    // equal the fresh single-threaded compression, bit for bit.
+    let spec = PipelineSpec { k: 8, swap_trials: 200, ..PipelineSpec::default() };
+    let mut wrng = StdRng::seed_from_u64(0xD1CE);
+    let weights: Vec<mvq::tensor::Tensor> =
+        (0..3).map(|_| mvq::tensor::kaiming_normal(vec![32, 16], 16, &mut wrng)).collect();
+    let algos = ["mvq", "vq-a", "pvq"];
+    let fresh: Vec<Vec<u32>> = weights
+        .iter()
+        .zip(algos)
+        .map(|(w, algo)| {
+            let artifact = by_name(algo, &spec)
+                .unwrap()
+                .compress_matrix(w, &mut StdRng::seed_from_u64(77))
+                .unwrap();
+            artifact_bits(&artifact)
+        })
+        .collect();
+    for round in 0..2 {
+        let service = CompressionService::builder().workers(4).build().unwrap();
+        std::thread::scope(|scope| {
+            for submitter in 0..4 {
+                let service = &service;
+                let weights = &weights;
+                let spec = &spec;
+                let fresh = &fresh;
+                scope.spawn(move || {
+                    let priority = if submitter % 2 == 0 {
+                        mvq::serve::Priority::High
+                    } else {
+                        mvq::serve::Priority::Low
+                    };
+                    let tickets: Vec<mvq::serve::Ticket> = weights
+                        .iter()
+                        .zip(algos)
+                        .map(|(w, algo)| {
+                            let request = CompressionRequest::builder(
+                                format!("s{submitter}-{algo}"),
+                                w.clone(),
+                                algo,
+                            )
+                            .spec(spec.clone())
+                            .seed(77)
+                            .priority(priority)
+                            .build()
+                            .unwrap();
+                            service.submit_one(request)
+                        })
+                        .collect();
+                    for (i, ticket) in tickets.into_iter().enumerate() {
+                        let outcome = ticket.wait().unwrap();
+                        assert_eq!(
+                            artifact_bits(&outcome.artifact),
+                            fresh[i],
+                            "round {round}, submitter {submitter}: interleaving changed bits"
+                        );
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[test]
+fn memory_eviction_under_byte_budget_is_lru_and_never_exceeds() {
+    // A service whose cache policy caps resident bytes at roughly two
+    // artifacts: the least-recently-used entry is evicted, the budget is
+    // never exceeded, and an evicted key simply recompresses to the same
+    // bits.
+    let spec = PipelineSpec { k: 8, swap_trials: 200, ..PipelineSpec::default() };
+    let probe = {
+        let service = CompressionService::builder().workers(1).build().unwrap();
+        let request = CompressionRequest::builder("probe", test_weight(), "mvq")
+            .spec(spec.clone())
+            .seed(0)
+            .build()
+            .unwrap();
+        service.submit_one(request).wait().unwrap();
+        service.cache().memory_bytes()
+    };
+    let cap = 2 * probe;
+    let service = CompressionService::builder()
+        .workers(1)
+        .cache_policy(CachePolicy::UNBOUNDED.with_memory_budget(cap))
+        .build()
+        .unwrap();
+    assert_eq!(service.cache().budget(), CacheBudget::UNBOUNDED.with_memory_bytes(cap));
+    let submit = |seed: u64| {
+        let request = CompressionRequest::builder(format!("job-{seed}"), test_weight(), "mvq")
+            .spec(spec.clone())
+            .seed(seed)
+            .build()
+            .unwrap();
+        let outcome = service.submit_one(request).wait().unwrap();
+        assert!(
+            service.cache().memory_bytes() <= cap,
+            "budget exceeded: {} > {cap}",
+            service.cache().memory_bytes()
+        );
+        outcome
+    };
+    let first = submit(1);
+    submit(2);
+    submit(1); // touch: seed 2 becomes the LRU victim
+    submit(3); // evicts seed 2
+    let stats = service.cache_stats();
+    assert_eq!(stats.memory_evictions, 1, "{stats:?}");
+    assert!(submit(1).from_cache, "recently used entry was evicted");
+    let recompressed = submit(2);
+    assert!(!recompressed.from_cache, "LRU entry survived eviction");
+    assert_eq!(
+        artifact_bits(&recompressed.artifact),
+        artifact_bits(&submit(2).artifact),
+        "eviction changed served bits"
+    );
+    let _ = first;
+}
+
+#[test]
+fn disk_eviction_respects_budget_and_survives_restart() {
+    let dir = std::env::temp_dir().join(format!("mvq-evict-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = PipelineSpec { k: 8, swap_trials: 200, ..PipelineSpec::default() };
+    let submit = |service: &CompressionService, seed: u64| {
+        let request = CompressionRequest::builder(format!("job-{seed}"), test_weight(), "mvq")
+            .spec(spec.clone())
+            .seed(seed)
+            .build()
+            .unwrap();
+        service.submit_one(request).wait().unwrap()
+    };
+
+    // fill an unbudgeted disk cache with three blobs, oldest first (the
+    // sleeps order modification times for the restart's LRU scan)
+    let blob_len = {
+        let service = CompressionService::with_cache_dir(&dir).unwrap();
+        for seed in 1..=3 {
+            submit(&service, seed);
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        assert_eq!(service.cache().disk_len(), 3);
+        service.cache().disk_bytes() / 3
+    };
+
+    // restart under a two-blob budget: the scan must prune the stalest
+    // blob first and never exceed the budget afterwards
+    let cap = 2 * blob_len + blob_len / 2;
+    let service = CompressionService::builder()
+        .workers(1)
+        .cache_dir(&dir)
+        .cache_policy(CachePolicy::UNBOUNDED.with_disk_budget(cap))
+        .build()
+        .unwrap();
+    assert_eq!(service.cache().disk_len(), 2, "restart did not prune to the budget");
+    assert!(service.cache().disk_bytes() <= cap);
+    assert_eq!(service.cache_stats().disk_evictions, 1);
+    assert!(!submit(&service, 1).from_cache, "stalest blob must be the eviction victim");
+    assert!(submit(&service, 3).from_cache, "freshest blob must survive the restart prune");
+    // the put for seed 1 re-evicted the then-LRU blob; the budget held
+    assert!(service.cache().disk_bytes() <= cap);
+    assert_eq!(service.cache().disk_len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[allow(deprecated)]
 fn service_is_deterministic_across_order_and_batching() {
     // The same job set — shuffled, and split one-job-per-batch (serial)
     // vs one big batch (parallel fan-out) — must produce bit-identical
-    // artifacts per job name and the same dedupe/hit accounting.
+    // artifacts per job name and the same dedupe/hit accounting. Runs on
+    // the deprecated v1 shim deliberately: its BatchReport accounting is
+    // part of the compatibility contract the shim must preserve.
     let spec = PipelineSpec { k: 8, swap_trials: 200, ..PipelineSpec::default() };
     let mut wrng = StdRng::seed_from_u64(0xBEEF);
     let weights: Vec<mvq::tensor::Tensor> =
@@ -370,22 +558,24 @@ fn disk_backed_service_survives_restart_bit_identically() {
     let _ = std::fs::remove_dir_all(&dir);
     let spec = PipelineSpec { k: 8, ..PipelineSpec::default() };
     let w = test_weight();
-    let job = || vec![CompressionJob::new("conv0", w.clone(), "mvq", spec.clone())];
+    let request = || {
+        CompressionRequest::builder("conv0", w.clone(), "mvq").spec(spec.clone()).build().unwrap()
+    };
 
-    let first = BatchCompressionService::with_cache_dir(&dir).expect("cache dir");
-    let cold = first.submit(job()).expect("cold");
-    assert_eq!(cold.compressed, 1);
+    let first = CompressionService::with_cache_dir(&dir).expect("cache dir");
+    let cold = first.submit_one(request()).wait().expect("cold");
+    assert!(!cold.from_cache);
     drop(first);
 
     // a new service over the same directory: the artifact must come back
     // from disk, bit-identical
-    let second = BatchCompressionService::with_cache_dir(&dir).expect("cache dir");
-    let warm = second.submit(job()).expect("warm");
-    assert_eq!(warm.cache_hits, 1);
-    assert_eq!(warm.compressed, 0);
+    let second = CompressionService::with_cache_dir(&dir).expect("cache dir");
+    assert_eq!(second.cache().disk_len(), 1, "restart scan must see the persisted blob");
+    let warm = second.submit_one(request()).wait().expect("warm");
+    assert!(warm.from_cache);
     assert_eq!(
-        artifact_bits(&cold.outcomes[0].artifact),
-        artifact_bits(&warm.outcomes[0].artifact),
+        artifact_bits(&cold.artifact),
+        artifact_bits(&warm.artifact),
         "disk round-trip changed the artifact"
     );
     let _ = std::fs::remove_dir_all(&dir);

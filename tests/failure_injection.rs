@@ -11,6 +11,7 @@ use mvq::core::{
 };
 use mvq::nn::layers::{Conv2d, Module, Sequential};
 use mvq::nn::NnError;
+use mvq::serve::{CompressionRequest, CompressionService, JobError, SubmitError};
 use mvq::tensor::{Tensor, TensorError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -353,6 +354,136 @@ fn differing_specs_never_collide_in_cache_keys() {
     names.sort();
     names.dedup();
     assert_eq!(names.len(), keys.len(), "blob names collide");
+}
+
+#[test]
+fn one_poisoned_job_does_not_abort_the_rest() {
+    // The v2 isolation contract: a batch with one job whose data cannot
+    // compress (all-zero weights collapse every codeword) completes all
+    // the healthy jobs and reports a typed JobError on the poisoned
+    // ticket only.
+    let spec = PipelineSpec { k: 8, swap_trials: 100, ..PipelineSpec::default() };
+    let service = CompressionService::builder().workers(2).build().unwrap();
+    let mut rng = StdRng::seed_from_u64(0xBAD);
+    let healthy: Vec<mvq::serve::Ticket> = (0..4)
+        .map(|i| {
+            let w = mvq::tensor::kaiming_normal(vec![32, 16], 16, &mut rng);
+            let request = CompressionRequest::builder(format!("healthy-{i}"), w, "mvq")
+                .spec(spec.clone())
+                .seed(i)
+                .build()
+                .unwrap();
+            service.submit_one(request)
+        })
+        .collect();
+    let poisoned = service.submit_one(
+        CompressionRequest::builder("poisoned", Tensor::zeros(vec![32, 16]), "mvq")
+            .spec(spec.clone())
+            .build()
+            .unwrap(),
+    );
+    match poisoned.wait() {
+        Err(JobError::Compression { name, source }) => {
+            assert_eq!(name, "poisoned");
+            assert!(matches!(source, MvqError::InvalidConfig(_)), "{source:?}");
+        }
+        other => panic!("poisoned job must fail with a typed compression error, got {other:?}"),
+    }
+    for ticket in healthy {
+        let outcome = ticket.wait().unwrap_or_else(|e| panic!("healthy job failed: {e}"));
+        assert!(outcome.artifact.compression_ratio() > 1.0);
+    }
+}
+
+#[test]
+fn queue_admission_control_is_typed_and_loud() {
+    // A zero-worker service never drains, so admission control is
+    // deterministic: the bounded queue refuses the overflowing request
+    // (handing it back intact) and dropping the service resolves the
+    // abandoned tickets to Disconnected — never a hang or a panic.
+    let service = CompressionService::builder().workers(0).queue_capacity(1).build().unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let w = mvq::tensor::kaiming_normal(vec![32, 16], 16, &mut rng);
+    let request = |name: &str, seed: u64| {
+        CompressionRequest::builder(name, w.clone(), "mvq").seed(seed).build().unwrap()
+    };
+    let queued = service.try_submit_one(request("first", 0)).unwrap();
+    let refused = match service.try_submit_one(request("second", 1)) {
+        Err(SubmitError::QueueFull { capacity, request }) => {
+            assert_eq!(capacity, 1);
+            request
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    };
+    assert_eq!(refused.name(), "second");
+    // an identical in-flight job dedups instead of consuming queue space,
+    // so duplicates are immune to backpressure
+    let rider = service.try_submit_one(request("rider", 0)).unwrap();
+    assert_eq!(rider.key(), queued.key());
+    drop(service);
+    assert!(matches!(queued.wait(), Err(JobError::Disconnected { .. })));
+    assert!(matches!(rider.wait(), Err(JobError::Disconnected { .. })));
+}
+
+#[test]
+fn corrupt_cache_blob_fails_the_job_not_the_service() {
+    // A bit-flipped blob on disk must surface as a typed Cache error on
+    // the job that hits it, while the service keeps serving other jobs.
+    let dir = std::env::temp_dir().join(format!("mvq-corrupt-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rng = StdRng::seed_from_u64(2);
+    let w = mvq::tensor::kaiming_normal(vec![32, 16], 16, &mut rng);
+    let spec = PipelineSpec { k: 8, swap_trials: 100, ..PipelineSpec::default() };
+    let request = |name: &str, seed: u64| {
+        CompressionRequest::builder(name, w.clone(), "mvq")
+            .spec(spec.clone())
+            .seed(seed)
+            .build()
+            .unwrap()
+    };
+    let key = {
+        let service = CompressionService::with_cache_dir(&dir).unwrap();
+        service.submit_one(request("seed7", 7)).wait().unwrap().key
+    };
+    let path = dir.join(key.blob_name());
+    let mut blob = std::fs::read(&path).unwrap();
+    let last = blob.len() - 1;
+    blob[last] ^= 0x10;
+    std::fs::write(&path, &blob).unwrap();
+
+    let service = CompressionService::with_cache_dir(&dir).unwrap();
+    match service.submit_one(request("poisoned-blob", 7)).wait() {
+        Err(JobError::Cache { name, source }) => {
+            assert_eq!(name, "poisoned-blob");
+            assert!(matches!(source, MvqError::Codec(_)), "{source:?}");
+        }
+        other => panic!("corrupt blob must be a typed cache error, got {other:?}"),
+    }
+    assert_eq!(service.cache_stats().corrupt_rejections, 1);
+    let healthy = service.submit_one(request("other-seed", 8)).wait().unwrap();
+    assert!(!healthy.from_cache);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn request_validation_fails_before_any_work_queues() {
+    // The v2 request builder front-loads every v1 submit-time failure:
+    // unknown algorithm, uncompilable spec, empty weight, empty name.
+    let mut rng = StdRng::seed_from_u64(3);
+    let w = mvq::tensor::kaiming_normal(vec![32, 16], 16, &mut rng);
+    let cases: Vec<Result<CompressionRequest, MvqError>> = vec![
+        CompressionRequest::builder("a", w.clone(), "vqgan").build(),
+        CompressionRequest::builder("a", w.clone(), "mvq")
+            .spec(PipelineSpec { d: 6, m: 4, ..PipelineSpec::default() })
+            .build(),
+        CompressionRequest::builder("a", Tensor::from_vec(vec![0, 8], vec![]).unwrap(), "mvq")
+            .build(),
+        CompressionRequest::builder("", w, "mvq").build(),
+    ];
+    for case in cases {
+        let err = case.expect_err("invalid request must not build");
+        assert!(matches!(err, MvqError::InvalidConfig(_)), "{err:?}");
+    }
 }
 
 #[test]
