@@ -7,6 +7,9 @@
 //! model zoo of `mvq-nn` on synthetic data (see DESIGN.md for the
 //! substitution argument) and run the real compression pipeline.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
 pub mod cli;
 pub mod ext;
 pub mod fmt;

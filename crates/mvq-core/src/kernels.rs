@@ -732,15 +732,25 @@ mod avx {
             let mut acc = _mm256_setzero_ps();
             let mut base = 0;
             while base < full {
-                let w = _mm256_loadu_ps(row.as_ptr().add(base));
-                let m = _mm256_loadu_ps(mm.as_ptr().add(base));
-                let cw = _mm256_loadu_ps(c.as_ptr().add(base));
+                // SAFETY: base + SIMD_CHUNK <= full <= d and row, mm, and
+                // c are all d long, so every 8-lane read is in bounds;
+                // loadu has no alignment requirement.
+                let (w, m, cw) = unsafe {
+                    (
+                        _mm256_loadu_ps(row.as_ptr().add(base)),
+                        _mm256_loadu_ps(mm.as_ptr().add(base)),
+                        _mm256_loadu_ps(c.as_ptr().add(base)),
+                    )
+                };
                 let e = _mm256_sub_ps(w, _mm256_mul_ps(cw, m));
                 acc = _mm256_add_ps(acc, _mm256_mul_ps(e, e));
                 base += SIMD_CHUNK;
             }
             let mut lanes = [0.0f32; SIMD_CHUNK];
-            _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+            // SAFETY: lanes is a stack array of exactly SIMD_CHUNK (8)
+            // f32s — one full 256-bit store; storeu tolerates any
+            // alignment.
+            unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
             for t in full..d {
                 let e = row[t] - c[t] * mm[t];
                 lanes[t - full] += e * e;
@@ -1038,6 +1048,9 @@ mod tests {
                 let row = data.row(j);
                 let mm = plan.multiplier_row(j);
                 let portable = best_codeword_portable(row, mm, &centers, 19);
+                // SAFETY: guarded by the is_x86_feature_detected!("avx")
+                // early-return above, so the target-feature contract holds;
+                // row/mm/centers all have the same row width d.
                 let native = unsafe { avx::best_codeword(row, mm, &centers, 19) };
                 assert_eq!(portable, native, "d={d} row={j}");
             }

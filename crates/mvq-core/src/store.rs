@@ -1063,6 +1063,7 @@ impl ArtifactCache {
                 // key between our (lock-free) disk read and re-acquiring
                 // the lock, and its ledger entry must survive
                 if let Some(dir) = &self.dir {
+                    // lint:allow(lock-scope) -- metadata-only existence probe; it must happen under this lock or the concurrent-put race described above comes back
                     if !dir.join(&name).exists() {
                         inner.forget_disk(&name);
                     }

@@ -1,0 +1,8 @@
+//! Violating: the allow names the right rule but gives no reason, so
+//! it reports `allow-syntax` and suppresses nothing.
+
+/// Reads through a raw pointer with a reasonless allow.
+pub fn read(p: *const f32) -> f32 {
+    // lint:allow(safety-comment)
+    unsafe { *p }
+}

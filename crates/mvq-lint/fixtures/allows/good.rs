@@ -1,0 +1,8 @@
+//! Clean: the finding below is deliberate and carries a well-formed
+//! allow with a reason, so the file lints silent.
+
+/// Reads through a raw pointer; the audit is suppressed with a reason.
+pub fn read(p: *const f32) -> f32 {
+    // lint:allow(safety-comment) -- fixture exercising the escape hatch
+    unsafe { *p }
+}

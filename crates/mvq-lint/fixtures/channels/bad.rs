@@ -1,0 +1,8 @@
+//! Violating: an unbounded channel where the backpressure rule applies.
+
+use std::sync::mpsc;
+
+/// Builds a queue with no capacity limit.
+pub fn queue() -> (mpsc::Sender<u32>, mpsc::Receiver<u32>) {
+    mpsc::channel()
+}

@@ -1,0 +1,8 @@
+//! Clean: the queue is bounded, so producers feel backpressure.
+
+use std::sync::mpsc;
+
+/// Builds the bounded job queue.
+pub fn queue(capacity: usize) -> (mpsc::SyncSender<u32>, mpsc::Receiver<u32>) {
+    mpsc::sync_channel(capacity)
+}

@@ -1,0 +1,19 @@
+//! Violating twice: a disk read while the guard is live, and a second
+//! lock acquired under the first.
+
+use std::sync::Mutex;
+
+/// Reads from disk inside the critical section.
+pub fn load(m: &Mutex<Vec<u8>>, path: &std::path::Path) -> std::io::Result<()> {
+    let mut slot = m.lock().expect("slot lock");
+    let bytes = std::fs::read(path)?;
+    *slot = bytes;
+    Ok(())
+}
+
+/// Takes two locks in one scope.
+pub fn both(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let x = a.lock().expect("a lock");
+    let y = b.lock().expect("b lock");
+    *x + *y
+}

@@ -1,0 +1,12 @@
+//! Clean: the disk read happens before the lock is taken, and the
+//! critical section only publishes the bytes.
+
+use std::sync::Mutex;
+
+/// Reads the blob outside the critical section, then locks to publish.
+pub fn load(m: &Mutex<Vec<u8>>, path: &std::path::Path) -> std::io::Result<()> {
+    let bytes = std::fs::read(path)?;
+    let mut slot = m.lock().expect("slot lock");
+    *slot = bytes;
+    Ok(())
+}

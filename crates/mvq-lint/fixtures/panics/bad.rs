@@ -1,0 +1,13 @@
+//! Violating three ways: a bare `unwrap()`, a `panic!`, and an
+//! `expect` whose message is not in the allowlist.
+
+use std::sync::Mutex;
+
+/// Panics all over a path that promised typed errors.
+pub fn get(m: &Mutex<Option<u32>>) -> u32 {
+    let slot = m.lock().expect("whatever happens happens");
+    if slot.is_none() {
+        panic!("empty slot");
+    }
+    slot.unwrap()
+}

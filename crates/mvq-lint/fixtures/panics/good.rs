@@ -1,0 +1,10 @@
+//! Clean: typed errors on the fallible path, and the one `expect` uses
+//! an allowlisted invariant message (`state lock`).
+
+use std::sync::Mutex;
+
+/// Returns the current value, or a typed error for the empty case.
+pub fn get(m: &Mutex<Option<u32>>) -> Result<u32, String> {
+    let slot = m.lock().expect("state lock");
+    slot.ok_or_else(|| "empty".to_string())
+}

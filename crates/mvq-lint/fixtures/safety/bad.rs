@@ -1,0 +1,6 @@
+//! Violating: an `unsafe` block with no safety comment anywhere near it.
+
+/// Reads through a raw pointer without saying why that is sound.
+pub fn read(p: *const f32) -> f32 {
+    unsafe { *p }
+}

@@ -1,0 +1,17 @@
+//! Clean: every `unsafe` has an adjacent safety comment.
+
+/// Reads through a raw pointer.
+pub fn read(p: *const f32) -> f32 {
+    // SAFETY: caller guarantees p is valid for reads and aligned.
+    unsafe { *p }
+}
+
+/// Documented unsafe fn: the doc section counts as the safety comment.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn read_raw(p: *const f32) -> f32 {
+    // SAFETY: contract forwarded from this fn's own # Safety section.
+    unsafe { *p }
+}

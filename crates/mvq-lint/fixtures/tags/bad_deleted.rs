@@ -1,0 +1,10 @@
+//! Violating: `FORMAT_VERSION` is pinned but no longer declared here —
+//! the pin points at nothing, so the guard can no longer see the value.
+
+/// Blob kinds (these still match their pins).
+pub enum Kind {
+    /// First kind.
+    A = 0,
+    /// Second kind.
+    B = 1,
+}

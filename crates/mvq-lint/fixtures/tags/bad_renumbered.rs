@@ -1,0 +1,21 @@
+//! Violating: `Kind::B` was renumbered from 1 to 2 — existing blobs
+//! written with tag 1 would now decode as the wrong variant.
+
+/// Container format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Blob kinds; `B`'s discriminant drifted from its pin.
+pub enum Kind {
+    /// First kind.
+    A = 0,
+    /// Second kind — renumbered!
+    B = 2,
+}
+
+/// Encoder, drifted to match the enum.
+pub fn tag(k: Kind) -> u8 {
+    match k {
+        Kind::A => 0,
+        Kind::B => 2,
+    }
+}

@@ -1,0 +1,15 @@
+//! Violating: `Kind::C` was appended without appending its pin — the
+//! manifest must grow in the same change that grows the enum.
+
+/// Container format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Blob kinds, one more than the manifest knows about.
+pub enum Kind {
+    /// First kind.
+    A = 0,
+    /// Second kind.
+    B = 1,
+    /// Appended kind, not yet pinned.
+    C = 2,
+}

@@ -1,0 +1,29 @@
+//! Clean: tag values match the fixture manifest's pins exactly.
+
+/// Container format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Blob kinds with pinned discriminants.
+pub enum Kind {
+    /// First kind.
+    A = 0,
+    /// Second kind.
+    B = 1,
+}
+
+/// Encodes a kind (match-arm form of the same pins).
+pub fn tag(k: Kind) -> u8 {
+    match k {
+        Kind::A => 0,
+        Kind::B => 1,
+    }
+}
+
+/// Decodes a tag (reversed-arm form).
+pub fn from_tag(t: u8) -> Option<Kind> {
+    match t {
+        0 => Some(Kind::A),
+        1 => Some(Kind::B),
+        _ => None,
+    }
+}

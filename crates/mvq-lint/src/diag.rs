@@ -1,0 +1,45 @@
+//! Diagnostics: what a rule reports and how it prints.
+
+use std::fmt;
+
+/// One lint finding, anchored to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Repo-relative path (forward slashes) of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired (e.g. `panic-path`).
+    pub rule: &'static str,
+    /// Human-readable explanation, specific to the site.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic for `rule` at `file:line`.
+    pub fn new(
+        file: impl Into<String>,
+        line: usize,
+        rule: &'static str,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic { file: file.into(), line, rule, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_file_line_rule_message() {
+        let d = Diagnostic::new("crates/x/src/lib.rs", 7, "panic-path", "bare unwrap()");
+        assert_eq!(d.to_string(), "crates/x/src/lib.rs:7: panic-path: bare unwrap()");
+    }
+}

@@ -1,0 +1,261 @@
+//! The lint driver: file walking, test-region masking, the
+//! `lint:allow` escape hatch, and rule dispatch.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use crate::diag::Diagnostic;
+use crate::lexer::{self, Line};
+use crate::manifest::Manifest;
+use crate::rules;
+
+/// Every rule this lint enforces, by name. `lint:allow` comments must
+/// name one of these.
+pub const RULE_NAMES: &[&str] =
+    &[rules::SAFETY, rules::TAGS, rules::PANICS, rules::LOCKS, rules::CHANNELS];
+
+/// Diagnostic name for a malformed `lint:allow` comment itself.
+pub const ALLOW_SYNTAX: &str = "allow-syntax";
+
+/// A lexed file plus the per-line facts rules share.
+pub struct FileView<'a> {
+    /// Repo-relative path, forward slashes.
+    pub path: &'a str,
+    /// Lexical view of every line (see [`crate::lexer`]).
+    pub lines: &'a [Line],
+    /// Per-line flag: inside a `#[cfg(test)]` region (or a `tests/`
+    /// integration-test file).
+    pub is_test: &'a [bool],
+}
+
+/// Lints one file's source text against the manifest. Returns the
+/// surviving diagnostics — rule findings minus `lint:allow`-suppressed
+/// ones, plus any `allow-syntax` errors.
+pub fn check_source(path: &str, source: &str, manifest: &Manifest) -> Vec<Diagnostic> {
+    let lines = lexer::lex(source);
+    let is_test = test_mask(path, &lines);
+    let view = FileView { path, lines: &lines, is_test: &is_test };
+
+    let mut diags = Vec::new();
+    diags.extend(rules::safety::check(&view));
+    diags.extend(rules::tags::check(&view, manifest));
+    diags.extend(rules::panics::check(&view, manifest));
+    diags.extend(rules::locks::check(&view));
+    diags.extend(rules::channels::check(&view, manifest));
+
+    let (allows, mut syntax_diags) = parse_allows(path, &lines);
+    diags.retain(|d| {
+        !(allows.contains(&(d.line, d.rule.to_string()))
+            || d.line > 1 && allows.contains(&(d.line - 1, d.rule.to_string())))
+    });
+    diags.append(&mut syntax_diags);
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+/// Walks the workspace tree (`crates/`, `src/`, `tests/` under `root`,
+/// skipping `target/`, `vendor/`, and fixture directories) and lints
+/// every `.rs` file.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while walking or reading files.
+pub fn check_workspace(root: &Path, manifest: &Manifest) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut diags = Vec::new();
+    for file in files {
+        let source = std::fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        diags.extend(check_source(&rel, &source, manifest));
+    }
+    Ok(diags)
+}
+
+/// Directory names never descended into: build output, vendored shims,
+/// and the lint's own deliberately-violating fixture snippets.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git"];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().to_string();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Computes the per-line `#[cfg(test)]` mask via brace-scope tracking:
+/// a `#[cfg(test)]` attribute arms the *next* brace to open a test
+/// region, which lasts until its matching close. Files under `tests/`
+/// are integration tests — masked entirely.
+fn test_mask(path: &str, lines: &[Line]) -> Vec<bool> {
+    if path.starts_with("tests/") || path.contains("/tests/") {
+        return vec![true; lines.len()];
+    }
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i32 = 0;
+    // depth at which an open test region's brace sits; None = not in one
+    let mut region_at: Option<i32> = None;
+    let mut armed = false;
+    for (i, line) in lines.iter().enumerate() {
+        if region_at.is_some() {
+            mask[i] = true;
+        }
+        if line.code.contains("#[cfg(test)]") {
+            armed = true;
+            mask[i] = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if armed && region_at.is_none() {
+                        region_at = Some(depth);
+                        armed = false;
+                        mask[i] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_at == Some(depth) {
+                        region_at = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
+/// Parses escape hatches out of the file's comments — e.g.
+/// `lint:allow(lock-scope) -- keys probed under the same guard, no I/O`.
+/// Returns the set of `(line, rule)` suppressions (an allow covers its
+/// own line and the next) and any `allow-syntax` diagnostics for
+/// malformed attempts — an allow without a known rule name and a
+/// written reason is itself a finding. Only the exact marker with the
+/// immediately-following paren is parsed, so prose *mentioning* the
+/// `lint:allow` syntax stays inert.
+fn parse_allows(path: &str, lines: &[Line]) -> (HashSet<(usize, String)>, Vec<Diagnostic>) {
+    let mut allows = HashSet::new();
+    let mut diags = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        let mut rest = line.comment.as_str();
+        while let Some(pos) = rest.find("lint:allow(") {
+            let body = &rest[pos + "lint:allow(".len()..];
+            rest = body;
+            let Some(close) = body.find(')') else {
+                diags.push(Diagnostic::new(
+                    path,
+                    lineno,
+                    ALLOW_SYNTAX,
+                    "unterminated `lint:allow(` — missing `)`",
+                ));
+                break;
+            };
+            let rule = body[..close].trim();
+            rest = &body[close + 1..];
+            if !RULE_NAMES.contains(&rule) {
+                diags.push(Diagnostic::new(
+                    path,
+                    lineno,
+                    ALLOW_SYNTAX,
+                    format!(
+                        "unknown rule `{rule}` in lint:allow (rules: {})",
+                        RULE_NAMES.join(", ")
+                    ),
+                ));
+                continue;
+            }
+            let after = rest.trim_start();
+            let reason_ok = after
+                .strip_prefix("--")
+                .map(|r| {
+                    let r = match r.find("lint:allow") {
+                        Some(p) => &r[..p],
+                        None => r,
+                    };
+                    !r.trim().is_empty()
+                })
+                .unwrap_or(false);
+            if !reason_ok {
+                diags.push(Diagnostic::new(
+                    path,
+                    lineno,
+                    ALLOW_SYNTAX,
+                    format!("lint:allow({rule}) needs a justification: `-- <reason>`"),
+                ));
+                continue;
+            }
+            allows.insert((lineno, rule.to_string()));
+        }
+    }
+    (allows, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Manifest {
+        Manifest::parse("[panic-path]\npaths = [\"src\"]\nallow-expect = []\n").unwrap()
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let src = "fn a() { b(); }\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn c() {}\n";
+        let lines = lexer::lex(src);
+        let mask = test_mask("src/lib.rs", &lines);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn tests_dir_is_fully_masked() {
+        let lines = lexer::lex("fn t() { x.unwrap(); }\n");
+        assert!(test_mask("tests/it.rs", &lines).iter().all(|&b| b));
+    }
+
+    #[test]
+    fn allow_suppresses_same_and_next_line() {
+        let src = "// lint:allow(panic-path) -- invariant documented here\nfoo.unwrap();\nbar.unwrap();\n";
+        let diags = check_source("src/lib.rs", src, &m());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding() {
+        let src = "foo.unwrap(); // lint:allow(panic-path)\n";
+        let diags = check_source("src/lib.rs", src, &m());
+        assert!(diags.iter().any(|d| d.rule == ALLOW_SYNTAX), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_a_finding() {
+        let src = "// lint:allow(no-such-rule) -- whatever\n";
+        let diags = check_source("src/lib.rs", src, &m());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, ALLOW_SYNTAX);
+    }
+}

@@ -1,0 +1,360 @@
+//! A lightweight, line-oriented Rust lexer.
+//!
+//! The rules in this crate do not need a full parse tree — they need to
+//! know, per source line, *which characters are code*, *which are
+//! comments*, and *which string literals appear*. This module produces
+//! exactly that view: for every line of a file, a copy of the line with
+//! comment text and string/char literal contents blanked out (so token
+//! searches never match inside a doc comment or a format string), the
+//! concatenated comment text (so the `SAFETY:` audit and the
+//! `lint:allow` escape hatch can read it), and the string literals with
+//! their columns (so the panic-path rule can read `expect` messages).
+//!
+//! Handled: `//` line comments, nested `/* */` block comments, plain and
+//! raw strings (`r"…"`, `r#"…"#`, any hash depth), byte strings, char
+//! literals, escapes, and the char-literal vs. lifetime ambiguity
+//! (`'a'` vs. `'a`). Multi-line strings and block comments carry their
+//! state across lines.
+
+/// One source line, split into its lexical layers.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line with comments and literal contents replaced by spaces.
+    /// Delimiting quotes are kept, so `.expect("msg")` still reads as
+    /// `.expect("   ")` and brace counting stays exact.
+    pub code: String,
+    /// The text of every comment on the line (markers stripped),
+    /// concatenated in order.
+    pub comment: String,
+    /// String literals that *start* on this line: `(column in `code`,
+    /// contents)`. Multi-line literal contents are captured in full on
+    /// the starting line.
+    pub strings: Vec<(usize, String)>,
+}
+
+/// Lexer state carried across lines.
+enum State {
+    Code,
+    /// Inside `/* */`, with nesting depth.
+    Block(u32),
+    /// Inside a plain (possibly byte) string literal.
+    Str,
+    /// Inside a raw string literal terminated by `"` + `hashes` `#`s.
+    RawStr {
+        hashes: u32,
+    },
+}
+
+/// Splits `source` into lexical [`Line`]s.
+pub fn lex(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut strings: Vec<(usize, String)> = Vec::new();
+    // Index into `strings` (possibly on an earlier line) currently being
+    // filled; multi-line literals keep appending to their starting entry.
+    let mut open_string: Option<(usize, usize)> = None; // (line, slot)
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    // Appends to the string literal currently being collected.
+    // Collected contents live in the line the literal started on.
+    macro_rules! push_str_char {
+        ($lines:ident, $c:expr) => {
+            if let Some((line_idx, slot)) = open_string {
+                if line_idx == $lines.len() {
+                    strings[slot].1.push($c);
+                } else {
+                    $lines[line_idx].strings[slot].1.push($c);
+                }
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                strings: std::mem::take(&mut strings),
+            });
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    // line comment: consume to end of line, keep the text
+                    i += 2;
+                    // strip doc-comment markers (`///`, `//!`) so the
+                    // comment text starts at the prose
+                    while chars.get(i) == Some(&'/') || chars.get(i) == Some(&'!') {
+                        i += 1;
+                    }
+                    while i < chars.len() && chars[i] != '\n' {
+                        comment.push(chars[i]);
+                        i += 1;
+                    }
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block(1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    let col = code.chars().count();
+                    code.push('"');
+                    strings.push((col, String::new()));
+                    open_string = Some((lines.len(), strings.len() - 1));
+                    state = State::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    // possible raw/byte string prefix: r" r#" b" br" br#"
+                    if let Some((hashes, consumed, raw)) = string_prefix(&chars, i) {
+                        let col = code.chars().count();
+                        for _ in 0..consumed {
+                            code.push(' ');
+                        }
+                        code.push('"');
+                        strings.push((col, String::new()));
+                        open_string = Some((lines.len(), strings.len() - 1));
+                        state = if raw { State::RawStr { hashes } } else { State::Str };
+                        i += consumed + 1;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // char literal or lifetime
+                    if is_char_literal(&chars, i) {
+                        code.push('\'');
+                        i += 1;
+                        while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+                            if chars[i] == '\\' {
+                                code.push(' ');
+                                i += 1;
+                            }
+                            if i < chars.len() && chars[i] != '\n' {
+                                code.push(' ');
+                                i += 1;
+                            }
+                        }
+                        if chars.get(i) == Some(&'\'') {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::Block(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 { State::Code } else { State::Block(depth - 1) };
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block(depth + 1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    push_str_char!(lines, c);
+                    code.push(' ');
+                    i += 1;
+                    if i < chars.len() && chars[i] != '\n' {
+                        push_str_char!(lines, chars[i]);
+                        code.push(' ');
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    code.push('"');
+                    open_string = None;
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    push_str_char!(lines, c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    open_string = None;
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    push_str_char!(lines, c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() || !strings.is_empty() {
+        lines.push(Line { code, comment, strings });
+    }
+    lines
+}
+
+/// Whether the character before index `i` continues an identifier —
+/// guards the `r"…"` / `b"…"` prefix detection against identifiers that
+/// merely end in `r`/`b` (e.g. `var"` cannot occur, but `hasher` + call
+/// chains can put an `r` before a quote-free char).
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Detects a raw/byte string prefix at `i`. Returns
+/// `(hashes, chars consumed before the quote, is_raw)`.
+fn string_prefix(chars: &[char], i: usize) -> Option<(u32, usize, bool)> {
+    let mut j = i;
+    let mut raw = false;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        raw = true;
+        j += 1;
+    }
+    if j == i {
+        return None;
+    }
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') && (raw || hashes == 0) {
+        Some((hashes, j - i, raw))
+    } else {
+        None
+    }
+}
+
+/// Whether `"` at `i` is followed by `hashes` `#`s, closing a raw string.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// `'` at `i` starts a char literal (vs. a lifetime) when the next char
+/// is an escape, or when the char after next closes the quote.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// True when `needle` occurs in `haystack` as a standalone word — the
+/// characters on both sides (if any) are not identifier characters.
+/// Returns the byte offset of the first such occurrence.
+pub fn find_word(haystack: &str, needle: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !haystack[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= haystack.len()
+            || !haystack[after..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + needle.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_stripped_from_code() {
+        let lines = lex("let x = 1; // unwrap() here is prose\n");
+        assert!(lines[0].code.contains("let x = 1;"));
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains("unwrap() here is prose"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = lex("a /* one /* two */ still */ b\nc /* open\npanic!() inside\n*/ d\n");
+        assert!(lines[0].code.contains('a') && lines[0].code.contains('b'));
+        assert!(!lines[0].code.contains("still"));
+        assert!(!lines[2].code.contains("panic"));
+        assert!(lines[2].comment.contains("panic!() inside"));
+        assert!(lines[3].code.contains('d'));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_captured() {
+        let lines = lex("foo.expect(\"service lock\");\n");
+        assert!(!lines[0].code.contains("service"));
+        assert!(lines[0].code.contains(".expect(\""));
+        assert_eq!(lines[0].strings.len(), 1);
+        assert_eq!(lines[0].strings[0].1, "service lock");
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let lines = lex("let s = r#\"has \"quotes\" and panic!()\"#; next()\n");
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[0].code.contains("next()"));
+        assert_eq!(lines[0].strings[0].1, "has \"quotes\" and panic!()");
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_literal() {
+        let lines = lex("f(\"a \\\" b\"); g()\n");
+        assert!(lines[0].code.contains("g()"));
+        assert_eq!(lines[0].strings[0].1, "a \\\" b");
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let lines = lex("fn f<'a>(x: &'a str) { let c = '{'; let d = '\\n'; }\n");
+        // the brace inside the char literal must not count as code
+        let braces = lines[0].code.matches('{').count();
+        assert_eq!(braces, 1, "{}", lines[0].code);
+        assert!(lines[0].code.contains("<'a>"));
+    }
+
+    #[test]
+    fn multiline_strings_attach_to_their_starting_line() {
+        let lines = lex("let s = \"line one\nline two\";\nafter();\n");
+        assert_eq!(lines[0].strings.len(), 1);
+        assert!(lines[0].strings[0].1.contains("line two"));
+        assert!(lines[1].strings.is_empty());
+        assert!(lines[2].code.contains("after()"));
+    }
+
+    #[test]
+    fn find_word_respects_identifier_boundaries() {
+        assert!(find_word("unsafe { }", "unsafe").is_some());
+        assert!(find_word("deny(unsafe_op_in_unsafe_fn)", "unsafe").is_none());
+        assert!(find_word("let channel_name = 1;", "channel").is_none());
+        assert!(find_word("mpsc::channel()", "channel").is_some());
+    }
+}

@@ -1,0 +1,109 @@
+//! CLI for the workspace lint. See the `mvq_lint` crate docs for the
+//! rules and the allow syntax.
+//!
+//! ```text
+//! mvq-lint --workspace                 # lint the whole tree (CI mode)
+//! mvq-lint path/to/file.rs …           # lint specific files
+//! mvq-lint --root <dir> --manifest <f> # override repo root / lint.toml
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mvq_lint::{check_source, check_workspace, Manifest};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(count) => {
+            eprintln!("mvq-lint: {count} finding(s)");
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("mvq-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<usize, String> {
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    let mut manifest_path: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => {
+                root = Some(PathBuf::from(argv.next().ok_or("--root needs a path")?));
+            }
+            "--manifest" => {
+                manifest_path = Some(PathBuf::from(argv.next().ok_or("--manifest needs a path")?));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: mvq-lint [--workspace] [--root <dir>] [--manifest <lint.toml>] [files…]"
+                );
+                return Ok(0);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}` (see --help)"));
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if !workspace && files.is_empty() {
+        return Err("nothing to lint: pass --workspace or one or more .rs files".into());
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => find_root()?,
+    };
+    let manifest_path = manifest_path.unwrap_or_else(|| root.join("lint.toml"));
+    let manifest_text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("reading {}: {e}", manifest_path.display()))?;
+    let manifest = Manifest::parse(&manifest_text).map_err(|e| e.to_string())?;
+
+    let mut diags = Vec::new();
+    if workspace {
+        diags.extend(check_workspace(&root, &manifest).map_err(|e| e.to_string())?);
+    }
+    for file in &files {
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        diags.extend(check_source(&rel, &source, &manifest));
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    Ok(diags.len())
+}
+
+/// Finds the workspace root: the nearest ancestor of the current
+/// directory containing `lint.toml` (so the tool works from any crate
+/// directory), falling back to the current directory.
+fn find_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return Ok(cwd),
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Bounded-channel guard: on the paths listed in
+//! `[unbounded-channel].paths` (the serve layer), unbounded channel
+//! constructors (`mpsc::channel()` and friends) are forbidden in
+//! non-test code. The worker pool's backpressure story (PR 5) depends
+//! on every queue having a capacity; one unbounded producer turns a
+//! byte-budgeted service into an OOM. Deliberate exceptions — e.g. a
+//! per-job result channel that carries at most one message — use the
+//! inline `lint:allow(unbounded-channel) -- <reason>` escape hatch.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileView;
+use crate::lexer::find_word;
+use crate::manifest::Manifest;
+use crate::rules::CHANNELS;
+
+/// Runs the guard over one file (no-op off the guarded paths).
+pub fn check(view: &FileView<'_>, manifest: &Manifest) -> Vec<Diagnostic> {
+    if !manifest.channel_paths.iter().any(|p| view.path.starts_with(p.as_str())) {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    for (i, line) in view.lines.iter().enumerate() {
+        if view.is_test[i] {
+            continue;
+        }
+        let code = &line.code;
+        if let Some(at) = find_word(code, "channel") {
+            // `sync_channel` never matches here: `find_word` requires a
+            // non-identifier char before the match, and `_` is one.
+            if code[at..].starts_with("channel()") {
+                diags.push(Diagnostic::new(
+                    view.path,
+                    i + 1,
+                    CHANNELS,
+                    "unbounded `channel()` in the serve layer — use `sync_channel(cap)` \
+                     to keep backpressure, or justify with \
+                     `lint:allow(unbounded-channel) -- <why this cannot grow unboundedly>`",
+                ));
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::check_source;
+    use crate::manifest::Manifest;
+
+    fn manifest() -> Manifest {
+        Manifest::parse("[unbounded-channel]\npaths = [\"src/pool.rs\"]\n").unwrap()
+    }
+
+    #[test]
+    fn unbounded_fires_bounded_passes() {
+        let bad = "fn f() { let (tx, rx) = mpsc::channel(); }\n";
+        assert_eq!(check_source("src/pool.rs", bad, &manifest()).len(), 1);
+        let good = "fn f() { let (tx, rx) = mpsc::sync_channel(64); }\n";
+        assert!(check_source("src/pool.rs", good, &manifest()).is_empty());
+        assert!(check_source("src/other.rs", bad, &manifest()).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "// lint:allow(unbounded-channel) -- carries exactly one result per job\nlet (tx, rx) = mpsc::channel();\n";
+        assert!(check_source("src/pool.rs", src, &manifest()).is_empty());
+    }
+}

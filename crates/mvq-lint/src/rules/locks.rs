@@ -1,0 +1,210 @@
+//! Lock-discipline check: a `.lock()` guard bound in a scope must not
+//! stay live across disk I/O or a second `.lock()` acquisition.
+//! Holding a cache mutex through a blob write stalls every other
+//! worker; taking two locks in one scope is how lock-order inversions
+//! (and deadlocks) are born.
+//!
+//! The analysis is a deliberate approximation: brace-scope tracking
+//! over the lexical view. A guard is born on a `let … = ….lock(…)…`
+//! line, and dies when its binding scope closes or an explicit
+//! `drop(guard)` runs. While any guard is live, lines containing disk
+//! I/O tokens (`File::`, `fs::`, `read_*`/`write_*` calls, `.exists(`)
+//! or another `.lock(` are flagged. Guards passed across function
+//! boundaries (e.g. a helper taking `&mut CacheInner`) are invisible to
+//! it — the rule keeps the *common* shape honest, it is not a proof.
+//! Test code is exempt (tests routinely lock + touch disk serially).
+
+use crate::diag::Diagnostic;
+use crate::engine::FileView;
+use crate::lexer::find_word;
+use crate::rules::LOCKS;
+
+/// A live lock guard.
+struct Guard {
+    name: String,
+    /// 1-based line it was bound on.
+    line: usize,
+    /// Brace depth its binding lives at; the guard dies when depth
+    /// drops below this.
+    depth: i32,
+}
+
+/// Runs the check over one file.
+pub fn check(view: &FileView<'_>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: i32 = 0;
+    for (i, line) in view.lines.iter().enumerate() {
+        let code = &line.code;
+        if view.is_test[i] {
+            // still track braces so depths stay aligned after the region
+            depth += brace_delta(code);
+            guards.retain(|g| g.depth <= depth);
+            continue;
+        }
+        let locks_here = code.matches(".lock(").count();
+        let binds_here = find_word(code, "let").is_some() && locks_here > 0;
+
+        if let Some(guard) = guards.first() {
+            if locks_here > 0 {
+                diags.push(Diagnostic::new(
+                    view.path,
+                    i + 1,
+                    LOCKS,
+                    format!(
+                        "acquires a lock while guard `{}` (line {}) is still held — \
+                         nested locks invite lock-order inversion; drop the first \
+                         guard or restructure",
+                        guard.name, guard.line
+                    ),
+                ));
+            }
+        } else if binds_here && locks_here > 1 {
+            diags.push(Diagnostic::new(
+                view.path,
+                i + 1,
+                LOCKS,
+                "acquires two locks in one expression — nested locks invite \
+                 lock-order inversion",
+            ));
+        }
+        if (!guards.is_empty() || binds_here) && io_token(code) {
+            let (name, gline) = guards
+                .first()
+                .map(|g| (g.name.as_str(), g.line))
+                .unwrap_or(("<this line's guard>", i + 1));
+            diags.push(Diagnostic::new(
+                view.path,
+                i + 1,
+                LOCKS,
+                format!(
+                    "disk I/O while lock guard `{name}` (line {gline}) is held — \
+                     do the I/O outside the critical section and re-lock to publish"
+                ),
+            ));
+        }
+
+        // explicit drops release guards immediately
+        guards.retain(|g| !code.contains(&format!("drop({})", g.name)));
+
+        // track braces; a dip below a guard's depth ends its scope even
+        // if the line re-opens braces afterwards
+        let mut min = depth;
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    min = min.min(depth);
+                }
+                _ => {}
+            }
+        }
+        guards.retain(|g| g.depth <= min);
+
+        if binds_here && guards.is_empty() {
+            if let Some(name) = binding_name(code) {
+                guards.push(Guard { name, line: i + 1, depth });
+            }
+        }
+    }
+    diags
+}
+
+fn brace_delta(code: &str) -> i32 {
+    code.chars()
+        .map(|c| match c {
+            '{' => 1,
+            '}' => -1,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Extracts the bound name from `let [mut] <name> = …`.
+fn binding_name(code: &str) -> Option<String> {
+    let at = find_word(code, "let")?;
+    let mut rest = code[at + 3..].trim_start();
+    if let Some(stripped) = rest.strip_prefix("mut ") {
+        rest = stripped.trim_start();
+    }
+    let name: String = rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Disk-I/O tokens per the rule's contract: `File::`, `fs::`,
+/// `read_*`/`write_*` calls, and existence probes.
+fn io_token(code: &str) -> bool {
+    if code.contains("File::") || code.contains("fs::") || code.contains(".exists(") {
+        return true;
+    }
+    // any identifier starting read_/write_ followed by a call
+    for prefix in ["read_", "write_"] {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(prefix) {
+            let at = from + pos;
+            let before_ok = at == 0
+                || !code[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let ident_end = at
+                + code[at..]
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .map(|c| c.len_utf8())
+                    .sum::<usize>();
+            if before_ok && code[ident_end..].starts_with('(') {
+                return true;
+            }
+            from = at + prefix.len();
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::check_source;
+    use crate::manifest::Manifest;
+
+    fn m() -> Manifest {
+        Manifest::default()
+    }
+
+    #[test]
+    fn io_under_lock_fires() {
+        let src = "fn f(&self) {\n    let inner = self.state.lock().expect(\"lock\");\n    let bytes = fs::read(&path)?;\n    inner.insert(bytes);\n}\n";
+        let diags = check_source("src/a.rs", src, &m());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "lock-scope");
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn io_after_scope_close_is_fine() {
+        let src = "fn f(&self) {\n    {\n        let inner = self.state.lock().expect(\"lock\");\n        inner.touch();\n    }\n    let bytes = fs::read(&path)?;\n}\n";
+        assert!(check_source("src/a.rs", src, &m()).is_empty());
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let src = "fn f(&self) {\n    let inner = self.state.lock().expect(\"lock\");\n    let key = inner.key();\n    drop(inner);\n    let bytes = fs::read(&path)?;\n}\n";
+        assert!(check_source("src/a.rs", src, &m()).is_empty());
+    }
+
+    #[test]
+    fn second_lock_under_guard_fires() {
+        let src = "fn f(&self) {\n    let a = self.x.lock().expect(\"x\");\n    let b = self.y.lock().expect(\"y\");\n}\n";
+        let diags = check_source("src/a.rs", src, &m());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn tests_are_exempt_and_depth_stays_aligned() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        let g = m.lock().unwrap();\n        let b = fs::read(&p).unwrap();\n    }\n}\nfn after() { let g = m.lock().expect(\"x\"); g.get(); }\n";
+        assert!(check_source("src/a.rs", src, &m()).is_empty());
+    }
+}

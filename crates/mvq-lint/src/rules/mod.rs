@@ -1,0 +1,20 @@
+//! The five rules. Each submodule exposes `check(...) -> Vec<Diagnostic>`
+//! over a [`crate::engine::FileView`]; rule names live here so the
+//! engine, the allow parser, and the docs agree on them.
+
+pub mod channels;
+pub mod locks;
+pub mod panics;
+pub mod safety;
+pub mod tags;
+
+/// `unsafe` block/fn without an adjacent `// SAFETY:` comment.
+pub const SAFETY: &str = "safety-comment";
+/// Serialization tag or format version drifted from the pinned manifest.
+pub const TAGS: &str = "tag-drift";
+/// `unwrap()`/`expect()`/`panic!` on a guarded non-test code path.
+pub const PANICS: &str = "panic-path";
+/// Lock guard held across disk I/O or a second lock acquisition.
+pub const LOCKS: &str = "lock-scope";
+/// Unbounded `channel()` constructor in backpressure-guarded code.
+pub const CHANNELS: &str = "unbounded-channel";

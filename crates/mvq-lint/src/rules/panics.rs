@@ -1,0 +1,125 @@
+//! Panic-path lint: on the paths listed in `[panic-path].paths`
+//! (the serve layer and the artifact store — code whose panics would
+//! take down a worker or poison a cache lock), non-test code must not
+//! call `unwrap()`, reach `panic!`/`unreachable!`/`todo!`/
+//! `unimplemented!`, or use `expect(...)` with a message outside the
+//! manifest's `allow-expect` allowlist. Typed errors (`MvqError`,
+//! `JobError`) are the sanctioned alternative; the allowlist exists for
+//! documented invariants (lock poisoning, sizes checked on the previous
+//! line) where a typed error would only launder a bug.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileView;
+use crate::lexer::find_word;
+use crate::manifest::Manifest;
+use crate::rules::PANICS;
+
+/// Macros that are always findings on a guarded path.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the lint over one file (no-op off the guarded paths).
+pub fn check(view: &FileView<'_>, manifest: &Manifest) -> Vec<Diagnostic> {
+    if !manifest.panic_paths.iter().any(|p| view.path.starts_with(p.as_str())) {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    for (i, line) in view.lines.iter().enumerate() {
+        if view.is_test[i] {
+            continue;
+        }
+        let code = &line.code;
+        if let Some(at) = find_word(code, "unwrap") {
+            if code[at..].starts_with("unwrap(") {
+                diags.push(Diagnostic::new(
+                    view.path,
+                    i + 1,
+                    PANICS,
+                    "bare `unwrap()` on a guarded path — return a typed error, or use \
+                     `expect(\"<invariant>\")` with an allowlist entry in lint.toml",
+                ));
+            }
+        }
+        for mac in PANIC_MACROS {
+            if let Some(at) = find_word(code, mac) {
+                if code[at + mac.len()..].starts_with('!') {
+                    diags.push(Diagnostic::new(
+                        view.path,
+                        i + 1,
+                        PANICS,
+                        format!(
+                            "`{mac}!` on a guarded path — a panic here kills a worker or \
+                             poisons a cache lock; return a typed error instead"
+                        ),
+                    ));
+                }
+            }
+        }
+        if let Some(at) = find_word(code, "expect") {
+            if code[at..].starts_with("expect(") {
+                let message =
+                    line.strings.iter().find(|(col, _)| *col > at).map(|(_, s)| s.as_str());
+                match message {
+                    Some(msg) if manifest.allow_expect.iter().any(|a| a == msg) => {}
+                    Some(msg) => diags.push(Diagnostic::new(
+                        view.path,
+                        i + 1,
+                        PANICS,
+                        format!(
+                            "`expect(\"{msg}\")` message is not in the lint.toml \
+                             allow-expect list — allowlist the invariant (with a comment \
+                             in lint.toml saying why it holds) or return a typed error"
+                        ),
+                    )),
+                    None => diags.push(Diagnostic::new(
+                        view.path,
+                        i + 1,
+                        PANICS,
+                        "`expect(...)` without a literal message on the same line — the \
+                         allowlist can only audit literal invariant messages",
+                    )),
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::check_source;
+    use crate::manifest::Manifest;
+
+    fn manifest() -> Manifest {
+        Manifest::parse(
+            "[panic-path]\npaths = [\"src/service.rs\"]\nallow-expect = [\"state lock\"]\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unwrap_and_panic_fire_on_guarded_paths_only() {
+        let src = "fn f() { x.unwrap(); panic!(\"boom\"); }\n";
+        assert_eq!(check_source("src/service.rs", src, &manifest()).len(), 2);
+        assert!(check_source("src/elsewhere.rs", src, &manifest()).is_empty());
+    }
+
+    #[test]
+    fn allowlisted_expect_passes_unlisted_fires() {
+        let ok = "fn f() { m.lock().expect(\"state lock\"); }\n";
+        assert!(check_source("src/service.rs", ok, &manifest()).is_empty());
+        let bad = "fn f() { m.lock().expect(\"whatever\"); }\n";
+        assert_eq!(check_source("src/service.rs", bad, &manifest()).len(), 1);
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(check_source("src/service.rs", src, &manifest()).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = "fn f() { x.unwrap_or_else(|| 3); y.unwrap_or(0); z.unwrap_or_default(); }\n";
+        assert!(check_source("src/service.rs", src, &manifest()).is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Safety-comment audit: every `unsafe` keyword in code must have an
+//! adjacent safety comment — `// SAFETY: …` on the same line, or in the
+//! comment block immediately above (doc `# Safety` sections count, so a
+//! documented `unsafe fn` passes). Attribute lines (`#[target_feature]`
+//! and friends) between the comment and the `unsafe` are skipped.
+//!
+//! This applies everywhere, including tests: an unexplained `unsafe` is
+//! no safer for being in a `#[cfg(test)]` module.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileView;
+use crate::lexer::find_word;
+use crate::rules::SAFETY;
+
+/// How many attached lines (comments, attributes, blanks) above an
+/// `unsafe` are searched for a safety comment.
+const LOOKBACK: usize = 15;
+
+/// Runs the audit over one file.
+pub fn check(view: &FileView<'_>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (i, line) in view.lines.iter().enumerate() {
+        if find_word(&line.code, "unsafe").is_none() {
+            continue;
+        }
+        if has_adjacent_safety(view, i) {
+            continue;
+        }
+        diags.push(Diagnostic::new(
+            view.path,
+            i + 1,
+            SAFETY,
+            "`unsafe` without an adjacent `// SAFETY:` comment stating the upheld invariants",
+        ));
+    }
+    diags
+}
+
+/// A safety comment is adjacent when the same line's comment, or the
+/// contiguous run of comment/attribute/blank lines directly above,
+/// mentions `SAFETY` (or a doc `# Safety` section).
+fn has_adjacent_safety(view: &FileView<'_>, i: usize) -> bool {
+    if mentions_safety(&view.lines[i].comment) {
+        return true;
+    }
+    let mut j = i;
+    let mut looked = 0;
+    while j > 0 && looked < LOOKBACK {
+        j -= 1;
+        looked += 1;
+        let line = &view.lines[j];
+        if mentions_safety(&line.comment) {
+            return true;
+        }
+        let code = line.code.trim();
+        let attached = code.is_empty() || code.starts_with("#[") || code.starts_with("#!");
+        if !attached {
+            return false;
+        }
+    }
+    false
+}
+
+fn mentions_safety(comment: &str) -> bool {
+    comment.contains("SAFETY") || comment.contains("Safety")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::check_source;
+    use crate::manifest::Manifest;
+
+    #[test]
+    fn fires_without_and_passes_with_safety_comment() {
+        let m = Manifest::default();
+        let bad = "fn f() { let x = unsafe { *p };\n}\n";
+        assert_eq!(check_source("src/a.rs", bad, &m).len(), 1);
+
+        let good =
+            "// SAFETY: p is valid for reads; checked above.\nfn f() { let x = unsafe { *p };\n}\n";
+        assert!(check_source("src/a.rs", good, &m).is_empty());
+    }
+
+    #[test]
+    fn doc_safety_section_through_attributes_counts() {
+        let m = Manifest::default();
+        let good = "/// Does things.\n///\n/// # Safety\n///\n/// Caller must ensure AVX.\n#[target_feature(enable = \"avx\")]\npub unsafe fn fast() {}\n";
+        assert!(check_source("src/a.rs", good, &m).is_empty());
+    }
+
+    #[test]
+    fn deny_attribute_is_not_an_unsafe_use() {
+        let m = Manifest::default();
+        let good = "#![deny(unsafe_op_in_unsafe_fn)]\nfn f() {}\n";
+        assert!(check_source("src/a.rs", good, &m).is_empty());
+    }
+}

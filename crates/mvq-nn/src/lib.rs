@@ -45,6 +45,8 @@
 
 // Indexed loops are the clearer idiom for the numeric kernels here.
 #![allow(clippy::needless_range_loop)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
 
 pub mod data;
 

@@ -88,6 +88,9 @@
 //! and `FORMAT_VERSION` are unchanged: a v1-era disk cache serves v2
 //! traffic (and vice versa) without invalidation.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
 mod batch;
 mod request;
 mod service;

@@ -59,6 +59,9 @@
 //! [`core::ModelCompressor`] adds MVQ's layerwise/crosslayer codebook
 //! scopes on top.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
 pub use mvq_accel as accel;
 pub use mvq_core as core;
 pub use mvq_nn as nn;
