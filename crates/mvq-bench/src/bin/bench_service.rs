@@ -18,6 +18,12 @@
 //!   LRU-first, then the pass measures the warm-vs-evicted hit-rate
 //!   split (evicted keys recompress, surviving keys hit).
 //!
+//! Two further **hit-path latency** passes measure warm submit→wait
+//! round trips under 16 concurrent submitter threads against in-memory
+//! services: a single-shard baseline that decodes every outcome (the
+//! cost profile of the old single-lock cache) versus the default sharded
+//! cache served zero-copy (`hit_baseline_*` / `hit_sharded_*` p50/p99).
+//!
 //! The binary asserts every pass is bit-identical to the cold artifacts
 //! before reporting any number — a service that served wrong bytes fast
 //! would be measuring the wrong thing.
@@ -36,6 +42,10 @@ use rand::SeedableRng;
 
 const ALGOS: [&str; 3] = ["mvq", "vq-a", "bgd"];
 const DUPLICATES: usize = 2;
+/// Concurrent submitter threads in the warm hit-path latency passes.
+const HIT_SUBMITTERS: usize = 16;
+/// Warm submissions each submitter thread times, after priming.
+const HIT_ROUNDS: usize = 40;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(0);
@@ -123,25 +133,38 @@ fn main() {
     let evicted_stats = evicted_service.cache_stats();
     drop(evicted_service);
 
-    let cold_bits: std::collections::HashMap<&str, Vec<u32>> =
-        cold.outcomes.iter().map(|o| (o.name.as_str(), bits(&o.artifact))).collect();
+    let cold_bits: std::collections::HashMap<&str, Vec<u32>> = cold
+        .outcomes
+        .iter()
+        .map(|o| (o.name.as_str(), bits(&o.artifact().expect("decode cold artifact"))))
+        .collect();
     for (label, rerun) in [("warm", &warm), ("disk", &disk), ("evicted", &evicted)] {
         for outcome in &rerun.outcomes {
             assert_eq!(
                 cold_bits[outcome.name.as_str()],
-                bits(&outcome.artifact),
+                bits(&outcome.artifact().expect("decode served artifact")),
                 "{label} serve of {} diverges from cold compression",
                 outcome.name
             );
         }
     }
 
+    // warm hit-path latency under contention: HIT_SUBMITTERS threads
+    // hammering submit+wait over a pre-primed in-memory cache. The
+    // baseline pins the cache to one shard and decodes every outcome
+    // (the old single-lock, decode-per-hit serving); the sharded pass
+    // uses the default shard count and the zero-copy bytes accessor.
+    let hit_weights: Vec<_> =
+        weights.iter().filter(|w| w.dims()[0] % spec.d == 0).cloned().collect();
+    let baseline = hit_pass(&hit_weights, &spec, 1, true);
+    let sharded = hit_pass(&hit_weights, &spec, mvq_core::store::DEFAULT_SHARDS, false);
+
     let n_jobs = cold.outcomes.len();
     let jps = |secs: f64| n_jobs as f64 / secs;
     let hit_rate = |pass: &Pass| 1.0 - pass.fresh as f64 / distinct.max(1) as f64;
     let algo_list = ALGOS.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(", ");
     let json = format!(
-        "{{\n  \"workload\": \"resnet18-lite\",\n  \"algorithms\": [{algo_list}],\n  \"jobs\": {n_jobs},\n  \"unique_jobs\": {distinct},\n  \"deduped_jobs\": {},\n  \"workers\": {workers},\n  \"cold_s\": {cold_secs:.3},\n  \"cold_jobs_per_s\": {:.2},\n  \"warm_s\": {warm_secs:.3},\n  \"warm_jobs_per_s\": {:.2},\n  \"warm_speedup\": {:.1},\n  \"warm_hit_rate\": {:.4},\n  \"queue_jobs_per_s\": {:.2},\n  \"disk_s\": {disk_secs:.3},\n  \"disk_jobs_per_s\": {:.2},\n  \"disk_hit_rate\": {:.4},\n  \"evicted_s\": {evicted_secs:.3},\n  \"evicted_jobs_per_s\": {:.2},\n  \"evicted_hit_rate\": {:.4},\n  \"disk_budget_bytes\": {disk_budget},\n  \"disk_evictions\": {},\n  \"cache_memory_bytes\": {memory_bytes},\n  \"cache_disk_bytes\": {disk_bytes_unbounded},\n  \"cache_disk_len\": {disk_len_unbounded}\n}}\n",
+        "{{\n  \"workload\": \"resnet18-lite\",\n  \"algorithms\": [{algo_list}],\n  \"jobs\": {n_jobs},\n  \"unique_jobs\": {distinct},\n  \"deduped_jobs\": {},\n  \"workers\": {workers},\n  \"cold_s\": {cold_secs:.3},\n  \"cold_jobs_per_s\": {:.2},\n  \"warm_s\": {warm_secs:.3},\n  \"warm_jobs_per_s\": {:.2},\n  \"warm_speedup\": {:.1},\n  \"warm_hit_rate\": {:.4},\n  \"queue_jobs_per_s\": {:.2},\n  \"disk_s\": {disk_secs:.3},\n  \"disk_jobs_per_s\": {:.2},\n  \"disk_hit_rate\": {:.4},\n  \"evicted_s\": {evicted_secs:.3},\n  \"evicted_jobs_per_s\": {:.2},\n  \"evicted_hit_rate\": {:.4},\n  \"disk_budget_bytes\": {disk_budget},\n  \"disk_evictions\": {},\n  \"cache_memory_bytes\": {memory_bytes},\n  \"cache_disk_bytes\": {disk_bytes_unbounded},\n  \"cache_disk_len\": {disk_len_unbounded},\n  \"hit_submitters\": {HIT_SUBMITTERS},\n  \"hit_rounds\": {HIT_ROUNDS},\n  \"hit_baseline_shards\": 1,\n  \"hit_baseline_p50_us\": {:.1},\n  \"hit_baseline_p99_us\": {:.1},\n  \"hit_baseline_jobs_per_s\": {:.2},\n  \"hit_sharded_shards\": {},\n  \"hit_sharded_p50_us\": {:.1},\n  \"hit_sharded_p99_us\": {:.1},\n  \"hit_sharded_jobs_per_s\": {:.2}\n}}\n",
         cold.deduped,
         jps(cold_secs),
         jps(warm_secs),
@@ -153,6 +176,13 @@ fn main() {
         jps(evicted_secs),
         hit_rate(&evicted),
         evicted_stats.disk_evictions,
+        baseline.p50_us,
+        baseline.p99_us,
+        baseline.jobs_per_s,
+        mvq_core::store::DEFAULT_SHARDS,
+        sharded.p50_us,
+        sharded.p99_us,
+        sharded.jobs_per_s,
     );
     print!("{json}");
     std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
@@ -185,4 +215,83 @@ fn run_pass(service: &CompressionService, requests: Vec<CompressionRequest>) -> 
 
 fn bits(a: &CompressedArtifact) -> Vec<u32> {
     a.reconstruct().expect("reconstruct").data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Percentile latencies of one warm hit-path configuration.
+struct HitStats {
+    p50_us: f64,
+    p99_us: f64,
+    jobs_per_s: f64,
+}
+
+/// Times warm hits under contention: primes an in-memory service split
+/// into `shards` lock domains with every key, then [`HIT_SUBMITTERS`]
+/// threads each time [`HIT_ROUNDS`] submit→wait round trips. With
+/// `decode` every outcome is decoded in the timed window (the cost the
+/// old single-lock cache paid inside every hit); without it the timed
+/// window touches only the shared-bytes accessor.
+fn hit_pass(
+    weights: &[mvq_tensor::Tensor],
+    spec: &PipelineSpec,
+    shards: usize,
+    decode: bool,
+) -> HitStats {
+    let service = CompressionService::builder()
+        .workers(HIT_SUBMITTERS)
+        .cache_policy(CachePolicy::UNBOUNDED.with_shards(shards))
+        .build()
+        .expect("in-memory hit service");
+    let request = |label: String, idx: usize| {
+        CompressionRequest::builder(label, weights[idx].clone(), "mvq")
+            .spec(spec.clone())
+            .build()
+            .expect("bench request is valid")
+    };
+    let prime: Vec<Ticket> =
+        (0..weights.len()).map(|i| service.submit_one(request(format!("prime-{i}"), i))).collect();
+    for ticket in prime {
+        ticket.wait().expect("prime job");
+    }
+
+    let t0 = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..HIT_SUBMITTERS)
+            .map(|tid| {
+                let (service, request) = (&service, &request);
+                scope.spawn(move || {
+                    let mut samples = Vec::with_capacity(HIT_ROUNDS);
+                    for round in 0..HIT_ROUNDS {
+                        // stagger start keys so threads mostly touch
+                        // different shards (and rarely dedup-collide)
+                        let idx = (tid + round) % weights.len();
+                        let t = Instant::now();
+                        let outcome = service
+                            .submit_one(request(format!("hit-{tid}-{round}"), idx))
+                            .wait()
+                            .expect("warm hit job");
+                        if decode {
+                            assert!(
+                                outcome.artifact().expect("decode").compression_ratio() > 1.0,
+                                "warm hit decoded to a degenerate artifact"
+                            );
+                        } else {
+                            assert!(outcome.raw_bytes().is_some(), "warm hit must carry bytes");
+                        }
+                        samples.push(t.elapsed().as_micros() as u64);
+                        assert!(outcome.from_cache, "the hit pass must never recompress");
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("submitter thread")).collect()
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let percentile = |p: f64| latencies[((latencies.len() - 1) as f64 * p).round() as usize] as f64;
+    HitStats {
+        p50_us: percentile(0.50),
+        p99_us: percentile(0.99),
+        jobs_per_s: latencies.len() as f64 / secs,
+    }
 }

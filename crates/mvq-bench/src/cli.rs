@@ -209,13 +209,11 @@ pub fn run_compress(args: &[String]) -> ExitCode {
                 } else {
                     "fresh"
                 };
-                println!(
-                    "{:<18} {:>7.1}x {:>9} {:>7}",
-                    outcome.name,
-                    outcome.artifact.compression_ratio(),
-                    source,
-                    "ok"
-                );
+                let ratio = match outcome.artifact() {
+                    Ok(artifact) => format!("{:>7.1}x", artifact.compression_ratio()),
+                    Err(_) => format!("{:>8}", "-"),
+                };
+                println!("{:<18} {ratio} {:>9} {:>7}", outcome.name, source, "ok");
             }
             Err(e) => {
                 failures += 1;

@@ -1,0 +1,118 @@
+//! Blob-file I/O for the disk tier: atomic persists, deletes,
+//! quarantine, and the restart directory scan.
+//!
+//! Every function here is a free function over a directory path — none
+//! takes a shard guard — so all disk I/O happens outside the cache's
+//! critical sections by construction (the lock-scope lint keeps the
+//! call sites honest).
+
+use std::path::Path;
+
+use crate::error::MvqError;
+
+/// Suffix a corrupt blob is renamed to when quarantined. The restart
+/// scan skips quarantined files (they no longer end in `.mvqa`), so a
+/// poisoned blob stops counting toward the disk budget and stops being
+/// re-read, but stays on disk for post-mortem inspection.
+pub(super) const QUARANTINE_SUFFIX: &str = ".corrupt";
+
+/// Monotonic per-process counter making concurrent tmp names unique.
+static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Atomically persists `bytes` as `dir/name`: writes to a uniquely
+/// named `<name>.<pid>-<n>.mvqa.tmp` sibling, then renames over the
+/// final path. Two racing puts of the same key each write their own tmp
+/// file, so the published blob is always one writer's complete bytes —
+/// never an interleaving — and a crash strands only tmp files, which
+/// the restart scan deletes.
+pub(super) fn persist_blob(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), MvqError> {
+    let path = dir.join(name);
+    let n = TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = dir.join(format!("{name}.{}-{n}.mvqa.tmp", std::process::id()));
+    std::fs::write(&tmp, bytes)
+        .and_then(|()| std::fs::rename(&tmp, &path))
+        .map_err(|e| MvqError::Codec(format!("cannot persist blob {}: {e}", path.display())))
+}
+
+/// Reads `dir/name`, mapping a missing file to `None`.
+pub(super) fn load_blob(dir: &Path, name: &str) -> Result<Option<Vec<u8>>, MvqError> {
+    let path = dir.join(name);
+    match std::fs::read(&path) {
+        Ok(bytes) => Ok(Some(bytes)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(MvqError::Codec(format!("cannot read blob {}: {e}", path.display()))),
+    }
+}
+
+/// Deletes `dir/name`, tolerating a file already gone.
+pub(super) fn delete_blob(dir: &Path, name: &str) -> Result<(), MvqError> {
+    match std::fs::remove_file(dir.join(name)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(MvqError::Codec(format!("cannot evict blob {name}: {e}"))),
+    }
+}
+
+/// Moves a corrupt blob out of the addressable namespace by renaming it
+/// to `<name>.corrupt`; falls back to deleting it when the rename fails
+/// (a blob that can be neither quarantined nor removed would poison
+/// every future lookup).
+pub(super) fn quarantine_blob(dir: &Path, name: &str) -> Result<(), MvqError> {
+    let path = dir.join(name);
+    let quarantined = dir.join(format!("{name}{QUARANTINE_SUFFIX}"));
+    match std::fs::rename(&path, &quarantined) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(rename_err) => match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(remove_err) => Err(MvqError::Codec(format!(
+                "cannot quarantine corrupt blob {name}: rename failed ({rename_err}), \
+                 remove failed ({remove_err})"
+            ))),
+        },
+    }
+}
+
+/// Scans `dir` for blob files, deleting stranded `.mvqa.tmp` files from
+/// interrupted puts (unaddressable, and they would leak bytes outside
+/// the budget) and skipping foreign content — including `.corrupt`
+/// quarantined blobs. Returns `(name, len)` pairs sorted least recently
+/// written first (modification time, file name as a deterministic
+/// tie-break), the order the restart admission replays them in.
+pub(super) fn scan_dir(dir: &Path) -> Result<Vec<(String, u64)>, MvqError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| MvqError::Codec(format!("cannot scan cache dir {}: {e}", dir.display())))?;
+    let mut found: Vec<(String, u64, std::time::SystemTime)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| {
+            MvqError::Codec(format!("cannot scan cache dir {}: {e}", dir.display()))
+        })?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".mvqa.tmp") {
+            match std::fs::remove_file(entry.path()) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(MvqError::Codec(format!(
+                        "cannot remove stale tmp blob {name}: {e}"
+                    )));
+                }
+            }
+            continue;
+        }
+        if !name.ends_with(".mvqa") {
+            continue; // foreign content (and quarantined blobs) left alone
+        }
+        let meta = entry
+            .metadata()
+            .map_err(|e| MvqError::Codec(format!("cannot stat cache blob {name}: {e}")))?;
+        if !meta.is_file() {
+            continue;
+        }
+        let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+        found.push((name, meta.len(), mtime));
+    }
+    found.sort_by(|a, b| (a.2, &a.0).cmp(&(b.2, &b.0)));
+    Ok(found.into_iter().map(|(name, len, _)| (name, len)).collect())
+}

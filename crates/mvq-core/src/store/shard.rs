@@ -1,0 +1,127 @@
+//! One lock domain of the sharded cache: its slice of the memory map,
+//! disk ledger, negative-result cache, and traffic counters.
+//!
+//! A shard never does disk I/O and never takes another shard's lock —
+//! every method here is pure bookkeeping under one `Mutex`, so the
+//! widest critical section in the cache is a few map operations.
+
+use std::collections::{hash_map, HashMap};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use super::stats::CacheStats;
+use super::CacheKey;
+use crate::error::MvqError;
+
+/// Most known-failing keys one shard remembers; the stalest entry is
+/// dropped past this. Failures are tiny (an error string), but an
+/// adversarial request stream must not grow the map without bound.
+pub(super) const NEGATIVE_CAP: usize = 64;
+
+/// A memory-resident blob and its LRU stamp. The bytes are shared: a
+/// hit clones the `Arc`, never the blob.
+pub(super) struct MemEntry {
+    pub(super) bytes: Arc<[u8]>,
+    pub(super) last_used: u64,
+}
+
+/// Accounting for one on-disk blob (keyed by file name in the ledger).
+pub(super) struct DiskEntry {
+    pub(super) bytes: u64,
+    pub(super) last_used: u64,
+}
+
+/// A remembered compression failure and its LRU stamp.
+struct NegativeEntry {
+    error: MvqError,
+    last_used: u64,
+}
+
+/// The mutable state of one shard.
+#[derive(Default)]
+pub(super) struct ShardInner {
+    pub(super) blobs: HashMap<CacheKey, MemEntry>,
+    /// This shard's slice of the on-disk ledger, keyed by file name.
+    pub(super) disk: HashMap<String, DiskEntry>,
+    /// Known-failing keys: a deterministic compression failure is
+    /// remembered so repeated bad requests fail fast instead of
+    /// re-running the whole pipeline. A successful `put` heals the key.
+    negative: HashMap<CacheKey, NegativeEntry>,
+    pub(super) stats: CacheStats,
+}
+
+impl ShardInner {
+    /// Refreshes the LRU stamp of an on-disk blob without changing its
+    /// accounted size (used by memory hits, so a hot key's disk copy is
+    /// not the next disk-eviction victim).
+    pub(super) fn bump_disk(&mut self, name: &str, tick: u64) {
+        if let Some(e) = self.disk.get_mut(name) {
+            e.last_used = tick;
+        }
+    }
+
+    /// Drops a ledger entry, returning the bytes it accounted for (0 if
+    /// absent). The caller owns the cache-wide total.
+    pub(super) fn forget_disk(&mut self, name: &str) -> u64 {
+        self.disk.remove(name).map_or(0, |e| e.bytes)
+    }
+
+    /// Drops a memory entry, returning the bytes it held (0 if absent).
+    pub(super) fn remove_memory(&mut self, key: &CacheKey) -> u64 {
+        self.blobs.remove(key).map_or(0, |e| e.bytes.len() as u64)
+    }
+
+    /// Remembers `error` as the deterministic outcome for `key`,
+    /// dropping the stalest remembered failure past [`NEGATIVE_CAP`].
+    pub(super) fn note_failure(&mut self, key: &CacheKey, error: MvqError, tick: u64) {
+        match self.negative.entry(key.clone()) {
+            hash_map::Entry::Occupied(mut e) => {
+                *e.get_mut() = NegativeEntry { error, last_used: tick };
+            }
+            hash_map::Entry::Vacant(v) => {
+                v.insert(NegativeEntry { error, last_used: tick });
+            }
+        }
+        while self.negative.len() > NEGATIVE_CAP {
+            let Some(victim) =
+                self.negative.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.negative.remove(&victim);
+        }
+    }
+
+    /// The remembered failure for `key`, if any, refreshing its stamp
+    /// and counting the fast-path answer.
+    pub(super) fn recall_failure(&mut self, key: &CacheKey, tick: u64) -> Option<MvqError> {
+        let entry = self.negative.get_mut(key)?;
+        entry.last_used = tick;
+        self.stats.negative_hits += 1;
+        Some(entry.error.clone())
+    }
+
+    /// Forgets a remembered failure (a successful store heals the key).
+    pub(super) fn clear_failure(&mut self, key: &CacheKey) {
+        self.negative.remove(key);
+    }
+
+    /// Known-failing keys currently remembered.
+    pub(super) fn negative_len(&self) -> usize {
+        self.negative.len()
+    }
+}
+
+/// One lock domain. Keys are routed here by FNV-1a hash of their blob
+/// name, so a key, its disk file, and its remembered failures always
+/// live under the same lock.
+#[derive(Default)]
+pub(super) struct Shard {
+    inner: Mutex<ShardInner>,
+}
+
+impl Shard {
+    /// Locks this shard's state.
+    pub(super) fn lock(&self) -> MutexGuard<'_, ShardInner> {
+        self.inner.lock().expect("cache lock")
+    }
+}

@@ -251,7 +251,10 @@ mod tests {
         let bits = |a: &CompressedArtifact| {
             a.reconstruct().unwrap().data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         };
-        assert_eq!(bits(&report.outcomes[0].artifact), bits(&report.outcomes[1].artifact));
+        assert_eq!(
+            bits(&report.outcomes[0].artifact().unwrap()),
+            bits(&report.outcomes[1].artifact().unwrap())
+        );
     }
 
     #[test]

@@ -204,7 +204,11 @@ mod tests {
         let bypass = service.submit_one(request("bypass", CacheMode::Bypass)).wait().unwrap();
         assert!(!bypass.from_cache, "bypass must not read the cache");
         assert!(!bypass.deduped);
-        assert_eq!(bits(&primed.artifact), bits(&bypass.artifact), "still deterministic");
+        assert_eq!(
+            bits(&primed.artifact().unwrap()),
+            bits(&bypass.artifact().unwrap()),
+            "still deterministic"
+        );
         let readonly = service.submit_one(request("ro", CacheMode::ReadOnly)).wait().unwrap();
         assert!(readonly.from_cache, "read-only still reads");
     }

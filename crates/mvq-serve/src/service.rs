@@ -16,28 +16,33 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use mvq_core::pipeline::{by_name, PipelineSpec};
-use mvq_core::store::{ArtifactCache, CacheBudget, CacheKey, CacheStats};
-use mvq_core::{CompressedArtifact, MvqError};
+use mvq_core::store::{ArtifactCache, CacheBudget, CacheKey, CacheStats, Persist, DEFAULT_SHARDS};
+use mvq_core::MvqError;
 use mvq_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::request::{CacheMode, CompressionRequest, Priority};
-use crate::ticket::{JobError, JobOutcome, JobResult, Ticket};
+use crate::ticket::{JobError, JobOutcome, JobResult, Payload, Ticket};
 
-/// Byte-budget policy the service applies to the cache it builds:
-/// a thin, service-facing wrapper over [`CacheBudget`] (ignored when the
-/// builder is handed a pre-built cache, which carries its own budget).
+/// Cache policy the service applies to the cache it builds: a thin,
+/// service-facing wrapper over [`CacheBudget`] plus the shard count
+/// (ignored when the builder is handed a pre-built cache, which carries
+/// its own budget and sharding).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CachePolicy {
     /// The byte budget; `CacheBudget::UNBOUNDED` (the default) preserves
     /// the grow-forever behavior.
     pub budget: CacheBudget,
+    /// Lock domains the cache is split into; `None` (the default) uses
+    /// [`DEFAULT_SHARDS`]. `Some(1)` reproduces the single-lock layout
+    /// (the benchmark baseline).
+    pub shards: Option<usize>,
 }
 
 impl CachePolicy {
     /// No budgets — the cache grows without bound.
-    pub const UNBOUNDED: CachePolicy = CachePolicy { budget: CacheBudget::UNBOUNDED };
+    pub const UNBOUNDED: CachePolicy = CachePolicy { budget: CacheBudget::UNBOUNDED, shards: None };
 
     /// Caps the cache's in-memory footprint at `bytes`.
     pub fn with_memory_budget(mut self, bytes: u64) -> CachePolicy {
@@ -48,6 +53,12 @@ impl CachePolicy {
     /// Caps the cache's on-disk footprint at `bytes`.
     pub fn with_disk_budget(mut self, bytes: u64) -> CachePolicy {
         self.budget.disk_bytes = Some(bytes);
+        self
+    }
+
+    /// Splits the cache into `shards` lock domains (clamped to ≥ 1).
+    pub fn with_shards(mut self, shards: usize) -> CachePolicy {
+        self.shards = Some(shards);
         self
     }
 }
@@ -291,8 +302,15 @@ impl ServiceBuilder {
                 }
                 cache
             }
-            (None, Some(dir)) => ArtifactCache::with_dir_and_budget(dir, self.policy.budget)?,
-            (None, None) => ArtifactCache::in_memory_with_budget(self.policy.budget),
+            (None, Some(dir)) => ArtifactCache::with_dir_budget_and_shards(
+                dir,
+                self.policy.budget,
+                self.policy.shards.unwrap_or(DEFAULT_SHARDS),
+            )?,
+            (None, None) => ArtifactCache::in_memory_sharded(
+                self.policy.budget,
+                self.policy.shards.unwrap_or(DEFAULT_SHARDS),
+            ),
         };
         let workers = self
             .workers
@@ -366,6 +384,17 @@ impl CompressionService {
         self.shared.state.lock().expect("service lock").jobs.len()
     }
 
+    /// Begins shutdown without waiting for the workers: every waiter is
+    /// woken — workers to drain the queue and exit, submitters blocked on
+    /// a full queue to resolve their tickets to [`JobError::Disconnected`].
+    /// Submissions after this point resolve to `Disconnected` immediately.
+    /// Idempotent; [`Drop`] calls it before joining the workers.
+    pub fn shutdown(&self) {
+        self.shared.state.lock().expect("service lock").shutdown = true;
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+    }
+
     /// Submits one request, blocking while the queue is full, and returns
     /// its [`Ticket`]. An identical non-bypass job already in flight is
     /// joined instead of queued (the rider's outcome reports
@@ -402,6 +431,14 @@ impl CompressionService {
         let (tx, rx) = mpsc::channel();
         let mut state = self.shared.state.lock().expect("service lock");
         loop {
+            // checked at the loop head so it covers both fresh submissions
+            // and submitters woken from the `space` wait by a shutdown
+            if state.shutdown {
+                drop(state);
+                let name = request.name().to_string();
+                let _ = tx.send(Err(JobError::Disconnected { name: name.clone() }));
+                return Ok(Ticket::new(name, key, rx));
+            }
             if request.cache_mode().dedupes() {
                 if let Some(entry) = state.inflight.get_mut(&key) {
                     let name = request.name().to_string();
@@ -452,10 +489,11 @@ impl CompressionService {
 impl Drop for CompressionService {
     /// Graceful drain: workers finish every queued job, then exit. With
     /// zero workers the queue is abandoned and outstanding tickets
-    /// resolve to [`JobError::Disconnected`].
+    /// resolve to [`JobError::Disconnected`]. Submitters blocked on a
+    /// full queue are woken too, so drop never strands a thread in
+    /// `submit_one`.
     fn drop(&mut self) {
-        self.shared.state.lock().expect("service lock").shutdown = true;
-        self.shared.work.notify_all();
+        self.shutdown();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -510,7 +548,7 @@ impl Clone for FailureKind {
 }
 
 fn execute(shared: &Shared, job: QueuedJob) {
-    let result: Result<(CompressedArtifact, bool), FailureKind> = run_job(shared, &job);
+    let result: Result<(Payload, bool), FailureKind> = run_job(shared, &job);
     // deliver to every waiter; the first is the submitter whose request
     // executed, later ones are deduped riders
     let waiters = match job.direct {
@@ -526,13 +564,15 @@ fn execute(shared: &Shared, job: QueuedJob) {
     };
     for (i, waiter) in waiters.into_iter().enumerate() {
         let message = match &result {
-            Ok((artifact, from_cache)) => Ok(JobOutcome {
-                name: waiter.name,
-                key: job.key.clone(),
-                artifact: artifact.clone(),
-                from_cache: *from_cache,
-                deduped: i > 0,
-            }),
+            // cloning a `Payload::Bytes` clones the `Arc`, not the blob —
+            // every rider shares the one validated allocation
+            Ok((payload, from_cache)) => Ok(JobOutcome::new(
+                waiter.name,
+                job.key.clone(),
+                payload.clone(),
+                *from_cache,
+                i > 0,
+            )),
             Err(kind) => Err(kind.clone().into_job_error(waiter.name)),
         };
         // a dropped ticket abandons its result; that is not an error
@@ -541,26 +581,52 @@ fn execute(shared: &Shared, job: QueuedJob) {
 }
 
 /// Runs one job: cache lookup (per the job's mode), fresh compression on
-/// a miss, cache store. The artifact is paired with a `from_cache` flag.
-fn run_job(shared: &Shared, job: &QueuedJob) -> Result<(CompressedArtifact, bool), FailureKind> {
+/// a miss, cache store. The payload is paired with a `from_cache` flag.
+///
+/// Cache-touching jobs travel as encoded bytes end to end: a hit hands
+/// back the cache's shared `Arc` blob, a miss encodes once and shares
+/// that same blob with the cache and every waiter. Only bypass jobs —
+/// which never encode — carry a decoded artifact.
+fn run_job(shared: &Shared, job: &QueuedJob) -> Result<(Payload, bool), FailureKind> {
     if job.mode.reads_cache() {
-        match shared.cache.get(&job.key) {
-            Ok(Some(artifact)) => return Ok((artifact, true)),
+        match shared.cache.get_raw(&job.key) {
+            Ok(Some(bytes)) => return Ok((Payload::Bytes(bytes), true)),
             Ok(None) => {}
             Err(e) => return Err(FailureKind::Cache(e)),
         }
+        // a deterministic job's remembered failure is as authoritative as
+        // a cached artifact: fail fast instead of re-running the pipeline
+        if let Some(remembered) = shared.cache.failure(&job.key) {
+            return Err(FailureKind::Compression(remembered));
+        }
     }
     let compressor = by_name(job.algo, &job.spec).map_err(FailureKind::Compression)?;
-    let compressed = catch_unwind(AssertUnwindSafe(|| {
+    let compressed = match catch_unwind(AssertUnwindSafe(|| {
         let mut rng = StdRng::seed_from_u64(job.key.seed);
         compressor.compress_matrix(&job.weight, &mut rng)
     }))
     .map_err(|payload| FailureKind::Panicked(panic_detail(payload)))?
-    .map_err(FailureKind::Compression)?;
+    {
+        Ok(compressed) => compressed,
+        Err(e) => {
+            // seeded pipelines fail deterministically; remember the
+            // failure so identical requests short-circuit (a later
+            // successful put for the key heals it)
+            if job.mode.writes_cache() {
+                shared.cache.note_failure(&job.key, &e);
+            }
+            return Err(FailureKind::Compression(e));
+        }
+    };
     if job.mode.writes_cache() {
-        shared.cache.put(&job.key, &compressed).map_err(FailureKind::Cache)?;
+        let bytes: Arc<[u8]> = match compressed.to_bytes() {
+            Ok(bytes) => bytes.into(),
+            Err(e) => return Err(FailureKind::Compression(e)),
+        };
+        shared.cache.put_raw(&job.key, Arc::clone(&bytes)).map_err(FailureKind::Cache)?;
+        return Ok((Payload::Bytes(bytes), false));
     }
-    Ok((compressed, false))
+    Ok((Payload::Artifact(compressed), false))
 }
 
 fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {

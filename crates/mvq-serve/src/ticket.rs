@@ -2,26 +2,105 @@
 
 use std::error::Error;
 use std::fmt;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 
-use mvq_core::store::CacheKey;
+use mvq_core::store::{CacheKey, Persist};
 use mvq_core::{CompressedArtifact, MvqError};
 
+/// How a job's result is carried to its waiters.
+///
+/// The hot path is [`Payload::Bytes`]: one validated, encoded `Arc` blob
+/// shared by the cache and every rider — a waiter pays for a decode only
+/// if it asks for [`JobOutcome::artifact`]. [`Payload::Artifact`] exists
+/// for cache-bypassing jobs, whose result was never encoded.
+#[derive(Clone)]
+pub(crate) enum Payload {
+    /// Validated encoded blob bytes, shared zero-copy.
+    Bytes(Arc<[u8]>),
+    /// A decoded artifact (bypass mode only — nothing was encoded).
+    Artifact(CompressedArtifact),
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Bytes(b) => write!(f, "Payload::Bytes({} bytes)", b.len()),
+            Payload::Artifact(_) => write!(f, "Payload::Artifact(..)"),
+        }
+    }
+}
+
 /// The served result of one job.
+///
+/// The result travels as encoded bytes (shared zero-copy between the
+/// cache and every deduplicated waiter); decoding happens only when a
+/// caller asks for [`JobOutcome::artifact`].
 #[derive(Debug, Clone)]
 pub struct JobOutcome {
     /// The job's label, as submitted.
     pub name: String,
     /// The content address the job resolved to.
     pub key: CacheKey,
-    /// The compressed artifact.
-    pub artifact: CompressedArtifact,
+    /// The carried result.
+    payload: Payload,
     /// True when the artifact came from the cache rather than a fresh
     /// compression.
     pub from_cache: bool,
     /// True when this job shared an identical in-flight job's compression
     /// (same [`CacheKey`]) instead of running its own.
     pub deduped: bool,
+}
+
+impl JobOutcome {
+    pub(crate) fn new(
+        name: String,
+        key: CacheKey,
+        payload: Payload,
+        from_cache: bool,
+        deduped: bool,
+    ) -> JobOutcome {
+        JobOutcome { name, key, payload, from_cache, deduped }
+    }
+
+    /// The encoded blob bytes this outcome carries, when it travelled
+    /// encoded (every cached or cache-written job does). `None` only for
+    /// cache-bypassing jobs. This is the zero-copy accessor: the `Arc`
+    /// is shared with the cache and with every deduplicated waiter.
+    pub fn raw_bytes(&self) -> Option<&Arc<[u8]>> {
+        match &self.payload {
+            Payload::Bytes(bytes) => Some(bytes),
+            Payload::Artifact(_) => None,
+        }
+    }
+
+    /// Decodes (or clones) the compressed artifact. Decode-per-call by
+    /// design — hot consumers that only need the durable bytes should
+    /// use [`JobOutcome::raw_bytes`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::Codec`] when the carried bytes fail to decode
+    /// (they were validated at admission, so this indicates memory
+    /// corruption after the fact).
+    pub fn artifact(&self) -> Result<CompressedArtifact, MvqError> {
+        match &self.payload {
+            Payload::Bytes(bytes) => CompressedArtifact::from_bytes(bytes),
+            Payload::Artifact(artifact) => Ok(artifact.clone()),
+        }
+    }
+
+    /// Consumes the outcome, decoding the artifact (avoids the clone of
+    /// [`JobOutcome::artifact`] for bypass jobs).
+    ///
+    /// # Errors
+    ///
+    /// As [`JobOutcome::artifact`].
+    pub fn into_artifact(self) -> Result<CompressedArtifact, MvqError> {
+        match self.payload {
+            Payload::Bytes(bytes) => CompressedArtifact::from_bytes(&bytes),
+            Payload::Artifact(artifact) => Ok(artifact),
+        }
+    }
 }
 
 /// Why one job failed. Errors are per job: a failing job never aborts
@@ -53,8 +132,10 @@ pub enum JobError {
         /// The panic payload, best-effort stringified.
         detail: String,
     },
-    /// The service shut down before the job produced a result (possible
-    /// only for jobs still queued when a zero-worker service drops).
+    /// The service shut down before the job produced a result: the job
+    /// was still queued when the service dropped (or was explicitly
+    /// [`crate::CompressionService::shutdown`] down), or it was submitted
+    /// after shutdown.
     Disconnected {
         /// The abandoned job's label.
         name: String,

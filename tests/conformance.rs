@@ -295,10 +295,11 @@ fn ticket_and_v1_paths_match_fresh_compression_for_every_algorithm() {
             .compress_matrix(&w, &mut StdRng::seed_from_u64(41))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         for (label, served) in [
-            ("cold ticket", &cold.artifact),
-            ("warm ticket", &warm.artifact),
-            ("v1 submit", &batch.outcomes[0].artifact),
+            ("cold ticket", cold.artifact().expect("decode")),
+            ("warm ticket", warm.artifact().expect("decode")),
+            ("v1 submit", batch.outcomes[0].artifact().expect("decode")),
         ] {
+            let served = &served;
             assert_eq!(
                 artifact_bits(served),
                 artifact_bits(&fresh),
@@ -365,7 +366,7 @@ fn concurrent_submitters_get_bit_identical_artifacts() {
                     for (i, ticket) in tickets.into_iter().enumerate() {
                         let outcome = ticket.wait().unwrap();
                         assert_eq!(
-                            artifact_bits(&outcome.artifact),
+                            artifact_bits(&outcome.artifact().expect("decode")),
                             fresh[i],
                             "round {round}, submitter {submitter}: interleaving changed bits"
                         );
@@ -424,8 +425,8 @@ fn memory_eviction_under_byte_budget_is_lru_and_never_exceeds() {
     let recompressed = submit(2);
     assert!(!recompressed.from_cache, "LRU entry survived eviction");
     assert_eq!(
-        artifact_bits(&recompressed.artifact),
-        artifact_bits(&submit(2).artifact),
+        artifact_bits(&recompressed.artifact().expect("decode")),
+        artifact_bits(&submit(2).artifact().expect("decode")),
         "eviction changed served bits"
     );
     let _ = first;
@@ -511,8 +512,10 @@ fn service_is_deterministic_across_order_and_batching() {
         jobs
     };
     let collect = |outcomes: &[mvq::serve::JobOutcome]| {
-        let mut named: Vec<(String, Vec<u32>)> =
-            outcomes.iter().map(|o| (o.name.clone(), artifact_bits(&o.artifact))).collect();
+        let mut named: Vec<(String, Vec<u32>)> = outcomes
+            .iter()
+            .map(|o| (o.name.clone(), artifact_bits(&o.artifact().expect("decode"))))
+            .collect();
         named.sort();
         named
     };
@@ -574,8 +577,8 @@ fn disk_backed_service_survives_restart_bit_identically() {
     let warm = second.submit_one(request()).wait().expect("warm");
     assert!(warm.from_cache);
     assert_eq!(
-        artifact_bits(&cold.artifact),
-        artifact_bits(&warm.artifact),
+        artifact_bits(&cold.artifact().expect("decode")),
+        artifact_bits(&warm.artifact().expect("decode")),
         "disk round-trip changed the artifact"
     );
     let _ = std::fs::remove_dir_all(&dir);

@@ -248,7 +248,7 @@ fn truncated_blobs_are_typed_errors_at_every_length() {
     // chopping the blob anywhere — inside the header, at a field
     // boundary, mid-payload — must yield MvqError::Codec, never a panic
     // or a silently short artifact
-    let bytes = sample_artifact("mvq").to_bytes();
+    let bytes = sample_artifact("mvq").to_bytes().expect("encode");
     for len in [0, 3, 4, 6, 7, 14, 22, 23, bytes.len() / 2, bytes.len() - 1] {
         let err = CompressedArtifact::from_bytes(&bytes[..len]).unwrap_err();
         assert!(matches!(err, MvqError::Codec(_)), "len {len}: {err:?}");
@@ -262,7 +262,7 @@ fn truncated_blobs_are_typed_errors_at_every_length() {
 
 #[test]
 fn wrong_magic_is_rejected() {
-    let mut bytes = sample_artifact("vq-a").to_bytes();
+    let mut bytes = sample_artifact("vq-a").to_bytes().expect("encode");
     bytes[0] = b'X';
     let err = CompressedArtifact::from_bytes(&bytes).unwrap_err();
     assert!(matches!(err, MvqError::Codec(_)));
@@ -271,7 +271,7 @@ fn wrong_magic_is_rejected() {
 
 #[test]
 fn future_format_version_is_rejected_not_misread() {
-    let mut bytes = sample_artifact("pqf").to_bytes();
+    let mut bytes = sample_artifact("pqf").to_bytes().expect("encode");
     let future = (FORMAT_VERSION + 1).to_le_bytes();
     bytes[4] = future[0];
     bytes[5] = future[1];
@@ -284,7 +284,7 @@ fn future_format_version_is_rejected_not_misread() {
 fn wrong_blob_kind_is_rejected() {
     // a valid artifact blob is not a ModelArtifacts blob: the kind tag in
     // the header must prevent cross-type decoding
-    let bytes = sample_artifact("pvq").to_bytes();
+    let bytes = sample_artifact("pvq").to_bytes().expect("encode");
     let err = mvq::core::ModelArtifacts::from_bytes(&bytes).unwrap_err();
     assert!(matches!(err, MvqError::Codec(_)), "{err:?}");
 }
@@ -294,7 +294,7 @@ fn every_flipped_payload_byte_is_caught() {
     // the checksum must catch any single-byte payload corruption — this
     // is what keeps a bit-flipped cache blob from decoding into subtly
     // wrong weights
-    let bytes = sample_artifact("mvq").to_bytes();
+    let bytes = sample_artifact("mvq").to_bytes().expect("encode");
     const HEADER_LEN: usize = 23;
     for pos in HEADER_LEN..bytes.len() {
         let mut corrupt = bytes.clone();
@@ -391,7 +391,7 @@ fn one_poisoned_job_does_not_abort_the_rest() {
     }
     for ticket in healthy {
         let outcome = ticket.wait().unwrap_or_else(|e| panic!("healthy job failed: {e}"));
-        assert!(outcome.artifact.compression_ratio() > 1.0);
+        assert!(outcome.artifact().expect("decode").compression_ratio() > 1.0);
     }
 }
 
@@ -423,6 +423,72 @@ fn queue_admission_control_is_typed_and_loud() {
     drop(service);
     assert!(matches!(queued.wait(), Err(JobError::Disconnected { .. })));
     assert!(matches!(rider.wait(), Err(JobError::Disconnected { .. })));
+}
+
+#[test]
+fn shutdown_wakes_blocked_submitters_and_refuses_new_work() {
+    // Regression: shutdown used to notify only the workers' condvar, so a
+    // submitter blocked on a full queue (`submit_one` waiting for space)
+    // slept through shutdown forever — a deadlock between `drop` (waiting
+    // to join workers) and the submitter (waiting for a queue slot that a
+    // zero-worker service will never free). Shutdown must wake the space
+    // waiters too, and every submission from then on must resolve to a
+    // typed Disconnected instead of hanging.
+    let service = std::sync::Arc::new(
+        CompressionService::builder().workers(0).queue_capacity(1).build().unwrap(),
+    );
+    let mut rng = StdRng::seed_from_u64(4);
+    let w = mvq::tensor::kaiming_normal(vec![32, 16], 16, &mut rng);
+    let request = |name: &str, seed: u64| {
+        CompressionRequest::builder(name, w.clone(), "mvq").seed(seed).build().unwrap()
+    };
+    let filler = service.submit_one(request("filler", 0));
+    let blocked = {
+        let service = std::sync::Arc::clone(&service);
+        let request = request("blocked", 1);
+        std::thread::spawn(move || service.submit_one(request).wait())
+    };
+    // give the submitter time to reach the full-queue wait (correctness
+    // does not depend on it: the wait loop re-checks shutdown on wakeup)
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    service.shutdown();
+    let result = blocked.join().expect("blocked submitter must return after shutdown");
+    assert!(matches!(result, Err(JobError::Disconnected { .. })), "{result:?}");
+    // submissions after shutdown resolve immediately, typed — not a hang
+    let late = service.submit_one(request("late", 2)).wait();
+    assert!(matches!(late, Err(JobError::Disconnected { .. })), "{late:?}");
+    drop(service);
+    assert!(matches!(filler.wait(), Err(JobError::Disconnected { .. })));
+}
+
+#[test]
+fn deterministic_failures_are_remembered_not_recompressed() {
+    // An all-zero weight fails compression deterministically (a zero
+    // codebook cannot quantize), and the job is seeded — so the cache
+    // remembers the failure and the identical resubmission fails fast
+    // from the negative cache instead of re-running the whole pipeline.
+    let service = CompressionService::builder().workers(1).build().unwrap();
+    let spec = PipelineSpec { k: 8, swap_trials: 100, ..PipelineSpec::default() };
+    let request = || {
+        CompressionRequest::builder("zeros", Tensor::zeros(vec![32, 16]), "mvq")
+            .spec(spec.clone())
+            .seed(5)
+            .build()
+            .unwrap()
+    };
+    let first = service.submit_one(request()).wait();
+    let second = service.submit_one(request()).wait();
+    let (
+        Err(JobError::Compression { source: original, .. }),
+        Err(JobError::Compression { source: remembered, .. }),
+    ) = (first, second)
+    else {
+        panic!("both submissions must fail with typed compression errors");
+    };
+    assert_eq!(original, remembered, "the remembered failure must replay the original error");
+    let stats = service.cache_stats();
+    assert_eq!(stats.negative_hits, 1, "{stats:?}");
+    assert_eq!(stats.negative_len, 1, "{stats:?}");
 }
 
 #[test]

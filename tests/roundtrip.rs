@@ -80,13 +80,18 @@ proptest! {
             let artifact = comp
                 .compress_matrix(&w, &mut StdRng::seed_from_u64(seed))
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
-            let encoded = artifact.to_bytes();
+            let encoded = artifact.to_bytes().unwrap_or_else(|e| panic!("{name}: encode: {e}"));
             let decoded = CompressedArtifact::from_bytes(&encoded)
                 .unwrap_or_else(|e| panic!("{name}: decode: {e}"));
             assert_equivalent(&artifact, &decoded, name)?;
             // encoding is deterministic: re-encoding the decoded artifact
             // reproduces the exact bytes
-            prop_assert_eq!(encoded, decoded.to_bytes(), "{}: re-encode drifted", name);
+            prop_assert_eq!(
+                encoded,
+                decoded.to_bytes().expect("re-encode"),
+                "{}: re-encode drifted",
+                name
+            );
         }
     }
 
@@ -102,8 +107,9 @@ proptest! {
         let arts = comp
             .compress_model_artifacts(&model, &mut rng)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let decoded = ModelArtifacts::from_bytes(&arts.to_bytes())
-            .unwrap_or_else(|e| panic!("{name}: decode: {e}"));
+        let decoded =
+            ModelArtifacts::from_bytes(&arts.to_bytes().unwrap_or_else(|e| panic!("{name}: {e}")))
+                .unwrap_or_else(|e| panic!("{name}: decode: {e}"));
         prop_assert_eq!(decoded.algorithm, arts.algorithm);
         prop_assert_eq!(&decoded.skipped, &arts.skipped);
         prop_assert_eq!(decoded.layers.len(), arts.layers.len());
@@ -114,7 +120,9 @@ proptest! {
         }
         // a single layer round-trips standalone too
         let layer = &arts.layers[0];
-        let layer_decoded = LayerArtifact::from_bytes(&layer.to_bytes()).expect("layer decode");
+        let layer_decoded =
+            LayerArtifact::from_bytes(&layer.to_bytes().expect("layer encode"))
+                .expect("layer decode");
         prop_assert_eq!(layer_decoded.conv_index, layer.conv_index);
         assert_equivalent(&layer.artifact, &layer_decoded.artifact, name)?;
     }
@@ -141,7 +149,8 @@ proptest! {
                 .compress_matrix(&w, &mut StdRng::seed_from_u64(seed))
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
             let decoded =
-                CompressedArtifact::from_bytes(&artifact.to_bytes()).expect("decode");
+                CompressedArtifact::from_bytes(&artifact.to_bytes().expect("encode"))
+                    .expect("decode");
             assert_equivalent(&artifact, &decoded, name)?;
             prop_assert_eq!(
                 decoded.codebook().expect("has codebook").bits(),
@@ -163,7 +172,7 @@ fn format_v1_golden_blob_decodes() {
     let artifact = CompressedArtifact::Scalar(mvq::core::pipeline::ScalarQuantized {
         result: mvq::core::baselines::pvq::PvqResult { quantized, scale: 0.5, bits: 2, sse: 0.25 },
     });
-    let encoded = artifact.to_bytes();
+    let encoded = artifact.to_bytes().expect("encode");
     // header: magic + version + kind(artifact) + payload_len + checksum
     assert_eq!(&encoded[0..4], &MAGIC);
     assert_eq!(u16::from_le_bytes(encoded[4..6].try_into().unwrap()), FORMAT_VERSION);
