@@ -1,0 +1,163 @@
+//! Measures the TCP serving front over loopback and records the result
+//! in `BENCH_net.json`.
+//!
+//! Three passes against an in-process [`NetServer`] on `127.0.0.1:0`,
+//! all through real sockets (connect, length-prefixed frames, checksum
+//! validation on both sides — nothing is short-circuited in process):
+//!
+//! * **sustained** — one connection submits warm cache hits
+//!   back-to-back and times every round trip; `sustained_p50_us` /
+//!   `sustained_p99_us` is the wire + service hot-path latency (the
+//!   response body is the cache's own blob, served zero-copy);
+//! * **saturation** — [`SATURATION_CONNECTIONS`] concurrent connections
+//!   hammer warm hits; the aggregate rate is the front's loopback
+//!   throughput ceiling, `saturation_jobs_per_s`;
+//! * **cold** — distinct never-cached jobs over one connection measure
+//!   the compression-bound path (`cold_jobs_per_s`), confirming the
+//!   wire adds overhead only in the microseconds.
+//!
+//! Every pass asserts the served artifact reconstructs to the submitted
+//! shape before any number is reported, and the pass accounting is
+//! cross-checked against the server's own counters at the end.
+//!
+//! Usage: `cargo run --release -p mvq-bench --bin bench_net`
+
+use std::time::Instant;
+
+use mvq_core::pipeline::PipelineSpec;
+use mvq_net::{NetClient, NetRequest, NetServer};
+use mvq_serve::CompressionService;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Warm round trips timed on the sustained connection, after priming.
+const SUSTAINED_ROUNDS: usize = 400;
+/// Concurrent connections in the saturation pass.
+const SATURATION_CONNECTIONS: usize = 8;
+/// Warm round trips each saturation connection drives.
+const SATURATION_ROUNDS: usize = 100;
+/// Distinct compressions in the cold pass.
+const COLD_JOBS: usize = 24;
+
+/// The benchmark weight: a mid-sized conv-shaped matrix (512 subvectors
+/// of length 16 → a ~32 KiB request payload and a few-KiB artifact).
+fn weight(seed: u64) -> mvq_tensor::Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    mvq_tensor::kaiming_normal(vec![512, 16], 16, &mut rng)
+}
+
+fn spec() -> PipelineSpec {
+    PipelineSpec { k: 16, swap_trials: 100, ..PipelineSpec::default() }
+}
+
+fn request(name: String, seed: u64) -> NetRequest {
+    let mut request = NetRequest::new(name, weight(seed), "mvq");
+    request.spec = spec();
+    request.seed = Some(seed);
+    request
+}
+
+fn submit_checked(client: &mut NetClient, request: &NetRequest) -> mvq_net::NetOutcome {
+    let outcome = client.submit(request).unwrap_or_else(|e| panic!("bench job failed: {e}"));
+    let artifact = outcome.artifact().expect("decode served artifact");
+    assert_eq!(
+        artifact.reconstruct().expect("reconstruct").dims(),
+        request.weight.dims(),
+        "served artifact diverges from the submitted shape"
+    );
+    outcome
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    sorted_us[((sorted_us.len() - 1) as f64 * p).round() as usize] as f64
+}
+
+fn main() {
+    let service = CompressionService::builder().build().expect("in-memory service");
+    let workers = service.workers();
+    let mut server = NetServer::bind("127.0.0.1:0", service).expect("bind loopback server");
+    let addr = server.local_addr();
+
+    // -- sustained: one connection, warm hits, per-round-trip latency --
+    let mut sustained = NetClient::connect(addr).expect("connect sustained client");
+    let warm = request("warm".into(), 1);
+    let primed = submit_checked(&mut sustained, &warm);
+    assert!(!primed.from_cache, "the priming submission must compress fresh");
+    // the on-wire request size (length prefix + frame), for context
+    let request_bytes = 4 + mvq_net::WireRequest {
+        id: 0,
+        name: warm.name.clone(),
+        algo: warm.algo.clone(),
+        spec: warm.spec.clone(),
+        seed: warm.seed,
+        priority: warm.priority,
+        cache_mode: warm.cache_mode,
+        deadline_ms: None,
+        weight: warm.weight.clone(),
+    }
+    .encode()
+    .expect("encode request")
+    .len();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(SUSTAINED_ROUNDS);
+    let sustained_t0 = Instant::now();
+    for _ in 0..SUSTAINED_ROUNDS {
+        let t = Instant::now();
+        let outcome = submit_checked(&mut sustained, &warm);
+        latencies_us.push(t.elapsed().as_micros() as u64);
+        assert!(outcome.from_cache, "the sustained pass must never recompress");
+    }
+    let sustained_secs = sustained_t0.elapsed().as_secs_f64();
+    let artifact_bytes = primed.bytes.len();
+    drop(sustained);
+    latencies_us.sort_unstable();
+
+    // -- saturation: concurrent connections, aggregate throughput --
+    let saturation_t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..SATURATION_CONNECTIONS {
+            scope.spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect saturation client");
+                let warm = request(format!("sat-{c}"), 1);
+                for _ in 0..SATURATION_ROUNDS {
+                    let outcome = submit_checked(&mut client, &warm);
+                    assert!(outcome.from_cache, "the saturation pass must never recompress");
+                }
+            });
+        }
+    });
+    let saturation_secs = saturation_t0.elapsed().as_secs_f64();
+
+    // -- cold: distinct keys, the compression-bound path over the wire --
+    let mut cold_client = NetClient::connect(addr).expect("connect cold client");
+    let cold_t0 = Instant::now();
+    for j in 0..COLD_JOBS {
+        let seed = 1000 + j as u64;
+        let outcome = submit_checked(&mut cold_client, &request(format!("cold-{j}"), seed));
+        assert!(!outcome.from_cache && !outcome.deduped, "cold jobs must compress fresh");
+    }
+    let cold_secs = cold_t0.elapsed().as_secs_f64();
+    drop(cold_client);
+
+    server.shutdown();
+    let stats = server.stats();
+    let expected_ok =
+        (1 + SUSTAINED_ROUNDS + SATURATION_CONNECTIONS * SATURATION_ROUNDS + COLD_JOBS) as u64;
+    assert_eq!(stats.responses_ok, expected_ok, "the server's accounting disagrees with the bench");
+    assert_eq!(stats.responses_err, 0, "no bench job may fail");
+    assert_eq!(stats.protocol_errors, 0, "the bench speaks the protocol");
+
+    let json = format!(
+        "{{\n  \"workload\": \"mvq 512x16 k=16 over loopback TCP\",\n  \"workers\": {workers},\n  \"request_bytes\": {request_bytes},\n  \"artifact_bytes\": {artifact_bytes},\n  \"sustained_rounds\": {SUSTAINED_ROUNDS},\n  \"sustained_p50_us\": {:.1},\n  \"sustained_p99_us\": {:.1},\n  \"sustained_jobs_per_s\": {:.2},\n  \"saturation_connections\": {SATURATION_CONNECTIONS},\n  \"saturation_rounds_per_conn\": {SATURATION_ROUNDS},\n  \"saturation_jobs_per_s\": {:.2},\n  \"cold_jobs\": {COLD_JOBS},\n  \"cold_jobs_per_s\": {:.2},\n  \"server_connections\": {},\n  \"server_requests\": {},\n  \"server_responses_ok\": {}\n}}\n",
+        percentile(&latencies_us, 0.50),
+        percentile(&latencies_us, 0.99),
+        SUSTAINED_ROUNDS as f64 / sustained_secs,
+        (SATURATION_CONNECTIONS * SATURATION_ROUNDS) as f64 / saturation_secs,
+        COLD_JOBS as f64 / cold_secs,
+        stats.connections,
+        stats.requests,
+        stats.responses_ok,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_net.json", &json).expect("write BENCH_net.json");
+    eprintln!("wrote BENCH_net.json");
+}

@@ -4,6 +4,8 @@
 //! ```text
 //! paper <experiment>... [--quick]
 //! paper compress [--algo <name>,...] [--kernel <strategy>] [--cache-dir <dir>] ...
+//! paper serve    [--addr <host:port>] [--workers <n>] [--cache-dir <dir>] ...
+//! paper client   [--addr <host:port>] [--algo <name>,...] [--deadline-ms <ms>] ...
 //!
 //! experiments: table1 table2 table3 table4 table5 table6 table7 table8
 //!              table9 fig10 fig11 fig13 fig14 fig15 fig16 fig17 fig18
@@ -14,7 +16,10 @@
 //! Algorithm experiments train the lite model zoo on synthetic data;
 //! run them with `--release` (and optionally `--quick` for a smoke pass).
 //! `paper compress` rides the ticket-based `CompressionService` — see
-//! `mvq_bench::cli` for the flag reference.
+//! `mvq_bench::cli` for the flag reference. `paper serve` puts that
+//! service on a TCP listener (graceful drain on stdin close) and
+//! `paper client` drives one over a sustained connection — see
+//! `mvq_bench::net_cli`.
 
 use std::process::ExitCode;
 
@@ -56,8 +61,11 @@ fn run_one(name: &str, cfg: &ExperimentConfig) -> Option<String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("compress") {
-        return mvq_bench::cli::run_compress(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("compress") => return mvq_bench::cli::run_compress(&args[1..]),
+        Some("serve") => return mvq_bench::net_cli::run_serve(&args[1..]),
+        Some("client") => return mvq_bench::net_cli::run_client(&args[1..]),
+        _ => {}
     }
     let quick = args.iter().any(|a| a == "--quick");
     let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
@@ -67,6 +75,9 @@ fn main() -> ExitCode {
             "usage: paper <experiment>... [--quick]\n\
              \x20      paper compress [--algo <name>,...] [--kernel <strategy>] \
              [--cache-dir <dir>] ...\n\
+             \x20      paper serve [--addr <host:port>] [--workers <n>] [--cache-dir <dir>] ...\n\
+             \x20      paper client [--addr <host:port>] [--algo <name>,...] \
+             [--deadline-ms <ms>] ...\n\
              experiments: {} {} fig19 ext1 ext2 | hw | alg | ext | all",
             HW_EXPERIMENTS.join(" "),
             ALG_EXPERIMENTS.join(" ")

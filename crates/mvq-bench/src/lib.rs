@@ -14,6 +14,7 @@ pub mod cli;
 pub mod ext;
 pub mod fmt;
 pub mod hw;
+pub mod net_cli;
 pub mod tables;
 
 /// Everything the algorithm experiments share: the synthetic dataset and

@@ -1,0 +1,397 @@
+//! `paper serve` / `paper client` — the compression service on the
+//! wire, from the command line.
+//!
+//! ```text
+//! paper serve  [--addr <HOST:PORT>] [--workers <N>] [--queue <N>]
+//!              [--cache-dir <DIR>]
+//! paper client [--addr <HOST:PORT>] [--algo <name>[,<name>...]]
+//!              [--arch tiny|resnet18] [--k <K>] [--seed <SEED>]
+//!              [--deadline-ms <MS>] [--repeat <N>]
+//! ```
+//!
+//! `serve` binds an [`NetServer`] over a [`CompressionService`] and runs
+//! until stdin closes (or a `quit` line arrives), then drains
+//! gracefully — every accepted in-flight job completes and flushes
+//! before the process exits — and prints the server's counters.
+//!
+//! `client` builds the same lite conv workload as `paper compress`,
+//! submits every job over one sustained connection, and prints the
+//! per-job outcome table plus round-trip timings. `--repeat` resubmits
+//! the whole job set (a second pass answers from the server's cache);
+//! `--deadline-ms` attaches a queue deadline to every request, so a
+//! saturated server answers `CancelledDeadline` instead of making the
+//! client wait.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mvq_core::pipeline::{canonical_name, PipelineSpec};
+use mvq_net::{NetClient, NetError, NetRequest, NetServer};
+use mvq_nn::models::Arch;
+use mvq_serve::CompressionService;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The default loopback endpoint both subcommands assume.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7341";
+
+const SERVE_USAGE: &str = "usage: paper serve [--addr <HOST:PORT>] [--workers <N>] [--queue <N>] \
+                           [--cache-dir <DIR>]";
+const CLIENT_USAGE: &str = "usage: paper client [--addr <HOST:PORT>] [--algo <name>[,<name>...]] \
+                            [--arch tiny|resnet18] [--k <K>] [--seed <SEED>] \
+                            [--deadline-ms <MS>] [--repeat <N>]";
+
+#[derive(Debug)]
+struct ServeArgs {
+    addr: String,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    cache_dir: Option<String>,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut parsed =
+        ServeArgs { addr: DEFAULT_ADDR.to_string(), workers: None, queue: None, cache_dir: None };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value\n{SERVE_USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => parsed.addr = value("--addr")?.to_string(),
+            "--workers" => {
+                parsed.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}\n{SERVE_USAGE}"))?,
+                );
+            }
+            "--queue" => {
+                parsed.queue = Some(
+                    value("--queue")?
+                        .parse()
+                        .map_err(|e| format!("--queue: {e}\n{SERVE_USAGE}"))?,
+                );
+            }
+            "--cache-dir" => parsed.cache_dir = Some(value("--cache-dir")?.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{SERVE_USAGE}")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// Entry point for the `serve` subcommand; `args` excludes the
+/// subcommand name itself.
+pub fn run_serve(args: &[String]) -> ExitCode {
+    let parsed = match parse_serve_args(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut builder = CompressionService::builder();
+    if let Some(workers) = parsed.workers {
+        builder = builder.workers(workers.max(1));
+    }
+    if let Some(queue) = parsed.queue {
+        builder = builder.queue_capacity(queue);
+    }
+    if let Some(dir) = &parsed.cache_dir {
+        builder = builder.cache_dir(dir);
+    }
+    let service = match builder.build() {
+        Ok(service) => service,
+        Err(e) => {
+            eprintln!("cannot start service: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workers = service.workers();
+    let mut server = match NetServer::bind(parsed.addr.as_str(), service) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", parsed.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serving on {} ({workers} worker{}); close stdin or type `quit` to drain",
+        server.local_addr(),
+        if workers == 1 { "" } else { "s" },
+    );
+    for line in std::io::stdin().lock().lines() {
+        match line {
+            Ok(line) if line.trim() == "quit" => break,
+            Ok(line) if line.trim() == "stats" => {
+                println!("{:?}", server.stats());
+            }
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    println!("draining…");
+    server.shutdown();
+    let stats = server.stats();
+    println!(
+        "served {} connection(s): {} request(s), {} ok, {} failed, {} cancelled by disconnect, \
+         {} expired in queue, {} protocol error(s)",
+        stats.connections,
+        stats.requests,
+        stats.responses_ok,
+        stats.responses_err,
+        stats.cancelled_disconnect,
+        stats.cancelled_deadline,
+        stats.protocol_errors,
+    );
+    ExitCode::SUCCESS
+}
+
+#[derive(Debug)]
+struct ClientArgs {
+    addr: String,
+    algos: Vec<String>,
+    arch: String,
+    k: Option<usize>,
+    seed: Option<u64>,
+    deadline_ms: Option<u64>,
+    repeat: usize,
+}
+
+fn parse_client_args(args: &[String]) -> Result<ClientArgs, String> {
+    let mut parsed = ClientArgs {
+        addr: DEFAULT_ADDR.to_string(),
+        algos: vec!["mvq".to_string()],
+        arch: "tiny".to_string(),
+        k: None,
+        seed: None,
+        deadline_ms: None,
+        repeat: 1,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value\n{CLIENT_USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => parsed.addr = value("--addr")?.to_string(),
+            "--algo" => {
+                parsed.algos = value("--algo")?.split(',').map(str::to_string).collect();
+            }
+            "--arch" => parsed.arch = value("--arch")?.to_string(),
+            "--k" => {
+                parsed.k =
+                    Some(value("--k")?.parse().map_err(|e| format!("--k: {e}\n{CLIENT_USAGE}"))?);
+            }
+            "--seed" => {
+                parsed.seed = Some(
+                    value("--seed")?.parse().map_err(|e| format!("--seed: {e}\n{CLIENT_USAGE}"))?,
+                );
+            }
+            "--deadline-ms" => {
+                parsed.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}\n{CLIENT_USAGE}"))?,
+                );
+            }
+            "--repeat" => {
+                parsed.repeat = value("--repeat")?
+                    .parse()
+                    .map_err(|e| format!("--repeat: {e}\n{CLIENT_USAGE}"))?;
+                if parsed.repeat == 0 {
+                    return Err(format!("--repeat must be at least 1\n{CLIENT_USAGE}"));
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`\n{CLIENT_USAGE}")),
+        }
+    }
+    for algo in &parsed.algos {
+        if canonical_name(algo).is_none() {
+            return Err(format!(
+                "unknown algorithm `{algo}` (known: {})",
+                mvq_core::pipeline::ALGORITHM_NAMES.join(", ")
+            ));
+        }
+    }
+    Ok(parsed)
+}
+
+/// Entry point for the `client` subcommand; `args` excludes the
+/// subcommand name itself.
+pub fn run_client(args: &[String]) -> ExitCode {
+    let parsed = match parse_client_args(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // the same lite workload as `paper compress`
+    let mut rng = StdRng::seed_from_u64(parsed.seed.unwrap_or(0));
+    let model = match parsed.arch.as_str() {
+        "tiny" => mvq_nn::models::tiny_cnn(8, 16, &mut rng),
+        "resnet18" => Arch::ResNet18.build(8, &mut rng),
+        other => {
+            eprintln!("unknown arch `{other}` (known: tiny, resnet18)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut weights = Vec::new();
+    model.visit_convs(&mut |conv| weights.push(conv.weight.value.clone()));
+
+    let mut spec = PipelineSpec::default();
+    if let Some(k) = parsed.k {
+        spec.k = k;
+    } else if parsed.arch == "tiny" {
+        spec.k = 8; // the tiny convs have few subvectors; default k=64 cannot fit
+    }
+
+    let mut client = match NetClient::connect(parsed.addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to {}: {e}", parsed.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{:<18} {:>8} {:>9} {:>9} {:>10}", "job", "ratio", "source", "status", "rtt");
+    let mut failures = 0usize;
+    let mut skipped = 0usize;
+    for pass in 0..parsed.repeat {
+        for algo in &parsed.algos {
+            for (i, w) in weights.iter().enumerate() {
+                if w.dims()[0] % spec.d != 0 {
+                    if pass == 0 {
+                        skipped += 1;
+                    }
+                    continue; // not groupable at this operating point
+                }
+                let mut request =
+                    NetRequest::new(format!("conv{i}/{algo}"), w.clone(), algo.as_str());
+                request.spec = spec.clone();
+                request.seed = parsed.seed;
+                request.deadline = parsed.deadline_ms.map(std::time::Duration::from_millis);
+                let t0 = Instant::now();
+                match client.submit(&request) {
+                    Ok(outcome) => {
+                        let rtt = t0.elapsed();
+                        let source = if outcome.deduped {
+                            "dedup"
+                        } else if outcome.from_cache {
+                            "cache"
+                        } else {
+                            "fresh"
+                        };
+                        let ratio = match outcome.artifact() {
+                            Ok(artifact) => format!("{:>7.1}x", artifact.compression_ratio()),
+                            Err(_) => format!("{:>8}", "-"),
+                        };
+                        println!(
+                            "{:<18} {ratio} {source:>9} {:>9} {:>9.1}ms",
+                            outcome.name,
+                            "ok",
+                            rtt.as_secs_f64() * 1e3,
+                        );
+                    }
+                    Err(NetError::Io(e)) => {
+                        // the transport is gone; nothing further can succeed
+                        eprintln!("connection lost: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        println!(
+                            "{:<18} {:>8} {:>9} {:>9} {:>9.1}ms",
+                            format!("conv{i}/{algo}"),
+                            "-",
+                            "-",
+                            "failed",
+                            t0.elapsed().as_secs_f64() * 1e3,
+                        );
+                        eprintln!("  {e}");
+                    }
+                }
+            }
+        }
+    }
+    if skipped > 0 {
+        println!("skipped {skipped} conv(s) not groupable at d={}", spec.d);
+    }
+    if failures > 0 {
+        eprintln!("{failures} job(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn serve_parses_the_full_flag_set_and_rejects_garbage() {
+        let parsed = parse_serve_args(&strs(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "2",
+            "--queue",
+            "16",
+            "--cache-dir",
+            "/tmp/blobs",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.addr, "0.0.0.0:9000");
+        assert_eq!(parsed.workers, Some(2));
+        assert_eq!(parsed.queue, Some(16));
+        assert_eq!(parsed.cache_dir.as_deref(), Some("/tmp/blobs"));
+        assert!(parse_serve_args(&strs(&["--frobnicate"])).is_err());
+        assert!(parse_serve_args(&strs(&["--workers"])).is_err(), "missing value must error");
+        assert_eq!(parse_serve_args(&[]).unwrap().addr, DEFAULT_ADDR);
+    }
+
+    #[test]
+    fn client_parses_the_full_flag_set_and_rejects_garbage() {
+        let parsed = parse_client_args(&strs(&[
+            "--addr",
+            "10.0.0.1:7341",
+            "--algo",
+            "mvq,pqf",
+            "--arch",
+            "resnet18",
+            "--k",
+            "16",
+            "--seed",
+            "9",
+            "--deadline-ms",
+            "250",
+            "--repeat",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.addr, "10.0.0.1:7341");
+        assert_eq!(parsed.algos, vec!["mvq", "pqf"]);
+        assert_eq!(parsed.arch, "resnet18");
+        assert_eq!(parsed.k, Some(16));
+        assert_eq!(parsed.seed, Some(9));
+        assert_eq!(parsed.deadline_ms, Some(250));
+        assert_eq!(parsed.repeat, 2);
+        assert!(parse_client_args(&strs(&["--algo", "vqgan"])).is_err());
+        assert!(parse_client_args(&strs(&["--repeat", "0"])).is_err(), "zero passes is nonsense");
+        let defaults = parse_client_args(&[]).unwrap();
+        assert_eq!(defaults.addr, DEFAULT_ADDR);
+        assert_eq!(defaults.algos, vec!["mvq"]);
+        assert_eq!(defaults.repeat, 1);
+    }
+}

@@ -46,8 +46,10 @@ pub const MAGIC: [u8; 4] = *b"MVQA";
 pub const FORMAT_VERSION: u16 = 1;
 
 /// Header size: magic (4) + version (2) + kind (1) + payload length (8) +
-/// payload checksum (8).
-pub(super) const HEADER_LEN: usize = 23;
+/// payload checksum (8). Public so wire consumers (the `mvq-net`
+/// protocol frames messages with this same codec) can size reads and
+/// document the layout without restating the arithmetic.
+pub const HEADER_LEN: usize = 23;
 
 /// FNV-1a 64-bit — the workspace's stable, dependency-free hash. Used for
 /// payload checksums, weight content hashes and spec fingerprints.
@@ -500,7 +502,8 @@ fn read_artifact(r: &mut Reader<'_>) -> Result<CompressedArtifact, MvqError> {
 // the Persist trait: header framing shared by all blob kinds
 // ---------------------------------------------------------------------
 
-/// Blob kind tags distinguishing the four top-level serializable types.
+/// Blob kind tags distinguishing the top-level serializable types
+/// (append-only, like every tag in this codec).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum BlobKind {
@@ -512,6 +515,12 @@ pub enum BlobKind {
     Layer = 2,
     /// A whole-model [`ModelArtifacts`].
     Model = 3,
+    /// An `mvq-net` wire request (the network protocol frames its
+    /// messages with this same codec, so wire blobs and cache blobs
+    /// share one format and one validator).
+    WireRequest = 4,
+    /// An `mvq-net` wire response header.
+    WireResponse = 5,
 }
 
 impl BlobKind {
@@ -521,6 +530,8 @@ impl BlobKind {
             1 => Ok(BlobKind::Scalar),
             2 => Ok(BlobKind::Layer),
             3 => Ok(BlobKind::Model),
+            4 => Ok(BlobKind::WireRequest),
+            5 => Ok(BlobKind::WireResponse),
             other => Err(MvqError::Codec(format!("unknown blob kind tag {other}"))),
         }
     }
@@ -594,6 +605,28 @@ fn unframe(kind: BlobKind, bytes: &[u8]) -> Result<&[u8], MvqError> {
 /// unsupported future format versions, and checksum mismatches.
 pub fn validate_frame(kind: BlobKind, bytes: &[u8]) -> Result<(), MvqError> {
     unframe(kind, bytes).map(|_| ())
+}
+
+/// Frames a raw payload under `kind`: magic, format version, kind tag,
+/// payload length, and FNV-1a payload checksum, exactly as the
+/// [`Persist`] impls frame their encodings. This is the building block
+/// for types whose payloads live outside this crate (the `mvq-net`
+/// wire messages): they encode their own payload bytes and reuse the
+/// store's framing, so one codec validates both cache and wire blobs.
+pub fn frame_blob(kind: BlobKind, payload: Vec<u8>) -> Vec<u8> {
+    frame(kind, payload)
+}
+
+/// Inverse of [`frame_blob`]: validates the header (magic, supported
+/// version, expected `kind`, length, checksum) and returns the verified
+/// payload slice.
+///
+/// # Errors
+///
+/// Returns [`MvqError::Codec`] for truncated blobs, wrong magic or kind,
+/// unsupported future format versions, and checksum mismatches.
+pub fn unframe_blob(kind: BlobKind, bytes: &[u8]) -> Result<&[u8], MvqError> {
+    unframe(kind, bytes)
 }
 
 /// Decodes a verified payload, rejecting trailing bytes.

@@ -10,7 +10,7 @@ use std::path::Path;
 
 use crate::error::MvqError;
 
-/// Suffix a corrupt blob is renamed to when quarantined. The restart
+/// Suffix a corrupt blob's unique quarantine name ends in. The restart
 /// scan skips quarantined files (they no longer end in `.mvqa`), so a
 /// poisoned blob stops counting toward the disk budget and stops being
 /// re-read, but stays on disk for post-mortem inspection.
@@ -20,17 +20,30 @@ pub(super) const QUARANTINE_SUFFIX: &str = ".corrupt";
 static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// Atomically persists `bytes` as `dir/name`: writes to a uniquely
-/// named `<name>.<pid>-<n>.mvqa.tmp` sibling, then renames over the
-/// final path. Two racing puts of the same key each write their own tmp
-/// file, so the published blob is always one writer's complete bytes —
-/// never an interleaving — and a crash strands only tmp files, which
-/// the restart scan deletes.
+/// named `<name>.<pid>-<n>.mvqa.tmp` sibling, fsyncs it, then renames
+/// over the final path. Two racing puts of the same key each write
+/// their own tmp file, so the published blob is always one writer's
+/// complete bytes — never an interleaving — and a crash strands only
+/// tmp files, which the restart scan deletes.
+///
+/// The `sync_all` before the rename is load-bearing: without it, a
+/// crash *after* the rename could publish a truncated or empty blob
+/// under the final `.mvqa` name (the rename is a metadata operation
+/// and may hit stable storage before the data blocks do), which would
+/// then cost a quarantine cycle on every restart that reads it.
 pub(super) fn persist_blob(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), MvqError> {
     let path = dir.join(name);
     let n = TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let tmp = dir.join(format!("{name}.{}-{n}.mvqa.tmp", std::process::id()));
-    std::fs::write(&tmp, bytes)
-        .and_then(|()| std::fs::rename(&tmp, &path))
+    let write_synced = || -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut file, bytes)?;
+        // flush data to stable storage *before* the rename publishes the
+        // name; see the doc comment above
+        file.sync_all()?;
+        std::fs::rename(&tmp, &path)
+    };
+    write_synced()
         .map_err(|e| MvqError::Codec(format!("cannot persist blob {}: {e}", path.display())))
 }
 
@@ -54,12 +67,16 @@ pub(super) fn delete_blob(dir: &Path, name: &str) -> Result<(), MvqError> {
 }
 
 /// Moves a corrupt blob out of the addressable namespace by renaming it
-/// to `<name>.corrupt`; falls back to deleting it when the rename fails
-/// (a blob that can be neither quarantined nor removed would poison
-/// every future lookup).
+/// to a uniquely named `<name>.<pid>-<n>.corrupt` sibling (pid +
+/// counter, like tmp names — a fixed `.corrupt` name would let a second
+/// corruption of the same key silently clobber the first quarantined
+/// file, destroying post-mortem evidence); falls back to deleting the
+/// blob when the rename fails (a blob that can be neither quarantined
+/// nor removed would poison every future lookup).
 pub(super) fn quarantine_blob(dir: &Path, name: &str) -> Result<(), MvqError> {
     let path = dir.join(name);
-    let quarantined = dir.join(format!("{name}{QUARANTINE_SUFFIX}"));
+    let n = TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let quarantined = dir.join(format!("{name}.{}-{n}{QUARANTINE_SUFFIX}", std::process::id()));
     match std::fs::rename(&path, &quarantined) {
         Ok(()) => Ok(()),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
@@ -88,7 +105,13 @@ pub(super) fn scan_dir(dir: &Path) -> Result<Vec<(String, u64)>, MvqError> {
         let entry = entry.map_err(|e| {
             MvqError::Codec(format!("cannot scan cache dir {}: {e}", dir.display()))
         })?;
-        let name = entry.file_name().to_string_lossy().into_owned();
+        // a non-UTF-8 file name can never have been written by this
+        // cache (blob names are ASCII), and admitting it under a lossy
+        // name would ledger bytes that `load_blob`/`delete_blob` can
+        // never address — a permanent budget leak; skip it as foreign
+        let Ok(name) = entry.file_name().into_string() else {
+            continue;
+        };
         if name.ends_with(".mvqa.tmp") {
             match std::fs::remove_file(entry.path()) {
                 Ok(()) => {}
@@ -115,4 +138,83 @@ pub(super) fn scan_dir(dir: &Path) -> Result<Vec<(String, u64)>, MvqError> {
     }
     found.sort_by(|a, b| (a.2, &a.0).cmp(&(b.2, &b.0)));
     Ok(found.into_iter().map(|(name, len, _)| (name, len)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mvq-ledger-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn persisted_blob_round_trips_after_a_simulated_short_write() {
+        // regression (durability): a crash mid-write used to be able to
+        // publish a truncated blob under the final name; with the
+        // write-tmp → fsync → rename sequence, an interrupted put leaves
+        // only an unaddressable tmp file, and a completed put always
+        // round-trips its full bytes
+        let dir = tmp_dir("shortwrite");
+        let payload = b"full blob bytes that must survive".to_vec();
+        // simulate the crash: a short write stranded in a tmp sibling,
+        // never renamed — exactly what an interrupted persist leaves
+        std::fs::write(dir.join("key.mvqa.1-0.mvqa.tmp"), &payload[..5]).unwrap();
+        assert_eq!(load_blob(&dir, "key.mvqa").unwrap(), None, "short write became addressable");
+        // the completed persist publishes the full bytes
+        persist_blob(&dir, "key.mvqa", &payload).unwrap();
+        assert_eq!(load_blob(&dir, "key.mvqa").unwrap(), Some(payload.clone()));
+        // the restart scan ledgers the published blob at its full length
+        // and deletes the stranded tmp file
+        let scanned = scan_dir(&dir).unwrap();
+        assert_eq!(scanned, vec![("key.mvqa".to_string(), payload.len() as u64)]);
+        assert!(!dir.join("key.mvqa.1-0.mvqa.tmp").exists(), "tmp orphan survived");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_quarantines_of_one_key_preserve_both_files() {
+        // regression (evidence loss): the fixed `<name>.corrupt` target
+        // let a second corruption of the same key silently clobber the
+        // first quarantined file
+        let dir = tmp_dir("quarantine");
+        persist_blob(&dir, "key.mvqa", b"first corruption").unwrap();
+        quarantine_blob(&dir, "key.mvqa").unwrap();
+        persist_blob(&dir, "key.mvqa", b"second corruption").unwrap();
+        quarantine_blob(&dir, "key.mvqa").unwrap();
+        let quarantined: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(QUARANTINE_SUFFIX))
+            .collect();
+        assert_eq!(quarantined.len(), 2, "a quarantine clobbered its predecessor: {quarantined:?}");
+        // neither is addressable or scanned back in
+        assert_eq!(load_blob(&dir, "key.mvqa").unwrap(), None);
+        assert!(scan_dir(&dir).unwrap().is_empty(), "quarantined file was scanned back in");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn scan_skips_non_utf8_names_instead_of_ledgering_lossy_ones() {
+        // regression (restart scan): `to_string_lossy` admitted non-UTF-8
+        // entries under a replacement-character name that load/delete
+        // could never address, leaking their bytes from the budget forever
+        use std::os::unix::ffi::OsStrExt;
+        let dir = tmp_dir("nonutf8");
+        persist_blob(&dir, "good.mvqa", b"addressable").unwrap();
+        let evil = std::ffi::OsStr::from_bytes(b"evil\xFF.mvqa");
+        std::fs::write(dir.join(evil), b"unaddressable").unwrap();
+        let scanned = scan_dir(&dir).unwrap();
+        assert_eq!(
+            scanned,
+            vec![("good.mvqa".to_string(), "addressable".len() as u64)],
+            "non-UTF-8 entry was ledgered"
+        );
+        assert!(dir.join(evil).exists(), "foreign non-UTF-8 file was deleted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

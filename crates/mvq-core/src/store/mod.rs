@@ -69,7 +69,10 @@ mod ledger;
 mod shard;
 mod stats;
 
-pub use codec::{validate_frame, weight_hash, BlobKind, Fnv1a, Persist, FORMAT_VERSION, MAGIC};
+pub use codec::{
+    frame_blob, unframe_blob, validate_frame, weight_hash, BlobKind, Fnv1a, Persist,
+    FORMAT_VERSION, HEADER_LEN, MAGIC,
+};
 pub use stats::{CacheBudget, CacheStats};
 
 use std::collections::hash_map;
@@ -936,7 +939,15 @@ mod tests {
         assert_eq!(cache.disk_len(), 0);
         assert_eq!(cache.disk_bytes(), 0);
         assert!(!path.exists(), "corrupt blob still addressable");
-        assert!(dir.join(format!("{name}.corrupt")).exists(), "blob was not quarantined");
+        let quarantined = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                let n = e.as_ref().unwrap().file_name();
+                let n = n.to_string_lossy();
+                n.starts_with(&name) && n.ends_with(".corrupt")
+            })
+            .count();
+        assert_eq!(quarantined, 1, "blob was not quarantined");
         // second lookup: a clean miss, not a repeated error
         assert!(cache.get(&key).unwrap().is_none());
         let stats = cache.stats();

@@ -21,6 +21,14 @@
 //! * [`CachePolicy`] — byte budgets (memory and disk) for the service's
 //!   [`ArtifactCache`](mvq_core::store::ArtifactCache), enforced by LRU
 //!   eviction that survives restarts.
+//! * Deadlines and cancellation — a request may carry an absolute queue
+//!   deadline ([`CompressionRequestBuilder::deadline`]) and/or a shared
+//!   [`CancelToken`] ([`CompressionRequestBuilder::cancel_token`]); a
+//!   queued job whose deadline passed or whose token was cancelled is
+//!   dropped **at dequeue** with [`JobError::Cancelled`] — expired work
+//!   never occupies a worker. [`Ticket::wait_timeout`] bounds the wait on
+//!   the caller's side, handing the still-redeemable ticket back on
+//!   timeout.
 //!
 //! Identity is *content*, not position: a job's
 //! [`CacheKey`](mvq_core::store::CacheKey) combines the weight tensor's
@@ -99,7 +107,7 @@ mod ticket;
 pub use batch::{BatchCompressionService, BatchReport, CompressionJob};
 pub use request::{CacheMode, CompressionRequest, CompressionRequestBuilder, Priority};
 pub use service::{CachePolicy, CompressionService, ServiceBuilder, SubmitError};
-pub use ticket::{JobError, JobOutcome, JobResult, Ticket};
+pub use ticket::{CancelKind, CancelToken, JobError, JobOutcome, JobResult, Ticket};
 
 /// Re-exported for convenience: requests are built around a spec, so
 /// service callers need the type constantly.
@@ -247,6 +255,114 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, MvqError::InvalidConfig(_)));
+    }
+
+    /// A request slow enough to keep the single worker busy while the
+    /// test arranges the queue behind it.
+    fn blocker_request(name: &str) -> CompressionRequest {
+        CompressionRequest::builder(name, weight(40), "mvq")
+            .spec(PipelineSpec { k: 8, swap_trials: 20_000, ..PipelineSpec::default() })
+            .seed(1)
+            .build()
+            .unwrap()
+    }
+
+    /// Spins until the single worker has taken the blocker off the queue.
+    fn wait_until_queue_empty(service: &CompressionService) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        while service.queued() > 0 {
+            assert!(std::time::Instant::now() < deadline, "worker never took the blocker");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn wait_timeout_hands_the_ticket_back_then_wait_redeems_it() {
+        // satellite regression (ticket lifecycle): timing out must not
+        // consume the ticket — the job keeps running and a later wait
+        // still redeems its result
+        let service = CompressionService::builder().workers(1).queue_capacity(8).build().unwrap();
+        let blocker = service.submit_one(blocker_request("blocker"));
+        wait_until_queue_empty(&service);
+        let request =
+            CompressionRequest::builder("late", weight(41), "mvq").spec(spec()).build().unwrap();
+        let ticket = service.submit_one(request);
+        // the worker is busy with the blocker, so the queued job cannot
+        // resolve within a zero timeout
+        let ticket = match ticket.wait_timeout(std::time::Duration::ZERO) {
+            Err(ticket) => ticket,
+            Ok(result) => panic!("queued job resolved within a zero timeout: {result:?}"),
+        };
+        assert_eq!(ticket.name(), "late", "the ticket rides back intact");
+        assert!(ticket.wait().is_ok(), "the timed-out ticket must still redeem");
+        assert!(blocker.wait().is_ok());
+    }
+
+    #[test]
+    fn wait_timeout_then_disconnect_reports_disconnected() {
+        // satellite regression (ticket lifecycle): a ticket handed back on
+        // timeout must observe the service's shutdown, not hang or panic
+        let service = CompressionService::builder().workers(0).queue_capacity(8).build().unwrap();
+        let request =
+            CompressionRequest::builder("orphan", weight(42), "mvq").spec(spec()).build().unwrap();
+        let ticket = service
+            .submit_one(request)
+            .wait_timeout(std::time::Duration::from_millis(10))
+            .expect_err("zero workers: the job can never resolve in time");
+        drop(service);
+        assert!(matches!(ticket.wait(), Err(JobError::Disconnected { .. })));
+    }
+
+    #[test]
+    fn cancelled_queued_job_is_dropped_at_dequeue_and_never_runs() {
+        let service = CompressionService::builder().workers(1).queue_capacity(8).build().unwrap();
+        let blocker = service.submit_one(blocker_request("blocker"));
+        wait_until_queue_empty(&service);
+        let token = CancelToken::new();
+        let request = CompressionRequest::builder("doomed", weight(43), "mvq")
+            .spec(spec())
+            .cancel_token(token.clone())
+            .build()
+            .unwrap();
+        let ticket = service.submit_one(request);
+        let doomed_key = ticket.key().clone();
+        token.cancel(); // the job is still queued behind the blocker
+        match ticket.wait() {
+            Err(JobError::Cancelled { name, kind: CancelKind::Explicit }) => {
+                assert_eq!(name, "doomed");
+            }
+            other => panic!("expected Cancelled(Explicit), got {other:?}"),
+        }
+        assert!(blocker.wait().is_ok(), "the blocker is unaffected");
+        assert!(
+            service.cache().get_raw(&doomed_key).unwrap().is_none(),
+            "the cancelled job ran anyway: its artifact reached the cache"
+        );
+    }
+
+    #[test]
+    fn deadline_expired_queued_job_is_dropped_at_dequeue_and_never_runs() {
+        let service = CompressionService::builder().workers(1).queue_capacity(8).build().unwrap();
+        let blocker = service.submit_one(blocker_request("blocker"));
+        wait_until_queue_empty(&service);
+        let request = CompressionRequest::builder("expired", weight(44), "mvq")
+            .spec(spec())
+            .deadline(std::time::Instant::now()) // already past by dequeue
+            .build()
+            .unwrap();
+        let ticket = service.submit_one(request);
+        let expired_key = ticket.key().clone();
+        match ticket.wait() {
+            Err(JobError::Cancelled { name, kind: CancelKind::DeadlineExpired }) => {
+                assert_eq!(name, "expired");
+            }
+            other => panic!("expected Cancelled(DeadlineExpired), got {other:?}"),
+        }
+        assert!(blocker.wait().is_ok());
+        assert!(
+            service.cache().get_raw(&expired_key).unwrap().is_none(),
+            "the expired job ran anyway: its artifact reached the cache"
+        );
     }
 
     #[test]

@@ -10,10 +10,14 @@
 //! admission; only the compression itself can still error (per job, as a
 //! [`crate::JobError`]).
 
+use std::time::{Duration, Instant};
+
 use mvq_core::pipeline::{by_name, canonical_name, PipelineSpec};
 use mvq_core::store::Fnv1a;
 use mvq_core::{KernelStrategy, MvqError};
 use mvq_tensor::Tensor;
+
+use crate::ticket::CancelToken;
 
 /// Scheduling priority of a request. Workers always pop the
 /// highest-priority queued job; within one priority, submission order
@@ -76,6 +80,8 @@ pub struct CompressionRequest {
     seed: Option<u64>,
     priority: Priority,
     cache_mode: CacheMode,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
 }
 
 impl CompressionRequest {
@@ -94,6 +100,8 @@ impl CompressionRequest {
             seed: None,
             priority: Priority::default(),
             cache_mode: CacheMode::default(),
+            deadline: None,
+            cancel: None,
         }
     }
 
@@ -134,14 +142,27 @@ impl CompressionRequest {
         self.cache_mode
     }
 
+    /// The queue deadline, if any. Not part of the cache identity.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The attached cancellation token, if any. Not part of the cache
+    /// identity.
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
     /// The seed this request will actually compress with: the pinned seed
     /// or the content-derived one.
     pub(crate) fn resolved_seed(&self) -> u64 {
         self.seed.unwrap_or_else(|| content_seed(&self.weight, &self.spec, self.algo))
     }
 
-    pub(crate) fn into_parts(self) -> (String, Tensor, &'static str, PipelineSpec) {
-        (self.name, self.weight, self.algo, self.spec)
+    pub(crate) fn into_parts(
+        self,
+    ) -> (String, Tensor, &'static str, PipelineSpec, Option<Instant>, Option<CancelToken>) {
+        (self.name, self.weight, self.algo, self.spec, self.deadline, self.cancel)
     }
 }
 
@@ -155,6 +176,8 @@ pub struct CompressionRequestBuilder {
     seed: Option<u64>,
     priority: Priority,
     cache_mode: CacheMode,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
 }
 
 impl CompressionRequestBuilder {
@@ -187,6 +210,30 @@ impl CompressionRequestBuilder {
     /// Sets the cache interaction policy (default: [`CacheMode::ReadWrite`]).
     pub fn cache_mode(mut self, mode: CacheMode) -> Self {
         self.cache_mode = mode;
+        self
+    }
+
+    /// Sets an absolute queue deadline: a job still queued when `deadline`
+    /// passes is dropped at dequeue with
+    /// [`crate::JobError::Cancelled`] (`kind:`
+    /// [`crate::CancelKind::DeadlineExpired`]) — expired work never
+    /// occupies a worker. A job already running is not interrupted.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Shorthand for [`Self::deadline`] at `now + timeout`.
+    pub fn deadline_after(self, timeout: Duration) -> Self {
+        self.deadline(Instant::now() + timeout)
+    }
+
+    /// Attaches a cancellation token: cancelling any clone of `token`
+    /// while the job is queued drops it at dequeue with
+    /// [`crate::JobError::Cancelled`] (`kind:`
+    /// [`crate::CancelKind::Explicit`]).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -226,6 +273,8 @@ impl CompressionRequestBuilder {
             seed: self.seed,
             priority: self.priority,
             cache_mode: self.cache_mode,
+            deadline: self.deadline,
+            cancel: self.cancel,
         })
     }
 }

@@ -14,6 +14,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use mvq_core::pipeline::{by_name, PipelineSpec};
 use mvq_core::store::{ArtifactCache, CacheBudget, CacheKey, CacheStats, Persist, DEFAULT_SHARDS};
@@ -23,7 +24,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::request::{CacheMode, CompressionRequest, Priority};
-use crate::ticket::{JobError, JobOutcome, JobResult, Payload, Ticket};
+use crate::ticket::{CancelKind, CancelToken, JobError, JobOutcome, JobResult, Payload, Ticket};
 
 /// Cache policy the service applies to the cache it builds: a thin,
 /// service-facing wrapper over [`CacheBudget`] plus the shard count
@@ -106,6 +107,25 @@ struct QueuedJob {
 struct Waiter {
     name: String,
     tx: mpsc::Sender<JobResult>,
+    /// Cancelling any clone marks this waiter dead; a job whose waiters
+    /// are all dead is dropped at dequeue.
+    cancel: Option<CancelToken>,
+    /// Absolute queue deadline; past it the waiter is dead.
+    deadline: Option<Instant>,
+}
+
+impl Waiter {
+    /// Why this waiter no longer wants the job, if so. Explicit
+    /// cancellation wins over deadline expiry when both apply.
+    fn dead(&self, now: Instant) -> Option<CancelKind> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(CancelKind::Explicit);
+        }
+        if self.deadline.is_some_and(|d| d <= now) {
+            return Some(CancelKind::DeadlineExpired);
+        }
+        None
+    }
 }
 
 /// A heap entry pointing at a queued job. Jobs live in `State::jobs`;
@@ -169,6 +189,62 @@ impl State {
             }
         }
         None
+    }
+
+    /// Pops the highest-priority queued job whose waiters still want it,
+    /// dropping cancelled/expired work on the way: a popped job whose
+    /// waiters are **all** dead is discarded without running (this is the
+    /// dequeue-time cancellation check — cancelled work never occupies a
+    /// worker), and dead riders on an otherwise-live job are peeled off.
+    /// Returns the job (if any), the dead waiters to notify — **outside**
+    /// the service lock — with why each died, and how many queued jobs
+    /// were discarded (each freed a queue slot, so the caller signals
+    /// `space`).
+    fn pop_live_job(
+        &mut self,
+        now: Instant,
+    ) -> (Option<QueuedJob>, Vec<(Waiter, CancelKind)>, usize) {
+        let mut dead: Vec<(Waiter, CancelKind)> = Vec::new();
+        let mut dropped = 0;
+        while let Some(job) = self.pop_job() {
+            let QueuedJob { key, algo, spec, weight, mode, direct } = job;
+            match direct {
+                Some(waiter) => match waiter.dead(now) {
+                    Some(kind) => {
+                        dead.push((waiter, kind));
+                        dropped += 1;
+                    }
+                    None => {
+                        let job = QueuedJob { key, algo, spec, weight, mode, direct: Some(waiter) };
+                        return (Some(job), dead, dropped);
+                    }
+                },
+                None => {
+                    let Some(entry) = self.inflight.get_mut(&key) else {
+                        // the entry was already removed (e.g. by a racing
+                        // shutdown drain); nothing waits, drop the job
+                        dropped += 1;
+                        continue;
+                    };
+                    let mut live = Vec::with_capacity(entry.waiters.len());
+                    for waiter in entry.waiters.drain(..) {
+                        match waiter.dead(now) {
+                            Some(kind) => dead.push((waiter, kind)),
+                            None => live.push(waiter),
+                        }
+                    }
+                    if live.is_empty() {
+                        self.inflight.remove(&key);
+                        dropped += 1;
+                        continue;
+                    }
+                    entry.waiters = live;
+                    let job = QueuedJob { key, algo, spec, weight, mode, direct: None };
+                    return (Some(job), dead, dropped);
+                }
+            }
+        }
+        (None, dead, dropped)
     }
 }
 
@@ -442,7 +518,12 @@ impl CompressionService {
             if request.cache_mode().dedupes() {
                 if let Some(entry) = state.inflight.get_mut(&key) {
                     let name = request.name().to_string();
-                    entry.waiters.push(Waiter { name: name.clone(), tx });
+                    entry.waiters.push(Waiter {
+                        name: name.clone(),
+                        tx,
+                        cancel: request.cancel().cloned(),
+                        deadline: request.deadline(),
+                    });
                     // boost a still-queued job to the rider's priority
                     if let Some((seq, current)) = entry.queued {
                         if request.priority() > current {
@@ -467,8 +548,8 @@ impl CompressionService {
         let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
         let priority = request.priority();
         let mode = request.cache_mode();
-        let (name, weight, algo, spec) = request.into_parts();
-        let waiter = Waiter { name: name.clone(), tx };
+        let (name, weight, algo, spec, deadline, cancel) = request.into_parts();
+        let waiter = Waiter { name: name.clone(), tx, cancel, deadline };
         let direct = if mode.dedupes() {
             state.inflight.insert(
                 key.clone(),
@@ -502,12 +583,18 @@ impl Drop for CompressionService {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let job = {
+        let (job, dead) = {
             let mut state = shared.state.lock().expect("service lock");
             loop {
-                if let Some(job) = state.pop_job() {
+                let (job, dead, dropped) = state.pop_live_job(Instant::now());
+                if dropped > 0 {
+                    // each discarded job freed a queue slot
+                    shared.space.notify_all();
+                } else if job.is_some() {
                     shared.space.notify_one();
-                    break job;
+                }
+                if job.is_some() || !dead.is_empty() {
+                    break (job, dead);
                 }
                 if state.shutdown {
                     return;
@@ -515,7 +602,14 @@ fn worker_loop(shared: &Shared) {
                 state = shared.work.wait(state).expect("service lock");
             }
         };
-        execute(shared, job);
+        // notify outside the lock: a waiter's receiver may be dropped, and
+        // channel sends must never extend the queue critical section
+        for (waiter, kind) in dead {
+            let _ = waiter.tx.send(Err(JobError::Cancelled { name: waiter.name, kind }));
+        }
+        if let Some(job) = job {
+            execute(shared, job);
+        }
     }
 }
 
@@ -677,5 +771,162 @@ mod tests {
         let order: Vec<u64> = std::iter::from_fn(|| state.pop_job().map(|j| j.key.seed)).collect();
         assert_eq!(order, vec![0, 1], "boosted job first, stale ref skipped");
         assert!(state.heap.is_empty() || state.jobs.is_empty());
+    }
+
+    /// Queues a bypass (direct-waiter) job carrying `cancel`/`deadline`,
+    /// returning the waiter's result receiver.
+    fn push_direct_job(
+        state: &mut State,
+        seq: u64,
+        cancel: Option<CancelToken>,
+        deadline: Option<Instant>,
+    ) -> mpsc::Receiver<JobResult> {
+        let weight = Tensor::ones(vec![16, 16]);
+        let spec = PipelineSpec::default();
+        let key = CacheKey::new("mvq", &weight, &spec, seq).unwrap();
+        // lint:allow(unbounded-channel) -- test-only per-job result channel, one message
+        let (tx, rx) = mpsc::channel();
+        let waiter = Waiter { name: format!("job-{seq}"), tx, cancel, deadline };
+        state.jobs.insert(
+            seq,
+            QueuedJob {
+                key,
+                algo: "mvq",
+                spec,
+                weight,
+                mode: CacheMode::Bypass,
+                direct: Some(waiter),
+            },
+        );
+        state.heap.push(QueueRef { priority: Priority::Normal, seq });
+        rx
+    }
+
+    #[test]
+    fn pop_live_job_discards_cancelled_and_expired_work_at_dequeue() {
+        let mut state = State::default();
+        let now = Instant::now();
+        let token = CancelToken::new();
+        let _rx_cancelled = push_direct_job(&mut state, 0, Some(token.clone()), None);
+        let _rx_expired =
+            push_direct_job(&mut state, 1, None, Some(now - std::time::Duration::from_millis(1)));
+        let _rx_live =
+            push_direct_job(&mut state, 2, None, Some(now + std::time::Duration::from_secs(60)));
+        token.cancel();
+
+        let (job, dead, dropped) = state.pop_live_job(now);
+        let job = job.expect("the live job must still pop");
+        assert_eq!(job.key.seed, 2, "only the un-cancelled, un-expired job runs");
+        assert_eq!(dropped, 2, "both dead jobs freed their queue slots");
+        let kinds: Vec<(String, CancelKind)> = dead.into_iter().map(|(w, k)| (w.name, k)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("job-0".to_string(), CancelKind::Explicit),
+                ("job-1".to_string(), CancelKind::DeadlineExpired),
+            ]
+        );
+        assert!(state.jobs.is_empty());
+    }
+
+    #[test]
+    fn pop_live_job_peels_dead_riders_off_a_live_dedup_job() {
+        let mut state = State::default();
+        let now = Instant::now();
+        let weight = Tensor::ones(vec![16, 16]);
+        let spec = PipelineSpec::default();
+        let key = CacheKey::new("mvq", &weight, &spec, 7).unwrap();
+        // lint:allow(unbounded-channel) -- test-only per-job result channels, one message each
+        let (tx_live, _rx_live) = mpsc::channel();
+        // lint:allow(unbounded-channel) -- test-only per-job result channels, one message each
+        let (tx_dead, _rx_dead) = mpsc::channel();
+        let token = CancelToken::new();
+        token.cancel();
+        state.inflight.insert(
+            key.clone(),
+            InflightEntry {
+                waiters: vec![
+                    Waiter { name: "live".into(), tx: tx_live, cancel: None, deadline: None },
+                    Waiter {
+                        name: "dead-rider".into(),
+                        tx: tx_dead,
+                        cancel: Some(token),
+                        deadline: None,
+                    },
+                ],
+                queued: Some((0, Priority::Normal)),
+            },
+        );
+        state.jobs.insert(
+            0,
+            QueuedJob {
+                key: key.clone(),
+                algo: "mvq",
+                spec,
+                weight,
+                mode: CacheMode::ReadWrite,
+                direct: None,
+            },
+        );
+        state.heap.push(QueueRef { priority: Priority::Normal, seq: 0 });
+
+        let (job, dead, dropped) = state.pop_live_job(now);
+        assert!(job.is_some(), "a job with a live waiter must still run");
+        assert_eq!(dropped, 0);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].0.name, "dead-rider");
+        assert_eq!(dead[0].1, CancelKind::Explicit);
+        let entry = state.inflight.get(&key).expect("entry survives for the live waiter");
+        assert_eq!(entry.waiters.len(), 1);
+        assert_eq!(entry.waiters[0].name, "live");
+    }
+
+    #[test]
+    fn pop_live_job_drops_a_dedup_job_whose_waiters_all_died() {
+        let mut state = State::default();
+        let weight = Tensor::ones(vec![16, 16]);
+        let spec = PipelineSpec::default();
+        let key = CacheKey::new("mvq", &weight, &spec, 9).unwrap();
+        // lint:allow(unbounded-channel) -- test-only per-job result channel, one message
+        let (tx, rx) = mpsc::channel();
+        let token = CancelToken::new();
+        token.cancel();
+        state.inflight.insert(
+            key.clone(),
+            InflightEntry {
+                waiters: vec![Waiter {
+                    name: "gone".into(),
+                    tx,
+                    cancel: Some(token),
+                    deadline: None,
+                }],
+                queued: Some((0, Priority::Normal)),
+            },
+        );
+        state.jobs.insert(
+            0,
+            QueuedJob {
+                key: key.clone(),
+                algo: "mvq",
+                spec,
+                weight,
+                mode: CacheMode::ReadWrite,
+                direct: None,
+            },
+        );
+        state.heap.push(QueueRef { priority: Priority::Normal, seq: 0 });
+
+        let (job, dead, dropped) = state.pop_live_job(Instant::now());
+        assert!(job.is_none(), "an all-dead job must never reach a worker");
+        assert_eq!(dropped, 1);
+        assert_eq!(dead.len(), 1);
+        assert!(!state.inflight.contains_key(&key), "the dead entry must be removed");
+        // the worker loop sends the cancellation to the dead waiter
+        let (waiter, kind) = dead.into_iter().next().unwrap();
+        let _ = waiter.tx.send(Err(JobError::Cancelled { name: waiter.name, kind }));
+        match rx.recv().unwrap() {
+            Err(JobError::Cancelled { kind: CancelKind::Explicit, .. }) => {}
+            other => panic!("expected Cancelled(Explicit), got {other:?}"),
+        }
     }
 }

@@ -1,11 +1,59 @@
-//! Tickets: per-job result handles, outcomes, and typed job errors.
+//! Tickets: per-job result handles, outcomes, cancellation tokens, and
+//! typed job errors.
 
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 use mvq_core::store::{CacheKey, Persist};
 use mvq_core::{CompressedArtifact, MvqError};
+
+/// A shared cancellation flag for one (or several) submitted jobs.
+///
+/// Clones share the flag: the network layer keeps one clone per wire
+/// request and hands another to the request builder
+/// ([`crate::CompressionRequestBuilder::cancel_token`]); cancelling the
+/// token marks the job's waiter dead, and the worker pool drops a job
+/// whose waiters are all dead **at dequeue** — cancelled work never
+/// occupies a worker. A job already running is not interrupted (its
+/// result is simply delivered; dedup riders may still want it).
+///
+/// Cancellation is one-way and idempotent: once cancelled, a token
+/// stays cancelled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Marks the token cancelled. Idempotent; safe to call after the
+    /// job completed (the completed result is simply delivered).
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// Why a queued job was dropped before reaching a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelKind {
+    /// The job's [`CancelToken`] was cancelled (e.g. its network client
+    /// disconnected) while the job was still queued.
+    Explicit,
+    /// The job's deadline passed while it was still queued.
+    DeadlineExpired,
+}
 
 /// How a job's result is carried to its waiters.
 ///
@@ -140,6 +188,15 @@ pub enum JobError {
         /// The abandoned job's label.
         name: String,
     },
+    /// The job was dropped at dequeue, before any work ran: its
+    /// [`CancelToken`] was cancelled or its deadline passed while it was
+    /// still queued. Cancelled work never occupies a worker.
+    Cancelled {
+        /// The cancelled job's label.
+        name: String,
+        /// Whether the token or the deadline killed it.
+        kind: CancelKind,
+    },
 }
 
 impl JobError {
@@ -149,7 +206,8 @@ impl JobError {
             JobError::Compression { name, .. }
             | JobError::Cache { name, .. }
             | JobError::Panicked { name, .. }
-            | JobError::Disconnected { name } => name,
+            | JobError::Disconnected { name }
+            | JobError::Cancelled { name, .. } => name,
         }
     }
 
@@ -173,6 +231,12 @@ impl fmt::Display for JobError {
             JobError::Disconnected { name } => {
                 write!(f, "job `{name}`: service shut down before the job completed")
             }
+            JobError::Cancelled { name, kind: CancelKind::Explicit } => {
+                write!(f, "job `{name}`: cancelled while queued")
+            }
+            JobError::Cancelled { name, kind: CancelKind::DeadlineExpired } => {
+                write!(f, "job `{name}`: deadline expired while queued")
+            }
         }
     }
 }
@@ -190,9 +254,9 @@ impl From<JobError> for MvqError {
     fn from(e: JobError) -> MvqError {
         match e {
             JobError::Compression { source, .. } | JobError::Cache { source, .. } => source,
-            JobError::Panicked { .. } | JobError::Disconnected { .. } => {
-                MvqError::InvalidConfig(e.to_string())
-            }
+            JobError::Panicked { .. }
+            | JobError::Disconnected { .. }
+            | JobError::Cancelled { .. } => MvqError::InvalidConfig(e.to_string()),
         }
     }
 }
@@ -238,6 +302,33 @@ impl Ticket {
         self.rx.recv().unwrap_or_else(|_| {
             Err(JobError::Disconnected { name: std::mem::take(&mut self.name) })
         })
+    }
+
+    /// Blocks until the job finishes or `timeout` elapses. On timeout
+    /// the ticket rides back in the `Err`, still redeemable: the job
+    /// keeps running, and the caller can [`Ticket::wait`] again, poll,
+    /// cancel the job's [`CancelToken`], or drop the ticket — this is
+    /// how a wire connection honors a client deadline without
+    /// abandoning the result channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the ticket itself when the job has not finished within
+    /// `timeout`.
+    // The large Err IS the API: the unredeemed ticket rides back to the
+    // caller by value, so timing out can never lose the result channel.
+    #[allow(clippy::result_large_err)]
+    pub fn wait_timeout(mut self, timeout: Duration) -> Result<JobResult, Ticket> {
+        if let Some(done) = self.done.take() {
+            return Ok(done);
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Ok(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(self),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Ok(Err(JobError::Disconnected { name: std::mem::take(&mut self.name) }))
+            }
+        }
     }
 
     /// Non-blocking check: `None` while the job is still running, a

@@ -23,6 +23,11 @@
 //!   error isolation, backed by versioned artifact serialization
 //!   ([`core::store`]) in a content-addressed, byte-budgeted LRU cache
 //!   (the deprecated v1 batch `submit` remains as a shim)
+//! * [`net`] — the service on the wire: a length-prefixed TCP protocol
+//!   ([`net::NetServer`] / [`net::NetClient`]) with per-request
+//!   deadlines, client-disconnect cancellation, and graceful drain,
+//!   framing every message with the store codec so cache blobs serve
+//!   zero-copy
 //!
 //! ## Quickstart
 //!
@@ -64,6 +69,7 @@
 
 pub use mvq_accel as accel;
 pub use mvq_core as core;
+pub use mvq_net as net;
 pub use mvq_nn as nn;
 pub use mvq_serve as serve;
 pub use mvq_tensor as tensor;
