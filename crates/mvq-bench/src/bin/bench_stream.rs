@@ -1,0 +1,161 @@
+//! Measures the bounded-memory streaming model-compression pipeline on a
+//! model-scale synthetic workload and records the result in
+//! `BENCH_stream.json`.
+//!
+//! The workload is 10× the conv layers of ResNet-18-lite, synthesized
+//! one layer at a time through a [`LayerStream`] — the weights never
+//! exist in memory all at once, which is the point: the pipeline's
+//! in-flight working set is capped by a window of 3 layers / 2× the
+//! largest layer's bytes, far below the whole model. Layers stream
+//! through `mvq` and spill to a disk-backed [`ArtifactCache`] as
+//! per-layer blobs.
+//!
+//! Before reporting any number the binary proves correctness: a small
+//! in-memory model is streamed and its assembled
+//! [`ModelArtifacts`](mvq_core::ModelArtifacts) fingerprint must equal
+//! the in-memory oracle's (`compress_model_artifacts`) — a pipeline that
+//! streamed wrong bytes fast would be measuring the wrong thing.
+//!
+//! Reported: layers/s, the window's configured and observed peaks, total
+//! synthesized weight bytes versus the window cap, and the process's
+//! peak RSS (`VmHWM`, Linux; `0` elsewhere) — the headline claim is that
+//! peak memory tracks the window, not the model.
+//!
+//! Usage: `cargo run --release -p mvq-bench --bin bench_stream`
+
+use std::time::Instant;
+
+use mvq_core::pipeline::{by_name, PipelineSpec};
+use mvq_core::store::{ArtifactCache, CacheKey};
+use mvq_core::{
+    load_streamed_model, model_cache_key, stream_compress, stream_compress_model, LayerMeta,
+    LayerStream, MvqError, ProgressHandle, StreamConfig,
+};
+use mvq_nn::models::Arch;
+use mvq_tensor::{kaiming_normal, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Copies of the ResNet-18-lite conv stack in the synthetic workload.
+const REPS: usize = 10;
+/// Window cap in layers.
+const WINDOW_LAYERS: usize = 3;
+
+/// Synthesizes each conv weight on demand — deterministic per conv, and
+/// never more than the window's worth resident at once.
+struct SyntheticStream {
+    dims: Vec<Vec<usize>>,
+    seed: u64,
+}
+
+impl LayerStream for SyntheticStream {
+    fn layer_meta(&self) -> Vec<LayerMeta> {
+        self.dims
+            .iter()
+            .map(|d| LayerMeta {
+                depthwise: false,
+                bytes: (d.iter().product::<usize>() * 4) as u64,
+            })
+            .collect()
+    }
+
+    fn materialize(&mut self, conv_index: usize) -> Result<Tensor, MvqError> {
+        let dims = self.dims[conv_index].clone();
+        let fan_in: usize = dims[1..].iter().product();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ conv_index as u64);
+        Ok(kaiming_normal(dims, fan_in, &mut rng))
+    }
+}
+
+fn main() {
+    let spec = PipelineSpec { k: 8, d: 8, keep_n: 2, m: 8, ..PipelineSpec::default() };
+    let comp = by_name("mvq", &spec).expect("registry algorithm");
+
+    // correctness gate: streamed ≡ in-memory oracle on a small model
+    {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = mvq_nn::models::tiny_cnn(4, 8, &mut rng);
+        let mut oracle_rng = StdRng::seed_from_u64(9);
+        let oracle = comp.compress_model_artifacts(&model, &mut oracle_rng).expect("oracle");
+        let cache = ArtifactCache::in_memory();
+        let key = model_cache_key("mvq", &model, &spec, 9).expect("model key");
+        stream_compress_model(comp.as_ref(), &model, &cache, &key, &StreamConfig::default(), None)
+            .expect("stream small model");
+        let streamed = load_streamed_model(&cache, &key).expect("load").expect("stored");
+        assert_eq!(
+            streamed.fingerprint().expect("fingerprint"),
+            oracle.fingerprint().expect("fingerprint"),
+            "streamed result diverges from the in-memory oracle"
+        );
+    }
+
+    // the model-scale workload: REPS × ResNet-18-lite conv dims
+    let mut rng = StdRng::seed_from_u64(0);
+    let proto = Arch::ResNet18.build(8, &mut rng);
+    let mut proto_dims: Vec<Vec<usize>> = Vec::new();
+    proto.visit_convs(&mut |conv| proto_dims.push(conv.weight.value.dims().to_vec()));
+    let dims: Vec<Vec<usize>> = (0..REPS).flat_map(|_| proto_dims.iter().cloned()).collect();
+    let num_layers = dims.len();
+    let layer_bytes = |d: &Vec<usize>| (d.iter().product::<usize>() * 4) as u64;
+    let total_bytes: u64 = dims.iter().map(layer_bytes).sum();
+    let largest: u64 = dims.iter().map(layer_bytes).max().expect("nonempty workload");
+    let window_bytes = 2 * largest;
+    assert!(window_bytes * 4 < total_bytes, "window is not a meaningful bound");
+
+    let cache_dir = std::env::temp_dir().join("mvq-bench-stream-cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cache = ArtifactCache::with_dir(&cache_dir).expect("cache dir");
+    let key = CacheKey {
+        algo: "mvq",
+        weight_hash: 0x57ea,
+        spec_fingerprint: spec.fingerprint(),
+        kernel: spec.kernel,
+        seed: 13,
+    };
+    let config = StreamConfig::default().with_window(WINDOW_LAYERS, window_bytes);
+    let mut source = SyntheticStream { dims, seed: 47 };
+    let progress = ProgressHandle::new();
+
+    let t0 = Instant::now();
+    let report =
+        stream_compress(comp.as_ref(), &mut source, &cache, &key, &config, Some(&progress))
+            .expect("stream model-scale workload");
+    let secs = t0.elapsed().as_secs_f64();
+
+    assert!(report.peak_window_bytes <= window_bytes, "window bound violated");
+    assert!(report.peak_window_layers <= WINDOW_LAYERS, "layer bound violated");
+    let snap = progress.snapshot();
+    assert_eq!(snap.layers_done, num_layers, "every conv must reach a terminal state");
+
+    let json = format!(
+        "{{\n  \"workload\": \"{REPS}x-resnet18-lite-synthetic\",\n  \"algorithm\": \"mvq\",\n  \"layers\": {num_layers},\n  \"layers_compressed\": {},\n  \"layers_skipped\": {},\n  \"stream_s\": {secs:.3},\n  \"layers_per_s\": {:.2},\n  \"weight_bytes_total\": {total_bytes},\n  \"window_max_layers\": {WINDOW_LAYERS},\n  \"window_max_bytes\": {window_bytes},\n  \"peak_window_layers\": {},\n  \"peak_window_bytes\": {},\n  \"workers\": {},\n  \"cache_disk_bytes\": {},\n  \"peak_rss_bytes\": {}\n}}\n",
+        report.index.layers.len(),
+        report.index.skipped.len(),
+        num_layers as f64 / secs,
+        report.peak_window_layers,
+        report.peak_window_bytes,
+        config.workers.max(1),
+        cache.disk_bytes(),
+        peak_rss_bytes(),
+    );
+    print!("{json}");
+    std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");
+    eprintln!("wrote BENCH_stream.json");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// The process's peak resident set in bytes, from Linux's `VmHWM`
+/// (kilobytes in `/proc/self/status`); `0` where that is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| {
+            let rest = line.strip_prefix("VmHWM:")?;
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            Some(kb * 1024)
+        })
+        .unwrap_or(0)
+}

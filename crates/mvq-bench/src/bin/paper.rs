@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! paper <experiment>... [--quick]
-//! paper compress [--algo <name>,...] [--kernel <strategy>] [--cache-dir <dir>] ...
+//! paper compress [--algo <name>,...] [--kernel <strategy>] [--cache-dir <dir>]
+//!                [--stream] ...
 //! paper serve    [--addr <host:port>] [--workers <n>] [--cache-dir <dir>] ...
 //! paper client   [--addr <host:port>] [--algo <name>,...] [--deadline-ms <ms>] ...
 //!
@@ -16,10 +17,11 @@
 //! Algorithm experiments train the lite model zoo on synthetic data;
 //! run them with `--release` (and optionally `--quick` for a smoke pass).
 //! `paper compress` rides the ticket-based `CompressionService` — see
-//! `mvq_bench::cli` for the flag reference. `paper serve` puts that
-//! service on a TCP listener (graceful drain on stdin close) and
-//! `paper client` drives one over a sustained connection — see
-//! `mvq_bench::net_cli`.
+//! `mvq_bench::cli` for the flag reference (`--stream` submits the whole
+//! model as one bounded-memory streaming job per algorithm). `paper
+//! serve` puts that service on a TCP listener (graceful drain on stdin
+//! close) and `paper client` drives one over a sustained connection —
+//! see `mvq_bench::net_cli`.
 
 use std::process::ExitCode;
 
@@ -74,7 +76,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: paper <experiment>... [--quick]\n\
              \x20      paper compress [--algo <name>,...] [--kernel <strategy>] \
-             [--cache-dir <dir>] ...\n\
+             [--cache-dir <dir>] [--stream] ...\n\
              \x20      paper serve [--addr <host:port>] [--workers <n>] [--cache-dir <dir>] ...\n\
              \x20      paper client [--addr <host:port>] [--algo <name>,...] \
              [--deadline-ms <ms>] ...\n\

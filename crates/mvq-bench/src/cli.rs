@@ -6,6 +6,7 @@
 //!                [--arch tiny|resnet18] [--k <K>] [--seed <SEED>]
 //!                [--workers <N>] [--cache-dir <DIR>]
 //!                [--memory-budget <BYTES>] [--disk-budget <BYTES>]
+//!                [--stream]
 //! ```
 //!
 //! Builds the requested lite model, submits one [`CompressionRequest`]
@@ -15,19 +16,29 @@
 //! the tickets, and prints a per-layer outcome table plus cache stats.
 //! Job failures are printed per job and do not stop the run — the exit
 //! code reports whether every job succeeded.
+//!
+//! With `--stream` the whole model is submitted as **one job per
+//! algorithm** ([`ModelCompressionRequest`]): the convs stream through
+//! the bounded-memory pipeline, each finished layer spilling to the
+//! service's cache as its own blob, with live per-layer progress printed
+//! from [`Ticket::progress`] while the job runs. The streamed result is
+//! bit-identical to the per-conv in-memory path.
 
 use std::process::ExitCode;
 
 use mvq_core::pipeline::{canonical_name, PipelineSpec};
 use mvq_core::KernelStrategy;
 use mvq_nn::models::Arch;
-use mvq_serve::{CachePolicy, CompressionRequest, CompressionService, Ticket};
+use mvq_serve::{
+    CachePolicy, CompressionRequest, CompressionService, ModelCompressionRequest, Ticket,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const USAGE: &str = "usage: paper compress [--algo <name>[,<name>...]] [--kernel <strategy>] \
                      [--arch tiny|resnet18] [--k <K>] [--seed <SEED>] [--workers <N>] \
-                     [--cache-dir <DIR>] [--memory-budget <BYTES>] [--disk-budget <BYTES>]";
+                     [--cache-dir <DIR>] [--memory-budget <BYTES>] [--disk-budget <BYTES>] \
+                     [--stream]";
 
 #[derive(Debug)]
 struct CompressArgs {
@@ -40,6 +51,7 @@ struct CompressArgs {
     cache_dir: Option<String>,
     memory_budget: Option<u64>,
     disk_budget: Option<u64>,
+    stream: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<CompressArgs, String> {
@@ -53,6 +65,7 @@ fn parse_args(args: &[String]) -> Result<CompressArgs, String> {
         cache_dir: None,
         memory_budget: None,
         disk_budget: None,
+        stream: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -82,6 +95,7 @@ fn parse_args(args: &[String]) -> Result<CompressArgs, String> {
                 );
             }
             "--cache-dir" => parsed.cache_dir = Some(value("--cache-dir")?.to_string()),
+            "--stream" => parsed.stream = true,
             "--memory-budget" => {
                 parsed.memory_budget = Some(
                     value("--memory-budget")?
@@ -171,6 +185,16 @@ pub fn run_compress(args: &[String]) -> ExitCode {
         }
     };
 
+    if parsed.stream {
+        let failures = run_stream_jobs(&service, &parsed.algos, &model, &spec, parsed.seed);
+        print_cache_stats(&service);
+        if failures > 0 {
+            eprintln!("{failures} model job(s) failed");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
     // one request per compressible conv × algorithm, all in flight at
     // once; per-job errors are reported without aborting the rest
     let mut tickets: Vec<Ticket> = Vec::new();
@@ -222,6 +246,95 @@ pub fn run_compress(args: &[String]) -> ExitCode {
             }
         }
     }
+    print_cache_stats(&service);
+    if skipped > 0 {
+        println!("skipped {skipped} conv(s) not groupable at d={}", spec.d);
+    }
+    if failures > 0 {
+        eprintln!("{failures} job(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Submits the whole model as one streaming job per algorithm, printing
+/// live per-layer progress from the ticket while each job runs. Returns
+/// the failure count.
+fn run_stream_jobs(
+    service: &CompressionService,
+    algos: &[String],
+    model: &mvq_nn::Sequential,
+    spec: &PipelineSpec,
+    seed: Option<u64>,
+) -> usize {
+    println!(
+        "{:<18} {:>7} {:>8} {:>9} {:>7}",
+        "model job", "layers", "skipped", "source", "status"
+    );
+    let mut failures = 0usize;
+    for algo in algos {
+        let name = format!("model/{algo}");
+        let mut request = ModelCompressionRequest::builder(&name, model.clone(), algo.as_str())
+            .spec(spec.clone());
+        if let Some(seed) = seed {
+            request = request.seed(seed);
+        }
+        let request = match request.build() {
+            Ok(request) => request,
+            Err(e) => {
+                eprintln!("invalid model request {name}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let mut ticket = service.submit_model(request);
+        // live progress on stderr; the final table row goes to stdout
+        let mut last_done = 0usize;
+        loop {
+            if ticket.try_poll().is_some() {
+                break;
+            }
+            if let Some(p) = ticket.progress() {
+                if p.layers_total > 0 && p.layers_done > last_done {
+                    last_done = p.layers_done;
+                    eprintln!("  {name}: {}/{} layers", p.layers_done, p.layers_total);
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        match ticket.wait() {
+            Ok(outcome) => {
+                let source = if outcome.from_cache { "cache" } else { "fresh" };
+                match outcome.model_artifacts() {
+                    Ok(arts) => println!(
+                        "{:<18} {:>7} {:>8} {:>9} {:>7}",
+                        outcome.name,
+                        arts.layers.len(),
+                        arts.skipped.len(),
+                        source,
+                        "ok"
+                    ),
+                    Err(e) => {
+                        failures += 1;
+                        println!(
+                            "{:<18} {:>7} {:>8} {:>9} {:>7}",
+                            outcome.name, "-", "-", source, "failed"
+                        );
+                        eprintln!("  {e}");
+                    }
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{:<18} {:>7} {:>8} {:>9} {:>7}", e.name(), "-", "-", "-", "failed");
+                eprintln!("  {e}");
+            }
+        }
+    }
+    failures
+}
+
+fn print_cache_stats(service: &CompressionService) {
     let stats = service.cache_stats();
     println!(
         "\ncache: {} hits, {} misses, {} insertions, {} mem blobs ({} B), {} disk blobs ({} B), \
@@ -236,14 +349,6 @@ pub fn run_compress(args: &[String]) -> ExitCode {
         stats.memory_evictions,
         stats.disk_evictions,
     );
-    if skipped > 0 {
-        println!("skipped {skipped} conv(s) not groupable at d={}", spec.d);
-    }
-    if failures > 0 {
-        eprintln!("{failures} job(s) failed");
-        return ExitCode::FAILURE;
-    }
-    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -309,5 +414,14 @@ mod tests {
         assert_eq!(parsed.arch, "tiny");
         assert!(parsed.kernel.is_none());
         assert!(parsed.cache_dir.is_none());
+        assert!(!parsed.stream, "streaming is opt-in");
+    }
+
+    #[test]
+    fn stream_flag_parses_and_composes() {
+        let parsed = parse_args(&strs(&["--stream", "--algo", "mvq,pvq", "--seed", "7"])).unwrap();
+        assert!(parsed.stream);
+        assert_eq!(parsed.algos, vec!["mvq", "pvq"]);
+        assert_eq!(parsed.seed, Some(7));
     }
 }

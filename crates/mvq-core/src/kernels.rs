@@ -478,19 +478,32 @@ pub(crate) fn masked_sse_blocked(
     centers: &Tensor,
     assign: &[u32],
 ) -> f32 {
+    let mut sse = 0.0f64;
+    masked_sse_blocked_acc(data, plan, centers, assign, &mut sse);
+    sse as f32
+}
+
+/// [`masked_sse_blocked`]'s loop folding into a caller-owned f64: the
+/// chunked crosslayer path threads one accumulator across per-layer
+/// chunks so the total is 0 ULP from a run over their concatenation.
+pub(crate) fn masked_sse_blocked_acc(
+    data: &Tensor,
+    plan: &MaskedDistancePlan,
+    centers: &Tensor,
+    assign: &[u32],
+    sse: &mut f64,
+) {
     let ng = data.dims()[0];
     let d = data.dims()[1];
-    let mut sse = 0.0f64;
     for j in 0..ng {
         let row = data.row(j);
         let mm = plan.multiplier_row(j);
         let c = centers.row(assign[j] as usize);
         for t in 0..d {
             let e = row[t] - c[t] * mm[t];
-            sse += (e * e) as f64;
+            *sse += (e * e) as f64;
         }
     }
-    sse as f32
 }
 
 // ---------------------------------------------------------------------

@@ -60,6 +60,21 @@
 //! compression service on top. Bump [`store::FORMAT_VERSION`] on any
 //! layout change and keep a decode test for the old version.
 //!
+//! ## Streaming model compression
+//!
+//! [`stream`] compresses whole models without materializing them:
+//! [`stream_compress`] pulls layers one at a time from a [`LayerStream`]
+//! into a bounded window ([`StreamConfig`]: max in-flight layers ×
+//! bytes), compresses them on worker threads through any registry
+//! [`Compressor`], and spills each finished layer to the cache as its
+//! own blob under [`store::CacheKey::layer_key`], with a
+//! [`store::ModelIndex`] stored under the model key.
+//! [`load_streamed_model`] reassembles the [`ModelArtifacts`], which are
+//! **bit-identical** to the in-memory
+//! [`Compressor::compress_model_artifacts`] path for every registry
+//! algorithm — the in-memory path is the streaming path's oracle.
+//! Per-layer progress is observable through a [`ProgressHandle`].
+//!
 //! ## Quick example
 //!
 //! ```
@@ -103,6 +118,7 @@ mod model_compress;
 pub mod pipeline;
 mod pruning;
 pub mod store;
+pub mod stream;
 
 pub use codebook::{Assignments, Codebook};
 pub use compress::{CompressedMatrix, MvqCompressor, MvqConfig};
@@ -116,7 +132,10 @@ pub use kernels::{
 pub use kmeans::{kmeans, KmeansConfig, KmeansResult};
 pub use mask::NmMask;
 pub use mask_lut::MaskLut;
-pub use masked_kmeans::{masked_assign_naive, masked_kmeans, masked_kmeans_minibatch, masked_sse};
+pub use masked_kmeans::{
+    masked_assign_naive, masked_kmeans, masked_kmeans_minibatch, masked_kmeans_minibatch_chunked,
+    masked_sse,
+};
 pub use metrics::{mvq_compression_ratio, vq_compression_ratio, StorageBreakdown};
 pub use mixed_nm::{search_mixed_nm, LayerPattern, MixedNmPlan};
 pub use model_compress::{
@@ -127,3 +146,8 @@ pub use pruning::{
     prune_matrix_nm, prune_model, sparse_finetune, PruneMethod, SparseFinetuneConfig,
 };
 pub use store::{weight_hash, ArtifactCache, CacheBudget, CacheKey, CacheStats, Persist};
+pub use stream::{
+    load_streamed_model, model_cache_key, model_weight_hash, stream_compress,
+    stream_compress_model, LayerMeta, LayerStream, ModelLayerStream, Progress, ProgressHandle,
+    StreamConfig, StreamReport,
+};

@@ -208,6 +208,171 @@ fn minibatch_impl<R: Rng>(
     })
 }
 
+/// Minibatch masked k-means over per-layer `(pruned, mask)` chunks —
+/// the crosslayer scope's streaming form. **Bit-identical** to
+/// [`masked_kmeans_minibatch`] over the chunks' concatenation, without
+/// ever materializing the concatenated matrix or mask: seeding and batch
+/// sampling address rows through a chunk map, each chunk keeps its own
+/// [`MaskedDistancePlan`] (plans are row-local, so per-chunk rows equal
+/// the concatenation's), and the final SSE threads a single f64
+/// accumulator across chunks in row order.
+///
+/// `batch_size = None` mirrors the [`masked_kmeans`] strategy dispatch:
+/// `k` is clamped to the live-row count and the batch is
+/// [`default_minibatch_size`]. `Some(b)` mirrors
+/// [`masked_kmeans_minibatch`]'s strict `k` validation.
+///
+/// Returns assignments over the **concatenated** row space (chunk 0's
+/// rows first), so callers slice per chunk exactly as they would after a
+/// monolithic run.
+///
+/// # Errors
+///
+/// Returns [`MvqError::InvalidConfig`] when chunks are empty or disagree
+/// in `d`/N:M, every subvector is zero, `batch_size == 0`, or (with
+/// `Some`) `cfg.k` exceeds the live-row count.
+pub fn masked_kmeans_minibatch_chunked<R: Rng>(
+    chunks: &[(&Tensor, &NmMask)],
+    cfg: &KmeansConfig,
+    batch_size: Option<usize>,
+    rng: &mut R,
+) -> Result<KmeansResult, MvqError> {
+    if chunks.is_empty() {
+        return Err(MvqError::InvalidConfig("chunked minibatch needs at least one chunk".into()));
+    }
+    if cfg.k == 0 {
+        return Err(MvqError::InvalidConfig("k must be positive".into()));
+    }
+    let (d, keep_n, m) = {
+        let (_, mask0) = chunks[0];
+        (mask0.d(), mask0.keep_n(), mask0.m())
+    };
+    let mut map: Vec<(u32, u32)> = Vec::new();
+    let mut total_ng = 0usize;
+    for (c, (data, mask)) in chunks.iter().enumerate() {
+        if data.rank() != 2 || data.dims()[1] != d {
+            return Err(MvqError::InvalidConfig(format!(
+                "chunk {c} is {:?}, expected [NG, {d}]",
+                data.dims()
+            )));
+        }
+        let ng = data.dims()[0];
+        if mask.ng() != ng || mask.d() != d || mask.keep_n() != keep_n || mask.m() != m {
+            return Err(MvqError::InvalidConfig(format!(
+                "chunk {c} mask [{}, {}] ({}:{}) does not match its data [{ng}, {d}] ({keep_n}:{m})",
+                mask.ng(),
+                mask.d(),
+                mask.keep_n(),
+                mask.m()
+            )));
+        }
+        for r in 0..ng {
+            if data.row(r).iter().any(|&x| x != 0.0) {
+                map.push((c as u32, r as u32));
+            }
+        }
+        total_ng += ng;
+    }
+    if map.is_empty() {
+        return Err(MvqError::InvalidConfig("all subvectors are zero; nothing to cluster".into()));
+    }
+    let (k, batch) = match batch_size {
+        None => {
+            let k = cfg.k.min(map.len());
+            (k, default_minibatch_size(map.len(), k))
+        }
+        Some(b) => {
+            if b == 0 {
+                return Err(MvqError::InvalidConfig("minibatch size must be positive".into()));
+            }
+            if cfg.k > map.len() {
+                return Err(MvqError::InvalidConfig(format!(
+                    "k = {} exceeds the {} live subvectors available to minibatch sampling",
+                    cfg.k,
+                    map.len()
+                )));
+            }
+            (cfg.k, b)
+        }
+    };
+    let row = |pos: usize| -> &[f32] {
+        let (c, r) = map[pos];
+        chunks[c as usize].0.row(r as usize)
+    };
+    // k-means++ over the live rows, replicating `kmeanspp_init` on the
+    // dense live-row copy draw for draw and op for op
+    let mut centers = Tensor::zeros(vec![k, d]);
+    let first = rng.gen_range(0..map.len());
+    centers.row_mut(0).copy_from_slice(row(first));
+    let mut best_d2 = vec![f32::INFINITY; map.len()];
+    for c in 1..k {
+        let prev = centers.row(c - 1).to_vec();
+        for (j, d2) in best_d2.iter_mut().enumerate() {
+            let v = crate::kmeans::sq_dist(row(j), &prev);
+            if v < *d2 {
+                *d2 = v;
+            }
+        }
+        let total: f64 = best_d2.iter().map(|&x| x as f64).sum();
+        let pick = if total <= 0.0 {
+            rng.gen_range(0..map.len())
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = map.len() - 1;
+            for (j, &x) in best_d2.iter().enumerate() {
+                target -= x as f64;
+                if target <= 0.0 {
+                    chosen = j;
+                    break;
+                }
+            }
+            chosen
+        };
+        centers.row_mut(c).copy_from_slice(row(pick));
+    }
+    let plans: Vec<MaskedDistancePlan> =
+        chunks.iter().map(|(_, mask)| MaskedDistancePlan::new(mask)).collect::<Result<_, _>>()?;
+    // Sculley updates over sampled live rows — the same draws and lane
+    // arithmetic as `minibatch_impl` over the concatenation
+    let mut counts = vec![0u64; k * d];
+    for _ in 0..cfg.max_iters {
+        for _ in 0..batch {
+            let pos = rng.gen_range(0..map.len());
+            let (ci, r) = map[pos];
+            let (data, mask) = chunks[ci as usize];
+            let r = r as usize;
+            let wrow = data.row(r);
+            let i = nearest_masked(wrow, &plans[ci as usize], r, &centers) as usize;
+            let mrow = mask.row(r);
+            let c = centers.row_mut(i);
+            for t in 0..d {
+                if mrow[t] {
+                    counts[i * d + t] += 1;
+                    c[t] += (wrow[t] - c[t]) / counts[i * d + t] as f32;
+                }
+            }
+        }
+    }
+    // full assignment chunk by chunk (the blocked kernel is row-local),
+    // SSE through one f64 across chunks in row order
+    let mut assign = vec![0u32; total_ng];
+    let mut sse = 0.0f64;
+    let mut offset = 0usize;
+    for (c, (data, _)) in chunks.iter().enumerate() {
+        let ng = data.dims()[0];
+        let slot = &mut assign[offset..offset + ng];
+        masked_assign_blocked_into(data, &plans[c], &centers, slot);
+        crate::kernels::masked_sse_blocked_acc(data, &plans[c], &centers, slot, &mut sse);
+        offset += ng;
+    }
+    Ok(KmeansResult {
+        codebook: Codebook::new(centers)?,
+        assignments: Assignments::new(assign, k)?,
+        sse: sse as f32,
+        iterations: cfg.max_iters,
+    })
+}
+
 /// Indices of subvectors with at least one nonzero lane.
 fn live_rows(data: &Tensor) -> Vec<usize> {
     (0..data.dims()[0]).filter(|&j| data.row(j).iter().any(|&x| x != 0.0)).collect()
@@ -565,6 +730,82 @@ mod tests {
             live_only.codebook.centers().data(),
             "dead subvectors leaked into the minibatch codebook"
         );
+    }
+
+    #[test]
+    fn chunked_single_chunk_is_bit_identical_to_monolithic() {
+        let (data, mask) = pruned_random(256, 16, 4, 16, 21);
+        let cfg = KmeansConfig::new(12);
+        let mono = masked_kmeans_minibatch(&data, &mask, &cfg, 64, &mut StdRng::seed_from_u64(22))
+            .unwrap();
+        let chunked = masked_kmeans_minibatch_chunked(
+            &[(&data, &mask)],
+            &cfg,
+            Some(64),
+            &mut StdRng::seed_from_u64(22),
+        )
+        .unwrap();
+        assert_eq!(mono.assignments.indices(), chunked.assignments.indices());
+        assert_eq!(mono.codebook.centers().data(), chunked.codebook.centers().data());
+        assert_eq!(mono.sse.to_bits(), chunked.sse.to_bits());
+        assert_eq!(mono.iterations, chunked.iterations);
+    }
+
+    #[test]
+    fn chunked_multi_chunk_matches_monolithic_on_the_concatenation() {
+        // Three uneven layer chunks, one with interleaved dead rows — the
+        // crosslayer shape. The chunked run must be bit-identical to the
+        // strategy-dispatched (k-clamping, auto-batch) run over the
+        // concatenation it never builds.
+        let parts = [
+            pruned_random(96, 16, 4, 16, 23),
+            pruned_random(160, 16, 4, 16, 24),
+            pruned_random(64, 16, 4, 16, 25),
+        ];
+        let mut data = Vec::new();
+        let mut bits = Vec::new();
+        let mut ng = 0usize;
+        for (t, m) in &parts {
+            data.extend_from_slice(t.data());
+            bits.extend_from_slice(m.bits());
+            ng += t.dims()[0];
+        }
+        // dead rows inside a chunk (not only whole-layer skips)
+        let (mut t2, m2) = (parts[1].0.clone(), &parts[1].1);
+        t2.row_mut(7).fill(0.0);
+        let mut data2 = data.clone();
+        let off = parts[0].0.dims()[0] * 16;
+        data2[off + 7 * 16..off + 8 * 16].fill(0.0);
+
+        let all = Tensor::from_vec(vec![ng, 16], data2).unwrap();
+        let all_mask = NmMask::from_bits(ng, 16, 4, 16, bits).unwrap();
+        let cfg = with_kernel(16, KernelStrategy::Minibatch);
+        let mono = masked_kmeans(&all, &all_mask, &cfg, &mut StdRng::seed_from_u64(26)).unwrap();
+        let chunks: Vec<(&Tensor, &NmMask)> =
+            vec![(&parts[0].0, &parts[0].1), (&t2, m2), (&parts[2].0, &parts[2].1)];
+        let chunked =
+            masked_kmeans_minibatch_chunked(&chunks, &cfg, None, &mut StdRng::seed_from_u64(26))
+                .unwrap();
+        assert_eq!(mono.assignments.indices(), chunked.assignments.indices());
+        assert_eq!(mono.codebook.centers().data(), chunked.codebook.centers().data());
+        assert_eq!(mono.sse.to_bits(), chunked.sse.to_bits());
+    }
+
+    #[test]
+    fn chunked_rejects_mismatched_chunks() {
+        let (a, am) = pruned_random(32, 16, 4, 16, 27);
+        let (b, bm) = pruned_random(32, 8, 2, 4, 28);
+        let cfg = KmeansConfig::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        // disagreeing d / N:M across chunks
+        assert!(
+            masked_kmeans_minibatch_chunked(&[(&a, &am), (&b, &bm)], &cfg, None, &mut rng).is_err()
+        );
+        // no chunks at all
+        assert!(masked_kmeans_minibatch_chunked(&[], &cfg, None, &mut rng).is_err());
+        // all-dead chunks
+        let zeros = Tensor::zeros(vec![32, 16]);
+        assert!(masked_kmeans_minibatch_chunked(&[(&zeros, &am)], &cfg, None, &mut rng).is_err());
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::compress::{MvqCompressor, MvqConfig};
 use crate::error::MvqError;
 use crate::grouping::GroupingStrategy;
 use crate::mask::NmMask;
-use crate::masked_kmeans::{masked_kmeans, masked_sse};
+use crate::masked_kmeans::{masked_kmeans, masked_kmeans_minibatch_chunked, masked_sse};
 use crate::metrics::{mvq_compression_ratio, StorageBreakdown};
 use crate::pruning::prune_matrix_nm;
 
@@ -352,18 +352,27 @@ impl ModelCompressor {
         if eligible.is_empty() {
             return Ok((Vec::new(), Vec::new(), skipped));
         }
-        // concatenate all pruned matrices and masks
-        let d = cfg.d;
-        let total_ng: usize = eligible.iter().map(|(_, p, ..)| p.dims()[0]).sum();
-        let mut data = Vec::with_capacity(total_ng * d);
-        let mut bits = Vec::with_capacity(total_ng * d);
-        for (_, pruned, mask, _) in &eligible {
-            data.extend_from_slice(pruned.data());
-            bits.extend_from_slice(mask.bits());
-        }
-        let all = Tensor::from_vec(vec![total_ng, d], data)?;
-        let all_mask = NmMask::from_bits(total_ng, d, cfg.keep_n, cfg.m, bits)?;
-        let mut res = masked_kmeans(&all, &all_mask, &cfg.kmeans(), rng)?;
+        let mut res = if cfg.kernel == crate::kernels::KernelStrategy::Minibatch {
+            // minibatch samples straight from the per-layer chunks — no
+            // concatenated matrix/mask is ever materialized (bit-identical
+            // to the monolithic run; see `masked_kmeans_minibatch_chunked`)
+            let chunks: Vec<(&Tensor, &NmMask)> =
+                eligible.iter().map(|(_, pruned, mask, _)| (pruned, mask)).collect();
+            masked_kmeans_minibatch_chunked(&chunks, &cfg.kmeans(), None, rng)?
+        } else {
+            // full-batch kernels need every row per iteration: concatenate
+            let d = cfg.d;
+            let total_ng: usize = eligible.iter().map(|(_, p, ..)| p.dims()[0]).sum();
+            let mut data = Vec::with_capacity(total_ng * d);
+            let mut bits = Vec::with_capacity(total_ng * d);
+            for (_, pruned, mask, _) in &eligible {
+                data.extend_from_slice(pruned.data());
+                bits.extend_from_slice(mask.bits());
+            }
+            let all = Tensor::from_vec(vec![total_ng, d], data)?;
+            let all_mask = NmMask::from_bits(total_ng, d, cfg.keep_n, cfg.m, bits)?;
+            masked_kmeans(&all, &all_mask, &cfg.kmeans(), rng)?
+        };
         if let Some(b) = cfg.codebook_bits {
             res.codebook.quantize(b)?;
         }

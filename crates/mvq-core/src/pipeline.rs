@@ -226,6 +226,24 @@ impl ModelArtifacts {
         self.storage().ratio()
     }
 
+    /// Content fingerprint: FNV-1a over the canonical durable encoding
+    /// ([`crate::store::Persist::to_bytes`]), so two artifact sets agree
+    /// iff their serialized bytes agree. This is the equality the
+    /// streaming ↔ in-memory property suite pins — per-layer blobs may be
+    /// spilled and reassembled in any order, but the assembled model must
+    /// fingerprint identically to the monolithic path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures from
+    /// [`crate::store::Persist::to_bytes`].
+    pub fn fingerprint(&self) -> Result<u64, MvqError> {
+        let mut h = crate::store::Fnv1a::new();
+        h.update(b"mvq.modelartifacts.v1");
+        h.update(&crate::store::Persist::to_bytes(self)?);
+        Ok(h.finish())
+    }
+
     /// Sum of per-layer SSEs for algorithms that record one.
     pub fn total_sse(&self) -> Option<f64> {
         let mut total = 0.0f64;
@@ -286,6 +304,16 @@ pub trait Compressor: Send + Sync {
 
     /// One-line human-readable hyperparameter summary.
     fn config_summary(&self) -> String;
+
+    /// Whether the model path skips depthwise convs. Codebook methods do
+    /// (their grouping cannot use the degenerate shapes); scalar
+    /// quantizers override to `false`. Must agree with the algorithm's
+    /// [`Compressor::compress_model_artifacts`] behavior — the streaming
+    /// pipeline (`crate::stream`) queries this to replicate the in-memory
+    /// path's skip decisions bit-identically.
+    fn skips_depthwise(&self) -> bool {
+        true
+    }
 
     /// Compresses a single weight tensor (rank 2 or 4).
     ///
@@ -429,12 +457,21 @@ pub fn compress_model_with<C: Compressor + ?Sized>(
         .map(|(conv_index, artifact)| LayerArtifact { conv_index, artifact })
         .collect();
     if layers.is_empty() {
-        return Err(MvqError::InvalidConfig(format!(
-            "model has no conv layer compressible by `{}`",
-            comp.name()
-        )));
+        return Err(no_compressible_layer_error(comp.name(), &skipped));
     }
     Ok(ModelArtifacts { algorithm: comp.name(), layers, skipped })
+}
+
+/// The "nothing compressed" failure, with the skipped conv indices in the
+/// message: an all-depthwise (or all-incompatible) model failing a service
+/// job must be diagnosable from the job error alone, without rerunning the
+/// model locally.
+pub(crate) fn no_compressible_layer_error(algorithm: &str, skipped: &[usize]) -> MvqError {
+    MvqError::InvalidConfig(format!(
+        "model has no conv layer compressible by `{algorithm}` \
+         ({} conv(s) skipped as depthwise/incompatible/all-zero: {skipped:?})",
+        skipped.len()
+    ))
 }
 
 impl Compressor for MvqCompressor {
@@ -773,6 +810,10 @@ impl Compressor for Pvq {
 
     // Scalar quantization has no shape constraints, so depthwise convs are
     // quantized too (matching the historical `pvq_quantize_model`).
+    fn skips_depthwise(&self) -> bool {
+        false
+    }
+
     fn compress_model_artifacts(
         &self,
         model: &Sequential,
@@ -1121,6 +1162,34 @@ mod tests {
         let arts2 = pvq.compress_model(&mut model2, &mut rng).unwrap();
         assert!(arts2.skipped.is_empty(), "pvq quantizes every conv");
         assert!(arts2.layers.len() > arts.layers.len());
+    }
+
+    #[test]
+    fn no_compressible_layer_error_reports_the_skipped_indices() {
+        // satellite regression (diagnosability): an all-depthwise model
+        // used to fail with a bare "no conv layer compressible", leaving a
+        // service log with no way to tell *why* every layer was rejected
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = mvq_nn::models::mobilenet_v1_lite(4, &mut rng);
+        // zero the non-depthwise convs so every layer is skipped (dead or
+        // depthwise) and nothing compresses
+        model.visit_convs_mut(&mut |conv| {
+            if !conv.is_depthwise() {
+                for v in conv.weight.value.data_mut() {
+                    *v = 0.0;
+                }
+            }
+        });
+        let spec = PipelineSpec { k: 8, keep_n: 8, ..PipelineSpec::default() };
+        let mvq = by_name("mvq", &spec).unwrap();
+        let err = mvq.compress_model_artifacts(&model, &mut rng).unwrap_err();
+        let msg = err.to_string();
+        let n = model.num_convs();
+        assert!(
+            msg.contains(&format!("{n} conv(s) skipped")),
+            "skipped count missing from `{msg}`"
+        );
+        assert!(msg.contains("0,"), "skipped index list missing from `{msg}`");
     }
 
     #[test]

@@ -521,6 +521,10 @@ pub enum BlobKind {
     WireRequest = 4,
     /// An `mvq-net` wire response header.
     WireResponse = 5,
+    /// A streamed model's [`ModelIndex`]: per-layer blob references
+    /// instead of inline artifacts (the layer blobs themselves are
+    /// [`BlobKind::Layer`] under derived keys).
+    ModelIndex = 6,
 }
 
 impl BlobKind {
@@ -532,6 +536,7 @@ impl BlobKind {
             3 => Ok(BlobKind::Model),
             4 => Ok(BlobKind::WireRequest),
             5 => Ok(BlobKind::WireResponse),
+            6 => Ok(BlobKind::ModelIndex),
             other => Err(MvqError::Codec(format!("unknown blob kind tag {other}"))),
         }
     }
@@ -755,6 +760,95 @@ impl Persist for ModelArtifacts {
     }
 }
 
+/// The durable index a streamed model compression leaves under its model
+/// key ([`BlobKind::ModelIndex`]): the identity fields of the model's
+/// [`super::CacheKey`] plus the conv indices whose layers were compressed
+/// or skipped. The per-layer artifacts are **not** inline — each lives in
+/// its own [`BlobKind::Layer`] blob under the derived
+/// [`super::CacheKey::layer_key`], so a model's working set on disk and
+/// in memory is bounded per layer, not per model.
+///
+/// The key fields are stored redundantly (the loader already knows the
+/// key it fetched by) so an index blob is self-describing and the loader
+/// can verify it answers for the key it was addressed under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelIndex {
+    /// Canonical registry algorithm name.
+    pub algorithm: &'static str,
+    /// [`super::CacheKey::weight_hash`] of the model key (the streamed
+    /// model hash, not a single tensor's).
+    pub weight_hash: u64,
+    /// [`super::CacheKey::spec_fingerprint`] of the model key.
+    pub spec_fingerprint: u64,
+    /// [`super::CacheKey::kernel`] of the model key.
+    pub kernel: crate::kernels::KernelStrategy,
+    /// [`super::CacheKey::seed`] of the model key.
+    pub seed: u64,
+    /// Conv indices with a compressed layer blob, ascending.
+    pub layers: Vec<usize>,
+    /// Conv indices skipped (depthwise / incompatible / all-zero),
+    /// ascending.
+    pub skipped: Vec<usize>,
+}
+
+impl Persist for ModelIndex {
+    const KIND: BlobKind = BlobKind::ModelIndex;
+
+    fn to_bytes(&self) -> Result<Vec<u8>, MvqError> {
+        let mut payload = Vec::new();
+        put_str(&mut payload, self.algorithm)?;
+        put_u64(&mut payload, self.weight_hash);
+        put_u64(&mut payload, self.spec_fingerprint);
+        // the kernel travels by name (the append-only alternative to a
+        // second numeric kernel-tag space in this codec)
+        put_str(&mut payload, self.kernel.name())?;
+        put_u64(&mut payload, self.seed);
+        put_u64(&mut payload, self.layers.len() as u64);
+        for &idx in &self.layers {
+            put_u64(&mut payload, idx as u64);
+        }
+        put_u64(&mut payload, self.skipped.len() as u64);
+        for &idx in &self.skipped {
+            put_u64(&mut payload, idx as u64);
+        }
+        Ok(frame(Self::KIND, payload))
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, MvqError> {
+        decode_payload(unframe(Self::KIND, bytes)?, |r| {
+            let algo = r.str()?;
+            let algorithm = canonical_name(&algo)
+                .ok_or_else(|| MvqError::Codec(format!("unknown algorithm `{algo}`")))?;
+            let weight_hash = r.u64()?;
+            let spec_fingerprint = r.u64()?;
+            let kernel_name = r.str()?;
+            let kernel = kernel_name
+                .parse::<crate::kernels::KernelStrategy>()
+                .map_err(|e| MvqError::Codec(format!("model index kernel: {e}")))?;
+            let seed = r.u64()?;
+            let n_layers = r.usize()?;
+            let mut layers = Vec::with_capacity(n_layers.min(1 << 16));
+            for _ in 0..n_layers {
+                layers.push(r.usize()?);
+            }
+            let n_skipped = r.usize()?;
+            let mut skipped = Vec::with_capacity(n_skipped.min(1 << 16));
+            for _ in 0..n_skipped {
+                skipped.push(r.usize()?);
+            }
+            Ok(ModelIndex {
+                algorithm,
+                weight_hash,
+                spec_fingerprint,
+                kernel,
+                seed,
+                layers,
+                skipped,
+            })
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -831,6 +925,26 @@ mod tests {
         };
         let err = q.to_bytes().unwrap_err();
         assert!(matches!(&err, MvqError::Codec(msg) if msg.contains("rank")), "{err}");
+    }
+
+    #[test]
+    fn model_index_round_trips_under_its_own_kind() {
+        let index = ModelIndex {
+            algorithm: "mvq",
+            weight_hash: 0xdead_beef_cafe_f00d,
+            spec_fingerprint: 42,
+            kernel: crate::kernels::KernelStrategy::Minibatch,
+            seed: 7,
+            layers: vec![0, 2, 5],
+            skipped: vec![1, 3],
+        };
+        let bytes = index.to_bytes().unwrap();
+        assert_eq!(bytes[6], BlobKind::ModelIndex as u8);
+        assert!(validate_frame(BlobKind::ModelIndex, &bytes).is_ok());
+        assert_eq!(ModelIndex::from_bytes(&bytes).unwrap(), index);
+        // a model index must never answer an artifact (or layer) lookup
+        assert!(validate_frame(BlobKind::Artifact, &bytes).is_err(), "wrong kind accepted");
+        assert!(validate_frame(BlobKind::Layer, &bytes).is_err(), "wrong kind accepted");
     }
 
     #[test]

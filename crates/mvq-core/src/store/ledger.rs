@@ -91,15 +91,45 @@ pub(super) fn quarantine_blob(dir: &Path, name: &str) -> Result<(), MvqError> {
     }
 }
 
+/// What [`scan_dir`] found: the blob list in replay order, plus how many
+/// entries needed the mtime fallback (surfaced in
+/// [`super::CacheStats::mtime_fallbacks`]).
+pub(super) struct ScanReport {
+    /// `(name, len)` pairs sorted least recently written first
+    /// (modification time, file name as a deterministic tie-break), the
+    /// order the restart admission replays them in.
+    pub(super) blobs: Vec<(String, u64)>,
+    /// Blobs whose mtime could not be read and were ordered as if written
+    /// at scan time instead.
+    pub(super) mtime_fallbacks: u64,
+}
+
 /// Scans `dir` for blob files, deleting stranded `.mvqa.tmp` files from
 /// interrupted puts (unaddressable, and they would leak bytes outside
 /// the budget) and skipping foreign content — including `.corrupt`
-/// quarantined blobs. Returns `(name, len)` pairs sorted least recently
-/// written first (modification time, file name as a deterministic
-/// tie-break), the order the restart admission replays them in.
-pub(super) fn scan_dir(dir: &Path) -> Result<Vec<(String, u64)>, MvqError> {
+/// quarantined blobs.
+pub(super) fn scan_dir(dir: &Path) -> Result<ScanReport, MvqError> {
+    scan_dir_with(dir, |_, meta| meta.modified())
+}
+
+/// [`scan_dir`] with the per-blob mtime read injectable, so tests can
+/// simulate filesystems whose timestamps are unreadable.
+///
+/// A blob whose mtime cannot be read is ordered at the scan-time `now` —
+/// the *newest*, most conservative position. The old
+/// `unwrap_or(UNIX_EPOCH)` fallback put it at the globally stalest
+/// position instead, so restart pruning under a disk budget evicted
+/// exactly the blobs it knew least about, regardless of their real age.
+/// One `now` is captured for the whole scan (not per blob) so fallback
+/// entries still order deterministically among themselves by name.
+pub(super) fn scan_dir_with(
+    dir: &Path,
+    mtime: impl Fn(&str, &std::fs::Metadata) -> std::io::Result<std::time::SystemTime>,
+) -> Result<ScanReport, MvqError> {
     let entries = std::fs::read_dir(dir)
         .map_err(|e| MvqError::Codec(format!("cannot scan cache dir {}: {e}", dir.display())))?;
+    let now = std::time::SystemTime::now();
+    let mut fallbacks = 0u64;
     let mut found: Vec<(String, u64, std::time::SystemTime)> = Vec::new();
     for entry in entries {
         let entry = entry.map_err(|e| {
@@ -133,11 +163,17 @@ pub(super) fn scan_dir(dir: &Path) -> Result<Vec<(String, u64)>, MvqError> {
         if !meta.is_file() {
             continue;
         }
-        let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+        let mtime = mtime(&name, &meta).unwrap_or_else(|_| {
+            fallbacks += 1;
+            now
+        });
         found.push((name, meta.len(), mtime));
     }
     found.sort_by(|a, b| (a.2, &a.0).cmp(&(b.2, &b.0)));
-    Ok(found.into_iter().map(|(name, len, _)| (name, len)).collect())
+    Ok(ScanReport {
+        blobs: found.into_iter().map(|(name, len, _)| (name, len)).collect(),
+        mtime_fallbacks: fallbacks,
+    })
 }
 
 #[cfg(test)]
@@ -170,7 +206,8 @@ mod tests {
         // the restart scan ledgers the published blob at its full length
         // and deletes the stranded tmp file
         let scanned = scan_dir(&dir).unwrap();
-        assert_eq!(scanned, vec![("key.mvqa".to_string(), payload.len() as u64)]);
+        assert_eq!(scanned.blobs, vec![("key.mvqa".to_string(), payload.len() as u64)]);
+        assert_eq!(scanned.mtime_fallbacks, 0, "healthy blobs need no mtime fallback");
         assert!(!dir.join("key.mvqa.1-0.mvqa.tmp").exists(), "tmp orphan survived");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -193,7 +230,64 @@ mod tests {
         assert_eq!(quarantined.len(), 2, "a quarantine clobbered its predecessor: {quarantined:?}");
         // neither is addressable or scanned back in
         assert_eq!(load_blob(&dir, "key.mvqa").unwrap(), None);
-        assert!(scan_dir(&dir).unwrap().is_empty(), "quarantined file was scanned back in");
+        assert!(scan_dir(&dir).unwrap().blobs.is_empty(), "quarantined file was scanned back in");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_mtime_orders_the_blob_newest_not_stalest() {
+        // regression (satellite bugfix): `modified().unwrap_or(UNIX_EPOCH)`
+        // made any blob with an unreadable mtime the globally *stalest*
+        // entry, so restart pruning under a disk budget evicted it first
+        // regardless of its real age. The fallback is now the scan-time
+        // `now` — the newest, most conservative position — and counted.
+        let dir = tmp_dir("mtimefail");
+        persist_blob(&dir, "aaa-old.mvqa", b"genuinely old").unwrap();
+        persist_blob(&dir, "bbb-unknowable.mvqa", b"mtime unreadable").unwrap();
+        persist_blob(&dir, "ccc-new.mvqa", b"genuinely new").unwrap();
+        // age the readable blobs so their order is unambiguous
+        let base = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000);
+        std::fs::File::open(dir.join("aaa-old.mvqa")).unwrap().set_modified(base).unwrap();
+        std::fs::File::open(dir.join("ccc-new.mvqa"))
+            .unwrap()
+            .set_modified(base + std::time::Duration::from_secs(60))
+            .unwrap();
+        let report = scan_dir_with(&dir, |name, meta| {
+            if name.starts_with("bbb") {
+                Err(std::io::Error::other("EIO: mtime unreadable"))
+            } else {
+                meta.modified()
+            }
+        })
+        .unwrap();
+        let names: Vec<&str> = report.blobs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["aaa-old.mvqa", "ccc-new.mvqa", "bbb-unknowable.mvqa"],
+            "the unknowable blob must sort newest (last to be pruned), not stalest"
+        );
+        assert_eq!(report.mtime_fallbacks, 1, "the fallback must be counted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn same_mtime_blobs_scan_in_name_order() {
+        // regression (satellite bugfix): under mtime ties (coarse-mtime
+        // filesystems make them common) the replay order — and therefore
+        // the restart-prune victim set — depended on directory iteration
+        // order; ties now break by blob name so two identical restarts
+        // prune identically
+        let dir = tmp_dir("mtimetie");
+        for name in ["zz.mvqa", "aa.mvqa", "mm.mvqa"] {
+            persist_blob(&dir, name, b"tied").unwrap();
+        }
+        let tied = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(2_000_000);
+        for name in ["zz.mvqa", "aa.mvqa", "mm.mvqa"] {
+            std::fs::File::open(dir.join(name)).unwrap().set_modified(tied).unwrap();
+        }
+        let names: Vec<String> =
+            scan_dir(&dir).unwrap().blobs.into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["aa.mvqa", "mm.mvqa", "zz.mvqa"]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -210,7 +304,7 @@ mod tests {
         std::fs::write(dir.join(evil), b"unaddressable").unwrap();
         let scanned = scan_dir(&dir).unwrap();
         assert_eq!(
-            scanned,
+            scanned.blobs,
             vec![("good.mvqa".to_string(), "addressable".len() as u64)],
             "non-UTF-8 entry was ledgered"
         );

@@ -70,7 +70,7 @@ mod shard;
 mod stats;
 
 pub use codec::{
-    frame_blob, unframe_blob, validate_frame, weight_hash, BlobKind, Fnv1a, Persist,
+    frame_blob, unframe_blob, validate_frame, weight_hash, BlobKind, Fnv1a, ModelIndex, Persist,
     FORMAT_VERSION, HEADER_LEN, MAGIC,
 };
 pub use stats::{CacheBudget, CacheStats};
@@ -134,6 +134,22 @@ impl CacheKey {
             kernel: spec.kernel,
             seed,
         })
+    }
+
+    /// The derived key one streamed layer's blob is stored under: the
+    /// model key with its weight hash replaced by a domain-separated hash
+    /// of `(model weight hash, conv_index)`. Purely derived — the loader
+    /// re-computes layer keys from the model key and the conv indices in
+    /// the [`ModelIndex`], so no key material needs to be stored per
+    /// layer — and collision-free against matrix-job keys (different
+    /// domain) and against other layers of the same model (the index is
+    /// folded in).
+    pub fn layer_key(&self, conv_index: usize) -> CacheKey {
+        let mut h = Fnv1a::new();
+        h.update(b"mvq.stream.layerkey.v1");
+        h.update_u64(self.weight_hash);
+        h.update_u64(conv_index as u64);
+        CacheKey { weight_hash: h.finish(), ..self.clone() }
     }
 
     /// Deterministic file name for the on-disk blob of this key.
@@ -332,6 +348,24 @@ impl ArtifactCache {
     /// ledger and disk (quarantined as `.corrupt`), so the *next* lookup
     /// misses cleanly.
     pub fn get_raw(&self, key: &CacheKey) -> Result<Option<Arc<[u8]>>, MvqError> {
+        self.get_raw_kind(key, BlobKind::Artifact)
+    }
+
+    /// [`ArtifactCache::get_raw`] for a non-default frame kind: the
+    /// streaming model pipeline stores per-layer blobs
+    /// ([`BlobKind::Layer`]) and the model index ([`BlobKind::ModelIndex`])
+    /// under derived keys, and a disk promotion must validate the frame
+    /// against the kind that was stored — a layer blob answering an
+    /// artifact lookup is corruption, not a hit.
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactCache::get_raw`].
+    pub fn get_raw_kind(
+        &self,
+        key: &CacheKey,
+        kind: BlobKind,
+    ) -> Result<Option<Arc<[u8]>>, MvqError> {
         let name = key.blob_name();
         let from_memory = {
             let tick = self.tick();
@@ -379,7 +413,7 @@ impl ArtifactCache {
         };
         let bytes: Arc<[u8]> = loaded.into();
         // checksum once at admission; hits hand these bytes out unchecked
-        if let Err(detail) = validate_frame(BlobKind::Artifact, &bytes) {
+        if let Err(detail) = validate_frame(kind, &bytes) {
             return Err(self.reject_corrupt(key, &name, &detail));
         }
         let tick = self.tick();
@@ -433,7 +467,23 @@ impl ArtifactCache {
     /// Returns [`MvqError::Codec`] when `bytes` is not a valid artifact
     /// frame, or on the same disk failures as [`ArtifactCache::put`].
     pub fn put_raw(&self, key: &CacheKey, bytes: Arc<[u8]>) -> Result<(), MvqError> {
-        validate_frame(BlobKind::Artifact, &bytes)?;
+        self.put_raw_kind(key, BlobKind::Artifact, bytes)
+    }
+
+    /// [`ArtifactCache::put_raw`] for a non-default frame kind — the
+    /// write half of [`ArtifactCache::get_raw_kind`]. The frame is
+    /// validated against `kind` once at this admission boundary.
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactCache::put_raw`].
+    pub fn put_raw_kind(
+        &self,
+        key: &CacheKey,
+        kind: BlobKind,
+        bytes: Arc<[u8]>,
+    ) -> Result<(), MvqError> {
+        validate_frame(kind, &bytes)?;
         self.insert_validated(key, bytes)
     }
 
@@ -759,7 +809,13 @@ impl ArtifactCache {
     /// blobs first, and an individually over-budget blob is removed.
     fn scan_disk(&self) -> Result<(), MvqError> {
         let Some(dir) = &self.dir else { return Ok(()) };
-        for (name, len) in ledger::scan_dir(dir)? {
+        let report = ledger::scan_dir(dir)?;
+        if report.mtime_fallbacks > 0 {
+            // per-shard counters merge on read, so any one shard may
+            // carry a scan-wide count; shard 0 always exists
+            self.shards[0].lock().stats.mtime_fallbacks += report.mtime_fallbacks;
+        }
+        for (name, len) in report.blobs {
             let tick = self.tick();
             if !self.admit_disk(&name, len, tick)? {
                 // larger than the whole disk budget: it can never be
@@ -906,6 +962,47 @@ mod tests {
         assert!(!dir.join("stranded.7-3.mvqa.tmp").exists(), "tmp orphan survived the scan");
         assert!(dir.join("notes.txt").exists(), "foreign file was deleted");
         assert_eq!(cache.disk_len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_prune_under_mtime_ties_is_deterministic_by_name() {
+        // satellite regression: with tied mtimes (coarse-mtime
+        // filesystems make ties common) the restart scan used to replay
+        // blobs in directory-iteration order, so the pruned set under a
+        // disk budget could differ between two identical restarts; ties
+        // now break by blob name, pinning the victim set
+        let dir = std::env::temp_dir().join(format!("mvq-store-tie-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = artifact("mvq");
+        let blob_len = a.to_bytes().unwrap().len() as u64;
+        let spec = PipelineSpec { k: 8, ..PipelineSpec::default() };
+        let keys: Vec<CacheKey> =
+            (0..4).map(|s| CacheKey::new("mvq", &weight(), &spec, s).unwrap()).collect();
+        {
+            let cache = ArtifactCache::with_dir(&dir).unwrap();
+            for key in &keys {
+                cache.put(key, &a).unwrap();
+            }
+        }
+        // force the tie: every blob carries the same mtime
+        let tied = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(3_000_000);
+        let mut names: Vec<String> = keys.iter().map(|k| k.blob_name()).collect();
+        for name in &names {
+            std::fs::File::open(dir.join(name)).unwrap().set_modified(tied).unwrap();
+        }
+        names.sort();
+        // room for exactly two blobs: the replay admits in name order and
+        // evicts LRU-first, so the two lexicographically-smallest names
+        // are pruned and the two largest survive — deterministically
+        let budget = CacheBudget::default().with_disk_bytes(2 * blob_len);
+        let cache = ArtifactCache::with_dir_and_budget(&dir, budget).unwrap();
+        assert_eq!(cache.disk_len(), 2);
+        assert!(!dir.join(&names[0]).exists(), "{} must be pruned", names[0]);
+        assert!(!dir.join(&names[1]).exists(), "{} must be pruned", names[1]);
+        assert!(dir.join(&names[2]).exists(), "{} must survive", names[2]);
+        assert!(dir.join(&names[3]).exists(), "{} must survive", names[3]);
+        assert_eq!(cache.stats().mtime_fallbacks, 0, "readable mtimes need no fallback");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

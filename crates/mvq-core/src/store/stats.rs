@@ -23,6 +23,10 @@ pub struct CacheStats {
     pub disk_evictions: u64,
     /// Lookups of a known-failing key answered by the negative cache.
     pub negative_hits: u64,
+    /// Restart-scan blobs whose mtime could not be read and were ordered
+    /// as if written at scan time (newest — the conservative fallback)
+    /// instead of stalest.
+    pub mtime_fallbacks: u64,
     /// Blobs resident in memory when the snapshot was taken.
     pub memory_len: usize,
     /// Blobs on disk when the snapshot was taken (disk-backed caches only).
@@ -47,6 +51,7 @@ impl CacheStats {
         self.memory_evictions += other.memory_evictions;
         self.disk_evictions += other.disk_evictions;
         self.negative_hits += other.negative_hits;
+        self.mtime_fallbacks += other.mtime_fallbacks;
     }
 }
 

@@ -21,6 +21,15 @@
 //! * [`CachePolicy`] — byte budgets (memory and disk) for the service's
 //!   [`ArtifactCache`](mvq_core::store::ArtifactCache), enforced by LRU
 //!   eviction that survives restarts.
+//! * [`CompressionService::submit_model`] — whole-model jobs as a
+//!   first-class request kind ([`ModelCompressionRequest`]): the model's
+//!   convs stream through `mvq_core`'s bounded-window pipeline
+//!   ([`mvq_core::stream_compress_model`]), each finished layer spilling
+//!   to the cache as its own blob, with per-layer [`Progress`] observable
+//!   on the ticket ([`Ticket::progress`]) while the job runs. Identical
+//!   in-flight model jobs dedupe and share one streaming run; the
+//!   streamed result is bit-identical to the in-memory
+//!   `compress_model_artifacts` path.
 //! * Deadlines and cancellation — a request may carry an absolute queue
 //!   deadline ([`CompressionRequestBuilder::deadline`]) and/or a shared
 //!   [`CancelToken`] ([`CompressionRequestBuilder::cancel_token`]); a
@@ -105,13 +114,20 @@ mod service;
 mod ticket;
 
 pub use batch::{BatchCompressionService, BatchReport, CompressionJob};
-pub use request::{CacheMode, CompressionRequest, CompressionRequestBuilder, Priority};
+pub use request::{
+    CacheMode, CompressionRequest, CompressionRequestBuilder, ModelCompressionRequest,
+    ModelCompressionRequestBuilder, Priority,
+};
 pub use service::{CachePolicy, CompressionService, ServiceBuilder, SubmitError};
 pub use ticket::{CancelKind, CancelToken, JobError, JobOutcome, JobResult, Ticket};
 
 /// Re-exported for convenience: requests are built around a spec, so
 /// service callers need the type constantly.
 pub use mvq_core::pipeline::PipelineSpec;
+
+/// Re-exported for convenience: model requests carry a streaming window,
+/// and their tickets report per-layer [`Progress`].
+pub use mvq_core::{Progress, StreamConfig};
 
 #[cfg(test)]
 mod tests {
@@ -363,6 +379,131 @@ mod tests {
             service.cache().get_raw(&expired_key).unwrap().is_none(),
             "the expired job ran anyway: its artifact reached the cache"
         );
+    }
+
+    /// Tentpole: a whole-model job streams through the service with
+    /// per-layer progress observable on the ticket while it runs, and its
+    /// assembled result is bit-identical to the in-memory oracle.
+    #[test]
+    fn model_job_streams_with_observable_progress() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let model = mvq_nn::models::mobilenet_v1_lite(4, &mut rng);
+        let mut convs = 0usize;
+        model.visit_convs(&mut |_| convs += 1);
+        let spec = PipelineSpec { k: 8, ..PipelineSpec::default() };
+
+        let service = CompressionService::builder().workers(1).build().unwrap();
+        let request = ModelCompressionRequest::builder("mobilenet", model.clone(), "mvq")
+            .spec(spec.clone())
+            .seed(11)
+            .stream(StreamConfig::default().with_workers(2))
+            .build()
+            .unwrap();
+        let mut ticket = service.submit_model(request.clone());
+        assert!(ticket.progress().is_some(), "model tickets expose progress from submission");
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+        let mut saw_partial = false;
+        loop {
+            if ticket.try_poll().is_some() {
+                break;
+            }
+            let p = ticket.progress().expect("model ticket always has progress");
+            if p.layers_total > 0 && p.layers_done < p.layers_total {
+                saw_partial = true;
+            }
+            assert!(std::time::Instant::now() < deadline, "model job never finished");
+            std::thread::yield_now();
+        }
+        assert!(saw_partial, "per-layer progress was never observable mid-run");
+        let p = ticket.progress().unwrap();
+        assert_eq!(p.layers_total, convs);
+        assert_eq!(p.layers_done, convs, "every conv reaches a terminal state");
+
+        let outcome = ticket.wait().unwrap();
+        assert!(!outcome.from_cache);
+        let streamed = outcome.model_artifacts().unwrap();
+        let oracle = {
+            let comp = mvq_core::pipeline::by_name("mvq", &spec).unwrap();
+            let mut rng = StdRng::seed_from_u64(11);
+            comp.compress_model_artifacts(&model, &mut rng).unwrap()
+        };
+        assert_eq!(
+            streamed.fingerprint().unwrap(),
+            oracle.fingerprint().unwrap(),
+            "served streaming result diverges from the in-memory oracle"
+        );
+
+        // a second submission answers from the cache without streaming
+        let warm = service.submit_model(request);
+        let warm_outcome = warm.wait().unwrap();
+        assert!(warm_outcome.from_cache);
+        assert_eq!(
+            warm_outcome.model_artifacts().unwrap().fingerprint().unwrap(),
+            oracle.fingerprint().unwrap()
+        );
+        // per-matrix outcomes refuse to decode as models
+        let matrix = service
+            .submit_one(
+                CompressionRequest::builder("m", weight(6), "mvq").spec(spec).build().unwrap(),
+            )
+            .wait()
+            .unwrap();
+        assert!(matrix.model_artifacts().is_err());
+    }
+
+    #[test]
+    fn in_flight_model_duplicates_share_one_stream_and_its_progress() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let model = mvq_nn::models::tiny_cnn(4, 8, &mut rng);
+        let request = |name: &str| {
+            ModelCompressionRequest::builder(name, model.clone(), "mvq")
+                .spec(PipelineSpec { k: 8, ..PipelineSpec::default() })
+                .seed(5)
+                .build()
+                .unwrap()
+        };
+        // zero workers: nothing executes, so the rider deterministically
+        // attaches to the queued job
+        let service = CompressionService::builder().workers(0).queue_capacity(8).build().unwrap();
+        let first = service.submit_model(request("a"));
+        let rider = service.submit_model(request("b"));
+        assert_eq!(service.queued(), 1, "the duplicate must not occupy a queue slot");
+        assert_eq!(first.key(), rider.key());
+        assert!(rider.progress().is_some(), "riders observe the executing job's progress");
+        drop(service);
+        assert!(matches!(first.wait(), Err(JobError::Disconnected { .. })));
+        assert!(matches!(rider.wait(), Err(JobError::Disconnected { .. })));
+    }
+
+    #[test]
+    fn model_requests_validate_at_build() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let model = mvq_nn::models::tiny_cnn(4, 8, &mut rng);
+        let unknown = ModelCompressionRequest::builder("m", model.clone(), "vqgan").build();
+        assert!(matches!(unknown, Err(MvqError::InvalidConfig(_))));
+        let empty_name = ModelCompressionRequest::builder("", model, "mvq").build();
+        assert!(matches!(empty_name, Err(MvqError::InvalidConfig(_))));
+        let convless =
+            ModelCompressionRequest::builder("m", mvq_nn::Sequential::new(vec![]), "mvq").build();
+        assert!(matches!(convless, Err(MvqError::InvalidConfig(_))));
+        // aliases canonicalize, and per-matrix tickets have no progress
+        let ok = ModelCompressionRequest::builder(
+            "m",
+            {
+                let mut rng = StdRng::seed_from_u64(24);
+                mvq_nn::models::tiny_cnn(4, 8, &mut rng)
+            },
+            "vq",
+        )
+        .build()
+        .unwrap();
+        assert_eq!(ok.algo(), "vq-a");
+        let service = CompressionService::builder().workers(0).queue_capacity(4).build().unwrap();
+        let matrix_ticket = service.submit_one(
+            CompressionRequest::builder("w", weight(7), "mvq").spec(spec()).build().unwrap(),
+        );
+        assert!(matrix_ticket.progress().is_none(), "matrix tickets expose no progress");
     }
 
     #[test]

@@ -14,7 +14,8 @@ use std::time::{Duration, Instant};
 
 use mvq_core::pipeline::{by_name, canonical_name, PipelineSpec};
 use mvq_core::store::Fnv1a;
-use mvq_core::{KernelStrategy, MvqError};
+use mvq_core::{model_weight_hash, KernelStrategy, MvqError, StreamConfig};
+use mvq_nn::Sequential;
 use mvq_tensor::Tensor;
 
 use crate::ticket::CancelToken;
@@ -273,6 +274,227 @@ impl CompressionRequestBuilder {
             seed: self.seed,
             priority: self.priority,
             cache_mode: self.cache_mode,
+            deadline: self.deadline,
+            cancel: self.cancel,
+        })
+    }
+}
+
+/// One validated whole-model unit of work for
+/// [`crate::CompressionService::submit_model`]: stream-compress every
+/// conv of `model` with `algo` under `spec`, spilling each finished layer
+/// to the service's cache under the model key's
+/// [`layer_key`](mvq_core::store::CacheKey::layer_key) and bounding the
+/// in-flight working set by `stream`'s window.
+///
+/// Model jobs always interact with the cache read-write — the streaming
+/// pipeline *is* a cache writer by construction (layers spill as they
+/// finish), so there is no [`CacheMode`] knob here. Per-layer progress is
+/// observable on the returned [`crate::Ticket::progress`] while the job
+/// runs.
+#[derive(Debug, Clone)]
+pub struct ModelCompressionRequest {
+    name: String,
+    model: Sequential,
+    algo: &'static str,
+    spec: PipelineSpec,
+    stream: StreamConfig,
+    seed: Option<u64>,
+    priority: Priority,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+}
+
+impl ModelCompressionRequest {
+    /// Starts building a request to stream-compress `model` with the
+    /// registry algorithm `algo` (aliases canonicalized at build).
+    pub fn builder(
+        name: impl Into<String>,
+        model: Sequential,
+        algo: impl Into<String>,
+    ) -> ModelCompressionRequestBuilder {
+        ModelCompressionRequestBuilder {
+            name: name.into(),
+            model,
+            algo: algo.into(),
+            spec: PipelineSpec::default(),
+            stream: StreamConfig::default(),
+            seed: None,
+            priority: Priority::default(),
+            deadline: None,
+            cancel: None,
+        }
+    }
+
+    /// Caller-chosen label; not part of the identity.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The model whose convs will be streamed.
+    pub fn model(&self) -> &Sequential {
+        &self.model
+    }
+
+    /// Canonical registry algorithm name.
+    pub fn algo(&self) -> &'static str {
+        self.algo
+    }
+
+    /// Pipeline hyperparameters.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// The streaming window/worker knobs. Not part of the cache identity:
+    /// the streamed result is bit-identical across window shapes.
+    pub fn stream(&self) -> &StreamConfig {
+        &self.stream
+    }
+
+    /// The pinned RNG seed, if any (`None`: a deterministic content seed
+    /// is derived, as for [`CompressionRequest::seed`]).
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// Scheduling priority.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The queue deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// The seed this request will actually compress with.
+    pub(crate) fn resolved_seed(&self) -> u64 {
+        self.seed.unwrap_or_else(|| {
+            let mut h = Fnv1a::new();
+            h.update(b"mvq.serve.modelseed.v1");
+            h.update_u64(model_weight_hash(&self.model));
+            h.update_u64(self.spec.fingerprint());
+            h.update(self.algo.as_bytes());
+            h.finish()
+        })
+    }
+
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        String,
+        Sequential,
+        &'static str,
+        PipelineSpec,
+        StreamConfig,
+        Option<Instant>,
+        Option<CancelToken>,
+    ) {
+        (self.name, self.model, self.algo, self.spec, self.stream, self.deadline, self.cancel)
+    }
+}
+
+/// Builder for [`ModelCompressionRequest`]; see
+/// [`ModelCompressionRequest::builder`].
+#[derive(Debug, Clone)]
+pub struct ModelCompressionRequestBuilder {
+    name: String,
+    model: Sequential,
+    algo: String,
+    spec: PipelineSpec,
+    stream: StreamConfig,
+    seed: Option<u64>,
+    priority: Priority,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+}
+
+impl ModelCompressionRequestBuilder {
+    /// Sets the pipeline hyperparameters (default: [`PipelineSpec::default`]).
+    pub fn spec(mut self, spec: PipelineSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Sets the streaming window/worker knobs (default:
+    /// [`StreamConfig::default`]).
+    pub fn stream(mut self, stream: StreamConfig) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Pins the RNG seed (part of the cache identity).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the scheduling priority (default: [`Priority::Normal`]).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets an absolute queue deadline; semantics as
+    /// [`CompressionRequestBuilder::deadline`].
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Shorthand for [`Self::deadline`] at `now + timeout`.
+    pub fn deadline_after(self, timeout: Duration) -> Self {
+        self.deadline(Instant::now() + timeout)
+    }
+
+    /// Attaches a cancellation token; semantics as
+    /// [`CompressionRequestBuilder::cancel_token`].
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Validates and finishes the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::InvalidConfig`] when the name is empty, the
+    /// model has no conv layers, the algorithm is unknown, or the spec
+    /// does not compile for the algorithm.
+    pub fn build(self) -> Result<ModelCompressionRequest, MvqError> {
+        if self.name.is_empty() {
+            return Err(MvqError::InvalidConfig("request name must not be empty".into()));
+        }
+        let mut convs = 0usize;
+        self.model.visit_convs(&mut |_| convs += 1);
+        if convs == 0 {
+            return Err(MvqError::InvalidConfig(format!(
+                "request `{}`: model has no conv layers to compress",
+                self.name
+            )));
+        }
+        let algo = canonical_name(&self.algo).ok_or_else(|| {
+            MvqError::InvalidConfig(format!(
+                "request `{}`: unknown compressor `{}`",
+                self.name, self.algo
+            ))
+        })?;
+        by_name(algo, &self.spec)?;
+        Ok(ModelCompressionRequest {
+            name: self.name,
+            model: self.model,
+            algo,
+            spec: self.spec,
+            stream: self.stream,
+            seed: self.seed,
+            priority: self.priority,
             deadline: self.deadline,
             cancel: self.cancel,
         })

@@ -18,12 +18,16 @@ use std::time::Instant;
 
 use mvq_core::pipeline::{by_name, PipelineSpec};
 use mvq_core::store::{ArtifactCache, CacheBudget, CacheKey, CacheStats, Persist, DEFAULT_SHARDS};
-use mvq_core::MvqError;
+use mvq_core::{
+    load_streamed_model, model_cache_key, stream_compress_model, MvqError, ProgressHandle,
+    StreamConfig,
+};
+use mvq_nn::Sequential;
 use mvq_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::request::{CacheMode, CompressionRequest, Priority};
+use crate::request::{CacheMode, CompressionRequest, ModelCompressionRequest, Priority};
 use crate::ticket::{CancelKind, CancelToken, JobError, JobOutcome, JobResult, Payload, Ticket};
 
 /// Cache policy the service applies to the cache it builds: a thin,
@@ -76,6 +80,14 @@ pub enum SubmitError {
         /// The refused request, returned intact.
         request: Box<CompressionRequest>,
     },
+    /// The queue is at capacity; the refused whole-model request rides
+    /// back ([`crate::CompressionService::try_submit_model`]).
+    ModelQueueFull {
+        /// The queue capacity that was hit.
+        capacity: usize,
+        /// The refused request, returned intact.
+        request: Box<ModelCompressionRequest>,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -86,11 +98,26 @@ impl std::fmt::Display for SubmitError {
                 "queue full ({capacity} jobs queued): request `{}` refused",
                 request.name()
             ),
+            SubmitError::ModelQueueFull { capacity, request } => write!(
+                f,
+                "queue full ({capacity} jobs queued): model request `{}` refused",
+                request.name()
+            ),
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
+
+/// What a queued job compresses: one weight matrix (the original request
+/// kind) or a whole model streamed through the bounded-window pipeline.
+enum JobPayload {
+    /// Compress one weight tensor via `Compressor::compress_matrix`.
+    Matrix { weight: Tensor },
+    /// Stream every conv of a model, spilling per-layer blobs to the
+    /// cache; `progress` is shared with every ticket observing the job.
+    Model { model: Sequential, stream: StreamConfig, progress: ProgressHandle },
+}
 
 /// One queued unit of work. Normal jobs keep their waiters in the shared
 /// in-flight map (so identical submissions can attach); bypass jobs carry
@@ -99,7 +126,7 @@ struct QueuedJob {
     key: CacheKey,
     algo: &'static str,
     spec: PipelineSpec,
-    weight: Tensor,
+    payload: JobPayload,
     mode: CacheMode,
     direct: Option<Waiter>,
 }
@@ -161,6 +188,10 @@ struct InflightEntry {
     /// `Some((seq, effective priority))` while the job is still queued —
     /// the handle riders use to boost it; `None` once a worker took it.
     queued: Option<(u64, Priority)>,
+    /// The executing job's progress handle (model jobs only) — riders
+    /// clone it into their tickets so every waiter observes the same
+    /// per-layer counters.
+    progress: Option<ProgressHandle>,
 }
 
 #[derive(Default)]
@@ -207,7 +238,7 @@ impl State {
         let mut dead: Vec<(Waiter, CancelKind)> = Vec::new();
         let mut dropped = 0;
         while let Some(job) = self.pop_job() {
-            let QueuedJob { key, algo, spec, weight, mode, direct } = job;
+            let QueuedJob { key, algo, spec, payload, mode, direct } = job;
             match direct {
                 Some(waiter) => match waiter.dead(now) {
                     Some(kind) => {
@@ -215,7 +246,8 @@ impl State {
                         dropped += 1;
                     }
                     None => {
-                        let job = QueuedJob { key, algo, spec, weight, mode, direct: Some(waiter) };
+                        let job =
+                            QueuedJob { key, algo, spec, payload, mode, direct: Some(waiter) };
                         return (Some(job), dead, dropped);
                     }
                 },
@@ -239,7 +271,7 @@ impl State {
                         continue;
                     }
                     entry.waiters = live;
-                    let job = QueuedJob { key, algo, spec, weight, mode, direct: None };
+                    let job = QueuedJob { key, algo, spec, payload, mode, direct: None };
                     return (Some(job), dead, dropped);
                 }
             }
@@ -481,7 +513,7 @@ impl CompressionService {
     pub fn submit_one(&self, request: CompressionRequest) -> Ticket {
         match self.enqueue(request, true) {
             Ok(ticket) => ticket,
-            Err(SubmitError::QueueFull { .. }) => {
+            Err(_) => {
                 // lint:allow(panic-path) -- enqueue(block = true) waits on the queue condvar instead of returning QueueFull; this arm only satisfies the shared signature
                 unreachable!("blocking submission never reports a full queue")
             }
@@ -513,7 +545,7 @@ impl CompressionService {
                 drop(state);
                 let name = request.name().to_string();
                 let _ = tx.send(Err(JobError::Disconnected { name: name.clone() }));
-                return Ok(Ticket::new(name, key, rx));
+                return Ok(Ticket::new(name, key, rx, None));
             }
             if request.cache_mode().dedupes() {
                 if let Some(entry) = state.inflight.get_mut(&key) {
@@ -524,6 +556,7 @@ impl CompressionService {
                         cancel: request.cancel().cloned(),
                         deadline: request.deadline(),
                     });
+                    let progress = entry.progress.clone();
                     // boost a still-queued job to the rider's priority
                     if let Some((seq, current)) = entry.queued {
                         if request.priority() > current {
@@ -531,7 +564,7 @@ impl CompressionService {
                             state.heap.push(QueueRef { priority: request.priority(), seq });
                         }
                     }
-                    return Ok(Ticket::new(name, key, rx));
+                    return Ok(Ticket::new(name, key, rx, progress));
                 }
             }
             if state.jobs.len() < self.shared.capacity {
@@ -553,17 +586,135 @@ impl CompressionService {
         let direct = if mode.dedupes() {
             state.inflight.insert(
                 key.clone(),
-                InflightEntry { waiters: vec![waiter], queued: Some((seq, priority)) },
+                InflightEntry {
+                    waiters: vec![waiter],
+                    queued: Some((seq, priority)),
+                    progress: None,
+                },
             );
             None
         } else {
             Some(waiter)
         };
-        state.jobs.insert(seq, QueuedJob { key: key.clone(), algo, spec, weight, mode, direct });
+        let payload = JobPayload::Matrix { weight };
+        state.jobs.insert(seq, QueuedJob { key: key.clone(), algo, spec, payload, mode, direct });
         state.heap.push(QueueRef { priority, seq });
         drop(state);
         self.shared.work.notify_one();
-        Ok(Ticket::new(name, key, rx))
+        Ok(Ticket::new(name, key, rx, None))
+    }
+
+    /// Submits one whole-model streaming request, blocking while the
+    /// queue is full, and returns its [`Ticket`]. The job streams the
+    /// model's convs through the bounded-window pipeline
+    /// ([`mvq_core::stream_compress_model`]), spilling each finished
+    /// layer to the service's cache; [`Ticket::progress`] observes the
+    /// per-layer counters while the job runs, and the outcome decodes via
+    /// [`JobOutcome::model_artifacts`](crate::JobOutcome::model_artifacts).
+    ///
+    /// Identical in-flight model jobs (same model key) share one
+    /// streaming run — riders' tickets observe the same progress.
+    pub fn submit_model(&self, request: ModelCompressionRequest) -> Ticket {
+        match self.enqueue_model(request, true) {
+            Ok(ticket) => ticket,
+            Err(_) => {
+                // lint:allow(panic-path) -- enqueue_model(block = true) waits on the queue condvar instead of returning QueueFull; this arm only satisfies the shared signature
+                unreachable!("blocking submission never reports a full queue")
+            }
+        }
+    }
+
+    /// Non-blocking [`CompressionService::submit_model`]: refuses with
+    /// [`SubmitError::ModelQueueFull`] — handing the request back —
+    /// instead of waiting for queue space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::ModelQueueFull`] when the queue is at
+    /// capacity.
+    pub fn try_submit_model(
+        &self,
+        request: ModelCompressionRequest,
+    ) -> Result<Ticket, SubmitError> {
+        self.enqueue_model(request, false)
+    }
+
+    fn enqueue_model(
+        &self,
+        request: ModelCompressionRequest,
+        block: bool,
+    ) -> Result<Ticket, SubmitError> {
+        let seed = request.resolved_seed();
+        let key = model_cache_key(request.algo(), request.model(), request.spec(), seed)
+            .expect("request algo was canonicalized at build");
+        // lint:allow(unbounded-channel) -- per-job result channel: carries at most one message per waiter, and queue depth itself is bounded by ServiceConfig
+        let (tx, rx) = mpsc::channel();
+        let progress = ProgressHandle::new();
+        let mut state = self.shared.state.lock().expect("service lock");
+        loop {
+            if state.shutdown {
+                drop(state);
+                let name = request.name().to_string();
+                let _ = tx.send(Err(JobError::Disconnected { name: name.clone() }));
+                return Ok(Ticket::new(name, key, rx, Some(progress)));
+            }
+            // model jobs always dedupe (they are never cache-bypassing)
+            if let Some(entry) = state.inflight.get_mut(&key) {
+                let name = request.name().to_string();
+                entry.waiters.push(Waiter {
+                    name: name.clone(),
+                    tx,
+                    cancel: request.cancel().cloned(),
+                    deadline: request.deadline(),
+                });
+                let progress = entry.progress.clone();
+                if let Some((seq, current)) = entry.queued {
+                    if request.priority() > current {
+                        entry.queued = Some((seq, request.priority()));
+                        state.heap.push(QueueRef { priority: request.priority(), seq });
+                    }
+                }
+                return Ok(Ticket::new(name, key, rx, progress));
+            }
+            if state.jobs.len() < self.shared.capacity {
+                break;
+            }
+            if !block {
+                return Err(SubmitError::ModelQueueFull {
+                    capacity: self.shared.capacity,
+                    request: Box::new(request),
+                });
+            }
+            state = self.shared.space.wait(state).expect("service lock");
+        }
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+        let priority = request.priority();
+        let (name, model, algo, spec, stream, deadline, cancel) = request.into_parts();
+        let waiter = Waiter { name: name.clone(), tx, cancel, deadline };
+        state.inflight.insert(
+            key.clone(),
+            InflightEntry {
+                waiters: vec![waiter],
+                queued: Some((seq, priority)),
+                progress: Some(progress.clone()),
+            },
+        );
+        let payload = JobPayload::Model { model, stream, progress: progress.clone() };
+        state.jobs.insert(
+            seq,
+            QueuedJob {
+                key: key.clone(),
+                algo,
+                spec,
+                payload,
+                mode: CacheMode::ReadWrite,
+                direct: None,
+            },
+        );
+        state.heap.push(QueueRef { priority, seq });
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(Ticket::new(name, key, rx, Some(progress)))
     }
 }
 
@@ -682,6 +833,12 @@ fn execute(shared: &Shared, job: QueuedJob) {
 /// that same blob with the cache and every waiter. Only bypass jobs —
 /// which never encode — carry a decoded artifact.
 fn run_job(shared: &Shared, job: &QueuedJob) -> Result<(Payload, bool), FailureKind> {
+    let weight = match &job.payload {
+        JobPayload::Matrix { weight } => weight,
+        JobPayload::Model { model, stream, progress } => {
+            return run_model_job(shared, job, model, stream, progress);
+        }
+    };
     if job.mode.reads_cache() {
         match shared.cache.get_raw(&job.key) {
             Ok(Some(bytes)) => return Ok((Payload::Bytes(bytes), true)),
@@ -697,7 +854,7 @@ fn run_job(shared: &Shared, job: &QueuedJob) -> Result<(Payload, bool), FailureK
     let compressor = by_name(job.algo, &job.spec).map_err(FailureKind::Compression)?;
     let compressed = match catch_unwind(AssertUnwindSafe(|| {
         let mut rng = StdRng::seed_from_u64(job.key.seed);
-        compressor.compress_matrix(&job.weight, &mut rng)
+        compressor.compress_matrix(weight, &mut rng)
     }))
     .map_err(|payload| FailureKind::Panicked(panic_detail(payload)))?
     {
@@ -723,6 +880,64 @@ fn run_job(shared: &Shared, job: &QueuedJob) -> Result<(Payload, bool), FailureK
     Ok((Payload::Artifact(compressed), false))
 }
 
+/// Runs one whole-model streaming job. Model jobs are always read-write:
+/// a hit on the stored [`mvq_core::store::ModelIndex`] (with every layer
+/// blob still resident) reassembles from the cache; a miss streams the
+/// model through [`stream_compress_model`], which spills each layer as
+/// its own blob, then assembles the payload from what was just spilled.
+fn run_model_job(
+    shared: &Shared,
+    job: &QueuedJob,
+    model: &Sequential,
+    stream: &StreamConfig,
+    progress: &ProgressHandle,
+) -> Result<(Payload, bool), FailureKind> {
+    match load_streamed_model(&shared.cache, &job.key) {
+        Ok(Some(arts)) => {
+            let bytes: Arc<[u8]> = arts.to_bytes().map_err(FailureKind::Cache)?.into();
+            return Ok((Payload::Bytes(bytes), true));
+        }
+        Ok(None) => {}
+        Err(e) => return Err(FailureKind::Cache(e)),
+    }
+    if let Some(remembered) = shared.cache.failure(&job.key) {
+        return Err(FailureKind::Compression(remembered));
+    }
+    let compressor = by_name(job.algo, &job.spec).map_err(FailureKind::Compression)?;
+    match catch_unwind(AssertUnwindSafe(|| {
+        stream_compress_model(
+            compressor.as_ref(),
+            model,
+            &shared.cache,
+            &job.key,
+            stream,
+            Some(progress),
+        )
+    }))
+    .map_err(|payload| FailureKind::Panicked(panic_detail(payload)))?
+    {
+        Ok(_report) => {}
+        Err(e) => {
+            shared.cache.note_failure(&job.key, &e);
+            return Err(FailureKind::Compression(e));
+        }
+    }
+    match load_streamed_model(&shared.cache, &job.key) {
+        Ok(Some(arts)) => {
+            let bytes: Arc<[u8]> = arts.to_bytes().map_err(FailureKind::Cache)?.into();
+            Ok((Payload::Bytes(bytes), false))
+        }
+        // the cache budget evicted layers faster than the job streamed
+        // them — loud, because a "successful" job must carry its result
+        Ok(None) => Err(FailureKind::Cache(MvqError::Codec(
+            "streamed layer blobs were evicted before the result could be assembled; \
+             raise the cache budget above the model's compressed size"
+                .into(),
+        ))),
+        Err(e) => Err(FailureKind::Cache(e)),
+    }
+}
+
 fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -743,7 +958,14 @@ mod tests {
         let key = CacheKey::new("mvq", &weight, &spec, seq).unwrap();
         state.jobs.insert(
             seq,
-            QueuedJob { key, algo: "mvq", spec, weight, mode: CacheMode::ReadWrite, direct: None },
+            QueuedJob {
+                key,
+                algo: "mvq",
+                spec,
+                payload: JobPayload::Matrix { weight },
+                mode: CacheMode::ReadWrite,
+                direct: None,
+            },
         );
         state.heap.push(QueueRef { priority, seq });
     }
@@ -793,7 +1015,7 @@ mod tests {
                 key,
                 algo: "mvq",
                 spec,
-                weight,
+                payload: JobPayload::Matrix { weight },
                 mode: CacheMode::Bypass,
                 direct: Some(waiter),
             },
@@ -855,6 +1077,7 @@ mod tests {
                     },
                 ],
                 queued: Some((0, Priority::Normal)),
+                progress: None,
             },
         );
         state.jobs.insert(
@@ -863,7 +1086,7 @@ mod tests {
                 key: key.clone(),
                 algo: "mvq",
                 spec,
-                weight,
+                payload: JobPayload::Matrix { weight },
                 mode: CacheMode::ReadWrite,
                 direct: None,
             },
@@ -901,6 +1124,7 @@ mod tests {
                     deadline: None,
                 }],
                 queued: Some((0, Priority::Normal)),
+                progress: None,
             },
         );
         state.jobs.insert(
@@ -909,7 +1133,7 @@ mod tests {
                 key: key.clone(),
                 algo: "mvq",
                 spec,
-                weight,
+                payload: JobPayload::Matrix { weight },
                 mode: CacheMode::ReadWrite,
                 direct: None,
             },

@@ -8,7 +8,7 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use mvq_core::store::{CacheKey, Persist};
-use mvq_core::{CompressedArtifact, MvqError};
+use mvq_core::{CompressedArtifact, ModelArtifacts, MvqError, Progress, ProgressHandle};
 
 /// A shared cancellation flag for one (or several) submitted jobs.
 ///
@@ -149,6 +149,26 @@ impl JobOutcome {
             Payload::Artifact(artifact) => Ok(artifact),
         }
     }
+
+    /// Decodes the assembled [`ModelArtifacts`] of a whole-model
+    /// (streaming) job — see
+    /// [`crate::CompressionService::submit_model`]. This materializes
+    /// every layer at once; callers that want to stay bounded should read
+    /// the per-layer blobs from the service's cache instead
+    /// (`key.layer_key(conv_index)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::Codec`] when the outcome does not carry a
+    /// model (it came from a per-matrix job) or the bytes fail to decode.
+    pub fn model_artifacts(&self) -> Result<ModelArtifacts, MvqError> {
+        match &self.payload {
+            Payload::Bytes(bytes) => ModelArtifacts::from_bytes(bytes),
+            Payload::Artifact(_) => Err(MvqError::Codec(
+                "outcome carries a single compressed matrix, not a model".into(),
+            )),
+        }
+    }
 }
 
 /// Why one job failed. Errors are per job: a failing job never aborts
@@ -276,11 +296,17 @@ pub struct Ticket {
     key: CacheKey,
     rx: mpsc::Receiver<JobResult>,
     done: Option<JobResult>,
+    progress: Option<ProgressHandle>,
 }
 
 impl Ticket {
-    pub(crate) fn new(name: String, key: CacheKey, rx: mpsc::Receiver<JobResult>) -> Ticket {
-        Ticket { name, key, rx, done: None }
+    pub(crate) fn new(
+        name: String,
+        key: CacheKey,
+        rx: mpsc::Receiver<JobResult>,
+        progress: Option<ProgressHandle>,
+    ) -> Ticket {
+        Ticket { name, key, rx, done: None, progress }
     }
 
     /// The submitted job's label.
@@ -292,6 +318,15 @@ impl Ticket {
     /// runs, so callers can correlate tickets with cache entries.
     pub fn key(&self) -> &CacheKey {
         &self.key
+    }
+
+    /// Per-layer progress of a whole-model (streaming) job: `None` for
+    /// per-matrix jobs, `Some` from the moment of submission for model
+    /// jobs. `layers_total` is `0` until a worker starts streaming, and
+    /// stays `0` for a job answered from the cache (nothing streamed).
+    /// Poll freely — the snapshot is two relaxed atomic loads.
+    pub fn progress(&self) -> Option<Progress> {
+        self.progress.as_ref().map(ProgressHandle::snapshot)
     }
 
     /// Blocks until the job finishes and returns its result.
