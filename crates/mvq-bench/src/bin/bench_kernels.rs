@@ -20,6 +20,7 @@
 
 use std::time::Instant;
 
+use mvq_bench::report::BenchReport;
 use mvq_core::differential::ulp_distance;
 use mvq_core::{
     masked_assign_naive, masked_assign_with, masked_kmeans, masked_sse_with, prune_matrix_nm,
@@ -147,48 +148,40 @@ fn main() {
         km_of(KernelStrategy::Naive).map(|&(_, secs, _)| secs).expect("naive always runs");
 
     let ms = |s: f64| s * 1e3;
-    let mut fields = vec![
-        "  \"workload\": \"resnet18-lite\"".to_string(),
-        format!("  \"layers\": {}", layers.len()),
-        format!("  \"subvectors_total\": {total_ng}"),
-        format!("  \"d\": {D}"),
-        format!("  \"k\": {K}"),
-        format!("  \"nm\": \"{KEEP_N}:{M}\""),
-        format!("  \"reps\": {REPS}"),
-        format!("  \"simd_backend\": \"{}\"", simd_backend()),
-    ];
+    let mut report = BenchReport::new("kernels");
+    report
+        .field_str("workload", "resnet18-lite")
+        .field_u64("layers", layers.len() as u64)
+        .field_u64("subvectors_total", total_ng as u64)
+        .field_u64("d", D as u64)
+        .field_u64("k", K as u64)
+        .field_str("nm", &format!("{KEEP_N}:{M}"))
+        .field_u64("reps", REPS as u64)
+        .field_str("simd_backend", simd_backend());
     for &(strategy, secs) in &assign {
-        fields.push(format!("  \"assign_{}_ms\": {:.3}", strategy.name(), ms(secs)));
-        fields.push(format!(
-            "  \"assign_{}_speedup\": {:.2}",
-            strategy.name(),
-            assign_naive / secs
-        ));
+        report.field_f64(&format!("assign_{}_ms", strategy.name()), ms(secs), 3);
+        report.field_f64(&format!("assign_{}_speedup", strategy.name()), assign_naive / secs, 2);
     }
     if let (Some(&(_, simd_secs)), Some(&(_, blocked_secs))) = (
         assign.iter().find(|(s, _)| *s == KernelStrategy::Simd),
         assign.iter().find(|(s, _)| *s == KernelStrategy::Blocked),
     ) {
-        fields
-            .push(format!("  \"assign_simd_vs_blocked_speedup\": {:.2}", blocked_secs / simd_secs));
+        report.field_f64("assign_simd_vs_blocked_speedup", blocked_secs / simd_secs, 2);
     }
     for &(strategy, secs, sse) in &kmeans {
-        fields.push(format!("  \"kmeans_{}_ms\": {:.3}", strategy.name(), ms(secs)));
-        fields.push(format!(
-            "  \"kmeans_{}_speedup_vs_naive\": {:.2}",
-            strategy.name(),
-            km_naive / secs
-        ));
-        fields.push(format!("  \"sse_{}\": {:.4}", strategy.name(), sse));
+        report.field_f64(&format!("kmeans_{}_ms", strategy.name()), ms(secs), 3);
+        report.field_f64(
+            &format!("kmeans_{}_speedup_vs_naive", strategy.name()),
+            km_naive / secs,
+            2,
+        );
+        report.field_f64(&format!("sse_{}", strategy.name()), sse, 4);
     }
     if strategies.contains(&KernelStrategy::Simd) {
-        fields.push(format!("  \"simd_sse_ulp_max\": {simd_sse_ulp_max}"));
-        fields.push(format!("  \"simd_sse_ulp_bound\": {REASSOC_SSE_ULP_BOUND}"));
+        report.field_u64("simd_sse_ulp_max", u64::from(simd_sse_ulp_max));
+        report.field_u64("simd_sse_ulp_bound", u64::from(REASSOC_SSE_ULP_BOUND));
     }
-    let json = format!("{{\n{}\n}}\n", fields.join(",\n"));
-    print!("{json}");
-    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
-    eprintln!("wrote BENCH_kernels.json");
+    report.write();
 }
 
 /// Which backend `KernelStrategy::Simd` dispatched to in this build.

@@ -33,6 +33,7 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
+use mvq_bench::report::BenchReport;
 use mvq_core::pipeline::PipelineSpec;
 use mvq_core::CompressedArtifact;
 use mvq_nn::models::Arch;
@@ -162,31 +163,43 @@ fn main() {
     let n_jobs = cold.outcomes.len();
     let jps = |secs: f64| n_jobs as f64 / secs;
     let hit_rate = |pass: &Pass| 1.0 - pass.fresh as f64 / distinct.max(1) as f64;
-    let algo_list = ALGOS.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(", ");
-    let json = format!(
-        "{{\n  \"workload\": \"resnet18-lite\",\n  \"algorithms\": [{algo_list}],\n  \"jobs\": {n_jobs},\n  \"unique_jobs\": {distinct},\n  \"deduped_jobs\": {},\n  \"workers\": {workers},\n  \"cold_s\": {cold_secs:.3},\n  \"cold_jobs_per_s\": {:.2},\n  \"warm_s\": {warm_secs:.3},\n  \"warm_jobs_per_s\": {:.2},\n  \"warm_speedup\": {:.1},\n  \"warm_hit_rate\": {:.4},\n  \"queue_jobs_per_s\": {:.2},\n  \"disk_s\": {disk_secs:.3},\n  \"disk_jobs_per_s\": {:.2},\n  \"disk_hit_rate\": {:.4},\n  \"evicted_s\": {evicted_secs:.3},\n  \"evicted_jobs_per_s\": {:.2},\n  \"evicted_hit_rate\": {:.4},\n  \"disk_budget_bytes\": {disk_budget},\n  \"disk_evictions\": {},\n  \"cache_memory_bytes\": {memory_bytes},\n  \"cache_disk_bytes\": {disk_bytes_unbounded},\n  \"cache_disk_len\": {disk_len_unbounded},\n  \"hit_submitters\": {HIT_SUBMITTERS},\n  \"hit_rounds\": {HIT_ROUNDS},\n  \"hit_baseline_shards\": 1,\n  \"hit_baseline_p50_us\": {:.1},\n  \"hit_baseline_p99_us\": {:.1},\n  \"hit_baseline_jobs_per_s\": {:.2},\n  \"hit_sharded_shards\": {},\n  \"hit_sharded_p50_us\": {:.1},\n  \"hit_sharded_p99_us\": {:.1},\n  \"hit_sharded_jobs_per_s\": {:.2}\n}}\n",
-        cold.deduped,
-        jps(cold_secs),
-        jps(warm_secs),
-        cold_secs / warm_secs,
-        hit_rate(&warm),
-        jps(warm_secs),
-        jps(disk_secs),
-        hit_rate(&disk),
-        jps(evicted_secs),
-        hit_rate(&evicted),
-        evicted_stats.disk_evictions,
-        baseline.p50_us,
-        baseline.p99_us,
-        baseline.jobs_per_s,
-        mvq_core::store::DEFAULT_SHARDS,
-        sharded.p50_us,
-        sharded.p99_us,
-        sharded.jobs_per_s,
-    );
-    print!("{json}");
-    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
-    eprintln!("wrote BENCH_service.json");
+    let mut report = BenchReport::new("service");
+    report
+        .field_str("workload", "resnet18-lite")
+        .field_str_list("algorithms", &ALGOS)
+        .field_u64("jobs", n_jobs as u64)
+        .field_u64("unique_jobs", distinct as u64)
+        .field_u64("deduped_jobs", cold.deduped as u64)
+        .field_u64("workers", workers as u64)
+        .field_f64("cold_s", cold_secs, 3)
+        .field_f64("cold_jobs_per_s", jps(cold_secs), 2)
+        .field_f64("warm_s", warm_secs, 3)
+        .field_f64("warm_jobs_per_s", jps(warm_secs), 2)
+        .field_f64("warm_speedup", cold_secs / warm_secs, 1)
+        .field_f64("warm_hit_rate", hit_rate(&warm), 4)
+        .field_f64("queue_jobs_per_s", jps(warm_secs), 2)
+        .field_f64("disk_s", disk_secs, 3)
+        .field_f64("disk_jobs_per_s", jps(disk_secs), 2)
+        .field_f64("disk_hit_rate", hit_rate(&disk), 4)
+        .field_f64("evicted_s", evicted_secs, 3)
+        .field_f64("evicted_jobs_per_s", jps(evicted_secs), 2)
+        .field_f64("evicted_hit_rate", hit_rate(&evicted), 4)
+        .field_u64("disk_budget_bytes", disk_budget)
+        .field_u64("disk_evictions", evicted_stats.disk_evictions)
+        .field_u64("cache_memory_bytes", memory_bytes)
+        .field_u64("cache_disk_bytes", disk_bytes_unbounded)
+        .field_u64("cache_disk_len", disk_len_unbounded as u64)
+        .field_u64("hit_submitters", HIT_SUBMITTERS as u64)
+        .field_u64("hit_rounds", HIT_ROUNDS as u64)
+        .field_u64("hit_baseline_shards", 1)
+        .field_f64("hit_baseline_p50_us", baseline.p50_us, 1)
+        .field_f64("hit_baseline_p99_us", baseline.p99_us, 1)
+        .field_f64("hit_baseline_jobs_per_s", baseline.jobs_per_s, 2)
+        .field_u64("hit_sharded_shards", mvq_core::store::DEFAULT_SHARDS as u64)
+        .field_f64("hit_sharded_p50_us", sharded.p50_us, 1)
+        .field_f64("hit_sharded_p99_us", sharded.p99_us, 1)
+        .field_f64("hit_sharded_jobs_per_s", sharded.jobs_per_s, 2);
+    report.write();
     let _ = std::fs::remove_dir_all(&cache_dir);
 }
 

@@ -25,6 +25,7 @@
 
 use std::time::Instant;
 
+use mvq_bench::report::BenchReport;
 use mvq_core::pipeline::{by_name, PipelineSpec};
 use mvq_core::store::{ArtifactCache, CacheKey};
 use mvq_core::{
@@ -127,20 +128,24 @@ fn main() {
     let snap = progress.snapshot();
     assert_eq!(snap.layers_done, num_layers, "every conv must reach a terminal state");
 
-    let json = format!(
-        "{{\n  \"workload\": \"{REPS}x-resnet18-lite-synthetic\",\n  \"algorithm\": \"mvq\",\n  \"layers\": {num_layers},\n  \"layers_compressed\": {},\n  \"layers_skipped\": {},\n  \"stream_s\": {secs:.3},\n  \"layers_per_s\": {:.2},\n  \"weight_bytes_total\": {total_bytes},\n  \"window_max_layers\": {WINDOW_LAYERS},\n  \"window_max_bytes\": {window_bytes},\n  \"peak_window_layers\": {},\n  \"peak_window_bytes\": {},\n  \"workers\": {},\n  \"cache_disk_bytes\": {},\n  \"peak_rss_bytes\": {}\n}}\n",
-        report.index.layers.len(),
-        report.index.skipped.len(),
-        num_layers as f64 / secs,
-        report.peak_window_layers,
-        report.peak_window_bytes,
-        config.workers.max(1),
-        cache.disk_bytes(),
-        peak_rss_bytes(),
-    );
-    print!("{json}");
-    std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");
-    eprintln!("wrote BENCH_stream.json");
+    let mut bench = BenchReport::new("stream");
+    bench
+        .field_str("workload", &format!("{REPS}x-resnet18-lite-synthetic"))
+        .field_str("algorithm", "mvq")
+        .field_u64("layers", num_layers as u64)
+        .field_u64("layers_compressed", report.index.layers.len() as u64)
+        .field_u64("layers_skipped", report.index.skipped.len() as u64)
+        .field_f64("stream_s", secs, 3)
+        .field_f64("layers_per_s", num_layers as f64 / secs, 2)
+        .field_u64("weight_bytes_total", total_bytes)
+        .field_u64("window_max_layers", WINDOW_LAYERS as u64)
+        .field_u64("window_max_bytes", window_bytes)
+        .field_u64("peak_window_layers", report.peak_window_layers as u64)
+        .field_u64("peak_window_bytes", report.peak_window_bytes)
+        .field_u64("workers", config.workers.max(1) as u64)
+        .field_u64("cache_disk_bytes", cache.disk_bytes())
+        .field_u64("peak_rss_bytes", peak_rss_bytes());
+    bench.write();
     let _ = std::fs::remove_dir_all(&cache_dir);
 }
 

@@ -7,6 +7,7 @@
 //!                [--stream] ...
 //! paper serve    [--addr <host:port>] [--workers <n>] [--cache-dir <dir>] ...
 //! paper client   [--addr <host:port>] [--algo <name>,...] [--deadline-ms <ms>] ...
+//! paper stats    [--addr <host:port>] [--traces <n>]
 //!
 //! experiments: table1 table2 table3 table4 table5 table6 table7 table8
 //!              table9 fig10 fig11 fig13 fig14 fig15 fig16 fig17 fig18
@@ -67,6 +68,7 @@ fn main() -> ExitCode {
         Some("compress") => return mvq_bench::cli::run_compress(&args[1..]),
         Some("serve") => return mvq_bench::net_cli::run_serve(&args[1..]),
         Some("client") => return mvq_bench::net_cli::run_client(&args[1..]),
+        Some("stats") => return mvq_bench::net_cli::run_stats(&args[1..]),
         _ => {}
     }
     let quick = args.iter().any(|a| a == "--quick");
@@ -80,6 +82,7 @@ fn main() -> ExitCode {
              \x20      paper serve [--addr <host:port>] [--workers <n>] [--cache-dir <dir>] ...\n\
              \x20      paper client [--addr <host:port>] [--algo <name>,...] \
              [--deadline-ms <ms>] ...\n\
+             \x20      paper stats [--addr <host:port>] [--traces <n>]\n\
              experiments: {} {} fig19 ext1 ext2 | hw | alg | ext | all",
             HW_EXPERIMENTS.join(" "),
             ALG_EXPERIMENTS.join(" ")

@@ -15,6 +15,7 @@ pub mod ext;
 pub mod fmt;
 pub mod hw;
 pub mod net_cli;
+pub mod report;
 pub mod tables;
 
 /// Everything the algorithm experiments share: the synthetic dataset and

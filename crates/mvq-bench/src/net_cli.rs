@@ -1,5 +1,5 @@
-//! `paper serve` / `paper client` — the compression service on the
-//! wire, from the command line.
+//! `paper serve` / `paper client` / `paper stats` — the compression
+//! service on the wire, from the command line.
 //!
 //! ```text
 //! paper serve  [--addr <HOST:PORT>] [--workers <N>] [--queue <N>]
@@ -7,12 +7,19 @@
 //! paper client [--addr <HOST:PORT>] [--algo <name>[,<name>...]]
 //!              [--arch tiny|resnet18] [--k <K>] [--seed <SEED>]
 //!              [--deadline-ms <MS>] [--repeat <N>]
+//! paper stats  [--addr <HOST:PORT>] [--traces <N>]
 //! ```
 //!
 //! `serve` binds an [`NetServer`] over a [`CompressionService`] and runs
 //! until stdin closes (or a `quit` line arrives), then drains
 //! gracefully — every accepted in-flight job completes and flushes
-//! before the process exits — and prints the server's counters.
+//! before the process exits — and prints the server's counters plus a
+//! final `mvq_obs` registry snapshot. A `stats` line on stdin prints
+//! the same snapshot live without disturbing the server.
+//!
+//! `stats` probes a *running* server over TCP for its live registry
+//! snapshot — every store/serve/net/stream metric plus the most
+//! recently completed job-lifecycle traces with per-stage µs offsets.
 //!
 //! `client` builds the same lite conv workload as `paper compress`,
 //! submits every job over one sustained connection, and prints the
@@ -27,8 +34,11 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use mvq_core::pipeline::{canonical_name, PipelineSpec};
-use mvq_net::{NetClient, NetError, NetRequest, NetServer};
+use mvq_net::{
+    NetClient, NetError, NetRequest, NetServer, WireMetric, WireMetricValue, WireStatsReply,
+};
 use mvq_nn::models::Arch;
+use mvq_obs::{Registry, TraceSnapshot};
 use mvq_serve::CompressionService;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -127,7 +137,7 @@ pub fn run_serve(args: &[String]) -> ExitCode {
         match line {
             Ok(line) if line.trim() == "quit" => break,
             Ok(line) if line.trim() == "stats" => {
-                println!("{:?}", server.stats());
+                render_registry(server.registry(), 8);
             }
             Ok(_) => {}
             Err(_) => break,
@@ -147,7 +157,112 @@ pub fn run_serve(args: &[String]) -> ExitCode {
         stats.cancelled_deadline,
         stats.protocol_errors,
     );
+    // the final registry snapshot: every store/serve/net/stream metric
+    // the stack recorded, plus the tail of completed job traces
+    println!("final registry snapshot:");
+    render_registry(server.registry(), 8);
     ExitCode::SUCCESS
+}
+
+/// Renders a local registry through the same path as `paper stats`
+/// (one snapshot type, one renderer — the wire reply is the common
+/// form).
+fn render_registry(registry: &Registry, max_traces: usize) {
+    let traces = registry.traces().recent(max_traces);
+    let reply = WireStatsReply::from_registry(0, &registry.snapshot(), traces);
+    render_stats(&reply.metrics, &reply.traces);
+}
+
+/// Pretty-prints one stats snapshot: counters and gauges as name/value
+/// lines, histograms with count and the p50/p90/p99/max summary, then
+/// the recent completed traces with per-stage µs offsets.
+fn render_stats(metrics: &[WireMetric], traces: &[TraceSnapshot]) {
+    for m in metrics {
+        match m.value {
+            WireMetricValue::Counter(v) | WireMetricValue::Gauge(v) => {
+                println!("  {:<32} {v:>12}", m.name);
+            }
+            WireMetricValue::Histogram(h) => {
+                println!(
+                    "  {:<32} {:>12}  p50 {:>8}µs  p90 {:>8}µs  p99 {:>8}µs  max {:>8}µs",
+                    m.name, h.count, h.p50, h.p90, h.p99, h.max,
+                );
+            }
+        }
+    }
+    if traces.is_empty() {
+        println!("  (no completed traces)");
+        return;
+    }
+    println!("  recent traces (newest first):");
+    for t in traces {
+        let stages: Vec<String> =
+            t.stages.iter().map(|(s, us)| format!("{} +{us}µs", s.name())).collect();
+        let dedup = if t.deduped { " [dedup]" } else { "" };
+        println!("    {} {}{dedup}: {}", t.name, t.outcome.name(), stages.join(" → "));
+    }
+}
+
+const STATS_USAGE: &str = "usage: paper stats [--addr <HOST:PORT>] [--traces <N>]";
+
+#[derive(Debug)]
+struct StatsArgs {
+    addr: String,
+    traces: usize,
+}
+
+fn parse_stats_args(args: &[String]) -> Result<StatsArgs, String> {
+    let mut parsed = StatsArgs { addr: DEFAULT_ADDR.to_string(), traces: 16 };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value\n{STATS_USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => parsed.addr = value("--addr")?.to_string(),
+            "--traces" => {
+                parsed.traces = value("--traces")?
+                    .parse()
+                    .map_err(|e| format!("--traces: {e}\n{STATS_USAGE}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{STATS_USAGE}")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// Entry point for the `stats` subcommand: probes a running `paper
+/// serve` for its live registry snapshot and recent completed traces,
+/// over the same wire protocol jobs use. `args` excludes the
+/// subcommand name itself.
+pub fn run_stats(args: &[String]) -> ExitCode {
+    let parsed = match parse_stats_args(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match NetClient::connect(parsed.addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to {}: {e}", parsed.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.stats(parsed.traces) {
+        Ok(reply) => {
+            println!("stats from {}:", parsed.addr);
+            render_stats(&reply.metrics, &reply.traces);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("stats probe failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -393,5 +508,19 @@ mod tests {
         assert_eq!(defaults.addr, DEFAULT_ADDR);
         assert_eq!(defaults.algos, vec!["mvq"]);
         assert_eq!(defaults.repeat, 1);
+    }
+
+    #[test]
+    fn stats_parses_flags_and_rejects_garbage() {
+        let parsed =
+            parse_stats_args(&strs(&["--addr", "10.0.0.1:7341", "--traces", "3"])).unwrap();
+        assert_eq!(parsed.addr, "10.0.0.1:7341");
+        assert_eq!(parsed.traces, 3);
+        let defaults = parse_stats_args(&[]).unwrap();
+        assert_eq!(defaults.addr, DEFAULT_ADDR);
+        assert_eq!(defaults.traces, 16);
+        assert!(parse_stats_args(&strs(&["--traces", "many"])).is_err());
+        assert!(parse_stats_args(&strs(&["--traces"])).is_err(), "missing value must error");
+        assert!(parse_stats_args(&strs(&["--frobnicate"])).is_err());
     }
 }

@@ -525,6 +525,11 @@ pub enum BlobKind {
     /// instead of inline artifacts (the layer blobs themselves are
     /// [`BlobKind::Layer`] under derived keys).
     ModelIndex = 6,
+    /// An `mvq-net` live-stats request: a snapshot of the serving
+    /// stack's metrics registry and recent completed traces.
+    StatsRequest = 7,
+    /// An `mvq-net` live-stats response carrying the snapshot.
+    StatsResponse = 8,
 }
 
 impl BlobKind {
@@ -537,6 +542,8 @@ impl BlobKind {
             4 => Ok(BlobKind::WireRequest),
             5 => Ok(BlobKind::WireResponse),
             6 => Ok(BlobKind::ModelIndex),
+            7 => Ok(BlobKind::StatsRequest),
+            8 => Ok(BlobKind::StatsResponse),
             other => Err(MvqError::Codec(format!("unknown blob kind tag {other}"))),
         }
     }

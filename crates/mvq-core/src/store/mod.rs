@@ -80,6 +80,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use mvq_obs::{names as metric, Registry};
 use mvq_tensor::Tensor;
 
 use shard::{DiskEntry, MemEntry, Shard};
@@ -190,6 +191,10 @@ pub struct ArtifactCache {
     memory_used: AtomicU64,
     /// Encoded bytes ledgered on disk (reservation total).
     disk_used: AtomicU64,
+    /// The observability registry this cache records into. Created
+    /// here and adopted by the service/network tiers above, so one
+    /// serving stack shares one registry.
+    metrics: Arc<Registry>,
 }
 
 impl ArtifactCache {
@@ -214,6 +219,7 @@ impl ArtifactCache {
             clock: AtomicU64::new(0),
             memory_used: AtomicU64::new(0),
             disk_used: AtomicU64::new(0),
+            metrics: Registry::new(),
         }
     }
 
@@ -269,6 +275,7 @@ impl ArtifactCache {
             clock: AtomicU64::new(0),
             memory_used: AtomicU64::new(0),
             disk_used: AtomicU64::new(0),
+            metrics: Registry::new(),
         };
         cache.scan_disk()?;
         Ok(cache)
@@ -282,6 +289,13 @@ impl ArtifactCache {
     /// The byte budget this cache enforces.
     pub fn budget(&self) -> CacheBudget {
         self.budget
+    }
+
+    /// The observability registry this cache records into. The serve
+    /// and net tiers adopt it so a whole serving stack reports through
+    /// one registry; [`ArtifactCache::stats`] is a view over it.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.metrics
     }
 
     /// Lock domains this cache is split into.
@@ -319,10 +333,19 @@ impl ArtifactCache {
     /// A snapshot of the traffic counters and occupancy gauges, merged
     /// across shards (one shard lock at a time).
     pub fn stats(&self) -> CacheStats {
-        let mut total = CacheStats::default();
+        let mut total = CacheStats {
+            hits: self.metrics.counter(metric::STORE_CACHE_HITS).get(),
+            misses: self.metrics.counter(metric::STORE_CACHE_MISSES).get(),
+            insertions: self.metrics.counter(metric::STORE_CACHE_INSERTIONS).get(),
+            corrupt_rejections: self.metrics.counter(metric::STORE_CACHE_CORRUPT_REJECTIONS).get(),
+            memory_evictions: self.metrics.counter(metric::STORE_SHARD_EVICTIONS_MEMORY).get(),
+            disk_evictions: self.metrics.counter(metric::STORE_SHARD_EVICTIONS_DISK).get(),
+            negative_hits: self.metrics.counter(metric::STORE_CACHE_NEGATIVE_HITS).get(),
+            mtime_fallbacks: self.metrics.counter(metric::STORE_CACHE_MTIME_FALLBACKS).get(),
+            ..CacheStats::default()
+        };
         for shard in self.shards.iter() {
             let inner = shard.lock();
-            total.absorb(&inner.stats);
             total.memory_len += inner.blobs.len();
             total.disk_len += inner.disk.len();
             total.negative_len += inner.negative_len();
@@ -375,7 +398,7 @@ impl ArtifactCache {
                 Arc::clone(&entry.bytes)
             });
             if hit.is_some() {
-                inner.stats.hits += 1;
+                self.metrics.counter(metric::STORE_CACHE_HITS).inc();
                 // the blob's disk copy is just as recently used: without
                 // this, a hot key served from memory would keep a stale
                 // disk stamp and be the first blob deleted under a disk
@@ -388,13 +411,13 @@ impl ArtifactCache {
             return Ok(Some(bytes));
         }
         let Some(dir) = &self.dir else {
-            self.shard_for(&name).lock().stats.misses += 1;
+            self.metrics.counter(metric::STORE_CACHE_MISSES).inc();
             return Ok(None);
         };
         let Some(loaded) = ledger::load_blob(dir, &name)? else {
             let freed = {
                 let mut inner = self.shard_for(&name).lock();
-                inner.stats.misses += 1;
+                self.metrics.counter(metric::STORE_CACHE_MISSES).inc();
                 // drop a stale ledger entry only if the file is truly
                 // absent *now*: a concurrent put may have persisted this
                 // key between our (lock-free) disk read and re-acquiring
@@ -417,7 +440,7 @@ impl ArtifactCache {
             return Err(self.reject_corrupt(key, &name, &detail));
         }
         let tick = self.tick();
-        self.shard_for(&name).lock().stats.hits += 1;
+        self.metrics.counter(metric::STORE_CACHE_HITS).inc();
         self.admit_disk(&name, bytes.len() as u64, tick)?;
         self.admit_memory(key, &name, Arc::clone(&bytes), tick, false);
         Ok(Some(bytes))
@@ -500,7 +523,11 @@ impl ArtifactCache {
     pub fn failure(&self, key: &CacheKey) -> Option<MvqError> {
         let name = key.blob_name();
         let tick = self.tick();
-        self.shard_for(&name).lock().recall_failure(key, tick)
+        let remembered = self.shard_for(&name).lock().recall_failure(key, tick);
+        if remembered.is_some() {
+            self.metrics.counter(metric::STORE_CACHE_NEGATIVE_HITS).inc();
+        }
+        remembered
     }
 
     /// `get`, falling back to `compute` + `put` on a miss. A remembered
@@ -622,7 +649,7 @@ impl ArtifactCache {
         let resident = {
             let mut inner = self.shard_for(name).lock();
             if insertion {
-                inner.stats.insertions += 1;
+                self.metrics.counter(metric::STORE_CACHE_INSERTIONS).inc();
                 inner.clear_failure(key);
             }
             match inner.blobs.get_mut(key) {
@@ -736,7 +763,7 @@ impl ArtifactCache {
             let mut inner = self.shards[idx].lock();
             let freed = inner.remove_memory(&key);
             if freed > 0 {
-                inner.stats.memory_evictions += 1;
+                self.metrics.counter(metric::STORE_SHARD_EVICTIONS_MEMORY).inc();
             }
             freed
         };
@@ -768,7 +795,7 @@ impl ArtifactCache {
             let mut inner = self.shards[idx].lock();
             let freed = inner.forget_disk(&name);
             if freed > 0 {
-                inner.stats.disk_evictions += 1;
+                self.metrics.counter(metric::STORE_SHARD_EVICTIONS_DISK).inc();
             }
             freed
         };
@@ -785,7 +812,7 @@ impl ArtifactCache {
     fn reject_corrupt(&self, key: &CacheKey, name: &str, detail: &MvqError) -> MvqError {
         let (mem_freed, disk_freed) = {
             let mut inner = self.shard_for(name).lock();
-            inner.stats.corrupt_rejections += 1;
+            self.metrics.counter(metric::STORE_CACHE_CORRUPT_REJECTIONS).inc();
             (inner.remove_memory(key), inner.forget_disk(name))
         };
         if mem_freed > 0 {
@@ -811,9 +838,7 @@ impl ArtifactCache {
         let Some(dir) = &self.dir else { return Ok(()) };
         let report = ledger::scan_dir(dir)?;
         if report.mtime_fallbacks > 0 {
-            // per-shard counters merge on read, so any one shard may
-            // carry a scan-wide count; shard 0 always exists
-            self.shards[0].lock().stats.mtime_fallbacks += report.mtime_fallbacks;
+            self.metrics.counter(metric::STORE_CACHE_MTIME_FALLBACKS).add(report.mtime_fallbacks);
         }
         for (name, len) in report.blobs {
             let tick = self.tick();

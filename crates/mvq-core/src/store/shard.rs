@@ -1,5 +1,8 @@
 //! One lock domain of the sharded cache: its slice of the memory map,
-//! disk ledger, negative-result cache, and traffic counters.
+//! disk ledger, and negative-result cache. Traffic counters live on
+//! the cache-wide `mvq_obs::Registry` (they are atomics, not shard
+//! state); the owning cache bumps them at the same call sites the
+//! per-shard counters used to occupy, so accounting stays exactly-once.
 //!
 //! A shard never does disk I/O and never takes another shard's lock —
 //! every method here is pure bookkeeping under one `Mutex`, so the
@@ -8,7 +11,6 @@
 use std::collections::{hash_map, HashMap};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use super::stats::CacheStats;
 use super::CacheKey;
 use crate::error::MvqError;
 
@@ -46,7 +48,6 @@ pub(super) struct ShardInner {
     /// remembered so repeated bad requests fail fast instead of
     /// re-running the whole pipeline. A successful `put` heals the key.
     negative: HashMap<CacheKey, NegativeEntry>,
-    pub(super) stats: CacheStats,
 }
 
 impl ShardInner {
@@ -91,12 +92,11 @@ impl ShardInner {
         }
     }
 
-    /// The remembered failure for `key`, if any, refreshing its stamp
-    /// and counting the fast-path answer.
+    /// The remembered failure for `key`, if any, refreshing its stamp.
+    /// The caller counts the fast-path answer (`store.cache.negative_hits`).
     pub(super) fn recall_failure(&mut self, key: &CacheKey, tick: u64) -> Option<MvqError> {
         let entry = self.negative.get_mut(key)?;
         entry.last_used = tick;
-        self.stats.negative_hits += 1;
         Some(entry.error.clone())
     }
 

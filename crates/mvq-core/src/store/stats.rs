@@ -3,10 +3,13 @@
 /// Cache traffic counters plus occupancy gauges sampled at
 /// [`super::ArtifactCache::stats`] time.
 ///
-/// Counters are kept per shard and merged on read, so a snapshot is the
-/// exact sum over all shards (each shard's contribution is read under
-/// that shard's lock; the byte gauges come from the cache-wide atomic
-/// totals the budget reservations maintain).
+/// Since the observability layer landed this is a **view over the
+/// cache's `mvq_obs::Registry`**: the counters are read from the
+/// registry's `store.*` metrics (recorded exactly-once at the same
+/// call sites that used to bump per-shard counters), the occupancy
+/// gauges are sampled shard by shard under each shard's lock, and the
+/// byte gauges come from the cache-wide atomic totals the budget
+/// reservations maintain. The fields and their values are unchanged.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from memory or disk.
@@ -37,22 +40,6 @@ pub struct CacheStats {
     pub memory_bytes: u64,
     /// Encoded bytes on disk when the snapshot was taken.
     pub disk_bytes: u64,
-}
-
-impl CacheStats {
-    /// Adds another snapshot's traffic counters into this one (the
-    /// merge-on-read half of per-shard accounting). Gauges are not
-    /// summed here — the caller samples them separately.
-    pub(super) fn absorb(&mut self, other: &CacheStats) {
-        self.hits += other.hits;
-        self.misses += other.misses;
-        self.insertions += other.insertions;
-        self.corrupt_rejections += other.corrupt_rejections;
-        self.memory_evictions += other.memory_evictions;
-        self.disk_evictions += other.disk_evictions;
-        self.negative_hits += other.negative_hits;
-        self.mtime_fallbacks += other.mtime_fallbacks;
-    }
 }
 
 /// Byte budgets bounding an [`super::ArtifactCache`]'s memory and disk

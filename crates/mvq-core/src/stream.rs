@@ -436,6 +436,9 @@ pub fn stream_compress(
     let bytes: Arc<[u8]> = index.to_bytes()?.into();
     cache.put_raw_kind(model_key, BlobKind::ModelIndex, bytes)?;
     let (peak_layers, peak_bytes) = window.peaks();
+    let registry = cache.registry();
+    registry.gauge(mvq_obs::names::STREAM_WINDOW_BYTES_PEAK).record_peak(peak_bytes);
+    registry.gauge(mvq_obs::names::STREAM_WINDOW_LAYERS_PEAK).record_peak(peak_layers as u64);
     Ok(StreamReport { index, peak_window_bytes: peak_bytes, peak_window_layers: peak_layers })
 }
 

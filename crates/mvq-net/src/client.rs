@@ -11,7 +11,8 @@ use mvq_serve::{CacheMode, Priority};
 use mvq_tensor::Tensor;
 
 use crate::wire::{
-    read_message, write_message, WireErrorKind, WireRequest, WireResponse, DEFAULT_MAX_MESSAGE_LEN,
+    read_message, write_message, WireErrorKind, WireRequest, WireResponse, WireStatsReply,
+    WireStatsRequest, DEFAULT_MAX_MESSAGE_LEN,
 };
 
 /// One compression request to send over a [`NetClient`]. Construct with
@@ -191,6 +192,32 @@ impl NetClient {
                 Err(NetError::Remote { kind, message })
             }
         }
+    }
+
+    /// Asks the server for a live snapshot of its metrics registry and
+    /// up to `max_traces` recently completed job traces (newest first).
+    /// In-order like [`NetClient::submit`]: the reply reflects the
+    /// server's state after every request this connection already sent.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] for transport failures, [`NetError::Protocol`]
+    /// for unparseable server bytes or a mismatched reply id.
+    pub fn stats(&mut self, max_traces: usize) -> Result<WireStatsReply, NetError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        let max_traces = u32::try_from(max_traces).unwrap_or(u32::MAX);
+        let frame = WireStatsRequest { id, max_traces }.encode();
+        write_message(&mut self.stream, &frame).map_err(NetError::Io)?;
+        let msg = read_message(&mut self.stream, self.max_message_len).map_err(NetError::Io)?;
+        let reply = WireStatsReply::decode(&msg).map_err(NetError::Protocol)?;
+        if reply.id != id {
+            return Err(NetError::Protocol(MvqError::Codec(format!(
+                "stats reply id {} does not match request id {id}",
+                reply.id
+            ))));
+        }
+        Ok(reply)
     }
 
     /// Raw access to the connection, for failure-injection tests that

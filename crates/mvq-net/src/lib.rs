@@ -45,7 +45,8 @@
 //! 4       2     u16 le FORMAT_VERSION (currently 1; future versions
 //!               are refused, never guessed at)
 //! 6       1     BlobKind tag: 4 = WireRequest, 5 = WireResponse,
-//!               0 = Artifact (response bodies)
+//!               0 = Artifact (response bodies), 7 = StatsRequest,
+//!               8 = StatsResponse
 //! 7       8     u64 le payload length
 //! 15      8     u64 le FNV-1a payload checksum
 //! 23      …     payload
@@ -60,6 +61,14 @@
 //!    (from-cache/deduped flags + name), followed by one `Artifact`
 //!    frame as the next message; or `Err` (kind tag + message), which
 //!    stands alone.
+//!
+//! A client may also send a [`WireStatsRequest`] frame (kind tag 7) at
+//! any point; the server answers with one [`WireStatsReply`] frame
+//! (kind tag 8) carrying a snapshot of the serving stack's
+//! `mvq_obs::Registry` — every counter, gauge, and latency histogram
+//! across store/serve/net/stream — plus the most recently completed
+//! job-lifecycle traces. Stats replies ride the same per-connection
+//! pipeline as job responses, so ordering holds across both kinds.
 //!
 //! Responses come back in request order per connection. Protocol
 //! garbage — bad magic, a truncated frame, an oversize length prefix, a
@@ -76,4 +85,7 @@ mod wire;
 
 pub use client::{NetClient, NetError, NetOutcome, NetRequest};
 pub use server::{NetConfig, NetServer, NetStats};
-pub use wire::{WireErrorKind, WireRequest, WireResponse, DEFAULT_MAX_MESSAGE_LEN};
+pub use wire::{
+    WireErrorKind, WireMetric, WireMetricValue, WireRequest, WireResponse, WireStatsReply,
+    WireStatsRequest, DEFAULT_MAX_MESSAGE_LEN,
+};

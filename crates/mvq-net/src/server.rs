@@ -31,16 +31,19 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use mvq_core::store::BlobKind;
 use mvq_core::MvqError;
+use mvq_obs::{names as metric, Registry};
 use mvq_serve::{CancelToken, CompressionRequest, CompressionService, JobError, Ticket};
 
 use crate::wire::{
-    read_message, write_message, WireErrorKind, WireRequest, WireResponse, DEFAULT_MAX_MESSAGE_LEN,
+    read_message, write_message, WireErrorKind, WireRequest, WireResponse, WireStatsReply,
+    WireStatsRequest, DEFAULT_MAX_MESSAGE_LEN,
 };
 
 /// Tunables for [`NetServer::bind_with`].
@@ -64,6 +67,13 @@ impl Default for NetConfig {
 /// Monotonic counters for the server's observable behavior. Snapshot
 /// via [`NetServer::stats`]; tests spin on these to await events (a
 /// cancelled job, a drained connection) without sleeping.
+///
+/// Since the observability layer landed this is a **view over the
+/// serving stack's `mvq_obs::Registry`** (the server adopts its
+/// service's registry, which the service adopted from its cache): the
+/// fields read the registry's `net.conn.*` counters, recorded at the
+/// same points that used to bump a private atomic struct. Fields and
+/// values are unchanged.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Connections accepted.
@@ -84,31 +94,6 @@ pub struct NetStats {
     pub protocol_errors: u64,
 }
 
-#[derive(Default)]
-struct StatsInner {
-    connections: AtomicU64,
-    requests: AtomicU64,
-    responses_ok: AtomicU64,
-    responses_err: AtomicU64,
-    cancelled_disconnect: AtomicU64,
-    cancelled_deadline: AtomicU64,
-    protocol_errors: AtomicU64,
-}
-
-impl StatsInner {
-    fn snapshot(&self) -> NetStats {
-        NetStats {
-            connections: self.connections.load(Ordering::Acquire),
-            requests: self.requests.load(Ordering::Acquire),
-            responses_ok: self.responses_ok.load(Ordering::Acquire),
-            responses_err: self.responses_err.load(Ordering::Acquire),
-            cancelled_disconnect: self.cancelled_disconnect.load(Ordering::Acquire),
-            cancelled_deadline: self.cancelled_deadline.load(Ordering::Acquire),
-            protocol_errors: self.protocol_errors.load(Ordering::Acquire),
-        }
-    }
-}
-
 /// One live connection's handles, kept for the drain.
 struct Conn {
     /// A clone of the connection's stream, used only to half-close the
@@ -122,7 +107,10 @@ struct NetShared {
     service: CompressionService,
     config: NetConfig,
     draining: AtomicBool,
-    stats: StatsInner,
+    /// The serving stack's metrics registry, adopted from the service
+    /// (which adopted it from its cache): one registry, one snapshot,
+    /// covering store, serve, and net.
+    metrics: Arc<Registry>,
     conns: Mutex<Vec<Conn>>,
 }
 
@@ -174,11 +162,12 @@ impl NetServer {
         let local_addr = listener
             .local_addr()
             .map_err(|e| MvqError::InvalidConfig(format!("cannot resolve bound address: {e}")))?;
+        let metrics = Arc::clone(service.registry());
         let shared = Arc::new(NetShared {
             service,
             config,
             draining: AtomicBool::new(false),
-            stats: StatsInner::default(),
+            metrics,
             conns: Mutex::new(Vec::new()),
         });
         let acceptor = {
@@ -202,9 +191,25 @@ impl NetServer {
         &self.shared.service
     }
 
-    /// A snapshot of the server's counters.
+    /// A snapshot of the server's counters (a view over the shared
+    /// registry's `net.conn.*` metrics).
     pub fn stats(&self) -> NetStats {
-        self.shared.stats.snapshot()
+        let m = &self.shared.metrics;
+        NetStats {
+            connections: m.counter(metric::NET_CONN_ACCEPTED).get(),
+            requests: m.counter(metric::NET_CONN_FRAMES_RX).get(),
+            responses_ok: m.counter(metric::NET_CONN_RESPONSES_OK).get(),
+            responses_err: m.counter(metric::NET_CONN_RESPONSES_ERR).get(),
+            cancelled_disconnect: m.counter(metric::NET_CONN_CANCELLED_DISCONNECT).get(),
+            cancelled_deadline: m.counter(metric::NET_CONN_CANCELLED_DEADLINE).get(),
+            protocol_errors: m.counter(metric::NET_CONN_PROTOCOL_ERRORS).get(),
+        }
+    }
+
+    /// The metrics registry (and completed-trace ring) shared by the
+    /// whole serving stack: cache, service, and this network front.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.metrics
     }
 
     /// Graceful drain: stop accepting, half-close every connection's
@@ -269,6 +274,9 @@ enum Pending {
     Job { id: u64, ticket: Box<Ticket> },
     /// A request refused at validation; respond without a ticket.
     Reject { id: u64, message: String },
+    /// A live-stats reply, already encoded; rides the same channel so
+    /// replies stay in per-connection submission order.
+    Stats { frame: Vec<u8> },
 }
 
 fn spawn_connection(shared: &Arc<NetShared>, stream: TcpStream) {
@@ -284,7 +292,7 @@ fn spawn_connection(shared: &Arc<NetShared>, stream: TcpStream) {
         Ok(s) => s,
         Err(_) => return,
     };
-    shared.stats.connections.fetch_add(1, Ordering::AcqRel);
+    shared.metrics.counter(metric::NET_CONN_ACCEPTED).inc();
     // bounded by design: the pipeline depth is the connection's
     // in-flight budget, and a reader blocked on a full channel is the
     // protocol's backpressure
@@ -337,21 +345,49 @@ fn conn_reader(
                 // a clean disconnect surfaces as EOF at the length
                 // prefix; anything else is protocol garbage
                 if e.kind() != std::io::ErrorKind::UnexpectedEof {
-                    shared.stats.protocol_errors.fetch_add(1, Ordering::AcqRel);
+                    shared.metrics.counter(metric::NET_CONN_PROTOCOL_ERRORS).inc();
                 }
                 break;
             }
         };
+        // a stats probe is answered from the registry without touching
+        // the service queue; it rides the same pending channel so the
+        // reply lands in per-connection order (the kind tag sits at a
+        // fixed offset in the verified-later frame header, so peeking
+        // it never commits us to a decode)
+        if msg.get(6) == Some(&(BlobKind::StatsRequest as u8)) {
+            let reply = match WireStatsRequest::decode(&msg) {
+                Ok(req) => {
+                    shared.metrics.counter(metric::NET_CONN_STATS_REQUESTS).inc();
+                    let traces = shared.metrics.traces().recent(req.max_traces as usize);
+                    WireStatsReply::from_registry(req.id, &shared.metrics.snapshot(), traces)
+                        .encode()
+                }
+                Err(e) => Err(e),
+            };
+            match reply {
+                Ok(frame) => {
+                    if tx.send(Pending::Stats { frame }).is_err() {
+                        break; // writer is gone; the connection is dead
+                    }
+                    continue;
+                }
+                Err(_) => {
+                    shared.metrics.counter(metric::NET_CONN_PROTOCOL_ERRORS).inc();
+                    break;
+                }
+            }
+        }
         let wire = match WireRequest::decode(&msg) {
             Ok(wire) => wire,
             Err(_) => {
                 // an undecodable frame poisons the stream's framing;
                 // drop the connection rather than guess at recovery
-                shared.stats.protocol_errors.fetch_add(1, Ordering::AcqRel);
+                shared.metrics.counter(metric::NET_CONN_PROTOCOL_ERRORS).inc();
                 break;
             }
         };
-        shared.stats.requests.fetch_add(1, Ordering::AcqRel);
+        shared.metrics.counter(metric::NET_CONN_FRAMES_RX).inc();
         let id = wire.id;
         let token = CancelToken::new();
         let mut builder = CompressionRequest::builder(wire.name, wire.weight, wire.algo)
@@ -407,8 +443,13 @@ fn conn_writer(
     let mut alive = true;
     while let Ok(pending) = rx.recv() {
         match pending {
+            Pending::Stats { frame } => {
+                if alive {
+                    alive = write_message(&mut stream, &frame).is_ok();
+                }
+            }
             Pending::Reject { id, message } => {
-                shared.stats.responses_err.fetch_add(1, Ordering::AcqRel);
+                shared.metrics.counter(metric::NET_CONN_RESPONSES_ERR).inc();
                 if alive {
                     let resp = WireResponse::Err { id, kind: WireErrorKind::Rejected, message };
                     alive = write_response(&mut stream, &resp);
@@ -421,7 +462,7 @@ fn conn_writer(
                 }
                 match result {
                     Ok(outcome) => {
-                        shared.stats.responses_ok.fetch_add(1, Ordering::AcqRel);
+                        shared.metrics.counter(metric::NET_CONN_RESPONSES_OK).inc();
                         if alive {
                             let header = WireResponse::Ok {
                                 id,
@@ -437,14 +478,16 @@ fn conn_writer(
                         match &e {
                             JobError::Cancelled { kind, .. } => {
                                 use mvq_serve::CancelKind;
-                                let counter = match kind {
-                                    CancelKind::Explicit => &shared.stats.cancelled_disconnect,
-                                    CancelKind::DeadlineExpired => &shared.stats.cancelled_deadline,
+                                let id = match kind {
+                                    CancelKind::Explicit => metric::NET_CONN_CANCELLED_DISCONNECT,
+                                    CancelKind::DeadlineExpired => {
+                                        metric::NET_CONN_CANCELLED_DEADLINE
+                                    }
                                 };
-                                counter.fetch_add(1, Ordering::AcqRel);
+                                shared.metrics.counter(id).inc();
                             }
                             _ => {
-                                shared.stats.responses_err.fetch_add(1, Ordering::AcqRel);
+                                shared.metrics.counter(metric::NET_CONN_RESPONSES_ERR).inc();
                             }
                         }
                         if alive {

@@ -14,6 +14,9 @@ use std::io::{Read, Write};
 use mvq_core::pipeline::PipelineSpec;
 use mvq_core::store::{frame_blob, unframe_blob, BlobKind, HEADER_LEN};
 use mvq_core::{GroupingStrategy, KernelStrategy, MvqError};
+use mvq_obs::{
+    HistogramSummary, MetricKind, MetricValue, RegistrySnapshot, Stage, TraceOutcome, TraceSnapshot,
+};
 use mvq_serve::{CacheMode, CancelKind, JobError, Priority};
 use mvq_tensor::Tensor;
 
@@ -548,6 +551,219 @@ impl WireResponse {
     }
 }
 
+// ---------------------------------------------------------------------
+// live stats: WireStatsRequest / WireStatsReply
+// ---------------------------------------------------------------------
+
+/// A live-stats probe: asks the server for a snapshot of its metrics
+/// registry and up to `max_traces` recently completed job traces. The
+/// server answers from the registry without touching the compression
+/// queue, so a stats probe is cheap even under full load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireStatsRequest {
+    /// Client-chosen correlation id, echoed on the reply.
+    pub id: u64,
+    /// Cap on the completed traces returned (newest first).
+    pub max_traces: u32,
+}
+
+impl WireStatsRequest {
+    /// Encodes into a framed `BlobKind::StatsRequest` message body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        put_u64(&mut p, self.id);
+        put_u32(&mut p, self.max_traces);
+        frame_blob(BlobKind::StatsRequest, p)
+    }
+
+    /// Decodes a framed `BlobKind::StatsRequest` message body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::Codec`] for bad framing or a malformed
+    /// payload.
+    pub fn decode(bytes: &[u8]) -> Result<WireStatsRequest, MvqError> {
+        let payload = unframe_blob(BlobKind::StatsRequest, bytes)?;
+        let mut r = Reader::new(payload);
+        let id = r.u64()?;
+        let max_traces = r.u32()?;
+        r.finish()?;
+        Ok(WireStatsRequest { id, max_traces })
+    }
+}
+
+/// One metric as it travels in a [`WireStatsReply`]. The name rides as
+/// a string (not a pinned-ID lookup) so an older client renders a newer
+/// server's metrics without knowing their IDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMetric {
+    /// The metric's pinned registry ID.
+    pub id: u16,
+    /// The metric's dotted name (`"serve.queue.wait_us"` style).
+    pub name: String,
+    /// The captured value.
+    pub value: WireMetricValue,
+}
+
+/// A [`WireMetric`]'s captured value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMetricValue {
+    /// A counter's current count.
+    Counter(u64),
+    /// A gauge's current level.
+    Gauge(u64),
+    /// A histogram's summary.
+    Histogram(HistogramSummary),
+}
+
+/// A live-stats reply: every registry metric plus the most recently
+/// completed job traces (newest first), as of the instant the server's
+/// reader handled the probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStatsReply {
+    /// Echo of the request id.
+    pub id: u64,
+    /// All metrics, in registry (ID) order.
+    pub metrics: Vec<WireMetric>,
+    /// Recently completed traces, newest first, capped at the request's
+    /// `max_traces`.
+    pub traces: Vec<TraceSnapshot>,
+}
+
+impl WireStatsReply {
+    /// Builds a reply from a registry snapshot and a trace-ring read.
+    pub fn from_registry(
+        id: u64,
+        snapshot: &RegistrySnapshot,
+        traces: Vec<TraceSnapshot>,
+    ) -> WireStatsReply {
+        let metrics = snapshot
+            .metrics
+            .iter()
+            .map(|m| WireMetric {
+                id: m.id,
+                name: m.name.to_string(),
+                value: match m.value {
+                    MetricValue::Counter(v) => WireMetricValue::Counter(v),
+                    MetricValue::Gauge(v) => WireMetricValue::Gauge(v),
+                    MetricValue::Histogram(h) => WireMetricValue::Histogram(h),
+                },
+            })
+            .collect();
+        WireStatsReply { id, metrics, traces }
+    }
+
+    /// Encodes into a framed `BlobKind::StatsResponse` message body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::Codec`] when a length field overflows.
+    pub fn encode(&self) -> Result<Vec<u8>, MvqError> {
+        let mut p = Vec::new();
+        put_u64(&mut p, self.id);
+        let n = u32::try_from(self.metrics.len())
+            .map_err(|_| MvqError::Codec("metric count exceeds the u32 field".into()))?;
+        put_u32(&mut p, n);
+        for m in &self.metrics {
+            put_u32(&mut p, u32::from(m.id));
+            put_str(&mut p, &m.name)?;
+            match m.value {
+                WireMetricValue::Counter(v) => {
+                    put_u8(&mut p, MetricKind::Counter.tag());
+                    put_u64(&mut p, v);
+                }
+                WireMetricValue::Gauge(v) => {
+                    put_u8(&mut p, MetricKind::Gauge.tag());
+                    put_u64(&mut p, v);
+                }
+                WireMetricValue::Histogram(h) => {
+                    put_u8(&mut p, MetricKind::Histogram.tag());
+                    put_u64(&mut p, h.count);
+                    put_u64(&mut p, h.sum);
+                    put_u64(&mut p, h.max);
+                    put_u64(&mut p, h.p50);
+                    put_u64(&mut p, h.p90);
+                    put_u64(&mut p, h.p99);
+                }
+            }
+        }
+        let n = u32::try_from(self.traces.len())
+            .map_err(|_| MvqError::Codec("trace count exceeds the u32 field".into()))?;
+        put_u32(&mut p, n);
+        for t in &self.traces {
+            put_str(&mut p, &t.name)?;
+            put_u8(&mut p, u8::from(t.deduped));
+            put_u8(&mut p, t.outcome.tag());
+            let n = u32::try_from(t.stages.len())
+                .map_err(|_| MvqError::Codec("stage count exceeds the u32 field".into()))?;
+            put_u32(&mut p, n);
+            for &(stage, us) in &t.stages {
+                put_u8(&mut p, stage.tag());
+                put_u64(&mut p, us);
+            }
+        }
+        Ok(frame_blob(BlobKind::StatsResponse, p))
+    }
+
+    /// Decodes a framed `BlobKind::StatsResponse` message body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvqError::Codec`] for bad framing, a malformed
+    /// payload, or an unknown metric-kind / stage / outcome tag (tags
+    /// are append-only; an unknown tag means a newer peer).
+    pub fn decode(bytes: &[u8]) -> Result<WireStatsReply, MvqError> {
+        let payload = unframe_blob(BlobKind::StatsResponse, bytes)?;
+        let mut r = Reader::new(payload);
+        let id = r.u64()?;
+        let n_metrics = r.u32()? as usize;
+        let mut metrics = Vec::with_capacity(n_metrics.min(1 << 16));
+        for _ in 0..n_metrics {
+            let raw_id = r.u32()?;
+            let mid = u16::try_from(raw_id)
+                .map_err(|_| MvqError::Codec(format!("metric id {raw_id} overflows u16")))?;
+            let name = r.str()?;
+            let kind_tag = r.u8()?;
+            let value = match MetricKind::from_tag(kind_tag) {
+                Some(MetricKind::Counter) => WireMetricValue::Counter(r.u64()?),
+                Some(MetricKind::Gauge) => WireMetricValue::Gauge(r.u64()?),
+                Some(MetricKind::Histogram) => WireMetricValue::Histogram(HistogramSummary {
+                    count: r.u64()?,
+                    sum: r.u64()?,
+                    max: r.u64()?,
+                    p50: r.u64()?,
+                    p90: r.u64()?,
+                    p99: r.u64()?,
+                }),
+                None => return Err(MvqError::Codec(format!("unknown metric kind tag {kind_tag}"))),
+            };
+            metrics.push(WireMetric { id: mid, name, value });
+        }
+        let n_traces = r.u32()? as usize;
+        let mut traces = Vec::with_capacity(n_traces.min(1 << 16));
+        for _ in 0..n_traces {
+            let name = r.str()?;
+            let deduped = r.u8()? != 0;
+            let outcome_tag = r.u8()?;
+            let outcome = TraceOutcome::from_tag(outcome_tag).ok_or_else(|| {
+                MvqError::Codec(format!("unknown trace outcome tag {outcome_tag}"))
+            })?;
+            let n_stages = r.u32()? as usize;
+            let mut stages = Vec::with_capacity(n_stages.min(64));
+            for _ in 0..n_stages {
+                let stage_tag = r.u8()?;
+                let stage = Stage::from_tag(stage_tag).ok_or_else(|| {
+                    MvqError::Codec(format!("unknown trace stage tag {stage_tag}"))
+                })?;
+                stages.push((stage, r.u64()?));
+            }
+            traces.push(TraceSnapshot { name, deduped, outcome, stages });
+        }
+        r.finish()?;
+        Ok(WireStatsReply { id, metrics, traces })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -611,6 +827,50 @@ mod tests {
         corrupt[last] ^= 0xFF;
         assert!(WireRequest::decode(&corrupt).is_err(), "bad checksum accepted");
         assert!(WireRequest::decode(&req[..10]).is_err(), "truncation accepted");
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let req = WireStatsRequest { id: 9, max_traces: 16 };
+        assert_eq!(WireStatsRequest::decode(&req.encode()).unwrap(), req);
+        let reply = WireStatsReply {
+            id: 9,
+            metrics: vec![
+                WireMetric {
+                    id: 0,
+                    name: "store.cache.hits".into(),
+                    value: WireMetricValue::Counter(41),
+                },
+                WireMetric {
+                    id: 23,
+                    name: "stream.window.bytes_peak".into(),
+                    value: WireMetricValue::Gauge(1 << 20),
+                },
+                WireMetric {
+                    id: 8,
+                    name: "serve.queue.wait_us".into(),
+                    value: WireMetricValue::Histogram(HistogramSummary {
+                        count: 100,
+                        sum: 5000,
+                        max: 120,
+                        p50: 40,
+                        p90: 80,
+                        p99: 110,
+                    }),
+                },
+            ],
+            traces: vec![TraceSnapshot {
+                name: "conv1".into(),
+                deduped: true,
+                outcome: TraceOutcome::Ok,
+                stages: vec![(Stage::Submitted, 0), (Stage::Queued, 3), (Stage::Replied, 250)],
+            }],
+        };
+        let frame = reply.encode().unwrap();
+        assert_eq!(WireStatsReply::decode(&frame).unwrap(), reply);
+        // cross-kind confusion is refused, like every other frame pair
+        assert!(WireStatsRequest::decode(&frame).is_err());
+        assert!(WireResponse::decode(&frame).is_err());
     }
 
     #[test]

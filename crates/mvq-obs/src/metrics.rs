@@ -1,0 +1,494 @@
+//! Lock-cheap metric primitives and the registry that owns them.
+//!
+//! Counters and gauges are single `AtomicU64`s; histograms are a fixed
+//! array of log-scale buckets (see [`Histogram`]). Recording is a
+//! handful of relaxed atomic ops — no locks, no allocation — and
+//! quantile extraction walks the bucket array without allocating.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::names;
+use crate::trace::TraceRing;
+
+/// What a metric measures. The discriminants are serialization tags
+/// (append-only, pinned in `lint.toml`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MetricKind {
+    /// A monotonically increasing event count.
+    Counter = 0,
+    /// A last-written (or high-water) level.
+    Gauge = 1,
+    /// A log-scale latency/size distribution.
+    Histogram = 2,
+}
+
+impl MetricKind {
+    /// The serialization tag of this kind.
+    pub fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a serialization tag; `None` for an unknown tag.
+    pub fn from_tag(tag: u8) -> Option<MetricKind> {
+        match tag {
+            0 => Some(MetricKind::Counter),
+            1 => Some(MetricKind::Gauge),
+            2 => Some(MetricKind::Histogram),
+            _ => None,
+        }
+    }
+}
+
+/// A monotonically increasing counter. `inc`/`add` are single relaxed
+/// `fetch_add`s — safe to call from any thread, exactly-once per event.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zero counter.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A level gauge. `set` overwrites; `record_peak` keeps the high-water
+/// mark via `fetch_max`.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh zero gauge.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrites the level.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level to `v` if `v` is higher (high-water mark).
+    pub fn record_peak(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Buckets in a [`Histogram`]: values 0–3 get exact buckets, every
+/// larger octave `[2^o, 2^(o+1))` is split into 4 linear sub-buckets,
+/// up to `o = 62` — so a bucket's bounds are within 25% of each other
+/// and a quantile read from bucket midpoints is within ~12.5% of the
+/// true value.
+pub const HISTOGRAM_BUCKETS: usize = 252;
+
+/// A fixed-bucket log-scale histogram for latencies (µs) or sizes.
+///
+/// [`Histogram::record`] is 4 relaxed atomic ops (bucket, count, sum,
+/// `fetch_max`), no locks, no allocation. [`Histogram::summary`]
+/// extracts p50/p90/p99/max by walking the bucket array — also
+/// allocation-free.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Which bucket a value lands in.
+fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // >= 2
+    let sub = ((v >> (msb - 2)) & 3) as usize;
+    (msb - 1) * 4 + sub
+}
+
+/// The midpoint of a bucket, clamped to `u64::MAX` for the top octave.
+fn bucket_midpoint(idx: usize) -> u64 {
+    if idx < 4 {
+        return idx as u64;
+    }
+    let octave = idx / 4 + 1;
+    let sub = (idx % 4) as u128;
+    let width = 1u128 << (octave - 2);
+    let lo = (1u128 << octave) + sub * width;
+    u64::try_from(lo + width / 2).unwrap_or(u64::MAX)
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Lock-free, allocation-free.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The approximate value at quantile `p` (`0.0..=1.0`): the
+    /// midpoint of the bucket holding the `ceil(p·count)`-th
+    /// observation, clamped to the exact max. Returns 0 when empty.
+    /// Allocation-free: one walk over the bucket array.
+    pub fn quantile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_midpoint(idx).min(self.max());
+            }
+        }
+        // racing recorders can make count lag the buckets; the max is
+        // the right answer for "the highest rank we know about"
+        self.max()
+    }
+
+    /// A point-in-time p50/p90/p99/max summary.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// A point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Largest observation (exact).
+    pub max: u64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+/// One registered metric's storage.
+#[derive(Debug)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    // boxed: the 252-bucket array would otherwise balloon every slot
+    Histogram(Box<Histogram>),
+}
+
+/// The value of one metric in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A counter's current count.
+    Counter(u64),
+    /// A gauge's current level.
+    Gauge(u64),
+    /// A histogram's summary.
+    Histogram(HistogramSummary),
+}
+
+/// One metric in a [`RegistrySnapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// The metric's pinned ID (see [`names`]).
+    pub id: u16,
+    /// The metric's dotted name, or `"?"` for an ID this build does
+    /// not know (a snapshot from a newer peer).
+    pub name: &'static str,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time capture of every metric in a [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// All metrics, in ID order.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// The metric with ID `id`, if present.
+    pub fn get(&self, id: u16) -> Option<&MetricSnapshot> {
+        self.metrics.iter().find(|m| m.id == id)
+    }
+
+    /// A counter/gauge value by ID; 0 when absent or a histogram.
+    pub fn value(&self, id: u16) -> u64 {
+        match self.get(id).map(|m| m.value) {
+            Some(MetricValue::Counter(v)) | Some(MetricValue::Gauge(v)) => v,
+            _ => 0,
+        }
+    }
+
+    /// A histogram summary by ID; empty when absent or not a histogram.
+    pub fn histogram(&self, id: u16) -> HistogramSummary {
+        match self.get(id).map(|m| m.value) {
+            Some(MetricValue::Histogram(h)) => h,
+            _ => HistogramSummary::default(),
+        }
+    }
+}
+
+/// The process-side metric registry: one slot per pinned metric ID
+/// (see [`names::TABLE`]), plus the ring of recently completed job
+/// traces. Shared as an `Arc` across the cache, service, and network
+/// front of one serving stack; hot-path access is a direct index — no
+/// hashing, no locks.
+#[derive(Debug)]
+pub struct Registry {
+    slots: Vec<Slot>,
+    traces: TraceRing,
+}
+
+/// Sink for accesses with a wrong-kind ID: recording into it is
+/// harmless and reads return 0, so misuse shows up as a blank metric
+/// instead of a panic on the serving path.
+fn noop_counter() -> &'static Counter {
+    static NOOP: Counter = Counter::new();
+    &NOOP
+}
+
+fn noop_gauge() -> &'static Gauge {
+    static NOOP: Gauge = Gauge::new();
+    &NOOP
+}
+
+fn noop_histogram() -> &'static Histogram {
+    static NOOP: OnceLock<Histogram> = OnceLock::new();
+    NOOP.get_or_init(Histogram::new)
+}
+
+impl Registry {
+    /// Builds a registry with every metric in [`names::TABLE`]
+    /// registered, wrapped in the `Arc` the stack shares.
+    pub fn new() -> Arc<Registry> {
+        let slots = names::TABLE
+            .iter()
+            .map(|&(_, _, kind)| match kind {
+                MetricKind::Counter => Slot::Counter(Counter::new()),
+                MetricKind::Gauge => Slot::Gauge(Gauge::new()),
+                MetricKind::Histogram => Slot::Histogram(Box::default()),
+            })
+            .collect();
+        Arc::new(Registry { slots, traces: TraceRing::new(Registry::TRACE_RING_CAP) })
+    }
+
+    /// Completed traces kept per registry.
+    pub const TRACE_RING_CAP: usize = 64;
+
+    /// The counter with ID `id`. A wrong-kind or unknown ID returns a
+    /// no-op counter rather than panicking.
+    pub fn counter(&self, id: u16) -> &Counter {
+        match self.slots.get(id as usize) {
+            Some(Slot::Counter(c)) => c,
+            _ => noop_counter(),
+        }
+    }
+
+    /// The gauge with ID `id` (no-op on a wrong-kind or unknown ID).
+    pub fn gauge(&self, id: u16) -> &Gauge {
+        match self.slots.get(id as usize) {
+            Some(Slot::Gauge(g)) => g,
+            _ => noop_gauge(),
+        }
+    }
+
+    /// The histogram with ID `id` (no-op on a wrong-kind or unknown ID).
+    pub fn histogram(&self, id: u16) -> &Histogram {
+        match self.slots.get(id as usize) {
+            Some(Slot::Histogram(h)) => h,
+            _ => noop_histogram(),
+        }
+    }
+
+    /// The ring of recently completed job traces.
+    pub fn traces(&self) -> &TraceRing {
+        &self.traces
+    }
+
+    /// Captures every metric. Values are read relaxed; the snapshot is
+    /// coherent per metric, not across metrics.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let metrics = names::TABLE
+            .iter()
+            .map(|&(id, name, _)| {
+                let value = match &self.slots[id as usize] {
+                    Slot::Counter(c) => MetricValue::Counter(c.get()),
+                    Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Slot::Histogram(h) => MetricValue::Histogram(h.summary()),
+                };
+                MetricSnapshot { id, name, value }
+            })
+            .collect();
+        RegistrySnapshot { metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotonic_and_in_range() {
+        let mut values: Vec<u64> = (0..=4096).collect();
+        for shift in 12..64 {
+            let base = 1u64 << shift;
+            values.extend([base, base + base / 4, base + base / 2, u64::MAX - (64 - shift) as u64]);
+        }
+        values.sort_unstable();
+        let mut last = 0;
+        for v in values {
+            let idx = bucket_index(v);
+            assert!(idx < HISTOGRAM_BUCKETS, "v={v} idx={idx}");
+            assert!(idx >= last, "bucket index regressed at v={v}");
+            last = idx;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(3), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_midpoint_lands_in_its_own_bucket() {
+        for v in [0u64, 1, 3, 4, 7, 100, 1000, 123_456, 1 << 40] {
+            let idx = bucket_index(v);
+            let mid = bucket_midpoint(idx);
+            assert_eq!(bucket_index(mid), idx, "midpoint of bucket {idx} (v={v}) escapes it");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_track_a_known_distribution() {
+        let h = Histogram::new();
+        // 1..=1000 µs uniformly: p50 ≈ 500, p99 ≈ 990, max = 1000
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        let p50 = h.quantile(0.50) as f64;
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.15, "p50={p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.15, "p99={p99}");
+        assert!(h.quantile(1.0) <= 1000);
+    }
+
+    #[test]
+    fn histogram_empty_and_single_value() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), HistogramSummary::default());
+        h.record(42);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 42);
+        assert_eq!(s.p50, s.p99, "one observation has one quantile");
+        assert!(s.p50 >= 40 && s.p50 <= 42, "p50={} should approximate 42", s.p50);
+    }
+
+    #[test]
+    fn registry_round_trips_counters_gauges_histograms() {
+        let r = Registry::new();
+        r.counter(names::STORE_CACHE_HITS).inc();
+        r.counter(names::STORE_CACHE_HITS).add(2);
+        r.gauge(names::STREAM_WINDOW_BYTES_PEAK).record_peak(100);
+        r.gauge(names::STREAM_WINDOW_BYTES_PEAK).record_peak(50); // lower: ignored
+        r.histogram(names::SERVE_QUEUE_WAIT_US).record(7);
+        let snap = r.snapshot();
+        assert_eq!(snap.value(names::STORE_CACHE_HITS), 3);
+        assert_eq!(snap.value(names::STREAM_WINDOW_BYTES_PEAK), 100);
+        assert_eq!(snap.histogram(names::SERVE_QUEUE_WAIT_US).count, 1);
+        assert_eq!(snap.metrics.len(), names::METRIC_COUNT);
+    }
+
+    #[test]
+    fn wrong_kind_access_is_a_noop_not_a_panic() {
+        let r = Registry::new();
+        // STORE_CACHE_HITS is a counter: gauge/histogram views are inert
+        r.gauge(names::STORE_CACHE_HITS).set(9);
+        r.histogram(names::STORE_CACHE_HITS).record(9);
+        r.counter(u16::MAX).inc();
+        assert_eq!(r.snapshot().value(names::STORE_CACHE_HITS), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let r = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..1000 {
+                        r.counter(names::SERVE_JOBS_SUBMITTED).inc();
+                        r.histogram(names::SERVE_JOB_RUN_US).record(i);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.value(names::SERVE_JOBS_SUBMITTED), 8000);
+        assert_eq!(snap.histogram(names::SERVE_JOB_RUN_US).count, 8000);
+    }
+}

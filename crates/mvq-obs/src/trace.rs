@@ -1,0 +1,410 @@
+//! Job-lifecycle span tracing.
+//!
+//! A [`Trace`] is a cheap cloneable handle threaded alongside a job
+//! through the serving stack. Each pipeline stage stamps its
+//! monotonic timestamp (µs offset from submission) exactly once via a
+//! lock-free atomic slot; stages a job never reaches are simply never
+//! stamped, so an incomplete lifecycle reads as *absent* stages, not
+//! zeros. When the job resolves, [`Trace::finish`] freezes it into a
+//! [`TraceSnapshot`] (first caller wins — a job cancelled at dequeue
+//! cannot later be double-reported as completed) which the owning
+//! service pushes into its [`TraceRing`] of recently completed traces.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A job-lifecycle stage. The discriminants are serialization tags
+/// (append-only, pinned in `lint.toml`); their numeric order is also
+/// the pipeline order, so a trace's present stages sorted by tag are
+/// sorted by time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Stage {
+    /// The request entered `submit`.
+    Submitted = 0,
+    /// The job was placed in the priority queue.
+    Queued = 1,
+    /// A worker took the job off the queue.
+    Dequeued = 2,
+    /// The artifact cache was probed for the job's key.
+    CacheProbe = 3,
+    /// The compression kernel finished.
+    Kernel = 4,
+    /// The artifact was encoded to its wire/cache bytes.
+    Encode = 5,
+    /// The encoded blob was admitted into the cache.
+    Cached = 6,
+    /// The result was handed to the waiter / written to the wire.
+    Replied = 7,
+}
+
+/// Number of stages; tags are dense in `0..STAGE_COUNT`.
+pub const STAGE_COUNT: usize = 8;
+
+impl Stage {
+    /// All stages, in pipeline (= tag) order.
+    pub const ALL: [Stage; STAGE_COUNT] = [
+        Stage::Submitted,
+        Stage::Queued,
+        Stage::Dequeued,
+        Stage::CacheProbe,
+        Stage::Kernel,
+        Stage::Encode,
+        Stage::Cached,
+        Stage::Replied,
+    ];
+
+    /// The serialization tag of this stage.
+    pub fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a serialization tag; `None` for an unknown tag.
+    pub fn from_tag(tag: u8) -> Option<Stage> {
+        match tag {
+            0 => Some(Stage::Submitted),
+            1 => Some(Stage::Queued),
+            2 => Some(Stage::Dequeued),
+            3 => Some(Stage::CacheProbe),
+            4 => Some(Stage::Kernel),
+            5 => Some(Stage::Encode),
+            6 => Some(Stage::Cached),
+            7 => Some(Stage::Replied),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable name (`"cache-probe"` style).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Submitted => "submitted",
+            Stage::Queued => "queued",
+            Stage::Dequeued => "dequeued",
+            Stage::CacheProbe => "cache-probe",
+            Stage::Kernel => "kernel",
+            Stage::Encode => "encode",
+            Stage::Cached => "cached",
+            Stage::Replied => "replied",
+        }
+    }
+}
+
+/// How a traced job resolved. The discriminants are serialization
+/// tags (append-only, pinned in `lint.toml`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceOutcome {
+    /// Still in flight (only seen on unfinished traces).
+    Pending = 0,
+    /// Resolved with a result.
+    Ok = 1,
+    /// Resolved with an error.
+    Error = 2,
+    /// Cancelled explicitly (client disconnect / token).
+    CancelledExplicit = 3,
+    /// Discarded because its queue deadline expired.
+    CancelledDeadline = 4,
+}
+
+impl TraceOutcome {
+    /// The serialization tag of this outcome.
+    pub fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a serialization tag; `None` for an unknown tag.
+    pub fn from_tag(tag: u8) -> Option<TraceOutcome> {
+        match tag {
+            0 => Some(TraceOutcome::Pending),
+            1 => Some(TraceOutcome::Ok),
+            2 => Some(TraceOutcome::Error),
+            3 => Some(TraceOutcome::CancelledExplicit),
+            4 => Some(TraceOutcome::CancelledDeadline),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceOutcome::Pending => "pending",
+            TraceOutcome::Ok => "ok",
+            TraceOutcome::Error => "error",
+            TraceOutcome::CancelledExplicit => "cancelled",
+            TraceOutcome::CancelledDeadline => "deadline-expired",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TraceInner {
+    name: String,
+    start: Instant,
+    /// Per-stage µs offset from `start`, encoded `offset + 1` so 0
+    /// means "never stamped". First stamp wins.
+    stages: [AtomicU64; STAGE_COUNT],
+    deduped: AtomicBool,
+    finished: AtomicBool,
+    outcome: AtomicU8,
+}
+
+/// A cloneable handle recording one job's lifecycle. Stamping is a
+/// saturating clock read plus one atomic store — cheap enough for the
+/// warm hit path.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    inner: Arc<TraceInner>,
+}
+
+impl Trace {
+    /// Starts a trace for job `name`, stamping [`Stage::Submitted`] at
+    /// offset 0.
+    pub fn begin(name: &str) -> Trace {
+        let trace = Trace {
+            inner: Arc::new(TraceInner {
+                name: name.to_string(),
+                start: Instant::now(),
+                stages: std::array::from_fn(|_| AtomicU64::new(0)),
+                deduped: AtomicBool::new(false),
+                finished: AtomicBool::new(false),
+                outcome: AtomicU8::new(TraceOutcome::Pending.tag()),
+            }),
+        };
+        trace.stamp(Stage::Submitted);
+        trace
+    }
+
+    /// The job name this trace belongs to.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Stamps `stage` at the current µs offset from submission. The
+    /// first stamp of a stage wins; re-stamps are ignored.
+    pub fn stamp(&self, stage: Stage) {
+        let offset = u64::try_from(self.inner.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let encoded = offset.saturating_add(1);
+        let _ = self.inner.stages[stage.tag() as usize].compare_exchange(
+            0,
+            encoded,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The µs offset at which `stage` was stamped, or `None` if the
+    /// job never reached it.
+    pub fn stage_us(&self, stage: Stage) -> Option<u64> {
+        match self.inner.stages[stage.tag() as usize].load(Ordering::Relaxed) {
+            0 => None,
+            encoded => Some(encoded - 1),
+        }
+    }
+
+    /// Marks this submission as a dedup rider on another in-flight job.
+    pub fn mark_deduped(&self) {
+        self.inner.deduped.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether this submission rode an in-flight job.
+    pub fn deduped(&self) -> bool {
+        self.inner.deduped.load(Ordering::Relaxed)
+    }
+
+    /// µs elapsed since submission.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.inner.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Freezes the trace with `outcome`. The first caller gets the
+    /// snapshot (push it into a [`TraceRing`]); later calls return
+    /// `None` — a trace resolves exactly once.
+    pub fn finish(&self, outcome: TraceOutcome) -> Option<TraceSnapshot> {
+        if self.inner.finished.swap(true, Ordering::AcqRel) {
+            return None;
+        }
+        self.inner.outcome.store(outcome.tag(), Ordering::Relaxed);
+        Some(self.snapshot_with(outcome))
+    }
+
+    /// A point-in-time copy of the trace (regardless of whether it has
+    /// finished), reporting `outcome` as recorded so far.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let outcome = TraceOutcome::from_tag(self.inner.outcome.load(Ordering::Relaxed))
+            .unwrap_or(TraceOutcome::Pending);
+        self.snapshot_with(outcome)
+    }
+
+    fn snapshot_with(&self, outcome: TraceOutcome) -> TraceSnapshot {
+        let stages = Stage::ALL
+            .iter()
+            .filter_map(|&stage| self.stage_us(stage).map(|us| (stage, us)))
+            .collect();
+        TraceSnapshot { name: self.inner.name.clone(), deduped: self.deduped(), outcome, stages }
+    }
+}
+
+/// A frozen copy of one job's lifecycle trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSnapshot {
+    /// The job name.
+    pub name: String,
+    /// Whether this submission rode an in-flight job (dedup rider).
+    pub deduped: bool,
+    /// How the job resolved.
+    pub outcome: TraceOutcome,
+    /// `(stage, µs offset from submission)` for every stage the job
+    /// reached, in pipeline order. Stages that never ran are absent.
+    pub stages: Vec<(Stage, u64)>,
+}
+
+impl TraceSnapshot {
+    /// The µs offset of `stage`, or `None` if the job never reached it.
+    pub fn stage_us(&self, stage: Stage) -> Option<u64> {
+        self.stages.iter().find(|&&(s, _)| s == stage).map(|&(_, us)| us)
+    }
+
+    /// Whether the recorded offsets are nondecreasing in pipeline
+    /// order — the monotonicity every real trace must satisfy.
+    pub fn is_monotonic(&self) -> bool {
+        self.stages.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0)
+    }
+}
+
+/// A bounded ring of the most recently completed [`TraceSnapshot`]s.
+/// Pushes take one short mutex hold; the ring never grows past its
+/// capacity.
+#[derive(Debug)]
+pub struct TraceRing {
+    cap: usize,
+    ring: Mutex<std::collections::VecDeque<TraceSnapshot>>,
+}
+
+impl TraceRing {
+    /// A ring keeping the last `cap` completed traces (`cap` ≥ 1).
+    pub fn new(cap: usize) -> TraceRing {
+        let cap = cap.max(1);
+        TraceRing { cap, ring: Mutex::new(std::collections::VecDeque::with_capacity(cap)) }
+    }
+
+    /// Adds a completed trace, evicting the oldest past capacity.
+    pub fn push(&self, trace: TraceSnapshot) {
+        let mut ring = self.ring.lock().expect("trace ring lock");
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// The most recently completed traces, newest first, at most `max`.
+    pub fn recent(&self, max: usize) -> Vec<TraceSnapshot> {
+        let ring = self.ring.lock().expect("trace ring lock");
+        ring.iter().rev().take(max).cloned().collect()
+    }
+
+    /// Completed traces currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("trace ring lock").len()
+    }
+
+    /// Whether no trace has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_tags_round_trip_and_order_matches_pipeline() {
+        for (i, &stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.tag() as usize, i);
+            assert_eq!(Stage::from_tag(stage.tag()), Some(stage));
+        }
+        assert_eq!(Stage::from_tag(8), None);
+        for (i, &outcome) in [
+            TraceOutcome::Pending,
+            TraceOutcome::Ok,
+            TraceOutcome::Error,
+            TraceOutcome::CancelledExplicit,
+            TraceOutcome::CancelledDeadline,
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert_eq!(outcome.tag() as usize, i);
+            assert_eq!(TraceOutcome::from_tag(outcome.tag()), Some(outcome));
+        }
+        assert_eq!(TraceOutcome::from_tag(5), None);
+    }
+
+    #[test]
+    fn stamped_stages_are_present_unstamped_absent() {
+        let trace = Trace::begin("job");
+        trace.stamp(Stage::Queued);
+        trace.stamp(Stage::Dequeued);
+        let snap = trace.finish(TraceOutcome::CancelledExplicit).expect("first finish");
+        assert_eq!(snap.stages.len(), 3, "{snap:?}"); // Submitted + 2
+        assert!(snap.stage_us(Stage::Submitted).is_some());
+        assert!(snap.stage_us(Stage::Kernel).is_none(), "unreached stage must be absent");
+        assert!(snap.stage_us(Stage::Replied).is_none());
+        assert!(snap.is_monotonic());
+        assert_eq!(snap.outcome, TraceOutcome::CancelledExplicit);
+    }
+
+    #[test]
+    fn first_stamp_wins_and_finish_is_once() {
+        let trace = Trace::begin("job");
+        trace.stamp(Stage::Queued);
+        let first = trace.stage_us(Stage::Queued);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        trace.stamp(Stage::Queued);
+        assert_eq!(trace.stage_us(Stage::Queued), first, "re-stamp must be ignored");
+        assert!(trace.finish(TraceOutcome::Ok).is_some());
+        assert!(trace.finish(TraceOutcome::Error).is_none(), "second finish must be refused");
+        assert_eq!(trace.snapshot().outcome, TraceOutcome::Ok);
+    }
+
+    #[test]
+    fn clones_share_the_same_record() {
+        let trace = Trace::begin("job");
+        let clone = trace.clone();
+        clone.stamp(Stage::Replied);
+        clone.mark_deduped();
+        assert!(trace.stage_us(Stage::Replied).is_some());
+        assert!(trace.deduped());
+    }
+
+    #[test]
+    fn ring_keeps_the_last_n_newest_first() {
+        let ring = TraceRing::new(3);
+        for i in 0..5 {
+            let trace = Trace::begin(&format!("job-{i}"));
+            ring.push(trace.finish(TraceOutcome::Ok).expect("finish"));
+        }
+        assert_eq!(ring.len(), 3);
+        let recent = ring.recent(10);
+        let names: Vec<&str> = recent.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, ["job-4", "job-3", "job-2"]);
+        assert_eq!(ring.recent(1).len(), 1);
+    }
+
+    #[test]
+    fn monotonicity_check_rejects_reordered_offsets() {
+        let good = TraceSnapshot {
+            name: "g".into(),
+            deduped: false,
+            outcome: TraceOutcome::Ok,
+            stages: vec![(Stage::Submitted, 0), (Stage::Queued, 5), (Stage::Replied, 5)],
+        };
+        assert!(good.is_monotonic());
+        let bad = TraceSnapshot {
+            stages: vec![(Stage::Submitted, 9), (Stage::Queued, 5)],
+            ..good.clone()
+        };
+        assert!(!bad.is_monotonic());
+    }
+}

@@ -23,6 +23,7 @@ use mvq_core::{
     StreamConfig,
 };
 use mvq_nn::Sequential;
+use mvq_obs::{names as metric, Registry, Stage, Trace, TraceOutcome};
 use mvq_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -129,6 +130,10 @@ struct QueuedJob {
     payload: JobPayload,
     mode: CacheMode,
     direct: Option<Waiter>,
+    /// The submitting waiter's lifecycle trace (shared `Arc`): workers
+    /// stamp the execution stages (dequeue, cache probe, kernel, encode,
+    /// cached) on it as the job moves through the pipeline.
+    trace: Trace,
 }
 
 struct Waiter {
@@ -139,6 +144,10 @@ struct Waiter {
     cancel: Option<CancelToken>,
     /// Absolute queue deadline; past it the waiter is dead.
     deadline: Option<Instant>,
+    /// This submission's lifecycle trace. The primary submitter shares
+    /// its trace with the job; dedup riders carry their own (marked
+    /// deduped, stamping only submit and reply).
+    trace: Trace,
 }
 
 impl Waiter {
@@ -238,7 +247,7 @@ impl State {
         let mut dead: Vec<(Waiter, CancelKind)> = Vec::new();
         let mut dropped = 0;
         while let Some(job) = self.pop_job() {
-            let QueuedJob { key, algo, spec, payload, mode, direct } = job;
+            let QueuedJob { key, algo, spec, payload, mode, direct, trace } = job;
             match direct {
                 Some(waiter) => match waiter.dead(now) {
                     Some(kind) => {
@@ -246,8 +255,15 @@ impl State {
                         dropped += 1;
                     }
                     None => {
-                        let job =
-                            QueuedJob { key, algo, spec, payload, mode, direct: Some(waiter) };
+                        let job = QueuedJob {
+                            key,
+                            algo,
+                            spec,
+                            payload,
+                            mode,
+                            direct: Some(waiter),
+                            trace,
+                        };
                         return (Some(job), dead, dropped);
                     }
                 },
@@ -271,7 +287,7 @@ impl State {
                         continue;
                     }
                     entry.waiters = live;
-                    let job = QueuedJob { key, algo, spec, payload, mode, direct: None };
+                    let job = QueuedJob { key, algo, spec, payload, mode, direct: None, trace };
                     return (Some(job), dead, dropped);
                 }
             }
@@ -288,6 +304,10 @@ struct Shared {
     space: Condvar,
     capacity: usize,
     cache: Arc<ArtifactCache>,
+    /// The cache's metrics registry, adopted by the service so the
+    /// whole serving stack (cache, queue, workers, and any network
+    /// front built on top) records into one place.
+    metrics: Arc<Registry>,
     seq: AtomicU64,
 }
 
@@ -423,12 +443,15 @@ impl ServiceBuilder {
         let workers = self
             .workers
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
+        let cache = Arc::new(cache);
+        let metrics = Arc::clone(cache.registry());
         let shared = Arc::new(Shared {
             state: Mutex::new(State::default()),
             work: Condvar::new(),
             space: Condvar::new(),
             capacity: self.queue_capacity,
-            cache: Arc::new(cache),
+            cache,
+            metrics,
             seq: AtomicU64::new(0),
         });
         let handles = (0..workers)
@@ -475,6 +498,14 @@ impl CompressionService {
     /// Cache traffic counters and occupancy gauges.
     pub fn cache_stats(&self) -> CacheStats {
         self.shared.cache.stats()
+    }
+
+    /// The metrics registry (and completed-trace ring) shared by the
+    /// cache and the service. A network front built over this service
+    /// adopts the same registry, so one snapshot covers the whole
+    /// serving stack.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.metrics
     }
 
     /// Worker threads executing jobs.
@@ -532,6 +563,7 @@ impl CompressionService {
     }
 
     fn enqueue(&self, request: CompressionRequest, block: bool) -> Result<Ticket, SubmitError> {
+        let trace = Trace::begin(request.name());
         let seed = request.resolved_seed();
         let key = CacheKey::new(request.algo(), request.weight(), request.spec(), seed)
             .expect("request algo was canonicalized at build");
@@ -543,18 +575,25 @@ impl CompressionService {
             // and submitters woken from the `space` wait by a shutdown
             if state.shutdown {
                 drop(state);
+                self.shared.metrics.counter(metric::SERVE_JOBS_SUBMITTED).inc();
                 let name = request.name().to_string();
                 let _ = tx.send(Err(JobError::Disconnected { name: name.clone() }));
-                return Ok(Ticket::new(name, key, rx, None));
+                trace.stamp(Stage::Replied);
+                if let Some(snap) = trace.finish(TraceOutcome::Error) {
+                    self.shared.metrics.traces().push(snap);
+                }
+                return Ok(Ticket::new(name, key, rx, None, trace));
             }
             if request.cache_mode().dedupes() {
                 if let Some(entry) = state.inflight.get_mut(&key) {
                     let name = request.name().to_string();
+                    trace.mark_deduped();
                     entry.waiters.push(Waiter {
                         name: name.clone(),
                         tx,
                         cancel: request.cancel().cloned(),
                         deadline: request.deadline(),
+                        trace: trace.clone(),
                     });
                     let progress = entry.progress.clone();
                     // boost a still-queued job to the rider's priority
@@ -564,7 +603,10 @@ impl CompressionService {
                             state.heap.push(QueueRef { priority: request.priority(), seq });
                         }
                     }
-                    return Ok(Ticket::new(name, key, rx, progress));
+                    drop(state);
+                    self.shared.metrics.counter(metric::SERVE_JOBS_SUBMITTED).inc();
+                    self.shared.metrics.counter(metric::SERVE_JOBS_DEDUPED).inc();
+                    return Ok(Ticket::new(name, key, rx, progress, trace));
                 }
             }
             if state.jobs.len() < self.shared.capacity {
@@ -582,7 +624,7 @@ impl CompressionService {
         let priority = request.priority();
         let mode = request.cache_mode();
         let (name, weight, algo, spec, deadline, cancel) = request.into_parts();
-        let waiter = Waiter { name: name.clone(), tx, cancel, deadline };
+        let waiter = Waiter { name: name.clone(), tx, cancel, deadline, trace: trace.clone() };
         let direct = if mode.dedupes() {
             state.inflight.insert(
                 key.clone(),
@@ -597,11 +639,16 @@ impl CompressionService {
             Some(waiter)
         };
         let payload = JobPayload::Matrix { weight };
-        state.jobs.insert(seq, QueuedJob { key: key.clone(), algo, spec, payload, mode, direct });
+        trace.stamp(Stage::Queued);
+        state.jobs.insert(
+            seq,
+            QueuedJob { key: key.clone(), algo, spec, payload, mode, direct, trace: trace.clone() },
+        );
         state.heap.push(QueueRef { priority, seq });
         drop(state);
+        self.shared.metrics.counter(metric::SERVE_JOBS_SUBMITTED).inc();
         self.shared.work.notify_one();
-        Ok(Ticket::new(name, key, rx, None))
+        Ok(Ticket::new(name, key, rx, None, trace))
     }
 
     /// Submits one whole-model streaming request, blocking while the
@@ -644,6 +691,7 @@ impl CompressionService {
         request: ModelCompressionRequest,
         block: bool,
     ) -> Result<Ticket, SubmitError> {
+        let trace = Trace::begin(request.name());
         let seed = request.resolved_seed();
         let key = model_cache_key(request.algo(), request.model(), request.spec(), seed)
             .expect("request algo was canonicalized at build");
@@ -654,18 +702,25 @@ impl CompressionService {
         loop {
             if state.shutdown {
                 drop(state);
+                self.shared.metrics.counter(metric::SERVE_JOBS_SUBMITTED).inc();
                 let name = request.name().to_string();
                 let _ = tx.send(Err(JobError::Disconnected { name: name.clone() }));
-                return Ok(Ticket::new(name, key, rx, Some(progress)));
+                trace.stamp(Stage::Replied);
+                if let Some(snap) = trace.finish(TraceOutcome::Error) {
+                    self.shared.metrics.traces().push(snap);
+                }
+                return Ok(Ticket::new(name, key, rx, Some(progress), trace));
             }
             // model jobs always dedupe (they are never cache-bypassing)
             if let Some(entry) = state.inflight.get_mut(&key) {
                 let name = request.name().to_string();
+                trace.mark_deduped();
                 entry.waiters.push(Waiter {
                     name: name.clone(),
                     tx,
                     cancel: request.cancel().cloned(),
                     deadline: request.deadline(),
+                    trace: trace.clone(),
                 });
                 let progress = entry.progress.clone();
                 if let Some((seq, current)) = entry.queued {
@@ -674,7 +729,10 @@ impl CompressionService {
                         state.heap.push(QueueRef { priority: request.priority(), seq });
                     }
                 }
-                return Ok(Ticket::new(name, key, rx, progress));
+                drop(state);
+                self.shared.metrics.counter(metric::SERVE_JOBS_SUBMITTED).inc();
+                self.shared.metrics.counter(metric::SERVE_JOBS_DEDUPED).inc();
+                return Ok(Ticket::new(name, key, rx, progress, trace));
             }
             if state.jobs.len() < self.shared.capacity {
                 break;
@@ -690,7 +748,7 @@ impl CompressionService {
         let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
         let priority = request.priority();
         let (name, model, algo, spec, stream, deadline, cancel) = request.into_parts();
-        let waiter = Waiter { name: name.clone(), tx, cancel, deadline };
+        let waiter = Waiter { name: name.clone(), tx, cancel, deadline, trace: trace.clone() };
         state.inflight.insert(
             key.clone(),
             InflightEntry {
@@ -700,6 +758,7 @@ impl CompressionService {
             },
         );
         let payload = JobPayload::Model { model, stream, progress: progress.clone() };
+        trace.stamp(Stage::Queued);
         state.jobs.insert(
             seq,
             QueuedJob {
@@ -709,12 +768,14 @@ impl CompressionService {
                 payload,
                 mode: CacheMode::ReadWrite,
                 direct: None,
+                trace: trace.clone(),
             },
         );
         state.heap.push(QueueRef { priority, seq });
         drop(state);
+        self.shared.metrics.counter(metric::SERVE_JOBS_SUBMITTED).inc();
         self.shared.work.notify_one();
-        Ok(Ticket::new(name, key, rx, Some(progress)))
+        Ok(Ticket::new(name, key, rx, Some(progress), trace))
     }
 }
 
@@ -756,9 +817,24 @@ fn worker_loop(shared: &Shared) {
         // notify outside the lock: a waiter's receiver may be dropped, and
         // channel sends must never extend the queue critical section
         for (waiter, kind) in dead {
+            waiter.trace.stamp(Stage::Replied);
+            let outcome = match kind {
+                CancelKind::Explicit => TraceOutcome::CancelledExplicit,
+                CancelKind::DeadlineExpired => TraceOutcome::CancelledDeadline,
+            };
+            if let Some(snap) = waiter.trace.finish(outcome) {
+                shared.metrics.traces().push(snap);
+            }
+            shared.metrics.counter(metric::SERVE_JOBS_CANCELLED).inc();
             let _ = waiter.tx.send(Err(JobError::Cancelled { name: waiter.name, kind }));
         }
         if let Some(job) = job {
+            job.trace.stamp(Stage::Dequeued);
+            if let (Some(q), Some(d)) =
+                (job.trace.stage_us(Stage::Queued), job.trace.stage_us(Stage::Dequeued))
+            {
+                shared.metrics.histogram(metric::SERVE_QUEUE_WAIT_US).record(d.saturating_sub(q));
+            }
             execute(shared, job);
         }
     }
@@ -794,6 +870,7 @@ impl Clone for FailureKind {
 
 fn execute(shared: &Shared, job: QueuedJob) {
     let result: Result<(Payload, bool), FailureKind> = run_job(shared, &job);
+    let from_cache = matches!(&result, Ok((_, true)));
     // deliver to every waiter; the first is the submitter whose request
     // executed, later ones are deduped riders
     let waiters = match job.direct {
@@ -807,21 +884,46 @@ fn execute(shared: &Shared, job: QueuedJob) {
             .map(|entry| entry.waiters)
             .unwrap_or_default(),
     };
-    for (i, waiter) in waiters.into_iter().enumerate() {
-        let message = match &result {
-            // cloning a `Payload::Bytes` clones the `Arc`, not the blob —
-            // every rider shares the one validated allocation
-            Ok((payload, from_cache)) => Ok(JobOutcome::new(
-                waiter.name,
-                job.key.clone(),
-                payload.clone(),
-                *from_cache,
-                i > 0,
-            )),
-            Err(kind) => Err(kind.clone().into_job_error(waiter.name)),
-        };
+    let outcome = if result.is_ok() { TraceOutcome::Ok } else { TraceOutcome::Error };
+    // settle ALL accounting (traces, counters, histograms) before any
+    // waiter is notified: the instant a `tx.send` lands, `Ticket::wait`
+    // returns and the caller may read the registry — every metric this
+    // job owes must already be there
+    let notifications: Vec<_> = waiters
+        .into_iter()
+        .enumerate()
+        .map(|(i, waiter)| {
+            let Waiter { name, tx, trace, .. } = waiter;
+            let message = match &result {
+                // cloning a `Payload::Bytes` clones the `Arc`, not the
+                // blob — every rider shares the one validated allocation
+                Ok((payload, from_cache)) => {
+                    Ok(JobOutcome::new(name, job.key.clone(), payload.clone(), *from_cache, i > 0))
+                }
+                Err(kind) => Err(kind.clone().into_job_error(name)),
+            };
+            trace.stamp(Stage::Replied);
+            if let Some(snap) = trace.finish(outcome) {
+                shared.metrics.traces().push(snap);
+            }
+            (tx, message)
+        })
+        .collect();
+    shared.metrics.counter(metric::SERVE_JOBS_COMPLETED).inc();
+    // the primary waiter shares the job trace, so its reply stamp dates
+    // the end of the run (a peeled-dead primary leaves the stamp from
+    // its cancellation notice; the saturating diff reads as 0)
+    if let (Some(d), Some(r)) =
+        (job.trace.stage_us(Stage::Dequeued), job.trace.stage_us(Stage::Replied))
+    {
+        shared.metrics.histogram(metric::SERVE_JOB_RUN_US).record(r.saturating_sub(d));
+    }
+    if from_cache {
+        shared.metrics.histogram(metric::SERVE_HIT_LATENCY_US).record(job.trace.elapsed_us());
+    }
+    for (tx, message) in notifications {
         // a dropped ticket abandons its result; that is not an error
-        let _ = waiter.tx.send(message);
+        let _ = tx.send(message);
     }
 }
 
@@ -840,7 +942,9 @@ fn run_job(shared: &Shared, job: &QueuedJob) -> Result<(Payload, bool), FailureK
         }
     };
     if job.mode.reads_cache() {
-        match shared.cache.get_raw(&job.key) {
+        let probe = shared.cache.get_raw(&job.key);
+        job.trace.stamp(Stage::CacheProbe);
+        match probe {
             Ok(Some(bytes)) => return Ok((Payload::Bytes(bytes), true)),
             Ok(None) => {}
             Err(e) => return Err(FailureKind::Cache(e)),
@@ -869,12 +973,15 @@ fn run_job(shared: &Shared, job: &QueuedJob) -> Result<(Payload, bool), FailureK
             return Err(FailureKind::Compression(e));
         }
     };
+    job.trace.stamp(Stage::Kernel);
     if job.mode.writes_cache() {
         let bytes: Arc<[u8]> = match compressed.to_bytes() {
             Ok(bytes) => bytes.into(),
             Err(e) => return Err(FailureKind::Compression(e)),
         };
+        job.trace.stamp(Stage::Encode);
         shared.cache.put_raw(&job.key, Arc::clone(&bytes)).map_err(FailureKind::Cache)?;
+        job.trace.stamp(Stage::Cached);
         return Ok((Payload::Bytes(bytes), false));
     }
     Ok((Payload::Artifact(compressed), false))
@@ -892,7 +999,9 @@ fn run_model_job(
     stream: &StreamConfig,
     progress: &ProgressHandle,
 ) -> Result<(Payload, bool), FailureKind> {
-    match load_streamed_model(&shared.cache, &job.key) {
+    let probe = load_streamed_model(&shared.cache, &job.key);
+    job.trace.stamp(Stage::CacheProbe);
+    match probe {
         Ok(Some(arts)) => {
             let bytes: Arc<[u8]> = arts.to_bytes().map_err(FailureKind::Cache)?.into();
             return Ok((Payload::Bytes(bytes), true));
@@ -922,9 +1031,15 @@ fn run_model_job(
             return Err(FailureKind::Compression(e));
         }
     }
+    job.trace.stamp(Stage::Kernel);
     match load_streamed_model(&shared.cache, &job.key) {
         Ok(Some(arts)) => {
             let bytes: Arc<[u8]> = arts.to_bytes().map_err(FailureKind::Cache)?.into();
+            // the stream spilled every layer blob as it finished, so by
+            // the time assembly succeeds the result is both encoded and
+            // cache-resident
+            job.trace.stamp(Stage::Encode);
+            job.trace.stamp(Stage::Cached);
             Ok((Payload::Bytes(bytes), false))
         }
         // the cache budget evicted layers faster than the job streamed
@@ -965,6 +1080,7 @@ mod tests {
                 payload: JobPayload::Matrix { weight },
                 mode: CacheMode::ReadWrite,
                 direct: None,
+                trace: Trace::begin("test"),
             },
         );
         state.heap.push(QueueRef { priority, seq });
@@ -1008,7 +1124,13 @@ mod tests {
         let key = CacheKey::new("mvq", &weight, &spec, seq).unwrap();
         // lint:allow(unbounded-channel) -- test-only per-job result channel, one message
         let (tx, rx) = mpsc::channel();
-        let waiter = Waiter { name: format!("job-{seq}"), tx, cancel, deadline };
+        let waiter = Waiter {
+            name: format!("job-{seq}"),
+            tx,
+            cancel,
+            deadline,
+            trace: Trace::begin("test"),
+        };
         state.jobs.insert(
             seq,
             QueuedJob {
@@ -1018,6 +1140,7 @@ mod tests {
                 payload: JobPayload::Matrix { weight },
                 mode: CacheMode::Bypass,
                 direct: Some(waiter),
+                trace: Trace::begin("test"),
             },
         );
         state.heap.push(QueueRef { priority: Priority::Normal, seq });
@@ -1068,12 +1191,19 @@ mod tests {
             key.clone(),
             InflightEntry {
                 waiters: vec![
-                    Waiter { name: "live".into(), tx: tx_live, cancel: None, deadline: None },
+                    Waiter {
+                        name: "live".into(),
+                        tx: tx_live,
+                        cancel: None,
+                        deadline: None,
+                        trace: Trace::begin("live"),
+                    },
                     Waiter {
                         name: "dead-rider".into(),
                         tx: tx_dead,
                         cancel: Some(token),
                         deadline: None,
+                        trace: Trace::begin("dead-rider"),
                     },
                 ],
                 queued: Some((0, Priority::Normal)),
@@ -1089,6 +1219,7 @@ mod tests {
                 payload: JobPayload::Matrix { weight },
                 mode: CacheMode::ReadWrite,
                 direct: None,
+                trace: Trace::begin("test"),
             },
         );
         state.heap.push(QueueRef { priority: Priority::Normal, seq: 0 });
@@ -1122,6 +1253,7 @@ mod tests {
                     tx,
                     cancel: Some(token),
                     deadline: None,
+                    trace: Trace::begin("gone"),
                 }],
                 queued: Some((0, Priority::Normal)),
                 progress: None,
@@ -1136,6 +1268,7 @@ mod tests {
                 payload: JobPayload::Matrix { weight },
                 mode: CacheMode::ReadWrite,
                 direct: None,
+                trace: Trace::begin("test"),
             },
         );
         state.heap.push(QueueRef { priority: Priority::Normal, seq: 0 });

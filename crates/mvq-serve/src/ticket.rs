@@ -9,6 +9,7 @@ use std::time::Duration;
 
 use mvq_core::store::{CacheKey, Persist};
 use mvq_core::{CompressedArtifact, ModelArtifacts, MvqError, Progress, ProgressHandle};
+use mvq_obs::Trace;
 
 /// A shared cancellation flag for one (or several) submitted jobs.
 ///
@@ -297,6 +298,7 @@ pub struct Ticket {
     rx: mpsc::Receiver<JobResult>,
     done: Option<JobResult>,
     progress: Option<ProgressHandle>,
+    trace: Trace,
 }
 
 impl Ticket {
@@ -305,8 +307,9 @@ impl Ticket {
         key: CacheKey,
         rx: mpsc::Receiver<JobResult>,
         progress: Option<ProgressHandle>,
+        trace: Trace,
     ) -> Ticket {
-        Ticket { name, key, rx, done: None, progress }
+        Ticket { name, key, rx, done: None, progress, trace }
     }
 
     /// The submitted job's label.
@@ -327,6 +330,18 @@ impl Ticket {
     /// Poll freely — the snapshot is two relaxed atomic loads.
     pub fn progress(&self) -> Option<Progress> {
         self.progress.as_ref().map(ProgressHandle::snapshot)
+    }
+
+    /// This submission's lifecycle trace: monotonic µs stage stamps
+    /// (submitted → queued → … → replied) recorded as the job moves
+    /// through the serving stack. Live — poll [`mvq_obs::Trace::snapshot`]
+    /// while the job runs, or read the completed trace from the service
+    /// registry's [`mvq_obs::TraceRing`] after it resolves. A dedup
+    /// rider's trace is marked [`mvq_obs::Trace::deduped`] and only
+    /// stamps submit and reply (the shared job's trace carries the
+    /// execution stages).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Blocks until the job finishes and returns its result.

@@ -28,6 +28,11 @@
 //!   deadlines, client-disconnect cancellation, and graceful drain,
 //!   framing every message with the store codec so cache blobs serve
 //!   zero-copy
+//! * [`obs`] — the observability layer: a lock-cheap metrics registry
+//!   (counters, gauges, log-scale latency histograms under a pinned
+//!   name scheme) plus job-lifecycle span tracing, shared by the
+//!   cache, service, and network front and queryable live over the
+//!   wire (`paper stats`)
 //!
 //! ## Quickstart
 //!
@@ -71,5 +76,6 @@ pub use mvq_accel as accel;
 pub use mvq_core as core;
 pub use mvq_net as net;
 pub use mvq_nn as nn;
+pub use mvq_obs as obs;
 pub use mvq_serve as serve;
 pub use mvq_tensor as tensor;
